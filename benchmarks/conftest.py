@@ -1,0 +1,40 @@
+"""Benchmark harness configuration.
+
+Each benchmark regenerates one paper table/figure at the default experiment
+scale, times it with pytest-benchmark (single round — these are minutes-long
+experiments, not microbenchmarks), asserts the paper's qualitative claims,
+and writes the rendered table to ``benchmarks/results/``.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> pathlib.Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture
+def record_result(results_dir):
+    """Write an ExperimentResult's text rendering next to the benchmarks."""
+
+    def _record(result):
+        path = results_dir / f"{result.experiment}.txt"
+        path.write_text(result.to_text() + "\n")
+        print()
+        print(result.to_text())
+        return path
+
+    return _record
+
+
+def run_once(benchmark, fn):
+    """Run a whole experiment exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

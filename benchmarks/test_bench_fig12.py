@@ -1,0 +1,32 @@
+"""Fig 12 benchmark: normalized NISQ benchmark fidelity.
+
+Paper: normalized fidelities between 1.03 and 1.32 with mean 1.118; the
+20-qubit Bernstein-Vazirani benchmark improves the most.
+"""
+
+import pytest
+
+from repro.experiments import DEFAULT_CONFIG, PAPER_FIG12, run_fig12
+
+from conftest import run_once
+
+
+def test_bench_fig12(benchmark, record_result):
+    result = run_once(benchmark, lambda: run_fig12(DEFAULT_CONFIG))
+    record_result(result)
+
+    normalized = dict(zip(result.column("benchmark"),
+                          result.column("normalized")))
+
+    # Every benchmark improves; mean improvement in the paper's band.
+    assert all(v > 1.0 for v in normalized.values())
+    assert result.data["mean_normalized"] == pytest.approx(1.118, abs=0.06)
+
+    # The BV series grows with width, and bv-20 improves the most overall.
+    assert normalized["bv-5"] < normalized["bv-10"] < normalized["bv-15"] \
+        < normalized["bv-20"]
+    assert normalized["bv-20"] == max(normalized.values())
+
+    # Per-benchmark agreement with the paper within 10%.
+    for name, paper_value in PAPER_FIG12.items():
+        assert normalized[name] == pytest.approx(paper_value, rel=0.12), name

@@ -1,0 +1,53 @@
+"""Fig 13 + Fig 14b benchmarks: surface-code impact of readout.
+
+Fig 13 (paper): for a distance-7 code, raising the averaged readout error
+epsilon_R from 0 to 2% lifts the logical error rate by roughly an order of
+magnitude and can push it above the physical gate error rate.
+Fig 14b (paper): a 25% shorter readout shrinks the surface-17 cycle to
+0.795 (Google) / 0.836 (IBM) of nominal.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments import DEFAULT_CONFIG, run_fig13, run_fig14b
+
+from conftest import run_once
+
+GATE_ERRORS = (0.003, 0.0045, 0.006, 0.009)
+READOUT_ERRORS = (0.0, 0.005, 0.01, 0.02)
+
+
+def test_bench_fig13(benchmark, record_result):
+    result = run_once(
+        benchmark,
+        lambda: run_fig13(DEFAULT_CONFIG, gate_error_rates=GATE_ERRORS,
+                          readout_errors=READOUT_ERRORS, distance=7,
+                          shots=500))
+    record_result(result)
+
+    curves = result.data["curves"]
+
+    # Logical error grows with the physical rate along every curve.
+    for eps, curve in curves.items():
+        assert curve[-1] >= curve[0], f"eps={eps}"
+
+    # At the highest physical rate, readout error dominates the ordering:
+    # the eps=2% curve is clearly above eps=0.
+    assert curves[0.02][-1] > curves[0.0][-1]
+
+    # The paper's headline: with eps_R around 1-2%, the logical error rate
+    # reaches/exceeds the physical gate error rate somewhere in the sweep.
+    worst = np.array(curves[0.02])
+    assert np.any(worst >= np.array(GATE_ERRORS))
+
+
+def test_bench_fig14b(benchmark, record_result):
+    result = run_once(benchmark, lambda: run_fig14b(DEFAULT_CONFIG))
+    record_result(result)
+
+    values = dict(zip(result.column("platform"),
+                      result.column("normalized_cycle_time")))
+    assert values["Google"] == pytest.approx(0.795, abs=0.002)
+    assert values["IBM"] == pytest.approx(0.836, abs=0.002)
+    assert values["Google"] < values["IBM"]  # faster gates benefit more

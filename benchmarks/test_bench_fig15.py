@@ -1,0 +1,25 @@
+"""Fig 15 benchmark: training-set size sensitivity of mf-rmf-nn.
+
+Paper: accuracy rises with the training-set size and saturates; the gain
+from ~1.5k to 9.75k traces is under 1%.
+"""
+
+from repro.experiments import DEFAULT_CONFIG, run_fig15
+
+from conftest import run_once
+
+
+def test_bench_fig15(benchmark, record_result):
+    result = run_once(benchmark, lambda: run_fig15(DEFAULT_CONFIG))
+    record_result(result)
+
+    sizes = result.column("n_train")
+    f5q = result.column("F5Q")
+    assert sizes == sorted(sizes)
+
+    # Largest training set within noise of the best result (saturation)...
+    assert f5q[-1] >= max(f5q) - 0.01
+    # ...and clearly better than the smallest.
+    assert f5q[-1] >= f5q[0] - 0.005
+    # The final-size gain over the mid-size point is small (saturation).
+    assert f5q[-1] - f5q[len(f5q) // 2] < 0.03

@@ -1,0 +1,54 @@
+"""Figs 3, 4(a,b), 8, 10 benchmarks: trace-level statistics.
+
+These are the paper's qualitative figures; the assertions encode the claim
+each panel makes.
+"""
+
+from repro.experiments import (DEFAULT_CONFIG, run_fig3, run_fig4ab,
+                               run_fig8, run_fig10)
+
+from conftest import run_once
+
+
+def test_bench_fig3(benchmark, record_result):
+    result = run_once(benchmark, lambda: run_fig3(DEFAULT_CONFIG))
+    record_result(result)
+    rows = dict((r[0], r[1]) for r in result.rows)
+    # Traces start near the origin (ring-up) and end at steady state.
+    assert rows["first-bin |amplitude| / steady"] < 0.5
+    assert 0.9 < rows["mid-bin |amplitude| / steady"] < 1.1
+    # MTV clusters are well separated for qubit 1.
+    assert rows["separation / spread"] > 3.0
+
+
+def test_bench_fig4ab(benchmark, record_result):
+    result = run_once(benchmark, lambda: run_fig4ab(DEFAULT_CONFIG))
+    record_result(result)
+    biases = result.column("bias")
+    # Relaxation bias: ground read more reliably than excited, every qubit.
+    assert all(b > 0 for b in biases)
+    # Qubits with the shortest T1 (3 and 4) show the largest bias among the
+    # well-separated qubits.
+    assert max(biases[2], biases[3]) == max(b for i, b in enumerate(biases)
+                                            if i != 1)
+
+
+def test_bench_fig8(benchmark, record_result):
+    result = run_once(benchmark, lambda: run_fig8(DEFAULT_CONFIG))
+    record_result(result)
+    fractions = result.column("fraction_of_excited")
+    # Every qubit yields relaxation traces; the short-T1 qubits yield more.
+    assert all(f > 0.02 for f in fractions)
+    assert fractions[3] > fractions[0]  # T1: 2.6us vs 5.5us
+
+
+def test_bench_fig10(benchmark, record_result):
+    result = run_once(benchmark, lambda: run_fig10(DEFAULT_CONFIG))
+    record_result(result)
+    counts = result.data["counts"]
+    # The RMF reduces excited-state misclassifications overall (Fig 10's
+    # message) ...
+    assert counts["mf-rmf-nn"][:, 1].sum() < counts["mf-nn"][:, 1].sum()
+    # ... and for each of the short-T1 qubits individually.
+    for q in (2, 3, 4):
+        assert counts["mf-rmf-nn"][q, 1] <= counts["mf-nn"][q, 1]

@@ -1,0 +1,40 @@
+"""Quantization ablation: accuracy vs fixed-point word size.
+
+Bridges the paper's Table 1 (float accuracy) and Table 4 (fixed-point
+hardware): the hls4ml-style 16-bit words assumed by the FPGA cost model must
+not cost accuracy, and the bench shows how far the word size can shrink.
+"""
+
+from repro.core import HerqulesDiscriminator, accuracy_vs_word_size
+from repro.experiments import DEFAULT_CONFIG, ExperimentResult, prepare_splits
+
+from conftest import run_once
+
+WORD_SIZES = (16, 12, 10, 8, 6, 4)
+
+
+def test_bench_quantization(benchmark, record_result):
+    train, val, test = prepare_splits(DEFAULT_CONFIG)
+
+    def run():
+        design = HerqulesDiscriminator(use_rmf=True,
+                                       config=DEFAULT_CONFIG.nn)
+        design.fit(train, val)
+        results = accuracy_vs_word_size(design, test, WORD_SIZES)
+        rows = [["float", results["float"]]]
+        rows.extend([[f"{bits}-bit", results[bits]] for bits in WORD_SIZES])
+        return ExperimentResult(
+            experiment="ablation_quantization",
+            title="mf-rmf-nn F5Q vs fixed-point word size",
+            headers=["precision", "F5Q"],
+            rows=rows,
+            notes="16-bit is the hls4ml default assumed by repro.fpga")
+
+    result = run_once(benchmark, run)
+    record_result(result)
+
+    f5q = dict(result.rows)
+    # 16-bit deployment is lossless; 8-bit loses under 1%; tiny words decay.
+    assert abs(f5q["16-bit"] - f5q["float"]) < 0.002
+    assert f5q["8-bit"] > f5q["float"] - 0.01
+    assert f5q["4-bit"] <= f5q["16-bit"] + 0.002

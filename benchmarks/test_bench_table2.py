@@ -1,0 +1,22 @@
+"""Table 2 benchmark: cross-fidelity (readout crosstalk) by distance.
+
+Paper: the neural network suppresses nearest-neighbour crosstalk roughly
+3x compared to the plain mf design.
+"""
+
+from repro.experiments import DEFAULT_CONFIG, run_table2
+
+from conftest import run_once
+
+
+def test_bench_table2(benchmark, record_result):
+    result = run_once(benchmark, lambda: run_table2(DEFAULT_CONFIG))
+    record_result(result)
+
+    rows = {row[0]: row[1:] for row in result.rows}
+    # Crosstalk magnitudes stay small for every design...
+    for design, values in rows.items():
+        assert all(v < 0.08 for v in values), design
+    # ...and nearest-neighbour (|i-j|=1) crosstalk is the dominant bucket
+    # for the plain mf design.
+    assert rows["mf"][0] >= max(rows["mf"][2], rows["mf"][3]) - 1e-3

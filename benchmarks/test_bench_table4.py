@@ -1,0 +1,52 @@
+"""Table 4 + Figs 4c/7d/14a benchmarks: FPGA latency and resources.
+
+Paper: HERQULES needs <8% of a xczu7ev and tens of cycles; the baseline FNN
+needs 2-5x the whole device and thousands of cycles.
+"""
+
+import pytest
+
+from repro.experiments import (DEFAULT_CONFIG, run_fig4c, run_fig7d,
+                               run_fig14a, run_table4)
+
+from conftest import run_once
+
+
+def test_bench_table4(benchmark, record_result):
+    result = run_once(benchmark, lambda: run_table4(DEFAULT_CONFIG))
+    record_result(result)
+
+    luts = dict(zip(result.column("design"), result.column("lut_percent")))
+    cycles = dict(zip(result.column("design"),
+                      result.column("latency_cycles")))
+
+    assert luts["herqules (RF=4)"] == pytest.approx(7.79, abs=0.5)
+    assert luts["baseline (RF=200)"] == pytest.approx(468.64, rel=0.10)
+    assert luts["baseline (RF=500)"] == pytest.approx(266.86, rel=0.10)
+    assert luts["baseline (RF=1000)"] == pytest.approx(216.72, rel=0.10)
+    assert cycles["baseline (RF=1000)"] == pytest.approx(4023, rel=0.10)
+    assert cycles["baseline (RF=200)"] / cycles["herqules (RF=4)"] > 10
+
+
+def test_bench_fig7d(record_result):
+    result = run_fig7d(DEFAULT_CONFIG)
+    record_result(result)
+    mf_nn, mf_rmf_nn = result.column("lut_percent")
+    assert mf_nn < mf_rmf_nn < mf_nn + 1.0  # RMFs cost well under 1% LUT
+
+
+def test_bench_fig14a(record_result):
+    result = run_fig14a(DEFAULT_CONFIG)
+    record_result(result)
+    util = dict(zip(result.column("resource"), result.column("percent")))
+    assert util["LUT"] < 10
+    assert util["FF"] < 2
+    assert util["BRAM"] < 5
+    assert result.data["max_qubits_rfsoc"] > 50  # paper: >50 qubits/RFSoC
+
+
+def test_bench_fig4c(record_result):
+    result = run_fig4c(DEFAULT_CONFIG)
+    record_result(result)
+    util = dict(zip(result.column("resource"), result.column("percent")))
+    assert 300 < util["LUT"] < 500  # paper: ~4x the device

@@ -1,0 +1,20 @@
+"""Table 5 benchmark: training time per design.
+
+Paper (312k traces, 32-core EPYC): baseline 38 min >> mf-rmf-nn 19 min >
+mf-nn 17 min >> mf 3 min. At our synthetic scale, absolute times shrink but
+the ordering must hold: baseline slowest by a wide margin, mf fastest.
+"""
+
+from repro.experiments import DEFAULT_CONFIG, run_table5
+
+from conftest import run_once
+
+
+def test_bench_table5(benchmark, record_result):
+    result = run_once(benchmark, lambda: run_table5(DEFAULT_CONFIG))
+    record_result(result)
+
+    timings = result.data["timings"]
+    assert timings["baseline"] > timings["mf-rmf-nn"]
+    assert timings["baseline"] > 3 * timings["mf"]
+    assert timings["mf"] < timings["mf-nn"]

@@ -1,0 +1,71 @@
+"""From calibration to deployable artifact (production workflow).
+
+The full lifecycle a control-hardware team would run with this library:
+
+1. calibrate: simulate (or load) labeled readout traces;
+2. train the mf-rmf-nn discriminator;
+3. quantize it to the FPGA's fixed-point word size and confirm the
+   accuracy cost is negligible;
+4. check the design fits the target FPGA at the chosen reuse factor;
+5. save the deployable model (envelope ROMs + FNN weights) to disk and
+   verify the reloaded model is bit-identical.
+
+Run:  python examples/deploy_to_hardware.py
+"""
+
+import pathlib
+import tempfile
+
+import numpy as np
+
+from repro.core import (HerqulesDiscriminator, QuantizedHerqules,
+                        TrainingConfig, load_herqules, save_herqules)
+from repro.fpga import XCZU7EV, herqules_cost
+from repro.readout import five_qubit_paper_device, generate_dataset
+
+
+def main():
+    # 1. calibrate -------------------------------------------------------
+    device = five_qubit_paper_device()
+    data = generate_dataset(device, shots_per_state=200,
+                            rng=np.random.default_rng(51))
+    train, val, test = data.split(np.random.default_rng(52), 0.5, 0.1)
+
+    # 2. train -----------------------------------------------------------
+    config = TrainingConfig(max_epochs=200, patience=25, learning_rate=2e-3,
+                            batch_size=128)
+    design = HerqulesDiscriminator(use_rmf=True, config=config)
+    design.fit(train, val)
+    float_accuracy = design.evaluate(test).cumulative
+    print(f"trained mf-rmf-nn: F5Q = {float_accuracy:.4f} (float)")
+
+    # 3. quantize --------------------------------------------------------
+    word_bits = 16
+    quantized = QuantizedHerqules(design, word_bits)
+    q_accuracy = quantized.evaluate(test).cumulative
+    print(f"quantized to {word_bits}-bit fixed point: F5Q = "
+          f"{q_accuracy:.4f} (delta {q_accuracy - float_accuracy:+.4f})")
+
+    # 4. fit check -------------------------------------------------------
+    reuse_factor = 4
+    cost = herqules_cost(reuse_factor, n_qubits=device.n_qubits)
+    util = cost.utilization(XCZU7EV)
+    print(f"on {XCZU7EV.name} @ RF={reuse_factor}: "
+          f"LUT {util['LUT']:.2f}%, BRAM {util['BRAM']:.2f}%, "
+          f"latency {cost.latency_cycles:.0f} cycles "
+          f"-> {'fits' if cost.fits(XCZU7EV) else 'DOES NOT FIT'}")
+
+    # 5. save + verify ---------------------------------------------------
+    with tempfile.TemporaryDirectory() as tmp:
+        path = str(pathlib.Path(tmp) / "herqules_5q.npz")
+        save_herqules(design, path)
+        size_kb = pathlib.Path(path).stat().st_size / 1024
+        reloaded = load_herqules(path)
+        identical = np.array_equal(reloaded.predict_bits(test),
+                                   design.predict_bits(test))
+        print(f"saved deployable model ({size_kb:.0f} KiB); reloaded "
+              f"predictions identical: {identical}")
+
+
+if __name__ == "__main__":
+    main()

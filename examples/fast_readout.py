@@ -1,0 +1,63 @@
+"""Fast readout without retraining (paper Section 5, Fig 11 / Table 3).
+
+Trains HERQULES once on the full 1 us readout, then evaluates it on
+progressively truncated traces — the matched-filter front end makes the
+neural network agnostic to the readout duration. Finds the shortest
+duration whose accuracy saturates, shows which qubit can be read fastest,
+and quantifies the impact on an iterative-QPE application.
+
+Run:  python examples/fast_readout.py
+"""
+
+import numpy as np
+
+from repro.circuits import QPETimingModel
+from repro.core import (TrainingConfig, evaluate_at_duration, make_design,
+                        saturation_duration)
+from repro.readout import five_qubit_paper_device, generate_dataset
+
+
+def main():
+    device = five_qubit_paper_device()
+    data = generate_dataset(device, shots_per_state=150,
+                            rng=np.random.default_rng(21))
+    train, val, test = data.split(np.random.default_rng(22), 0.5, 0.1)
+
+    config = TrainingConfig(max_epochs=150, patience=20, learning_rate=2e-3)
+    print("training mf-rmf-nn once, on the full 1 us duration...")
+    design = make_design("mf-rmf-nn", config).fit(train, val)
+
+    durations = [300.0, 400.0, 500.0, 600.0, 700.0, 750.0, 800.0, 900.0,
+                 1000.0]
+    points = [evaluate_at_duration(design, test, d) for d in durations]
+
+    print("\nduration   F5Q      per-qubit accuracies")
+    for point in points:
+        per_qubit = "  ".join(f"{a:.3f}" for a in point.per_qubit)
+        print(f"{point.duration_ns:6.0f}ns  {point.cumulative_accuracy:.4f}"
+              f"   {per_qubit}")
+
+    shortest = saturation_duration(points, tolerance=0.01)
+    print(f"\nshortest saturating duration (1% tolerance): "
+          f"{shortest:.0f} ns")
+
+    # Which qubit tolerates halved readout best? (paper: qubit 5)
+    full = points[-1].per_qubit
+    half = evaluate_at_duration(design, test, 500.0).per_qubit
+    drops = full - half
+    fastest = int(np.argmin(drops))
+    print(f"qubit {fastest + 1} degrades least when halved "
+          f"({full[fastest]:.3f} -> {half[fastest]:.3f}); map ancilla "
+          f"roles to it for mid-circuit measurement")
+
+    # Application impact: iterative QPE with the faster ancilla readout.
+    bits = 12
+    slow = QPETimingModel(readout_ns=1000.0).circuit_duration_us(bits)
+    fast = QPETimingModel(readout_ns=500.0).circuit_duration_us(bits)
+    print(f"\n{bits}-bit iterative QPE: {slow:.1f} us at 1 us readout "
+          f"vs {fast:.1f} us at 500 ns ({100 * (1 - fast / slow):.0f}% "
+          f"faster)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,52 @@
+"""Quickstart: train and evaluate the HERQULES discriminator.
+
+Simulates a calibration dataset for the five-qubit paper device, fits the
+mf-rmf-nn design (matched filters + relaxation matched filters + a small
+FNN), and reports per-qubit and cumulative readout accuracy next to the
+simple designs it improves upon.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro.core import TrainingConfig, make_design, relative_improvement
+from repro.readout import five_qubit_paper_device, generate_dataset
+
+
+def main():
+    device = five_qubit_paper_device()
+    print(f"device: {device.n_qubits} frequency-multiplexed qubits, "
+          f"{device.readout_duration_ns:.0f} ns readout, "
+          f"{device.sampling_rate_msps:.0f} MS/s ADC")
+
+    print("simulating calibration data (250 shots per basis state)...")
+    data = generate_dataset(device, shots_per_state=250,
+                            rng=np.random.default_rng(7))
+    train, val, test = data.split(np.random.default_rng(8),
+                                  train_fraction=0.5, val_fraction=0.1)
+    print(f"split: {train.n_traces} train / {val.n_traces} val / "
+          f"{test.n_traces} test traces\n")
+
+    config = TrainingConfig(max_epochs=250, patience=25, learning_rate=2e-3,
+                            batch_size=128)
+    results = {}
+    for name in ("centroid", "mf", "mf-rmf-svm", "mf-rmf-nn"):
+        design = make_design(name, config).fit(train, val)
+        results[name] = design.evaluate(test)
+        per_qubit = "  ".join(f"{a:.3f}" for a in results[name].per_qubit)
+        print(f"{name:10s} F5Q={results[name].cumulative:.4f}  "
+              f"per-qubit: {per_qubit}")
+
+    best_rmf = max(results["mf-rmf-svm"].cumulative,
+                   results["mf-rmf-nn"].cumulative)
+    improvement = relative_improvement(results["mf"].cumulative, best_rmf)
+    print(f"\nadding relaxation matched filters removes "
+          f"{100 * improvement:.1f}% of the plain matched filter's "
+          f"readout infidelity")
+    print("(the paper reports a 16.4% relative improvement over its "
+          "baseline on real hardware data)")
+
+
+if __name__ == "__main__":
+    main()

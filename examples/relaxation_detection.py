@@ -1,0 +1,84 @@
+"""Inside the RMF: how HERQULES detects qubit relaxation (Section 4.3).
+
+Walks through the paper's key mechanism step by step on simulated traces:
+
+1. run Algorithm 1 to label relaxation traces in a calibration set;
+2. train a relaxation matched filter (RMF) on those labels;
+3. show that the RMF output separates relaxed traces from true ground
+   traces — information the ordinary MF projects away;
+4. quantify how many excited-state misclassifications the extra feature
+   recovers.
+
+Run:  python examples/relaxation_detection.py
+"""
+
+import numpy as np
+
+from repro.core import (MatchedFilter, TrainingConfig, get_relaxation_traces,
+                        make_design, split_excited_traces)
+from repro.readout import five_qubit_paper_device, generate_dataset
+
+QUBIT = 3  # shortest T1 on the preset device -> most relaxations
+
+
+def main():
+    device = five_qubit_paper_device()
+    data = generate_dataset(device, shots_per_state=150,
+                            rng=np.random.default_rng(31))
+    train, val, test = data.split(np.random.default_rng(32), 0.5, 0.1)
+
+    # --- Algorithm 1: label relaxations without extra experiments -------
+    ground = train.qubit_traces(QUBIT, 0)
+    excited = train.qubit_traces(QUBIT, 1)
+    labels = get_relaxation_traces(ground, excited)
+    fraction = labels.relaxation_fraction(excited.shape[0])
+    t1 = device.qubits[QUBIT].t1_us
+    physical = 1.0 - np.exp(-1.0 / t1)
+    print(f"qubit {QUBIT + 1} (T1 = {t1} us):")
+    print(f"  Algorithm 1 flags {labels.n_relaxations} of "
+          f"{excited.shape[0]} excited-labeled traces as relaxations "
+          f"({100 * fraction:.1f}%; physical P(relax) = "
+          f"{100 * physical:.1f}%)")
+
+    # --- train MF and RMF ------------------------------------------------
+    trusted_excited, relax = split_excited_traces(excited, labels)
+    mf = MatchedFilter.fit(ground, excited)
+    rmf = MatchedFilter.fit_relaxation(relax, ground)
+
+    # --- the RMF separates what the MF confuses -------------------------
+    test_ground = test.qubit_traces(QUBIT, 0)
+    relaxed_mask = test.relaxed[test.labels[:, QUBIT] == 1, QUBIT]
+    test_excited = test.qubit_traces(QUBIT, 1)
+    test_relaxed = test_excited[relaxed_mask]
+
+    def stats(filt, traces):
+        out = filt.apply(traces)
+        return out.mean(), out.std()
+
+    for name, filt in (("MF ", mf), ("RMF", rmf)):
+        g_mean, g_std = stats(filt, test_ground)
+        r_mean, r_std = stats(filt, test_relaxed)
+        z = abs(g_mean - r_mean) / max(g_std + r_std, 1e-9)
+        print(f"  {name} output: ground {g_mean:8.1f}+-{g_std:5.1f}   "
+              f"relaxed {r_mean:8.1f}+-{r_std:5.1f}   separation "
+              f"z={2 * z:.2f}")
+
+    # --- end-to-end effect on misclassifications ------------------------
+    config = TrainingConfig(max_epochs=150, patience=20, learning_rate=2e-3)
+    print("\ntraining mf-nn and mf-rmf-nn...")
+    errors = {}
+    for name in ("mf-nn", "mf-rmf-nn"):
+        design = make_design(name, config).fit(train, val)
+        evaluation = design.evaluate(test)
+        errors[name] = evaluation.misclassifications[QUBIT]
+        print(f"  {name:10s} qubit {QUBIT + 1}: "
+              f"{evaluation.misclassifications[QUBIT, 1]} excited-state "
+              f"errors, accuracy {evaluation.per_qubit[QUBIT]:.3f}")
+
+    recovered = errors["mf-nn"][1] - errors["mf-rmf-nn"][1]
+    print(f"\nthe RMF feature recovered {recovered} excited-state "
+          f"misclassifications on qubit {QUBIT + 1} (paper Fig 10)")
+
+
+if __name__ == "__main__":
+    main()

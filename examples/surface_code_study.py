@@ -1,0 +1,46 @@
+"""Readout errors and quantum error correction (paper Section 7.3).
+
+Reproduces the paper's two QEC arguments end to end on the built-in
+surface-code substrate:
+
+1. (Fig 13) raising the readout assignment error epsilon_R degrades the
+   logical error rate of a surface-code memory — better discriminators
+   directly buy logical fidelity;
+2. (Fig 14b) the 25% readout shortening HERQULES enables without
+   retraining shrinks the syndrome cycle time on Google- and IBM-class
+   hardware.
+
+Run:  python examples/surface_code_study.py  (takes ~1 minute)
+"""
+
+import numpy as np
+
+from repro.qec import fig14b_normalized_cycle_times, logical_error_sweep
+
+
+def main():
+    rng = np.random.default_rng(99)
+    distance = 5
+    gate_errors = [0.002, 0.004, 0.006]
+    print(f"surface code memory, distance {distance}, "
+          f"{distance} noisy rounds, MWPM decoding\n")
+
+    print("epsilon_R   " + "".join(f"  p={p:<8.3f}" for p in gate_errors))
+    for eps in (0.0, 0.01, 0.02):
+        results = logical_error_sweep(
+            distance, [4 * p for p in gate_errors], eps, shots=250, rng=rng)
+        rates = "".join(f"  {r.logical_error_per_round:<10.4f}"
+                        for r in results)
+        print(f"{eps:<10.3f}{rates}")
+
+    print("\n(logical error per round; rows with higher readout error are "
+          "uniformly worse — a 1-2% assignment error can erase the code's "
+          "advantage, Fig 13)")
+
+    print("\nsyndrome cycle time with 25% faster readout (Fig 14b):")
+    for platform, value in fig14b_normalized_cycle_times(0.75).items():
+        print(f"  {platform:8s} {value:.3f} of nominal")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,33 @@
+"""HERQULES reproduction: hardware-efficient ML qubit-state discrimination.
+
+Reproduction of "Scaling Qubit Readout with Hardware Efficient Machine
+Learning Architectures" (ISCA 2023). Subpackages:
+
+* :mod:`repro.readout` — synthetic dispersive-readout trace simulator;
+* :mod:`repro.nn` — numpy neural-network framework;
+* :mod:`repro.core` — matched filters, relaxation detection, discriminators;
+* :mod:`repro.fpga` — calibrated FPGA resource/latency model;
+* :mod:`repro.circuits` — NISQ statevector simulator and benchmarks;
+* :mod:`repro.qec` — surface-code memory experiments and cycle timing;
+* :mod:`repro.experiments` — one runner per paper table/figure.
+
+Quickstart::
+
+    import numpy as np
+    from repro.readout import five_qubit_paper_device, generate_dataset
+    from repro.core import make_design
+
+    device = five_qubit_paper_device()
+    data = generate_dataset(device, shots_per_state=200,
+                            rng=np.random.default_rng(0))
+    train, val, test = data.split(np.random.default_rng(1))
+    herqules = make_design("mf-rmf-nn").fit(train, val)
+    print(herqules.evaluate(test).cumulative)
+"""
+
+__version__ = "1.0.0"
+
+from . import circuits, core, experiments, fpga, nn, qec, readout
+
+__all__ = ["circuits", "core", "experiments", "fpga", "nn", "qec", "readout",
+           "__version__"]

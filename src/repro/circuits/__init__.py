@@ -1,0 +1,31 @@
+"""NISQ circuit simulator substrate (replaces Qiskit Aer in the paper).
+
+Dense statevector simulation, a gate library, depolarizing + readout-
+confusion noise, the Fig. 12 benchmark suite, and the iterative-QPE timing
+model of Fig. 11b.
+"""
+
+from . import gates
+from .benchmarks import Benchmark, normalized_fidelities, paper_benchmarks
+from .circuit import Circuit, Operation
+from .library import (bernstein_vazirani, ghz, inverse_qft, qaoa_benchmark,
+                      qaoa_maxcut, qft, qft_roundtrip, regular_graph)
+from .metrics import (marginal_distribution, success_probability,
+                      total_variation_distance, tvd_fidelity)
+from .noise import (NoiseModel, apply_readout_confusion, noisy_distribution,
+                    sample_noisy_trajectory)
+from .qpe import QPETimingModel, iterative_qpe_circuit, qpe_duration_sweep
+from .statevector import (apply_operation, basis_state, probabilities, run,
+                          sample_counts, zero_state)
+
+__all__ = [
+    "Benchmark", "Circuit", "NoiseModel", "Operation", "QPETimingModel",
+    "apply_operation", "apply_readout_confusion", "basis_state",
+    "bernstein_vazirani", "gates", "ghz", "inverse_qft",
+    "iterative_qpe_circuit", "marginal_distribution", "noisy_distribution",
+    "normalized_fidelities", "paper_benchmarks", "probabilities",
+    "qaoa_benchmark", "qaoa_maxcut", "qft", "qft_roundtrip",
+    "qpe_duration_sweep", "regular_graph", "run", "sample_counts",
+    "sample_noisy_trajectory", "success_probability",
+    "total_variation_distance", "tvd_fidelity", "zero_state",
+]

@@ -1,0 +1,99 @@
+"""The Fig. 12 NISQ benchmark suite.
+
+Each benchmark pairs a circuit with a fidelity functional. GHZ and QAOA use
+``1 - TVD`` between the ideal and noisy output distributions (the paper's
+choice); QFT-roundtrip and Bernstein-Vazirani use the success probability of
+the unique correct outcome.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List
+
+import numpy as np
+
+from . import library
+from .circuit import Circuit
+from .metrics import marginal_distribution, success_probability, tvd_fidelity
+from .noise import NoiseModel, noisy_distribution
+from .statevector import probabilities, run
+
+
+@dataclass(frozen=True)
+class Benchmark:
+    """A named NISQ benchmark with its fidelity functional."""
+
+    name: str
+    circuit: Circuit
+    fidelity: Callable[[np.ndarray], float]  # noisy distribution -> fidelity
+
+    def evaluate(self, noise: NoiseModel) -> float:
+        """Fidelity of the benchmark under the given noise model."""
+        return float(self.fidelity(noisy_distribution(self.circuit, noise)))
+
+
+def _tvd_benchmark(name: str, circuit: Circuit) -> Benchmark:
+    ideal = probabilities(run(circuit))
+
+    def fidelity(noisy: np.ndarray) -> float:
+        return tvd_fidelity(ideal, noisy)
+
+    return Benchmark(name=name, circuit=circuit, fidelity=fidelity)
+
+
+def _bv_benchmark(name: str, n_bits: int) -> Benchmark:
+    secret = (1 << n_bits) - 1
+    circuit = library.bernstein_vazirani(n_bits, secret)
+
+    def fidelity(noisy: np.ndarray) -> float:
+        data = marginal_distribution(noisy, list(range(n_bits)),
+                                     circuit.n_qubits)
+        return success_probability(data, secret)
+
+    return Benchmark(name=name, circuit=circuit, fidelity=fidelity)
+
+
+def _qft_benchmark(name: str, n_qubits: int) -> Benchmark:
+    x = (2 ** n_qubits - 1) // 2
+    circuit = library.qft_roundtrip(n_qubits, x)
+
+    def fidelity(noisy: np.ndarray) -> float:
+        return success_probability(noisy, x)
+
+    return Benchmark(name=name, circuit=circuit, fidelity=fidelity)
+
+
+def paper_benchmarks() -> List[Benchmark]:
+    """The ten benchmarks of Fig. 12, in the paper's order."""
+    return [
+        _qft_benchmark("qft-4", 4),
+        _tvd_benchmark("ghz-5", library.ghz(5)),
+        _tvd_benchmark("ghz-10", library.ghz(10)),
+        _bv_benchmark("bv-5", 5),
+        _bv_benchmark("bv-10", 10),
+        _bv_benchmark("bv-15", 15),
+        _bv_benchmark("bv-20", 20),
+        _tvd_benchmark("qaoa-8a", library.qaoa_benchmark(8, seed=11)),
+        _tvd_benchmark("qaoa-8b", library.qaoa_benchmark(8, seed=23)),
+        _tvd_benchmark("qaoa-10", library.qaoa_benchmark(10, seed=7)),
+    ]
+
+
+def normalized_fidelities(baseline_readout_error: float,
+                          improved_readout_error: float,
+                          noise: NoiseModel = NoiseModel()) -> Dict[str, dict]:
+    """Fig. 12: per-benchmark fidelity ratio improved / baseline.
+
+    Returns ``{name: {"baseline": F_b, "improved": F_i, "normalized": F_i/F_b}}``.
+    """
+    results: Dict[str, dict] = {}
+    for bench in paper_benchmarks():
+        f_base = bench.evaluate(noise.with_readout_error(baseline_readout_error))
+        f_impr = bench.evaluate(noise.with_readout_error(improved_readout_error))
+        results[bench.name] = {
+            "baseline": f_base,
+            "improved": f_impr,
+            "normalized": f_impr / f_base if f_base > 0 else float("inf"),
+        }
+    return results

@@ -1,0 +1,122 @@
+"""A minimal gate-level circuit IR."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Tuple
+
+import numpy as np
+
+from . import gates
+
+
+@dataclass(frozen=True)
+class Operation:
+    """One gate application: a unitary on an ordered tuple of qubits."""
+
+    name: str
+    matrix: np.ndarray
+    qubits: Tuple[int, ...]
+
+    @property
+    def n_qubits(self) -> int:
+        return len(self.qubits)
+
+
+@dataclass
+class Circuit:
+    """An ordered list of gate operations on ``n_qubits`` qubits.
+
+    Gate helpers append in place and return ``self`` for chaining:
+    ``Circuit(2).h(0).cx(0, 1)`` builds a Bell-pair circuit.
+    """
+
+    n_qubits: int
+    operations: List[Operation] = field(default_factory=list)
+
+    def __post_init__(self):
+        if self.n_qubits < 1:
+            raise ValueError("circuit needs at least one qubit")
+
+    # ------------------------------------------------------------------
+    # Generic append
+    # ------------------------------------------------------------------
+    def append(self, name: str, matrix: np.ndarray, *qubits: int) -> "Circuit":
+        """Append an arbitrary unitary on the given qubits."""
+        matrix = np.asarray(matrix, dtype=np.complex128)
+        k = len(qubits)
+        if matrix.shape != (2 ** k, 2 ** k):
+            raise ValueError(
+                f"matrix shape {matrix.shape} does not act on {k} qubits")
+        if len(set(qubits)) != k:
+            raise ValueError(f"duplicate qubits in {qubits}")
+        for q in qubits:
+            if not 0 <= q < self.n_qubits:
+                raise ValueError(f"qubit {q} out of range (n={self.n_qubits})")
+        self.operations.append(Operation(name, matrix, tuple(qubits)))
+        return self
+
+    # ------------------------------------------------------------------
+    # Named gate helpers
+    # ------------------------------------------------------------------
+    def h(self, q: int) -> "Circuit":
+        return self.append("h", gates.H, q)
+
+    def x(self, q: int) -> "Circuit":
+        return self.append("x", gates.X, q)
+
+    def y(self, q: int) -> "Circuit":
+        return self.append("y", gates.Y, q)
+
+    def z(self, q: int) -> "Circuit":
+        return self.append("z", gates.Z, q)
+
+    def s(self, q: int) -> "Circuit":
+        return self.append("s", gates.S, q)
+
+    def t(self, q: int) -> "Circuit":
+        return self.append("t", gates.T, q)
+
+    def rx(self, theta: float, q: int) -> "Circuit":
+        return self.append("rx", gates.rx(theta), q)
+
+    def ry(self, theta: float, q: int) -> "Circuit":
+        return self.append("ry", gates.ry(theta), q)
+
+    def rz(self, theta: float, q: int) -> "Circuit":
+        return self.append("rz", gates.rz(theta), q)
+
+    def phase(self, theta: float, q: int) -> "Circuit":
+        return self.append("p", gates.phase(theta), q)
+
+    def cx(self, control: int, target: int) -> "Circuit":
+        return self.append("cx", gates.CX, control, target)
+
+    def cz(self, control: int, target: int) -> "Circuit":
+        return self.append("cz", gates.CZ, control, target)
+
+    def cphase(self, theta: float, control: int, target: int) -> "Circuit":
+        return self.append("cp", gates.cphase(theta), control, target)
+
+    def swap(self, a: int, b: int) -> "Circuit":
+        return self.append("swap", gates.SWAP, a, b)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def n_operations(self) -> int:
+        return len(self.operations)
+
+    def gate_counts(self) -> dict:
+        """Histogram of gate names."""
+        counts: dict = {}
+        for op in self.operations:
+            counts[op.name] = counts.get(op.name, 0) + 1
+        return counts
+
+    def n_two_qubit_gates(self) -> int:
+        return sum(1 for op in self.operations if op.n_qubits == 2)
+
+    def n_single_qubit_gates(self) -> int:
+        return sum(1 for op in self.operations if op.n_qubits == 1)

@@ -1,0 +1,66 @@
+"""Standard gate matrices for the statevector simulator."""
+
+from __future__ import annotations
+
+import numpy as np
+
+SQRT2_INV = 1.0 / np.sqrt(2.0)
+
+I = np.eye(2, dtype=np.complex128)
+X = np.array([[0, 1], [1, 0]], dtype=np.complex128)
+Y = np.array([[0, -1j], [1j, 0]], dtype=np.complex128)
+Z = np.array([[1, 0], [0, -1]], dtype=np.complex128)
+H = np.array([[1, 1], [1, -1]], dtype=np.complex128) * SQRT2_INV
+S = np.array([[1, 0], [0, 1j]], dtype=np.complex128)
+T = np.array([[1, 0], [0, np.exp(1j * np.pi / 4)]], dtype=np.complex128)
+
+CX = np.array([[1, 0, 0, 0],
+               [0, 1, 0, 0],
+               [0, 0, 0, 1],
+               [0, 0, 1, 0]], dtype=np.complex128)
+
+CZ = np.diag([1, 1, 1, -1]).astype(np.complex128)
+
+SWAP = np.array([[1, 0, 0, 0],
+                 [0, 0, 1, 0],
+                 [0, 1, 0, 0],
+                 [0, 0, 0, 1]], dtype=np.complex128)
+
+
+def rx(theta: float) -> np.ndarray:
+    """Rotation about X by ``theta``."""
+    c, s = np.cos(theta / 2), np.sin(theta / 2)
+    return np.array([[c, -1j * s], [-1j * s, c]], dtype=np.complex128)
+
+
+def ry(theta: float) -> np.ndarray:
+    """Rotation about Y by ``theta``."""
+    c, s = np.cos(theta / 2), np.sin(theta / 2)
+    return np.array([[c, -s], [s, c]], dtype=np.complex128)
+
+
+def rz(theta: float) -> np.ndarray:
+    """Rotation about Z by ``theta``."""
+    phase = np.exp(-1j * theta / 2)
+    return np.array([[phase, 0], [0, np.conj(phase)]], dtype=np.complex128)
+
+
+def phase(theta: float) -> np.ndarray:
+    """Phase gate diag(1, e^{i theta})."""
+    return np.array([[1, 0], [0, np.exp(1j * theta)]], dtype=np.complex128)
+
+
+def cphase(theta: float) -> np.ndarray:
+    """Controlled phase gate (used by the QFT)."""
+    return np.diag([1, 1, 1, np.exp(1j * theta)]).astype(np.complex128)
+
+
+PAULIS = {"I": I, "X": X, "Y": Y, "Z": Z}
+
+
+def is_unitary(matrix: np.ndarray, atol: float = 1e-10) -> bool:
+    """Check unitarity; used by tests and circuit validation."""
+    matrix = np.asarray(matrix)
+    n = matrix.shape[0]
+    return (matrix.shape == (n, n)
+            and np.allclose(matrix @ matrix.conj().T, np.eye(n), atol=atol))

@@ -1,0 +1,131 @@
+"""NISQ benchmark circuits used in the paper's Fig. 12.
+
+Builders for qft-n, ghz-n, bv-n (Bernstein-Vazirani), and qaoa-n (MaxCut on
+3-regular graphs), matching the benchmark families evaluated in Section 7.1.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import networkx as nx
+import numpy as np
+
+from .circuit import Circuit
+
+
+def ghz(n_qubits: int) -> Circuit:
+    """GHZ state preparation: H then a CX chain."""
+    if n_qubits < 2:
+        raise ValueError("GHZ needs at least two qubits")
+    circuit = Circuit(n_qubits)
+    circuit.h(0)
+    for q in range(n_qubits - 1):
+        circuit.cx(q, q + 1)
+    return circuit
+
+
+def qft(n_qubits: int, include_swaps: bool = True) -> Circuit:
+    """Quantum Fourier transform."""
+    if n_qubits < 1:
+        raise ValueError("QFT needs at least one qubit")
+    circuit = Circuit(n_qubits)
+    for target in range(n_qubits):
+        circuit.h(target)
+        for k, control in enumerate(range(target + 1, n_qubits), start=2):
+            circuit.cphase(2.0 * np.pi / (2 ** k), control, target)
+    if include_swaps:
+        for q in range(n_qubits // 2):
+            circuit.swap(q, n_qubits - 1 - q)
+    return circuit
+
+
+def inverse_qft(n_qubits: int, include_swaps: bool = True) -> Circuit:
+    """Inverse QFT (adjoint of :func:`qft`)."""
+    forward = qft(n_qubits, include_swaps)
+    inverse = Circuit(n_qubits)
+    for op in reversed(forward.operations):
+        inverse.append(op.name + "_dg", op.matrix.conj().T, *op.qubits)
+    return inverse
+
+
+def qft_roundtrip(n_qubits: int, input_state: Optional[int] = None) -> Circuit:
+    """Prepare |x>, apply QFT then inverse QFT; ideal output is |x>.
+
+    This is the self-verifying form used to assign a success probability to
+    the qft benchmark under noise.
+    """
+    circuit = Circuit(n_qubits)
+    x = (2 ** n_qubits - 1) // 2 if input_state is None else input_state
+    for q in range(n_qubits):
+        if (x >> (n_qubits - 1 - q)) & 1:
+            circuit.x(q)
+    for op in qft(n_qubits).operations:
+        circuit.append(op.name, op.matrix, *op.qubits)
+    for op in inverse_qft(n_qubits).operations:
+        circuit.append(op.name, op.matrix, *op.qubits)
+    return circuit
+
+
+def bernstein_vazirani(n_bits: int, secret: Optional[int] = None) -> Circuit:
+    """Bernstein-Vazirani circuit over ``n_bits`` data qubits + one ancilla.
+
+    The ideal measurement of the data qubits returns ``secret`` with
+    probability 1. Qubit ``n_bits`` is the ancilla.
+    """
+    if n_bits < 1:
+        raise ValueError("need at least one data qubit")
+    if secret is None:
+        secret = (1 << n_bits) - 1  # all-ones: worst case for CX count
+    if not 0 <= secret < 2 ** n_bits:
+        raise ValueError(f"secret {secret} out of range")
+    circuit = Circuit(n_bits + 1)
+    ancilla = n_bits
+    circuit.x(ancilla)
+    for q in range(n_bits + 1):
+        circuit.h(q)
+    for q in range(n_bits):
+        if (secret >> (n_bits - 1 - q)) & 1:
+            circuit.cx(q, ancilla)
+    for q in range(n_bits):
+        circuit.h(q)
+    return circuit
+
+
+def qaoa_maxcut(graph: nx.Graph, gammas: Sequence[float],
+                betas: Sequence[float]) -> Circuit:
+    """QAOA MaxCut circuit for an arbitrary graph.
+
+    One (gamma, beta) pair per layer: ZZ cost unitaries via CX-RZ-CX, then
+    RX mixers.
+    """
+    if len(gammas) != len(betas):
+        raise ValueError("gammas and betas must have equal length")
+    if graph.number_of_nodes() < 2:
+        raise ValueError("graph needs at least two nodes")
+    nodes = sorted(graph.nodes())
+    index = {node: i for i, node in enumerate(nodes)}
+    circuit = Circuit(len(nodes))
+    for q in range(len(nodes)):
+        circuit.h(q)
+    for gamma, beta in zip(gammas, betas):
+        for u, v in graph.edges():
+            a, b = index[u], index[v]
+            circuit.cx(a, b)
+            circuit.rz(2.0 * gamma, b)
+            circuit.cx(a, b)
+        for q in range(len(nodes)):
+            circuit.rx(2.0 * beta, q)
+    return circuit
+
+
+def regular_graph(n_nodes: int, degree: int = 3,
+                  seed: int = 0) -> nx.Graph:
+    """A random d-regular graph with a fixed seed (QAOA instances)."""
+    return nx.random_regular_graph(degree, n_nodes, seed=seed)
+
+
+def qaoa_benchmark(n_nodes: int, seed: int = 0) -> Circuit:
+    """The paper-style qaoa-n instance: depth-1 QAOA on a 3-regular graph."""
+    graph = regular_graph(n_nodes, degree=3, seed=seed)
+    return qaoa_maxcut(graph, gammas=[0.7], betas=[0.35])

@@ -1,0 +1,58 @@
+"""Distribution metrics for NISQ benchmark fidelity (Fig. 12 methodology)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def total_variation_distance(p: np.ndarray, q: np.ndarray) -> float:
+    """TVD between two distributions: ``0.5 * sum |p - q|``."""
+    p = np.asarray(p, dtype=np.float64)
+    q = np.asarray(q, dtype=np.float64)
+    if p.shape != q.shape:
+        raise ValueError(f"shape mismatch: {p.shape} vs {q.shape}")
+    for name, dist in (("p", p), ("q", q)):
+        if np.any(dist < -1e-12):
+            raise ValueError(f"{name} has negative entries")
+        if not np.isclose(dist.sum(), 1.0, atol=1e-6):
+            raise ValueError(f"{name} does not sum to 1")
+    return float(0.5 * np.abs(p - q).sum())
+
+
+def tvd_fidelity(ideal: np.ndarray, noisy: np.ndarray) -> float:
+    """``1 - TVD``: the fidelity proxy the paper uses for GHZ and QAOA."""
+    return 1.0 - total_variation_distance(ideal, noisy)
+
+
+def success_probability(noisy: np.ndarray, target_index: int) -> float:
+    """Probability mass on a single correct outcome (BV, QFT roundtrip)."""
+    noisy = np.asarray(noisy, dtype=np.float64)
+    if not 0 <= target_index < noisy.size:
+        raise ValueError("target index out of range")
+    return float(noisy[target_index])
+
+
+def marginal_distribution(probs: np.ndarray, keep_qubits: list,
+                          n_qubits: int) -> np.ndarray:
+    """Marginalize a ``2**n`` distribution onto a subset of qubits.
+
+    ``keep_qubits`` uses the qubit-0-is-MSB convention; the returned
+    distribution orders kept qubits as given.
+    """
+    probs = np.asarray(probs, dtype=np.float64)
+    if probs.size != 2 ** n_qubits:
+        raise ValueError("distribution size does not match n_qubits")
+    if len(set(keep_qubits)) != len(keep_qubits):
+        raise ValueError("duplicate qubits in keep_qubits")
+    for q in keep_qubits:
+        if not 0 <= q < n_qubits:
+            raise ValueError(f"qubit {q} out of range")
+    tensor = probs.reshape((2,) * n_qubits)
+    drop = [q for q in range(n_qubits) if q not in keep_qubits]
+    marginal = tensor.sum(axis=tuple(drop)) if drop else tensor
+    # Axes of `marginal` correspond to kept qubits in increasing index order;
+    # reorder to match the caller's requested order.
+    current = sorted(keep_qubits)
+    order = [current.index(q) for q in keep_qubits]
+    marginal = np.transpose(marginal, order)
+    return marginal.reshape(-1)

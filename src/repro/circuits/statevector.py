@@ -1,0 +1,73 @@
+"""Dense statevector simulation.
+
+Qubit 0 is the most significant bit of basis-state indices, matching the
+readout package's convention.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .circuit import Circuit, Operation
+
+
+def zero_state(n_qubits: int) -> np.ndarray:
+    """|0...0> statevector of shape ``(2**n,)``."""
+    if n_qubits < 1:
+        raise ValueError("need at least one qubit")
+    state = np.zeros(2 ** n_qubits, dtype=np.complex128)
+    state[0] = 1.0
+    return state
+
+
+def basis_state(n_qubits: int, index: int) -> np.ndarray:
+    """Computational basis state |index>."""
+    if not 0 <= index < 2 ** n_qubits:
+        raise ValueError(f"basis index {index} out of range")
+    state = np.zeros(2 ** n_qubits, dtype=np.complex128)
+    state[index] = 1.0
+    return state
+
+
+def apply_operation(state: np.ndarray, op: Operation,
+                    n_qubits: int) -> np.ndarray:
+    """Apply one gate to a statevector via tensor contraction."""
+    k = op.n_qubits
+    tensor = state.reshape((2,) * n_qubits)
+    gate = op.matrix.reshape((2,) * (2 * k))
+    # Contract the gate's input legs with the state's target axes.
+    axes = (tuple(range(k, 2 * k)), op.qubits)
+    moved = np.tensordot(gate, tensor, axes=axes)
+    # tensordot puts the gate's output legs first; restore axis order.
+    moved = np.moveaxis(moved, range(k), op.qubits)
+    return moved.reshape(-1)
+
+
+def run(circuit: Circuit, initial_state: np.ndarray | None = None) -> np.ndarray:
+    """Run a circuit and return the final statevector."""
+    state = (zero_state(circuit.n_qubits) if initial_state is None
+             else np.array(initial_state, dtype=np.complex128))
+    if state.shape != (2 ** circuit.n_qubits,):
+        raise ValueError(
+            f"initial state has shape {state.shape}, expected "
+            f"{(2 ** circuit.n_qubits,)}")
+    for op in circuit.operations:
+        state = apply_operation(state, op, circuit.n_qubits)
+    return state
+
+
+def probabilities(state: np.ndarray) -> np.ndarray:
+    """Measurement probabilities of a statevector."""
+    return np.abs(np.asarray(state)) ** 2
+
+
+def sample_counts(probs: np.ndarray, shots: int,
+                  rng: np.random.Generator) -> np.ndarray:
+    """Multinomial sampling of measurement outcomes; returns counts."""
+    probs = np.asarray(probs, dtype=np.float64)
+    if shots <= 0:
+        raise ValueError("shots must be positive")
+    total = probs.sum()
+    if not np.isclose(total, 1.0, atol=1e-6):
+        raise ValueError(f"probabilities sum to {total}, not 1")
+    return rng.multinomial(shots, probs / total)

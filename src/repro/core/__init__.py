@@ -1,0 +1,54 @@
+"""HERQULES core: matched filters, relaxation detection, and discriminators.
+
+This package implements the paper's primary contribution: the
+matched-filter + relaxation-matched-filter + small-FNN discrimination
+pipeline, together with every comparison design from Table 1 and the
+evaluation metrics used throughout the paper.
+"""
+
+from .boxcar import (BoxcarDiscriminator, BoxcarFilter, best_axis_weights,
+                     boxcar_output)
+from .centroid import CentroidDiscriminator
+from .config import FAST_CONFIG, TrainingConfig
+from .designs import DESIGN_NAMES, make_design
+from .discriminators import (Discriminator, EvaluationResult, bits_from_basis)
+from .duration import (DurationPoint, evaluate_at_duration,
+                       per_qubit_saturation_durations,
+                       recommend_ancilla_qubit, saturation_duration,
+                       sweep_durations)
+from .features import FeatureScaler, MatchedFilterBank
+from .fnn import BaselineFNNDiscriminator, HerqulesDiscriminator
+from .matched_filter import MatchedFilter, apply_envelope, train_envelope
+from .metrics import (cross_fidelity_matrix, cumulative_accuracy,
+                      mean_abs_cross_fidelity_by_distance,
+                      misclassification_counts, per_qubit_accuracy,
+                      per_state_accuracy, precision_recall,
+                      relative_improvement)
+from .mf_designs import MFSVMDiscriminator, MFThresholdDiscriminator
+from .model_io import load_herqules, save_herqules
+from .quantization import (QuantizedHerqules, accuracy_vs_word_size,
+                           quantization_error, quantize_array)
+from .relaxation import (RelaxationLabels, get_relaxation_traces,
+                         split_excited_traces)
+from .svm import LinearSVM
+from .thresholding import Threshold, fit_threshold
+
+__all__ = [
+    "BaselineFNNDiscriminator", "BoxcarDiscriminator", "BoxcarFilter",
+    "CentroidDiscriminator", "DESIGN_NAMES", "best_axis_weights",
+    "boxcar_output",
+    "Discriminator", "DurationPoint", "EvaluationResult", "FAST_CONFIG",
+    "FeatureScaler", "HerqulesDiscriminator", "LinearSVM", "MatchedFilter",
+    "MatchedFilterBank", "MFSVMDiscriminator", "MFThresholdDiscriminator",
+    "QuantizedHerqules", "RelaxationLabels", "Threshold", "TrainingConfig",
+    "accuracy_vs_word_size", "apply_envelope", "load_herqules",
+    "quantization_error", "quantize_array", "save_herqules",
+    "bits_from_basis", "cross_fidelity_matrix", "cumulative_accuracy",
+    "evaluate_at_duration", "fit_threshold", "get_relaxation_traces",
+    "make_design", "mean_abs_cross_fidelity_by_distance",
+    "misclassification_counts", "per_qubit_accuracy",
+    "per_qubit_saturation_durations", "per_state_accuracy",
+    "recommend_ancilla_qubit",
+    "precision_recall", "relative_improvement", "saturation_duration",
+    "split_excited_traces", "sweep_durations", "train_envelope",
+]

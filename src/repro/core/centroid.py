@@ -1,0 +1,64 @@
+"""Centroid discriminator — the simple hardware baseline.
+
+Cloud systems such as IBM's expose a centroid classifier in hardware
+(Section 1, [40]): each qubit's trace is reduced to its Mean Trace Value and
+assigned to the nearest of two class centroids learned during calibration.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.readout.dataset import ReadoutDataset
+
+from .discriminators import Discriminator
+
+
+class CentroidDiscriminator(Discriminator):
+    """Nearest-centroid classification on the per-qubit MTV."""
+
+    name = "centroid"
+    supports_truncation = True
+
+    def __init__(self):
+        # n_bins -> (n_qubits, 2) complex centroid pairs. The MTV of a
+        # truncated trace sits closer to the origin (ring-up), so centroids
+        # are calibrated per duration at fit time.
+        self._centroids_by_bins: dict = {}
+        self._full_bins: int = 0
+
+    def fit(self, train: ReadoutDataset,
+            val: Optional[ReadoutDataset] = None) -> "CentroidDiscriminator":
+        self._centroids_by_bins = {}
+        self._full_bins = train.n_bins
+        for n_bins in range(1, train.n_bins + 1):
+            truncated = train.truncate(n_bins * train.device.demod_bin_ns)
+            mtv = truncated.mtv()
+            centroids = np.zeros((train.n_qubits, 2), dtype=np.complex128)
+            for q in range(train.n_qubits):
+                for state in (0, 1):
+                    mask = train.labels[:, q] == state
+                    if not mask.any():
+                        raise ValueError(
+                            f"training set has no traces with qubit {q} in "
+                            f"state {state}")
+                    centroids[q, state] = mtv[mask, q].mean()
+            self._centroids_by_bins[n_bins] = centroids
+        return self
+
+    @property
+    def centroids(self) -> Optional[np.ndarray]:
+        """Centroids calibrated for the full training duration."""
+        return self._centroids_by_bins.get(self._full_bins)
+
+    def predict_bits(self, dataset: ReadoutDataset) -> np.ndarray:
+        if not self._centroids_by_bins:
+            raise RuntimeError("fit must be called before predict_bits")
+        centroids = self._centroids_by_bins.get(
+            dataset.n_bins, self._centroids_by_bins[self._full_bins])
+        mtv = dataset.mtv()  # (n, n_qubits)
+        d0 = np.abs(mtv - centroids[None, :, 0])
+        d1 = np.abs(mtv - centroids[None, :, 1])
+        return (d1 < d0).astype(np.int64)

@@ -1,0 +1,41 @@
+"""Training hyper-parameters for the neural-network discriminators."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+
+@dataclass(frozen=True)
+class TrainingConfig:
+    """Hyper-parameters shared by the FNN-based designs.
+
+    Defaults are sized for the small synthetic datasets used in the
+    experiment harness; the architecture itself follows the paper.
+    """
+
+    learning_rate: float = 1e-3
+    batch_size: int = 64
+    max_epochs: int = 80
+    patience: Optional[int] = 10
+    seed: int = 1234
+    #: Hidden-layer widths of the HERQULES FNN as multiples of the group
+    #: size N (paper Section 4.2.1: N -> 2N -> 4N -> 2N).
+    herqules_hidden_factors: Tuple[int, ...] = (2, 4, 2)
+    #: Hidden-layer widths of the baseline FNN (paper Section 3.2:
+    #: 1000-500-250-32).
+    baseline_hidden: Tuple[int, ...] = (500, 250)
+
+    def __post_init__(self):
+        if self.learning_rate <= 0:
+            raise ValueError("learning_rate must be positive")
+        if self.batch_size <= 0:
+            raise ValueError("batch_size must be positive")
+        if self.max_epochs <= 0:
+            raise ValueError("max_epochs must be positive")
+
+
+#: A light configuration for unit tests and quick examples: a higher
+#: learning rate compensates for the short epoch budget.
+FAST_CONFIG = TrainingConfig(max_epochs=40, patience=10, learning_rate=5e-3,
+                             batch_size=32)

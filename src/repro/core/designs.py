@@ -1,0 +1,48 @@
+"""Factory for every discriminator design evaluated in the paper."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+from .boxcar import BoxcarDiscriminator
+from .centroid import CentroidDiscriminator
+from .config import TrainingConfig
+from .discriminators import Discriminator
+from .fnn import BaselineFNNDiscriminator, HerqulesDiscriminator
+from .mf_designs import MFSVMDiscriminator, MFThresholdDiscriminator
+
+#: Design names, in the order they appear in Table 1 (plus ``centroid``).
+DESIGN_NAMES = (
+    "baseline",
+    "mf",
+    "mf-svm",
+    "mf-nn",
+    "mf-rmf-svm",
+    "mf-rmf-nn",
+)
+
+_FACTORIES: Dict[str, Callable[[TrainingConfig], Discriminator]] = {
+    "baseline": lambda cfg: BaselineFNNDiscriminator(config=cfg),
+    "mf": lambda cfg: MFThresholdDiscriminator(),
+    "mf-svm": lambda cfg: MFSVMDiscriminator(use_rmf=False, config=cfg),
+    "mf-nn": lambda cfg: HerqulesDiscriminator(use_rmf=False, config=cfg),
+    "mf-rmf-svm": lambda cfg: MFSVMDiscriminator(use_rmf=True, config=cfg),
+    "mf-rmf-nn": lambda cfg: HerqulesDiscriminator(use_rmf=True, config=cfg),
+    "centroid": lambda cfg: CentroidDiscriminator(),
+    "boxcar": lambda cfg: BoxcarDiscriminator(),
+}
+
+
+def make_design(name: str,
+                config: TrainingConfig = TrainingConfig()) -> Discriminator:
+    """Instantiate a discriminator design by its paper name.
+
+    Known names: ``baseline``, ``mf``, ``mf-svm``, ``mf-nn``,
+    ``mf-rmf-svm``, ``mf-rmf-nn``, ``centroid``, and ``boxcar``.
+    """
+    try:
+        factory = _FACTORIES[name]
+    except KeyError:
+        known = ", ".join(sorted(_FACTORIES))
+        raise KeyError(f"unknown design {name!r}; known: {known}") from None
+    return factory(config)

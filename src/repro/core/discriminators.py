@@ -1,0 +1,104 @@
+"""Discriminator interface and shared helpers.
+
+All qubit-state discriminators implement :class:`Discriminator`: they are
+fitted on a labeled :class:`~repro.readout.dataset.ReadoutDataset` and
+predict per-qubit bits for unseen traces. Designs built on matched filters
+additionally support inference on truncated (fast-readout) traces without
+retraining.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Optional
+
+import numpy as np
+
+from repro.readout.dataset import ReadoutDataset
+
+from . import metrics
+
+
+class Discriminator(ABC):
+    """Base class for single-shot multi-qubit state discriminators."""
+
+    #: Human-readable design name (e.g. ``"mf-rmf-nn"``).
+    name: str = "discriminator"
+
+    #: Whether inference works on traces shorter than the training duration
+    #: without retraining (Section 5.2 of the paper).
+    supports_truncation: bool = False
+
+    @abstractmethod
+    def fit(self, train: ReadoutDataset,
+            val: Optional[ReadoutDataset] = None) -> "Discriminator":
+        """Train on labeled traces; returns ``self`` for chaining."""
+
+    @abstractmethod
+    def predict_bits(self, dataset: ReadoutDataset) -> np.ndarray:
+        """Predict ``(n_traces, n_qubits)`` qubit bits."""
+
+    def predict_basis(self, dataset: ReadoutDataset) -> np.ndarray:
+        """Predict basis-state indices; derived from :meth:`predict_bits`."""
+        bits = self.predict_bits(dataset)
+        weights = 1 << np.arange(bits.shape[1])[::-1]
+        return bits @ weights
+
+    # ------------------------------------------------------------------
+    # Evaluation helpers
+    # ------------------------------------------------------------------
+    def evaluate(self, dataset: ReadoutDataset) -> "EvaluationResult":
+        """Standard evaluation bundle on a labeled dataset."""
+        pred = self.predict_bits(dataset)
+        accs = metrics.per_qubit_accuracy(pred, dataset.labels)
+        precision, recall = metrics.precision_recall(pred, dataset.labels)
+        return EvaluationResult(
+            design=self.name,
+            per_qubit=accs,
+            cumulative=metrics.cumulative_accuracy(accs),
+            precision=precision,
+            recall=recall,
+            misclassifications=metrics.misclassification_counts(
+                pred, dataset.labels),
+            cross_fidelity=metrics.cross_fidelity_matrix(pred, dataset.labels),
+        )
+
+
+class EvaluationResult:
+    """Per-design evaluation summary (accuracy, PR, crosstalk)."""
+
+    def __init__(self, design: str, per_qubit: np.ndarray, cumulative: float,
+                 precision: np.ndarray, recall: np.ndarray,
+                 misclassifications: np.ndarray, cross_fidelity: np.ndarray):
+        self.design = design
+        self.per_qubit = np.asarray(per_qubit)
+        self.cumulative = float(cumulative)
+        self.precision = np.asarray(precision)
+        self.recall = np.asarray(recall)
+        self.misclassifications = np.asarray(misclassifications)
+        self.cross_fidelity = np.asarray(cross_fidelity)
+
+    def cumulative_without(self, qubit: int) -> float:
+        """Cumulative accuracy excluding one qubit (the paper's F4Q)."""
+        keep = [i for i in range(self.per_qubit.size) if i != qubit]
+        return metrics.cumulative_accuracy(self.per_qubit[keep])
+
+    def cross_fidelity_by_distance(self):
+        """Mean |F^CF| keyed by index distance (Table 2 rows)."""
+        return metrics.mean_abs_cross_fidelity_by_distance(self.cross_fidelity)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        accs = ", ".join(f"{a:.3f}" for a in self.per_qubit)
+        return (f"EvaluationResult({self.design}: per_qubit=[{accs}], "
+                f"F={self.cumulative:.4f})")
+
+
+def bits_from_basis(basis: np.ndarray, n_qubits: int) -> np.ndarray:
+    """Expand basis-state indices ``(n,)`` to bit arrays ``(n, n_qubits)``.
+
+    Qubit 0 is the most significant bit, matching
+    :meth:`repro.readout.parameters.DeviceParams.basis_state_bits`.
+    """
+    basis = np.asarray(basis, dtype=np.int64)
+    shifts = np.arange(n_qubits)[::-1]
+    return (basis[:, None] >> shifts[None, :]) & 1

@@ -1,0 +1,147 @@
+"""Fast-readout support: evaluating discriminators on shortened traces.
+
+HERQULES trains on the full readout duration and infers on truncated traces
+(the MF envelope is simply cut short), while the baseline FNN's input layer
+is tied to the trace length and must be retrained per duration (Section 5).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence
+
+import numpy as np
+
+from repro.readout.dataset import ReadoutDataset
+
+from . import metrics
+from .discriminators import Discriminator
+
+
+@dataclass(frozen=True)
+class DurationPoint:
+    """Cumulative accuracy measured at one readout duration."""
+
+    duration_ns: float
+    cumulative_accuracy: float
+    per_qubit: np.ndarray
+    retrained: bool
+
+
+def evaluate_at_duration(discriminator: Discriminator, test: ReadoutDataset,
+                         duration_ns: float) -> DurationPoint:
+    """Evaluate a fitted, truncation-capable design at a shorter duration."""
+    if not discriminator.supports_truncation:
+        raise ValueError(
+            f"design {discriminator.name!r} cannot run on truncated traces "
+            f"without retraining; use sweep_durations(..., retrain=True)")
+    truncated = test.truncate(duration_ns)
+    pred = discriminator.predict_bits(truncated)
+    per_qubit = metrics.per_qubit_accuracy(pred, truncated.labels)
+    return DurationPoint(
+        duration_ns=truncated.duration_ns,
+        cumulative_accuracy=metrics.cumulative_accuracy(per_qubit),
+        per_qubit=per_qubit,
+        retrained=False,
+    )
+
+
+def sweep_durations(design_factory: Callable[[], Discriminator],
+                    train: ReadoutDataset, test: ReadoutDataset,
+                    durations_ns: Sequence[float],
+                    val: Optional[ReadoutDataset] = None,
+                    retrain: bool = False) -> List[DurationPoint]:
+    """Cumulative accuracy across readout durations (Fig. 11a).
+
+    Parameters
+    ----------
+    design_factory:
+        Builds a fresh discriminator instance. With ``retrain=False`` the
+        design is fitted once on the full-duration training set and then
+        evaluated on truncated test traces (the HERQULES workflow). With
+        ``retrain=True`` a new instance is trained per duration on truncated
+        training data (the only option for the baseline FNN).
+    durations_ns:
+        Durations to evaluate, each rounded down to whole demodulation bins.
+    """
+    if not durations_ns:
+        raise ValueError("need at least one duration")
+    points: List[DurationPoint] = []
+    if retrain:
+        for duration in durations_ns:
+            disc = design_factory()
+            disc.fit(train.truncate(duration),
+                     None if val is None else val.truncate(duration))
+            truncated = test.truncate(duration)
+            pred = disc.predict_bits(truncated)
+            per_qubit = metrics.per_qubit_accuracy(pred, truncated.labels)
+            points.append(DurationPoint(
+                duration_ns=truncated.duration_ns,
+                cumulative_accuracy=metrics.cumulative_accuracy(per_qubit),
+                per_qubit=per_qubit,
+                retrained=True,
+            ))
+        return points
+
+    disc = design_factory()
+    disc.fit(train, val)
+    for duration in durations_ns:
+        points.append(evaluate_at_duration(disc, test, duration))
+    return points
+
+
+def per_qubit_saturation_durations(discriminator: Discriminator,
+                                   test: ReadoutDataset,
+                                   durations_ns: Sequence[float],
+                                   tolerance: float = 0.005) -> np.ndarray:
+    """Shortest viable readout duration for each qubit individually.
+
+    For every qubit, returns the shortest duration whose accuracy is within
+    ``tolerance`` of that qubit's best accuracy across the sweep. This is
+    the information the paper proposes handing to the compiler so that
+    frequently measured ancilla roles are mapped onto fast-readout qubits
+    (Section 5.2 / Table 3).
+    """
+    if not durations_ns:
+        raise ValueError("need at least one duration")
+    points = [evaluate_at_duration(discriminator, test, d)
+              for d in durations_ns]
+    per_qubit = np.stack([p.per_qubit for p in points])   # (durations, q)
+    actual = np.array([p.duration_ns for p in points])
+    best = per_qubit.max(axis=0)
+    recommendations = np.empty(test.n_qubits)
+    for q in range(test.n_qubits):
+        eligible = actual[per_qubit[:, q] >= best[q] - tolerance]
+        recommendations[q] = eligible.min()
+    return recommendations
+
+
+def recommend_ancilla_qubit(discriminator: Discriminator,
+                            test: ReadoutDataset,
+                            durations_ns: Sequence[float],
+                            tolerance: float = 0.005) -> int:
+    """The qubit best suited to frequently measured (ancilla) roles.
+
+    Ties on the shortest viable duration are broken by full-duration
+    accuracy.
+    """
+    durations = per_qubit_saturation_durations(discriminator, test,
+                                               durations_ns, tolerance)
+    full = evaluate_at_duration(discriminator, test,
+                                max(durations_ns)).per_qubit
+    candidates = np.flatnonzero(durations == durations.min())
+    return int(candidates[np.argmax(full[candidates])])
+
+
+def saturation_duration(points: Sequence[DurationPoint],
+                        tolerance: float = 0.002) -> float:
+    """Shortest duration whose accuracy is within ``tolerance`` of the best.
+
+    Implements the paper's "iterative sweep ... to find the shortest time
+    that results in a cumulative accuracy that saturates" (Section 5.2).
+    """
+    if not points:
+        raise ValueError("need at least one duration point")
+    best = max(p.cumulative_accuracy for p in points)
+    eligible = [p for p in points if p.cumulative_accuracy >= best - tolerance]
+    return min(p.duration_ns for p in eligible)

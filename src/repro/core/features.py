@@ -1,0 +1,155 @@
+"""Feature extraction for HERQULES designs: banks of MFs and RMFs.
+
+For an N-qubit multiplexed group the bank produces N features (one MF output
+per qubit) or 2N features when relaxation matched filters are enabled
+(Section 4.3.2). Features feed either a small FNN or per-qubit SVMs.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from repro.readout.dataset import ReadoutDataset
+from repro.readout.demodulation import mean_trace_value
+
+from .matched_filter import MatchedFilter
+from .relaxation import get_relaxation_traces, split_excited_traces
+
+
+class FeatureScaler:
+    """Per-feature standardization fitted on training data."""
+
+    def __init__(self, mean: np.ndarray, std: np.ndarray):
+        self.mean = np.asarray(mean, dtype=np.float64)
+        self.std = np.asarray(std, dtype=np.float64)
+
+    @classmethod
+    def fit(cls, features: np.ndarray) -> "FeatureScaler":
+        features = np.asarray(features, dtype=np.float64)
+        std = features.std(axis=0)
+        return cls(features.mean(axis=0), np.where(std > 0, std, 1.0))
+
+    def transform(self, features: np.ndarray) -> np.ndarray:
+        return (np.asarray(features, dtype=np.float64) - self.mean) / self.std
+
+
+class MatchedFilterBank:
+    """Per-qubit MFs (and optional RMFs) for a multiplexed group.
+
+    Parameters
+    ----------
+    filters:
+        One trained :class:`MatchedFilter` per qubit.
+    relaxation_filters:
+        Optional list of per-qubit RMFs; ``None`` for the mf-only designs.
+    """
+
+    def __init__(self, filters: List[MatchedFilter],
+                 relaxation_filters: Optional[List[MatchedFilter]] = None):
+        if not filters:
+            raise ValueError("need at least one matched filter")
+        if relaxation_filters is not None and len(relaxation_filters) != len(filters):
+            raise ValueError("need one RMF per qubit when RMFs are enabled")
+        self.filters = list(filters)
+        self.relaxation_filters = (None if relaxation_filters is None
+                                   else list(relaxation_filters))
+
+    @classmethod
+    def fit(cls, train: ReadoutDataset, use_rmf: bool = False,
+            min_relaxation_traces: int = 2) -> "MatchedFilterBank":
+        """Train MFs (and optionally RMFs) from a labeled training set.
+
+        RMF training uses Algorithm 1 to extract relaxation traces. If a
+        qubit yields fewer than ``min_relaxation_traces`` (e.g. the paper's
+        qubit 2, whose states barely separate), the RMF falls back to the
+        excited-labeled traces nearest the ground centroid so that training
+        remains well-defined — mirroring the paper's observation that such a
+        qubit's RMF carries little information.
+        """
+        filters: List[MatchedFilter] = []
+        rmfs: Optional[List[MatchedFilter]] = [] if use_rmf else None
+        for q in range(train.n_qubits):
+            ground = train.qubit_traces(q, 0)
+            excited = train.qubit_traces(q, 1)
+            filters.append(MatchedFilter.fit(ground, excited))
+            if not use_rmf:
+                continue
+            labels = get_relaxation_traces(ground, excited)
+            _, relax = split_excited_traces(excited, labels)
+            if relax.shape[0] < max(2, min_relaxation_traces):
+                relax = _nearest_to_ground(excited, labels.centroid_ground,
+                                           max(2, min_relaxation_traces))
+            assert rmfs is not None
+            rmfs.append(MatchedFilter.fit_relaxation(relax, ground))
+        return cls(filters, rmfs)
+
+    @property
+    def n_qubits(self) -> int:
+        return len(self.filters)
+
+    @property
+    def uses_rmf(self) -> bool:
+        return self.relaxation_filters is not None
+
+    @property
+    def n_features(self) -> int:
+        return self.n_qubits * (2 if self.uses_rmf else 1)
+
+    def features(self, dataset: ReadoutDataset) -> np.ndarray:
+        """Filter outputs for every trace: ``(n, N)`` or ``(n, 2N)``.
+
+        Works on truncated datasets too — envelopes are cut to the trace
+        length, which is how the paper supports shorter readout durations
+        without retraining (Section 5.2).
+        """
+        if dataset.n_qubits != self.n_qubits:
+            raise ValueError(
+                f"bank was trained for {self.n_qubits} qubits, dataset has "
+                f"{dataset.n_qubits}")
+        columns = [self.filters[q].apply(dataset.demod[:, q])
+                   for q in range(self.n_qubits)]
+        if self.uses_rmf:
+            assert self.relaxation_filters is not None
+            columns.extend(self.relaxation_filters[q].apply(dataset.demod[:, q])
+                           for q in range(self.n_qubits))
+        return np.stack(columns, axis=1)
+
+    def mac_operations(self) -> int:
+        """Total hardware MAC count of one inference through the bank."""
+        total = sum(f.mac_operations() for f in self.filters)
+        if self.uses_rmf:
+            assert self.relaxation_filters is not None
+            total += sum(f.mac_operations() for f in self.relaxation_filters)
+        return total
+
+
+def fit_duration_scalers(bank: "MatchedFilterBank",
+                         train: ReadoutDataset) -> dict:
+    """Feature scalers for every possible truncated duration.
+
+    The MF output is a partial sum over time bins, so its mean and spread
+    depend on how many bins the (possibly shortened) readout integrates.
+    Standardizing truncated features with full-duration statistics would
+    feed the FNN out-of-distribution inputs; instead we precompute one
+    :class:`FeatureScaler` per whole-bin duration from the training traces.
+    This touches neither the filters nor the network — it is the
+    calibration that lets HERQULES serve shorter readouts without
+    retraining (paper Section 5.2).
+
+    Returns a dict mapping ``n_bins`` to the fitted scaler.
+    """
+    scalers = {}
+    for n_bins in range(1, train.n_bins + 1):
+        truncated = train.truncate(n_bins * train.device.demod_bin_ns)
+        scalers[n_bins] = FeatureScaler.fit(bank.features(truncated))
+    return scalers
+
+
+def _nearest_to_ground(excited_traces: np.ndarray, centroid_ground: complex,
+                       k: int) -> np.ndarray:
+    """The ``k`` excited-labeled traces with MTV nearest the ground centroid."""
+    mtv = mean_trace_value(np.asarray(excited_traces))
+    order = np.argsort(np.abs(mtv - centroid_ground))
+    return np.asarray(excited_traces)[order[:k]]

@@ -1,0 +1,151 @@
+"""FNN-based discriminators: the HERQULES designs and the baseline.
+
+``HerqulesDiscriminator`` implements the paper's mf-nn / mf-rmf-nn pipeline
+(Fig. 9): per-qubit matched filters reduce each trace to N (or 2N with RMFs)
+scalars, which a small FNN maps to a softmax over the 2^N basis states.
+
+``BaselineFNNDiscriminator`` implements the Lienhard et al. baseline
+(Fig. 5): the raw, un-demodulated ADC record (I and Q concatenated, 1000
+inputs for a 1 us trace) feeds a large 500-250 hidden FNN with 2^N outputs.
+Because its input layer is tied to the trace length, it cannot run on
+truncated traces without retraining — the flexibility HERQULES gains by
+making the FNN duration-agnostic (Section 5.2).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro import nn
+from repro.readout.dataset import ReadoutDataset
+
+from .config import TrainingConfig
+from .discriminators import Discriminator, bits_from_basis
+from .features import (FeatureScaler, MatchedFilterBank,
+                       fit_duration_scalers)
+
+
+def _train_classifier(network: nn.Sequential, x_train: np.ndarray,
+                      y_train: np.ndarray, x_val: Optional[np.ndarray],
+                      y_val: Optional[np.ndarray],
+                      config: TrainingConfig,
+                      rng: np.random.Generator) -> nn.TrainingHistory:
+    trainer = nn.Trainer(
+        network=network,
+        loss=nn.SoftmaxCrossEntropy(),
+        optimizer=nn.Adam(network.parameters(), lr=config.learning_rate),
+        batch_size=config.batch_size,
+        max_epochs=config.max_epochs,
+        patience=config.patience,
+        rng=rng,
+    )
+    return trainer.fit(x_train, y_train, x_val, y_val)
+
+
+class HerqulesDiscriminator(Discriminator):
+    """The mf-nn / mf-rmf-nn designs (Section 4).
+
+    Parameters
+    ----------
+    use_rmf:
+        Enable relaxation matched filters (the full mf-rmf-nn design).
+    config:
+        Training hyper-parameters.
+    """
+
+    supports_truncation = True
+
+    def __init__(self, use_rmf: bool = True,
+                 config: TrainingConfig = TrainingConfig()):
+        self.use_rmf = bool(use_rmf)
+        self.config = config
+        self.name = "mf-rmf-nn" if use_rmf else "mf-nn"
+        self.bank: Optional[MatchedFilterBank] = None
+        self.scaler: Optional[FeatureScaler] = None
+        self.duration_scalers: dict = {}
+        self.network: Optional[nn.Sequential] = None
+        self.history: Optional[nn.TrainingHistory] = None
+        self._n_qubits = 0
+
+    def fit(self, train: ReadoutDataset,
+            val: Optional[ReadoutDataset] = None) -> "HerqulesDiscriminator":
+        rng = np.random.default_rng(self.config.seed)
+        self._n_qubits = train.n_qubits
+        self.bank = MatchedFilterBank.fit(train, use_rmf=self.use_rmf)
+        self.duration_scalers = fit_duration_scalers(self.bank, train)
+
+        x_train = self.bank.features(train)
+        self.scaler = self.duration_scalers[train.n_bins]
+        x_train = self.scaler.transform(x_train)
+        y_train = train.basis
+
+        x_val = y_val = None
+        if val is not None:
+            x_val = self.scaler.transform(self.bank.features(val))
+            y_val = val.basis
+
+        n = self._n_qubits
+        hidden = [factor * n for factor in self.config.herqules_hidden_factors]
+        self.network = nn.build_mlp(self.bank.n_features, hidden, 2 ** n, rng)
+        self.history = _train_classifier(self.network, x_train, y_train,
+                                         x_val, y_val, self.config, rng)
+        return self
+
+    def predict_bits(self, dataset: ReadoutDataset) -> np.ndarray:
+        if self.bank is None or self.network is None or self.scaler is None:
+            raise RuntimeError("fit must be called before predict_bits")
+        scaler = self.duration_scalers.get(dataset.n_bins, self.scaler)
+        features = scaler.transform(self.bank.features(dataset))
+        basis = self.network.predict(features)
+        return bits_from_basis(basis, self._n_qubits)
+
+
+class BaselineFNNDiscriminator(Discriminator):
+    """The Lienhard et al. raw-trace FNN baseline (Section 3.2)."""
+
+    name = "baseline"
+    supports_truncation = False
+
+    def __init__(self, config: TrainingConfig = TrainingConfig()):
+        self.config = config
+        self.scaler: Optional[FeatureScaler] = None
+        self.network: Optional[nn.Sequential] = None
+        self.history: Optional[nn.TrainingHistory] = None
+        self._n_qubits = 0
+        self._n_inputs = 0
+
+    def fit(self, train: ReadoutDataset,
+            val: Optional[ReadoutDataset] = None) -> "BaselineFNNDiscriminator":
+        rng = np.random.default_rng(self.config.seed)
+        self._n_qubits = train.n_qubits
+        x_train = train.baseline_inputs()
+        self._n_inputs = x_train.shape[1]
+        self.scaler = FeatureScaler.fit(x_train)
+        x_train = self.scaler.transform(x_train)
+        y_train = train.basis
+
+        x_val = y_val = None
+        if val is not None:
+            x_val = self.scaler.transform(val.baseline_inputs())
+            y_val = val.basis
+
+        self.network = nn.build_mlp(self._n_inputs,
+                                    list(self.config.baseline_hidden),
+                                    2 ** self._n_qubits, rng)
+        self.history = _train_classifier(self.network, x_train, y_train,
+                                         x_val, y_val, self.config, rng)
+        return self
+
+    def predict_bits(self, dataset: ReadoutDataset) -> np.ndarray:
+        if self.network is None or self.scaler is None:
+            raise RuntimeError("fit must be called before predict_bits")
+        x = dataset.baseline_inputs()
+        if x.shape[1] != self._n_inputs:
+            raise ValueError(
+                f"baseline FNN was trained on {self._n_inputs}-sample traces "
+                f"but got {x.shape[1]}; the baseline architecture depends on "
+                f"the readout duration and must be retrained (Section 5.2)")
+        basis = self.network.predict(self.scaler.transform(x))
+        return bits_from_basis(basis, self._n_qubits)

@@ -1,0 +1,132 @@
+"""Readout-quality metrics used throughout the paper's evaluation.
+
+Includes per-qubit assignment accuracy, the geometric-mean cumulative
+accuracy F_NQ (Table 1), precision/recall, misclassification counts
+(Fig. 10), and readout cross-fidelity (Table 2).
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import numpy as np
+
+
+def _check_bits(pred_bits: np.ndarray, labels: np.ndarray) -> tuple:
+    pred_bits = np.asarray(pred_bits)
+    labels = np.asarray(labels)
+    if pred_bits.shape != labels.shape or pred_bits.ndim != 2:
+        raise ValueError(
+            f"pred_bits {pred_bits.shape} and labels {labels.shape} must be "
+            f"matching (n_traces, n_qubits) arrays")
+    return pred_bits, labels
+
+
+def per_qubit_accuracy(pred_bits: np.ndarray, labels: np.ndarray) -> np.ndarray:
+    """Assignment accuracy of each qubit: ``(n_qubits,)``."""
+    pred_bits, labels = _check_bits(pred_bits, labels)
+    return (pred_bits == labels).mean(axis=0)
+
+
+def cumulative_accuracy(accuracies: np.ndarray) -> float:
+    """Geometric mean of per-qubit accuracies (F_NQ in the paper)."""
+    accuracies = np.asarray(accuracies, dtype=np.float64)
+    if accuracies.size == 0:
+        raise ValueError("need at least one accuracy")
+    if np.any(accuracies < 0):
+        raise ValueError("accuracies must be non-negative")
+    return float(np.exp(np.mean(np.log(np.maximum(accuracies, 1e-300)))))
+
+
+def per_state_accuracy(pred_bits: np.ndarray, labels: np.ndarray,
+                       qubit: int, state: int) -> float:
+    """Accuracy of one qubit restricted to traces prepared in ``state``."""
+    pred_bits, labels = _check_bits(pred_bits, labels)
+    mask = labels[:, qubit] == state
+    if not mask.any():
+        raise ValueError(f"no traces with qubit {qubit} prepared in {state}")
+    return float((pred_bits[mask, qubit] == state).mean())
+
+
+def precision_recall(pred_bits: np.ndarray, labels: np.ndarray) -> tuple:
+    """Per-qubit precision and recall for the excited ('1') class.
+
+    Returns ``(precision, recall)``, each ``(n_qubits,)``. Qubits with no
+    positive predictions get precision 0.
+    """
+    pred_bits, labels = _check_bits(pred_bits, labels)
+    tp = ((pred_bits == 1) & (labels == 1)).sum(axis=0).astype(np.float64)
+    fp = ((pred_bits == 1) & (labels == 0)).sum(axis=0).astype(np.float64)
+    fn = ((pred_bits == 0) & (labels == 1)).sum(axis=0).astype(np.float64)
+    precision = np.divide(tp, tp + fp, out=np.zeros_like(tp),
+                          where=(tp + fp) > 0)
+    recall = np.divide(tp, tp + fn, out=np.zeros_like(tp),
+                       where=(tp + fn) > 0)
+    return precision, recall
+
+
+def misclassification_counts(pred_bits: np.ndarray,
+                             labels: np.ndarray) -> np.ndarray:
+    """Misclassified-trace counts per qubit and prepared state (Fig. 10).
+
+    Returns ``(n_qubits, 2)``: column 0 counts ground-state traces read as
+    excited; column 1 counts excited-state traces read as ground.
+    """
+    pred_bits, labels = _check_bits(pred_bits, labels)
+    wrong = pred_bits != labels
+    ground_errors = (wrong & (labels == 0)).sum(axis=0)
+    excited_errors = (wrong & (labels == 1)).sum(axis=0)
+    return np.stack([ground_errors, excited_errors], axis=1)
+
+
+def cross_fidelity_matrix(pred_bits: np.ndarray,
+                          labels: np.ndarray) -> np.ndarray:
+    """Cross-fidelity F^CF_ij between all qubit pairs (Section 4.3.3).
+
+        F^CF_ij = 1 - [ P(e_i | 0_j) + P(g_i | 1_j) ],  i != j
+
+    where ``P(e_i | 0_j)`` is the probability of reading qubit i as excited
+    when qubit j was prepared in the ground state. Ideal, uncorrelated
+    readout gives values near zero. The diagonal is set to NaN.
+    """
+    pred_bits, labels = _check_bits(pred_bits, labels)
+    n_q = labels.shape[1]
+    matrix = np.full((n_q, n_q), np.nan)
+    for j in range(n_q):
+        mask0 = labels[:, j] == 0
+        mask1 = labels[:, j] == 1
+        if not mask0.any() or not mask1.any():
+            continue
+        p_e_given_0 = (pred_bits[mask0] == 1).mean(axis=0)
+        p_g_given_1 = (pred_bits[mask1] == 0).mean(axis=0)
+        for i in range(n_q):
+            if i == j:
+                continue
+            matrix[i, j] = 1.0 - (p_e_given_0[i] + p_g_given_1[i])
+    return matrix
+
+
+def mean_abs_cross_fidelity_by_distance(matrix: np.ndarray) -> Dict[int, float]:
+    """Mean |F^CF| grouped by index distance |i - j| (Table 2)."""
+    matrix = np.asarray(matrix)
+    n_q = matrix.shape[0]
+    result: Dict[int, float] = {}
+    for dist in range(1, n_q):
+        values = [abs(matrix[i, j])
+                  for i in range(n_q) for j in range(n_q)
+                  if abs(i - j) == dist and np.isfinite(matrix[i, j])]
+        if values:
+            result[dist] = float(np.mean(values))
+    return result
+
+
+def relative_improvement(baseline_accuracy: float,
+                         improved_accuracy: float) -> float:
+    """Relative reduction of readout infidelity (paper Section 4.3.2).
+
+    The paper quotes 16.4% = (92.66 - 91.22) / (100 - 91.22) for the
+    five-qubit cumulative accuracy.
+    """
+    if not 0.0 <= baseline_accuracy < 1.0:
+        raise ValueError("baseline accuracy must be in [0, 1)")
+    return (improved_accuracy - baseline_accuracy) / (1.0 - baseline_accuracy)

@@ -1,0 +1,106 @@
+"""Matched-filter designs without a neural network: ``mf`` and the SVMs.
+
+``mf`` thresholds each qubit's own MF output (the classical approach).
+``mf-svm`` / ``mf-rmf-svm`` train one linear SVM per qubit on the *whole*
+group's feature vector, giving them access to crosstalk information.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from repro.readout.dataset import ReadoutDataset
+
+from .config import TrainingConfig
+from .discriminators import Discriminator
+from .features import (FeatureScaler, MatchedFilterBank,
+                       fit_duration_scalers)
+from .svm import LinearSVM
+from .thresholding import Threshold, fit_threshold
+
+
+class MFThresholdDiscriminator(Discriminator):
+    """The plain ``mf`` design: per-qubit threshold on the MF output.
+
+    Thresholds are calibrated for every whole-bin duration at fit time, so
+    inference on truncated traces uses a cut matched to the shortened MF
+    integration window (the hardware analogue: the comparator reference
+    scales with the pulse length).
+    """
+
+    name = "mf"
+    supports_truncation = True
+
+    def __init__(self):
+        self.bank: Optional[MatchedFilterBank] = None
+        self.thresholds_by_bins: dict = {}
+
+    @property
+    def thresholds(self) -> List[Threshold]:
+        """Thresholds calibrated for the full training duration."""
+        if not self.thresholds_by_bins:
+            return []
+        return self.thresholds_by_bins[max(self.thresholds_by_bins)]
+
+    def fit(self, train: ReadoutDataset,
+            val: Optional[ReadoutDataset] = None) -> "MFThresholdDiscriminator":
+        self.bank = MatchedFilterBank.fit(train, use_rmf=False)
+        self.thresholds_by_bins = {}
+        for n_bins in range(1, train.n_bins + 1):
+            truncated = train.truncate(n_bins * train.device.demod_bin_ns)
+            features = self.bank.features(truncated)
+            self.thresholds_by_bins[n_bins] = [
+                fit_threshold(features[:, q], train.labels[:, q])
+                for q in range(train.n_qubits)
+            ]
+        return self
+
+    def predict_bits(self, dataset: ReadoutDataset) -> np.ndarray:
+        if self.bank is None:
+            raise RuntimeError("fit must be called before predict_bits")
+        thresholds = self.thresholds_by_bins.get(dataset.n_bins,
+                                                 self.thresholds)
+        features = self.bank.features(dataset)
+        columns = [t.predict(features[:, q])
+                   for q, t in enumerate(thresholds)]
+        return np.stack(columns, axis=1)
+
+
+class MFSVMDiscriminator(Discriminator):
+    """The ``mf-svm`` / ``mf-rmf-svm`` designs: one linear SVM per qubit."""
+
+    supports_truncation = True
+
+    def __init__(self, use_rmf: bool = False, c: float = 1.0,
+                 config: TrainingConfig = TrainingConfig()):
+        self.use_rmf = bool(use_rmf)
+        self.c = float(c)
+        self.config = config
+        self.name = "mf-rmf-svm" if use_rmf else "mf-svm"
+        self.bank: Optional[MatchedFilterBank] = None
+        self.scaler: Optional[FeatureScaler] = None
+        self.duration_scalers: dict = {}
+        self.svms: List[LinearSVM] = []
+
+    def fit(self, train: ReadoutDataset,
+            val: Optional[ReadoutDataset] = None) -> "MFSVMDiscriminator":
+        self.bank = MatchedFilterBank.fit(train, use_rmf=self.use_rmf)
+        self.duration_scalers = fit_duration_scalers(self.bank, train)
+        self.scaler = self.duration_scalers[train.n_bins]
+        features = self.scaler.transform(self.bank.features(train))
+        self.svms = []
+        for q in range(train.n_qubits):
+            svm = LinearSVM(c=self.c)
+            svm.fit(features, train.labels[:, q])
+            self.svms.append(svm)
+        return self
+
+    def predict_bits(self, dataset: ReadoutDataset) -> np.ndarray:
+        if self.bank is None or self.scaler is None:
+            raise RuntimeError("fit must be called before predict_bits")
+        scaler = self.duration_scalers.get(dataset.n_bins, self.scaler)
+        features = scaler.transform(self.bank.features(dataset))
+        columns = [svm.predict(features) for svm in self.svms]
+        return np.stack(columns, axis=1)

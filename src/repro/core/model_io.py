@@ -1,0 +1,104 @@
+"""Persistence for trained HERQULES discriminators.
+
+Saving a fitted discriminator captures exactly what a control-hardware
+deployment needs: the MF/RMF envelopes (MAC coefficient ROMs), the
+per-duration feature scalers, and the FNN weights. Loading reconstructs a
+discriminator whose predictions are bit-identical to the original.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import numpy as np
+
+from repro import nn
+
+from .config import TrainingConfig
+from .features import FeatureScaler, MatchedFilterBank
+from .fnn import HerqulesDiscriminator
+from .matched_filter import MatchedFilter
+
+_FORMAT_VERSION = 1
+
+
+def save_herqules(design: HerqulesDiscriminator, path: str) -> None:
+    """Save a fitted :class:`HerqulesDiscriminator` to an ``.npz`` file."""
+    if design.bank is None or design.network is None or design.scaler is None:
+        raise ValueError("cannot save an unfitted discriminator")
+
+    payload: Dict[str, np.ndarray] = {
+        "format_version": np.array(_FORMAT_VERSION),
+        "use_rmf": np.array(int(design.use_rmf)),
+        "n_qubits": np.array(design._n_qubits),
+        "mf_envelopes": np.stack([f.envelope for f in design.bank.filters]),
+        "hidden_factors": np.array(design.config.herqules_hidden_factors),
+        "seed": np.array(design.config.seed),
+    }
+    if design.bank.relaxation_filters is not None:
+        payload["rmf_envelopes"] = np.stack(
+            [f.envelope for f in design.bank.relaxation_filters])
+
+    bins = sorted(design.duration_scalers)
+    payload["scaler_bins"] = np.array(bins)
+    payload["scaler_means"] = np.stack(
+        [design.duration_scalers[b].mean for b in bins])
+    payload["scaler_stds"] = np.stack(
+        [design.duration_scalers[b].std for b in bins])
+    payload["train_bins"] = np.array(
+        max(bins) if bins else design.bank.filters[0].n_bins)
+
+    for i, param in enumerate(design.network.parameters()):
+        payload[f"param_{i}"] = param.value
+    payload["n_params"] = np.array(len(design.network.parameters()))
+
+    np.savez_compressed(path, **payload)
+
+
+def load_herqules(path: str) -> HerqulesDiscriminator:
+    """Load a discriminator saved with :func:`save_herqules`."""
+    with np.load(path) as data:
+        version = int(data["format_version"])
+        if version != _FORMAT_VERSION:
+            raise ValueError(
+                f"unsupported model format version {version}; this build "
+                f"reads version {_FORMAT_VERSION}")
+
+        use_rmf = bool(int(data["use_rmf"]))
+        n_qubits = int(data["n_qubits"])
+        hidden_factors = tuple(int(f) for f in data["hidden_factors"])
+        config = TrainingConfig(herqules_hidden_factors=hidden_factors,
+                                seed=int(data["seed"]))
+        design = HerqulesDiscriminator(use_rmf=use_rmf, config=config)
+        design._n_qubits = n_qubits
+
+        filters = [MatchedFilter(env) for env in data["mf_envelopes"]]
+        rmfs = None
+        if use_rmf:
+            rmfs = [MatchedFilter(env) for env in data["rmf_envelopes"]]
+        design.bank = MatchedFilterBank(filters, rmfs)
+
+        design.duration_scalers = {}
+        for b, mean, std in zip(data["scaler_bins"], data["scaler_means"],
+                                data["scaler_stds"]):
+            design.duration_scalers[int(b)] = FeatureScaler(mean, std)
+        design.scaler = design.duration_scalers[int(data["train_bins"])]
+
+        hidden = [f * n_qubits for f in hidden_factors]
+        rng = np.random.default_rng(config.seed)
+        design.network = nn.build_mlp(design.bank.n_features, hidden,
+                                      2 ** n_qubits, rng)
+        n_params = int(data["n_params"])
+        params = design.network.parameters()
+        if n_params != len(params):
+            raise ValueError(
+                f"saved model has {n_params} parameter tensors, "
+                f"reconstructed network has {len(params)}")
+        for i, param in enumerate(params):
+            saved = data[f"param_{i}"]
+            if saved.shape != param.value.shape:
+                raise ValueError(
+                    f"parameter {i} shape mismatch: saved {saved.shape}, "
+                    f"expected {param.value.shape}")
+            param.value[...] = saved
+    return design

@@ -1,0 +1,126 @@
+"""Fixed-point quantization for hardware deployment.
+
+The FPGA implementation of HERQULES stores MF/RMF envelopes and FNN weights
+as fixed-point numbers (the cost model in :mod:`repro.fpga` assumes 16-bit
+words, as hls4ml defaults to ``ap_fixed<16,6>``). This module simulates that
+quantization so the accuracy cost of any word size can be measured in
+software before synthesis — the missing link between the paper's Table 1
+(float accuracy) and Table 4 (fixed-point hardware).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.readout.dataset import ReadoutDataset
+
+from .discriminators import Discriminator, bits_from_basis
+from .fnn import HerqulesDiscriminator
+
+
+def quantize_array(values: np.ndarray, total_bits: int,
+                   max_abs: Optional[float] = None) -> np.ndarray:
+    """Simulate symmetric fixed-point quantization of an array.
+
+    The representable range ``[-max_abs, +max_abs]`` is divided into
+    ``2**total_bits`` levels; values are rounded to the nearest level and
+    saturated at the ends — the behaviour of a signed fixed-point word whose
+    integer width covers ``max_abs``.
+
+    Parameters
+    ----------
+    values:
+        Array to quantize.
+    total_bits:
+        Word size in bits (sign included); must be at least 2.
+    max_abs:
+        Full-scale magnitude; defaults to the array's own max-abs, which is
+        how per-tensor calibration works in practice.
+    """
+    values = np.asarray(values, dtype=np.float64)
+    if total_bits < 2:
+        raise ValueError(f"need at least 2 bits, got {total_bits}")
+    if max_abs is None:
+        max_abs = float(np.max(np.abs(values))) if values.size else 1.0
+    if max_abs <= 0:
+        return np.zeros_like(values)
+    levels = 2 ** (total_bits - 1) - 1
+    step = max_abs / levels
+    quantized = np.round(values / step)
+    return np.clip(quantized, -levels - 1, levels) * step
+
+
+def quantization_error(values: np.ndarray, total_bits: int) -> float:
+    """RMS relative quantization error of an array at a word size."""
+    values = np.asarray(values, dtype=np.float64)
+    if values.size == 0:
+        return 0.0
+    quantized = quantize_array(values, total_bits)
+    scale = max(float(np.sqrt(np.mean(values ** 2))), 1e-300)
+    return float(np.sqrt(np.mean((values - quantized) ** 2)) / scale)
+
+
+class QuantizedHerqules(Discriminator):
+    """A fitted HERQULES design with all parameters fixed-point quantized.
+
+    Quantizes every MF/RMF envelope and every FNN weight/bias to
+    ``total_bits``-bit words; feature scaling runs at full precision (it is
+    absorbed into the envelope/threshold calibration on hardware).
+    """
+
+    supports_truncation = True
+
+    def __init__(self, fitted: HerqulesDiscriminator, total_bits: int = 16):
+        if fitted.bank is None or fitted.network is None:
+            raise ValueError("pass a *fitted* HerqulesDiscriminator")
+        self.total_bits = int(total_bits)
+        self.name = f"{fitted.name}-q{total_bits}"
+        self._source = fitted
+        self._n_qubits = fitted._n_qubits
+
+        import copy
+
+        self.bank = copy.deepcopy(fitted.bank)
+        for filt in self.bank.filters:
+            filt.envelope = quantize_array(filt.envelope, total_bits)
+        if self.bank.relaxation_filters is not None:
+            for filt in self.bank.relaxation_filters:
+                filt.envelope = quantize_array(filt.envelope, total_bits)
+
+        self.network = copy.deepcopy(fitted.network)
+        for param in self.network.parameters():
+            param.value[...] = quantize_array(param.value, total_bits)
+
+    def fit(self, train: ReadoutDataset,
+            val: Optional[ReadoutDataset] = None) -> "QuantizedHerqules":
+        raise NotImplementedError(
+            "QuantizedHerqules wraps an already-fitted design; fit the "
+            "float HerqulesDiscriminator and re-wrap instead")
+
+    def predict_bits(self, dataset: ReadoutDataset) -> np.ndarray:
+        scaler = self._source.duration_scalers.get(dataset.n_bins,
+                                                   self._source.scaler)
+        features = scaler.transform(self.bank.features(dataset))
+        basis = self.network.predict(features)
+        return bits_from_basis(basis, self._n_qubits)
+
+
+def accuracy_vs_word_size(fitted: HerqulesDiscriminator,
+                          test: ReadoutDataset,
+                          word_sizes=(16, 12, 10, 8, 6, 4)) -> dict:
+    """Cumulative accuracy of a fitted design across fixed-point widths.
+
+    Returns ``{bits: F_NQ}`` including ``"float"`` for the unquantized
+    reference. Used by the quantization ablation bench.
+    """
+    from .metrics import cumulative_accuracy, per_qubit_accuracy
+
+    results = {"float": cumulative_accuracy(per_qubit_accuracy(
+        fitted.predict_bits(test), test.labels))}
+    for bits in word_sizes:
+        quantized = QuantizedHerqules(fitted, bits)
+        accs = per_qubit_accuracy(quantized.predict_bits(test), test.labels)
+        results[bits] = cumulative_accuracy(accs)
+    return results

@@ -1,0 +1,107 @@
+"""Semi-supervised labeling of relaxation traces (Algorithm 1).
+
+Qubit relaxation during readout is a stochastic, uncontrolled process, so a
+supervised dataset of relaxation traces cannot be prepared directly. The
+paper's Algorithm 1 refines the existing '0'/'1' calibration labels: a trace
+labeled '1' whose Mean Trace Value (MTV) falls inside the ground-state
+centroid region (radius = half the inter-centroid distance) is re-labeled as
+a relaxation (1 -> 0) trace.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.readout.demodulation import mean_trace_value
+
+
+@dataclass(frozen=True)
+class RelaxationLabels:
+    """Output of Algorithm 1 for one qubit.
+
+    Attributes
+    ----------
+    relaxation_indices:
+        Indices into the excited-labeled trace array identifying traces that
+        are (apparently) relaxations.
+    centroid_ground, centroid_excited:
+        Complex MTV centroids of the two labeled classes.
+    radius:
+        Half the inter-centroid distance; the capture radius around the
+        ground centroid.
+    """
+
+    relaxation_indices: np.ndarray
+    centroid_ground: complex
+    centroid_excited: complex
+    radius: float
+
+    @property
+    def n_relaxations(self) -> int:
+        return int(self.relaxation_indices.size)
+
+    def relaxation_fraction(self, n_excited_traces: int) -> float:
+        """Fraction of excited-labeled traces flagged as relaxations."""
+        if n_excited_traces <= 0:
+            raise ValueError("n_excited_traces must be positive")
+        return self.n_relaxations / n_excited_traces
+
+
+def get_relaxation_traces(ground_traces: np.ndarray,
+                          excited_traces: np.ndarray) -> RelaxationLabels:
+    """Algorithm 1: identify relaxation traces in a labeled training set.
+
+    Parameters
+    ----------
+    ground_traces:
+        ``(n0, 2, n_bins)`` traces labeled '0' for this qubit.
+    excited_traces:
+        ``(n1, 2, n_bins)`` traces labeled '1' for this qubit.
+
+    Returns
+    -------
+    :class:`RelaxationLabels` with the indices of excited-labeled traces
+    whose MTV lies within ``radius`` of the ground centroid.
+
+    Notes
+    -----
+    As in the paper, traces that relaxed *before* readout and initialization
+    errors are indistinguishable from mid-readout relaxations here and are
+    kept; this slightly biases the RMF training set but keeps labeling simple
+    (Section 4.3.1).
+    """
+    for name, arr in (("ground_traces", ground_traces),
+                      ("excited_traces", excited_traces)):
+        arr = np.asarray(arr)
+        if arr.ndim != 3 or arr.shape[1] != 2:
+            raise ValueError(f"{name} must be (n, 2, n_bins), got {arr.shape}")
+        if arr.shape[0] == 0:
+            raise ValueError(f"{name} must be non-empty")
+
+    mtv_ground = mean_trace_value(np.asarray(ground_traces))
+    mtv_excited = mean_trace_value(np.asarray(excited_traces))
+
+    centroid_ground = complex(mtv_ground.mean())
+    centroid_excited = complex(mtv_excited.mean())
+    radius = abs(centroid_ground - centroid_excited) / 2.0
+
+    distances = np.abs(mtv_excited - centroid_ground)
+    indices = np.flatnonzero(distances <= radius)
+
+    return RelaxationLabels(
+        relaxation_indices=indices,
+        centroid_ground=centroid_ground,
+        centroid_excited=centroid_excited,
+        radius=radius,
+    )
+
+
+def split_excited_traces(excited_traces: np.ndarray,
+                         labels: RelaxationLabels) -> tuple:
+    """Split excited-labeled traces into (trusted excited, relaxation) sets."""
+    excited_traces = np.asarray(excited_traces)
+    mask = np.zeros(excited_traces.shape[0], dtype=bool)
+    mask[labels.relaxation_indices] = True
+    return excited_traces[~mask], excited_traces[mask]

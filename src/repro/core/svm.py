@@ -1,0 +1,74 @@
+"""Linear support vector machines trained on matched-filter features.
+
+The paper's ``mf-svm`` and ``mf-rmf-svm`` designs replace the small FNN with
+one linear SVM per qubit, each consuming the full feature vector of the
+multiplexed group so that crosstalk information is available. We train an
+L2-regularized squared-hinge objective with L-BFGS (scipy), which is smooth,
+deterministic, and dependency-free.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+from scipy import optimize
+
+
+class LinearSVM:
+    """Binary linear SVM with squared-hinge loss.
+
+    Minimizes ``0.5 * ||w||^2 + C * sum_i max(0, 1 - y_i (w.x_i + b))^2``
+    with labels ``y in {-1, +1}``.
+    """
+
+    def __init__(self, c: float = 1.0, max_iter: int = 500):
+        if c <= 0:
+            raise ValueError(f"C must be positive, got {c}")
+        self.c = float(c)
+        self.max_iter = int(max_iter)
+        self.weights: Optional[np.ndarray] = None
+        self.bias: float = 0.0
+
+    def fit(self, features: np.ndarray, labels01: np.ndarray) -> "LinearSVM":
+        """Fit on ``(n, d)`` features with 0/1 labels."""
+        features = np.asarray(features, dtype=np.float64)
+        labels01 = np.asarray(labels01)
+        if features.ndim != 2:
+            raise ValueError(f"features must be 2-D, got {features.shape}")
+        if labels01.shape != (features.shape[0],):
+            raise ValueError("labels must be (n,) matching features")
+        if not np.isin(labels01, (0, 1)).all():
+            raise ValueError("labels must be 0/1")
+        if len(np.unique(labels01)) < 2:
+            raise ValueError("need both classes present to fit an SVM")
+
+        y = np.where(labels01 == 1, 1.0, -1.0)
+        n, d = features.shape
+
+        def objective(wb: np.ndarray):
+            w, b = wb[:d], wb[d]
+            margins = y * (features @ w + b)
+            slack = np.maximum(0.0, 1.0 - margins)
+            loss = 0.5 * w @ w + self.c * np.sum(slack ** 2)
+            coeff = -2.0 * self.c * slack * y
+            grad_w = w + features.T @ coeff
+            grad_b = float(np.sum(coeff))
+            return loss, np.concatenate([grad_w, [grad_b]])
+
+        x0 = np.zeros(d + 1)
+        result = optimize.minimize(objective, x0, jac=True, method="L-BFGS-B",
+                                   options={"maxiter": self.max_iter})
+        self.weights = result.x[:d]
+        self.bias = float(result.x[d])
+        return self
+
+    def decision_function(self, features: np.ndarray) -> np.ndarray:
+        """Signed distance-like scores; positive means class 1."""
+        if self.weights is None:
+            raise RuntimeError("fit must be called before decision_function")
+        return np.asarray(features, dtype=np.float64) @ self.weights + self.bias
+
+    def predict(self, features: np.ndarray) -> np.ndarray:
+        """0/1 predictions."""
+        return (self.decision_function(features) > 0).astype(np.int64)

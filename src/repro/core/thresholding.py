@@ -1,0 +1,87 @@
+"""One-dimensional threshold classification utilities.
+
+The plain ``mf`` design discriminates each qubit by thresholding its matched
+filter output (Section 4.2: "Typically, this value is utilized to
+discriminate between two states through thresholding").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class Threshold:
+    """A fitted 1-D decision rule: ``predict 1 iff polarity * x > cut``."""
+
+    cut: float
+    polarity: int  # +1 or -1
+
+    def predict(self, values: np.ndarray) -> np.ndarray:
+        """0/1 predictions for a vector of scalar features."""
+        values = np.asarray(values)
+        if self.polarity == 1:
+            return (values > self.cut).astype(np.int64)
+        return (values < self.cut).astype(np.int64)
+
+
+def fit_threshold(values: np.ndarray, labels: np.ndarray) -> Threshold:
+    """Find the training-error-minimizing threshold for binary labels.
+
+    Scans midpoints between consecutive sorted values; ties are broken toward
+    the smallest cut for determinism. Runs in ``O(n log n)``.
+    """
+    values = np.asarray(values, dtype=np.float64)
+    labels = np.asarray(labels)
+    if values.shape != labels.shape or values.ndim != 1:
+        raise ValueError("values and labels must be matching 1-D arrays")
+    if not np.isin(labels, (0, 1)).all():
+        raise ValueError("labels must be 0/1")
+    n = values.size
+    if n == 0:
+        raise ValueError("cannot fit a threshold on empty data")
+
+    # Degenerate single-class data: predict the majority class everywhere.
+    total_ones = int(labels.sum())
+    if total_ones == 0:
+        return Threshold(cut=np.inf, polarity=1)
+    if total_ones == n:
+        return Threshold(cut=-np.inf, polarity=1)
+
+    order = np.argsort(values, kind="stable")
+    sorted_labels = labels[order]
+    sorted_values = values[order]
+
+    # ones_left[k] = number of 1-labels among the k smallest values.
+    ones_left = np.concatenate([[0], np.cumsum(sorted_labels)])
+    zeros_left = np.arange(n + 1) - ones_left
+
+    # Rule "predict 1 when value > cut" with cut after position k:
+    # errors = ones among the left k + zeros among the right (n - k).
+    errors_gt = (ones_left + ((n - total_ones) - zeros_left)).astype(float)
+    # Rule "predict 1 when value < cut": complement.
+    errors_lt = n - errors_gt
+
+    # Cut positions inside a run of tied values are unrealizable: the
+    # midpoint would equal the tied value and misassign the duplicates.
+    # Mask them out (positions 0 and n are always realizable).
+    tie = np.zeros(n + 1, dtype=bool)
+    tie[1:n] = sorted_values[1:] == sorted_values[:-1]
+    errors_gt[tie] = np.inf
+    errors_lt[tie] = np.inf
+
+    k_gt = int(np.argmin(errors_gt))
+    k_lt = int(np.argmin(errors_lt))
+
+    def cut_at(k: int) -> float:
+        if k == 0:
+            return float(sorted_values[0] - 1.0)
+        if k == n:
+            return float(sorted_values[-1] + 1.0)
+        return float((sorted_values[k - 1] + sorted_values[k]) / 2.0)
+
+    if errors_gt[k_gt] <= errors_lt[k_lt]:
+        return Threshold(cut=cut_at(k_gt), polarity=1)
+    return Threshold(cut=cut_at(k_lt), polarity=-1)

@@ -1,0 +1,36 @@
+"""Experiment harness: one runner per table/figure of the paper.
+
+Each runner returns an :class:`ExperimentResult` whose rows mirror the
+paper's table/series structure; ``result.to_text()`` renders it for the
+console, and ``result.data`` carries raw arrays for programmatic use.
+"""
+
+from .config import DEFAULT_CONFIG, QUICK_CONFIG, ExperimentConfig
+from .datasets import clear_cache as clear_dataset_cache
+from .datasets import prepare_splits
+from .fig11 import run_fig11a, run_fig11b
+from .fig12 import (PAPER_BASELINE_F5Q, PAPER_FIG12, PAPER_HERQULES_F5Q,
+                    run_fig12)
+from .fig13 import run_fig13, run_fig14b
+from .fig15 import run_fig15
+from .figures_traces import run_fig3, run_fig4ab, run_fig8, run_fig10
+from .harness import clear_cache as clear_design_cache
+from .harness import fit_design
+from .registry import EXPERIMENTS, experiment_names, run_experiment
+from .results import ExperimentResult
+from .table1 import PAPER_TABLE1, run_table1
+from .table2 import PAPER_TABLE2, run_table2
+from .table3 import PAPER_TABLE3, run_table3
+from .table4 import run_fig4c, run_fig7d, run_fig14a, run_table4
+from .table5 import run_table5
+
+__all__ = [
+    "DEFAULT_CONFIG", "EXPERIMENTS", "ExperimentConfig", "ExperimentResult",
+    "PAPER_BASELINE_F5Q", "PAPER_FIG12", "PAPER_HERQULES_F5Q", "PAPER_TABLE1",
+    "PAPER_TABLE2", "PAPER_TABLE3", "QUICK_CONFIG", "clear_dataset_cache",
+    "clear_design_cache", "experiment_names", "fit_design", "prepare_splits",
+    "run_experiment", "run_fig3", "run_fig4ab", "run_fig4c", "run_fig7d",
+    "run_fig8", "run_fig10", "run_fig11a", "run_fig11b", "run_fig12",
+    "run_fig13", "run_fig14a", "run_fig14b", "run_fig15", "run_table1",
+    "run_table2", "run_table3", "run_table4", "run_table5",
+]

@@ -1,0 +1,68 @@
+"""Command-line entry point for the experiment harness.
+
+Usage::
+
+    python -m repro.experiments list
+    python -m repro.experiments run table1 [--quick] [--out results/]
+    python -m repro.experiments run all --quick
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import sys
+
+from .config import DEFAULT_CONFIG, QUICK_CONFIG
+from .registry import EXPERIMENTS, experiment_names, run_experiment
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Regenerate the paper's tables and figures.")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list available experiment ids")
+
+    run = sub.add_parser("run", help="run one experiment (or 'all')")
+    run.add_argument("experiment",
+                     help="experiment id (see 'list') or 'all'")
+    run.add_argument("--quick", action="store_true",
+                     help="use the small smoke-test configuration")
+    run.add_argument("--out", type=pathlib.Path, default=None,
+                     help="directory to write rendered tables into")
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+
+    if args.command == "list":
+        for name in experiment_names():
+            print(name)
+        return 0
+
+    config = QUICK_CONFIG if args.quick else DEFAULT_CONFIG
+    names = experiment_names() if args.experiment == "all" \
+        else [args.experiment]
+    unknown = [n for n in names if n not in EXPERIMENTS]
+    if unknown:
+        print(f"unknown experiment(s): {', '.join(unknown)}; "
+              f"run 'list' to see the options", file=sys.stderr)
+        return 2
+
+    if args.out is not None:
+        args.out.mkdir(parents=True, exist_ok=True)
+
+    for name in names:
+        result = run_experiment(name, config)
+        print(result.to_text())
+        print()
+        if args.out is not None:
+            (args.out / f"{name}.txt").write_text(result.to_text() + "\n")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,60 @@
+"""Shared configuration for the experiment harness.
+
+Two profiles are provided: ``default`` sizes every experiment so the whole
+harness runs on one CPU in minutes while preserving the paper's qualitative
+results; ``quick`` is for smoke tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.config import TrainingConfig
+
+
+@dataclass(frozen=True)
+class ExperimentConfig:
+    """Knobs shared by the readout-accuracy experiments.
+
+    Parameters
+    ----------
+    shots_per_state:
+        Simulated traces per basis state (paper: 50,000).
+    train_fraction, val_fraction:
+        Dataset split; the remainder is the test set.
+    seed:
+        Master seed; every stochastic stage derives its own generator.
+    nn / baseline_nn:
+        Training hyper-parameters for the small HERQULES FNNs and for the
+        raw-trace baseline FNN respectively.
+    """
+
+    shots_per_state: int = 400
+    train_fraction: float = 0.5
+    val_fraction: float = 0.1
+    seed: int = 2023
+    nn: TrainingConfig = field(default_factory=lambda: TrainingConfig(
+        max_epochs=300, patience=30, learning_rate=2e-3, batch_size=128))
+    baseline_nn: TrainingConfig = field(default_factory=lambda: TrainingConfig(
+        max_epochs=60, patience=12, learning_rate=1e-3, batch_size=256))
+
+    def __post_init__(self):
+        if self.shots_per_state < 4:
+            raise ValueError("shots_per_state must be at least 4")
+        if not 0 < self.train_fraction < 1:
+            raise ValueError("train_fraction must be in (0, 1)")
+        if not 0 < self.val_fraction < 1:
+            raise ValueError("val_fraction must be in (0, 1)")
+        if self.train_fraction + self.val_fraction >= 1:
+            raise ValueError("train + val must leave room for a test set")
+
+
+DEFAULT_CONFIG = ExperimentConfig()
+
+QUICK_CONFIG = ExperimentConfig(
+    shots_per_state=40,
+    nn=TrainingConfig(max_epochs=20, patience=5, learning_rate=3e-3,
+                      batch_size=64),
+    baseline_nn=TrainingConfig(max_epochs=5, patience=2, learning_rate=1e-3,
+                               batch_size=128),
+)

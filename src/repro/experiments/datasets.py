@@ -1,0 +1,47 @@
+"""Dataset preparation shared by the readout experiments.
+
+Generating traces (especially with the raw ADC record for the baseline FNN)
+is the most expensive step of the harness, so datasets are cached per
+(config, include_raw) within a process.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+import numpy as np
+
+from repro.readout import (ReadoutDataset, five_qubit_paper_device,
+                           generate_dataset)
+
+from .config import ExperimentConfig
+
+_CACHE: Dict[Tuple, Tuple[ReadoutDataset, ReadoutDataset, ReadoutDataset]] = {}
+
+
+def prepare_splits(config: ExperimentConfig, include_raw: bool = False,
+                   ) -> Tuple[ReadoutDataset, ReadoutDataset, ReadoutDataset]:
+    """Generate (or fetch cached) train/val/test splits of the 5-qubit device."""
+    key = (config.shots_per_state, config.train_fraction, config.val_fraction,
+           config.seed, include_raw)
+    # A raw-inclusive dataset also serves demod-only requests.
+    raw_key = key[:-1] + (True,)
+    if key in _CACHE:
+        return _CACHE[key]
+    if raw_key in _CACHE:
+        return _CACHE[raw_key]
+
+    device = five_qubit_paper_device()
+    gen_rng = np.random.default_rng(config.seed)
+    dataset = generate_dataset(device, config.shots_per_state, gen_rng,
+                               include_raw=include_raw)
+    split_rng = np.random.default_rng(config.seed + 1)
+    splits = dataset.split(split_rng, config.train_fraction,
+                           config.val_fraction)
+    _CACHE[key] = splits
+    return splits
+
+
+def clear_cache() -> None:
+    """Drop cached datasets (used by tests)."""
+    _CACHE.clear()

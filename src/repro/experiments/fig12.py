@@ -1,0 +1,50 @@
+"""Fig 12: normalized NISQ benchmark fidelity, HERQULES vs baseline."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.circuits import NoiseModel, normalized_fidelities
+
+from .config import DEFAULT_CONFIG, ExperimentConfig
+from .results import ExperimentResult
+
+#: Geometric-mean readout accuracies from the paper's Table 1.
+PAPER_BASELINE_F5Q = 0.9122
+PAPER_HERQULES_F5Q = 0.9266
+
+PAPER_FIG12 = {
+    "qft-4": 1.065, "ghz-5": 1.032, "ghz-10": 1.048, "bv-5": 1.102,
+    "bv-10": 1.166, "bv-15": 1.302, "bv-20": 1.322, "qaoa-8a": 1.056,
+    "qaoa-8b": 1.034, "qaoa-10": 1.056,
+}
+
+
+def run_fig12(config: ExperimentConfig = DEFAULT_CONFIG,
+              baseline_accuracy: Optional[float] = None,
+              herqules_accuracy: Optional[float] = None) -> ExperimentResult:
+    """Evaluate the benchmark suite at two readout accuracies.
+
+    Defaults to the paper's Table 1 cumulative accuracies so that this
+    experiment is independent of the (stochastic) discriminator training;
+    pass accuracies from :func:`run_table1` to chain the full pipeline.
+    """
+    f_base = PAPER_BASELINE_F5Q if baseline_accuracy is None else baseline_accuracy
+    f_herq = PAPER_HERQULES_F5Q if herqules_accuracy is None else herqules_accuracy
+    results = normalized_fidelities(1.0 - f_base, 1.0 - f_herq, NoiseModel())
+    rows = [[name, r["baseline"], r["improved"], r["normalized"]]
+            for name, r in results.items()]
+    mean_norm = float(np.mean([r["normalized"] for r in results.values()]))
+    return ExperimentResult(
+        experiment="fig12",
+        title="Normalized NISQ benchmark fidelity (herqules / baseline)",
+        headers=["benchmark", "fidelity_baseline", "fidelity_herqules",
+                 "normalized"],
+        rows=rows,
+        paper_reference=("normalized fidelities 1.03-1.32, mean 1.118; "
+                         "bv-20 improves most"),
+        notes=f"mean normalized fidelity: {mean_norm:.3f}",
+        data={"results": results, "mean_normalized": mean_norm},
+    )

@@ -1,0 +1,55 @@
+"""Fig 15: sensitivity of HERQULES training to the training-set size."""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.core import (HerqulesDiscriminator, cumulative_accuracy,
+                        per_qubit_accuracy)
+
+from .config import DEFAULT_CONFIG, ExperimentConfig
+from .datasets import prepare_splits
+from .results import ExperimentResult
+from .table1 import WEAK_QUBIT
+
+
+def run_fig15(config: ExperimentConfig = DEFAULT_CONFIG,
+              sizes: Optional[Sequence[int]] = None) -> ExperimentResult:
+    """Test accuracy of mf-rmf-nn vs number of training traces.
+
+    For each size a shuffled subset of the training split is used, as in the
+    paper; MFs, RMFs, and the FNN are all refitted from scratch.
+    """
+    train, val, test = prepare_splits(config)
+    if sizes is None:
+        n = train.n_traces
+        sizes = sorted({max(64, int(n * f))
+                        for f in (0.1, 0.2, 0.4, 0.7, 1.0)})
+    rng = np.random.default_rng(config.seed + 15)
+
+    rows: List[list] = []
+    for size in sizes:
+        if size > train.n_traces:
+            raise ValueError(
+                f"requested {size} training traces but only "
+                f"{train.n_traces} available")
+        subset = train.subset(rng.permutation(train.n_traces)[:size])
+        design = HerqulesDiscriminator(use_rmf=True, config=config.nn)
+        design.fit(subset, val)
+        pred = design.predict_bits(test)
+        accs = per_qubit_accuracy(pred, test.labels)
+        keep = [q for q in range(test.n_qubits) if q != WEAK_QUBIT]
+        rows.append([size, *[float(a) for a in accs],
+                     cumulative_accuracy(accs),
+                     cumulative_accuracy(accs[keep])])
+    return ExperimentResult(
+        experiment="fig15",
+        title="mf-rmf-nn accuracy vs training-set size",
+        headers=["n_train", "qubit1", "qubit2", "qubit3", "qubit4", "qubit5",
+                 "F5Q", "F4Q_without_q2"],
+        rows=rows,
+        paper_reference=("accuracy rises with training size and saturates; "
+                         "+0.77% from ~1.5k to 9.75k traces (all qubits)"),
+    )

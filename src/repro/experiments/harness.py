@@ -1,0 +1,37 @@
+"""Design fitting shared across experiments, with per-process caching."""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from repro.core import Discriminator, make_design
+
+from .config import ExperimentConfig
+from .datasets import prepare_splits
+
+_FITTED: Dict[Tuple, Discriminator] = {}
+
+
+def _config_key(config: ExperimentConfig) -> Tuple:
+    return (config.shots_per_state, config.train_fraction,
+            config.val_fraction, config.seed,
+            config.nn, config.baseline_nn)
+
+
+def fit_design(name: str, config: ExperimentConfig) -> Discriminator:
+    """Fit (or fetch a cached) discriminator design on the shared dataset."""
+    key = (name,) + _config_key(config)
+    if key in _FITTED:
+        return _FITTED[key]
+    needs_raw = name == "baseline"
+    train, val, _ = prepare_splits(config, include_raw=needs_raw)
+    training_cfg = config.baseline_nn if needs_raw else config.nn
+    design = make_design(name, training_cfg)
+    design.fit(train, val)
+    _FITTED[key] = design
+    return design
+
+
+def clear_cache() -> None:
+    """Drop fitted designs (used by tests)."""
+    _FITTED.clear()

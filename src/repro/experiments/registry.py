@@ -1,0 +1,57 @@
+"""Registry mapping experiment ids to runner callables."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from .config import DEFAULT_CONFIG, ExperimentConfig
+from .fig11 import run_fig11a, run_fig11b
+from .fig12 import run_fig12
+from .fig13 import run_fig13, run_fig14b
+from .fig15 import run_fig15
+from .figures_traces import run_fig3, run_fig4ab, run_fig8, run_fig10
+from .results import ExperimentResult
+from .table1 import run_table1
+from .table2 import run_table2
+from .table3 import run_table3
+from .table4 import run_fig4c, run_fig7d, run_fig14a, run_table4
+from .table5 import run_table5
+
+Runner = Callable[[ExperimentConfig], ExperimentResult]
+
+EXPERIMENTS: Dict[str, Runner] = {
+    "table1": run_table1,
+    "table2": run_table2,
+    "table3": run_table3,
+    "table4": run_table4,
+    "table5": run_table5,
+    "fig3": run_fig3,
+    "fig4ab": run_fig4ab,
+    "fig4c": run_fig4c,
+    "fig7d": run_fig7d,
+    "fig8": run_fig8,
+    "fig10": run_fig10,
+    "fig11a": run_fig11a,
+    "fig11b": run_fig11b,
+    "fig12": run_fig12,
+    "fig13": run_fig13,
+    "fig14a": run_fig14a,
+    "fig14b": run_fig14b,
+    "fig15": run_fig15,
+}
+
+
+def run_experiment(name: str,
+                   config: ExperimentConfig = DEFAULT_CONFIG) -> ExperimentResult:
+    """Run one experiment by id (e.g. ``"table1"``, ``"fig13"``)."""
+    try:
+        runner = EXPERIMENTS[name]
+    except KeyError:
+        known = ", ".join(sorted(EXPERIMENTS))
+        raise KeyError(f"unknown experiment {name!r}; known: {known}") from None
+    return runner(config)
+
+
+def experiment_names() -> List[str]:
+    """All registered experiment ids."""
+    return sorted(EXPERIMENTS)

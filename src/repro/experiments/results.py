@@ -1,0 +1,78 @@
+"""Uniform result container and text rendering for experiments."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence
+
+
+@dataclass
+class ExperimentResult:
+    """Tabular outcome of one paper artifact (table or figure).
+
+    Attributes
+    ----------
+    experiment:
+        Identifier such as ``"table1"`` or ``"fig11a"``.
+    title:
+        Human-readable description.
+    headers:
+        Column names.
+    rows:
+        Table rows; cells may be strings or numbers.
+    paper_reference:
+        What the paper reported, for side-by-side comparison in
+        EXPERIMENTS.md.
+    notes:
+        Free-form remarks (calibration caveats, seeds, scale).
+    data:
+        Raw arrays/objects for programmatic consumers.
+    """
+
+    experiment: str
+    title: str
+    headers: Sequence[str]
+    rows: List[Sequence[Any]]
+    paper_reference: Optional[str] = None
+    notes: Optional[str] = None
+    data: Dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self):
+        for row in self.rows:
+            if len(row) != len(self.headers):
+                raise ValueError(
+                    f"row {row!r} does not match headers {self.headers!r}")
+
+    def to_text(self) -> str:
+        """Render as an aligned plain-text table."""
+        def fmt(cell: Any) -> str:
+            if isinstance(cell, float):
+                return f"{cell:.4f}"
+            return str(cell)
+
+        table = [list(map(fmt, self.headers))]
+        table.extend([list(map(fmt, row)) for row in self.rows])
+        widths = [max(len(row[i]) for row in table)
+                  for i in range(len(self.headers))]
+        lines = [f"== {self.experiment}: {self.title} =="]
+        for r, row in enumerate(table):
+            line = "  ".join(cell.ljust(width)
+                             for cell, width in zip(row, widths))
+            lines.append(line.rstrip())
+            if r == 0:
+                lines.append("-" * len(lines[-1]))
+        if self.paper_reference:
+            lines.append(f"paper: {self.paper_reference}")
+        if self.notes:
+            lines.append(f"notes: {self.notes}")
+        return "\n".join(lines)
+
+    def column(self, header: str) -> List[Any]:
+        """Extract one column by header name."""
+        try:
+            index = list(self.headers).index(header)
+        except ValueError:
+            raise KeyError(
+                f"no column {header!r}; available: {list(self.headers)}"
+            ) from None
+        return [row[index] for row in self.rows]

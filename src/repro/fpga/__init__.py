@@ -1,0 +1,24 @@
+"""FPGA cost model: calibrated hls4ml-style resource/latency estimation.
+
+Replaces the paper's Vivado HLS + hls4ml synthesis flow with an analytic
+model fitted to the paper's reported numbers (Table 4, Figs 4c / 7d / 14a).
+"""
+
+from .designs import (baseline_cost, fig4c_fnn_cost, herqules_cost,
+                      max_qubits_per_fpga)
+from .devices import (DEVICE_CATALOG, FPGADevice, VU13P, XCZU7EV, ZU28DR,
+                      get_device)
+from .hls_model import (ResourceEstimate, dense_layer_sizes,
+                        estimate_infrastructure, estimate_matched_filter_bank,
+                        estimate_mlp)
+from .scaling import (ScalingPoint, independent_fnns, scaling_sweep,
+                      shared_fnn, shared_fnn_feature_layers_only)
+
+__all__ = [
+    "DEVICE_CATALOG", "FPGADevice", "ResourceEstimate", "ScalingPoint",
+    "VU13P", "XCZU7EV", "ZU28DR", "baseline_cost", "dense_layer_sizes",
+    "estimate_infrastructure", "estimate_matched_filter_bank", "estimate_mlp",
+    "fig4c_fnn_cost", "get_device", "herqules_cost", "independent_fnns",
+    "max_qubits_per_fpga", "scaling_sweep", "shared_fnn",
+    "shared_fnn_feature_layers_only",
+]

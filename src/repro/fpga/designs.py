@@ -1,0 +1,74 @@
+"""Resource estimates for the concrete designs evaluated in the paper."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from .devices import FPGADevice, XCZU7EV
+from .hls_model import (ResourceEstimate, dense_layer_sizes, estimate_mlp,
+                        estimate_infrastructure, estimate_matched_filter_bank)
+
+
+def herqules_cost(reuse_factor: int, n_qubits: int = 5, n_bins: int = 20,
+                  use_rmf: bool = True,
+                  hidden_factors: Sequence[int] = (2, 4, 2),
+                  device: FPGADevice = XCZU7EV) -> ResourceEstimate:
+    """Full HERQULES readout pipeline for one multiplexed group.
+
+    Includes the fixed infrastructure (buffers + demodulation), the MF/RMF
+    bank, and the small FNN (input N or 2N, hidden [2N, 4N, 2N], output 2^N).
+    """
+    n_features = n_qubits * (2 if use_rmf else 1)
+    hidden = [f * n_qubits for f in hidden_factors]
+    layers = dense_layer_sizes(n_features, hidden, 2 ** n_qubits)
+    fnn = estimate_mlp(layers, reuse_factor, device)
+    bank = estimate_matched_filter_bank(n_qubits, n_bins, use_rmf)
+    infra = estimate_infrastructure(n_qubits)
+    return fnn + bank + infra
+
+
+def baseline_cost(reuse_factor: int, trace_samples: int = 500,
+                  hidden: Sequence[int] = (500, 250), n_qubits: int = 5,
+                  device: FPGADevice = XCZU7EV) -> ResourceEstimate:
+    """The baseline raw-trace FNN (1000-500-250-32 for a 1 us trace).
+
+    The input layer has ``2 * trace_samples`` neurons (I and Q channels).
+    Infrastructure (buffers) is included; no MFs are used.
+    """
+    layers = dense_layer_sizes(2 * trace_samples, hidden, 2 ** n_qubits)
+    fnn = estimate_mlp(layers, reuse_factor, device)
+    infra = estimate_infrastructure(n_qubits)
+    return fnn + infra
+
+
+def fig4c_fnn_cost(reuse_factor: int = 25,
+                   device: FPGADevice = XCZU7EV) -> ResourceEstimate:
+    """The 40%-scale baseline FNN of Fig. 4(c): 400-200-100-32 at RF 25.
+
+    The paper reports this network alone needs about 4x the LUTs available
+    on the xczu7ev.
+    """
+    layers = dense_layer_sizes(400, [200, 100], 32)
+    return estimate_mlp(layers, reuse_factor, device)
+
+
+def max_qubits_per_fpga(reuse_factor: int = 4, n_qubits_per_group: int = 5,
+                        budget_fraction: float = 0.8,
+                        device: FPGADevice = XCZU7EV) -> int:
+    """How many qubits one FPGA can read out with HERQULES (Section 7.3).
+
+    Replicates HERQULES groups until ``budget_fraction`` of any resource is
+    exhausted; the paper estimates >50 qubits per RFSoC at 80% budget.
+    """
+    groups = 0
+    total = ResourceEstimate(0, 0, 0, 0, 0)
+    while True:
+        candidate = total + herqules_cost(reuse_factor,
+                                          n_qubits=n_qubits_per_group,
+                                          device=device)
+        if not candidate.fits(device, budget_fraction):
+            return groups * n_qubits_per_group
+        total = candidate
+        groups += 1
+        if groups > 1000:  # safety: device budget should bind long before
+            return groups * n_qubits_per_group

@@ -1,0 +1,50 @@
+"""FPGA device catalog.
+
+Resource counts for the parts discussed in the paper: the Xilinx Zynq
+UltraScale+ MPSoC xczu7ev used as the synthesis target (Section 6), and the
+RFSoC used by QICK-class quantum controllers (Section 7.3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class FPGADevice:
+    """Programmable-logic resources of an FPGA part."""
+
+    name: str
+    luts: int
+    flip_flops: int
+    dsps: int
+    brams: int
+
+    def __post_init__(self):
+        for field in ("luts", "flip_flops", "dsps", "brams"):
+            if getattr(self, field) <= 0:
+                raise ValueError(f"{field} must be positive")
+
+
+#: Paper synthesis target (Zynq UltraScale+ MPSoC ZU7EV).
+XCZU7EV = FPGADevice(name="xczu7ev-ffvc1156-2-i", luts=230_400,
+                     flip_flops=460_800, dsps=1_728, brams=312)
+
+#: RFSoC gen-1 part used by QICK (ZU28DR).
+ZU28DR = FPGADevice(name="xczu28dr (QICK RFSoC)", luts=425_280,
+                    flip_flops=850_560, dsps=4_272, brams=1_080)
+
+#: A large Virtex UltraScale+ part, mentioned as a costly alternative.
+VU13P = FPGADevice(name="xcvu13p", luts=1_728_000,
+                   flip_flops=3_456_000, dsps=12_288, brams=2_688)
+
+DEVICE_CATALOG = {d.name: d for d in (XCZU7EV, ZU28DR, VU13P)}
+
+
+def get_device(name: str) -> FPGADevice:
+    """Look up a device by name with a helpful error."""
+    try:
+        return DEVICE_CATALOG[name]
+    except KeyError:
+        known = ", ".join(sorted(DEVICE_CATALOG))
+        raise KeyError(f"unknown device {name!r}; known: {known}") from None

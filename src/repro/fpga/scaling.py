@@ -1,0 +1,126 @@
+"""Scaling analyses from the paper's Discussion (Section 8).
+
+Two ways to scale the HERQULES FNN to many multiplexed groups:
+
+1. **Independent FNNs** — one small FNN per group; resources scale linearly
+   and the softmax stays 2^N wide.
+2. **Shared FNN** — one FNN over all m*N qubits; potentially better
+   accuracy, but the softmax output layer grows as ``2^(m*N)``, which the
+   paper notes becomes "prohibitively large". A hardware/software split can
+   keep the feature layers on the FPGA and evaluate the giant output layer
+   on the RFSoC's CPU.
+
+This module quantifies that trade-off with the calibrated cost model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from .devices import FPGADevice, XCZU7EV
+from .hls_model import ResourceEstimate, dense_layer_sizes, estimate_mlp
+from .designs import herqules_cost
+
+
+@dataclass(frozen=True)
+class ScalingPoint:
+    """Resource outcome for one group count under one scaling strategy."""
+
+    n_groups: int
+    n_qubits: int
+    strategy: str
+    cost: ResourceEstimate
+    fits: bool
+    output_layer_width: int
+
+
+def independent_fnns(n_groups: int, group_size: int = 5,
+                     reuse_factor: int = 4,
+                     device: FPGADevice = XCZU7EV) -> ScalingPoint:
+    """Strategy 1: replicate the full HERQULES pipeline per group."""
+    if n_groups < 1:
+        raise ValueError("n_groups must be positive")
+    single = herqules_cost(reuse_factor, n_qubits=group_size, device=device)
+    total = single
+    for _ in range(n_groups - 1):
+        total = total + single
+    return ScalingPoint(
+        n_groups=n_groups,
+        n_qubits=n_groups * group_size,
+        strategy="independent",
+        cost=total,
+        fits=total.fits(device, budget_fraction=0.8),
+        output_layer_width=2 ** group_size,
+    )
+
+
+def shared_fnn(n_groups: int, group_size: int = 5, reuse_factor: int = 4,
+               device: FPGADevice = XCZU7EV,
+               hidden_factors=(2, 4, 2)) -> ScalingPoint:
+    """Strategy 2: one FNN over every qubit, softmax over 2^(m*N) states.
+
+    The exponential output layer is the bottleneck the paper calls out; this
+    function exposes exactly when it stops fitting.
+    """
+    if n_groups < 1:
+        raise ValueError("n_groups must be positive")
+    n_qubits = n_groups * group_size
+    if n_qubits > 40:
+        raise ValueError(
+            f"2^{n_qubits} output neurons overflow any realistic estimate; "
+            f"refusing to model more than 40 shared qubits")
+    n_features = 2 * n_qubits  # MF + RMF per qubit
+    hidden = [f * n_qubits for f in hidden_factors]
+    layers = dense_layer_sizes(n_features, hidden, 2 ** n_qubits)
+    fnn = estimate_mlp(layers, reuse_factor, device)
+    return ScalingPoint(
+        n_groups=n_groups,
+        n_qubits=n_qubits,
+        strategy="shared",
+        cost=fnn,
+        fits=fnn.fits(device, budget_fraction=0.8),
+        output_layer_width=2 ** n_qubits,
+    )
+
+
+def shared_fnn_feature_layers_only(n_groups: int, group_size: int = 5,
+                                   reuse_factor: int = 4,
+                                   device: FPGADevice = XCZU7EV,
+                                   hidden_factors=(2, 4, 2)) -> ScalingPoint:
+    """Strategy 2b: hardware/software partition (paper Section 8).
+
+    Hidden layers run on the FPGA; the exponential softmax output layer is
+    delegated to the on-chip CPU, so only the feature layers are costed.
+    """
+    n_qubits = n_groups * group_size
+    n_features = 2 * n_qubits
+    hidden = [f * n_qubits for f in hidden_factors]
+    layers = dense_layer_sizes(n_features, hidden[:-1], hidden[-1])
+    fnn = estimate_mlp(layers, reuse_factor, device)
+    return ScalingPoint(
+        n_groups=n_groups,
+        n_qubits=n_qubits,
+        strategy="shared-partitioned",
+        cost=fnn,
+        fits=fnn.fits(device, budget_fraction=0.8),
+        output_layer_width=2 ** n_qubits,
+    )
+
+
+def scaling_sweep(max_groups: int, group_size: int = 5,
+                  reuse_factor: int = 4,
+                  device: FPGADevice = XCZU7EV) -> List[ScalingPoint]:
+    """Compare the strategies for 1..max_groups multiplexed groups.
+
+    Shared-FNN points stop being generated once the output layer exceeds
+    the 40-qubit modeling cap; by then they have long stopped fitting.
+    """
+    points: List[ScalingPoint] = []
+    for m in range(1, max_groups + 1):
+        points.append(independent_fnns(m, group_size, reuse_factor, device))
+        if m * group_size <= 40:
+            points.append(shared_fnn(m, group_size, reuse_factor, device))
+        points.append(shared_fnn_feature_layers_only(
+            m, group_size, reuse_factor, device))
+    return points

@@ -1,0 +1,26 @@
+"""A small, deterministic numpy neural-network framework.
+
+This substrate replaces PyTorch (used by the paper) for training both the
+baseline raw-trace FNN and the small HERQULES FNNs. It provides dense layers,
+standard activations, softmax cross-entropy, SGD/Adam, and a minibatch
+trainer with early stopping.
+"""
+
+from .data import iterate_minibatches, one_hot, train_val_split
+from .initializers import get_initializer, glorot_uniform, he_normal
+from .layers import Dense, Dropout, Layer, ReLU, Sigmoid, Tanh, make_activation
+from .losses import (BinaryCrossEntropy, Loss, MeanSquaredError,
+                     SoftmaxCrossEntropy, log_softmax, softmax)
+from .network import Sequential, build_mlp
+from .optimizers import SGD, Adam, Optimizer
+from .parameters import Parameter
+from .trainer import Trainer, TrainingHistory, evaluate_accuracy
+
+__all__ = [
+    "Adam", "BinaryCrossEntropy", "Dense", "Dropout", "Layer", "Loss",
+    "MeanSquaredError", "Optimizer", "Parameter", "ReLU", "SGD", "Sequential",
+    "Sigmoid", "SoftmaxCrossEntropy", "Tanh", "Trainer", "TrainingHistory",
+    "build_mlp", "evaluate_accuracy", "get_initializer", "glorot_uniform",
+    "he_normal", "iterate_minibatches", "log_softmax", "make_activation",
+    "one_hot", "softmax", "train_val_split",
+]

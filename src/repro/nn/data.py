@@ -1,0 +1,59 @@
+"""Batching and label utilities for training."""
+
+from __future__ import annotations
+
+from typing import Iterator, Tuple
+
+import numpy as np
+
+
+def one_hot(labels: np.ndarray, n_classes: int) -> np.ndarray:
+    """Convert integer labels of shape ``(n,)`` to one-hot ``(n, n_classes)``."""
+    labels = np.asarray(labels)
+    if labels.ndim != 1:
+        raise ValueError(f"labels must be 1-D, got shape {labels.shape}")
+    if labels.min() < 0 or labels.max() >= n_classes:
+        raise ValueError("label out of range for requested number of classes")
+    out = np.zeros((labels.shape[0], n_classes), dtype=np.float64)
+    out[np.arange(labels.shape[0]), labels] = 1.0
+    return out
+
+
+def iterate_minibatches(x: np.ndarray, y: np.ndarray, batch_size: int,
+                        rng: np.random.Generator | None = None,
+                        shuffle: bool = True) -> Iterator[Tuple[np.ndarray, np.ndarray]]:
+    """Yield ``(x_batch, y_batch)`` minibatches.
+
+    The final batch may be smaller than ``batch_size``. When ``shuffle`` is
+    requested, a generator must be supplied so the order is reproducible.
+    """
+    x = np.asarray(x)
+    y = np.asarray(y)
+    if x.shape[0] != y.shape[0]:
+        raise ValueError(f"x and y disagree on batch size: {x.shape[0]} vs {y.shape[0]}")
+    if batch_size <= 0:
+        raise ValueError(f"batch_size must be positive, got {batch_size}")
+    n = x.shape[0]
+    indices = np.arange(n)
+    if shuffle:
+        if rng is None:
+            raise ValueError("shuffle=True requires an rng")
+        rng.shuffle(indices)
+    for start in range(0, n, batch_size):
+        batch = indices[start:start + batch_size]
+        yield x[batch], y[batch]
+
+
+def train_val_split(x: np.ndarray, y: np.ndarray, val_fraction: float,
+                    rng: np.random.Generator) -> Tuple[np.ndarray, np.ndarray,
+                                                       np.ndarray, np.ndarray]:
+    """Shuffle and split ``(x, y)`` into train and validation portions."""
+    if not 0.0 < val_fraction < 1.0:
+        raise ValueError(f"val_fraction must be in (0, 1), got {val_fraction}")
+    x = np.asarray(x)
+    y = np.asarray(y)
+    n = x.shape[0]
+    indices = rng.permutation(n)
+    n_val = max(1, int(round(n * val_fraction)))
+    val_idx, train_idx = indices[:n_val], indices[n_val:]
+    return x[train_idx], y[train_idx], x[val_idx], y[val_idx]

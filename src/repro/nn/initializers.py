@@ -1,0 +1,55 @@
+"""Weight initialization schemes.
+
+All initializers take an explicit :class:`numpy.random.Generator` so that
+network construction is fully reproducible.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def glorot_uniform(n_in: int, n_out: int, rng: np.random.Generator) -> np.ndarray:
+    """Glorot (Xavier) uniform initialization for a dense weight matrix.
+
+    Draws from ``U(-limit, limit)`` with ``limit = sqrt(6 / (n_in + n_out))``,
+    which keeps activation variance roughly constant across layers for
+    tanh-like units.
+    """
+    if n_in <= 0 or n_out <= 0:
+        raise ValueError(f"layer dimensions must be positive, got {n_in}x{n_out}")
+    limit = np.sqrt(6.0 / (n_in + n_out))
+    return rng.uniform(-limit, limit, size=(n_in, n_out))
+
+
+def he_normal(n_in: int, n_out: int, rng: np.random.Generator) -> np.ndarray:
+    """He normal initialization, appropriate for ReLU activations.
+
+    Draws from ``N(0, sqrt(2 / n_in))``.
+    """
+    if n_in <= 0 or n_out <= 0:
+        raise ValueError(f"layer dimensions must be positive, got {n_in}x{n_out}")
+    return rng.normal(0.0, np.sqrt(2.0 / n_in), size=(n_in, n_out))
+
+
+def zeros(shape) -> np.ndarray:
+    """All-zero initialization, used for biases."""
+    return np.zeros(shape, dtype=np.float64)
+
+
+_INITIALIZERS = {
+    "glorot_uniform": glorot_uniform,
+    "he_normal": he_normal,
+}
+
+
+def get_initializer(name: str):
+    """Look up an initializer function by name.
+
+    Raises ``KeyError`` with the list of known names if ``name`` is unknown.
+    """
+    try:
+        return _INITIALIZERS[name]
+    except KeyError:
+        known = ", ".join(sorted(_INITIALIZERS))
+        raise KeyError(f"unknown initializer {name!r}; known: {known}") from None

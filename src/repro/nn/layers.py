@@ -1,0 +1,182 @@
+"""Layers for the numpy neural-network framework.
+
+Every layer implements ``forward`` / ``backward`` with explicit caching of
+whatever the backward pass needs. Shapes follow the ``(batch, features)``
+convention throughout.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from .initializers import get_initializer, zeros
+from .parameters import Parameter
+
+
+class Layer:
+    """Base class for all layers."""
+
+    def parameters(self) -> List[Parameter]:
+        """Trainable parameters owned by this layer (may be empty)."""
+        return []
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        """Compute the layer output for a batch ``x``."""
+        raise NotImplementedError
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        """Back-propagate ``grad_output`` and accumulate parameter grads."""
+        raise NotImplementedError
+
+    def __call__(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        return self.forward(x, training=training)
+
+
+class Dense(Layer):
+    """Fully connected layer: ``y = x @ W + b``.
+
+    Parameters
+    ----------
+    n_in, n_out:
+        Input and output feature dimensions.
+    rng:
+        Random generator used for weight initialization.
+    init:
+        Name of the weight initializer (see :mod:`repro.nn.initializers`).
+    """
+
+    def __init__(self, n_in: int, n_out: int, rng: np.random.Generator,
+                 init: str = "he_normal"):
+        initializer = get_initializer(init)
+        self.n_in = int(n_in)
+        self.n_out = int(n_out)
+        self.weight = Parameter(initializer(self.n_in, self.n_out, rng),
+                                name=f"dense_{n_in}x{n_out}.weight")
+        self.bias = Parameter(zeros(self.n_out), name=f"dense_{n_in}x{n_out}.bias")
+        self._input: np.ndarray | None = None
+
+    def parameters(self) -> List[Parameter]:
+        return [self.weight, self.bias]
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        x = np.asarray(x, dtype=np.float64)
+        if x.ndim != 2:
+            raise ValueError(f"Dense expects (batch, features), got shape {x.shape}")
+        if x.shape[1] != self.n_in:
+            raise ValueError(
+                f"Dense expected {self.n_in} input features, got {x.shape[1]}")
+        if training:
+            self._input = x
+        return x @ self.weight.value + self.bias.value
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._input is None:
+            raise RuntimeError("backward called before forward(training=True)")
+        x = self._input
+        self.weight.grad += x.T @ grad_output
+        self.bias.grad += grad_output.sum(axis=0)
+        return grad_output @ self.weight.value.T
+
+
+class ReLU(Layer):
+    """Rectified linear unit."""
+
+    def __init__(self):
+        self._mask: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        out = np.maximum(x, 0.0)
+        if training:
+            self._mask = x > 0.0
+        return out
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._mask is None:
+            raise RuntimeError("backward called before forward(training=True)")
+        return grad_output * self._mask
+
+
+class Tanh(Layer):
+    """Hyperbolic tangent activation."""
+
+    def __init__(self):
+        self._output: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        out = np.tanh(x)
+        if training:
+            self._output = out
+        return out
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._output is None:
+            raise RuntimeError("backward called before forward(training=True)")
+        return grad_output * (1.0 - self._output ** 2)
+
+
+class Sigmoid(Layer):
+    """Logistic sigmoid activation."""
+
+    def __init__(self):
+        self._output: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        out = 1.0 / (1.0 + np.exp(-np.clip(x, -60.0, 60.0)))
+        if training:
+            self._output = out
+        return out
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._output is None:
+            raise RuntimeError("backward called before forward(training=True)")
+        return grad_output * self._output * (1.0 - self._output)
+
+
+class Dropout(Layer):
+    """Inverted dropout; active only when ``training=True``.
+
+    Parameters
+    ----------
+    rate:
+        Probability of zeroing each activation, in ``[0, 1)``.
+    rng:
+        Generator used to draw dropout masks.
+    """
+
+    def __init__(self, rate: float, rng: np.random.Generator):
+        if not 0.0 <= rate < 1.0:
+            raise ValueError(f"dropout rate must be in [0, 1), got {rate}")
+        self.rate = float(rate)
+        self._rng = rng
+        self._mask: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        if not training or self.rate == 0.0:
+            self._mask = None
+            return x
+        keep = 1.0 - self.rate
+        self._mask = (self._rng.random(x.shape) < keep) / keep
+        return x * self._mask
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._mask is None:
+            return grad_output
+        return grad_output * self._mask
+
+
+_ACTIVATIONS = {
+    "relu": ReLU,
+    "tanh": Tanh,
+    "sigmoid": Sigmoid,
+}
+
+
+def make_activation(name: str) -> Layer:
+    """Instantiate an activation layer by name."""
+    try:
+        return _ACTIVATIONS[name]()
+    except KeyError:
+        known = ", ".join(sorted(_ACTIVATIONS))
+        raise KeyError(f"unknown activation {name!r}; known: {known}") from None

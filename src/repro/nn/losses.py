@@ -1,0 +1,120 @@
+"""Loss functions.
+
+Each loss exposes ``forward(predictions, targets) -> float`` and
+``backward() -> gradient w.r.t. predictions``. Gradients are averaged over
+the batch so learning rates are batch-size independent.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def log_softmax(logits: np.ndarray) -> np.ndarray:
+    """Numerically stable log-softmax along the last axis."""
+    shifted = logits - logits.max(axis=-1, keepdims=True)
+    return shifted - np.log(np.exp(shifted).sum(axis=-1, keepdims=True))
+
+
+def softmax(logits: np.ndarray) -> np.ndarray:
+    """Numerically stable softmax along the last axis."""
+    return np.exp(log_softmax(logits))
+
+
+class Loss:
+    """Base class for losses."""
+
+    def forward(self, predictions: np.ndarray, targets: np.ndarray) -> float:
+        raise NotImplementedError
+
+    def backward(self) -> np.ndarray:
+        raise NotImplementedError
+
+
+class SoftmaxCrossEntropy(Loss):
+    """Softmax + cross-entropy over integer class labels.
+
+    ``targets`` are integer class indices of shape ``(batch,)``. The combined
+    backward pass is the classic ``softmax - onehot`` expression, which avoids
+    materializing the softmax Jacobian.
+    """
+
+    def __init__(self):
+        self._probs: np.ndarray | None = None
+        self._targets: np.ndarray | None = None
+
+    def forward(self, predictions: np.ndarray, targets: np.ndarray) -> float:
+        targets = np.asarray(targets)
+        if predictions.ndim != 2:
+            raise ValueError(f"expected (batch, classes) logits, got {predictions.shape}")
+        if targets.ndim != 1 or targets.shape[0] != predictions.shape[0]:
+            raise ValueError(
+                f"targets shape {targets.shape} incompatible with logits "
+                f"{predictions.shape}")
+        if targets.min() < 0 or targets.max() >= predictions.shape[1]:
+            raise ValueError("target class index out of range")
+        logp = log_softmax(predictions)
+        self._probs = np.exp(logp)
+        self._targets = targets
+        batch = predictions.shape[0]
+        return float(-logp[np.arange(batch), targets].mean())
+
+    def backward(self) -> np.ndarray:
+        if self._probs is None or self._targets is None:
+            raise RuntimeError("backward called before forward")
+        grad = self._probs.copy()
+        batch = grad.shape[0]
+        grad[np.arange(batch), self._targets] -= 1.0
+        return grad / batch
+
+
+class MeanSquaredError(Loss):
+    """Mean squared error over arbitrary-shaped predictions."""
+
+    def __init__(self):
+        self._diff: np.ndarray | None = None
+
+    def forward(self, predictions: np.ndarray, targets: np.ndarray) -> float:
+        targets = np.asarray(targets, dtype=np.float64)
+        if predictions.shape != targets.shape:
+            raise ValueError(
+                f"shape mismatch: predictions {predictions.shape}, "
+                f"targets {targets.shape}")
+        self._diff = predictions - targets
+        return float(np.mean(self._diff ** 2))
+
+    def backward(self) -> np.ndarray:
+        if self._diff is None:
+            raise RuntimeError("backward called before forward")
+        return 2.0 * self._diff / self._diff.size
+
+
+class BinaryCrossEntropy(Loss):
+    """Binary cross-entropy on probabilities in ``(0, 1)``.
+
+    ``targets`` are 0/1 floats of the same shape as ``predictions``.
+    """
+
+    _EPS = 1e-12
+
+    def __init__(self):
+        self._probs: np.ndarray | None = None
+        self._targets: np.ndarray | None = None
+
+    def forward(self, predictions: np.ndarray, targets: np.ndarray) -> float:
+        targets = np.asarray(targets, dtype=np.float64)
+        if predictions.shape != targets.shape:
+            raise ValueError(
+                f"shape mismatch: predictions {predictions.shape}, "
+                f"targets {targets.shape}")
+        probs = np.clip(predictions, self._EPS, 1.0 - self._EPS)
+        self._probs = probs
+        self._targets = targets
+        return float(-np.mean(targets * np.log(probs)
+                              + (1.0 - targets) * np.log(1.0 - probs)))
+
+    def backward(self) -> np.ndarray:
+        if self._probs is None or self._targets is None:
+            raise RuntimeError("backward called before forward")
+        p, t = self._probs, self._targets
+        return (p - t) / (p * (1.0 - p)) / p.size

@@ -1,0 +1,86 @@
+"""Network containers and the MLP convenience builder."""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+import numpy as np
+
+from .layers import Dense, Layer, make_activation
+from .losses import softmax
+from .parameters import Parameter
+
+
+class Sequential(Layer):
+    """A linear stack of layers applied in order."""
+
+    def __init__(self, layers: Iterable[Layer]):
+        self.layers: List[Layer] = list(layers)
+        if not self.layers:
+            raise ValueError("Sequential needs at least one layer")
+
+    def parameters(self) -> List[Parameter]:
+        params: List[Parameter] = []
+        for layer in self.layers:
+            params.extend(layer.parameters())
+        return params
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        out = x
+        for layer in self.layers:
+            out = layer.forward(out, training=training)
+        return out
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        grad = grad_output
+        for layer in reversed(self.layers):
+            grad = layer.backward(grad)
+        return grad
+
+    def num_parameters(self) -> int:
+        """Total number of trainable scalars in the network."""
+        return sum(p.size for p in self.parameters())
+
+    def predict_proba(self, x: np.ndarray) -> np.ndarray:
+        """Softmax class probabilities for a batch of inputs."""
+        return softmax(self.forward(np.asarray(x, dtype=np.float64)))
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        """Most likely class index for each input row."""
+        return np.argmax(self.forward(np.asarray(x, dtype=np.float64)), axis=1)
+
+    def layer_sizes(self) -> List[tuple]:
+        """``(n_in, n_out)`` pairs for every Dense layer, in order."""
+        return [(layer.n_in, layer.n_out)
+                for layer in self.layers if isinstance(layer, Dense)]
+
+
+def build_mlp(n_in: int, hidden: Sequence[int], n_out: int,
+              rng: np.random.Generator, activation: str = "relu") -> Sequential:
+    """Build a classifier MLP with the given hidden sizes.
+
+    The output layer produces raw logits; pair it with
+    :class:`repro.nn.losses.SoftmaxCrossEntropy` for training.
+
+    Parameters
+    ----------
+    n_in:
+        Input feature dimension.
+    hidden:
+        Sizes of the hidden layers, e.g. ``[500, 250]`` for the paper's
+        baseline FNN or ``[2N, 4N, 2N]`` for HERQULES.
+    n_out:
+        Number of output classes (``2**n_qubits`` basis states).
+    rng:
+        Random generator used for weight initialization.
+    activation:
+        Name of the hidden activation ("relu", "tanh", or "sigmoid").
+    """
+    layers: List[Layer] = []
+    prev = int(n_in)
+    for width in hidden:
+        layers.append(Dense(prev, int(width), rng))
+        layers.append(make_activation(activation))
+        prev = int(width)
+    layers.append(Dense(prev, int(n_out), rng))
+    return Sequential(layers)

@@ -1,0 +1,92 @@
+"""Gradient-based optimizers."""
+
+from __future__ import annotations
+
+from typing import Iterable, List
+
+import numpy as np
+
+from .parameters import Parameter
+
+
+class Optimizer:
+    """Base class: holds a parameter list and applies updates to it."""
+
+    def __init__(self, parameters: Iterable[Parameter]):
+        self.parameters: List[Parameter] = list(parameters)
+        if not self.parameters:
+            raise ValueError("optimizer needs at least one parameter")
+
+    def zero_grad(self) -> None:
+        """Clear accumulated gradients on every managed parameter."""
+        for p in self.parameters:
+            p.zero_grad()
+
+    def step(self) -> None:
+        """Apply one update using the currently accumulated gradients."""
+        raise NotImplementedError
+
+
+class SGD(Optimizer):
+    """Stochastic gradient descent with optional momentum and weight decay."""
+
+    def __init__(self, parameters: Iterable[Parameter], lr: float = 0.01,
+                 momentum: float = 0.0, weight_decay: float = 0.0):
+        super().__init__(parameters)
+        if lr <= 0:
+            raise ValueError(f"learning rate must be positive, got {lr}")
+        if not 0.0 <= momentum < 1.0:
+            raise ValueError(f"momentum must be in [0, 1), got {momentum}")
+        self.lr = float(lr)
+        self.momentum = float(momentum)
+        self.weight_decay = float(weight_decay)
+        self._velocity = [np.zeros_like(p.value) for p in self.parameters]
+
+    def step(self) -> None:
+        for p, v in zip(self.parameters, self._velocity):
+            grad = p.grad
+            if self.weight_decay:
+                grad = grad + self.weight_decay * p.value
+            if self.momentum:
+                v *= self.momentum
+                v -= self.lr * grad
+                p.value += v
+            else:
+                p.value -= self.lr * grad
+
+
+class Adam(Optimizer):
+    """Adam optimizer (Kingma & Ba, 2015) with bias correction."""
+
+    def __init__(self, parameters: Iterable[Parameter], lr: float = 1e-3,
+                 beta1: float = 0.9, beta2: float = 0.999, eps: float = 1e-8,
+                 weight_decay: float = 0.0):
+        super().__init__(parameters)
+        if lr <= 0:
+            raise ValueError(f"learning rate must be positive, got {lr}")
+        if not 0.0 <= beta1 < 1.0 or not 0.0 <= beta2 < 1.0:
+            raise ValueError("betas must be in [0, 1)")
+        self.lr = float(lr)
+        self.beta1 = float(beta1)
+        self.beta2 = float(beta2)
+        self.eps = float(eps)
+        self.weight_decay = float(weight_decay)
+        self._m = [np.zeros_like(p.value) for p in self.parameters]
+        self._v = [np.zeros_like(p.value) for p in self.parameters]
+        self._t = 0
+
+    def step(self) -> None:
+        self._t += 1
+        bias1 = 1.0 - self.beta1 ** self._t
+        bias2 = 1.0 - self.beta2 ** self._t
+        for p, m, v in zip(self.parameters, self._m, self._v):
+            grad = p.grad
+            if self.weight_decay:
+                grad = grad + self.weight_decay * p.value
+            m *= self.beta1
+            m += (1.0 - self.beta1) * grad
+            v *= self.beta2
+            v += (1.0 - self.beta2) * grad ** 2
+            m_hat = m / bias1
+            v_hat = v / bias2
+            p.value -= self.lr * m_hat / (np.sqrt(v_hat) + self.eps)

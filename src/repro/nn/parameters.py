@@ -1,0 +1,45 @@
+"""Trainable parameter container for the numpy neural-network framework.
+
+The framework stores every trainable array in a :class:`Parameter` so that
+optimizers can iterate over ``(value, grad)`` pairs without knowing anything
+about the layers that own them.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class Parameter:
+    """A trainable array together with its accumulated gradient.
+
+    Parameters
+    ----------
+    value:
+        Initial value of the parameter. It is stored as ``float64`` so that
+        training is deterministic across platforms.
+    name:
+        Optional human-readable name used in ``repr`` and error messages.
+    """
+
+    def __init__(self, value: np.ndarray, name: str = "param"):
+        self.value = np.asarray(value, dtype=np.float64)
+        self.grad = np.zeros_like(self.value)
+        self.name = name
+
+    @property
+    def shape(self) -> tuple:
+        """Shape of the underlying array."""
+        return self.value.shape
+
+    @property
+    def size(self) -> int:
+        """Number of scalar elements in the parameter."""
+        return int(self.value.size)
+
+    def zero_grad(self) -> None:
+        """Reset the accumulated gradient to zero in place."""
+        self.grad[...] = 0.0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Parameter(name={self.name!r}, shape={self.value.shape})"

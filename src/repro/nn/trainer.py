@@ -1,0 +1,122 @@
+"""Mini-batch trainer with validation tracking and early stopping."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+
+from .data import iterate_minibatches
+from .losses import Loss
+from .network import Sequential
+from .optimizers import Optimizer
+
+
+@dataclass
+class TrainingHistory:
+    """Per-epoch record of a training run."""
+
+    train_loss: List[float] = field(default_factory=list)
+    val_loss: List[float] = field(default_factory=list)
+    val_accuracy: List[float] = field(default_factory=list)
+    best_epoch: int = -1
+    stopped_early: bool = False
+
+    @property
+    def epochs_run(self) -> int:
+        return len(self.train_loss)
+
+
+class Trainer:
+    """Train a :class:`Sequential` classifier with minibatch SGD.
+
+    Parameters
+    ----------
+    network:
+        The model to train.
+    loss:
+        Loss instance (e.g. :class:`SoftmaxCrossEntropy`).
+    optimizer:
+        Optimizer already bound to ``network.parameters()``.
+    batch_size:
+        Minibatch size.
+    max_epochs:
+        Upper bound on training epochs.
+    patience:
+        Early-stopping patience in epochs, measured on validation loss.
+        ``None`` disables early stopping.
+    rng:
+        Generator used for shuffling.
+    """
+
+    def __init__(self, network: Sequential, loss: Loss, optimizer: Optimizer,
+                 batch_size: int, max_epochs: int, rng: np.random.Generator,
+                 patience: Optional[int] = None):
+        if max_epochs <= 0:
+            raise ValueError(f"max_epochs must be positive, got {max_epochs}")
+        if patience is not None and patience <= 0:
+            raise ValueError(f"patience must be positive, got {patience}")
+        self.network = network
+        self.loss = loss
+        self.optimizer = optimizer
+        self.batch_size = int(batch_size)
+        self.max_epochs = int(max_epochs)
+        self.patience = patience
+        self._rng = rng
+
+    def fit(self, x_train: np.ndarray, y_train: np.ndarray,
+            x_val: Optional[np.ndarray] = None,
+            y_val: Optional[np.ndarray] = None) -> TrainingHistory:
+        """Run the training loop and return the per-epoch history.
+
+        When a validation set is given, the best parameters (lowest validation
+        loss) are restored at the end of training.
+        """
+        history = TrainingHistory()
+        have_val = x_val is not None and y_val is not None
+        best_val = np.inf
+        best_state: Optional[List[np.ndarray]] = None
+        epochs_since_best = 0
+
+        for epoch in range(self.max_epochs):
+            epoch_loss = 0.0
+            n_batches = 0
+            for xb, yb in iterate_minibatches(x_train, y_train,
+                                              self.batch_size, rng=self._rng):
+                logits = self.network.forward(xb, training=True)
+                batch_loss = self.loss.forward(logits, yb)
+                self.optimizer.zero_grad()
+                self.network.backward(self.loss.backward())
+                self.optimizer.step()
+                epoch_loss += batch_loss
+                n_batches += 1
+            history.train_loss.append(epoch_loss / max(n_batches, 1))
+
+            if have_val:
+                val_logits = self.network.forward(x_val)
+                val_loss = self.loss.forward(val_logits, y_val)
+                val_acc = float((np.argmax(val_logits, axis=1) == y_val).mean())
+                history.val_loss.append(val_loss)
+                history.val_accuracy.append(val_acc)
+                if val_loss < best_val:
+                    best_val = val_loss
+                    best_state = [p.value.copy()
+                                  for p in self.network.parameters()]
+                    history.best_epoch = epoch
+                    epochs_since_best = 0
+                else:
+                    epochs_since_best += 1
+                    if self.patience is not None and epochs_since_best >= self.patience:
+                        history.stopped_early = True
+                        break
+
+        if best_state is not None:
+            for p, saved in zip(self.network.parameters(), best_state):
+                p.value[...] = saved
+        return history
+
+
+def evaluate_accuracy(network: Sequential, x: np.ndarray, y: np.ndarray) -> float:
+    """Fraction of rows in ``x`` classified as ``y`` by ``network``."""
+    return float((network.predict(x) == np.asarray(y)).mean())

@@ -1,0 +1,20 @@
+"""Surface-code substrate (replaces Stim in the paper's Fig. 13/14b).
+
+Planar-code memory experiments under phenomenological noise with an MWPM
+decoder built on networkx, plus the surface-17 syndrome-cycle timing model.
+"""
+
+from .decoder import (Defect, MatchingResult, loglikelihood_weight,
+                      match_defects)
+from .experiment import (MemoryExperimentResult, logical_error_sweep,
+                         run_memory_experiment)
+from .lattice import PlanarLattice
+from .timing import (GOOGLE, IBM, PLATFORMS, PlatformTiming,
+                     fig14b_normalized_cycle_times)
+
+__all__ = [
+    "Defect", "GOOGLE", "IBM", "MatchingResult", "MemoryExperimentResult",
+    "PLATFORMS", "PlanarLattice", "PlatformTiming",
+    "fig14b_normalized_cycle_times", "logical_error_sweep",
+    "loglikelihood_weight", "match_defects", "run_memory_experiment",
+]

@@ -1,0 +1,141 @@
+"""Surface-code memory experiment under phenomenological noise (Fig. 13).
+
+Each round, every data qubit suffers an X error with probability ``p`` and
+every syndrome bit is read out wrongly with probability ``q``. After T noisy
+rounds a final perfect round terminates the experiment (standard practice).
+Defects are decoded with MWPM; a logical error occurs when the residual
+error chain crosses the lattice, i.e. when the parity of actual errors on
+the left logical cut disagrees with the decoder's correction parity.
+
+The paper's takeaway — a ~1% readout error (epsilon_R) can push the logical
+error rate above the physical gate error rate (Fig. 13) — appears here as
+the strong dependence of the logical rate on ``q = p + epsilon_R``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+import numpy as np
+
+from .decoder import Defect, loglikelihood_weight, match_defects
+from .lattice import PlanarLattice
+
+
+@dataclass(frozen=True)
+class MemoryExperimentResult:
+    """Outcome of a batch of memory-experiment shots."""
+
+    distance: int
+    rounds: int
+    physical_error_rate: float
+    measurement_error_rate: float
+    shots: int
+    logical_failures: int
+
+    @property
+    def logical_error_probability(self) -> float:
+        """Probability of a logical flip over the whole experiment."""
+        return self.logical_failures / self.shots
+
+    @property
+    def logical_error_per_round(self) -> float:
+        """Per-round logical error rate: ``1 - (1 - P)^(1/T)``."""
+        p_total = min(self.logical_error_probability, 0.5)
+        return float(1.0 - (1.0 - 2.0 * p_total) ** (1.0 / self.rounds)) / 2.0
+
+
+def _simulate_shot(lattice: PlanarLattice, parity: np.ndarray,
+                   rounds: int, p: float, q: float,
+                   rng: np.random.Generator) -> bool:
+    """Run one shot; returns True when a logical error survives decoding."""
+    n_data = lattice.n_data
+    error = np.zeros(n_data, dtype=np.uint8)
+    previous_syndrome = np.zeros(lattice.n_checks, dtype=np.uint8)
+    defects: List[Defect] = []
+
+    for t in range(rounds + 1):
+        final_round = t == rounds
+        if not final_round:
+            error ^= (rng.random(n_data) < p).astype(np.uint8)
+        syndrome = (parity @ error) % 2
+        if not final_round and q > 0:
+            syndrome = syndrome ^ (rng.random(lattice.n_checks) < q)
+        changed = np.flatnonzero(syndrome ^ previous_syndrome)
+        for check in changed:
+            row, col = lattice.check_position(int(check))
+            defects.append(Defect(t=t, row=row, col=col))
+        previous_syndrome = syndrome
+
+    space_weight = loglikelihood_weight(p)
+    time_weight = (loglikelihood_weight(q) if q > 0
+                   else 10.0 * space_weight)  # effectively forbid time edges
+    result = match_defects(defects, lattice, space_weight, time_weight)
+
+    cut = lattice.left_boundary_edges()
+    error_parity = int(error[cut].sum() % 2)
+    return error_parity != result.correction_crossing_parity()
+
+
+def run_memory_experiment(distance: int, rounds: int,
+                          physical_error_rate: float,
+                          measurement_error_rate: float, shots: int,
+                          rng: np.random.Generator) -> MemoryExperimentResult:
+    """Estimate the logical error rate of a distance-``d`` planar code.
+
+    Parameters
+    ----------
+    distance:
+        Code distance (paper: 7).
+    rounds:
+        Noisy syndrome-extraction rounds (a final perfect round is added).
+    physical_error_rate:
+        Per-round, per-data-qubit X error probability (the paper's x-axis).
+    measurement_error_rate:
+        Per-round syndrome readout error ``q``. For the paper's curves this
+        is ``p + epsilon_R``: gate noise corrupts measurements even for a
+        perfect discriminator.
+    shots:
+        Monte-Carlo samples.
+    """
+    if rounds < 1:
+        raise ValueError("need at least one round")
+    if shots < 1:
+        raise ValueError("need at least one shot")
+    if not 0.0 < physical_error_rate < 0.5:
+        raise ValueError("physical_error_rate must be in (0, 0.5)")
+    if not 0.0 <= measurement_error_rate < 0.5:
+        raise ValueError("measurement_error_rate must be in [0, 0.5)")
+
+    lattice = PlanarLattice(distance)
+    parity = lattice.parity_check_matrix()
+    failures = 0
+    for _ in range(shots):
+        if _simulate_shot(lattice, parity, rounds, physical_error_rate,
+                          measurement_error_rate, rng):
+            failures += 1
+    return MemoryExperimentResult(
+        distance=distance,
+        rounds=rounds,
+        physical_error_rate=physical_error_rate,
+        measurement_error_rate=measurement_error_rate,
+        shots=shots,
+        logical_failures=failures,
+    )
+
+
+def logical_error_sweep(distance: int, physical_error_rates,
+                        readout_error: float, shots: int,
+                        rng: np.random.Generator,
+                        rounds: int | None = None) -> List[MemoryExperimentResult]:
+    """One Fig. 13 curve: logical rate vs physical rate at fixed epsilon_R."""
+    if rounds is None:
+        rounds = distance
+    results = []
+    for p in physical_error_rates:
+        results.append(run_memory_experiment(
+            distance=distance, rounds=rounds, physical_error_rate=float(p),
+            measurement_error_rate=float(p) + readout_error, shots=shots,
+            rng=rng))
+    return results

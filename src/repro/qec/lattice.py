@@ -1,0 +1,140 @@
+"""Planar surface-code lattice for one Pauli error type.
+
+We simulate X-type data errors detected by Z-type checks under a
+phenomenological noise model (this is the standard setting for the Fig. 13
+style logical-vs-physical error study; Z errors behave symmetrically).
+
+Geometry
+--------
+Checks form a ``d x (d-1)`` grid (rows ``r``, columns ``c``). Data qubits are
+the edges of that grid plus the left/right boundary edges:
+
+* horizontal edges ``(r, c -> c+1)`` connect checks within a row, and the
+  boundary edges ``(r, left)`` / ``(r, right)`` connect the outermost checks
+  to the virtual boundaries;
+* vertical edges ``(r -> r+1, c)`` connect checks across rows.
+
+A logical X operator is any left-to-right chain crossing ``d`` data qubits
+(``d-2`` interior horizontal edges plus the two boundary edges), so this
+lattice realizes a distance-``d`` planar code with
+``d*d + (d-1)*(d-1)`` data qubits (``d`` horizontal per check row and
+``d-1`` vertical per row gap).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class PlanarLattice:
+    """Index bookkeeping for the single-error-type planar code."""
+
+    distance: int
+
+    def __post_init__(self):
+        if self.distance < 2:
+            raise ValueError("distance must be at least 2")
+
+    # ------------------------------------------------------------------
+    # Sizes
+    # ------------------------------------------------------------------
+    @property
+    def n_rows(self) -> int:
+        """Rows of checks."""
+        return self.distance
+
+    @property
+    def n_cols(self) -> int:
+        """Columns of checks."""
+        return self.distance - 1
+
+    @property
+    def n_checks(self) -> int:
+        return self.n_rows * self.n_cols
+
+    @property
+    def n_horizontal(self) -> int:
+        """Horizontal data qubits per lattice: d per row (incl. boundaries)."""
+        return self.n_rows * self.distance
+
+    @property
+    def n_vertical(self) -> int:
+        """Vertical data qubits: (d-1) per column gap."""
+        return (self.n_rows - 1) * self.n_cols
+
+    @property
+    def n_data(self) -> int:
+        return self.n_horizontal + self.n_vertical
+
+    # ------------------------------------------------------------------
+    # Index helpers
+    # ------------------------------------------------------------------
+    def check_index(self, row: int, col: int) -> int:
+        if not (0 <= row < self.n_rows and 0 <= col < self.n_cols):
+            raise ValueError(f"check ({row}, {col}) out of range")
+        return row * self.n_cols + col
+
+    def check_position(self, index: int) -> Tuple[int, int]:
+        if not 0 <= index < self.n_checks:
+            raise ValueError(f"check index {index} out of range")
+        return divmod(index, self.n_cols)
+
+    def horizontal_index(self, row: int, slot: int) -> int:
+        """Horizontal edge ``slot`` in ``row``; slot 0 is the left boundary
+        edge, slot d-1 the right boundary edge."""
+        if not (0 <= row < self.n_rows and 0 <= slot < self.distance):
+            raise ValueError(f"horizontal edge ({row}, {slot}) out of range")
+        return row * self.distance + slot
+
+    def vertical_index(self, row_gap: int, col: int) -> int:
+        """Vertical edge between check rows ``row_gap`` and ``row_gap + 1``."""
+        if not (0 <= row_gap < self.n_rows - 1 and 0 <= col < self.n_cols):
+            raise ValueError(f"vertical edge ({row_gap}, {col}) out of range")
+        return self.n_horizontal + row_gap * self.n_cols + col
+
+    # ------------------------------------------------------------------
+    # Incidence structure
+    # ------------------------------------------------------------------
+    def data_to_checks(self) -> List[Tuple[int, ...]]:
+        """For each data qubit, the (1 or 2) checks it flips when in error."""
+        incidence: List[Tuple[int, ...]] = []
+        for row in range(self.n_rows):
+            for slot in range(self.distance):
+                checks = []
+                if slot > 0:
+                    checks.append(self.check_index(row, slot - 1))
+                if slot < self.n_cols:
+                    checks.append(self.check_index(row, slot))
+                incidence.append(tuple(checks))
+        for row_gap in range(self.n_rows - 1):
+            for col in range(self.n_cols):
+                incidence.append((self.check_index(row_gap, col),
+                                  self.check_index(row_gap + 1, col)))
+        return incidence
+
+    def parity_check_matrix(self) -> np.ndarray:
+        """Binary ``(n_checks, n_data)`` parity-check matrix."""
+        matrix = np.zeros((self.n_checks, self.n_data), dtype=np.uint8)
+        for data, checks in enumerate(self.data_to_checks()):
+            for check in checks:
+                matrix[check, data] = 1
+        return matrix
+
+    def left_boundary_edges(self) -> np.ndarray:
+        """Data-qubit indices of the left boundary column (the logical cut).
+
+        The parity of errors+corrections on these edges decides the logical
+        X outcome.
+        """
+        return np.array([self.horizontal_index(row, 0)
+                         for row in range(self.n_rows)], dtype=np.int64)
+
+    def boundary_distance(self, col: int) -> Tuple[int, int]:
+        """Steps from a check column to the (left, right) boundaries."""
+        if not 0 <= col < self.n_cols:
+            raise ValueError(f"column {col} out of range")
+        return col + 1, self.n_cols - col

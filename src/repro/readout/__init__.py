@@ -1,0 +1,26 @@
+"""Readout physics simulator.
+
+Synthesizes frequency-multiplexed dispersive-readout traces with resonator
+ring-up, stochastic relaxation/excitation events, dispersive crosstalk,
+additive Gaussian ADC noise, and digital demodulation — the substrate
+replacing the paper's five-qubit-chip dataset.
+"""
+
+from .dataset import (PAPER_TRAIN_FRACTION, PAPER_VAL_FRACTION,
+                      ReadoutDataset, generate_dataset)
+from .demodulation import (complex_to_iq, demodulate, demodulate_all,
+                           iq_to_complex, mean_trace_value)
+from .events import NO_TRANSITION, StateTimeline, sample_timeline
+from .parameters import DeviceParams, QubitReadoutParams
+from .presets import five_qubit_paper_device, single_qubit_device
+from .simulator import ReadoutSimulator, TraceBatch
+from .trajectory import batch_trajectories, steady_state_targets
+
+__all__ = [
+    "DeviceParams", "NO_TRANSITION", "PAPER_TRAIN_FRACTION",
+    "PAPER_VAL_FRACTION", "QubitReadoutParams", "ReadoutDataset",
+    "ReadoutSimulator", "StateTimeline", "TraceBatch", "batch_trajectories",
+    "complex_to_iq", "demodulate", "demodulate_all", "five_qubit_paper_device",
+    "generate_dataset", "iq_to_complex", "mean_trace_value", "sample_timeline",
+    "single_qubit_device", "steady_state_targets",
+]

@@ -1,0 +1,287 @@
+"""Readout trace datasets: generation, splitting, truncation, persistence.
+
+A :class:`ReadoutDataset` bundles demodulated traces (and optionally the raw
+ADC record needed by the baseline FNN) with prepared-state labels, mirroring
+the structure of the paper's five-qubit dataset (Section 6).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+from .demodulation import iq_to_complex, mean_trace_value
+from .parameters import DeviceParams
+from .simulator import ReadoutSimulator
+
+#: Paper split of the 50k traces per basis state: 9750 train / 5250 val /
+#: 35000 test (Section 6, "Software").
+PAPER_TRAIN_FRACTION = 9750 / 50000
+PAPER_VAL_FRACTION = 5250 / 50000
+
+
+@dataclass
+class ReadoutDataset:
+    """A labeled collection of simulated readout traces.
+
+    Attributes
+    ----------
+    demod:
+        ``(n, n_qubits, 2, n_bins)`` demodulated I/Q traces.
+    labels:
+        ``(n, n_qubits)`` prepared bits per qubit — the classification target.
+    basis:
+        ``(n,)`` prepared basis-state index per trace.
+    raw:
+        Optional ``(n, 2, n_samples)`` raw ADC record (I and Q channels),
+        stored in float32; present only when the dataset was generated with
+        ``include_raw=True``.
+    final_bits / relaxed:
+        Diagnostic ground truth about stochastic transitions; not visible to
+        discriminators.
+    device:
+        The device the traces were generated for.
+    """
+
+    demod: np.ndarray
+    labels: np.ndarray
+    basis: np.ndarray
+    device: DeviceParams
+    raw: Optional[np.ndarray] = None
+    final_bits: Optional[np.ndarray] = None
+    relaxed: Optional[np.ndarray] = None
+
+    def __post_init__(self):
+        if self.demod.ndim != 4 or self.demod.shape[2] != 2:
+            raise ValueError(
+                f"demod must be (n, n_qubits, 2, n_bins), got {self.demod.shape}")
+        n = self.demod.shape[0]
+        if self.labels.shape != (n, self.n_qubits):
+            raise ValueError("labels shape mismatch")
+        if self.basis.shape != (n,):
+            raise ValueError("basis shape mismatch")
+        if self.raw is not None and self.raw.shape[0] != n:
+            raise ValueError("raw shape mismatch")
+
+    # ------------------------------------------------------------------
+    # Basic properties
+    # ------------------------------------------------------------------
+    @property
+    def n_traces(self) -> int:
+        return int(self.demod.shape[0])
+
+    @property
+    def n_qubits(self) -> int:
+        return int(self.demod.shape[1])
+
+    @property
+    def n_bins(self) -> int:
+        return int(self.demod.shape[3])
+
+    @property
+    def duration_ns(self) -> float:
+        """Readout duration covered by the stored demodulated bins."""
+        return self.n_bins * self.device.demod_bin_ns
+
+    def demod_complex(self) -> np.ndarray:
+        """Demodulated traces as complex ``(n, n_qubits, n_bins)``."""
+        return iq_to_complex(self.demod)
+
+    def mtv(self) -> np.ndarray:
+        """Mean Trace Value per qubit: complex ``(n, n_qubits)``."""
+        return mean_trace_value(self.demod_complex())
+
+    def baseline_inputs(self) -> np.ndarray:
+        """Raw-trace feature matrix for the baseline FNN.
+
+        Concatenates the I and Q raw channels into ``(n, 2 * n_samples)``
+        (paper: 500 + 500 = 1000 inputs for a 1 us trace).
+        """
+        if self.raw is None:
+            raise ValueError(
+                "dataset was generated without raw traces; regenerate with "
+                "include_raw=True to train the baseline FNN")
+        n = self.raw.shape[0]
+        return self.raw.reshape(n, -1).astype(np.float64)
+
+    # ------------------------------------------------------------------
+    # Slicing and transformation
+    # ------------------------------------------------------------------
+    def subset(self, indices: np.ndarray) -> "ReadoutDataset":
+        """A new dataset restricted to the given trace indices."""
+        indices = np.asarray(indices)
+        return ReadoutDataset(
+            demod=self.demod[indices],
+            labels=self.labels[indices],
+            basis=self.basis[indices],
+            device=self.device,
+            raw=None if self.raw is None else self.raw[indices],
+            final_bits=None if self.final_bits is None else self.final_bits[indices],
+            relaxed=None if self.relaxed is None else self.relaxed[indices],
+        )
+
+    def split(self, rng: np.random.Generator,
+              train_fraction: float = PAPER_TRAIN_FRACTION,
+              val_fraction: float = PAPER_VAL_FRACTION,
+              ) -> Tuple["ReadoutDataset", "ReadoutDataset", "ReadoutDataset"]:
+        """Shuffle and split into (train, validation, test) datasets.
+
+        Default fractions follow the paper: 19.5% train, 10.5% validation,
+        and the remaining 70% test.
+        """
+        if train_fraction <= 0 or val_fraction < 0:
+            raise ValueError("fractions must be positive")
+        if train_fraction + val_fraction >= 1.0:
+            raise ValueError("train + val fractions must leave room for test")
+        n = self.n_traces
+        order = rng.permutation(n)
+        n_train = max(1, int(round(n * train_fraction)))
+        n_val = max(1, int(round(n * val_fraction)))
+        train_idx = order[:n_train]
+        val_idx = order[n_train:n_train + n_val]
+        test_idx = order[n_train + n_val:]
+        return self.subset(train_idx), self.subset(val_idx), self.subset(test_idx)
+
+    def truncate(self, duration_ns: float) -> "ReadoutDataset":
+        """Keep only the first ``duration_ns`` of every trace.
+
+        This implements the paper's fast-readout evaluation (Section 5):
+        models trained on the full duration are tested on shortened traces.
+        The duration is rounded down to a whole number of demodulation bins.
+        """
+        if duration_ns <= 0:
+            raise ValueError("duration_ns must be positive")
+        n_bins = int(duration_ns // self.device.demod_bin_ns)
+        if n_bins < 1:
+            raise ValueError(
+                f"duration {duration_ns} ns is shorter than one "
+                f"{self.device.demod_bin_ns} ns bin")
+        n_bins = min(n_bins, self.n_bins)
+        samples = int(n_bins * self.device.samples_per_bin)
+        return ReadoutDataset(
+            demod=self.demod[..., :n_bins],
+            labels=self.labels,
+            basis=self.basis,
+            device=self.device,
+            raw=None if self.raw is None else self.raw[..., :samples],
+            final_bits=self.final_bits,
+            relaxed=self.relaxed,
+        )
+
+    def qubit_traces(self, qubit: int, state: int) -> np.ndarray:
+        """Demodulated traces of one qubit, filtered by prepared state.
+
+        Returns ``(m, 2, n_bins)`` traces where the prepared bit of ``qubit``
+        equals ``state``.
+        """
+        if state not in (0, 1):
+            raise ValueError(f"state must be 0 or 1, got {state}")
+        mask = self.labels[:, qubit] == state
+        return self.demod[mask, qubit]
+
+    def concatenate(self, other: "ReadoutDataset") -> "ReadoutDataset":
+        """Concatenate two datasets generated for the same device."""
+        if other.n_qubits != self.n_qubits or other.n_bins != self.n_bins:
+            raise ValueError("datasets are incompatible")
+        both_raw = self.raw is not None and other.raw is not None
+
+        def _cat(a, b):
+            return None if a is None or b is None else np.concatenate([a, b])
+
+        return ReadoutDataset(
+            demod=np.concatenate([self.demod, other.demod]),
+            labels=np.concatenate([self.labels, other.labels]),
+            basis=np.concatenate([self.basis, other.basis]),
+            device=self.device,
+            raw=np.concatenate([self.raw, other.raw]) if both_raw else None,
+            final_bits=_cat(self.final_bits, other.final_bits),
+            relaxed=_cat(self.relaxed, other.relaxed),
+        )
+
+    # ------------------------------------------------------------------
+    # Persistence
+    # ------------------------------------------------------------------
+    def save(self, path: str) -> None:
+        """Save to an ``.npz`` archive (device parameters included)."""
+        from .serialization import device_to_arrays
+        payload = {
+            "demod": self.demod,
+            "labels": self.labels,
+            "basis": self.basis,
+        }
+        if self.raw is not None:
+            payload["raw"] = self.raw
+        if self.final_bits is not None:
+            payload["final_bits"] = self.final_bits
+        if self.relaxed is not None:
+            payload["relaxed"] = self.relaxed
+        payload.update(device_to_arrays(self.device))
+        np.savez_compressed(path, **payload)
+
+    @classmethod
+    def load(cls, path: str) -> "ReadoutDataset":
+        """Load a dataset saved with :meth:`save`."""
+        from .serialization import device_from_arrays
+        with np.load(path) as data:
+            device = device_from_arrays(data)
+            return cls(
+                demod=data["demod"],
+                labels=data["labels"],
+                basis=data["basis"],
+                device=device,
+                raw=data["raw"] if "raw" in data else None,
+                final_bits=data["final_bits"] if "final_bits" in data else None,
+                relaxed=data["relaxed"] if "relaxed" in data else None,
+            )
+
+
+def generate_dataset(device: DeviceParams, shots_per_state: int,
+                     rng: np.random.Generator, include_raw: bool = False,
+                     basis_states: Optional[Sequence[int]] = None,
+                     ) -> ReadoutDataset:
+    """Simulate a full calibration dataset.
+
+    Parameters
+    ----------
+    device:
+        Device to simulate.
+    shots_per_state:
+        Number of traces per prepared basis state (paper: 50,000; default
+        experiment configs use far fewer).
+    rng:
+        Random generator.
+    include_raw:
+        Also keep the raw ADC record (required by the baseline FNN; large).
+    basis_states:
+        Optional subset of basis states to generate; defaults to all ``2^N``.
+    """
+    if shots_per_state <= 0:
+        raise ValueError("shots_per_state must be positive")
+    sim = ReadoutSimulator(device)
+    states = (range(device.n_basis_states)
+              if basis_states is None else list(basis_states))
+
+    demod_parts, label_parts, basis_parts = [], [], []
+    raw_parts, final_parts, relaxed_parts = [], [], []
+    for b in states:
+        batch = sim.simulate_basis_state(int(b), shots_per_state, rng)
+        demod_parts.append(batch.demod)
+        label_parts.append(batch.prepared_bits)
+        basis_parts.append(np.full(batch.n_traces, int(b), dtype=np.int64))
+        final_parts.append(batch.final_bits)
+        relaxed_parts.append(batch.relaxed)
+        if include_raw:
+            iq = np.stack([batch.raw.real, batch.raw.imag], axis=1)
+            raw_parts.append(iq.astype(np.float32))
+
+    return ReadoutDataset(
+        demod=np.concatenate(demod_parts),
+        labels=np.concatenate(label_parts),
+        basis=np.concatenate(basis_parts),
+        device=device,
+        raw=np.concatenate(raw_parts) if include_raw else None,
+        final_bits=np.concatenate(final_parts),
+        relaxed=np.concatenate(relaxed_parts),
+    )

@@ -1,0 +1,110 @@
+"""Stochastic qubit-state events during readout.
+
+Each trace is described by at most one state transition: a relaxation
+(1 -> 0, exponential in the qubit's T1) or a readout-induced excitation
+(0 -> 1, uniform in time with a small per-trace probability). Initialization
+errors flip the starting state before the trace begins.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .parameters import QubitReadoutParams
+
+#: Sentinel transition time meaning "no transition within the trace".
+NO_TRANSITION = np.inf
+
+
+@dataclass
+class StateTimeline:
+    """Vectorized description of qubit-state evolution for a batch of traces.
+
+    Attributes
+    ----------
+    initial_state:
+        ``(n,)`` 0/1 state at the start of the trace (after initialization
+        errors are applied).
+    final_state:
+        ``(n,)`` 0/1 state after the (optional) transition.
+    transition_time_ns:
+        ``(n,)`` time of the transition, or ``NO_TRANSITION``.
+    """
+
+    initial_state: np.ndarray
+    final_state: np.ndarray
+    transition_time_ns: np.ndarray
+
+    def __post_init__(self):
+        n = self.initial_state.shape[0]
+        if self.final_state.shape != (n,) or self.transition_time_ns.shape != (n,):
+            raise ValueError("StateTimeline arrays must share one length")
+
+    @property
+    def n_traces(self) -> int:
+        return int(self.initial_state.shape[0])
+
+    def relaxed(self) -> np.ndarray:
+        """Boolean mask of traces that underwent a 1 -> 0 transition."""
+        return (self.initial_state == 1) & (self.final_state == 0)
+
+    def excited(self) -> np.ndarray:
+        """Boolean mask of traces that underwent a 0 -> 1 transition."""
+        return (self.initial_state == 0) & (self.final_state == 1)
+
+
+def sample_timeline(qubit: QubitReadoutParams, prepared_state: int,
+                    n_traces: int, duration_ns: float,
+                    rng: np.random.Generator) -> StateTimeline:
+    """Sample per-trace state timelines for one qubit.
+
+    Parameters
+    ----------
+    qubit:
+        Readout parameters of the qubit (T1, excitation/init probabilities).
+    prepared_state:
+        The state (0 or 1) the experimentalist intended to prepare.
+    n_traces:
+        Number of independent traces to sample.
+    duration_ns:
+        Readout duration; transitions beyond it are treated as absent.
+    rng:
+        Random generator.
+    """
+    if prepared_state not in (0, 1):
+        raise ValueError(f"prepared_state must be 0 or 1, got {prepared_state}")
+    if n_traces <= 0:
+        raise ValueError(f"n_traces must be positive, got {n_traces}")
+
+    initial = np.full(n_traces, prepared_state, dtype=np.int64)
+    if prepared_state == 1 and qubit.init_error_prob > 0:
+        init_err = rng.random(n_traces) < qubit.init_error_prob
+        initial[init_err] = 0
+
+    final = initial.copy()
+    transition = np.full(n_traces, NO_TRANSITION, dtype=np.float64)
+
+    # Relaxation: exponential decay time with scale T1, truncated to the trace.
+    excited_mask = initial == 1
+    if excited_mask.any():
+        t1_ns = qubit.t1_us * 1000.0
+        decay_times = rng.exponential(t1_ns, size=int(excited_mask.sum()))
+        relaxes = decay_times < duration_ns
+        idx = np.flatnonzero(excited_mask)
+        relax_idx = idx[relaxes]
+        transition[relax_idx] = decay_times[relaxes]
+        final[relax_idx] = 0
+
+    # Readout-induced excitation: rare, uniform in time.
+    ground_mask = initial == 0
+    if ground_mask.any() and qubit.excitation_prob > 0:
+        idx = np.flatnonzero(ground_mask)
+        excites = rng.random(idx.size) < qubit.excitation_prob
+        exc_idx = idx[excites]
+        transition[exc_idx] = rng.uniform(0.0, duration_ns, size=exc_idx.size)
+        final[exc_idx] = 1
+
+    return StateTimeline(initial_state=initial, final_state=final,
+                         transition_time_ns=transition)

@@ -1,0 +1,184 @@
+"""Device and qubit parameter definitions for the readout simulator.
+
+The simulator mimics dispersive readout of frequency-multiplexed
+superconducting qubits (Section 2 of the paper): each qubit's readout
+resonator responds to a probe tone with a qubit-state-dependent steady-state
+(I, Q) point, reached through an exponential ring-up set by the resonator
+linewidth. All times are in nanoseconds and frequencies in MHz.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence, Tuple
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class QubitReadoutParams:
+    """Readout parameters for a single qubit.
+
+    Parameters
+    ----------
+    intermediate_freq_mhz:
+        Intermediate frequency of this qubit's readout tone after analog
+        down-conversion. Tones of different qubits share one physical channel
+        (frequency multiplexing).
+    iq_ground, iq_excited:
+        Steady-state complex response (I + 1j*Q) of the readout resonator for
+        the qubit in the ground / excited state. Their separation relative to
+        the noise floor sets the bare discrimination fidelity.
+    t1_us:
+        Qubit relaxation time in microseconds; excited-state traces decay to
+        the ground response with this timescale.
+    ring_up_rate_per_ns:
+        Resonator field relaxation rate kappa (1/ns). The response approaches
+        its steady state as ``1 - exp(-kappa * t)``.
+    excitation_prob:
+        Probability that a readout pulse spuriously excites a ground-state
+        qubit at a uniformly random time during the trace.
+    init_error_prob:
+        Probability that a qubit prepared in the excited state actually starts
+        the trace in the ground state (initialization / pre-readout decay).
+    """
+
+    intermediate_freq_mhz: float
+    iq_ground: complex
+    iq_excited: complex
+    t1_us: float
+    ring_up_rate_per_ns: float = 0.01
+    excitation_prob: float = 0.005
+    init_error_prob: float = 0.002
+
+    def __post_init__(self):
+        if self.t1_us <= 0:
+            raise ValueError(f"t1_us must be positive, got {self.t1_us}")
+        if self.ring_up_rate_per_ns <= 0:
+            raise ValueError("ring_up_rate_per_ns must be positive")
+        if not 0.0 <= self.excitation_prob < 1.0:
+            raise ValueError("excitation_prob must be in [0, 1)")
+        if not 0.0 <= self.init_error_prob < 1.0:
+            raise ValueError("init_error_prob must be in [0, 1)")
+
+    @property
+    def separation(self) -> float:
+        """Distance between ground and excited steady-state responses."""
+        return abs(self.iq_excited - self.iq_ground)
+
+
+@dataclass(frozen=True)
+class DeviceParams:
+    """Parameters of a frequency-multiplexed readout device.
+
+    Parameters
+    ----------
+    qubits:
+        Per-qubit readout parameters; their order defines qubit indices.
+    sampling_rate_msps:
+        ADC sampling rate in MSamples/s (paper: 500 → 2 ns per sample).
+    readout_duration_ns:
+        Total readout pulse duration (paper: 1000 ns).
+    demod_bin_ns:
+        Averaging window of the digital demodulator (paper: 50 ns).
+    noise_std:
+        Standard deviation of the additive complex Gaussian noise per raw ADC
+        sample (applied independently to I and Q).
+    crosstalk:
+        ``(n, n)`` matrix of dispersive crosstalk coefficients. Entry
+        ``(q, j)`` shifts qubit ``q``'s steady-state response by
+        ``crosstalk[q, j] * (iq_excited_q - iq_ground_q)`` when neighbour
+        ``j`` is excited. Diagonal must be zero.
+    """
+
+    qubits: Tuple[QubitReadoutParams, ...]
+    sampling_rate_msps: float = 500.0
+    readout_duration_ns: float = 1000.0
+    demod_bin_ns: float = 50.0
+    noise_std: float = 1.0
+    crosstalk: np.ndarray = field(default=None)  # type: ignore[assignment]
+
+    def __post_init__(self):
+        if not self.qubits:
+            raise ValueError("device needs at least one qubit")
+        if self.sampling_rate_msps <= 0:
+            raise ValueError("sampling_rate_msps must be positive")
+        if self.readout_duration_ns <= 0:
+            raise ValueError("readout_duration_ns must be positive")
+        if self.demod_bin_ns <= 0:
+            raise ValueError("demod_bin_ns must be positive")
+        if self.noise_std < 0:
+            raise ValueError("noise_std must be non-negative")
+        n = len(self.qubits)
+        if self.crosstalk is None:
+            object.__setattr__(self, "crosstalk", np.zeros((n, n)))
+        else:
+            ct = np.asarray(self.crosstalk, dtype=np.float64)
+            if ct.shape != (n, n):
+                raise ValueError(
+                    f"crosstalk must be {n}x{n}, got {ct.shape}")
+            if np.any(np.diag(ct) != 0.0):
+                raise ValueError("crosstalk diagonal must be zero")
+            object.__setattr__(self, "crosstalk", ct)
+        if self.n_samples % self.samples_per_bin != 0:
+            raise ValueError(
+                "demod_bin_ns must divide the readout duration into an "
+                "integer number of whole sample bins")
+
+    @property
+    def n_qubits(self) -> int:
+        return len(self.qubits)
+
+    @property
+    def n_basis_states(self) -> int:
+        return 2 ** self.n_qubits
+
+    @property
+    def sample_period_ns(self) -> float:
+        """Time between consecutive ADC samples."""
+        return 1000.0 / self.sampling_rate_msps
+
+    @property
+    def n_samples(self) -> int:
+        """Number of raw ADC samples per readout trace."""
+        return int(round(self.readout_duration_ns / self.sample_period_ns))
+
+    @property
+    def samples_per_bin(self) -> int:
+        """Raw samples averaged into one demodulated time bin."""
+        return int(round(self.demod_bin_ns / self.sample_period_ns))
+
+    @property
+    def n_bins(self) -> int:
+        """Number of demodulated time bins per trace."""
+        return self.n_samples // self.samples_per_bin
+
+    def sample_times_ns(self) -> np.ndarray:
+        """Time stamps (ns) of the raw ADC samples."""
+        return np.arange(self.n_samples) * self.sample_period_ns
+
+    def basis_state_bits(self, basis_state: int) -> np.ndarray:
+        """Bit vector (qubit 0 first) of a basis-state index.
+
+        Qubit 0 occupies the most significant bit, matching the paper's
+        ``|q1 q2 ... qN>`` labeling of the 2^N outputs.
+        """
+        if not 0 <= basis_state < self.n_basis_states:
+            raise ValueError(
+                f"basis state {basis_state} out of range for "
+                f"{self.n_qubits} qubits")
+        return np.array([(basis_state >> (self.n_qubits - 1 - q)) & 1
+                         for q in range(self.n_qubits)], dtype=np.int64)
+
+    def bits_to_basis_state(self, bits: Sequence[int]) -> int:
+        """Inverse of :meth:`basis_state_bits`."""
+        bits = list(bits)
+        if len(bits) != self.n_qubits:
+            raise ValueError(
+                f"expected {self.n_qubits} bits, got {len(bits)}")
+        value = 0
+        for b in bits:
+            if b not in (0, 1):
+                raise ValueError(f"bits must be 0/1, got {b}")
+            value = (value << 1) | int(b)
+        return value

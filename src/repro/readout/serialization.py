@@ -1,0 +1,53 @@
+"""Array-based (de)serialization of device parameters for ``.npz`` files."""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping
+
+import numpy as np
+
+from .parameters import DeviceParams, QubitReadoutParams
+
+_QUBIT_FIELDS = ("intermediate_freq_mhz", "t1_us", "ring_up_rate_per_ns",
+                 "excitation_prob", "init_error_prob")
+
+
+def device_to_arrays(device: DeviceParams) -> Dict[str, np.ndarray]:
+    """Flatten a :class:`DeviceParams` into ``.npz``-storable arrays."""
+    arrays: Dict[str, np.ndarray] = {
+        "device_scalar": np.array([
+            device.sampling_rate_msps,
+            device.readout_duration_ns,
+            device.demod_bin_ns,
+            device.noise_std,
+        ]),
+        "device_crosstalk": np.asarray(device.crosstalk),
+        "device_iq_ground": np.array([q.iq_ground for q in device.qubits]),
+        "device_iq_excited": np.array([q.iq_excited for q in device.qubits]),
+    }
+    for name in _QUBIT_FIELDS:
+        arrays[f"device_{name}"] = np.array(
+            [getattr(q, name) for q in device.qubits])
+    return arrays
+
+
+def device_from_arrays(data: Mapping[str, np.ndarray]) -> DeviceParams:
+    """Rebuild a :class:`DeviceParams` from :func:`device_to_arrays` output."""
+    scalar = np.asarray(data["device_scalar"])
+    n = len(np.asarray(data["device_iq_ground"]))
+    qubits = []
+    for q in range(n):
+        kwargs = {name: float(np.asarray(data[f"device_{name}"])[q])
+                  for name in _QUBIT_FIELDS}
+        qubits.append(QubitReadoutParams(
+            iq_ground=complex(np.asarray(data["device_iq_ground"])[q]),
+            iq_excited=complex(np.asarray(data["device_iq_excited"])[q]),
+            **kwargs))
+    return DeviceParams(
+        qubits=tuple(qubits),
+        sampling_rate_msps=float(scalar[0]),
+        readout_duration_ns=float(scalar[1]),
+        demod_bin_ns=float(scalar[2]),
+        noise_std=float(scalar[3]),
+        crosstalk=np.asarray(data["device_crosstalk"]),
+    )

@@ -1,0 +1,87 @@
+"""Resonator response trajectories.
+
+The readout resonator field follows a first-order ring-up toward the
+steady-state response of the current qubit state:
+
+    a(t) = p + (a(t0) - p) * exp(-kappa * (t - t0))
+
+where ``p`` is the steady-state (I, Q) point of the current state. A state
+transition at time ``t_r`` switches the target point; the field then relaxes
+from its value at ``t_r`` toward the new target with the same rate. This
+matches the qualitative trace evolution in Fig. 3 / Fig. 8(b) of the paper.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .events import StateTimeline
+
+
+def batch_trajectories(timeline: StateTimeline, times_ns: np.ndarray,
+                       target_initial: np.ndarray, target_final: np.ndarray,
+                       kappa_per_ns: float) -> np.ndarray:
+    """Complex resonator trajectories for a batch of traces.
+
+    Parameters
+    ----------
+    timeline:
+        State evolution for each trace (initial/final state, transition time).
+    times_ns:
+        ``(n_samples,)`` sample time stamps.
+    target_initial, target_final:
+        ``(n,)`` complex steady-state points corresponding to each trace's
+        initial and final qubit state (crosstalk shifts already applied).
+    kappa_per_ns:
+        Resonator field relaxation rate.
+
+    Returns
+    -------
+    ``(n, n_samples)`` complex array of trajectories starting from a(0) = 0.
+    """
+    n = timeline.n_traces
+    if target_initial.shape != (n,) or target_final.shape != (n,):
+        raise ValueError("target arrays must match the number of traces")
+    if kappa_per_ns <= 0:
+        raise ValueError("kappa_per_ns must be positive")
+
+    t = np.asarray(times_ns, dtype=np.float64)[None, :]       # (1, T)
+    t_r = timeline.transition_time_ns[:, None]                # (n, 1)
+    p_i = target_initial[:, None]                             # (n, 1)
+    p_f = target_final[:, None]                               # (n, 1)
+
+    # Ring-up from zero toward the initial target.
+    ring = p_i * (1.0 - np.exp(-kappa_per_ns * t))            # (n, T)
+
+    # Field value at the moment of transition, then decay toward new target.
+    has_transition = np.isfinite(timeline.transition_time_ns)
+    if not has_transition.any():
+        return ring
+
+    t_r_safe = np.where(np.isfinite(t_r), t_r, 0.0)
+    a_at_transition = p_i * (1.0 - np.exp(-kappa_per_ns * t_r_safe))
+    dt = np.clip(t - t_r_safe, 0.0, None)
+    after = p_f + (a_at_transition - p_f) * np.exp(-kappa_per_ns * dt)
+
+    use_after = np.isfinite(t_r) & (t >= t_r_safe)
+    return np.where(use_after, after, ring)
+
+
+def steady_state_targets(iq_ground: complex, iq_excited: complex,
+                         states: np.ndarray,
+                         crosstalk_shift: np.ndarray) -> np.ndarray:
+    """Steady-state points for a batch of traces, with crosstalk applied.
+
+    Parameters
+    ----------
+    iq_ground, iq_excited:
+        Nominal steady-state responses of this qubit.
+    states:
+        ``(n,)`` 0/1 qubit states.
+    crosstalk_shift:
+        ``(n,)`` complex shift added to the nominal point (dispersive
+        crosstalk from the states of the other multiplexed qubits).
+    """
+    states = np.asarray(states)
+    base = np.where(states == 1, iq_excited, iq_ground)
+    return base + np.asarray(crosstalk_shift, dtype=np.complex128)

@@ -1,0 +1,44 @@
+"""Fig 12 benchmark suite tests (small subset for speed)."""
+
+import numpy as np
+import pytest
+
+from repro.circuits import NoiseModel, paper_benchmarks
+from repro.circuits.benchmarks import (_bv_benchmark, _qft_benchmark,
+                                       _tvd_benchmark)
+from repro.circuits.library import ghz
+
+
+class TestBenchmarkSuite:
+    def test_paper_names_and_order(self):
+        names = [b.name for b in paper_benchmarks()]
+        assert names == ["qft-4", "ghz-5", "ghz-10", "bv-5", "bv-10",
+                         "bv-15", "bv-20", "qaoa-8a", "qaoa-8b", "qaoa-10"]
+
+    def test_noiseless_fidelity_is_one(self):
+        clean = NoiseModel(0.0, 0.0, 0.0)
+        for bench in (_qft_benchmark("qft-4", 4),
+                      _tvd_benchmark("ghz-5", ghz(5)),
+                      _bv_benchmark("bv-5", 5)):
+            assert bench.evaluate(clean) == pytest.approx(1.0, abs=1e-9)
+
+    def test_readout_error_lowers_fidelity(self):
+        bench = _bv_benchmark("bv-5", 5)
+        f_good = bench.evaluate(NoiseModel(0.0, 0.0, 0.05))
+        f_bad = bench.evaluate(NoiseModel(0.0, 0.0, 0.10))
+        assert f_bad < f_good < 1.0
+
+    def test_bv_fidelity_scales_with_width(self):
+        noise = NoiseModel(0.0, 0.0, 0.08)
+        f5 = _bv_benchmark("bv-5", 5).evaluate(noise)
+        f10 = _bv_benchmark("bv-10", 10).evaluate(noise)
+        assert f10 < f5
+        # Readout-dominated: fidelity ~ (1-eps)^(n_bits)
+        assert f5 == pytest.approx(0.92 ** 5, rel=0.05)
+
+    def test_normalized_improvement_positive(self):
+        bench = _bv_benchmark("bv-10", 10)
+        f_base = bench.evaluate(NoiseModel(readout_error=1 - 0.9122))
+        f_herq = bench.evaluate(NoiseModel(readout_error=1 - 0.9266))
+        ratio = f_herq / f_base
+        assert 1.1 < ratio < 1.3  # paper: 1.166 for bv-10

@@ -1,0 +1,99 @@
+"""Benchmark circuit library tests."""
+
+import numpy as np
+import pytest
+
+from repro.circuits import (bernstein_vazirani, ghz, inverse_qft,
+                            marginal_distribution, probabilities,
+                            qaoa_benchmark, qaoa_maxcut, qft, qft_roundtrip,
+                            regular_graph, run)
+
+
+class TestGHZ:
+    @pytest.mark.parametrize("n", [2, 3, 5])
+    def test_only_extreme_outcomes(self, n):
+        probs = probabilities(run(ghz(n)))
+        np.testing.assert_allclose(probs[0], 0.5, atol=1e-12)
+        np.testing.assert_allclose(probs[-1], 0.5, atol=1e-12)
+        np.testing.assert_allclose(probs[1:-1], 0.0, atol=1e-12)
+
+    def test_gate_count(self):
+        assert ghz(5).n_two_qubit_gates() == 4
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ghz(1)
+
+
+class TestQFT:
+    def test_matches_dft_matrix(self):
+        """QFT statevector action equals the DFT of the input amplitudes."""
+        n = 3
+        dim = 2 ** n
+        dft = np.exp(2j * np.pi * np.outer(range(dim), range(dim)) / dim)
+        dft /= np.sqrt(dim)
+        for x in range(dim):
+            state = np.zeros(dim, dtype=complex)
+            state[x] = 1.0
+            out = run(qft(n), initial_state=state)
+            np.testing.assert_allclose(out, dft[:, x], atol=1e-10)
+
+    def test_inverse_undoes(self, rng):
+        n = 4
+        state = rng.normal(size=2 ** n) + 1j * rng.normal(size=2 ** n)
+        state /= np.linalg.norm(state)
+        out = run(inverse_qft(n), initial_state=run(qft(n), state))
+        np.testing.assert_allclose(out, state, atol=1e-10)
+
+    def test_roundtrip_returns_input(self):
+        for x in (0, 3, 7):
+            probs = probabilities(run(qft_roundtrip(3, x)))
+            assert probs[x] == pytest.approx(1.0)
+
+
+class TestBernsteinVazirani:
+    @pytest.mark.parametrize("secret", [0b0000, 0b1010, 0b1111])
+    def test_recovers_secret(self, secret):
+        circuit = bernstein_vazirani(4, secret)
+        probs = probabilities(run(circuit))
+        data = marginal_distribution(probs, [0, 1, 2, 3], 5)
+        assert data[secret] == pytest.approx(1.0)
+
+    def test_cx_count_equals_secret_weight(self):
+        circuit = bernstein_vazirani(6, 0b101101)
+        assert circuit.gate_counts()["cx"] == 4
+
+    def test_default_secret_all_ones(self):
+        circuit = bernstein_vazirani(3)
+        assert circuit.gate_counts()["cx"] == 3
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            bernstein_vazirani(3, 8)
+
+
+class TestQAOA:
+    def test_uniform_without_layers(self):
+        graph = regular_graph(4, degree=3, seed=0)
+        circuit = qaoa_maxcut(graph, [], [])
+        probs = probabilities(run(circuit))
+        np.testing.assert_allclose(probs, 1 / 16, atol=1e-12)
+
+    def test_distribution_normalized(self):
+        probs = probabilities(run(qaoa_benchmark(8, seed=11)))
+        assert probs.sum() == pytest.approx(1.0)
+
+    def test_symmetric_under_bit_flip(self):
+        """Depth-1 MaxCut QAOA output is invariant under global bit flip."""
+        probs = probabilities(run(qaoa_benchmark(6, seed=3)))
+        flipped = probs[::-1]  # global X flips index b -> ~b = reversed order
+        np.testing.assert_allclose(probs, flipped, atol=1e-10)
+
+    def test_gamma_beta_length_mismatch(self):
+        graph = regular_graph(4, seed=0)
+        with pytest.raises(ValueError):
+            qaoa_maxcut(graph, [0.1], [])
+
+    def test_regular_graph_degree(self):
+        graph = regular_graph(8, degree=3, seed=5)
+        assert all(d == 3 for _, d in graph.degree())

@@ -1,0 +1,114 @@
+"""Distribution metric and QPE tests."""
+
+import numpy as np
+import pytest
+
+from repro.circuits import (QPETimingModel, iterative_qpe_circuit,
+                            marginal_distribution, probabilities,
+                            qpe_duration_sweep, run, success_probability,
+                            total_variation_distance, tvd_fidelity)
+
+
+class TestTVD:
+    def test_identical_is_zero(self, rng):
+        p = rng.dirichlet(np.ones(8))
+        assert total_variation_distance(p, p) == 0.0
+
+    def test_disjoint_is_one(self):
+        p = np.array([1.0, 0.0])
+        q = np.array([0.0, 1.0])
+        assert total_variation_distance(p, q) == 1.0
+
+    def test_symmetry(self, rng):
+        p = rng.dirichlet(np.ones(8))
+        q = rng.dirichlet(np.ones(8))
+        assert total_variation_distance(p, q) \
+            == total_variation_distance(q, p)
+
+    def test_fidelity_complement(self, rng):
+        p = rng.dirichlet(np.ones(4))
+        q = rng.dirichlet(np.ones(4))
+        assert tvd_fidelity(p, q) == pytest.approx(
+            1.0 - total_variation_distance(p, q))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            total_variation_distance(np.array([0.5, 0.2]),
+                                     np.array([0.5, 0.5]))
+
+
+class TestMarginal:
+    def test_keep_all_is_identity(self, rng):
+        p = rng.dirichlet(np.ones(8))
+        np.testing.assert_allclose(marginal_distribution(p, [0, 1, 2], 3), p)
+
+    def test_marginalizes_uniform(self):
+        p = np.ones(8) / 8
+        out = marginal_distribution(p, [0], 3)
+        np.testing.assert_allclose(out, [0.5, 0.5])
+
+    def test_order_respected(self):
+        # P(q0=1, q1=0) mass at |10x>
+        p = np.zeros(8)
+        p[4] = 1.0  # |100>
+        np.testing.assert_allclose(marginal_distribution(p, [0, 1], 3),
+                                   [0, 0, 1, 0])
+        np.testing.assert_allclose(marginal_distribution(p, [1, 0], 3),
+                                   [0, 1, 0, 0])
+
+    def test_success_probability(self):
+        assert success_probability(np.array([0.2, 0.8]), 1) == 0.8
+        with pytest.raises(ValueError):
+            success_probability(np.array([1.0]), 2)
+
+
+class TestQPECircuit:
+    @pytest.mark.parametrize("n_bits,phase", [(3, 0.125), (4, 0.3125)])
+    def test_exact_phase_recovered(self, n_bits, phase):
+        """Phases representable in n_bits are estimated deterministically."""
+        circuit = iterative_qpe_circuit(n_bits, phase)
+        probs = probabilities(run(circuit))
+        data = marginal_distribution(probs, list(range(n_bits)),
+                                     n_bits + 1)
+        best = int(np.argmax(data))
+        assert best / 2 ** n_bits == pytest.approx(phase)
+        assert data[best] > 0.99
+
+    def test_inexact_phase_concentrates_nearby(self):
+        n_bits = 4
+        phase = 0.3  # not a multiple of 1/16
+        circuit = iterative_qpe_circuit(n_bits, phase)
+        probs = probabilities(run(circuit))
+        data = marginal_distribution(probs, list(range(n_bits)), n_bits + 1)
+        best = int(np.argmax(data))
+        assert abs(best / 16 - phase) < 1 / 16
+
+
+class TestQPETiming:
+    def test_duration_linear_in_bits(self):
+        model = QPETimingModel()
+        assert model.circuit_duration_us(10) \
+            == pytest.approx(2 * model.circuit_duration_us(5))
+
+    def test_faster_readout_shortens(self):
+        slow = QPETimingModel(readout_ns=1000.0)
+        fast = QPETimingModel(readout_ns=500.0)
+        assert fast.circuit_duration_us(8) < slow.circuit_duration_us(8)
+
+    def test_sweep_matches_model(self):
+        out = qpe_duration_sweep([4, 8], readout_ns=1000.0)
+        model = QPETimingModel(readout_ns=1000.0)
+        np.testing.assert_allclose(
+            out, [model.circuit_duration_us(4), model.circuit_duration_us(8)])
+
+    def test_paper_range(self):
+        # Fig 11b: ~5-20us for 4-14 bits at 1us readout.
+        durations = qpe_duration_sweep(range(4, 15), readout_ns=1000.0)
+        assert 4.0 < durations[0] < 8.0
+        assert 18.0 < durations[-1] < 24.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            QPETimingModel(readout_ns=-1.0)
+        with pytest.raises(ValueError):
+            QPETimingModel().circuit_duration_us(0)

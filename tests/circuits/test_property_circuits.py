@@ -1,0 +1,73 @@
+"""Property-based tests for the circuit substrate."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.circuits import (Circuit, apply_readout_confusion, ghz,
+                            probabilities, run, total_variation_distance)
+from repro.circuits import gates
+
+
+@given(st.integers(0, 2 ** 31 - 1), st.integers(2, 5), st.integers(1, 15))
+@settings(max_examples=25, deadline=None)
+def test_random_circuits_preserve_norm(seed, n_qubits, n_gates):
+    rng = np.random.default_rng(seed)
+    circuit = Circuit(n_qubits)
+    for _ in range(n_gates):
+        kind = rng.integers(4)
+        q = int(rng.integers(n_qubits))
+        if kind == 0:
+            circuit.h(q)
+        elif kind == 1:
+            circuit.rz(float(rng.uniform(0, 2 * np.pi)), q)
+        elif kind == 2:
+            circuit.ry(float(rng.uniform(0, 2 * np.pi)), q)
+        else:
+            other = int(rng.integers(n_qubits))
+            if other != q:
+                circuit.cx(q, other)
+    probs = probabilities(run(circuit))
+    np.testing.assert_allclose(probs.sum(), 1.0, atol=1e-9)
+    assert np.all(probs >= -1e-12)
+
+
+@given(st.floats(0.0, 1.0), st.integers(1, 4), st.integers(0, 2 ** 31 - 1))
+@settings(max_examples=30, deadline=None)
+def test_confusion_channel_is_stochastic(epsilon, n_qubits, seed):
+    rng = np.random.default_rng(seed)
+    probs = rng.dirichlet(np.ones(2 ** n_qubits))
+    out = apply_readout_confusion(probs, epsilon)
+    np.testing.assert_allclose(out.sum(), 1.0, atol=1e-9)
+    assert np.all(out >= -1e-12)
+
+
+@given(st.floats(0.0, 0.49), st.integers(2, 4))
+@settings(max_examples=25, deadline=None)
+def test_confusion_moves_toward_uniform(epsilon, n_qubits):
+    """More readout error never moves a GHZ distribution *away* from
+    uniform (data-processing inequality for this channel family)."""
+    ideal = probabilities(run(ghz(n_qubits)))
+    uniform = np.full(ideal.size, 1.0 / ideal.size)
+    noisy = apply_readout_confusion(ideal, epsilon)
+    noisier = apply_readout_confusion(ideal, min(epsilon + 0.05, 0.5))
+    d1 = total_variation_distance(noisy, uniform)
+    d2 = total_variation_distance(noisier, uniform)
+    assert d2 <= d1 + 1e-9
+
+
+@given(st.floats(-np.pi, np.pi), st.floats(-np.pi, np.pi))
+@settings(max_examples=30, deadline=None)
+def test_rotation_composition(theta1, theta2):
+    """rz(a) rz(b) = rz(a+b) up to numerical accuracy."""
+    composed = gates.rz(theta1) @ gates.rz(theta2)
+    direct = gates.rz(theta1 + theta2)
+    np.testing.assert_allclose(composed, direct, atol=1e-10)
+
+
+@given(st.floats(-np.pi, np.pi))
+@settings(max_examples=30, deadline=None)
+def test_rotations_unitary(theta):
+    for gate in (gates.rx(theta), gates.ry(theta), gates.rz(theta),
+                 gates.cphase(theta)):
+        assert gates.is_unitary(gate)

@@ -1,0 +1,140 @@
+"""Statevector simulator tests."""
+
+import numpy as np
+import pytest
+
+from repro.circuits import (Circuit, basis_state, probabilities, run,
+                            sample_counts, zero_state)
+from repro.circuits import gates
+
+
+class TestStates:
+    def test_zero_state(self):
+        state = zero_state(3)
+        assert state.shape == (8,)
+        assert state[0] == 1.0
+
+    def test_basis_state(self):
+        state = basis_state(2, 3)
+        assert state[3] == 1.0
+        assert np.abs(state).sum() == 1.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            zero_state(0)
+        with pytest.raises(ValueError):
+            basis_state(2, 4)
+
+
+class TestSingleQubitGates:
+    def test_x_flips(self):
+        state = run(Circuit(1).x(0))
+        np.testing.assert_allclose(state, [0, 1])
+
+    def test_h_superposition(self):
+        state = run(Circuit(1).h(0))
+        np.testing.assert_allclose(np.abs(state) ** 2, [0.5, 0.5])
+
+    def test_hh_is_identity(self):
+        state = run(Circuit(1).h(0).h(0))
+        np.testing.assert_allclose(state, [1, 0], atol=1e-12)
+
+    def test_z_phase_only_on_one(self):
+        state = run(Circuit(1).h(0).z(0))
+        np.testing.assert_allclose(state, [1 / np.sqrt(2), -1 / np.sqrt(2)])
+
+    def test_rotation_angle(self):
+        theta = 0.7
+        state = run(Circuit(1).ry(theta, 0))
+        np.testing.assert_allclose(
+            np.abs(state) ** 2,
+            [np.cos(theta / 2) ** 2, np.sin(theta / 2) ** 2], atol=1e-12)
+
+
+class TestTwoQubitGates:
+    def test_bell_state(self):
+        state = run(Circuit(2).h(0).cx(0, 1))
+        np.testing.assert_allclose(np.abs(state) ** 2, [0.5, 0, 0, 0.5],
+                                   atol=1e-12)
+
+    def test_cx_respects_msb_convention(self):
+        # qubit 0 is the MSB: |10> = index 2; CX(0,1) -> |11> = index 3.
+        state = run(Circuit(2).x(0).cx(0, 1))
+        np.testing.assert_allclose(np.abs(state) ** 2, [0, 0, 0, 1],
+                                   atol=1e-12)
+
+    def test_cx_no_action_on_zero_control(self):
+        state = run(Circuit(2).cx(0, 1))
+        np.testing.assert_allclose(state, [1, 0, 0, 0])
+
+    def test_swap(self):
+        state = run(Circuit(2).x(0).swap(0, 1))
+        np.testing.assert_allclose(np.abs(state) ** 2, [0, 1, 0, 0],
+                                   atol=1e-12)
+
+    def test_cz_symmetric(self):
+        s1 = run(Circuit(2).h(0).h(1).cz(0, 1))
+        s2 = run(Circuit(2).h(0).h(1).cz(1, 0))
+        np.testing.assert_allclose(s1, s2)
+
+    def test_gate_on_nonadjacent_qubits(self):
+        state = run(Circuit(3).x(0).cx(0, 2))
+        # |101> = index 5
+        np.testing.assert_allclose(np.abs(state) ** 2,
+                                   np.eye(8)[5], atol=1e-12)
+
+
+class TestNorms:
+    def test_unitarity_preserves_norm(self, rng):
+        circuit = Circuit(4)
+        for _ in range(30):
+            q = int(rng.integers(4))
+            circuit.h(q).t(q)
+            other = int(rng.integers(4))
+            if other != q:
+                circuit.cx(q, other)
+        state = run(circuit)
+        assert np.abs(state @ state.conj()) == pytest.approx(1.0)
+
+    def test_all_gate_matrices_unitary(self):
+        for name in ("I", "X", "Y", "Z"):
+            assert gates.is_unitary(gates.PAULIS[name])
+        assert gates.is_unitary(gates.H)
+        assert gates.is_unitary(gates.CX)
+        assert gates.is_unitary(gates.rx(0.3))
+        assert gates.is_unitary(gates.cphase(1.1))
+
+
+class TestSampling:
+    def test_counts_total(self, rng):
+        probs = np.array([0.5, 0.5])
+        counts = sample_counts(probs, 1000, rng)
+        assert counts.sum() == 1000
+
+    def test_deterministic_distribution(self, rng):
+        counts = sample_counts(np.array([0.0, 1.0]), 100, rng)
+        np.testing.assert_array_equal(counts, [0, 100])
+
+    def test_rejects_unnormalized(self, rng):
+        with pytest.raises(ValueError):
+            sample_counts(np.array([0.5, 0.2]), 10, rng)
+
+
+class TestCircuitValidation:
+    def test_duplicate_qubits_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            Circuit(2).cx(0, 0)
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            Circuit(2).h(2)
+
+    def test_wrong_matrix_size_rejected(self):
+        with pytest.raises(ValueError):
+            Circuit(2).append("bad", np.eye(4), 0)
+
+    def test_gate_counts(self):
+        circuit = Circuit(3).h(0).h(1).cx(0, 1).cx(1, 2).rz(0.1, 2)
+        assert circuit.gate_counts() == {"h": 2, "cx": 2, "rz": 1}
+        assert circuit.n_two_qubit_gates() == 2
+        assert circuit.n_single_qubit_gates() == 3

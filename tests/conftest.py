@@ -1,0 +1,45 @@
+"""Shared fixtures: small devices and datasets sized for fast tests."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.readout import (five_qubit_paper_device, generate_dataset,
+                           single_qubit_device)
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture(scope="session")
+def five_qubit_device():
+    return five_qubit_paper_device()
+
+
+@pytest.fixture(scope="session")
+def one_qubit_device():
+    return single_qubit_device()
+
+
+@pytest.fixture(scope="session")
+def small_dataset(five_qubit_device):
+    """A small 5-qubit dataset shared across tests (read-only)."""
+    gen = np.random.default_rng(777)
+    return generate_dataset(five_qubit_device, shots_per_state=30, rng=gen)
+
+
+@pytest.fixture(scope="session")
+def small_splits(small_dataset):
+    """Train/val/test splits of the shared dataset (read-only)."""
+    return small_dataset.split(np.random.default_rng(778), 0.5, 0.1)
+
+
+@pytest.fixture(scope="session")
+def raw_dataset(one_qubit_device):
+    """A single-qubit dataset including raw ADC traces."""
+    gen = np.random.default_rng(779)
+    return generate_dataset(one_qubit_device, shots_per_state=60, rng=gen,
+                            include_raw=True)

@@ -1,0 +1,102 @@
+"""Boxcar filter tests (Section 5.1.2 ablation design)."""
+
+import numpy as np
+import pytest
+
+from repro.core import (BoxcarDiscriminator, BoxcarFilter, best_axis_weights,
+                        boxcar_output, make_design)
+
+
+def two_classes(rng, n=150, n_bins=20, sep=0.6, noise=0.25):
+    ground = rng.normal(scale=noise, size=(n, 2, n_bins))
+    excited = ground + np.array([sep, 0.4 * sep])[None, :, None] \
+        + rng.normal(scale=noise, size=(n, 2, n_bins)) * 0
+    excited = np.full((n, 2, n_bins), 0.0)
+    excited[:, 0] = sep
+    excited[:, 1] = 0.4 * sep
+    excited = excited + rng.normal(scale=noise, size=(n, 2, n_bins))
+    return ground, excited
+
+
+class TestBoxcarOutput:
+    def test_uniform_integration(self, rng):
+        traces = rng.normal(size=(4, 2, 10))
+        out = boxcar_output(traces, 10, np.array([1.0, 0.0]))
+        np.testing.assert_allclose(out, traces[:, 0].sum(axis=1))
+
+    def test_window_limits(self, rng):
+        traces = rng.normal(size=(2, 2, 10))
+        with pytest.raises(ValueError):
+            boxcar_output(traces, 0)
+        with pytest.raises(ValueError):
+            boxcar_output(traces, 11)
+
+    def test_axis_weights_shape(self, rng):
+        with pytest.raises(ValueError):
+            boxcar_output(rng.normal(size=(2, 2, 10)), 5, np.ones(3))
+
+
+class TestBoxcarFilter:
+    def test_separates_classes(self, rng):
+        ground, excited = two_classes(rng)
+        boxcar = BoxcarFilter.fit(ground, excited)
+        pred_g = boxcar.predict(ground)
+        pred_e = boxcar.predict(excited)
+        accuracy = ((pred_g == 0).mean() + (pred_e == 1).mean()) / 2
+        assert accuracy > 0.95
+
+    def test_fixed_window_respected(self, rng):
+        ground, excited = two_classes(rng)
+        boxcar = BoxcarFilter.fit(ground, excited, window_bins=7)
+        assert boxcar.window_bins == 7
+
+    def test_window_shrinks_under_relaxation(self, rng):
+        """With heavy late-trace relaxation in the excited class, the
+        optimized window ends before the trace does."""
+        ground, excited = two_classes(rng, n=300, noise=0.15)
+        # Corrupt the tail of most excited traces toward ground (relaxation).
+        excited[: 200, :, 8:] = ground[:200, :, 8:]
+        boxcar = BoxcarFilter.fit(ground, excited)
+        assert boxcar.window_bins <= 10
+
+    def test_axis_points_along_separation(self, rng):
+        ground, excited = two_classes(rng)
+        axis = best_axis_weights(ground, excited, 20)
+        # Separation is along (+1, +0.4) from ground toward excited; Fisher
+        # direction is ground-minus-excited, so it points the other way.
+        assert axis[0] < 0
+
+
+class TestBoxcarDiscriminator:
+    def test_on_device_data(self, small_splits):
+        train, val, test = small_splits
+        design = make_design("boxcar").fit(train, val)
+        accuracy = (design.predict_bits(test) == test.labels).mean()
+        assert accuracy > 0.8
+
+    def test_worse_or_equal_to_matched_filter(self, small_splits):
+        """The MF weights per-bin SNR; uniform boxcar integration cannot
+        beat it by much (ablation justifying the MF choice)."""
+        train, val, test = small_splits
+        boxcar = make_design("boxcar").fit(train, val)
+        mf = make_design("mf").fit(train, val)
+        acc_boxcar = (boxcar.predict_bits(test) == test.labels).mean()
+        acc_mf = (mf.predict_bits(test) == test.labels).mean()
+        assert acc_boxcar <= acc_mf + 0.01
+
+    def test_optimized_windows_exposed(self, small_splits):
+        train, val, _ = small_splits
+        design = BoxcarDiscriminator().fit(train, val)
+        windows = design.optimized_windows()
+        assert len(windows) == 5
+        assert all(1 <= w <= train.n_bins for w in windows)
+
+    def test_truncation_supported(self, small_splits):
+        train, val, test = small_splits
+        design = BoxcarDiscriminator().fit(train, val)
+        pred = design.predict_bits(test.truncate(500.0))
+        assert pred.shape == (test.n_traces, 5)
+
+    def test_unfitted_raises(self, small_splits):
+        with pytest.raises(RuntimeError):
+            BoxcarDiscriminator().predict_bits(small_splits[2])

@@ -1,0 +1,139 @@
+"""Discriminator design tests on the small shared dataset."""
+
+import numpy as np
+import pytest
+
+from repro.core import (FAST_CONFIG, BaselineFNNDiscriminator,
+                        CentroidDiscriminator, DESIGN_NAMES,
+                        HerqulesDiscriminator, MFSVMDiscriminator,
+                        MFThresholdDiscriminator, bits_from_basis,
+                        make_design)
+
+
+class TestFactory:
+    def test_all_names_construct(self):
+        for name in DESIGN_NAMES:
+            design = make_design(name, FAST_CONFIG)
+            assert design.name == name
+
+    def test_centroid_available(self):
+        assert isinstance(make_design("centroid"), CentroidDiscriminator)
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError, match="unknown design"):
+            make_design("transformer")
+
+    def test_design_classes(self):
+        assert isinstance(make_design("mf"), MFThresholdDiscriminator)
+        assert isinstance(make_design("mf-svm"), MFSVMDiscriminator)
+        assert isinstance(make_design("baseline"), BaselineFNNDiscriminator)
+        herq = make_design("mf-rmf-nn")
+        assert isinstance(herq, HerqulesDiscriminator)
+        assert herq.use_rmf
+
+
+class TestBitsFromBasis:
+    def test_msb_convention(self):
+        bits = bits_from_basis(np.array([0b10110]), 5)
+        np.testing.assert_array_equal(bits, [[1, 0, 1, 1, 0]])
+
+    def test_matches_device_convention(self, five_qubit_device):
+        for b in (0, 7, 21, 31):
+            np.testing.assert_array_equal(
+                bits_from_basis(np.array([b]), 5)[0],
+                five_qubit_device.basis_state_bits(b))
+
+
+@pytest.mark.parametrize("name", ["centroid", "mf", "mf-svm", "mf-nn",
+                                  "mf-rmf-svm", "mf-rmf-nn"])
+class TestDemodDesigns:
+    def test_fit_predict_accuracy(self, name, small_splits):
+        train, val, test = small_splits
+        design = make_design(name, FAST_CONFIG).fit(train, val)
+        pred = design.predict_bits(test)
+        assert pred.shape == (test.n_traces, 5)
+        assert set(np.unique(pred)) <= {0, 1}
+        accuracy = (pred == test.labels).mean()
+        # NN designs are data-starved at this test scale; all designs must
+        # still be far above the 0.5 chance level.
+        floor = 0.7 if name.endswith("nn") else 0.8
+        assert accuracy > floor
+
+    def test_supports_truncation(self, name, small_splits):
+        train, val, test = small_splits
+        design = make_design(name, FAST_CONFIG).fit(train, val)
+        assert design.supports_truncation
+        pred = design.predict_bits(test.truncate(500.0))
+        assert pred.shape == (test.n_traces, 5)
+
+
+class TestEvaluation:
+    def test_evaluate_bundle(self, small_splits):
+        train, val, test = small_splits
+        design = make_design("mf", FAST_CONFIG).fit(train, val)
+        result = design.evaluate(test)
+        assert result.per_qubit.shape == (5,)
+        assert 0 < result.cumulative <= 1
+        assert result.misclassifications.shape == (5, 2)
+        assert result.cross_fidelity.shape == (5, 5)
+        assert 0 < result.cumulative_without(1) <= 1
+
+    def test_predict_basis_consistent(self, small_splits):
+        train, val, test = small_splits
+        design = make_design("mf", FAST_CONFIG).fit(train, val)
+        bits = design.predict_bits(test)
+        basis = design.predict_basis(test)
+        np.testing.assert_array_equal(bits_from_basis(basis, 5), bits)
+
+    def test_unfitted_predict_raises(self, small_splits):
+        _, _, test = small_splits
+        for name in ("centroid", "mf", "mf-svm", "mf-nn"):
+            with pytest.raises(RuntimeError):
+                make_design(name, FAST_CONFIG).predict_bits(test)
+
+
+class TestHerqules:
+    def test_rmf_design_tracks_history(self, small_splits):
+        train, val, _ = small_splits
+        design = HerqulesDiscriminator(use_rmf=True, config=FAST_CONFIG)
+        design.fit(train, val)
+        assert design.history is not None
+        assert design.history.epochs_run >= 1
+        assert design.bank.uses_rmf
+
+    def test_network_architecture_follows_paper(self, small_splits):
+        train, val, _ = small_splits
+        design = HerqulesDiscriminator(use_rmf=True, config=FAST_CONFIG)
+        design.fit(train, val)
+        # input 2N=10, hidden [2N, 4N, 2N], output 2^N=32
+        assert design.network.layer_sizes() == [(10, 10), (10, 20), (20, 10),
+                                                (10, 32)]
+
+    def test_mf_nn_input_is_n(self, small_splits):
+        train, val, _ = small_splits
+        design = HerqulesDiscriminator(use_rmf=False, config=FAST_CONFIG)
+        design.fit(train, val)
+        assert design.network.layer_sizes()[0] == (5, 10)
+
+
+class TestBaselineFNN:
+    def test_fit_predict_single_qubit(self, raw_dataset, rng):
+        train, val, test = raw_dataset.split(rng, 0.5, 0.2)
+        design = BaselineFNNDiscriminator(config=FAST_CONFIG)
+        design.fit(train, val)
+        pred = design.predict_bits(test)
+        assert (pred == test.labels).mean() > 0.7
+
+    def test_truncation_not_supported(self, raw_dataset, rng):
+        train, val, test = raw_dataset.split(rng, 0.5, 0.2)
+        design = BaselineFNNDiscriminator(config=FAST_CONFIG)
+        design.fit(train, val)
+        assert not design.supports_truncation
+        with pytest.raises(ValueError, match="retrained"):
+            design.predict_bits(test.truncate(500.0))
+
+    def test_architecture_input_tied_to_duration(self, raw_dataset, rng):
+        train, val, _ = raw_dataset.split(rng, 0.5, 0.2)
+        design = BaselineFNNDiscriminator(config=FAST_CONFIG)
+        design.fit(train, val)
+        assert design.network.layer_sizes()[0][0] == 1000

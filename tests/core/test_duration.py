@@ -1,0 +1,79 @@
+"""Fast-readout (duration sweep) tests."""
+
+import numpy as np
+import pytest
+
+from repro.core import (FAST_CONFIG, DurationPoint, evaluate_at_duration,
+                        make_design, saturation_duration, sweep_durations)
+
+
+@pytest.fixture(scope="module")
+def fitted_mf(request):
+    # module-scoped fit of the cheap mf design on the shared splits
+    small_splits = request.getfixturevalue("small_splits")
+    train, val, _ = small_splits
+    return make_design("mf", FAST_CONFIG).fit(train, val)
+
+
+class TestEvaluateAtDuration:
+    def test_full_duration_matches_evaluate(self, fitted_mf, small_splits):
+        _, _, test = small_splits
+        point = evaluate_at_duration(fitted_mf, test, 1000.0)
+        assert point.duration_ns == 1000.0
+        result = fitted_mf.evaluate(test)
+        assert point.cumulative_accuracy == pytest.approx(result.cumulative)
+
+    def test_shorter_duration_usually_worse(self, fitted_mf, small_splits):
+        _, _, test = small_splits
+        long_point = evaluate_at_duration(fitted_mf, test, 1000.0)
+        short_point = evaluate_at_duration(fitted_mf, test, 150.0)
+        assert short_point.cumulative_accuracy \
+            < long_point.cumulative_accuracy
+
+    def test_rejects_non_truncatable(self, small_splits):
+        from repro.core import BaselineFNNDiscriminator
+        _, _, test = small_splits
+        design = BaselineFNNDiscriminator(FAST_CONFIG)
+        with pytest.raises(ValueError, match="retrain"):
+            evaluate_at_duration(design, test, 500.0)
+
+
+class TestSweepDurations:
+    def test_without_retraining(self, small_splits):
+        train, val, test = small_splits
+        points = sweep_durations(lambda: make_design("mf", FAST_CONFIG),
+                                 train, test, [500.0, 750.0, 1000.0], val=val)
+        assert [p.duration_ns for p in points] == [500.0, 750.0, 1000.0]
+        assert not any(p.retrained for p in points)
+
+    def test_with_retraining(self, small_splits):
+        train, val, test = small_splits
+        points = sweep_durations(lambda: make_design("centroid", FAST_CONFIG),
+                                 train, test, [500.0, 1000.0], val=val,
+                                 retrain=True)
+        assert all(p.retrained for p in points)
+        assert all(0 < p.cumulative_accuracy <= 1 for p in points)
+
+    def test_empty_durations_rejected(self, small_splits):
+        train, val, test = small_splits
+        with pytest.raises(ValueError):
+            sweep_durations(lambda: make_design("mf"), train, test, [])
+
+
+class TestSaturationDuration:
+    def _points(self, pairs):
+        return [DurationPoint(duration_ns=d, cumulative_accuracy=a,
+                              per_qubit=np.array([a]), retrained=False)
+                for d, a in pairs]
+
+    def test_picks_shortest_within_tolerance(self):
+        points = self._points([(500, 0.80), (750, 0.919), (1000, 0.92)])
+        assert saturation_duration(points, tolerance=0.002) == 750
+
+    def test_full_duration_when_no_saturation(self):
+        points = self._points([(500, 0.5), (750, 0.7), (1000, 0.9)])
+        assert saturation_duration(points, tolerance=0.002) == 1000
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            saturation_duration([])

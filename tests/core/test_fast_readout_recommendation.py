@@ -1,0 +1,63 @@
+"""Per-qubit fast-readout recommendation tests (paper Section 5.2)."""
+
+import numpy as np
+import pytest
+
+from repro.core import (FAST_CONFIG, make_design,
+                        per_qubit_saturation_durations,
+                        recommend_ancilla_qubit)
+
+DURATIONS = (500.0, 750.0, 1000.0)
+
+
+@pytest.fixture(scope="module")
+def fitted(request):
+    small_splits = request.getfixturevalue("small_splits")
+    train, val, _ = small_splits
+    return make_design("mf", FAST_CONFIG).fit(train, val)
+
+
+class TestPerQubitDurations:
+    def test_shapes_and_bounds(self, fitted, small_splits):
+        _, _, test = small_splits
+        durations = per_qubit_saturation_durations(fitted, test, DURATIONS)
+        assert durations.shape == (5,)
+        for d in durations:
+            assert d in DURATIONS
+
+    def test_loose_tolerance_shortens(self, fitted, small_splits):
+        _, _, test = small_splits
+        tight = per_qubit_saturation_durations(fitted, test, DURATIONS,
+                                               tolerance=0.001)
+        loose = per_qubit_saturation_durations(fitted, test, DURATIONS,
+                                               tolerance=0.2)
+        assert np.all(loose <= tight)
+        # A 20% accuracy slack admits the shortest duration everywhere.
+        assert np.all(loose == min(DURATIONS))
+
+    def test_empty_durations_rejected(self, fitted, small_splits):
+        _, _, test = small_splits
+        with pytest.raises(ValueError):
+            per_qubit_saturation_durations(fitted, test, [])
+
+
+class TestAncillaRecommendation:
+    def test_returns_valid_qubit(self, fitted, small_splits):
+        _, _, test = small_splits
+        qubit = recommend_ancilla_qubit(fitted, test, DURATIONS)
+        assert 0 <= qubit < 5
+
+    def test_never_recommends_weak_qubit(self, fitted, small_splits):
+        """Qubit 2's accuracy floor disqualifies it from ancilla duty even
+        when ties on duration occur."""
+        _, _, test = small_splits
+        qubit = recommend_ancilla_qubit(fitted, test, DURATIONS,
+                                        tolerance=0.5)
+        assert qubit != 1
+
+    def test_recommendation_has_short_viable_duration(self, fitted,
+                                                      small_splits):
+        _, _, test = small_splits
+        durations = per_qubit_saturation_durations(fitted, test, DURATIONS)
+        qubit = recommend_ancilla_qubit(fitted, test, DURATIONS)
+        assert durations[qubit] == durations.min()

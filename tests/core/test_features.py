@@ -1,0 +1,78 @@
+"""MatchedFilterBank and FeatureScaler tests."""
+
+import numpy as np
+import pytest
+
+from repro.core import FeatureScaler, MatchedFilterBank
+
+
+class TestFeatureScaler:
+    def test_standardizes(self, rng):
+        x = rng.normal(loc=5.0, scale=3.0, size=(500, 4))
+        scaler = FeatureScaler.fit(x)
+        z = scaler.transform(x)
+        np.testing.assert_allclose(z.mean(axis=0), 0.0, atol=1e-10)
+        np.testing.assert_allclose(z.std(axis=0), 1.0, atol=1e-10)
+
+    def test_constant_feature_safe(self):
+        x = np.ones((10, 2))
+        scaler = FeatureScaler.fit(x)
+        z = scaler.transform(x)
+        assert np.all(np.isfinite(z))
+
+
+class TestMatchedFilterBank:
+    def test_mf_only_features(self, small_splits):
+        train, _, test = small_splits
+        bank = MatchedFilterBank.fit(train, use_rmf=False)
+        assert bank.n_features == 5
+        assert not bank.uses_rmf
+        features = bank.features(test)
+        assert features.shape == (test.n_traces, 5)
+
+    def test_rmf_doubles_features(self, small_splits):
+        train, _, test = small_splits
+        bank = MatchedFilterBank.fit(train, use_rmf=True)
+        assert bank.n_features == 10
+        assert bank.uses_rmf
+        assert bank.features(test).shape == (test.n_traces, 10)
+
+    def test_mf_features_separate_states(self, small_splits):
+        train, _, test = small_splits
+        bank = MatchedFilterBank.fit(train, use_rmf=False)
+        features = bank.features(test)
+        for q in (0, 2, 3, 4):  # well-separated qubits
+            f0 = features[test.labels[:, q] == 0, q]
+            f1 = features[test.labels[:, q] == 1, q]
+            gap = abs(f0.mean() - f1.mean())
+            assert gap > 1.5 * (f0.std() + f1.std()) / 2
+
+    def test_truncated_inference(self, small_splits):
+        train, _, test = small_splits
+        bank = MatchedFilterBank.fit(train, use_rmf=True)
+        short = test.truncate(500.0)
+        features = bank.features(short)
+        assert features.shape == (test.n_traces, 10)
+        assert np.all(np.isfinite(features))
+
+    def test_qubit_count_mismatch_rejected(self, small_splits, raw_dataset):
+        train, _, _ = small_splits
+        bank = MatchedFilterBank.fit(train, use_rmf=False)
+        with pytest.raises(ValueError, match="5 qubits"):
+            bank.features(raw_dataset)
+
+    def test_mac_operations(self, small_splits):
+        train, _, _ = small_splits
+        mf_only = MatchedFilterBank.fit(train, use_rmf=False)
+        with_rmf = MatchedFilterBank.fit(train, use_rmf=True)
+        # 5 qubits x 2 components x 20 bins = 200 MACs; RMF doubles it.
+        assert mf_only.mac_operations() == 200
+        assert with_rmf.mac_operations() == 400
+
+    def test_constructor_validation(self, small_splits):
+        train, _, _ = small_splits
+        bank = MatchedFilterBank.fit(train, use_rmf=False)
+        with pytest.raises(ValueError):
+            MatchedFilterBank(bank.filters, bank.filters[:2])
+        with pytest.raises(ValueError):
+            MatchedFilterBank([])

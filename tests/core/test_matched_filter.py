@@ -1,0 +1,110 @@
+"""Matched filter tests: envelope formula, separation, truncation."""
+
+import numpy as np
+import pytest
+
+from repro.core import MatchedFilter, apply_envelope, train_envelope
+
+
+def gaussian_classes(rng, n=200, n_bins=20, sep=1.0, noise=0.5):
+    """Two classes of I/Q traces separated along a time-varying profile."""
+    profile = np.linspace(0.2, 1.0, n_bins)  # ring-up-like separation
+    mean0 = np.zeros((2, n_bins))
+    mean1 = np.stack([sep * profile, 0.5 * sep * profile])
+    traces0 = mean0 + rng.normal(scale=noise, size=(n, 2, n_bins))
+    traces1 = mean1 + rng.normal(scale=noise, size=(n, 2, n_bins))
+    return traces0, traces1
+
+
+class TestTrainEnvelope:
+    def test_formula_mean_over_var(self, rng):
+        t0, t1 = gaussian_classes(rng)
+        n = min(len(t0), len(t1))
+        diff = t0[:n] - t1[:n]
+        expected = diff.mean(axis=0) / diff.var(axis=0)
+        np.testing.assert_allclose(train_envelope(t0, t1), expected)
+
+    def test_shape(self, rng):
+        t0, t1 = gaussian_classes(rng, n_bins=13)
+        assert train_envelope(t0, t1).shape == (2, 13)
+
+    def test_unequal_class_sizes_allowed(self, rng):
+        t0, t1 = gaussian_classes(rng)
+        env = train_envelope(t0[:50], t1)
+        assert env.shape == (2, 20)
+
+    def test_rejects_single_trace(self, rng):
+        t0, t1 = gaussian_classes(rng)
+        with pytest.raises(ValueError, match="at least two"):
+            train_envelope(t0[:1], t1)
+
+    def test_rejects_bin_mismatch(self, rng):
+        t0, _ = gaussian_classes(rng, n_bins=20)
+        _, t1 = gaussian_classes(rng, n_bins=10)
+        with pytest.raises(ValueError):
+            train_envelope(t0, t1)
+
+    def test_zero_variance_does_not_blow_up(self):
+        t0 = np.ones((5, 2, 4))
+        t1 = np.zeros((5, 2, 4))
+        env = train_envelope(t0, t1)
+        assert np.all(np.isfinite(env))
+
+
+class TestApplyEnvelope:
+    def test_output_is_dot_product(self, rng):
+        env = rng.normal(size=(2, 10))
+        traces = rng.normal(size=(7, 2, 10))
+        out = apply_envelope(env, traces)
+        expected = (env[None] * traces).sum(axis=(1, 2))
+        np.testing.assert_allclose(out, expected)
+
+    def test_truncated_traces_use_envelope_prefix(self, rng):
+        env = rng.normal(size=(2, 10))
+        traces = rng.normal(size=(3, 2, 6))
+        out = apply_envelope(env, traces)
+        expected = (env[None, :, :6] * traces).sum(axis=(1, 2))
+        np.testing.assert_allclose(out, expected)
+
+    def test_rejects_longer_traces(self, rng):
+        with pytest.raises(ValueError, match="trained on only"):
+            apply_envelope(np.zeros((2, 5)), np.zeros((1, 2, 6)))
+
+
+class TestMatchedFilter:
+    def test_separates_classes(self, rng):
+        t0, t1 = gaussian_classes(rng, sep=2.0)
+        mf = MatchedFilter.fit(t0, t1)
+        out0 = mf.apply(t0)
+        out1 = mf.apply(t1)
+        # The two output distributions should barely overlap.
+        gap = abs(out0.mean() - out1.mean())
+        assert gap > 3 * (out0.std() + out1.std()) / 2
+
+    def test_beats_uniform_weighting(self, rng):
+        """MF weighting should separate at least as well as a flat filter
+        when the per-bin SNR varies (the whole point of matched filtering)."""
+        t0, t1 = gaussian_classes(rng, n=500, sep=0.8)
+        mf = MatchedFilter.fit(t0[:250], t1[:250])
+        flat = MatchedFilter(np.sign(mf.envelope) * np.mean(np.abs(mf.envelope)))
+
+        def snr(filt):
+            o0, o1 = filt.apply(t0[250:]), filt.apply(t1[250:])
+            return abs(o0.mean() - o1.mean()) / (o0.std() + o1.std())
+
+        assert snr(mf) >= 0.95 * snr(flat)
+
+    def test_mac_operations(self):
+        mf = MatchedFilter(np.zeros((2, 20)))
+        assert mf.mac_operations() == 40
+        assert mf.mac_operations(n_bins=10) == 20
+
+    def test_fit_relaxation_uses_same_formula(self, rng):
+        relax, ground = gaussian_classes(rng)
+        rmf = MatchedFilter.fit_relaxation(relax, ground)
+        np.testing.assert_allclose(rmf.envelope,
+                                   train_envelope(relax, ground))
+
+    def test_rejects_bad_envelope(self):
+        with pytest.raises(ValueError):
+            MatchedFilter(np.zeros((3, 20)))

@@ -1,0 +1,119 @@
+"""Readout metric tests: accuracies, cross-fidelity, PR, improvement."""
+
+import numpy as np
+import pytest
+
+from repro.core import (cross_fidelity_matrix, cumulative_accuracy,
+                        mean_abs_cross_fidelity_by_distance,
+                        misclassification_counts, per_qubit_accuracy,
+                        per_state_accuracy, precision_recall,
+                        relative_improvement)
+
+
+class TestAccuracies:
+    def test_per_qubit(self):
+        labels = np.array([[0, 1], [1, 0], [1, 1]])
+        pred = np.array([[0, 1], [1, 1], [0, 1]])
+        np.testing.assert_allclose(per_qubit_accuracy(pred, labels),
+                                   [2 / 3, 2 / 3])
+
+    def test_cumulative_is_geometric_mean(self):
+        accs = np.array([0.985, 0.754, 0.966, 0.962, 0.989])
+        expected = np.prod(accs) ** (1 / 5)
+        assert cumulative_accuracy(accs) == pytest.approx(expected)
+
+    def test_paper_f5q_value(self):
+        # Table 1 mf-rmf-nn row -> F5Q = 0.927.
+        accs = [0.985, 0.754, 0.966, 0.962, 0.989]
+        assert cumulative_accuracy(np.array(accs)) == pytest.approx(0.927,
+                                                                    abs=1e-3)
+
+    def test_per_state_accuracy(self):
+        labels = np.array([[0], [0], [1], [1]])
+        pred = np.array([[0], [1], [1], [0]])
+        assert per_state_accuracy(pred, labels, 0, 0) == 0.5
+        assert per_state_accuracy(pred, labels, 0, 1) == 0.5
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            per_qubit_accuracy(np.zeros((2, 3)), np.zeros((3, 3)))
+
+    def test_cumulative_empty_rejected(self):
+        with pytest.raises(ValueError):
+            cumulative_accuracy(np.array([]))
+
+
+class TestPrecisionRecall:
+    def test_perfect(self):
+        labels = np.array([[0], [1], [1]])
+        precision, recall = precision_recall(labels, labels)
+        np.testing.assert_allclose(precision, [1.0])
+        np.testing.assert_allclose(recall, [1.0])
+
+    def test_known_values(self):
+        labels = np.array([[1], [1], [0], [0]])
+        pred = np.array([[1], [0], [1], [0]])
+        precision, recall = precision_recall(pred, labels)
+        assert precision[0] == 0.5  # 1 TP, 1 FP
+        assert recall[0] == 0.5     # 1 TP, 1 FN
+
+    def test_no_positive_predictions(self):
+        labels = np.array([[1], [1]])
+        pred = np.array([[0], [0]])
+        precision, recall = precision_recall(pred, labels)
+        assert precision[0] == 0.0
+        assert recall[0] == 0.0
+
+
+class TestMisclassification:
+    def test_counts_by_prepared_state(self):
+        labels = np.array([[0], [0], [1], [1], [1]])
+        pred = np.array([[1], [0], [0], [0], [1]])
+        counts = misclassification_counts(pred, labels)
+        np.testing.assert_array_equal(counts, [[1, 2]])
+
+
+class TestCrossFidelity:
+    def test_independent_perfect_readout_is_zero(self):
+        # Perfectly balanced labels (every 3-bit pattern equally often) give
+        # P(e_i|0_j) = P(g_i|1_j) = 0.5 exactly, so F^CF vanishes.
+        patterns = np.array([[(b >> s) & 1 for s in (2, 1, 0)]
+                             for b in range(8)])
+        labels = np.tile(patterns, (50, 1))
+        matrix = cross_fidelity_matrix(labels, labels)
+        off_diag = matrix[~np.isnan(matrix)]
+        np.testing.assert_allclose(off_diag, 0.0, atol=1e-12)
+
+    def test_diagonal_is_nan(self, rng):
+        labels = rng.integers(0, 2, size=(100, 3))
+        matrix = cross_fidelity_matrix(labels, labels)
+        assert np.all(np.isnan(np.diag(matrix)))
+
+    def test_correlated_errors_detected(self, rng):
+        """If qubit i's prediction copies qubit j's label, |F_ij| is large."""
+        n = 2000
+        labels = rng.integers(0, 2, size=(n, 2))
+        pred = labels.copy()
+        pred[:, 0] = labels[:, 1]  # qubit 0 reads out qubit 1's state
+        matrix = cross_fidelity_matrix(pred, labels)
+        assert abs(matrix[0, 1]) > 0.5
+
+    def test_by_distance_grouping(self):
+        matrix = np.full((3, 3), np.nan)
+        matrix[0, 1] = matrix[1, 0] = 0.1
+        matrix[1, 2] = matrix[2, 1] = 0.3
+        matrix[0, 2] = matrix[2, 0] = -0.5
+        by_dist = mean_abs_cross_fidelity_by_distance(matrix)
+        assert by_dist[1] == pytest.approx(0.2)
+        assert by_dist[2] == pytest.approx(0.5)
+
+
+class TestRelativeImprovement:
+    def test_paper_headline_number(self):
+        # (92.66 - 91.22) / (100 - 91.22) = 16.4%
+        assert relative_improvement(0.9122, 0.9266) == pytest.approx(0.164,
+                                                                     abs=1e-3)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            relative_improvement(1.0, 1.0)

@@ -1,0 +1,67 @@
+"""Trained-model persistence tests."""
+
+import numpy as np
+import pytest
+
+from repro.core import (FAST_CONFIG, HerqulesDiscriminator, TrainingConfig,
+                        load_herqules, save_herqules)
+
+
+@pytest.fixture(scope="module")
+def fitted_pair(request):
+    small_splits = request.getfixturevalue("small_splits")
+    train, val, _ = small_splits
+    with_rmf = HerqulesDiscriminator(use_rmf=True,
+                                     config=FAST_CONFIG).fit(train, val)
+    without = HerqulesDiscriminator(use_rmf=False,
+                                    config=FAST_CONFIG).fit(train, val)
+    return with_rmf, without
+
+
+class TestSaveLoad:
+    @pytest.mark.parametrize("index", [0, 1], ids=["mf-rmf-nn", "mf-nn"])
+    def test_roundtrip_predictions_identical(self, fitted_pair, small_splits,
+                                             tmp_path, index):
+        _, _, test = small_splits
+        design = fitted_pair[index]
+        path = str(tmp_path / "model.npz")
+        save_herqules(design, path)
+        loaded = load_herqules(path)
+        np.testing.assert_array_equal(loaded.predict_bits(test),
+                                      design.predict_bits(test))
+
+    def test_truncated_predictions_identical(self, fitted_pair, small_splits,
+                                             tmp_path):
+        _, _, test = small_splits
+        design = fitted_pair[0]
+        path = str(tmp_path / "model.npz")
+        save_herqules(design, path)
+        loaded = load_herqules(path)
+        short = test.truncate(600.0)
+        np.testing.assert_array_equal(loaded.predict_bits(short),
+                                      design.predict_bits(short))
+
+    def test_metadata_restored(self, fitted_pair, tmp_path):
+        design = fitted_pair[0]
+        path = str(tmp_path / "model.npz")
+        save_herqules(design, path)
+        loaded = load_herqules(path)
+        assert loaded.use_rmf == design.use_rmf
+        assert loaded.name == design.name
+        assert loaded.bank.n_features == design.bank.n_features
+        assert loaded.network.layer_sizes() == design.network.layer_sizes()
+
+    def test_unfitted_save_rejected(self, tmp_path):
+        design = HerqulesDiscriminator(config=FAST_CONFIG)
+        with pytest.raises(ValueError, match="unfitted"):
+            save_herqules(design, str(tmp_path / "model.npz"))
+
+    def test_version_check(self, fitted_pair, tmp_path):
+        path = str(tmp_path / "model.npz")
+        save_herqules(fitted_pair[0], path)
+        with np.load(path) as data:
+            payload = {k: data[k] for k in data.files}
+        payload["format_version"] = np.array(99)
+        np.savez_compressed(path, **payload)
+        with pytest.raises(ValueError, match="version"):
+            load_herqules(path)

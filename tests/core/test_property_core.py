@@ -1,0 +1,78 @@
+"""Property-based tests for core algorithms."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.core import (apply_envelope, cumulative_accuracy, fit_threshold,
+                        per_qubit_accuracy, train_envelope)
+from repro.core.discriminators import bits_from_basis
+
+floats = st.floats(-100, 100, allow_nan=False, allow_infinity=False)
+
+
+@given(st.integers(2, 30), st.integers(0, 2 ** 31 - 1))
+@settings(max_examples=25, deadline=None)
+def test_envelope_antisymmetric_in_classes(n, seed):
+    """Swapping class A and B negates the envelope (same variance, mean
+    flips sign) when classes have equal size."""
+    rng = np.random.default_rng(seed)
+    a = rng.normal(size=(n, 2, 6))
+    b = rng.normal(size=(n, 2, 6))
+    np.testing.assert_allclose(train_envelope(a, b),
+                               -train_envelope(b, a), atol=1e-9)
+
+
+@given(st.integers(0, 2 ** 31 - 1), st.floats(0.1, 5.0))
+@settings(max_examples=25, deadline=None)
+def test_envelope_output_scales_linearly(seed, scale):
+    rng = np.random.default_rng(seed)
+    env = rng.normal(size=(2, 8))
+    traces = rng.normal(size=(4, 2, 8))
+    np.testing.assert_allclose(apply_envelope(env, scale * traces),
+                               scale * apply_envelope(env, traces),
+                               rtol=1e-9)
+
+
+@given(arrays(np.float64, st.integers(2, 60), elements=floats),
+       st.integers(0, 2 ** 31 - 1))
+@settings(max_examples=30, deadline=None)
+def test_threshold_never_worse_than_majority(values, seed):
+    """The fitted threshold's training error is at most min(p, 1-p)."""
+    rng = np.random.default_rng(seed)
+    labels = rng.integers(0, 2, size=values.size)
+    th = fit_threshold(values, labels)
+    error = (th.predict(values) != labels).mean()
+    majority_error = min(labels.mean(), 1 - labels.mean())
+    assert error <= majority_error + 1e-12
+
+
+@given(st.lists(st.floats(0.01, 1.0), min_size=1, max_size=8))
+@settings(max_examples=40, deadline=None)
+def test_cumulative_accuracy_bounds(accs):
+    accs = np.array(accs)
+    cumulative = cumulative_accuracy(accs)
+    assert accs.min() - 1e-12 <= cumulative <= accs.max() + 1e-12
+
+
+@given(st.integers(1, 8), st.integers(0, 2 ** 31 - 1))
+@settings(max_examples=30, deadline=None)
+def test_bits_from_basis_roundtrip(n_qubits, seed):
+    rng = np.random.default_rng(seed)
+    basis = rng.integers(0, 2 ** n_qubits, size=10)
+    bits = bits_from_basis(basis, n_qubits)
+    weights = 1 << np.arange(n_qubits)[::-1]
+    np.testing.assert_array_equal(bits @ weights, basis)
+
+
+@given(st.integers(1, 6), st.integers(2, 50), st.integers(0, 2 ** 31 - 1))
+@settings(max_examples=30, deadline=None)
+def test_accuracy_complement(n_qubits, n_traces, seed):
+    """Accuracy of predictions + accuracy of inverted predictions = 1."""
+    rng = np.random.default_rng(seed)
+    labels = rng.integers(0, 2, size=(n_traces, n_qubits))
+    pred = rng.integers(0, 2, size=(n_traces, n_qubits))
+    acc = per_qubit_accuracy(pred, labels)
+    inv = per_qubit_accuracy(1 - pred, labels)
+    np.testing.assert_allclose(acc + inv, 1.0)

@@ -1,0 +1,86 @@
+"""Fixed-point quantization tests."""
+
+import numpy as np
+import pytest
+
+from repro.core import (FAST_CONFIG, HerqulesDiscriminator,
+                        QuantizedHerqules, accuracy_vs_word_size,
+                        quantization_error, quantize_array)
+
+
+@pytest.fixture(scope="module")
+def fitted(request):
+    small_splits = request.getfixturevalue("small_splits")
+    train, val, _ = small_splits
+    return HerqulesDiscriminator(use_rmf=True, config=FAST_CONFIG).fit(train,
+                                                                       val)
+
+
+class TestQuantizeArray:
+    def test_values_on_grid(self, rng):
+        values = rng.normal(size=100)
+        q = quantize_array(values, 8)
+        step = np.abs(values).max() / (2 ** 7 - 1)
+        np.testing.assert_allclose(q / step, np.round(q / step), atol=1e-9)
+
+    def test_error_shrinks_with_bits(self, rng):
+        values = rng.normal(size=1000)
+        errors = [quantization_error(values, b) for b in (4, 8, 12, 16)]
+        assert errors == sorted(errors, reverse=True)
+        assert errors[-1] < 1e-3
+
+    def test_saturation(self):
+        q = quantize_array(np.array([10.0, -10.0]), 4, max_abs=1.0)
+        assert q.max() <= 1.0 + 1e-12
+        assert q.min() >= -1.0 - 1.0 / 7  # one step below -max is allowed
+
+    def test_zero_array(self):
+        np.testing.assert_array_equal(quantize_array(np.zeros(4), 8),
+                                      np.zeros(4))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            quantize_array(np.ones(3), 1)
+
+    def test_16_bits_nearly_lossless(self, rng):
+        values = rng.normal(size=500)
+        assert quantization_error(values, 16) < 1e-4
+
+
+class TestQuantizedHerqules:
+    def test_16bit_matches_float(self, fitted, small_splits):
+        _, _, test = small_splits
+        float_pred = fitted.predict_bits(test)
+        q16_pred = QuantizedHerqules(fitted, 16).predict_bits(test)
+        agreement = (float_pred == q16_pred).mean()
+        assert agreement > 0.999  # 16-bit words are effectively lossless
+
+    def test_accuracy_degrades_gracefully(self, fitted, small_splits):
+        _, _, test = small_splits
+        results = accuracy_vs_word_size(fitted, test,
+                                        word_sizes=(16, 8, 4))
+        assert results[16] == pytest.approx(results["float"], abs=0.01)
+        assert results[4] <= results[16] + 0.01
+
+    def test_truncation_still_works(self, fitted, small_splits):
+        _, _, test = small_splits
+        quantized = QuantizedHerqules(fitted, 12)
+        pred = quantized.predict_bits(test.truncate(500.0))
+        assert pred.shape == (test.n_traces, 5)
+
+    def test_source_design_untouched(self, fitted, small_splits):
+        _, _, test = small_splits
+        before = fitted.predict_bits(test)
+        QuantizedHerqules(fitted, 4)  # aggressive quantization of the copy
+        after = fitted.predict_bits(test)
+        np.testing.assert_array_equal(before, after)
+
+    def test_requires_fitted_design(self):
+        with pytest.raises(ValueError, match="fitted"):
+            QuantizedHerqules(HerqulesDiscriminator(config=FAST_CONFIG), 8)
+
+    def test_refit_forbidden(self, fitted, small_splits):
+        train, val, _ = small_splits
+        quantized = QuantizedHerqules(fitted, 8)
+        with pytest.raises(NotImplementedError):
+            quantized.fit(train, val)

@@ -1,0 +1,99 @@
+"""Algorithm 1 tests: relaxation-trace identification."""
+
+import numpy as np
+import pytest
+
+from repro.core import get_relaxation_traces, split_excited_traces
+
+
+def make_clusters(rng, n=100, n_bins=10, ground=0.0, excited=2.0, noise=0.1):
+    """Synthetic I/Q traces clustered around scalar centers."""
+    t0 = np.full((n, 2, n_bins), ground) + rng.normal(scale=noise,
+                                                      size=(n, 2, n_bins))
+    t1 = np.full((n, 2, n_bins), excited) + rng.normal(scale=noise,
+                                                       size=(n, 2, n_bins))
+    return t0, t1
+
+
+class TestAlgorithm1:
+    def test_no_relaxations_in_clean_data(self, rng):
+        t0, t1 = make_clusters(rng)
+        labels = get_relaxation_traces(t0, t1)
+        assert labels.n_relaxations == 0
+
+    def test_planted_relaxations_found(self, rng):
+        t0, t1 = make_clusters(rng)
+        # Plant 10 "relaxed" traces: excited-labeled but sitting at ground.
+        t1[:10] = t0[:10] + rng.normal(scale=0.05, size=(10, 2, 10))
+        labels = get_relaxation_traces(t0, t1)
+        assert set(labels.relaxation_indices) == set(range(10))
+
+    def test_radius_is_half_centroid_distance(self, rng):
+        t0, t1 = make_clusters(rng, ground=0.0, excited=2.0)
+        labels = get_relaxation_traces(t0, t1)
+        centroid_dist = abs(labels.centroid_excited - labels.centroid_ground)
+        assert labels.radius == pytest.approx(centroid_dist / 2)
+
+    def test_capture_region_boundary(self, rng):
+        """Traces clearly inside the half-distance radius are captured;
+        traces near the excited centroid are not."""
+        t0, t1 = make_clusters(rng, noise=0.01)
+        t1[0] = 0.8   # 40% of the way: inside the ground region
+        t1[1] = 1.2   # 60% of the way: outside the ground region
+        labels = get_relaxation_traces(t0, t1)
+        assert 0 in labels.relaxation_indices
+        assert 1 not in labels.relaxation_indices
+
+    def test_relaxation_fraction(self, rng):
+        t0, t1 = make_clusters(rng, n=200)
+        t1[:30] = t0[:30]
+        labels = get_relaxation_traces(t0, t1)
+        assert labels.relaxation_fraction(200) == pytest.approx(0.15)
+
+    def test_fraction_requires_positive_n(self, rng):
+        t0, t1 = make_clusters(rng)
+        labels = get_relaxation_traces(t0, t1)
+        with pytest.raises(ValueError):
+            labels.relaxation_fraction(0)
+
+    def test_input_validation(self, rng):
+        t0, t1 = make_clusters(rng)
+        with pytest.raises(ValueError):
+            get_relaxation_traces(t0[:, :1], t1)  # wrong I/Q axis
+        with pytest.raises(ValueError):
+            get_relaxation_traces(t0[:0], t1)  # empty
+
+
+class TestSplitExcitedTraces:
+    def test_partition(self, rng):
+        t0, t1 = make_clusters(rng)
+        t1[:15] = t0[:15]
+        labels = get_relaxation_traces(t0, t1)
+        trusted, relax = split_excited_traces(t1, labels)
+        assert trusted.shape[0] + relax.shape[0] == t1.shape[0]
+        assert relax.shape[0] == labels.n_relaxations
+
+    def test_relax_traces_near_ground(self, rng):
+        t0, t1 = make_clusters(rng)
+        t1[:15] = t0[:15]
+        labels = get_relaxation_traces(t0, t1)
+        _, relax = split_excited_traces(t1, labels)
+        assert abs(relax.mean() - 0.0) < 0.2  # ground cluster is at 0
+
+
+class TestOnPaperDevice:
+    def test_fractions_match_t1(self, small_splits):
+        """Algorithm 1's estimated relaxation fraction should land near the
+        true relaxation probability on the simulated device (for qubits with
+        good separation)."""
+        train = small_splits[0]
+        device = train.device
+        for q in (0, 2, 3, 4):  # skip the deliberately weak qubit 2 (idx 1)
+            ground = train.qubit_traces(q, 0)
+            excited = train.qubit_traces(q, 1)
+            labels = get_relaxation_traces(ground, excited)
+            estimated = labels.relaxation_fraction(excited.shape[0])
+            true_p = 1.0 - np.exp(-1.0 / device.qubits[q].t1_us)
+            # mid-trace relaxations near the end are not captured; allow a
+            # generous band around the physical probability.
+            assert 0.3 * true_p < estimated < 1.6 * true_p

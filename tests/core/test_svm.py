@@ -1,0 +1,59 @@
+"""Linear SVM tests."""
+
+import numpy as np
+import pytest
+
+from repro.core import LinearSVM
+
+
+def blobs(rng, n=100, sep=4.0, d=3):
+    x0 = rng.normal(size=(n, d))
+    x1 = rng.normal(size=(n, d)) + sep / np.sqrt(d)
+    x = np.concatenate([x0, x1])
+    y = np.concatenate([np.zeros(n, dtype=int), np.ones(n, dtype=int)])
+    return x, y
+
+
+class TestLinearSVM:
+    def test_separates_blobs(self, rng):
+        x, y = blobs(rng)
+        svm = LinearSVM().fit(x, y)
+        assert (svm.predict(x) == y).mean() > 0.98
+
+    def test_decision_sign_matches_predict(self, rng):
+        x, y = blobs(rng)
+        svm = LinearSVM().fit(x, y)
+        scores = svm.decision_function(x)
+        np.testing.assert_array_equal(svm.predict(x), (scores > 0).astype(int))
+
+    def test_weights_point_to_positive_class(self, rng):
+        x, y = blobs(rng)
+        svm = LinearSVM().fit(x, y)
+        direction = x[y == 1].mean(axis=0) - x[y == 0].mean(axis=0)
+        assert svm.weights @ direction > 0
+
+    def test_regularization_shrinks_weights(self, rng):
+        x, y = blobs(rng, sep=8.0)
+        loose = LinearSVM(c=10.0).fit(x, y)
+        tight = LinearSVM(c=0.001).fit(x, y)
+        assert np.linalg.norm(tight.weights) < np.linalg.norm(loose.weights)
+
+    def test_deterministic(self, rng):
+        x, y = blobs(rng)
+        svm1 = LinearSVM().fit(x, y)
+        svm2 = LinearSVM().fit(x, y)
+        np.testing.assert_allclose(svm1.weights, svm2.weights)
+
+    def test_requires_both_classes(self, rng):
+        x, _ = blobs(rng)
+        with pytest.raises(ValueError, match="both classes"):
+            LinearSVM().fit(x, np.zeros(len(x), dtype=int))
+
+    def test_validation(self, rng):
+        x, y = blobs(rng)
+        with pytest.raises(ValueError):
+            LinearSVM(c=0.0)
+        with pytest.raises(ValueError):
+            LinearSVM().fit(x, y[:-1])
+        with pytest.raises(RuntimeError):
+            LinearSVM().predict(x)

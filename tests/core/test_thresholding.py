@@ -1,0 +1,65 @@
+"""Optimal 1-D threshold tests."""
+
+import numpy as np
+import pytest
+
+from repro.core import Threshold, fit_threshold
+
+
+class TestFitThreshold:
+    def test_perfectly_separable(self):
+        values = np.array([0.0, 1.0, 2.0, 10.0, 11.0, 12.0])
+        labels = np.array([0, 0, 0, 1, 1, 1])
+        th = fit_threshold(values, labels)
+        np.testing.assert_array_equal(th.predict(values), labels)
+
+    def test_inverted_polarity(self):
+        values = np.array([10.0, 11.0, 12.0, 0.0, 1.0, 2.0])
+        labels = np.array([0, 0, 0, 1, 1, 1])
+        th = fit_threshold(values, labels)
+        assert th.polarity == -1
+        np.testing.assert_array_equal(th.predict(values), labels)
+
+    def test_minimizes_training_error(self, rng):
+        values = np.concatenate([rng.normal(0, 1, 200),
+                                 rng.normal(3, 1, 200)])
+        labels = np.concatenate([np.zeros(200, dtype=int),
+                                 np.ones(200, dtype=int)])
+        th = fit_threshold(values, labels)
+        error = (th.predict(values) != labels).mean()
+        # Brute-force check: no midpoint does better.
+        best = 1.0
+        for cut in np.linspace(values.min(), values.max(), 1000):
+            for pol in (1, -1):
+                pred = (values > cut) if pol == 1 else (values < cut)
+                best = min(best, (pred.astype(int) != labels).mean())
+        assert error <= best + 1e-12
+
+    def test_all_one_class(self):
+        th = fit_threshold(np.array([1.0, 2.0, 3.0]), np.array([0, 0, 0]))
+        np.testing.assert_array_equal(th.predict(np.array([0.0, 10.0])),
+                                      [0, 0])
+
+    def test_single_point(self):
+        th = fit_threshold(np.array([5.0]), np.array([1]))
+        assert th.predict(np.array([5.0]))[0] == 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            fit_threshold(np.array([1.0]), np.array([2]))
+        with pytest.raises(ValueError):
+            fit_threshold(np.array([]), np.array([]))
+        with pytest.raises(ValueError):
+            fit_threshold(np.zeros((2, 2)), np.zeros((2, 2)))
+
+
+class TestThresholdPredict:
+    def test_positive_polarity(self):
+        th = Threshold(cut=1.0, polarity=1)
+        np.testing.assert_array_equal(th.predict(np.array([0.0, 2.0])),
+                                      [0, 1])
+
+    def test_negative_polarity(self):
+        th = Threshold(cut=1.0, polarity=-1)
+        np.testing.assert_array_equal(th.predict(np.array([0.0, 2.0])),
+                                      [1, 0])

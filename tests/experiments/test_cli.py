@@ -1,0 +1,34 @@
+"""Command-line interface tests."""
+
+import pytest
+
+from repro.experiments.__main__ import build_parser, main
+
+
+class TestCLI:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "table1" in out
+        assert "fig14b" in out
+
+    def test_run_cheap_experiment(self, capsys):
+        assert main(["run", "fig14b", "--quick"]) == 0
+        out = capsys.readouterr().out
+        assert "Google" in out
+        assert "0.795" in out
+
+    def test_run_writes_output_file(self, tmp_path, capsys):
+        assert main(["run", "table4", "--quick",
+                     "--out", str(tmp_path)]) == 0
+        written = tmp_path / "table4.txt"
+        assert written.exists()
+        assert "herqules" in written.read_text()
+
+    def test_unknown_experiment_fails(self, capsys):
+        assert main(["run", "table99", "--quick"]) == 2
+        assert "unknown experiment" in capsys.readouterr().err
+
+    def test_parser_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])

@@ -1,0 +1,139 @@
+"""End-to-end experiment runner tests with the quick configuration.
+
+These verify that each paper artifact's runner produces a structurally
+correct result and that the paper's *qualitative* claims hold at small
+scale. Quantitative comparisons live in the benchmark harness.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments import (QUICK_CONFIG, ExperimentConfig,
+                               experiment_names, run_experiment)
+from repro.experiments import datasets as exp_datasets
+from repro.experiments import harness as exp_harness
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _clean_caches():
+    yield
+    exp_datasets.clear_cache()
+    exp_harness.clear_cache()
+
+
+class TestRegistry:
+    def test_all_experiments_registered(self):
+        names = experiment_names()
+        for expected in ("table1", "table2", "table3", "table4", "table5",
+                         "fig11a", "fig11b", "fig12", "fig13", "fig14a",
+                         "fig14b", "fig15"):
+            assert expected in names
+
+    def test_unknown_experiment(self):
+        with pytest.raises(KeyError, match="unknown experiment"):
+            run_experiment("table9")
+
+
+class TestConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ExperimentConfig(shots_per_state=0)
+        with pytest.raises(ValueError):
+            ExperimentConfig(train_fraction=0.9, val_fraction=0.2)
+
+
+class TestTable1:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_experiment("table1", QUICK_CONFIG)
+
+    def test_structure(self, result):
+        assert result.column("design") == ["baseline", "mf", "mf-svm",
+                                           "mf-nn", "mf-rmf-svm",
+                                           "mf-rmf-nn"]
+        for f5q in result.column("F5Q"):
+            assert 0.5 < f5q <= 1.0
+
+    def test_rmf_designs_beat_mf_only(self, result):
+        by_design = dict(zip(result.column("design"), result.column("F5Q")))
+        best_rmf = max(by_design["mf-rmf-svm"], by_design["mf-rmf-nn"])
+        assert best_rmf >= by_design["mf"] - 0.01
+
+    def test_f4q_exceeds_f5q(self, result):
+        # dropping the weak qubit always helps
+        for f5q, f4q in zip(result.column("F5Q"), result.column("F4Q")):
+            assert f4q > f5q
+
+
+class TestTable3:
+    def test_accuracy_degrades_gracefully(self):
+        result = run_experiment("table3", QUICK_CONFIG)
+        f5q = result.column("F5Q")
+        assert f5q[0] >= f5q[2]  # 1000ns at least as good as 500ns
+
+
+class TestFigures:
+    def test_fig4ab_relaxation_bias(self):
+        result = run_experiment("fig4ab", QUICK_CONFIG)
+        biases = result.column("bias")
+        # ground state must be easier than excited for most qubits
+        assert sum(b > 0 for b in biases) >= 4
+
+    def test_fig8_relaxation_fractions(self):
+        result = run_experiment("fig8", QUICK_CONFIG)
+        fractions = result.column("fraction_of_excited")
+        assert all(0.0 <= f < 0.6 for f in fractions)
+
+    def test_fig10_rmf_reduces_excited_errors(self):
+        result = run_experiment("fig10", QUICK_CONFIG)
+        counts = result.data["counts"]
+        total_excited_mfnn = counts["mf-nn"][:, 1].sum()
+        total_excited_rmf = counts["mf-rmf-nn"][:, 1].sum()
+        assert total_excited_rmf <= total_excited_mfnn * 1.2
+
+    def test_fig11b_fast_readout_scales_better(self):
+        result = run_experiment("fig11b", QUICK_CONFIG)
+        slow = result.column("duration_us_1000ns_readout")
+        fast = result.column("duration_us_500ns_readout")
+        gaps = np.array(slow) - np.array(fast)
+        assert np.all(np.diff(gaps) > 0)  # advantage grows with bits
+
+    def test_fig12_all_benchmarks_improve(self):
+        result = run_experiment("fig12", QUICK_CONFIG)
+        for ratio in result.column("normalized"):
+            assert ratio > 1.0
+        assert 1.0 < result.data["mean_normalized"] < 1.4
+
+    def test_fig14b_values(self):
+        result = run_experiment("fig14b", QUICK_CONFIG)
+        values = dict(zip(result.column("platform"),
+                          result.column("normalized_cycle_time")))
+        assert values["Google"] == pytest.approx(0.795, abs=0.002)
+        assert values["IBM"] == pytest.approx(0.836, abs=0.002)
+
+    def test_table4_shape(self):
+        result = run_experiment("table4", QUICK_CONFIG)
+        luts = dict(zip(result.column("design"),
+                        result.column("lut_percent")))
+        assert luts["herqules (RF=4)"] < 10
+        assert luts["baseline (RF=200)"] > 100
+
+
+class TestFig13Small:
+    def test_readout_error_raises_logical_rate(self):
+        # A very small instance of fig13 (d=3, few shots) to keep tests fast.
+        from repro.experiments.fig13 import run_fig13
+        result = run_fig13(QUICK_CONFIG, gate_error_rates=(0.004, 0.01),
+                           readout_errors=(0.0, 0.05), distance=3, shots=120)
+        curves = result.data["curves"]
+        # At the highest physical rate, eps=0.05 should be at least as bad
+        # as eps=0 (statistical noise allows ties at small shot counts).
+        assert curves[0.05][-1] >= curves[0.0][-1] - 0.02
+
+
+class TestFig15:
+    def test_more_data_does_not_hurt_much(self):
+        from repro.experiments.fig15 import run_fig15
+        result = run_fig15(QUICK_CONFIG, sizes=[100, 300])
+        f5q = result.column("F5Q")
+        assert f5q[1] >= f5q[0] - 0.05

@@ -1,0 +1,46 @@
+"""ExperimentResult container tests."""
+
+import pytest
+
+from repro.experiments import ExperimentResult
+
+
+def make_result():
+    return ExperimentResult(
+        experiment="toy",
+        title="A toy result",
+        headers=["design", "accuracy"],
+        rows=[["mf", 0.9], ["mf-rmf-nn", 0.95]],
+        paper_reference="paper says 0.93",
+        notes="synthetic",
+    )
+
+
+class TestExperimentResult:
+    def test_row_header_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            ExperimentResult(experiment="bad", title="t", headers=["a"],
+                             rows=[[1, 2]])
+
+    def test_to_text_contains_everything(self):
+        text = make_result().to_text()
+        assert "toy" in text
+        assert "mf-rmf-nn" in text
+        assert "0.9500" in text
+        assert "paper says 0.93" in text
+        assert "synthetic" in text
+
+    def test_column_extraction(self):
+        result = make_result()
+        assert result.column("accuracy") == [0.9, 0.95]
+        assert result.column("design") == ["mf", "mf-rmf-nn"]
+
+    def test_unknown_column(self):
+        with pytest.raises(KeyError, match="available"):
+            make_result().column("latency")
+
+    def test_text_alignment(self):
+        lines = make_result().to_text().splitlines()
+        header_line = lines[1]
+        first_row = lines[3]
+        assert header_line.index("accuracy") == first_row.index("0.9000")

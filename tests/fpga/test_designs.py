@@ -1,0 +1,90 @@
+"""Paper-number reproduction tests for the FPGA design estimates."""
+
+import pytest
+
+from repro.fpga import (VU13P, XCZU7EV, ZU28DR, baseline_cost,
+                        fig4c_fnn_cost, get_device, herqules_cost,
+                        max_qubits_per_fpga)
+
+
+class TestTable4Calibration:
+    """Table 4 of the paper, reproduced by the analytic model."""
+
+    @pytest.mark.parametrize("rf,paper_lut", [(200, 468.64), (500, 266.86),
+                                              (1000, 216.72)])
+    def test_baseline_lut_within_10_percent(self, rf, paper_lut):
+        lut = baseline_cost(rf).utilization(XCZU7EV)["LUT"]
+        assert lut == pytest.approx(paper_lut, rel=0.10)
+
+    @pytest.mark.parametrize("rf,paper_cycles", [(200, 924), (500, 2023),
+                                                 (1000, 4023)])
+    def test_baseline_latency_within_10_percent(self, rf, paper_cycles):
+        cycles = baseline_cost(rf).latency_cycles
+        assert cycles == pytest.approx(paper_cycles, rel=0.10)
+
+    @pytest.mark.parametrize("rf,paper_lut", [(4, 7.79), (64, 7.24)])
+    def test_herqules_lut_within_half_point(self, rf, paper_lut):
+        lut = herqules_cost(rf).utilization(XCZU7EV)["LUT"]
+        assert lut == pytest.approx(paper_lut, abs=0.5)
+
+    def test_latency_gap_orders_of_magnitude(self):
+        herq = herqules_cost(4).latency_cycles
+        base = baseline_cost(1000).latency_cycles
+        assert base / herq > 50
+
+    def test_baseline_never_fits(self):
+        for rf in (200, 500, 1000):
+            assert not baseline_cost(rf).fits(XCZU7EV)
+
+    def test_herqules_always_fits(self):
+        for rf in (1, 4, 16, 64):
+            assert herqules_cost(rf).fits(XCZU7EV)
+
+
+class TestFig7d:
+    def test_rmf_increment_is_marginal(self):
+        mf_nn = herqules_cost(4, use_rmf=False).utilization(XCZU7EV)["LUT"]
+        full = herqules_cost(4, use_rmf=True).utilization(XCZU7EV)["LUT"]
+        assert mf_nn < full < mf_nn + 1.0  # paper: 7.15 -> 7.79
+
+
+class TestFig14a:
+    def test_all_resources_below_10_percent(self):
+        util = herqules_cost(4).utilization(XCZU7EV)
+        for name in ("LUT", "FF", "BRAM"):
+            assert util[name] < 10.0
+
+    def test_lut_dominates(self):
+        util = herqules_cost(4).utilization(XCZU7EV)
+        assert util["LUT"] > util["FF"]
+        assert util["LUT"] > util["BRAM"]
+
+
+class TestFig4c:
+    def test_forty_percent_fnn_overflows_4x(self):
+        lut = fig4c_fnn_cost(reuse_factor=25).utilization(XCZU7EV)["LUT"]
+        assert 350 < lut < 500  # paper: ~4x over capacity
+
+
+class TestScalability:
+    def test_rfsoc_reads_more_than_50_qubits(self):
+        assert max_qubits_per_fpga(device=ZU28DR) > 50
+
+    def test_bigger_device_fits_more(self):
+        assert max_qubits_per_fpga(device=VU13P) \
+            > max_qubits_per_fpga(device=XCZU7EV)
+
+    def test_budget_fraction_monotone(self):
+        assert max_qubits_per_fpga(budget_fraction=0.8) \
+            >= max_qubits_per_fpga(budget_fraction=0.4)
+
+
+class TestDeviceCatalog:
+    def test_lookup(self):
+        assert get_device(XCZU7EV.name) is XCZU7EV
+        with pytest.raises(KeyError):
+            get_device("xc7a35t")
+
+    def test_paper_target_resources(self):
+        assert XCZU7EV.luts == 230_400
+        assert XCZU7EV.dsps == 1_728

@@ -1,0 +1,96 @@
+"""FPGA cost model tests: calibration against the paper's numbers."""
+
+import pytest
+
+from repro.fpga import (ResourceEstimate, XCZU7EV, dense_layer_sizes,
+                        estimate_infrastructure,
+                        estimate_matched_filter_bank, estimate_mlp)
+
+
+class TestDenseLayerSizes:
+    def test_baseline_architecture(self):
+        assert dense_layer_sizes(1000, [500, 250], 32) == [
+            (1000, 500), (500, 250), (250, 32)]
+
+    def test_single_layer(self):
+        assert dense_layer_sizes(4, [], 2) == [(4, 2)]
+
+
+class TestEstimateMLP:
+    def test_dsp_regime_for_small_network(self):
+        layers = dense_layer_sizes(10, [20], 32)
+        cost = estimate_mlp(layers, reuse_factor=4)
+        assert cost.dsps > 0  # small nets map to DSP slices
+
+    def test_fabric_regime_for_large_network(self):
+        layers = dense_layer_sizes(1000, [500, 250], 32)
+        cost = estimate_mlp(layers, reuse_factor=500)
+        assert cost.dsps == 0  # weight arrays overflow BRAM -> fabric mults
+
+    def test_luts_decrease_with_reuse(self):
+        layers = dense_layer_sizes(1000, [500, 250], 32)
+        luts = [estimate_mlp(layers, rf).luts for rf in (100, 400, 1000)]
+        assert luts[0] > luts[1] > luts[2]
+
+    def test_latency_increases_with_reuse(self):
+        layers = dense_layer_sizes(1000, [500, 250], 32)
+        lats = [estimate_mlp(layers, rf).latency_cycles
+                for rf in (100, 400, 1000)]
+        assert lats[0] < lats[1] < lats[2]
+
+    def test_latency_capped_by_layer_work(self):
+        # A layer with 8 weights cannot take more than 8 MAC cycles even at
+        # a huge nominal reuse factor.
+        cost = estimate_mlp([(2, 4)], reuse_factor=1000)
+        assert cost.latency_cycles < 1000 + 50
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ValueError):
+            estimate_mlp([(10, 10)], reuse_factor=0)
+        with pytest.raises(ValueError):
+            estimate_mlp([], reuse_factor=4)
+
+    def test_utilization_percentages(self):
+        cost = ResourceEstimate(luts=XCZU7EV.luts / 2, flip_flops=0, dsps=0,
+                                brams=0, latency_cycles=0)
+        assert cost.utilization(XCZU7EV)["LUT"] == pytest.approx(50.0)
+
+    def test_fits_budget(self):
+        small = ResourceEstimate(luts=1000, flip_flops=1000, dsps=10,
+                                 brams=2, latency_cycles=0)
+        assert small.fits(XCZU7EV)
+        assert not small.fits(XCZU7EV, budget_fraction=0.001)
+
+    def test_addition(self):
+        a = ResourceEstimate(1, 2, 3, 4, 5, multipliers=1)
+        b = ResourceEstimate(10, 20, 30, 40, 50, multipliers=2)
+        total = a + b
+        assert total.luts == 11
+        assert total.latency_cycles == 55
+        assert total.multipliers == 3
+
+
+class TestMatchedFilterBank:
+    def test_streaming_adds_no_latency(self):
+        cost = estimate_matched_filter_bank(5, 20)
+        assert cost.latency_cycles == 0
+
+    def test_rmf_doubles_macs(self):
+        with_rmf = estimate_matched_filter_bank(5, 20, use_rmf=True)
+        without = estimate_matched_filter_bank(5, 20, use_rmf=False)
+        assert with_rmf.multipliers == 2 * without.multipliers
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            estimate_matched_filter_bank(0, 20)
+
+
+class TestInfrastructure:
+    def test_scales_with_qubits(self):
+        one = estimate_infrastructure(1)
+        five = estimate_infrastructure(5)
+        assert five.luts == pytest.approx(5 * one.luts)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            estimate_infrastructure(0)

@@ -1,0 +1,68 @@
+"""Shared-vs-independent FNN scaling tests (paper Section 8)."""
+
+import pytest
+
+from repro.fpga import (XCZU7EV, ZU28DR, independent_fnns, scaling_sweep,
+                        shared_fnn, shared_fnn_feature_layers_only)
+
+
+class TestIndependentScaling:
+    def test_linear_resource_growth(self):
+        one = independent_fnns(1)
+        four = independent_fnns(4)
+        assert four.cost.luts == pytest.approx(4 * one.cost.luts)
+        assert four.n_qubits == 20
+
+    def test_output_layer_constant(self):
+        assert independent_fnns(1).output_layer_width == 32
+        assert independent_fnns(8).output_layer_width == 32
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            independent_fnns(0)
+
+
+class TestSharedScaling:
+    def test_output_layer_exponential(self):
+        assert shared_fnn(1).output_layer_width == 2 ** 5
+        assert shared_fnn(2).output_layer_width == 2 ** 10
+        assert shared_fnn(4).output_layer_width == 2 ** 20
+
+    def test_shared_stops_fitting_quickly(self):
+        """The paper's point: the 2^(mN) softmax becomes prohibitive."""
+        assert shared_fnn(1).fits
+        assert not shared_fnn(4).fits  # 2^20 outputs
+
+    def test_modeling_cap(self):
+        with pytest.raises(ValueError, match="40"):
+            shared_fnn(9)  # 45 qubits -> 2^45 outputs
+
+    def test_partitioned_variant_scales_much_further(self):
+        """Delegating the softmax to the CPU (hardware/software split)
+        keeps the FPGA part polynomial: ~5000x cheaper at 20 qubits, and it
+        fits once the reuse factor is raised."""
+        full = shared_fnn(4)
+        partitioned = shared_fnn_feature_layers_only(4)
+        assert partitioned.cost.luts < 0.01 * full.cost.luts
+        assert shared_fnn_feature_layers_only(4, reuse_factor=64).fits
+
+
+class TestSweep:
+    def test_sweep_covers_all_strategies(self):
+        points = scaling_sweep(3)
+        strategies = {p.strategy for p in points}
+        assert strategies == {"independent", "shared", "shared-partitioned"}
+
+    def test_independent_wins_at_scale(self):
+        """For many groups, independent FNNs fit where the shared FNN
+        cannot — the deployment recommendation implied by Section 8."""
+        points = {(p.strategy, p.n_groups): p for p in scaling_sweep(4)}
+        assert points[("independent", 4)].fits \
+            or points[("independent", 4)].cost.luts \
+            < points[("shared", 4)].cost.luts
+
+    def test_bigger_device_helps(self):
+        small = independent_fnns(10, device=XCZU7EV)
+        big = independent_fnns(10, device=ZU28DR)
+        assert big.fits or big.cost.utilization(ZU28DR)["LUT"] \
+            < small.cost.utilization(XCZU7EV)["LUT"]

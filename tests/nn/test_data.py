@@ -1,0 +1,77 @@
+"""Batching / label utility tests."""
+
+import numpy as np
+import pytest
+
+from repro.nn import iterate_minibatches, one_hot, train_val_split
+
+
+class TestOneHot:
+    def test_basic(self):
+        out = one_hot(np.array([0, 2, 1]), 3)
+        np.testing.assert_array_equal(out, np.eye(3)[[0, 2, 1]])
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            one_hot(np.array([3]), 3)
+
+    def test_rejects_2d(self):
+        with pytest.raises(ValueError):
+            one_hot(np.zeros((2, 2), dtype=int), 2)
+
+
+class TestMinibatches:
+    def test_covers_all_rows_exactly_once(self, rng):
+        x = np.arange(10).reshape(10, 1)
+        y = np.arange(10)
+        seen = []
+        for xb, yb in iterate_minibatches(x, y, 3, rng=rng):
+            seen.extend(yb.tolist())
+        assert sorted(seen) == list(range(10))
+
+    def test_batch_sizes(self, rng):
+        x = np.zeros((10, 2))
+        y = np.zeros(10)
+        sizes = [len(yb) for _, yb in iterate_minibatches(x, y, 4, rng=rng)]
+        assert sizes == [4, 4, 2]
+
+    def test_no_shuffle_preserves_order(self):
+        x = np.arange(6).reshape(6, 1)
+        y = np.arange(6)
+        batches = list(iterate_minibatches(x, y, 2, shuffle=False))
+        np.testing.assert_array_equal(batches[0][1], [0, 1])
+        np.testing.assert_array_equal(batches[2][1], [4, 5])
+
+    def test_shuffle_requires_rng(self):
+        with pytest.raises(ValueError, match="requires an rng"):
+            list(iterate_minibatches(np.zeros((4, 1)), np.zeros(4), 2))
+
+    def test_x_y_mismatch_rejected(self, rng):
+        with pytest.raises(ValueError):
+            list(iterate_minibatches(np.zeros((4, 1)), np.zeros(5), 2,
+                                     rng=rng))
+
+    def test_pairs_stay_aligned_after_shuffle(self, rng):
+        x = np.arange(20).reshape(20, 1)
+        y = np.arange(20)
+        for xb, yb in iterate_minibatches(x, y, 7, rng=rng):
+            np.testing.assert_array_equal(xb[:, 0], yb)
+
+
+class TestTrainValSplit:
+    def test_sizes(self, rng):
+        x = np.zeros((100, 2))
+        y = np.zeros(100)
+        xt, yt, xv, yv = train_val_split(x, y, 0.25, rng)
+        assert len(xv) == 25 and len(xt) == 75
+        assert len(yv) == 25 and len(yt) == 75
+
+    def test_partition_is_exact(self, rng):
+        x = np.arange(30).reshape(30, 1)
+        y = np.arange(30)
+        xt, yt, xv, yv = train_val_split(x, y, 0.3, rng)
+        assert sorted(np.concatenate([yt, yv]).tolist()) == list(range(30))
+
+    def test_rejects_bad_fraction(self, rng):
+        with pytest.raises(ValueError):
+            train_val_split(np.zeros((4, 1)), np.zeros(4), 1.5, rng)

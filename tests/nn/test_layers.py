@@ -1,0 +1,149 @@
+"""Layer forward/backward tests, including numerical gradient checks."""
+
+import numpy as np
+import pytest
+
+from repro.nn import Dense, Dropout, ReLU, Sigmoid, Tanh, make_activation
+
+
+def numerical_gradient(f, x, eps=1e-6):
+    """Central-difference gradient of scalar-valued f at x."""
+    grad = np.zeros_like(x)
+    it = np.nditer(x, flags=["multi_index"])
+    while not it.finished:
+        idx = it.multi_index
+        orig = x[idx]
+        x[idx] = orig + eps
+        plus = f()
+        x[idx] = orig - eps
+        minus = f()
+        x[idx] = orig
+        grad[idx] = (plus - minus) / (2 * eps)
+        it.iternext()
+    return grad
+
+
+class TestDense:
+    def test_forward_shape_and_value(self, rng):
+        layer = Dense(3, 2, rng)
+        x = np.array([[1.0, 2.0, 3.0]])
+        out = layer.forward(x)
+        expected = x @ layer.weight.value + layer.bias.value
+        assert out.shape == (1, 2)
+        np.testing.assert_allclose(out, expected)
+
+    def test_rejects_wrong_input_width(self, rng):
+        layer = Dense(3, 2, rng)
+        with pytest.raises(ValueError, match="3 input features"):
+            layer.forward(np.zeros((1, 4)))
+
+    def test_rejects_non_batch_input(self, rng):
+        layer = Dense(3, 2, rng)
+        with pytest.raises(ValueError, match="batch"):
+            layer.forward(np.zeros(3))
+
+    def test_backward_requires_training_forward(self, rng):
+        layer = Dense(3, 2, rng)
+        layer.forward(np.zeros((1, 3)), training=False)
+        with pytest.raises(RuntimeError):
+            layer.backward(np.zeros((1, 2)))
+
+    def test_weight_gradient_matches_numerical(self, rng):
+        layer = Dense(4, 3, rng)
+        x = rng.normal(size=(5, 4))
+        upstream = rng.normal(size=(5, 3))
+
+        def loss():
+            return float((layer.forward(x) * upstream).sum())
+
+        layer.forward(x, training=True)
+        layer.weight.zero_grad()
+        layer.bias.zero_grad()
+        layer.backward(upstream)
+        num_w = numerical_gradient(loss, layer.weight.value)
+        num_b = numerical_gradient(loss, layer.bias.value)
+        np.testing.assert_allclose(layer.weight.grad, num_w, atol=1e-5)
+        np.testing.assert_allclose(layer.bias.grad, num_b, atol=1e-5)
+
+    def test_input_gradient_matches_numerical(self, rng):
+        layer = Dense(4, 3, rng)
+        x = rng.normal(size=(2, 4))
+        upstream = rng.normal(size=(2, 3))
+        layer.forward(x, training=True)
+        grad_x = layer.backward(upstream)
+
+        def loss():
+            return float((layer.forward(x) * upstream).sum())
+
+        num_x = numerical_gradient(loss, x)
+        np.testing.assert_allclose(grad_x, num_x, atol=1e-5)
+
+    def test_gradients_accumulate(self, rng):
+        layer = Dense(2, 2, rng)
+        x = np.ones((1, 2))
+        up = np.ones((1, 2))
+        layer.forward(x, training=True)
+        layer.backward(up)
+        first = layer.weight.grad.copy()
+        layer.forward(x, training=True)
+        layer.backward(up)
+        np.testing.assert_allclose(layer.weight.grad, 2 * first)
+
+
+@pytest.mark.parametrize("activation_cls", [ReLU, Tanh, Sigmoid])
+class TestActivations:
+    def test_backward_matches_numerical(self, activation_cls, rng):
+        layer = activation_cls()
+        x = rng.normal(size=(3, 4)) + 0.1  # avoid ReLU kink at 0
+        upstream = rng.normal(size=(3, 4))
+        layer.forward(x, training=True)
+        grad = layer.backward(upstream)
+
+        def loss():
+            return float((layer.forward(x) * upstream).sum())
+
+        num = numerical_gradient(loss, x)
+        np.testing.assert_allclose(grad, num, atol=1e-5)
+
+    def test_forward_preserves_shape(self, activation_cls, rng):
+        layer = activation_cls()
+        x = rng.normal(size=(7, 3))
+        assert layer.forward(x).shape == x.shape
+
+
+class TestReLU:
+    def test_clamps_negatives(self):
+        out = ReLU().forward(np.array([[-1.0, 0.0, 2.0]]))
+        np.testing.assert_allclose(out, [[0.0, 0.0, 2.0]])
+
+
+class TestSigmoid:
+    def test_extreme_inputs_do_not_overflow(self):
+        out = Sigmoid().forward(np.array([[-1000.0, 1000.0]]))
+        assert np.all(np.isfinite(out))
+        np.testing.assert_allclose(out, [[0.0, 1.0]], atol=1e-12)
+
+
+class TestDropout:
+    def test_inactive_at_inference(self, rng):
+        layer = Dropout(0.5, rng)
+        x = rng.normal(size=(4, 4))
+        np.testing.assert_allclose(layer.forward(x, training=False), x)
+
+    def test_scales_kept_units(self, rng):
+        layer = Dropout(0.5, rng)
+        x = np.ones((2000, 1))
+        out = layer.forward(x, training=True)
+        kept = out[out > 0]
+        np.testing.assert_allclose(kept, 2.0)
+        assert 0.35 < (out > 0).mean() < 0.65
+
+    def test_rejects_bad_rate(self, rng):
+        with pytest.raises(ValueError):
+            Dropout(1.0, rng)
+
+
+def test_make_activation_lookup():
+    assert isinstance(make_activation("relu"), ReLU)
+    with pytest.raises(KeyError, match="unknown activation"):
+        make_activation("gelu")

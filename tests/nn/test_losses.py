@@ -1,0 +1,125 @@
+"""Loss function tests: values, gradients, and input validation."""
+
+import numpy as np
+import pytest
+
+from repro.nn import (BinaryCrossEntropy, MeanSquaredError,
+                      SoftmaxCrossEntropy, log_softmax, softmax)
+
+
+class TestSoftmaxHelpers:
+    def test_softmax_sums_to_one(self, rng):
+        logits = rng.normal(size=(5, 7))
+        probs = softmax(logits)
+        np.testing.assert_allclose(probs.sum(axis=1), 1.0)
+        assert np.all(probs >= 0)
+
+    def test_softmax_shift_invariance(self, rng):
+        logits = rng.normal(size=(3, 4))
+        np.testing.assert_allclose(softmax(logits),
+                                   softmax(logits + 100.0), atol=1e-12)
+
+    def test_log_softmax_stable_for_large_logits(self):
+        logits = np.array([[1e4, 0.0]])
+        out = log_softmax(logits)
+        assert np.all(np.isfinite(out))
+
+    def test_log_softmax_matches_log_of_softmax(self, rng):
+        logits = rng.normal(size=(2, 6))
+        np.testing.assert_allclose(log_softmax(logits),
+                                   np.log(softmax(logits)), atol=1e-12)
+
+
+class TestSoftmaxCrossEntropy:
+    def test_perfect_prediction_gives_small_loss(self):
+        loss = SoftmaxCrossEntropy()
+        logits = np.array([[100.0, 0.0], [0.0, 100.0]])
+        value = loss.forward(logits, np.array([0, 1]))
+        assert value < 1e-6
+
+    def test_uniform_prediction_gives_log_k(self):
+        loss = SoftmaxCrossEntropy()
+        k = 8
+        value = loss.forward(np.zeros((3, k)), np.array([0, 3, 7]))
+        np.testing.assert_allclose(value, np.log(k), atol=1e-12)
+
+    def test_gradient_matches_numerical(self, rng):
+        loss = SoftmaxCrossEntropy()
+        logits = rng.normal(size=(4, 5))
+        targets = np.array([0, 2, 4, 1])
+        loss.forward(logits, targets)
+        grad = loss.backward()
+
+        eps = 1e-6
+        num = np.zeros_like(logits)
+        for i in range(logits.shape[0]):
+            for j in range(logits.shape[1]):
+                logits[i, j] += eps
+                plus = loss.forward(logits, targets)
+                logits[i, j] -= 2 * eps
+                minus = loss.forward(logits, targets)
+                logits[i, j] += eps
+                num[i, j] = (plus - minus) / (2 * eps)
+        np.testing.assert_allclose(grad, num, atol=1e-5)
+
+    def test_rejects_out_of_range_targets(self):
+        loss = SoftmaxCrossEntropy()
+        with pytest.raises(ValueError, match="out of range"):
+            loss.forward(np.zeros((2, 3)), np.array([0, 3]))
+
+    def test_rejects_shape_mismatch(self):
+        loss = SoftmaxCrossEntropy()
+        with pytest.raises(ValueError):
+            loss.forward(np.zeros((2, 3)), np.array([0, 1, 2]))
+
+    def test_backward_before_forward_raises(self):
+        with pytest.raises(RuntimeError):
+            SoftmaxCrossEntropy().backward()
+
+
+class TestMeanSquaredError:
+    def test_zero_for_equal_inputs(self, rng):
+        loss = MeanSquaredError()
+        x = rng.normal(size=(3, 3))
+        assert loss.forward(x, x.copy()) == 0.0
+
+    def test_gradient_direction(self):
+        loss = MeanSquaredError()
+        pred = np.array([[1.0]])
+        target = np.array([[0.0]])
+        loss.forward(pred, target)
+        grad = loss.backward()
+        assert grad[0, 0] > 0  # increasing pred increases loss
+
+    def test_gradient_matches_numerical(self, rng):
+        loss = MeanSquaredError()
+        pred = rng.normal(size=(2, 3))
+        target = rng.normal(size=(2, 3))
+        loss.forward(pred, target)
+        grad = loss.backward()
+        np.testing.assert_allclose(grad, 2 * (pred - target) / pred.size)
+
+
+class TestBinaryCrossEntropy:
+    def test_perfect_prediction_near_zero(self):
+        loss = BinaryCrossEntropy()
+        value = loss.forward(np.array([0.999999, 0.000001]),
+                             np.array([1.0, 0.0]))
+        assert value < 1e-4
+
+    def test_gradient_matches_numerical(self, rng):
+        loss = BinaryCrossEntropy()
+        pred = rng.uniform(0.1, 0.9, size=(6,))
+        target = (rng.random(6) > 0.5).astype(float)
+        loss.forward(pred, target)
+        grad = loss.backward()
+        eps = 1e-7
+        num = np.zeros_like(pred)
+        for i in range(pred.size):
+            pred[i] += eps
+            plus = loss.forward(pred, target)
+            pred[i] -= 2 * eps
+            minus = loss.forward(pred, target)
+            pred[i] += eps
+            num[i] = (plus - minus) / (2 * eps)
+        np.testing.assert_allclose(grad, num, atol=1e-4)

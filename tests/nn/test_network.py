@@ -1,0 +1,69 @@
+"""Sequential container and MLP builder tests."""
+
+import numpy as np
+import pytest
+
+from repro.nn import Dense, ReLU, Sequential, build_mlp
+
+
+class TestSequential:
+    def test_parameters_collected_from_all_layers(self, rng):
+        net = Sequential([Dense(3, 4, rng), ReLU(), Dense(4, 2, rng)])
+        assert len(net.parameters()) == 4  # two weights + two biases
+
+    def test_num_parameters(self, rng):
+        net = Sequential([Dense(3, 4, rng), Dense(4, 2, rng)])
+        assert net.num_parameters() == (3 * 4 + 4) + (4 * 2 + 2)
+
+    def test_forward_composes(self, rng):
+        d1, d2 = Dense(2, 2, rng), Dense(2, 2, rng)
+        net = Sequential([d1, d2])
+        x = rng.normal(size=(3, 2))
+        np.testing.assert_allclose(net.forward(x), d2.forward(d1.forward(x)))
+
+    def test_backward_shape(self, rng):
+        net = Sequential([Dense(3, 5, rng), ReLU(), Dense(5, 2, rng)])
+        x = rng.normal(size=(4, 3))
+        net.forward(x, training=True)
+        grad = net.backward(np.ones((4, 2)))
+        assert grad.shape == (4, 3)
+
+    def test_predict_proba_rows_sum_to_one(self, rng):
+        net = build_mlp(3, [4], 5, rng)
+        probs = net.predict_proba(rng.normal(size=(6, 3)))
+        np.testing.assert_allclose(probs.sum(axis=1), 1.0)
+
+    def test_predict_returns_argmax(self, rng):
+        net = build_mlp(3, [4], 5, rng)
+        x = rng.normal(size=(6, 3))
+        np.testing.assert_array_equal(
+            net.predict(x), np.argmax(net.forward(x), axis=1))
+
+    def test_layer_sizes(self, rng):
+        net = build_mlp(10, [20, 40, 20], 32, rng)
+        assert net.layer_sizes() == [(10, 20), (20, 40), (40, 20), (20, 32)]
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            Sequential([])
+
+
+class TestBuildMLP:
+    def test_paper_baseline_architecture(self, rng):
+        net = build_mlp(1000, [500, 250], 32, rng)
+        assert net.layer_sizes() == [(1000, 500), (500, 250), (250, 32)]
+
+    def test_paper_herqules_architecture(self, rng):
+        n = 5
+        net = build_mlp(2 * n, [2 * n, 4 * n, 2 * n], 2 ** n, rng)
+        assert net.layer_sizes() == [(10, 10), (10, 20), (20, 10), (10, 32)]
+
+    def test_deterministic_given_seed(self):
+        net1 = build_mlp(4, [8], 3, np.random.default_rng(0))
+        net2 = build_mlp(4, [8], 3, np.random.default_rng(0))
+        for p1, p2 in zip(net1.parameters(), net2.parameters()):
+            np.testing.assert_array_equal(p1.value, p2.value)
+
+    def test_unknown_activation_rejected(self, rng):
+        with pytest.raises(KeyError):
+            build_mlp(2, [2], 2, rng, activation="mish")

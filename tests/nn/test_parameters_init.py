@@ -1,0 +1,50 @@
+"""Parameter container and initializer tests."""
+
+import numpy as np
+import pytest
+
+from repro.nn import Parameter, get_initializer, glorot_uniform, he_normal
+
+
+class TestParameter:
+    def test_grad_starts_zero(self):
+        p = Parameter(np.ones((2, 3)))
+        np.testing.assert_allclose(p.grad, 0.0)
+        assert p.shape == (2, 3)
+        assert p.size == 6
+
+    def test_zero_grad_in_place(self):
+        p = Parameter(np.ones(3))
+        grad_ref = p.grad
+        p.grad[...] = 7.0
+        p.zero_grad()
+        assert grad_ref is p.grad
+        np.testing.assert_allclose(p.grad, 0.0)
+
+    def test_stored_as_float64(self):
+        p = Parameter(np.array([1, 2], dtype=np.int32))
+        assert p.value.dtype == np.float64
+
+
+class TestInitializers:
+    def test_glorot_bounds(self, rng):
+        w = glorot_uniform(100, 50, rng)
+        limit = np.sqrt(6.0 / 150)
+        assert w.shape == (100, 50)
+        assert np.all(np.abs(w) <= limit)
+
+    def test_he_variance(self, rng):
+        w = he_normal(1000, 200, rng)
+        expected_std = np.sqrt(2.0 / 1000)
+        assert abs(w.std() - expected_std) / expected_std < 0.05
+
+    def test_rejects_bad_dimensions(self, rng):
+        with pytest.raises(ValueError):
+            he_normal(0, 5, rng)
+        with pytest.raises(ValueError):
+            glorot_uniform(5, -1, rng)
+
+    def test_lookup(self):
+        assert get_initializer("he_normal") is he_normal
+        with pytest.raises(KeyError, match="unknown initializer"):
+            get_initializer("orthogonal")

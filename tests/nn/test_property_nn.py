@@ -1,0 +1,84 @@
+"""Property-based tests for the NN framework (hypothesis)."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.nn import (Dense, ReLU, SoftmaxCrossEntropy, Tanh, log_softmax,
+                      softmax)
+
+finite_floats = st.floats(min_value=-50.0, max_value=50.0,
+                          allow_nan=False, allow_infinity=False)
+
+
+@st.composite
+def logit_matrices(draw):
+    rows = draw(st.integers(1, 6))
+    cols = draw(st.integers(2, 8))
+    return draw(arrays(np.float64, (rows, cols), elements=finite_floats))
+
+
+@given(logit_matrices())
+@settings(max_examples=40, deadline=None)
+def test_softmax_is_distribution(logits):
+    probs = softmax(logits)
+    assert np.all(probs >= 0)
+    np.testing.assert_allclose(probs.sum(axis=1), 1.0, atol=1e-9)
+
+
+@given(logit_matrices(), st.floats(-100, 100, allow_nan=False))
+@settings(max_examples=40, deadline=None)
+def test_softmax_shift_invariant(logits, shift):
+    np.testing.assert_allclose(softmax(logits), softmax(logits + shift),
+                               atol=1e-9)
+
+
+@given(logit_matrices())
+@settings(max_examples=40, deadline=None)
+def test_log_softmax_never_positive(logits):
+    assert np.all(log_softmax(logits) <= 1e-12)
+
+
+@given(logit_matrices())
+@settings(max_examples=40, deadline=None)
+def test_cross_entropy_non_negative(logits):
+    loss = SoftmaxCrossEntropy()
+    targets = np.zeros(logits.shape[0], dtype=int)
+    assert loss.forward(logits, targets) >= 0.0
+
+
+@given(logit_matrices())
+@settings(max_examples=40, deadline=None)
+def test_cross_entropy_gradient_rows_sum_to_zero(logits):
+    # d/dlogits of softmax CE sums to zero across classes for each sample.
+    loss = SoftmaxCrossEntropy()
+    targets = np.zeros(logits.shape[0], dtype=int)
+    loss.forward(logits, targets)
+    grad = loss.backward()
+    np.testing.assert_allclose(grad.sum(axis=1), 0.0, atol=1e-12)
+
+
+@given(arrays(np.float64, (4, 5), elements=finite_floats))
+@settings(max_examples=40, deadline=None)
+def test_relu_idempotent(x):
+    relu = ReLU()
+    once = relu.forward(x)
+    np.testing.assert_array_equal(once, relu.forward(once))
+
+
+@given(arrays(np.float64, (3, 4), elements=finite_floats))
+@settings(max_examples=40, deadline=None)
+def test_tanh_bounded(x):
+    out = Tanh().forward(x)
+    assert np.all(np.abs(out) <= 1.0)
+
+
+@given(arrays(np.float64, (2, 3), elements=finite_floats),
+       st.integers(0, 2 ** 31 - 1))
+@settings(max_examples=30, deadline=None)
+def test_dense_is_linear(x, seed):
+    layer = Dense(3, 2, np.random.default_rng(seed))
+    out_sum = layer.forward(x) + layer.forward(2 * x)
+    out_joint = layer.forward(3 * x) + layer.bias.value  # f(a)+f(b)=f(a+b)+bias
+    np.testing.assert_allclose(out_sum, out_joint, atol=1e-8)

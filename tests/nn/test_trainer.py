@@ -1,0 +1,85 @@
+"""Trainer tests: learning a separable problem, early stopping, restore."""
+
+import numpy as np
+import pytest
+
+from repro.nn import (Adam, SoftmaxCrossEntropy, Trainer, build_mlp,
+                      evaluate_accuracy)
+
+
+def make_blobs(rng, n_per_class=60, separation=4.0):
+    """Two Gaussian blobs in 2-D."""
+    x0 = rng.normal(size=(n_per_class, 2))
+    x1 = rng.normal(size=(n_per_class, 2)) + separation
+    x = np.concatenate([x0, x1])
+    y = np.concatenate([np.zeros(n_per_class, dtype=int),
+                        np.ones(n_per_class, dtype=int)])
+    order = rng.permutation(len(y))
+    return x[order], y[order]
+
+
+def make_trainer(net, rng, **kwargs):
+    defaults = dict(batch_size=16, max_epochs=60, patience=None)
+    defaults.update(kwargs)
+    return Trainer(network=net, loss=SoftmaxCrossEntropy(),
+                   optimizer=Adam(net.parameters(), lr=0.01),
+                   rng=rng, **defaults)
+
+
+class TestTrainer:
+    def test_learns_separable_blobs(self, rng):
+        x, y = make_blobs(rng)
+        net = build_mlp(2, [8], 2, rng)
+        make_trainer(net, rng).fit(x, y)
+        assert evaluate_accuracy(net, x, y) > 0.95
+
+    def test_learns_xor(self, rng):
+        x = np.array([[0, 0], [0, 1], [1, 0], [1, 1]], dtype=float)
+        x = np.tile(x, (30, 1)) + rng.normal(scale=0.05, size=(120, 2))
+        y = np.tile(np.array([0, 1, 1, 0]), 30)
+        net = build_mlp(2, [16, 16], 2, rng)
+        make_trainer(net, rng, max_epochs=150).fit(x, y)
+        assert evaluate_accuracy(net, x, y) > 0.9
+
+    def test_history_records_epochs(self, rng):
+        x, y = make_blobs(rng, n_per_class=20)
+        net = build_mlp(2, [4], 2, rng)
+        history = make_trainer(net, rng, max_epochs=5).fit(x, y)
+        assert history.epochs_run == 5
+        assert len(history.train_loss) == 5
+        assert history.val_loss == []  # no validation set given
+
+    def test_early_stopping_triggers(self, rng):
+        x, y = make_blobs(rng)
+        net = build_mlp(2, [8], 2, rng)
+        trainer = make_trainer(net, rng, max_epochs=200, patience=3)
+        history = trainer.fit(x, y, x, y)
+        assert history.epochs_run < 200
+        assert history.stopped_early
+
+    def test_validation_tracked_and_best_restored(self, rng):
+        x, y = make_blobs(rng)
+        x_val, y_val = make_blobs(rng, n_per_class=30)
+        net = build_mlp(2, [8], 2, rng)
+        trainer = make_trainer(net, rng, max_epochs=30, patience=10)
+        history = trainer.fit(x, y, x_val, y_val)
+        assert len(history.val_loss) == history.epochs_run
+        assert 0 <= history.best_epoch < history.epochs_run
+        # Restored parameters should reproduce the best validation loss.
+        loss = SoftmaxCrossEntropy()
+        restored = loss.forward(net.forward(x_val), y_val)
+        np.testing.assert_allclose(restored, min(history.val_loss),
+                                   atol=1e-9)
+
+    def test_train_loss_decreases(self, rng):
+        x, y = make_blobs(rng)
+        net = build_mlp(2, [8], 2, rng)
+        history = make_trainer(net, rng, max_epochs=20).fit(x, y)
+        assert history.train_loss[-1] < history.train_loss[0]
+
+    def test_invalid_hyperparameters(self, rng):
+        net = build_mlp(2, [4], 2, rng)
+        with pytest.raises(ValueError):
+            make_trainer(net, rng, max_epochs=0)
+        with pytest.raises(ValueError):
+            make_trainer(net, rng, patience=0)

@@ -1,0 +1,82 @@
+"""MWPM decoder tests."""
+
+import pytest
+
+from repro.qec import (Defect, PlanarLattice, loglikelihood_weight,
+                       match_defects)
+
+
+@pytest.fixture
+def lattice():
+    return PlanarLattice(5)  # checks: 5 rows x 4 cols
+
+
+class TestWeights:
+    def test_loglikelihood_positive_below_half(self):
+        assert loglikelihood_weight(0.1) > 0
+
+    def test_smaller_p_means_larger_weight(self):
+        assert loglikelihood_weight(0.01) > loglikelihood_weight(0.1)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            loglikelihood_weight(0.0)
+        with pytest.raises(ValueError):
+            loglikelihood_weight(0.6)
+
+
+class TestMatching:
+    def test_empty_defects(self, lattice):
+        result = match_defects([], lattice, 1.0, 1.0)
+        assert result.pairs == ()
+        assert result.correction_crossing_parity() == 0
+
+    def test_adjacent_pair_matched_together(self, lattice):
+        defects = [Defect(0, 2, 1), Defect(0, 2, 2)]
+        result = match_defects(defects, lattice, 1.0, 1.0)
+        assert result.pairs == ((0, 1),)
+        assert result.correction_crossing_parity() == 0
+
+    def test_far_pair_goes_to_boundaries(self, lattice):
+        # Both defects hug opposite boundaries: cheaper to match each out.
+        defects = [Defect(0, 2, 0), Defect(0, 2, 3)]
+        result = match_defects(defects, lattice, 1.0, 1.0)
+        assert result.pairs == ()
+        assert result.left_boundary_matches == (0,)
+        assert result.right_boundary_matches == (1,)
+        assert result.correction_crossing_parity() == 1
+
+    def test_single_defect_matches_nearest_boundary(self, lattice):
+        result = match_defects([Defect(0, 1, 0)], lattice, 1.0, 1.0)
+        assert result.left_boundary_matches == (0,)
+
+    def test_single_defect_right_side(self, lattice):
+        result = match_defects([Defect(0, 1, 3)], lattice, 1.0, 1.0)
+        assert result.right_boundary_matches == (0,)
+        assert result.correction_crossing_parity() == 0
+
+    def test_time_separated_pair(self, lattice):
+        # Same check flipped in consecutive rounds = measurement error;
+        # cheap time edge keeps them paired when time weight is low.
+        defects = [Defect(0, 2, 1), Defect(1, 2, 1)]
+        result = match_defects(defects, lattice, 5.0, 0.5)
+        assert result.pairs == ((0, 1),)
+
+    def test_expensive_time_forces_boundary(self, lattice):
+        # With extremely expensive time edges, two time-separated defects
+        # prefer their boundaries.
+        defects = [Defect(0, 2, 0), Defect(4, 2, 0)]
+        result = match_defects(defects, lattice, 1.0, 100.0)
+        assert len(result.left_boundary_matches) == 2
+        assert result.correction_crossing_parity() == 0
+
+    def test_odd_defect_count_fully_matched(self, lattice):
+        defects = [Defect(0, 0, 0), Defect(0, 0, 1), Defect(0, 4, 3)]
+        result = match_defects(defects, lattice, 1.0, 1.0)
+        matched = 2 * len(result.pairs) + len(result.left_boundary_matches) \
+            + len(result.right_boundary_matches)
+        assert matched == 3
+
+    def test_weight_validation(self, lattice):
+        with pytest.raises(ValueError):
+            match_defects([], lattice, 0.0, 1.0)

@@ -1,0 +1,79 @@
+"""Memory-experiment tests: logical error behaviour."""
+
+import numpy as np
+import pytest
+
+from repro.qec import (MemoryExperimentResult, logical_error_sweep,
+                       run_memory_experiment)
+
+
+class TestMemoryExperiment:
+    def test_tiny_noise_rarely_fails(self, rng):
+        result = run_memory_experiment(distance=3, rounds=3,
+                                       physical_error_rate=1e-4,
+                                       measurement_error_rate=0.0,
+                                       shots=200, rng=rng)
+        assert result.logical_error_probability < 0.02
+
+    def test_heavy_noise_fails_often(self, rng):
+        result = run_memory_experiment(distance=3, rounds=3,
+                                       physical_error_rate=0.25,
+                                       measurement_error_rate=0.1,
+                                       shots=200, rng=rng)
+        assert result.logical_error_probability > 0.1
+
+    def test_logical_rate_grows_with_physical(self, rng):
+        low = run_memory_experiment(3, 3, 0.01, 0.01, 400, rng)
+        high = run_memory_experiment(3, 3, 0.10, 0.01, 400, rng)
+        assert high.logical_error_probability \
+            >= low.logical_error_probability
+
+    def test_readout_error_hurts(self, rng):
+        quiet = run_memory_experiment(3, 5, 0.03, 0.0, 500, rng)
+        noisy = run_memory_experiment(3, 5, 0.03, 0.10, 500, rng)
+        assert noisy.logical_error_probability \
+            > quiet.logical_error_probability
+
+    def test_distance_suppresses_below_threshold(self, rng):
+        # Well below threshold, a larger code should not do worse.
+        d3 = run_memory_experiment(3, 3, 0.01, 0.01, 500, rng)
+        d5 = run_memory_experiment(5, 3, 0.01, 0.01, 500, rng)
+        assert d5.logical_error_probability \
+            <= d3.logical_error_probability + 0.02
+
+    def test_per_round_rate_below_total(self, rng):
+        result = run_memory_experiment(3, 5, 0.05, 0.02, 300, rng)
+        assert result.logical_error_per_round \
+            <= result.logical_error_probability + 1e-12
+
+    def test_validation(self, rng):
+        with pytest.raises(ValueError):
+            run_memory_experiment(3, 0, 0.01, 0.0, 10, rng)
+        with pytest.raises(ValueError):
+            run_memory_experiment(3, 3, 0.6, 0.0, 10, rng)
+        with pytest.raises(ValueError):
+            run_memory_experiment(3, 3, 0.01, 0.0, 0, rng)
+
+
+class TestSweep:
+    def test_sweep_structure(self, rng):
+        results = logical_error_sweep(3, [0.02, 0.05], 0.01, shots=100,
+                                      rng=rng)
+        assert len(results) == 2
+        assert results[0].physical_error_rate == 0.02
+        # measurement error = physical + readout
+        assert results[0].measurement_error_rate == pytest.approx(0.03)
+
+    def test_default_rounds_equal_distance(self, rng):
+        results = logical_error_sweep(3, [0.02], 0.0, shots=50, rng=rng)
+        assert results[0].rounds == 3
+
+
+class TestResultContainer:
+    def test_per_round_conversion(self):
+        result = MemoryExperimentResult(distance=3, rounds=5,
+                                        physical_error_rate=0.01,
+                                        measurement_error_rate=0.01,
+                                        shots=100, logical_failures=10)
+        assert result.logical_error_probability == 0.1
+        assert 0 < result.logical_error_per_round < 0.1

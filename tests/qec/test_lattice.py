@@ -1,0 +1,95 @@
+"""Planar lattice bookkeeping tests."""
+
+import numpy as np
+import pytest
+
+from repro.qec import PlanarLattice
+
+
+class TestCounts:
+    @pytest.mark.parametrize("d", [2, 3, 5, 7])
+    def test_planar_code_counts(self, d):
+        lat = PlanarLattice(d)
+        assert lat.n_checks == d * (d - 1)
+        assert lat.n_data == d * d + (d - 1) * (d - 1)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PlanarLattice(1)
+
+
+class TestIncidence:
+    def test_every_data_qubit_touches_one_or_two_checks(self):
+        lat = PlanarLattice(5)
+        for checks in lat.data_to_checks():
+            assert 1 <= len(checks) <= 2
+
+    def test_boundary_edges_touch_single_check(self):
+        lat = PlanarLattice(3)
+        incidence = lat.data_to_checks()
+        left = lat.horizontal_index(0, 0)
+        right = lat.horizontal_index(0, lat.distance - 1)
+        assert len(incidence[left]) == 1
+        assert len(incidence[right]) == 1
+
+    def test_interior_horizontal_edge_connects_row_neighbours(self):
+        lat = PlanarLattice(4)
+        incidence = lat.data_to_checks()
+        edge = lat.horizontal_index(1, 1)
+        assert incidence[edge] == (lat.check_index(1, 0),
+                                   lat.check_index(1, 1))
+
+    def test_vertical_edge_connects_column_neighbours(self):
+        lat = PlanarLattice(4)
+        incidence = lat.data_to_checks()
+        edge = lat.vertical_index(0, 2)
+        assert incidence[edge] == (lat.check_index(0, 2),
+                                   lat.check_index(1, 2))
+
+    def test_parity_check_matrix_consistent(self):
+        lat = PlanarLattice(3)
+        matrix = lat.parity_check_matrix()
+        assert matrix.shape == (lat.n_checks, lat.n_data)
+        column_weights = matrix.sum(axis=0)
+        assert set(column_weights.tolist()) <= {1, 2}
+
+    def test_single_error_syndrome(self):
+        lat = PlanarLattice(3)
+        matrix = lat.parity_check_matrix()
+        error = np.zeros(lat.n_data, dtype=np.uint8)
+        error[lat.horizontal_index(1, 1)] = 1
+        syndrome = (matrix @ error) % 2
+        assert syndrome.sum() == 2  # interior error flips two checks
+
+
+class TestLogicalStructure:
+    def test_left_boundary_edges_count(self):
+        lat = PlanarLattice(5)
+        assert len(lat.left_boundary_edges()) == 5
+
+    def test_left_right_chain_has_distance_weight(self):
+        """A full left-right error chain along one row touches d qubits."""
+        lat = PlanarLattice(5)
+        matrix = lat.parity_check_matrix()
+        error = np.zeros(lat.n_data, dtype=np.uint8)
+        for slot in range(lat.distance):
+            error[lat.horizontal_index(2, slot)] = 1
+        assert error.sum() == lat.distance
+        syndrome = (matrix @ error) % 2
+        np.testing.assert_array_equal(syndrome, 0)  # undetectable = logical
+
+    def test_boundary_distance(self):
+        lat = PlanarLattice(5)  # 4 columns of checks
+        assert lat.boundary_distance(0) == (1, 4)
+        assert lat.boundary_distance(3) == (4, 1)
+
+    def test_index_validation(self):
+        lat = PlanarLattice(3)
+        with pytest.raises(ValueError):
+            lat.check_index(3, 0)
+        with pytest.raises(ValueError):
+            lat.horizontal_index(0, 3)
+        with pytest.raises(ValueError):
+            lat.vertical_index(2, 0)
+        with pytest.raises(ValueError):
+            lat.boundary_distance(2)

@@ -1,0 +1,44 @@
+"""Surface-code cycle timing tests (Fig 14b)."""
+
+import pytest
+
+from repro.qec import (GOOGLE, IBM, PLATFORMS, PlatformTiming,
+                       fig14b_normalized_cycle_times)
+
+
+class TestPlatformTiming:
+    def test_gate_time_structure(self):
+        platform = PlatformTiming(name="toy", single_qubit_ns=10,
+                                  two_qubit_ns=20, scheduling_overhead_ns=5)
+        assert platform.gate_time_ns() == 2 * 10 + 4 * 20 + 5
+
+    def test_cycle_dominated_by_readout(self):
+        for platform in PLATFORMS.values():
+            assert platform.readout_ns > platform.gate_time_ns()
+
+    def test_normalized_identity_at_full_readout(self):
+        assert GOOGLE.normalized_cycle_time(1.0) == pytest.approx(1.0)
+
+    def test_faster_gates_amplify_readout_savings(self):
+        # Google's faster gates make the 25% readout cut more valuable.
+        assert GOOGLE.normalized_cycle_time(0.75) \
+            < IBM.normalized_cycle_time(0.75)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PlatformTiming(name="bad", single_qubit_ns=-1, two_qubit_ns=0,
+                           scheduling_overhead_ns=0)
+        with pytest.raises(ValueError):
+            GOOGLE.cycle_time_ns(0.0)
+
+
+class TestFig14bCalibration:
+    def test_paper_values(self):
+        values = fig14b_normalized_cycle_times(0.75)
+        assert values["Google"] == pytest.approx(0.795, abs=0.002)
+        assert values["IBM"] == pytest.approx(0.836, abs=0.002)
+
+    def test_halved_readout(self):
+        values = fig14b_normalized_cycle_times(0.5)
+        assert values["Google"] < 0.7
+        assert values["IBM"] < 0.75

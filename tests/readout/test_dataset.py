@@ -1,0 +1,127 @@
+"""ReadoutDataset tests: splits, truncation, persistence, views."""
+
+import numpy as np
+import pytest
+
+from repro.readout import ReadoutDataset, generate_dataset
+
+
+class TestGeneration:
+    def test_all_basis_states_present(self, small_dataset):
+        assert set(np.unique(small_dataset.basis)) == set(range(32))
+
+    def test_labels_match_basis(self, small_dataset, five_qubit_device):
+        for i in range(0, small_dataset.n_traces, 97):
+            expected = five_qubit_device.basis_state_bits(
+                int(small_dataset.basis[i]))
+            np.testing.assert_array_equal(small_dataset.labels[i], expected)
+
+    def test_subset_of_states(self, five_qubit_device, rng):
+        ds = generate_dataset(five_qubit_device, 5, rng,
+                              basis_states=[0, 31])
+        assert set(np.unique(ds.basis)) == {0, 31}
+        assert ds.n_traces == 10
+
+    def test_raw_optional(self, small_dataset, raw_dataset):
+        assert small_dataset.raw is None
+        assert raw_dataset.raw is not None
+        assert raw_dataset.raw.shape[1] == 2
+
+    def test_rejects_bad_shots(self, five_qubit_device, rng):
+        with pytest.raises(ValueError):
+            generate_dataset(five_qubit_device, 0, rng)
+
+
+class TestSplit:
+    def test_paper_fractions(self, small_dataset, rng):
+        train, val, test = small_dataset.split(rng)
+        n = small_dataset.n_traces
+        assert train.n_traces == pytest.approx(0.195 * n, rel=0.05)
+        assert val.n_traces == pytest.approx(0.105 * n, rel=0.05)
+        assert train.n_traces + val.n_traces + test.n_traces == n
+
+    def test_split_is_partition(self, small_dataset, rng):
+        train, val, test = small_dataset.split(rng, 0.5, 0.2)
+        total = train.n_traces + val.n_traces + test.n_traces
+        assert total == small_dataset.n_traces
+
+    def test_invalid_fractions(self, small_dataset, rng):
+        with pytest.raises(ValueError):
+            small_dataset.split(rng, 0.8, 0.3)
+
+
+class TestTruncate:
+    def test_bins_and_duration(self, small_dataset):
+        short = small_dataset.truncate(750.0)
+        assert short.n_bins == 15
+        assert short.duration_ns == 750.0
+        np.testing.assert_array_equal(short.labels, small_dataset.labels)
+
+    def test_prefix_preserved(self, small_dataset):
+        short = small_dataset.truncate(500.0)
+        np.testing.assert_array_equal(short.demod,
+                                      small_dataset.demod[..., :10])
+
+    def test_raw_truncated_too(self, raw_dataset):
+        short = raw_dataset.truncate(500.0)
+        assert short.raw.shape[-1] == 250
+
+    def test_rounds_down_to_bins(self, small_dataset):
+        short = small_dataset.truncate(779.0)
+        assert short.n_bins == 15
+
+    def test_too_short_rejected(self, small_dataset):
+        with pytest.raises(ValueError):
+            small_dataset.truncate(10.0)
+
+
+class TestViews:
+    def test_qubit_traces_filters_by_state(self, small_dataset):
+        traces0 = small_dataset.qubit_traces(2, 0)
+        traces1 = small_dataset.qubit_traces(2, 1)
+        n0 = (small_dataset.labels[:, 2] == 0).sum()
+        assert traces0.shape == (n0, 2, small_dataset.n_bins)
+        assert traces0.shape[0] + traces1.shape[0] == small_dataset.n_traces
+
+    def test_mtv_shape(self, small_dataset):
+        mtv = small_dataset.mtv()
+        assert mtv.shape == (small_dataset.n_traces, 5)
+        assert np.iscomplexobj(mtv)
+
+    def test_baseline_inputs(self, raw_dataset):
+        x = raw_dataset.baseline_inputs()
+        assert x.shape == (raw_dataset.n_traces, 2 * 500)
+
+    def test_baseline_inputs_requires_raw(self, small_dataset):
+        with pytest.raises(ValueError, match="include_raw"):
+            small_dataset.baseline_inputs()
+
+    def test_subset(self, small_dataset):
+        sub = small_dataset.subset(np.array([0, 5, 9]))
+        assert sub.n_traces == 3
+        np.testing.assert_array_equal(sub.basis,
+                                      small_dataset.basis[[0, 5, 9]])
+
+    def test_concatenate(self, small_dataset):
+        both = small_dataset.concatenate(small_dataset)
+        assert both.n_traces == 2 * small_dataset.n_traces
+
+
+class TestPersistence:
+    def test_save_load_roundtrip(self, raw_dataset, tmp_path):
+        path = str(tmp_path / "ds.npz")
+        raw_dataset.save(path)
+        loaded = ReadoutDataset.load(path)
+        np.testing.assert_allclose(loaded.demod, raw_dataset.demod)
+        np.testing.assert_array_equal(loaded.labels, raw_dataset.labels)
+        np.testing.assert_allclose(loaded.raw, raw_dataset.raw)
+        assert loaded.device.n_qubits == raw_dataset.device.n_qubits
+        assert loaded.device.qubits[0].t1_us == raw_dataset.device.qubits[0].t1_us
+        np.testing.assert_allclose(loaded.device.crosstalk,
+                                   raw_dataset.device.crosstalk)
+
+    def test_loaded_device_usable(self, raw_dataset, tmp_path, rng):
+        path = str(tmp_path / "ds.npz")
+        raw_dataset.save(path)
+        loaded = ReadoutDataset.load(path)
+        assert loaded.truncate(500.0).n_bins == 10

@@ -1,0 +1,98 @@
+"""Digital demodulation tests: tone extraction and I/Q conversions."""
+
+import numpy as np
+import pytest
+
+from repro.readout import (complex_to_iq, demodulate, demodulate_all,
+                           iq_to_complex, mean_trace_value,
+                           single_qubit_device)
+from repro.readout.parameters import DeviceParams, QubitReadoutParams
+
+
+def make_device(freqs):
+    qubits = tuple(QubitReadoutParams(intermediate_freq_mhz=f,
+                                      iq_ground=1.0 + 0j,
+                                      iq_excited=1.5 + 0j, t1_us=10.0)
+                   for f in freqs)
+    return DeviceParams(qubits=qubits, noise_std=0.0)
+
+
+class TestDemodulate:
+    def test_recovers_constant_amplitude(self):
+        device = make_device([80.0])
+        t = device.sample_times_ns()
+        amplitude = 0.7 - 0.2j
+        raw = amplitude * np.exp(2j * np.pi * 80.0e-3 * t)[None, :]
+        demod = demodulate(raw, device, 0)
+        assert demod.shape == (1, device.n_bins)
+        np.testing.assert_allclose(demod[0], amplitude, atol=1e-12)
+
+    def test_rejects_other_tone_when_commensurate(self):
+        # 80 and 120 MHz differ by 40 MHz = 2 cycles per 50 ns bin: the
+        # demodulation window nulls the neighbouring tone exactly.
+        device = make_device([80.0, 120.0])
+        t = device.sample_times_ns()
+        raw = (1.0 + 0j) * np.exp(2j * np.pi * 120.0e-3 * t)[None, :]
+        demod = demodulate(raw, device, 0)
+        np.testing.assert_allclose(demod[0], 0.0, atol=1e-10)
+
+    def test_leaks_other_tone_when_incommensurate(self):
+        # 37 MHz offset is not an integer number of cycles per bin.
+        device = make_device([80.0, 117.0])
+        t = device.sample_times_ns()
+        raw = (1.0 + 0j) * np.exp(2j * np.pi * 117.0e-3 * t)[None, :]
+        demod = demodulate(raw, device, 0)
+        assert np.abs(demod[0]).max() > 1e-3
+
+    def test_demodulate_all_shape(self, rng):
+        device = make_device([60.0, 110.0, 170.0])
+        raw = rng.normal(size=(4, device.n_samples)) * (1 + 0j)
+        out = demodulate_all(raw, device)
+        assert out.shape == (4, 3, device.n_bins)
+
+    def test_short_trace_fewer_bins(self):
+        device = make_device([80.0])
+        raw = np.ones((2, 250), dtype=complex)  # half duration
+        demod = demodulate(raw, device, 0)
+        assert demod.shape == (2, 10)
+
+    def test_rejects_sub_bin_trace(self):
+        device = make_device([80.0])
+        with pytest.raises(ValueError, match="shorter than one"):
+            demodulate(np.ones((1, 10), dtype=complex), device, 0)
+
+    def test_rejects_bad_qubit_index(self):
+        device = make_device([80.0])
+        with pytest.raises(ValueError):
+            demodulate(np.ones((1, 500), dtype=complex), device, 1)
+
+
+class TestIQConversions:
+    def test_roundtrip(self, rng):
+        traces = rng.normal(size=(3, 8)) + 1j * rng.normal(size=(3, 8))
+        np.testing.assert_allclose(iq_to_complex(complex_to_iq(traces)),
+                                   traces)
+
+    def test_channel_order(self):
+        traces = np.array([[1 + 2j, 3 + 4j]])
+        iq = complex_to_iq(traces)
+        np.testing.assert_allclose(iq[0, 0], [1, 3])  # I channel
+        np.testing.assert_allclose(iq[0, 1], [2, 4])  # Q channel
+
+    def test_iq_to_complex_validates_axis(self):
+        with pytest.raises(ValueError):
+            iq_to_complex(np.zeros((2, 3, 8)))
+
+
+class TestMeanTraceValue:
+    def test_complex_input(self):
+        traces = np.array([[1 + 1j, 3 + 3j]])
+        np.testing.assert_allclose(mean_trace_value(traces), [2 + 2j])
+
+    def test_iq_input(self):
+        traces = complex_to_iq(np.array([[1 + 1j, 3 + 3j]]))
+        np.testing.assert_allclose(mean_trace_value(traces), [2 + 2j])
+
+    def test_matches_paper_definition(self, rng):
+        tr = rng.normal(size=(5, 20)) + 1j * rng.normal(size=(5, 20))
+        np.testing.assert_allclose(mean_trace_value(tr), tr.mean(axis=1))

@@ -1,0 +1,69 @@
+"""Stochastic state-event sampling tests."""
+
+import numpy as np
+import pytest
+
+from repro.readout import NO_TRANSITION, sample_timeline
+from repro.readout.parameters import QubitReadoutParams
+
+
+def make_qubit(t1_us=5.0, excitation_prob=0.0, init_error_prob=0.0):
+    return QubitReadoutParams(intermediate_freq_mhz=80.0, iq_ground=1.0 + 0j,
+                              iq_excited=1.4 + 0j, t1_us=t1_us,
+                              excitation_prob=excitation_prob,
+                              init_error_prob=init_error_prob)
+
+
+class TestGroundPreparation:
+    def test_no_events_without_excitation(self, rng):
+        tl = sample_timeline(make_qubit(), 0, 500, 1000.0, rng)
+        np.testing.assert_array_equal(tl.initial_state, 0)
+        np.testing.assert_array_equal(tl.final_state, 0)
+        assert np.all(tl.transition_time_ns == NO_TRANSITION)
+
+    def test_excitation_rate(self, rng):
+        p = 0.1
+        tl = sample_timeline(make_qubit(excitation_prob=p), 0, 4000, 1000.0,
+                             rng)
+        frac = tl.excited().mean()
+        assert abs(frac - p) < 0.02
+        times = tl.transition_time_ns[tl.excited()]
+        assert np.all((times >= 0) & (times <= 1000.0))
+
+
+class TestExcitedPreparation:
+    def test_relaxation_fraction_matches_t1(self, rng):
+        t1_us = 5.0
+        tl = sample_timeline(make_qubit(t1_us=t1_us), 1, 8000, 1000.0, rng)
+        expected = 1.0 - np.exp(-1.0 / t1_us)
+        assert abs(tl.relaxed().mean() - expected) < 0.02
+
+    def test_relaxation_times_exponential_shape(self, rng):
+        tl = sample_timeline(make_qubit(t1_us=2.0), 1, 8000, 1000.0, rng)
+        times = tl.transition_time_ns[tl.relaxed()]
+        # Conditional on relaxing within 1us, early times dominate for
+        # exponential decay.
+        assert (times < 500).mean() > 0.5
+
+    def test_init_error_starts_ground(self, rng):
+        tl = sample_timeline(make_qubit(init_error_prob=0.2), 1, 4000,
+                             1000.0, rng)
+        frac = (tl.initial_state == 0).mean()
+        assert abs(frac - 0.2) < 0.03
+
+    def test_relaxed_mask_consistent(self, rng):
+        tl = sample_timeline(make_qubit(), 1, 1000, 1000.0, rng)
+        relaxed = tl.relaxed()
+        assert np.all(np.isfinite(tl.transition_time_ns[relaxed]))
+        survivors = (tl.initial_state == 1) & (tl.final_state == 1)
+        assert np.all(tl.transition_time_ns[survivors] == NO_TRANSITION)
+
+
+class TestValidation:
+    def test_bad_state_rejected(self, rng):
+        with pytest.raises(ValueError):
+            sample_timeline(make_qubit(), 2, 10, 1000.0, rng)
+
+    def test_bad_count_rejected(self, rng):
+        with pytest.raises(ValueError):
+            sample_timeline(make_qubit(), 0, 0, 1000.0, rng)

@@ -1,0 +1,93 @@
+"""Device/qubit parameter validation and index conversions."""
+
+import numpy as np
+import pytest
+
+from repro.readout import DeviceParams, QubitReadoutParams
+
+
+def make_qubit(**overrides):
+    defaults = dict(intermediate_freq_mhz=80.0, iq_ground=1.0 + 0j,
+                    iq_excited=1.3 + 0.2j, t1_us=10.0)
+    defaults.update(overrides)
+    return QubitReadoutParams(**defaults)
+
+
+class TestQubitReadoutParams:
+    def test_separation(self):
+        q = make_qubit(iq_ground=0j, iq_excited=3 + 4j)
+        assert q.separation == pytest.approx(5.0)
+
+    @pytest.mark.parametrize("field,value", [
+        ("t1_us", 0.0),
+        ("t1_us", -1.0),
+        ("ring_up_rate_per_ns", 0.0),
+        ("excitation_prob", 1.0),
+        ("init_error_prob", -0.1),
+    ])
+    def test_rejects_bad_values(self, field, value):
+        with pytest.raises(ValueError):
+            make_qubit(**{field: value})
+
+
+class TestDeviceParams:
+    def test_paper_geometry(self, five_qubit_device):
+        dev = five_qubit_device
+        assert dev.n_qubits == 5
+        assert dev.n_basis_states == 32
+        assert dev.sample_period_ns == pytest.approx(2.0)
+        assert dev.n_samples == 500
+        assert dev.samples_per_bin == 25
+        assert dev.n_bins == 20
+
+    def test_sample_times(self, one_qubit_device):
+        times = one_qubit_device.sample_times_ns()
+        assert times[0] == 0.0
+        assert times[1] == pytest.approx(2.0)
+        assert len(times) == one_qubit_device.n_samples
+
+    def test_default_crosstalk_is_zero(self):
+        dev = DeviceParams(qubits=(make_qubit(),))
+        np.testing.assert_array_equal(dev.crosstalk, np.zeros((1, 1)))
+
+    def test_rejects_nonzero_crosstalk_diagonal(self):
+        with pytest.raises(ValueError, match="diagonal"):
+            DeviceParams(qubits=(make_qubit(),), crosstalk=np.ones((1, 1)))
+
+    def test_rejects_wrong_crosstalk_shape(self):
+        with pytest.raises(ValueError):
+            DeviceParams(qubits=(make_qubit(), make_qubit()),
+                         crosstalk=np.zeros((3, 3)))
+
+    def test_rejects_non_integer_bins(self):
+        with pytest.raises(ValueError, match="divide"):
+            DeviceParams(qubits=(make_qubit(),), demod_bin_ns=33.0)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            DeviceParams(qubits=())
+
+
+class TestBasisStateBits:
+    def test_qubit0_is_msb(self, five_qubit_device):
+        bits = five_qubit_device.basis_state_bits(0b10000)
+        np.testing.assert_array_equal(bits, [1, 0, 0, 0, 0])
+
+    def test_all_ones(self, five_qubit_device):
+        bits = five_qubit_device.basis_state_bits(31)
+        np.testing.assert_array_equal(bits, [1, 1, 1, 1, 1])
+
+    def test_roundtrip_all_states(self, five_qubit_device):
+        dev = five_qubit_device
+        for b in range(dev.n_basis_states):
+            assert dev.bits_to_basis_state(dev.basis_state_bits(b)) == b
+
+    def test_out_of_range_rejected(self, five_qubit_device):
+        with pytest.raises(ValueError):
+            five_qubit_device.basis_state_bits(32)
+
+    def test_bits_validation(self, five_qubit_device):
+        with pytest.raises(ValueError):
+            five_qubit_device.bits_to_basis_state([1, 0])
+        with pytest.raises(ValueError):
+            five_qubit_device.bits_to_basis_state([2, 0, 0, 0, 0])

@@ -1,0 +1,49 @@
+"""Preset device tests: paper-matching geometry and error structure."""
+
+import numpy as np
+
+from repro.readout import five_qubit_paper_device, single_qubit_device
+
+
+class TestFiveQubitPreset:
+    def test_geometry(self, five_qubit_device):
+        dev = five_qubit_device
+        assert dev.n_qubits == 5
+        assert dev.readout_duration_ns == 1000.0
+        assert dev.sampling_rate_msps == 500.0
+        assert dev.demod_bin_ns == 50.0
+
+    def test_qubit2_is_weak(self, five_qubit_device):
+        seps = [q.separation for q in five_qubit_device.qubits]
+        assert seps[1] == min(seps)
+        assert seps[1] < 0.4 * max(seps)
+
+    def test_unique_frequencies(self, five_qubit_device):
+        freqs = [q.intermediate_freq_mhz for q in five_qubit_device.qubits]
+        assert len(set(freqs)) == 5
+        assert min(np.diff(sorted(freqs))) > 20.0  # resolvable tones
+
+    def test_crosstalk_decays_with_distance(self, five_qubit_device):
+        ct = five_qubit_device.crosstalk
+        assert ct[0, 1] > ct[0, 2] > ct[0, 4]
+        assert np.all(np.diag(ct) == 0)
+
+    def test_relaxation_probabilities_substantial(self, five_qubit_device):
+        # The preset is tuned so relaxation dominates MF errors.
+        for q in five_qubit_device.qubits:
+            p_relax = 1.0 - np.exp(-1.0 / q.t1_us)
+            assert 0.05 < p_relax < 0.40
+
+    def test_noise_scalable(self):
+        quiet = five_qubit_paper_device(noise_std=0.5)
+        assert quiet.noise_std == 0.5
+
+
+class TestSingleQubitPreset:
+    def test_separation_parameter(self):
+        dev = single_qubit_device(separation=0.7)
+        assert dev.qubits[0].separation == np.asarray(0.7)
+
+    def test_defaults(self, one_qubit_device):
+        assert one_qubit_device.n_qubits == 1
+        assert one_qubit_device.n_basis_states == 2

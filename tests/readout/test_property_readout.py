@@ -1,0 +1,64 @@
+"""Property-based tests for the readout substrate."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.readout import (complex_to_iq, iq_to_complex, mean_trace_value,
+                           five_qubit_paper_device)
+from repro.readout.demodulation import demodulate
+from repro.readout.parameters import DeviceParams, QubitReadoutParams
+
+
+@given(st.integers(0, 31))
+@settings(max_examples=32, deadline=None)
+def test_basis_bits_roundtrip(basis):
+    device = five_qubit_paper_device()
+    bits = device.basis_state_bits(basis)
+    assert device.bits_to_basis_state(bits) == basis
+    assert bits.sum() == bin(basis).count("1")
+
+
+@given(st.integers(2, 40), st.integers(1, 6), st.integers(0, 2 ** 31 - 1))
+@settings(max_examples=30, deadline=None)
+def test_iq_roundtrip_property(n_bins, n_traces, seed):
+    rng = np.random.default_rng(seed)
+    traces = rng.normal(size=(n_traces, n_bins)) \
+        + 1j * rng.normal(size=(n_traces, n_bins))
+    np.testing.assert_allclose(iq_to_complex(complex_to_iq(traces)), traces)
+
+
+@given(st.integers(0, 2 ** 31 - 1))
+@settings(max_examples=25, deadline=None)
+def test_mtv_linear_in_traces(seed):
+    rng = np.random.default_rng(seed)
+    a = rng.normal(size=(3, 10)) + 1j * rng.normal(size=(3, 10))
+    b = rng.normal(size=(3, 10)) + 1j * rng.normal(size=(3, 10))
+    np.testing.assert_allclose(mean_trace_value(a + b),
+                               mean_trace_value(a) + mean_trace_value(b))
+
+
+@given(st.floats(30.0, 240.0), st.integers(0, 2 ** 31 - 1))
+@settings(max_examples=20, deadline=None)
+def test_demodulation_recovers_own_tone(freq, seed):
+    """Demodulating a constant-amplitude tone at any frequency returns the
+    amplitude in every bin (up to numerical accuracy)."""
+    qubit = QubitReadoutParams(intermediate_freq_mhz=freq,
+                               iq_ground=1.0 + 0j, iq_excited=1.5 + 0j,
+                               t1_us=10.0)
+    device = DeviceParams(qubits=(qubit,), noise_std=0.0)
+    rng = np.random.default_rng(seed)
+    amplitude = complex(rng.normal(), rng.normal())
+    t = device.sample_times_ns()
+    raw = amplitude * np.exp(2j * np.pi * freq * 1e-3 * t)[None, :]
+    demod = demodulate(raw, device, 0)
+    np.testing.assert_allclose(demod[0], amplitude, atol=1e-10)
+
+
+@given(st.integers(1, 20))
+@settings(max_examples=20, deadline=None)
+def test_truncation_bins_monotone(n_bins_request):
+    device = five_qubit_paper_device()
+    duration = n_bins_request * device.demod_bin_ns
+    # durations are always rounded down to whole bins
+    assert int(duration // device.demod_bin_ns) == n_bins_request

@@ -1,0 +1,73 @@
+"""Trace simulator tests: shapes, separability, crosstalk, relaxation."""
+
+import numpy as np
+
+from repro.readout import (ReadoutSimulator, five_qubit_paper_device,
+                           mean_trace_value, single_qubit_device)
+from repro.readout.demodulation import iq_to_complex
+
+
+class TestTraceBatch:
+    def test_shapes(self, five_qubit_device, rng):
+        sim = ReadoutSimulator(five_qubit_device)
+        batch = sim.simulate_basis_state(0b10101, 12, rng)
+        dev = five_qubit_device
+        assert batch.raw.shape == (12, dev.n_samples)
+        assert batch.demod.shape == (12, 5, 2, dev.n_bins)
+        assert batch.prepared_bits.shape == (12, 5)
+        np.testing.assert_array_equal(batch.prepared_bits[0], [1, 0, 1, 0, 1])
+        assert batch.basis_state == 0b10101
+
+    def test_final_bits_reflect_relaxations(self, rng):
+        device = single_qubit_device(t1_us=0.5)  # relaxes very often
+        sim = ReadoutSimulator(device)
+        batch = sim.simulate_basis_state(1, 300, rng)
+        assert batch.relaxed.mean() > 0.5
+        relaxed = batch.relaxed[:, 0]
+        np.testing.assert_array_equal(batch.final_bits[relaxed, 0], 0)
+
+
+class TestSeparability:
+    def test_states_separate_in_mtv(self, rng):
+        device = single_qubit_device(separation=0.4)
+        sim = ReadoutSimulator(device)
+        b0 = sim.simulate_basis_state(0, 150, rng)
+        b1 = sim.simulate_basis_state(1, 150, rng)
+        m0 = mean_trace_value(iq_to_complex(b0.demod[:, 0]))
+        m1 = mean_trace_value(iq_to_complex(b1.demod[:, 0]))
+        dist = abs(m0.mean() - m1.mean())
+        spread = (np.abs(m0 - m0.mean()).std()
+                  + np.abs(m1 - m1.mean()).std()) / 2
+        assert dist > 3 * spread
+
+    def test_noiseless_traces_deterministic_without_events(self, rng):
+        device = single_qubit_device(noise_std=0.0)
+        sim = ReadoutSimulator(device)
+        batch = sim.simulate_basis_state(0, 5, rng)
+        # Ground state, no excitation sampled (prob small) -> identical rows.
+        if not batch.excited_during.any():
+            np.testing.assert_allclose(batch.demod[0], batch.demod[1])
+
+
+class TestCrosstalk:
+    def test_neighbour_state_shifts_response(self, rng):
+        device = five_qubit_paper_device(noise_std=0.0)
+        sim = ReadoutSimulator(device)
+        # Qubit 1 (index 0) prepared in 0; neighbour (index 1) toggles.
+        quiet = sim.simulate_basis_state(0b00000, 30, rng)
+        noisy = sim.simulate_basis_state(0b01000, 30, rng)
+        m_quiet = mean_trace_value(iq_to_complex(quiet.demod[:, 0])).mean()
+        m_noisy = mean_trace_value(iq_to_complex(noisy.demod[:, 0])).mean()
+        assert abs(m_quiet - m_noisy) > 1e-3
+
+    def test_crosstalk_smaller_than_signal(self, rng):
+        device = five_qubit_paper_device(noise_std=0.0)
+        sim = ReadoutSimulator(device)
+        q = 0
+        base = sim.simulate_basis_state(0b00000, 20, rng)
+        flip_self = sim.simulate_basis_state(0b10000, 20, rng)
+        flip_neigh = sim.simulate_basis_state(0b01000, 20, rng)
+        m = lambda b: mean_trace_value(iq_to_complex(b.demod[:, q])).mean()
+        own = abs(m(flip_self) - m(base))
+        neighbour = abs(m(flip_neigh) - m(base))
+        assert neighbour < 0.3 * own

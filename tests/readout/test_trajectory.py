@@ -1,0 +1,82 @@
+"""Resonator trajectory tests: ring-up limits and transition continuity."""
+
+import numpy as np
+
+from repro.readout import NO_TRANSITION, StateTimeline, batch_trajectories
+from repro.readout.trajectory import steady_state_targets
+
+
+def make_timeline(initial, final, t_r):
+    return StateTimeline(initial_state=np.asarray(initial),
+                         final_state=np.asarray(final),
+                         transition_time_ns=np.asarray(t_r, dtype=float))
+
+
+class TestRingUp:
+    def test_starts_at_zero(self):
+        tl = make_timeline([1], [1], [NO_TRANSITION])
+        times = np.arange(0, 1000, 2.0)
+        traj = batch_trajectories(tl, times, np.array([1 + 1j]),
+                                  np.array([1 + 1j]), 0.01)
+        assert abs(traj[0, 0]) < 1e-12
+
+    def test_approaches_target(self):
+        tl = make_timeline([1], [1], [NO_TRANSITION])
+        times = np.arange(0, 2000, 2.0)
+        target = np.array([0.7 - 0.3j])
+        traj = batch_trajectories(tl, times, target, target, 0.01)
+        assert abs(traj[0, -1] - target[0]) < 1e-6
+
+    def test_exponential_form(self):
+        tl = make_timeline([0], [0], [NO_TRANSITION])
+        times = np.array([0.0, 50.0, 100.0])
+        target = np.array([2.0 + 0j])
+        kappa = 0.02
+        traj = batch_trajectories(tl, times, target, target, kappa)
+        expected = target[0] * (1 - np.exp(-kappa * times))
+        np.testing.assert_allclose(traj[0], expected)
+
+
+class TestTransition:
+    def test_trajectory_continuous_at_transition(self):
+        t_r = 300.0
+        tl = make_timeline([1], [0], [t_r])
+        times = np.arange(0, 1000, 1.0)
+        excited = np.array([1.0 + 1.0j])
+        ground = np.array([0.2 - 0.5j])
+        traj = batch_trajectories(tl, times, excited, ground, 0.01)
+        idx = np.searchsorted(times, t_r)
+        jump = abs(traj[0, idx] - traj[0, idx - 1])
+        typical = np.abs(np.diff(traj[0])).max()
+        assert jump <= 3 * typical  # no discontinuity at the transition
+
+    def test_late_trace_reaches_new_target(self):
+        tl = make_timeline([1], [0], [100.0])
+        times = np.arange(0, 3000, 2.0)
+        excited = np.array([1.0 + 0j])
+        ground = np.array([-1.0 + 0j])
+        traj = batch_trajectories(tl, times, excited, ground, 0.01)
+        assert abs(traj[0, -1] - ground[0]) < 1e-6
+
+    def test_mixed_batch(self):
+        tl = make_timeline([1, 1], [0, 1], [200.0, NO_TRANSITION])
+        times = np.arange(0, 1500, 2.0)
+        excited = np.array([1.0 + 0j, 1.0 + 0j])
+        ground = np.array([0.0 + 0j, 1.0 + 0j])
+        traj = batch_trajectories(tl, times, excited, ground, 0.01)
+        # Relaxing trace heads to 0; surviving trace stays near 1.
+        assert abs(traj[0, -1]) < 0.01
+        assert abs(traj[1, -1] - 1.0) < 0.01
+
+
+class TestSteadyStateTargets:
+    def test_state_selects_point(self):
+        targets = steady_state_targets(1 + 0j, 2 + 0j,
+                                       np.array([0, 1]), np.zeros(2))
+        np.testing.assert_allclose(targets, [1 + 0j, 2 + 0j])
+
+    def test_crosstalk_shift_added(self):
+        shift = np.array([0.1 + 0.2j, 0.0])
+        targets = steady_state_targets(1 + 0j, 2 + 0j,
+                                       np.array([0, 0]), shift)
+        np.testing.assert_allclose(targets, [1.1 + 0.2j, 1 + 0j])

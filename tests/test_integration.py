@@ -1,0 +1,119 @@
+"""Cross-module integration tests: the full pipeline end to end."""
+
+import numpy as np
+import pytest
+
+from repro.circuits import NoiseModel, paper_benchmarks
+from repro.core import (FAST_CONFIG, HerqulesDiscriminator,
+                        QuantizedHerqules, cumulative_accuracy,
+                        load_herqules, make_design, per_qubit_accuracy,
+                        save_herqules)
+from repro.fpga import XCZU7EV, herqules_cost
+from repro.qec import run_memory_experiment
+from repro.readout import five_qubit_paper_device, generate_dataset
+
+
+class TestCalibrateTrainDeployLoop:
+    """Simulate -> train -> quantize -> persist -> fit-check, end to end."""
+
+    @pytest.fixture(scope="class")
+    def pipeline(self, request):
+        splits = request.getfixturevalue("small_splits")
+        train, val, test = splits
+        design = HerqulesDiscriminator(use_rmf=True, config=FAST_CONFIG)
+        design.fit(train, val)
+        return design, test
+
+    def test_accuracy_flows_into_application_models(self, pipeline):
+        design, test = pipeline
+        accs = per_qubit_accuracy(design.predict_bits(test), test.labels)
+        f5q = cumulative_accuracy(accs)
+        assert 0.6 < f5q < 1.0
+
+        # Feed the measured accuracy into the NISQ noise model.
+        noise = NoiseModel(readout_error=1.0 - f5q)
+        bench = paper_benchmarks()[3]  # bv-5
+        fidelity = bench.evaluate(noise)
+        assert 0.0 < fidelity < 1.0
+
+        # And into the QEC measurement-error channel.
+        rng = np.random.default_rng(0)
+        result = run_memory_experiment(
+            distance=3, rounds=3, physical_error_rate=0.02,
+            measurement_error_rate=min(1.0 - f5q, 0.4), shots=50, rng=rng)
+        assert 0.0 <= result.logical_error_probability <= 1.0
+
+    def test_quantize_persist_reload_chain(self, pipeline, tmp_path):
+        design, test = pipeline
+        quantized = QuantizedHerqules(design, 16)
+        path = str(tmp_path / "model.npz")
+        save_herqules(design, path)
+        reloaded = load_herqules(path)
+        # All three variants agree almost everywhere.
+        a = design.predict_bits(test)
+        b = quantized.predict_bits(test)
+        c = reloaded.predict_bits(test)
+        np.testing.assert_array_equal(a, c)
+        assert (a == b).mean() > 0.999
+
+    def test_hardware_budget_closed_loop(self, pipeline):
+        design, _ = pipeline
+        cost = herqules_cost(reuse_factor=4,
+                             n_qubits=design.bank.n_qubits,
+                             use_rmf=design.use_rmf)
+        assert cost.fits(XCZU7EV)
+
+
+class TestDeterminism:
+    def test_same_seed_same_dataset(self):
+        device = five_qubit_paper_device()
+        d1 = generate_dataset(device, 10, np.random.default_rng(5))
+        d2 = generate_dataset(device, 10, np.random.default_rng(5))
+        np.testing.assert_array_equal(d1.demod, d2.demod)
+        np.testing.assert_array_equal(d1.labels, d2.labels)
+
+    def test_same_seed_same_training(self, small_splits):
+        train, val, test = small_splits
+        preds = []
+        for _ in range(2):
+            design = make_design("mf-rmf-nn", FAST_CONFIG).fit(train, val)
+            preds.append(design.predict_bits(test))
+        np.testing.assert_array_equal(preds[0], preds[1])
+
+    def test_different_seed_different_dataset(self):
+        device = five_qubit_paper_device()
+        d1 = generate_dataset(device, 10, np.random.default_rng(5))
+        d2 = generate_dataset(device, 10, np.random.default_rng(6))
+        assert not np.allclose(d1.demod, d2.demod)
+
+
+class TestFailureInjection:
+    def test_missing_class_rejected_by_centroid(self, five_qubit_device):
+        rng = np.random.default_rng(0)
+        only_zeros = generate_dataset(five_qubit_device, 8, rng,
+                                      basis_states=[0])
+        with pytest.raises(ValueError, match="no traces"):
+            make_design("centroid").fit(only_zeros)
+
+    def test_missing_class_rejected_by_svm(self, five_qubit_device):
+        rng = np.random.default_rng(0)
+        only_zeros = generate_dataset(five_qubit_device, 8, rng,
+                                      basis_states=[0])
+        with pytest.raises(ValueError):
+            make_design("mf-svm", FAST_CONFIG).fit(only_zeros)
+
+    def test_single_basis_state_rejected_by_mf(self, five_qubit_device):
+        rng = np.random.default_rng(0)
+        only_ones = generate_dataset(five_qubit_device, 8, rng,
+                                     basis_states=[31])
+        with pytest.raises(ValueError):
+            make_design("mf").fit(only_ones)
+
+    def test_truncated_training_then_full_inference_rejected(
+            self, small_splits):
+        """Envelopes trained on short traces cannot consume longer ones."""
+        train, val, test = small_splits
+        design = make_design("mf", FAST_CONFIG).fit(train.truncate(500.0),
+                                                    val.truncate(500.0))
+        with pytest.raises(ValueError, match="trained on only"):
+            design.predict_bits(test)
