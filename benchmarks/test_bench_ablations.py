@@ -102,11 +102,15 @@ def test_ablation_duration_scalers(benchmark, record_result):
         with_scalers = cumulative_accuracy(per_qubit_accuracy(
             design.predict_bits(truncated), truncated.labels))
 
-        saved = design.duration_scalers
-        design.duration_scalers = {}  # naive: reuse 1us statistics
+        scaler_stage = design.pipeline.stages[1]
+        saved = scaler_stage.scalers
+        # Naive: keep only the full-duration scaler, so truncated inference
+        # falls back to the 1us statistics.
+        scaler_stage.scalers = {scaler_stage.train_bins:
+                                saved[scaler_stage.train_bins]}
         without = cumulative_accuracy(per_qubit_accuracy(
             design.predict_bits(truncated), truncated.labels))
-        design.duration_scalers = saved
+        scaler_stage.scalers = saved
 
         return ExperimentResult(
             experiment="ablation_duration_scalers",

@@ -7,8 +7,8 @@
 """
 
 from repro.core import saturation_duration
-from repro.experiments import (DEFAULT_CONFIG, PAPER_BASELINE_F5Q,
-                               run_fig11a, run_fig11b, run_table1)
+from repro.experiments import (DEFAULT_CONFIG, run_fig11a, run_fig11b,
+                               run_table1)
 
 from conftest import run_once
 

@@ -20,7 +20,7 @@ import numpy as np
 
 from repro.core import (HerqulesDiscriminator, QuantizedHerqules,
                         TrainingConfig, load_herqules, save_herqules)
-from repro.fpga import XCZU7EV, herqules_cost
+from repro.fpga import XCZU7EV, estimate_pipeline
 from repro.readout import five_qubit_paper_device, generate_dataset
 
 
@@ -46,9 +46,9 @@ def main():
     print(f"quantized to {word_bits}-bit fixed point: F5Q = "
           f"{q_accuracy:.4f} (delta {q_accuracy - float_accuracy:+.4f})")
 
-    # 4. fit check -------------------------------------------------------
+    # 4. fit check — exported straight from the fitted stage pipeline ----
     reuse_factor = 4
-    cost = herqules_cost(reuse_factor, n_qubits=device.n_qubits)
+    cost = estimate_pipeline(design, reuse_factor)
     util = cost.utilization(XCZU7EV)
     print(f"on {XCZU7EV.name} @ RF={reuse_factor}: "
           f"LUT {util['LUT']:.2f}%, BRAM {util['BRAM']:.2f}%, "

@@ -5,7 +5,9 @@ Learning Architectures" (ISCA 2023). Subpackages:
 
 * :mod:`repro.readout` — synthetic dispersive-readout trace simulator;
 * :mod:`repro.nn` — numpy neural-network framework;
-* :mod:`repro.core` — matched filters, relaxation detection, discriminators;
+* :mod:`repro.core` — matched filters, relaxation detection, and the
+  stage-pipeline discriminators;
+* :mod:`repro.engine` — batched streaming inference over fitted pipelines;
 * :mod:`repro.fpga` — calibrated FPGA resource/latency model;
 * :mod:`repro.circuits` — NISQ statevector simulator and benchmarks;
 * :mod:`repro.qec` — surface-code memory experiments and cycle timing;
@@ -27,7 +29,7 @@ Quickstart::
 
 __version__ = "1.0.0"
 
-from . import circuits, core, experiments, fpga, nn, qec, readout
+from . import circuits, core, engine, experiments, fpga, nn, qec, readout
 
-__all__ = ["circuits", "core", "experiments", "fpga", "nn", "qec", "readout",
-           "__version__"]
+__all__ = ["circuits", "core", "engine", "experiments", "fpga", "nn", "qec",
+           "readout", "__version__"]

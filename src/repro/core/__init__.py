@@ -6,9 +6,9 @@ pipeline, together with every comparison design from Table 1 and the
 evaluation metrics used throughout the paper.
 """
 
-from .boxcar import (BoxcarDiscriminator, BoxcarFilter, best_axis_weights,
-                     boxcar_output)
-from .centroid import CentroidDiscriminator
+from .boxcar import (BoxcarDiscriminator, BoxcarFilter, BoxcarHead,
+                     best_axis_weights, boxcar_output)
+from .centroid import CentroidDiscriminator, CentroidHead
 from .config import FAST_CONFIG, TrainingConfig
 from .designs import DESIGN_NAMES, make_design
 from .discriminators import (Discriminator, EvaluationResult, bits_from_basis)
@@ -16,16 +16,20 @@ from .duration import (DurationPoint, evaluate_at_duration,
                        per_qubit_saturation_durations,
                        recommend_ancilla_qubit, saturation_duration,
                        sweep_durations)
-from .features import FeatureScaler, MatchedFilterBank
-from .fnn import BaselineFNNDiscriminator, HerqulesDiscriminator
+from .features import (DurationScalerStage, FeatureScaler, MatchedFilterBank,
+                       MatchedFilterStage, RawTraceStage, StandardScalerStage)
+from .fnn import (BaselineFNNDiscriminator, BaselineFNNHead,
+                  HerqulesDiscriminator, HerqulesFNNHead)
 from .matched_filter import MatchedFilter, apply_envelope, train_envelope
 from .metrics import (cross_fidelity_matrix, cumulative_accuracy,
                       mean_abs_cross_fidelity_by_distance,
                       misclassification_counts, per_qubit_accuracy,
                       per_state_accuracy, precision_recall,
                       relative_improvement)
-from .mf_designs import MFSVMDiscriminator, MFThresholdDiscriminator
+from .mf_designs import (MFSVMDiscriminator, MFThresholdDiscriminator,
+                         SVMHead, ThresholdHead)
 from .model_io import load_herqules, save_herqules
+from .pipeline import (FitContext, Pipeline, PipelineDiscriminator, Stage)
 from .quantization import (QuantizedHerqules, accuracy_vs_word_size,
                            quantization_error, quantize_array)
 from .relaxation import (RelaxationLabels, get_relaxation_traces,
@@ -34,13 +38,19 @@ from .svm import LinearSVM
 from .thresholding import Threshold, fit_threshold
 
 __all__ = [
-    "BaselineFNNDiscriminator", "BoxcarDiscriminator", "BoxcarFilter",
-    "CentroidDiscriminator", "DESIGN_NAMES", "best_axis_weights",
-    "boxcar_output",
-    "Discriminator", "DurationPoint", "EvaluationResult", "FAST_CONFIG",
-    "FeatureScaler", "HerqulesDiscriminator", "LinearSVM", "MatchedFilter",
-    "MatchedFilterBank", "MFSVMDiscriminator", "MFThresholdDiscriminator",
-    "QuantizedHerqules", "RelaxationLabels", "Threshold", "TrainingConfig",
+    "BaselineFNNDiscriminator", "BaselineFNNHead", "BoxcarDiscriminator",
+    "BoxcarFilter", "BoxcarHead",
+    "CentroidDiscriminator", "CentroidHead", "DESIGN_NAMES",
+    "best_axis_weights", "boxcar_output",
+    "Discriminator", "DurationPoint", "DurationScalerStage",
+    "EvaluationResult", "FAST_CONFIG", "FeatureScaler", "FitContext",
+    "HerqulesDiscriminator", "HerqulesFNNHead", "LinearSVM", "MatchedFilter",
+    "MatchedFilterBank", "MatchedFilterStage",
+    "MFSVMDiscriminator", "MFThresholdDiscriminator",
+    "Pipeline", "PipelineDiscriminator",
+    "QuantizedHerqules", "RawTraceStage", "RelaxationLabels", "Stage",
+    "StandardScalerStage", "SVMHead", "Threshold", "ThresholdHead",
+    "TrainingConfig",
     "accuracy_vs_word_size", "apply_envelope", "load_herqules",
     "quantization_error", "quantize_array", "save_herqules",
     "bits_from_basis", "cross_fidelity_matrix", "cumulative_accuracy",

@@ -17,7 +17,8 @@ import numpy as np
 
 from repro.readout.dataset import ReadoutDataset
 
-from .discriminators import Discriminator
+from .pipeline import (KIND_BITS, KIND_DATASET, FitContext,
+                       PipelineDiscriminator, Stage)
 from .thresholding import Threshold, fit_threshold
 
 
@@ -114,35 +115,61 @@ class BoxcarFilter:
         return self.threshold.predict(values)
 
 
-class BoxcarDiscriminator(Discriminator):
+class BoxcarHead(Stage):
+    """Per-qubit boxcar filters fitted with optimized windows."""
+
+    name = "boxcar-head"
+    input_kind = KIND_DATASET
+    output_kind = KIND_BITS
+
+    def __init__(self, window_bins: Optional[int] = None):
+        self.window_bins = window_bins
+        self.filters: List[BoxcarFilter] = []
+
+    def fit(self, ctx: FitContext) -> None:
+        train = ctx.train
+        self.filters = [
+            BoxcarFilter.fit(train.qubit_traces(q, 0),
+                             train.qubit_traces(q, 1), self.window_bins)
+            for q in range(train.n_qubits)
+        ]
+
+    def transform(self, dataset: ReadoutDataset,
+                  features: Optional[np.ndarray]) -> np.ndarray:
+        if not self.filters:
+            raise RuntimeError("fit must be called before transform")
+        columns = [f.predict(dataset.demod[:, q])
+                   for q, f in enumerate(self.filters)]
+        return np.stack(columns, axis=1)
+
+    def output_width(self, dataset: ReadoutDataset,
+                     input_width: Optional[int]) -> Optional[int]:
+        return dataset.n_qubits
+
+
+class BoxcarDiscriminator(PipelineDiscriminator):
     """Per-qubit boxcar filters with optimized windows (ablation design).
 
     Sits between the centroid and matched-filter designs: uniform weights
     like the centroid, but with a per-qubit optimized integration window.
+    Single-stage pipeline: ``boxcar-head``.
     """
 
     name = "boxcar"
     supports_truncation = True
 
     def __init__(self, window_bins: Optional[int] = None):
+        super().__init__()
         self.window_bins = window_bins
-        self.filters: List[BoxcarFilter] = []
 
-    def fit(self, train: ReadoutDataset,
-            val: Optional[ReadoutDataset] = None) -> "BoxcarDiscriminator":
-        self.filters = [
-            BoxcarFilter.fit(train.qubit_traces(q, 0),
-                             train.qubit_traces(q, 1), self.window_bins)
-            for q in range(train.n_qubits)
-        ]
-        return self
+    def build_stages(self) -> List[Stage]:
+        return [BoxcarHead(self.window_bins)]
 
-    def predict_bits(self, dataset: ReadoutDataset) -> np.ndarray:
-        if not self.filters:
-            raise RuntimeError("fit must be called before predict_bits")
-        columns = [f.predict(dataset.demod[:, q])
-                   for q, f in enumerate(self.filters)]
-        return np.stack(columns, axis=1)
+    # -- legacy attribute surface ---------------------------------------
+    @property
+    def filters(self) -> List[BoxcarFilter]:
+        stage = self._stage(0)
+        return [] if stage is None else stage.filters
 
     def optimized_windows(self) -> List[int]:
         """The per-qubit window lengths selected during fitting."""

@@ -7,32 +7,35 @@ assigned to the nearest of two class centroids learned during calibration.
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import List, Optional
 
 import numpy as np
 
 from repro.readout.dataset import ReadoutDataset
 
-from .discriminators import Discriminator
+from .pipeline import (KIND_BITS, KIND_DATASET, FitContext,
+                       PipelineDiscriminator, Stage)
 
 
-class CentroidDiscriminator(Discriminator):
-    """Nearest-centroid classification on the per-qubit MTV."""
+class CentroidHead(Stage):
+    """Nearest-centroid classification on the per-qubit MTV.
 
-    name = "centroid"
-    supports_truncation = True
+    The MTV of a truncated trace sits closer to the origin (ring-up), so
+    centroids are calibrated per whole-bin duration at fit time.
+    """
+
+    name = "centroid-head"
+    input_kind = KIND_DATASET
+    output_kind = KIND_BITS
 
     def __init__(self):
-        # n_bins -> (n_qubits, 2) complex centroid pairs. The MTV of a
-        # truncated trace sits closer to the origin (ring-up), so centroids
-        # are calibrated per duration at fit time.
-        self._centroids_by_bins: dict = {}
-        self._full_bins: int = 0
+        self.centroids_by_bins: dict = {}
+        self.train_bins: int = 0
 
-    def fit(self, train: ReadoutDataset,
-            val: Optional[ReadoutDataset] = None) -> "CentroidDiscriminator":
-        self._centroids_by_bins = {}
-        self._full_bins = train.n_bins
+    def fit(self, ctx: FitContext) -> None:
+        train = ctx.train
+        self.centroids_by_bins = {}
+        self.train_bins = train.n_bins
         for n_bins in range(1, train.n_bins + 1):
             truncated = train.truncate(n_bins * train.device.demod_bin_ns)
             mtv = truncated.mtv()
@@ -45,20 +48,38 @@ class CentroidDiscriminator(Discriminator):
                             f"training set has no traces with qubit {q} in "
                             f"state {state}")
                     centroids[q, state] = mtv[mask, q].mean()
-            self._centroids_by_bins[n_bins] = centroids
-        return self
+            self.centroids_by_bins[n_bins] = centroids
 
-    @property
-    def centroids(self) -> Optional[np.ndarray]:
-        """Centroids calibrated for the full training duration."""
-        return self._centroids_by_bins.get(self._full_bins)
-
-    def predict_bits(self, dataset: ReadoutDataset) -> np.ndarray:
-        if not self._centroids_by_bins:
-            raise RuntimeError("fit must be called before predict_bits")
-        centroids = self._centroids_by_bins.get(
-            dataset.n_bins, self._centroids_by_bins[self._full_bins])
+    def transform(self, dataset: ReadoutDataset,
+                  features: Optional[np.ndarray]) -> np.ndarray:
+        if not self.centroids_by_bins:
+            raise RuntimeError("fit must be called before transform")
+        centroids = self.centroids_by_bins.get(
+            dataset.n_bins, self.centroids_by_bins[self.train_bins])
         mtv = dataset.mtv()  # (n, n_qubits)
         d0 = np.abs(mtv - centroids[None, :, 0])
         d1 = np.abs(mtv - centroids[None, :, 1])
         return (d1 < d0).astype(np.int64)
+
+    def output_width(self, dataset: ReadoutDataset,
+                     input_width: Optional[int]) -> Optional[int]:
+        return dataset.n_qubits
+
+
+class CentroidDiscriminator(PipelineDiscriminator):
+    """Single-stage pipeline: ``centroid-head``."""
+
+    name = "centroid"
+    supports_truncation = True
+
+    def build_stages(self) -> List[Stage]:
+        return [CentroidHead()]
+
+    # -- legacy attribute surface ---------------------------------------
+    @property
+    def centroids(self) -> Optional[np.ndarray]:
+        """Centroids calibrated for the full training duration."""
+        stage = self._stage(0)
+        if stage is None or not stage.centroids_by_bins:
+            return None
+        return stage.centroids_by_bins.get(stage.train_bins)

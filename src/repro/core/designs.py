@@ -1,4 +1,20 @@
-"""Factory for every discriminator design evaluated in the paper."""
+"""Factory for every discriminator design evaluated in the paper.
+
+Every design is a :class:`~.pipeline.PipelineDiscriminator` — a declarative
+stage list (see each class's ``build_stages``) fitted and run by the generic
+:class:`~.pipeline.Pipeline` machinery:
+
+==============  ====================================================
+``baseline``    ``raw-traces -> standard-scaler -> baseline-fnn``
+``mf``          ``mf-bank -> threshold-head``
+``mf-svm``      ``mf-bank -> duration-scaler -> svm-head``
+``mf-nn``       ``mf-bank -> duration-scaler -> herqules-fnn``
+``mf-rmf-svm``  ``mf-rmf-bank -> duration-scaler -> svm-head``
+``mf-rmf-nn``   ``mf-rmf-bank -> duration-scaler -> herqules-fnn``
+``centroid``    ``centroid-head``
+``boxcar``      ``boxcar-head``
+==============  ====================================================
+"""
 
 from __future__ import annotations
 

@@ -3,6 +3,14 @@
 For an N-qubit multiplexed group the bank produces N features (one MF output
 per qubit) or 2N features when relaxation matched filters are enabled
 (Section 4.3.2). Features feed either a small FNN or per-qubit SVMs.
+
+The transform hot path is dtype-preserving: float32 traces (the batched
+engine's streaming format) stay float32 end to end, float64 traces keep the
+full-precision behaviour used for training and regression baselines.
+
+This module also provides the feature-side :class:`~.pipeline.Stage`
+implementations: :class:`MatchedFilterStage`, :class:`DurationScalerStage`,
+:class:`StandardScalerStage`, and :class:`RawTraceStage`.
 """
 
 from __future__ import annotations
@@ -16,6 +24,12 @@ from repro.readout.demodulation import mean_trace_value
 
 from .matched_filter import MatchedFilter
 from .relaxation import get_relaxation_traces, split_excited_traces
+
+
+def _working_dtype(array: np.ndarray) -> np.dtype:
+    """Float dtype a feature computation should run in for this input."""
+    dtype = np.asarray(array).dtype
+    return dtype if np.issubdtype(dtype, np.floating) else np.dtype(np.float64)
 
 
 class FeatureScaler:
@@ -32,7 +46,12 @@ class FeatureScaler:
         return cls(features.mean(axis=0), np.where(std > 0, std, 1.0))
 
     def transform(self, features: np.ndarray) -> np.ndarray:
-        return (np.asarray(features, dtype=np.float64) - self.mean) / self.std
+        """Standardize features, preserving a floating input dtype."""
+        features = np.asarray(features)
+        dtype = _working_dtype(features)
+        features = features.astype(dtype, copy=False)
+        return ((features - self.mean.astype(dtype, copy=False))
+                / self.std.astype(dtype, copy=False))
 
 
 class MatchedFilterBank:
@@ -125,31 +144,179 @@ class MatchedFilterBank:
         return total
 
 
-def fit_duration_scalers(bank: "MatchedFilterBank",
-                         train: ReadoutDataset) -> dict:
-    """Feature scalers for every possible truncated duration.
-
-    The MF output is a partial sum over time bins, so its mean and spread
-    depend on how many bins the (possibly shortened) readout integrates.
-    Standardizing truncated features with full-duration statistics would
-    feed the FNN out-of-distribution inputs; instead we precompute one
-    :class:`FeatureScaler` per whole-bin duration from the training traces.
-    This touches neither the filters nor the network — it is the
-    calibration that lets HERQULES serve shorter readouts without
-    retraining (paper Section 5.2).
-
-    Returns a dict mapping ``n_bins`` to the fitted scaler.
-    """
-    scalers = {}
-    for n_bins in range(1, train.n_bins + 1):
-        truncated = train.truncate(n_bins * train.device.demod_bin_ns)
-        scalers[n_bins] = FeatureScaler.fit(bank.features(truncated))
-    return scalers
-
-
 def _nearest_to_ground(excited_traces: np.ndarray, centroid_ground: complex,
                        k: int) -> np.ndarray:
     """The ``k`` excited-labeled traces with MTV nearest the ground centroid."""
     mtv = mean_trace_value(np.asarray(excited_traces))
     order = np.argsort(np.abs(mtv - centroid_ground))
     return np.asarray(excited_traces)[order[:k]]
+
+
+# ----------------------------------------------------------------------
+# Pipeline stages
+# ----------------------------------------------------------------------
+from .pipeline import (KIND_DATASET, KIND_FEATURES,  # noqa: E402
+                       FitContext, Stage, _hash_arrays)
+
+
+class MatchedFilterStage(Stage):
+    """Dataset -> MF (and optional RMF) filter outputs, one column per filter.
+
+    The fitted state is a :class:`MatchedFilterBank`; the fingerprint is the
+    content hash of the envelopes, so identically trained banks are shared
+    by the inference engine across designs.
+    """
+
+    input_kind = KIND_DATASET
+    output_kind = KIND_FEATURES
+
+    def __init__(self, use_rmf: bool = False,
+                 min_relaxation_traces: int = 2):
+        self.use_rmf = bool(use_rmf)
+        self.min_relaxation_traces = int(min_relaxation_traces)
+        self.name = "mf-rmf-bank" if use_rmf else "mf-bank"
+        self.bank: Optional[MatchedFilterBank] = None
+
+    def fit(self, ctx: FitContext) -> None:
+        self.bank = MatchedFilterBank.fit(
+            ctx.train, use_rmf=self.use_rmf,
+            min_relaxation_traces=self.min_relaxation_traces)
+
+    def transform(self, dataset: ReadoutDataset,
+                  features: Optional[np.ndarray]) -> np.ndarray:
+        if self.bank is None:
+            raise RuntimeError("fit must be called before transform")
+        return self.bank.features(dataset)
+
+    def output_width(self, dataset: ReadoutDataset,
+                     input_width: Optional[int]) -> Optional[int]:
+        return None if self.bank is None else self.bank.n_features
+
+    def fingerprint(self) -> Optional[str]:
+        if self.bank is None:
+            return None
+        envelopes = [f.envelope for f in self.bank.filters]
+        if self.bank.relaxation_filters is not None:
+            envelopes += [f.envelope for f in self.bank.relaxation_filters]
+        return _hash_arrays("matched-filter", envelopes)
+
+    def quantized(self, total_bits: int) -> "MatchedFilterStage":
+        from .quantization import quantize_array
+        if self.bank is None:
+            raise ValueError("quantize a fitted stage")
+        clone = MatchedFilterStage(self.use_rmf, self.min_relaxation_traces)
+        filters = [MatchedFilter(quantize_array(f.envelope, total_bits))
+                   for f in self.bank.filters]
+        rmfs = None
+        if self.bank.relaxation_filters is not None:
+            rmfs = [MatchedFilter(quantize_array(f.envelope, total_bits))
+                    for f in self.bank.relaxation_filters]
+        clone.bank = MatchedFilterBank(filters, rmfs)
+        return clone
+
+
+class DurationScalerStage(Stage):
+    """Per-duration feature standardization (paper Section 5.2).
+
+    Upstream MF outputs are partial sums over time bins, so their statistics
+    depend on the (possibly truncated) readout duration. At fit time one
+    :class:`FeatureScaler` is calibrated per whole-bin duration by running
+    the upstream stages on truncated copies of the training set; at
+    transform time the scaler matching the dataset's bin count is applied.
+    """
+
+    name = "duration-scaler"
+
+    def __init__(self):
+        self.scalers: dict = {}
+        self.train_bins: int = 0
+
+    def fit(self, ctx: FitContext) -> None:
+        train = ctx.train
+        self.scalers = {}
+        self.train_bins = train.n_bins
+        for n_bins in range(1, train.n_bins + 1):
+            truncated = train.truncate(n_bins * train.device.demod_bin_ns)
+            self.scalers[n_bins] = FeatureScaler.fit(ctx.upstream(truncated))
+
+    def transform(self, dataset: ReadoutDataset,
+                  features: Optional[np.ndarray]) -> np.ndarray:
+        if not self.scalers:
+            raise RuntimeError("fit must be called before transform")
+        scaler = self.scalers.get(dataset.n_bins,
+                                  self.scalers[self.train_bins])
+        return scaler.transform(features)
+
+    def fingerprint(self) -> Optional[str]:
+        if not self.scalers:
+            return None
+        bins = sorted(self.scalers)
+        arrays = [np.array(bins + [self.train_bins])]
+        for b in bins:
+            arrays += [self.scalers[b].mean, self.scalers[b].std]
+        return _hash_arrays("duration-scaler", arrays)
+
+
+class StandardScalerStage(Stage):
+    """Single-duration feature standardization (the baseline FNN's input)."""
+
+    name = "standard-scaler"
+    supports_truncation = False
+
+    def __init__(self):
+        self.scaler: Optional[FeatureScaler] = None
+
+    def fit(self, ctx: FitContext) -> None:
+        self.scaler = FeatureScaler.fit(ctx.train_features)
+
+    def transform(self, dataset: ReadoutDataset,
+                  features: Optional[np.ndarray]) -> np.ndarray:
+        if self.scaler is None:
+            raise RuntimeError("fit must be called before transform")
+        return self.scaler.transform(features)
+
+    def fingerprint(self) -> Optional[str]:
+        if self.scaler is None:
+            return None
+        return _hash_arrays("standard-scaler",
+                            [self.scaler.mean, self.scaler.std])
+
+
+class RawTraceStage(Stage):
+    """Dataset -> flattened raw I/Q record (the baseline FNN's 1000 inputs).
+
+    The input width is tied to the readout duration, so truncated datasets
+    are rejected with the paper's retraining caveat (Section 5.2).
+    """
+
+    name = "raw-traces"
+    input_kind = KIND_DATASET
+    supports_truncation = False
+    #: The flattened record is produced at full precision regardless of the
+    #: engine buffer dtype (the baseline FNN was trained in float64).
+    dtype_stable = False
+
+    def __init__(self):
+        self._n_inputs: int = 0
+
+    def fit(self, ctx: FitContext) -> None:
+        raw = ctx.train.raw
+        if raw is None:
+            raise ValueError(
+                "dataset was generated without raw traces; regenerate with "
+                "include_raw=True to train the baseline FNN")
+        self._n_inputs = int(raw.shape[1] * raw.shape[2])
+
+    def transform(self, dataset: ReadoutDataset,
+                  features: Optional[np.ndarray]) -> np.ndarray:
+        x = dataset.baseline_inputs()
+        if self._n_inputs and x.shape[1] != self._n_inputs:
+            raise ValueError(
+                f"baseline FNN was trained on {self._n_inputs}-sample traces "
+                f"but got {x.shape[1]}; the baseline architecture depends on "
+                f"the readout duration and must be retrained (Section 5.2)")
+        return x
+
+    def output_width(self, dataset: ReadoutDataset,
+                     input_width: Optional[int]) -> Optional[int]:
+        return self._n_inputs or None

@@ -10,11 +10,15 @@ inputs for a 1 us trace) feeds a large 500-250 hidden FNN with 2^N outputs.
 Because its input layer is tied to the trace length, it cannot run on
 truncated traces without retraining — the flexibility HERQULES gains by
 making the FNN duration-agnostic (Section 5.2).
+
+Both are stage pipelines ending in an FNN head (:class:`HerqulesFNNHead` /
+:class:`BaselineFNNHead`) that maps features to a basis-state softmax and
+expands the argmax into per-qubit bits.
 """
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import List, Optional
 
 import numpy as np
 
@@ -22,9 +26,10 @@ from repro import nn
 from repro.readout.dataset import ReadoutDataset
 
 from .config import TrainingConfig
-from .discriminators import Discriminator, bits_from_basis
-from .features import (FeatureScaler, MatchedFilterBank,
-                       fit_duration_scalers)
+from .discriminators import bits_from_basis
+from .features import (DurationScalerStage, MatchedFilterStage,
+                       RawTraceStage, StandardScalerStage)
+from .pipeline import (KIND_BITS, FitContext, PipelineDiscriminator, Stage)
 
 
 def _train_classifier(network: nn.Sequential, x_train: np.ndarray,
@@ -44,8 +49,85 @@ def _train_classifier(network: nn.Sequential, x_train: np.ndarray,
     return trainer.fit(x_train, y_train, x_val, y_val)
 
 
-class HerqulesDiscriminator(Discriminator):
+class _FNNHead(Stage):
+    """Shared FNN classifier head: features -> softmax basis -> bits."""
+
+    output_kind = KIND_BITS
+
+    def __init__(self, config: TrainingConfig):
+        self.config = config
+        self.network: Optional[nn.Sequential] = None
+        self.history: Optional[nn.TrainingHistory] = None
+        self._n_qubits = 0
+
+    def _hidden_widths(self, n_qubits: int) -> List[int]:
+        raise NotImplementedError
+
+    def fit(self, ctx: FitContext) -> None:
+        rng = np.random.default_rng(self.config.seed)
+        self._n_qubits = ctx.train.n_qubits
+        x_train = ctx.train_features
+        y_train = ctx.train.basis
+        x_val = y_val = None
+        if ctx.val is not None:
+            x_val = ctx.val_features
+            y_val = ctx.val.basis
+        hidden = self._hidden_widths(self._n_qubits)
+        self.network = nn.build_mlp(x_train.shape[1], hidden,
+                                    2 ** self._n_qubits, rng)
+        self.history = _train_classifier(self.network, x_train, y_train,
+                                         x_val, y_val, self.config, rng)
+
+    def transform(self, dataset: ReadoutDataset,
+                  features: Optional[np.ndarray]) -> np.ndarray:
+        if self.network is None:
+            raise RuntimeError("fit must be called before transform")
+        basis = self.network.predict(features)
+        return bits_from_basis(basis, self._n_qubits)
+
+    def output_width(self, dataset: ReadoutDataset,
+                     input_width: Optional[int]) -> Optional[int]:
+        return self._n_qubits or None
+
+    def quantized(self, total_bits: int) -> "_FNNHead":
+        from .quantization import quantize_array
+        if self.network is None:
+            raise ValueError("quantize a fitted stage")
+        import copy
+
+        clone = type(self)(self.config)
+        clone._n_qubits = self._n_qubits
+        clone.history = self.history
+        clone.network = copy.deepcopy(self.network)
+        for param in clone.network.parameters():
+            param.value[...] = quantize_array(param.value, total_bits)
+        return clone
+
+
+class HerqulesFNNHead(_FNNHead):
+    """The small HERQULES FNN: hidden widths are multiples of N."""
+
+    name = "herqules-fnn"
+
+    def _hidden_widths(self, n_qubits: int) -> List[int]:
+        return [factor * n_qubits
+                for factor in self.config.herqules_hidden_factors]
+
+
+class BaselineFNNHead(_FNNHead):
+    """The large raw-trace baseline FNN (Lienhard et al.)."""
+
+    name = "baseline-fnn"
+    supports_truncation = False
+
+    def _hidden_widths(self, n_qubits: int) -> List[int]:
+        return list(self.config.baseline_hidden)
+
+
+class HerqulesDiscriminator(PipelineDiscriminator):
     """The mf-nn / mf-rmf-nn designs (Section 4).
+
+    Declaratively: ``bank -> duration-scaler -> herqules-fnn``.
 
     Parameters
     ----------
@@ -59,93 +141,88 @@ class HerqulesDiscriminator(Discriminator):
 
     def __init__(self, use_rmf: bool = True,
                  config: TrainingConfig = TrainingConfig()):
+        super().__init__()
         self.use_rmf = bool(use_rmf)
         self.config = config
         self.name = "mf-rmf-nn" if use_rmf else "mf-nn"
-        self.bank: Optional[MatchedFilterBank] = None
-        self.scaler: Optional[FeatureScaler] = None
-        self.duration_scalers: dict = {}
-        self.network: Optional[nn.Sequential] = None
-        self.history: Optional[nn.TrainingHistory] = None
-        self._n_qubits = 0
 
-    def fit(self, train: ReadoutDataset,
-            val: Optional[ReadoutDataset] = None) -> "HerqulesDiscriminator":
-        rng = np.random.default_rng(self.config.seed)
-        self._n_qubits = train.n_qubits
-        self.bank = MatchedFilterBank.fit(train, use_rmf=self.use_rmf)
-        self.duration_scalers = fit_duration_scalers(self.bank, train)
+    def build_stages(self) -> List[Stage]:
+        return [MatchedFilterStage(use_rmf=self.use_rmf),
+                DurationScalerStage(), HerqulesFNNHead(self.config)]
 
-        x_train = self.bank.features(train)
-        self.scaler = self.duration_scalers[train.n_bins]
-        x_train = self.scaler.transform(x_train)
-        y_train = train.basis
+    # -- legacy attribute surface ---------------------------------------
+    @property
+    def bank(self):
+        stage = self._stage(0)
+        return None if stage is None else stage.bank
 
-        x_val = y_val = None
-        if val is not None:
-            x_val = self.scaler.transform(self.bank.features(val))
-            y_val = val.basis
+    @property
+    def duration_scalers(self) -> dict:
+        stage = self._stage(1)
+        return {} if stage is None else stage.scalers
 
-        n = self._n_qubits
-        hidden = [factor * n for factor in self.config.herqules_hidden_factors]
-        self.network = nn.build_mlp(self.bank.n_features, hidden, 2 ** n, rng)
-        self.history = _train_classifier(self.network, x_train, y_train,
-                                         x_val, y_val, self.config, rng)
-        return self
+    @property
+    def scaler(self):
+        stage = self._stage(1)
+        if stage is None or not stage.scalers:
+            return None
+        return stage.scalers[stage.train_bins]
 
-    def predict_bits(self, dataset: ReadoutDataset) -> np.ndarray:
-        if self.bank is None or self.network is None or self.scaler is None:
-            raise RuntimeError("fit must be called before predict_bits")
-        scaler = self.duration_scalers.get(dataset.n_bins, self.scaler)
-        features = scaler.transform(self.bank.features(dataset))
-        basis = self.network.predict(features)
-        return bits_from_basis(basis, self._n_qubits)
+    @property
+    def network(self) -> Optional[nn.Sequential]:
+        stage = self._stage(2)
+        return None if stage is None else stage.network
+
+    @property
+    def history(self) -> Optional[nn.TrainingHistory]:
+        stage = self._stage(2)
+        return None if stage is None else stage.history
+
+    @property
+    def _n_qubits(self) -> int:
+        stage = self._stage(2)
+        return 0 if stage is None else stage._n_qubits
 
 
-class BaselineFNNDiscriminator(Discriminator):
-    """The Lienhard et al. raw-trace FNN baseline (Section 3.2)."""
+class BaselineFNNDiscriminator(PipelineDiscriminator):
+    """The Lienhard et al. raw-trace FNN baseline (Section 3.2).
+
+    Declaratively: ``raw-traces -> standard-scaler -> baseline-fnn``.
+    """
 
     name = "baseline"
     supports_truncation = False
 
     def __init__(self, config: TrainingConfig = TrainingConfig()):
+        super().__init__()
         self.config = config
-        self.scaler: Optional[FeatureScaler] = None
-        self.network: Optional[nn.Sequential] = None
-        self.history: Optional[nn.TrainingHistory] = None
-        self._n_qubits = 0
-        self._n_inputs = 0
 
-    def fit(self, train: ReadoutDataset,
-            val: Optional[ReadoutDataset] = None) -> "BaselineFNNDiscriminator":
-        rng = np.random.default_rng(self.config.seed)
-        self._n_qubits = train.n_qubits
-        x_train = train.baseline_inputs()
-        self._n_inputs = x_train.shape[1]
-        self.scaler = FeatureScaler.fit(x_train)
-        x_train = self.scaler.transform(x_train)
-        y_train = train.basis
+    def build_stages(self) -> List[Stage]:
+        return [RawTraceStage(), StandardScalerStage(),
+                BaselineFNNHead(self.config)]
 
-        x_val = y_val = None
-        if val is not None:
-            x_val = self.scaler.transform(val.baseline_inputs())
-            y_val = val.basis
+    # -- legacy attribute surface ---------------------------------------
+    @property
+    def scaler(self):
+        stage = self._stage(1)
+        return None if stage is None else stage.scaler
 
-        self.network = nn.build_mlp(self._n_inputs,
-                                    list(self.config.baseline_hidden),
-                                    2 ** self._n_qubits, rng)
-        self.history = _train_classifier(self.network, x_train, y_train,
-                                         x_val, y_val, self.config, rng)
-        return self
+    @property
+    def network(self) -> Optional[nn.Sequential]:
+        stage = self._stage(2)
+        return None if stage is None else stage.network
 
-    def predict_bits(self, dataset: ReadoutDataset) -> np.ndarray:
-        if self.network is None or self.scaler is None:
-            raise RuntimeError("fit must be called before predict_bits")
-        x = dataset.baseline_inputs()
-        if x.shape[1] != self._n_inputs:
-            raise ValueError(
-                f"baseline FNN was trained on {self._n_inputs}-sample traces "
-                f"but got {x.shape[1]}; the baseline architecture depends on "
-                f"the readout duration and must be retrained (Section 5.2)")
-        basis = self.network.predict(self.scaler.transform(x))
-        return bits_from_basis(basis, self._n_qubits)
+    @property
+    def history(self) -> Optional[nn.TrainingHistory]:
+        stage = self._stage(2)
+        return None if stage is None else stage.history
+
+    @property
+    def _n_qubits(self) -> int:
+        stage = self._stage(2)
+        return 0 if stage is None else stage._n_qubits
+
+    @property
+    def _n_inputs(self) -> int:
+        stage = self._stage(0)
+        return 0 if stage is None else stage._n_inputs

@@ -78,7 +78,9 @@ def apply_envelope(envelope: np.ndarray, traces: np.ndarray) -> np.ndarray:
     ``(n,)`` scalar filter outputs.
     """
     envelope = np.asarray(envelope, dtype=np.float64)
-    traces = np.asarray(traces, dtype=np.float64)
+    traces = np.asarray(traces)
+    if not np.issubdtype(traces.dtype, np.floating):
+        traces = traces.astype(np.float64)
     if envelope.ndim != 2 or envelope.shape[0] != 2:
         raise ValueError(f"envelope must be (2, n_bins), got {envelope.shape}")
     if traces.ndim != 3 or traces.shape[1] != 2:
@@ -88,7 +90,10 @@ def apply_envelope(envelope: np.ndarray, traces: np.ndarray) -> np.ndarray:
         raise ValueError(
             f"traces have {m} bins but the envelope was trained on only "
             f"{envelope.shape[1]}")
-    return np.einsum("ct,nct->n", envelope[:, :m], traces)
+    # Dtype-preserving on purpose: float32 streaming batches stay float32
+    # through the MAC (the hardware runs fixed-point well below float32).
+    window = envelope[:, :m].astype(traces.dtype, copy=False)
+    return np.einsum("ct,nct->n", window, traces)
 
 
 class MatchedFilter:

@@ -3,6 +3,10 @@
 ``mf`` thresholds each qubit's own MF output (the classical approach).
 ``mf-svm`` / ``mf-rmf-svm`` train one linear SVM per qubit on the *whole*
 group's feature vector, giving them access to crosstalk information.
+
+Both are expressed as stage pipelines (see :mod:`.pipeline`): a
+:class:`~.features.MatchedFilterStage` front end followed by a classifier
+head — :class:`ThresholdHead` or :class:`SVMHead`.
 """
 
 from __future__ import annotations
@@ -14,15 +18,14 @@ import numpy as np
 from repro.readout.dataset import ReadoutDataset
 
 from .config import TrainingConfig
-from .discriminators import Discriminator
-from .features import (FeatureScaler, MatchedFilterBank,
-                       fit_duration_scalers)
+from .features import DurationScalerStage, MatchedFilterStage
+from .pipeline import (KIND_BITS, FitContext, PipelineDiscriminator, Stage)
 from .svm import LinearSVM
 from .thresholding import Threshold, fit_threshold
 
 
-class MFThresholdDiscriminator(Discriminator):
-    """The plain ``mf`` design: per-qubit threshold on the MF output.
+class ThresholdHead(Stage):
+    """Per-qubit thresholds on each qubit's own MF output.
 
     Thresholds are calibrated for every whole-bin duration at fit time, so
     inference on truncated traces uses a cut matched to the shortened MF
@@ -30,77 +33,134 @@ class MFThresholdDiscriminator(Discriminator):
     scales with the pulse length).
     """
 
-    name = "mf"
-    supports_truncation = True
+    name = "threshold-head"
+    output_kind = KIND_BITS
 
     def __init__(self):
-        self.bank: Optional[MatchedFilterBank] = None
         self.thresholds_by_bins: dict = {}
+        self.train_bins: int = 0
 
-    @property
-    def thresholds(self) -> List[Threshold]:
-        """Thresholds calibrated for the full training duration."""
-        if not self.thresholds_by_bins:
-            return []
-        return self.thresholds_by_bins[max(self.thresholds_by_bins)]
-
-    def fit(self, train: ReadoutDataset,
-            val: Optional[ReadoutDataset] = None) -> "MFThresholdDiscriminator":
-        self.bank = MatchedFilterBank.fit(train, use_rmf=False)
+    def fit(self, ctx: FitContext) -> None:
+        train = ctx.train
         self.thresholds_by_bins = {}
+        self.train_bins = train.n_bins
         for n_bins in range(1, train.n_bins + 1):
             truncated = train.truncate(n_bins * train.device.demod_bin_ns)
-            features = self.bank.features(truncated)
+            features = ctx.upstream(truncated)
             self.thresholds_by_bins[n_bins] = [
                 fit_threshold(features[:, q], train.labels[:, q])
                 for q in range(train.n_qubits)
             ]
-        return self
 
-    def predict_bits(self, dataset: ReadoutDataset) -> np.ndarray:
-        if self.bank is None:
-            raise RuntimeError("fit must be called before predict_bits")
-        thresholds = self.thresholds_by_bins.get(dataset.n_bins,
-                                                 self.thresholds)
-        features = self.bank.features(dataset)
+    def transform(self, dataset: ReadoutDataset,
+                  features: Optional[np.ndarray]) -> np.ndarray:
+        if not self.thresholds_by_bins:
+            raise RuntimeError("fit must be called before transform")
+        thresholds = self.thresholds_by_bins.get(
+            dataset.n_bins, self.thresholds_by_bins[self.train_bins])
         columns = [t.predict(features[:, q])
                    for q, t in enumerate(thresholds)]
         return np.stack(columns, axis=1)
 
+    def output_width(self, dataset: ReadoutDataset,
+                     input_width: Optional[int]) -> Optional[int]:
+        return dataset.n_qubits
 
-class MFSVMDiscriminator(Discriminator):
-    """The ``mf-svm`` / ``mf-rmf-svm`` designs: one linear SVM per qubit."""
+
+class SVMHead(Stage):
+    """One linear SVM per qubit, each consuming the full feature vector."""
+
+    name = "svm-head"
+    output_kind = KIND_BITS
+
+    def __init__(self, c: float = 1.0):
+        self.c = float(c)
+        self.svms: List[LinearSVM] = []
+
+    def fit(self, ctx: FitContext) -> None:
+        self.svms = []
+        for q in range(ctx.train.n_qubits):
+            svm = LinearSVM(c=self.c)
+            svm.fit(ctx.train_features, ctx.train.labels[:, q])
+            self.svms.append(svm)
+
+    def transform(self, dataset: ReadoutDataset,
+                  features: Optional[np.ndarray]) -> np.ndarray:
+        if not self.svms:
+            raise RuntimeError("fit must be called before transform")
+        columns = [svm.predict(features) for svm in self.svms]
+        return np.stack(columns, axis=1)
+
+    def output_width(self, dataset: ReadoutDataset,
+                     input_width: Optional[int]) -> Optional[int]:
+        return len(self.svms) or None
+
+
+class MFThresholdDiscriminator(PipelineDiscriminator):
+    """The plain ``mf`` design: ``mf-bank -> threshold-head``."""
+
+    name = "mf"
+    supports_truncation = True
+
+    def build_stages(self) -> List[Stage]:
+        return [MatchedFilterStage(use_rmf=False), ThresholdHead()]
+
+    # -- legacy attribute surface ---------------------------------------
+    @property
+    def bank(self):
+        stage = self._stage(0)
+        return None if stage is None else stage.bank
+
+    @property
+    def thresholds_by_bins(self) -> dict:
+        stage = self._stage(1)
+        return {} if stage is None else stage.thresholds_by_bins
+
+    @property
+    def thresholds(self) -> List[Threshold]:
+        """Thresholds calibrated for the full training duration."""
+        by_bins = self.thresholds_by_bins
+        if not by_bins:
+            return []
+        return by_bins[max(by_bins)]
+
+
+class MFSVMDiscriminator(PipelineDiscriminator):
+    """``mf-svm`` / ``mf-rmf-svm``: ``bank -> duration-scaler -> svm-head``."""
 
     supports_truncation = True
 
     def __init__(self, use_rmf: bool = False, c: float = 1.0,
                  config: TrainingConfig = TrainingConfig()):
+        super().__init__()
         self.use_rmf = bool(use_rmf)
         self.c = float(c)
         self.config = config
         self.name = "mf-rmf-svm" if use_rmf else "mf-svm"
-        self.bank: Optional[MatchedFilterBank] = None
-        self.scaler: Optional[FeatureScaler] = None
-        self.duration_scalers: dict = {}
-        self.svms: List[LinearSVM] = []
 
-    def fit(self, train: ReadoutDataset,
-            val: Optional[ReadoutDataset] = None) -> "MFSVMDiscriminator":
-        self.bank = MatchedFilterBank.fit(train, use_rmf=self.use_rmf)
-        self.duration_scalers = fit_duration_scalers(self.bank, train)
-        self.scaler = self.duration_scalers[train.n_bins]
-        features = self.scaler.transform(self.bank.features(train))
-        self.svms = []
-        for q in range(train.n_qubits):
-            svm = LinearSVM(c=self.c)
-            svm.fit(features, train.labels[:, q])
-            self.svms.append(svm)
-        return self
+    def build_stages(self) -> List[Stage]:
+        return [MatchedFilterStage(use_rmf=self.use_rmf),
+                DurationScalerStage(), SVMHead(c=self.c)]
 
-    def predict_bits(self, dataset: ReadoutDataset) -> np.ndarray:
-        if self.bank is None or self.scaler is None:
-            raise RuntimeError("fit must be called before predict_bits")
-        scaler = self.duration_scalers.get(dataset.n_bins, self.scaler)
-        features = scaler.transform(self.bank.features(dataset))
-        columns = [svm.predict(features) for svm in self.svms]
-        return np.stack(columns, axis=1)
+    # -- legacy attribute surface ---------------------------------------
+    @property
+    def bank(self):
+        stage = self._stage(0)
+        return None if stage is None else stage.bank
+
+    @property
+    def duration_scalers(self) -> dict:
+        stage = self._stage(1)
+        return {} if stage is None else stage.scalers
+
+    @property
+    def scaler(self):
+        stage = self._stage(1)
+        if stage is None or not stage.scalers:
+            return None
+        return stage.scalers[stage.train_bins]
+
+    @property
+    def svms(self) -> List[LinearSVM]:
+        stage = self._stage(2)
+        return [] if stage is None else stage.svms

@@ -15,9 +15,11 @@ import numpy as np
 from repro import nn
 
 from .config import TrainingConfig
-from .features import FeatureScaler, MatchedFilterBank
-from .fnn import HerqulesDiscriminator
+from .features import (DurationScalerStage, FeatureScaler, MatchedFilterBank,
+                       MatchedFilterStage)
+from .fnn import HerqulesDiscriminator, HerqulesFNNHead
 from .matched_filter import MatchedFilter
+from .pipeline import Pipeline
 
 _FORMAT_VERSION = 1
 
@@ -70,26 +72,29 @@ def load_herqules(path: str) -> HerqulesDiscriminator:
         config = TrainingConfig(herqules_hidden_factors=hidden_factors,
                                 seed=int(data["seed"]))
         design = HerqulesDiscriminator(use_rmf=use_rmf, config=config)
-        design._n_qubits = n_qubits
 
+        # Reassemble the three fitted stages of the HERQULES pipeline.
+        mf_stage = MatchedFilterStage(use_rmf=use_rmf)
         filters = [MatchedFilter(env) for env in data["mf_envelopes"]]
         rmfs = None
         if use_rmf:
             rmfs = [MatchedFilter(env) for env in data["rmf_envelopes"]]
-        design.bank = MatchedFilterBank(filters, rmfs)
+        mf_stage.bank = MatchedFilterBank(filters, rmfs)
 
-        design.duration_scalers = {}
+        scaler_stage = DurationScalerStage()
         for b, mean, std in zip(data["scaler_bins"], data["scaler_means"],
                                 data["scaler_stds"]):
-            design.duration_scalers[int(b)] = FeatureScaler(mean, std)
-        design.scaler = design.duration_scalers[int(data["train_bins"])]
+            scaler_stage.scalers[int(b)] = FeatureScaler(mean, std)
+        scaler_stage.train_bins = int(data["train_bins"])
 
+        head = HerqulesFNNHead(config)
+        head._n_qubits = n_qubits
         hidden = [f * n_qubits for f in hidden_factors]
         rng = np.random.default_rng(config.seed)
-        design.network = nn.build_mlp(design.bank.n_features, hidden,
-                                      2 ** n_qubits, rng)
+        head.network = nn.build_mlp(mf_stage.bank.n_features, hidden,
+                                    2 ** n_qubits, rng)
         n_params = int(data["n_params"])
-        params = design.network.parameters()
+        params = head.network.parameters()
         if n_params != len(params):
             raise ValueError(
                 f"saved model has {n_params} parameter tensors, "
@@ -101,4 +106,8 @@ def load_herqules(path: str) -> HerqulesDiscriminator:
                     f"parameter {i} shape mismatch: saved {saved.shape}, "
                     f"expected {param.value.shape}")
             param.value[...] = saved
+
+        pipeline = Pipeline([mf_stage, scaler_stage, head])
+        pipeline.fitted = True
+        design._pipeline = pipeline
     return design

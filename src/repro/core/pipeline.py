@@ -1,0 +1,292 @@
+"""Composable discrimination pipelines: staged fit/transform with contracts.
+
+Every discriminator design in this package is a linear chain of
+:class:`Stage` objects — feature extractors (matched-filter banks, raw-trace
+flattening), calibrations (per-duration feature scalers), and classifier
+heads (thresholds, SVMs, FNNs). A :class:`Pipeline` fits the chain stage by
+stage, validates the declared input/output contracts, and runs the fitted
+chain on unseen datasets.
+
+The staged structure is what the batched inference engine
+(:mod:`repro.engine`) exploits: stages expose content-addressed
+``fingerprint()`` values, so feature stages that are value-identical across
+designs (e.g. the same matched-filter bank feeding both ``mf-svm`` and
+``mf-nn``) are computed once per input chunk and shared.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence
+
+import numpy as np
+
+from repro.readout.dataset import ReadoutDataset
+
+from .discriminators import Discriminator
+
+#: Stage I/O kinds. A pipeline starts from a dataset; intermediate stages
+#: pass 2-D feature matrices; the final head emits per-qubit bits.
+KIND_DATASET = "dataset"
+KIND_FEATURES = "features"
+KIND_BITS = "bits"
+
+
+@dataclass
+class FitContext:
+    """Everything a stage may need while fitting.
+
+    Attributes
+    ----------
+    train / val:
+        The (full-duration) training and optional validation datasets.
+    train_features / val_features:
+        Outputs of the already-fitted upstream stages on ``train`` / ``val``
+        (``None`` for the first stage, whose input is the dataset itself).
+    upstream:
+        Recomputes the upstream features for an arbitrary dataset — the hook
+        duration-aware stages use to calibrate themselves on truncated
+        copies of the training set.
+    """
+
+    train: ReadoutDataset
+    val: Optional[ReadoutDataset]
+    train_features: Optional[np.ndarray]
+    val_features: Optional[np.ndarray]
+    upstream: Callable[[ReadoutDataset], Optional[np.ndarray]]
+
+
+class Stage(ABC):
+    """One fit/transform step of a discrimination pipeline.
+
+    Subclasses declare their I/O contract through ``input_kind`` /
+    ``output_kind`` and (for feature stages) :meth:`output_width`; the
+    pipeline validates the chain at construction time and the shapes at
+    transform time.
+    """
+
+    #: Short human-readable stage name (used in reprs and engine stats).
+    name: str = "stage"
+    input_kind: str = KIND_FEATURES
+    output_kind: str = KIND_FEATURES
+    #: Whether the fitted stage accepts datasets truncated below the
+    #: training duration (paper Section 5.2).
+    supports_truncation: bool = True
+
+    def fit(self, ctx: FitContext) -> None:
+        """Fit stage state from the training context. Default: stateless."""
+
+    @abstractmethod
+    def transform(self, dataset: ReadoutDataset,
+                  features: Optional[np.ndarray]) -> np.ndarray:
+        """Map upstream output to this stage's output for ``dataset``.
+
+        ``features`` is ``None`` for dataset-input stages; feature stages
+        receive the upstream ``(n, d)`` matrix.
+        """
+
+    def output_width(self, dataset: ReadoutDataset,
+                     input_width: Optional[int]) -> Optional[int]:
+        """Declared column count of the output; ``None`` if not enforced."""
+        return input_width
+
+    def fingerprint(self) -> Optional[str]:
+        """Content hash of the fitted parameters, or ``None`` if unshareable.
+
+        Two stages with equal fingerprints are guaranteed to transform any
+        input identically; the inference engine uses this to share
+        intermediate features across designs.
+        """
+        return None
+
+    def quantized(self, total_bits: int) -> "Stage":
+        """A copy with parameters fixed-point quantized (default: shared).
+
+        Stages without quantizable parameters (scalers, thresholds — which
+        run at full precision on hardware) return themselves.
+        """
+        return self
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}({self.name})"
+
+
+def _hash_arrays(kind: str, arrays: Sequence[np.ndarray]) -> str:
+    """Content hash of a stage's parameter arrays (shape- and byte-exact)."""
+    digest = hashlib.blake2b(kind.encode(), digest_size=16)
+    for arr in arrays:
+        arr = np.ascontiguousarray(arr)
+        digest.update(str(arr.shape).encode())
+        digest.update(str(arr.dtype).encode())
+        digest.update(arr.tobytes())
+    return digest.hexdigest()
+
+
+class Pipeline:
+    """A validated chain of stages with staged fitting.
+
+    The first stage consumes the dataset; every later stage consumes the
+    previous stage's feature matrix. At most one head (``bits`` output) is
+    allowed and it must come last.
+    """
+
+    def __init__(self, stages: Sequence[Stage]):
+        stages = list(stages)
+        if not stages:
+            raise ValueError("a pipeline needs at least one stage")
+        if stages[0].input_kind != KIND_DATASET:
+            raise ValueError(
+                f"first stage {stages[0].name!r} must consume the dataset, "
+                f"declares input {stages[0].input_kind!r}")
+        for prev, stage in zip(stages, stages[1:]):
+            if prev.output_kind != KIND_FEATURES:
+                raise ValueError(
+                    f"stage {prev.name!r} outputs {prev.output_kind!r} and "
+                    f"cannot feed {stage.name!r}")
+            if stage.input_kind != KIND_FEATURES:
+                raise ValueError(
+                    f"stage {stage.name!r} declares input "
+                    f"{stage.input_kind!r} but sits mid-pipeline")
+        self.stages: List[Stage] = stages
+        self.fitted = False
+
+    @property
+    def produces_bits(self) -> bool:
+        return self.stages[-1].output_kind == KIND_BITS
+
+    @property
+    def supports_truncation(self) -> bool:
+        return all(stage.supports_truncation for stage in self.stages)
+
+    # ------------------------------------------------------------------
+    # Fitting
+    # ------------------------------------------------------------------
+    def fit(self, train: ReadoutDataset,
+            val: Optional[ReadoutDataset] = None) -> "Pipeline":
+        """Fit every stage in order, feeding each the upstream features."""
+        x_train: Optional[np.ndarray] = None
+        x_val: Optional[np.ndarray] = None
+        for i, stage in enumerate(self.stages):
+            prefix = self.stages[:i]
+
+            def upstream(dataset: ReadoutDataset,
+                         _prefix=prefix) -> Optional[np.ndarray]:
+                return self._apply(_prefix, dataset)
+
+            stage.fit(FitContext(train=train, val=val,
+                                 train_features=x_train, val_features=x_val,
+                                 upstream=upstream))
+            if i + 1 < len(self.stages):
+                x_train = self._checked(stage, train, x_train)
+                if val is not None:
+                    x_val = stage.transform(val, x_val)
+        self.fitted = True
+        return self
+
+    # ------------------------------------------------------------------
+    # Inference
+    # ------------------------------------------------------------------
+    def transform(self, dataset: ReadoutDataset) -> np.ndarray:
+        """Run the fitted chain; returns the last stage's output."""
+        if not self.fitted:
+            raise RuntimeError("fit must be called before transform")
+        return self._apply(self.stages, dataset, check=True)
+
+    def transform_prefix(self, dataset: ReadoutDataset,
+                         n_stages: int) -> Optional[np.ndarray]:
+        """Output of the first ``n_stages`` fitted stages (engine hook)."""
+        if not self.fitted:
+            raise RuntimeError("fit must be called before transform_prefix")
+        return self._apply(self.stages[:n_stages], dataset)
+
+    def _apply(self, stages: Sequence[Stage], dataset: ReadoutDataset,
+               check: bool = False) -> Optional[np.ndarray]:
+        x: Optional[np.ndarray] = None
+        for stage in stages:
+            x = (self._checked(stage, dataset, x) if check
+                 else stage.transform(dataset, x))
+        return x
+
+    def _checked(self, stage: Stage, dataset: ReadoutDataset,
+                 x: Optional[np.ndarray]) -> np.ndarray:
+        """Transform through one stage, enforcing its declared contract."""
+        in_width = None if x is None else int(x.shape[1])
+        out = stage.transform(dataset, x)
+        if out.ndim != 2 or out.shape[0] != dataset.n_traces:
+            raise ValueError(
+                f"stage {stage.name!r} returned shape {out.shape}; expected "
+                f"({dataset.n_traces}, width)")
+        declared = stage.output_width(dataset, in_width)
+        if declared is not None and out.shape[1] != declared:
+            raise ValueError(
+                f"stage {stage.name!r} declared width {declared} but "
+                f"returned {out.shape[1]}")
+        return out
+
+    # ------------------------------------------------------------------
+    # Derived pipelines
+    # ------------------------------------------------------------------
+    def quantized(self, total_bits: int) -> "Pipeline":
+        """A pipeline with every quantizable stage's parameters quantized.
+
+        Stages without quantizable parameters are shared with the source
+        (they are read-only at inference time); quantizing never mutates
+        the source pipeline.
+        """
+        if not self.fitted:
+            raise ValueError("quantize a pipeline after fitting it")
+        clone = Pipeline([stage.quantized(total_bits)
+                          for stage in self.stages])
+        clone.fitted = True
+        return clone
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        chain = " -> ".join(stage.name for stage in self.stages)
+        return f"Pipeline({chain})"
+
+
+class PipelineDiscriminator(Discriminator):
+    """A discriminator whose behaviour is a declarative stage list.
+
+    Subclasses implement :meth:`build_stages`; everything else —
+    fitting, prediction, evaluation, quantization — is generic. The fitted
+    pipeline is exposed as :attr:`pipeline` for the inference engine and
+    the FPGA exporter.
+    """
+
+    def __init__(self):
+        self._pipeline: Optional[Pipeline] = None
+
+    @abstractmethod
+    def build_stages(self) -> List[Stage]:
+        """The design's stage list (fresh, unfitted instances)."""
+
+    @property
+    def pipeline(self) -> Optional[Pipeline]:
+        """The fitted pipeline, or ``None`` before :meth:`fit`."""
+        return self._pipeline
+
+    @property
+    def stages(self) -> List[Stage]:
+        """Stages of the fitted pipeline (empty before fitting)."""
+        return [] if self._pipeline is None else list(self._pipeline.stages)
+
+    def _stage(self, index: int) -> Optional[Stage]:
+        return None if self._pipeline is None else self._pipeline.stages[index]
+
+    def fit(self, train: ReadoutDataset,
+            val: Optional[ReadoutDataset] = None) -> "PipelineDiscriminator":
+        pipeline = Pipeline(self.build_stages())
+        if not pipeline.produces_bits:
+            raise ValueError(
+                f"design {self.name!r} must end in a bits-producing head")
+        pipeline.fit(train, val)
+        self._pipeline = pipeline
+        return self
+
+    def predict_bits(self, dataset: ReadoutDataset) -> np.ndarray:
+        if self._pipeline is None:
+            raise RuntimeError("fit must be called before predict_bits")
+        return self._pipeline.transform(dataset)

@@ -16,7 +16,7 @@ import numpy as np
 
 from repro.readout.dataset import ReadoutDataset
 
-from .discriminators import Discriminator, bits_from_basis
+from .discriminators import Discriminator
 from .fnn import HerqulesDiscriminator
 
 
@@ -65,9 +65,11 @@ def quantization_error(values: np.ndarray, total_bits: int) -> float:
 class QuantizedHerqules(Discriminator):
     """A fitted HERQULES design with all parameters fixed-point quantized.
 
-    Quantizes every MF/RMF envelope and every FNN weight/bias to
-    ``total_bits``-bit words; feature scaling runs at full precision (it is
-    absorbed into the envelope/threshold calibration on hardware).
+    Built by quantizing the fitted design's stage pipeline: every MF/RMF
+    envelope and every FNN weight/bias is rounded to ``total_bits``-bit
+    words; feature scaling runs at full precision (it is absorbed into the
+    envelope/threshold calibration on hardware). The source design is never
+    mutated — quantizable stages are deep-copied, the rest are shared.
     """
 
     supports_truncation = True
@@ -78,20 +80,26 @@ class QuantizedHerqules(Discriminator):
         self.total_bits = int(total_bits)
         self.name = f"{fitted.name}-q{total_bits}"
         self._source = fitted
-        self._n_qubits = fitted._n_qubits
+        self._pipeline = fitted.pipeline.quantized(total_bits)
 
-        import copy
+    @property
+    def pipeline(self):
+        """The quantized stage pipeline."""
+        return self._pipeline
 
-        self.bank = copy.deepcopy(fitted.bank)
-        for filt in self.bank.filters:
-            filt.envelope = quantize_array(filt.envelope, total_bits)
-        if self.bank.relaxation_filters is not None:
-            for filt in self.bank.relaxation_filters:
-                filt.envelope = quantize_array(filt.envelope, total_bits)
+    @property
+    def bank(self):
+        """The quantized matched-filter bank."""
+        return self._pipeline.stages[0].bank
 
-        self.network = copy.deepcopy(fitted.network)
-        for param in self.network.parameters():
-            param.value[...] = quantize_array(param.value, total_bits)
+    @property
+    def network(self):
+        """The quantized FNN."""
+        return self._pipeline.stages[-1].network
+
+    @property
+    def _n_qubits(self) -> int:
+        return self._pipeline.stages[-1]._n_qubits
 
     def fit(self, train: ReadoutDataset,
             val: Optional[ReadoutDataset] = None) -> "QuantizedHerqules":
@@ -100,11 +108,7 @@ class QuantizedHerqules(Discriminator):
             "float HerqulesDiscriminator and re-wrap instead")
 
     def predict_bits(self, dataset: ReadoutDataset) -> np.ndarray:
-        scaler = self._source.duration_scalers.get(dataset.n_bins,
-                                                   self._source.scaler)
-        features = scaler.transform(self.bank.features(dataset))
-        basis = self.network.predict(features)
-        return bits_from_basis(basis, self._n_qubits)
+        return self._pipeline.transform(dataset)
 
 
 def accuracy_vs_word_size(fitted: HerqulesDiscriminator,

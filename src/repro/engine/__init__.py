@@ -1,0 +1,12 @@
+"""Batched streaming inference engine over fitted discrimination pipelines.
+
+* :class:`ReadoutEngine` — chunked, preallocated-buffer, shared-feature
+  inference serving many designs over one trace stream;
+* :class:`LRUCache` — the bounded cache used for fitted-design reuse in
+  :mod:`repro.experiments.harness`.
+"""
+
+from .cache import LRUCache
+from .engine import DEFAULT_CHUNK_SIZE, EngineStats, ReadoutEngine
+
+__all__ = ["DEFAULT_CHUNK_SIZE", "EngineStats", "LRUCache", "ReadoutEngine"]

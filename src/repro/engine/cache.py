@@ -1,0 +1,55 @@
+"""A small keyed LRU cache used by the engine and the experiment harness."""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Any, Hashable, Iterator, Optional
+
+
+class LRUCache:
+    """Bounded mapping with least-recently-used eviction.
+
+    A lookup (hit) refreshes the entry's recency; inserting beyond
+    ``maxsize`` evicts the least recently used entry. Not thread-safe —
+    callers serialize access (the harness is per-process).
+    """
+
+    def __init__(self, maxsize: int = 16):
+        if maxsize < 1:
+            raise ValueError(f"maxsize must be positive, got {maxsize}")
+        self.maxsize = int(maxsize)
+        self._data: "OrderedDict[Hashable, Any]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def get(self, key: Hashable, default: Any = None) -> Any:
+        if key in self._data:
+            self._data.move_to_end(key)
+            self.hits += 1
+            return self._data[key]
+        self.misses += 1
+        return default
+
+    def put(self, key: Hashable, value: Any) -> Optional[Hashable]:
+        """Insert ``key``; returns the evicted key, if any."""
+        if key in self._data:
+            self._data.move_to_end(key)
+            self._data[key] = value
+            return None
+        self._data[key] = value
+        if len(self._data) > self.maxsize:
+            evicted, _ = self._data.popitem(last=False)
+            return evicted
+        return None
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._data
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def __iter__(self) -> Iterator[Hashable]:
+        return iter(self._data)
+
+    def clear(self) -> None:
+        self._data.clear()

@@ -1,0 +1,264 @@
+"""Batched streaming inference over fitted discrimination pipelines.
+
+The :class:`ReadoutEngine` serves many designs over the same demodulated
+trace stream the way the FPGA deployment does: traces arrive in fixed-size
+chunks, land in preallocated float32 buffers, flow through each design's
+stage pipeline, and per-stage intermediate features are computed **once**
+per chunk and shared across designs whose upstream stages are
+value-identical (content-addressed via :meth:`Stage.fingerprint`). The five
+MF-based Table 1 designs, for example, need only two filter-bank passes per
+chunk (one per MF/RMF flavour) instead of five.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Union
+
+import numpy as np
+
+from repro.core import metrics
+from repro.core.discriminators import EvaluationResult
+from repro.core.pipeline import KIND_FEATURES, Pipeline
+from repro.readout.dataset import ReadoutDataset
+
+#: Default number of traces per processing chunk.
+DEFAULT_CHUNK_SIZE = 2048
+
+
+@dataclass
+class EngineStats:
+    """Counters describing one engine's lifetime of work.
+
+    ``stage_evals`` counts every stage application actually computed;
+    ``shareable_evals`` is the subset that was cacheable (fingerprinted
+    feature stages), and ``stage_hits`` the cacheable applications served
+    from the per-chunk memo instead.
+    """
+
+    traces: int = 0
+    chunks: int = 0
+    stage_evals: int = 0
+    shareable_evals: int = 0
+    stage_hits: int = 0
+
+    def sharing_ratio(self) -> float:
+        """Fraction of shareable stage applications served from cache."""
+        total = self.shareable_evals + self.stage_hits
+        return 0.0 if total == 0 else self.stage_hits / total
+
+
+@dataclass
+class _Served:
+    """One design served by the engine."""
+
+    name: str
+    pipeline: Pipeline
+    #: Cumulative fingerprint per stage prefix (None once unshareable).
+    prefix_keys: List[Optional[str]] = field(default_factory=list)
+
+
+def _prefix_keys(pipeline: Pipeline) -> List[Optional[str]]:
+    """Cumulative content keys for each stage prefix of a pipeline.
+
+    A prefix key identifies the *value* of the features after that stage,
+    so designs with different objects but identical fitted parameters share
+    work. The chain degrades to ``None`` (unshareable) at the first stage
+    without a fingerprint.
+    """
+    keys: List[Optional[str]] = []
+    accumulated: Optional[str] = ""
+    for stage in pipeline.stages:
+        fingerprint = stage.fingerprint()
+        if accumulated is None or fingerprint is None:
+            accumulated = None
+        else:
+            accumulated = f"{accumulated}/{fingerprint}"
+        keys.append(accumulated)
+    return keys
+
+
+class ReadoutEngine:
+    """Shared-feature batched inference over a set of fitted designs.
+
+    Parameters
+    ----------
+    designs:
+        Mapping of design name to a *fitted* pipeline-based discriminator
+        (anything exposing a fitted ``pipeline`` attribute, e.g. every
+        ``make_design`` product).
+    chunk_size:
+        Traces per processing chunk; bounds peak memory and sets the
+        streaming granularity.
+    dtype:
+        Floating dtype of the demodulation buffer. The default float32
+        halves memory traffic relative to the training path; pass
+        ``np.float64`` for bit-exact parity with per-design prediction.
+    """
+
+    def __init__(self, designs: Mapping[str, object],
+                 chunk_size: int = DEFAULT_CHUNK_SIZE,
+                 dtype=np.float32):
+        if not designs:
+            raise ValueError("engine needs at least one design")
+        if chunk_size < 1:
+            raise ValueError(f"chunk_size must be positive, got {chunk_size}")
+        self.chunk_size = int(chunk_size)
+        self.dtype = np.dtype(dtype)
+        if not np.issubdtype(self.dtype, np.floating):
+            raise ValueError(f"dtype must be floating, got {self.dtype}")
+        self.stats = EngineStats()
+        self._served: List[_Served] = []
+        for name, design in designs.items():
+            pipeline = getattr(design, "pipeline", design)
+            if not isinstance(pipeline, Pipeline) or not pipeline.fitted:
+                raise ValueError(
+                    f"design {name!r} is not a fitted pipeline discriminator; "
+                    f"fit it before constructing the engine")
+            self._served.append(_Served(name=name, pipeline=pipeline,
+                                        prefix_keys=_prefix_keys(pipeline)))
+        self._demod_buffer: Optional[np.ndarray] = None
+
+    @property
+    def design_names(self) -> List[str]:
+        return [served.name for served in self._served]
+
+    # ------------------------------------------------------------------
+    # Chunking
+    # ------------------------------------------------------------------
+    def _buffer(self, shape) -> np.ndarray:
+        """The preallocated chunk buffer, (re)allocated on shape change."""
+        want = (self.chunk_size,) + tuple(shape)
+        if self._demod_buffer is None or self._demod_buffer.shape != want:
+            self._demod_buffer = np.empty(want, dtype=self.dtype)
+        return self._demod_buffer
+
+    def _chunk_datasets(self,
+                        dataset: ReadoutDataset) -> Iterator[ReadoutDataset]:
+        """Fixed-size chunks of ``dataset``, demod downcast into the buffer.
+
+        The preallocated buffer exists for the downcast; when the dataset
+        already carries the engine dtype the chunks are zero-copy views.
+        """
+        needs_cast = dataset.demod.dtype != self.dtype
+        buffer = self._buffer(dataset.demod.shape[1:]) if needs_cast else None
+        for start in range(0, dataset.n_traces, self.chunk_size):
+            stop = min(start + self.chunk_size, dataset.n_traces)
+            m = stop - start
+            if needs_cast:
+                np.copyto(buffer[:m], dataset.demod[start:stop])
+                demod = buffer[:m]
+            else:
+                demod = dataset.demod[start:stop]
+            yield ReadoutDataset(
+                demod=demod,
+                labels=dataset.labels[start:stop],
+                basis=dataset.basis[start:stop],
+                device=dataset.device,
+                raw=None if dataset.raw is None else dataset.raw[start:stop],
+            )
+
+    # ------------------------------------------------------------------
+    # Shared-feature chunk execution
+    # ------------------------------------------------------------------
+    def _process_chunk(self,
+                       chunk: ReadoutDataset) -> Dict[str, np.ndarray]:
+        memo: Dict[str, np.ndarray] = {}
+        out: Dict[str, np.ndarray] = {}
+        for served in self._served:
+            x: Optional[np.ndarray] = None
+            for i, stage in enumerate(served.pipeline.stages):
+                key = served.prefix_keys[i]
+                if key is not None and key in memo:
+                    x = memo[key]
+                    self.stats.stage_hits += 1
+                    continue
+                in_dtype = None if x is None else x.dtype
+                x = stage.transform(chunk, x)
+                self.stats.stage_evals += 1
+                if stage.output_kind == KIND_FEATURES:
+                    self._check_dtype(stage, in_dtype, x)
+                if key is not None:
+                    self.stats.shareable_evals += 1
+                    memo[key] = x
+            out[served.name] = x
+        self.stats.chunks += 1
+        self.stats.traces += chunk.n_traces
+        return out
+
+    def _check_dtype(self, stage, in_dtype, out: np.ndarray) -> None:
+        """Dtype-stability contract of the float32 streaming hot path.
+
+        Dtype-stable stages must preserve the engine dtype: the first
+        feature stage consumes the float32 chunk buffer, every later one
+        consumes the previous stage's output. A silent upcast here would
+        double memory traffic for the rest of the chain.
+        """
+        if not getattr(stage, "dtype_stable", True):
+            return
+        if not np.issubdtype(out.dtype, np.floating):
+            return
+        expected = self.dtype if in_dtype is None else in_dtype
+        if not np.issubdtype(expected, np.floating):
+            return
+        if out.dtype != expected:
+            raise TypeError(
+                f"stage {stage.name!r} broke dtype stability: expected "
+                f"{np.dtype(expected)} features, got {out.dtype}")
+
+    # ------------------------------------------------------------------
+    # Public inference surface
+    # ------------------------------------------------------------------
+    def predict_bits(self, dataset: ReadoutDataset) -> Dict[str, np.ndarray]:
+        """Per-design ``(n, n_qubits)`` bit predictions for a dataset."""
+        if dataset.n_traces == 0:
+            empty = np.zeros((0, dataset.n_qubits), dtype=np.int64)
+            return {served.name: empty for served in self._served}
+        parts: Dict[str, List[np.ndarray]] = {s.name: [] for s in self._served}
+        for chunk in self._chunk_datasets(dataset):
+            for name, bits in self._process_chunk(chunk).items():
+                parts[name].append(bits)
+        return {name: np.concatenate(chunks) for name, chunks in parts.items()}
+
+    def predict_stream(
+        self, batches: Iterable[Union[ReadoutDataset, np.ndarray]],
+        device=None,
+    ) -> Iterator[Dict[str, np.ndarray]]:
+        """Lazily predict over a stream of trace batches.
+
+        Each element may be a :class:`ReadoutDataset` or a raw
+        ``(n, n_qubits, 2, n_bins)`` demod array (``device`` required for
+        arrays). Yields one name-to-bits dict per input batch, in order.
+        """
+        for batch in batches:
+            if isinstance(batch, np.ndarray):
+                if device is None:
+                    raise ValueError(
+                        "pass device= when streaming raw demod arrays")
+                n = batch.shape[0]
+                batch = ReadoutDataset(
+                    demod=batch,
+                    labels=np.zeros((n, batch.shape[1]), dtype=np.int64),
+                    basis=np.zeros(n, dtype=np.int64),
+                    device=device,
+                )
+            yield self.predict_bits(batch)
+
+    def evaluate(self, dataset: ReadoutDataset) -> Dict[str, EvaluationResult]:
+        """Per-design evaluation bundles (same shape as ``design.evaluate``)."""
+        evaluations: Dict[str, EvaluationResult] = {}
+        for name, pred in self.predict_bits(dataset).items():
+            accs = metrics.per_qubit_accuracy(pred, dataset.labels)
+            precision, recall = metrics.precision_recall(pred, dataset.labels)
+            evaluations[name] = EvaluationResult(
+                design=name,
+                per_qubit=accs,
+                cumulative=metrics.cumulative_accuracy(accs),
+                precision=precision,
+                recall=recall,
+                misclassifications=metrics.misclassification_counts(
+                    pred, dataset.labels),
+                cross_fidelity=metrics.cross_fidelity_matrix(
+                    pred, dataset.labels),
+            )
+        return evaluations

@@ -15,7 +15,8 @@ from .fig13 import run_fig13, run_fig14b
 from .fig15 import run_fig15
 from .figures_traces import run_fig3, run_fig4ab, run_fig8, run_fig10
 from .harness import clear_cache as clear_design_cache
-from .harness import fit_design
+from .harness import (cache_info, evaluate_designs, fit_design,
+                      shared_engine)
 from .registry import EXPERIMENTS, experiment_names, run_experiment
 from .results import ExperimentResult
 from .table1 import PAPER_TABLE1, run_table1
@@ -27,8 +28,11 @@ from .table5 import run_table5
 __all__ = [
     "DEFAULT_CONFIG", "EXPERIMENTS", "ExperimentConfig", "ExperimentResult",
     "PAPER_BASELINE_F5Q", "PAPER_FIG12", "PAPER_HERQULES_F5Q", "PAPER_TABLE1",
-    "PAPER_TABLE2", "PAPER_TABLE3", "QUICK_CONFIG", "clear_dataset_cache",
-    "clear_design_cache", "experiment_names", "fit_design", "prepare_splits",
+    "PAPER_TABLE2", "PAPER_TABLE3", "QUICK_CONFIG", "cache_info",
+    "clear_dataset_cache",
+    "clear_design_cache", "evaluate_designs", "experiment_names",
+    "fit_design", "prepare_splits",
+    "shared_engine",
     "run_experiment", "run_fig3", "run_fig4ab", "run_fig4c", "run_fig7d",
     "run_fig8", "run_fig10", "run_fig11a", "run_fig11b", "run_fig12",
     "run_fig13", "run_fig14a", "run_fig14b", "run_fig15", "run_table1",

@@ -1,22 +1,25 @@
 """Dataset preparation shared by the readout experiments.
 
 Generating traces (especially with the raw ADC record for the baseline FNN)
-is the most expensive step of the harness, so datasets are cached per
-(config, include_raw) within a process.
+is the most expensive step of the harness, so splits are held in a bounded
+LRU keyed per (config, include_raw) within a process.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Tuple
+from typing import Tuple
 
 import numpy as np
 
+from repro.engine import LRUCache
 from repro.readout import (ReadoutDataset, five_qubit_paper_device,
                            generate_dataset)
 
 from .config import ExperimentConfig
 
-_CACHE: Dict[Tuple, Tuple[ReadoutDataset, ReadoutDataset, ReadoutDataset]] = {}
+#: Raw-inclusive five-qubit datasets weigh in at hundreds of MB at paper
+#: scale, so only a handful of configurations are kept resident.
+_CACHE = LRUCache(maxsize=8)
 
 
 def prepare_splits(config: ExperimentConfig, include_raw: bool = False,
@@ -26,10 +29,13 @@ def prepare_splits(config: ExperimentConfig, include_raw: bool = False,
            config.seed, include_raw)
     # A raw-inclusive dataset also serves demod-only requests.
     raw_key = key[:-1] + (True,)
-    if key in _CACHE:
-        return _CACHE[key]
-    if raw_key in _CACHE:
-        return _CACHE[raw_key]
+    cached = _CACHE.get(key)
+    if cached is not None:
+        return cached
+    if raw_key != key:
+        cached = _CACHE.get(raw_key)
+        if cached is not None:
+            return cached
 
     device = five_qubit_paper_device()
     gen_rng = np.random.default_rng(config.seed)
@@ -38,7 +44,7 @@ def prepare_splits(config: ExperimentConfig, include_raw: bool = False,
     split_rng = np.random.default_rng(config.seed + 1)
     splits = dataset.split(split_rng, config.train_fraction,
                            config.val_fraction)
-    _CACHE[key] = splits
+    _CACHE.put(key, splits)
     return splits
 
 

@@ -7,8 +7,7 @@ from typing import List, Optional, Sequence
 from repro.core import DESIGN_NAMES, relative_improvement
 
 from .config import DEFAULT_CONFIG, ExperimentConfig
-from .datasets import prepare_splits
-from .harness import fit_design
+from .harness import evaluate_designs
 from .results import ExperimentResult
 
 PAPER_TABLE1 = {
@@ -32,13 +31,10 @@ def run_table1(config: ExperimentConfig = DEFAULT_CONFIG,
     pass a subset to skip the expensive raw-trace baseline.
     """
     names = list(DESIGN_NAMES) if designs is None else list(designs)
+    evaluations = evaluate_designs(names, config)
     rows: List[list] = []
-    evaluations = {}
     for name in names:
-        design = fit_design(name, config)
-        _, _, test = prepare_splits(config, include_raw=(name == "baseline"))
-        result = design.evaluate(test)
-        evaluations[name] = result
+        result = evaluations[name]
         rows.append([name, *[float(a) for a in result.per_qubit],
                      result.cumulative, result.cumulative_without(WEAK_QUBIT)])
 

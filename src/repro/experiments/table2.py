@@ -5,8 +5,7 @@ from __future__ import annotations
 from typing import List, Optional, Sequence
 
 from .config import DEFAULT_CONFIG, ExperimentConfig
-from .datasets import prepare_splits
-from .harness import fit_design
+from .harness import evaluate_designs
 from .results import ExperimentResult
 
 PAPER_TABLE2 = {
@@ -24,12 +23,10 @@ def run_table2(config: ExperimentConfig = DEFAULT_CONFIG,
                designs: Optional[Sequence[str]] = None) -> ExperimentResult:
     """Cross-fidelity |F^CF| means for Hamming distances 1-4."""
     names = list(_DEFAULT_DESIGNS) if designs is None else list(designs)
+    evaluations = evaluate_designs(names, config)
     rows: List[list] = []
     for name in names:
-        design = fit_design(name, config)
-        _, _, test = prepare_splits(config, include_raw=(name == "baseline"))
-        evaluation = design.evaluate(test)
-        by_distance = evaluation.cross_fidelity_by_distance()
+        by_distance = evaluations[name].cross_fidelity_by_distance()
         rows.append([name] + [by_distance.get(d, float("nan"))
                               for d in range(1, 5)])
     return ExperimentResult(

@@ -10,7 +10,7 @@ from .devices import (DEVICE_CATALOG, FPGADevice, VU13P, XCZU7EV, ZU28DR,
                       get_device)
 from .hls_model import (ResourceEstimate, dense_layer_sizes,
                         estimate_infrastructure, estimate_matched_filter_bank,
-                        estimate_mlp)
+                        estimate_mlp, estimate_pipeline)
 from .scaling import (ScalingPoint, independent_fnns, scaling_sweep,
                       shared_fnn, shared_fnn_feature_layers_only)
 
@@ -18,6 +18,7 @@ __all__ = [
     "DEVICE_CATALOG", "FPGADevice", "ResourceEstimate", "ScalingPoint",
     "VU13P", "XCZU7EV", "ZU28DR", "baseline_cost", "dense_layer_sizes",
     "estimate_infrastructure", "estimate_matched_filter_bank", "estimate_mlp",
+    "estimate_pipeline",
     "fig4c_fnn_cost", "get_device", "herqules_cost", "independent_fnns",
     "max_qubits_per_fpga", "scaling_sweep", "shared_fnn",
     "shared_fnn_feature_layers_only",

@@ -202,3 +202,74 @@ def estimate_infrastructure(n_qubits: int) -> ResourceEstimate:
         brams=INFRA_BRAM_PER_QUBIT * n_qubits,
         latency_cycles=0.0,
     )
+
+
+def estimate_pipeline(fitted, reuse_factor: int = 4,
+                      device: FPGADevice = XCZU7EV,
+                      include_infrastructure: bool = True) -> ResourceEstimate:
+    """Resource/latency estimate exported from a fitted stage pipeline.
+
+    Walks the stage list of a fitted
+    :class:`~repro.core.pipeline.PipelineDiscriminator` (or a bare
+    ``Pipeline``) and sums the hardware cost of each stage: matched-filter
+    banks map to streaming MAC units, FNN heads to hls4ml dense networks,
+    SVM heads to one dense layer of per-qubit dot products, and
+    centroid/boxcar heads to uniform-envelope filter banks (one I/Q MAC
+    pair per qubit). Scalers and thresholds are absorbed into
+    envelope/comparator calibration and cost nothing — exactly the
+    deployment story of Section 6.
+
+    Parameters
+    ----------
+    fitted:
+        A fitted pipeline-based discriminator or pipeline.
+    reuse_factor:
+        hls4ml reuse factor applied to dense (FNN/SVM) stages.
+    device:
+        Target part.
+    include_infrastructure:
+        Add the fixed per-group buffers/demodulation/control cost.
+    """
+    pipeline = getattr(fitted, "pipeline", fitted)
+    if pipeline is None or not getattr(pipeline, "fitted", False):
+        raise ValueError("pass a fitted pipeline or pipeline discriminator")
+
+    total = ResourceEstimate(0, 0, 0, 0, 0)
+    n_qubits = 0
+    for stage in pipeline.stages:
+        bank = getattr(stage, "bank", None)
+        if bank is not None:
+            total += estimate_matched_filter_bank(
+                bank.n_qubits, bank.filters[0].n_bins, bank.uses_rmf)
+            n_qubits = bank.n_qubits
+        network = getattr(stage, "network", None)
+        if network is not None:
+            total += estimate_mlp(network.layer_sizes(), reuse_factor, device)
+            n_qubits = n_qubits or getattr(stage, "_n_qubits", 0)
+        svms = getattr(stage, "svms", None)
+        if svms:
+            n_features = svms[0].weights.shape[0]
+            total += estimate_mlp([(n_features, len(svms))], reuse_factor,
+                                  device)
+            n_qubits = n_qubits or len(svms)
+        # Centroid/boxcar heads: uniform integration is one I/Q MAC pair
+        # per qubit — cost them as a plain (non-RMF) filter bank.
+        centroids = getattr(stage, "centroids_by_bins", None)
+        if centroids:
+            group = centroids[max(centroids)]
+            total += estimate_matched_filter_bank(group.shape[0],
+                                                  max(centroids), False)
+            n_qubits = n_qubits or group.shape[0]
+        boxcars = getattr(stage, "filters", None)
+        if boxcars and all(hasattr(f, "window_bins") for f in boxcars):
+            total += estimate_matched_filter_bank(
+                len(boxcars), max(f.window_bins for f in boxcars), False)
+            n_qubits = n_qubits or len(boxcars)
+
+    if include_infrastructure:
+        if n_qubits < 1:
+            raise ValueError(
+                "pipeline has no stage that fixes the qubit count; cannot "
+                "size the readout infrastructure")
+        total += estimate_infrastructure(n_qubits)
+    return total

@@ -89,6 +89,64 @@ class ReadoutDataset:
         """Demodulated traces as complex ``(n, n_qubits, n_bins)``."""
         return iq_to_complex(self.demod)
 
+    def fingerprint(self, include_raw: bool = True) -> str:
+        """Stable content hash of traces, labels, and device parameters.
+
+        Two datasets fingerprint equally iff their demod/labels/basis
+        arrays and generating device are byte-identical — the key the
+        experiment harness uses for its fitted-design LRU cache (unlike a
+        config-tuple key, this cannot alias datasets from devices that
+        differ only in qubit parameters). The raw ADC record, when present,
+        is hashed by content; pass ``include_raw=False`` to key on the
+        demodulated view only (demod-only designs must hit the same cache
+        entry whether or not the split happens to carry raw traces).
+        Computed once per flavour and cached; do not mutate the arrays
+        afterwards.
+        """
+        with_raw = bool(include_raw) and self.raw is not None
+        cache = getattr(self, "_fingerprints", None)
+        if cache is None:
+            cache = self._fingerprints = {}
+        cached = cache.get(with_raw)
+        if cached is not None:
+            return cached
+        import hashlib
+
+        from .serialization import device_to_arrays
+
+        digest = hashlib.blake2b(digest_size=16)
+        arrays = [("demod", self.demod), ("labels", self.labels),
+                  ("basis", self.basis)]
+        if with_raw:
+            arrays.append(("raw", self.raw))
+        for name, arr in arrays:
+            digest.update(name.encode())
+            digest.update(str(arr.shape).encode())
+            digest.update(str(arr.dtype).encode())
+            digest.update(np.ascontiguousarray(arr).tobytes())
+        for name, arr in sorted(device_to_arrays(self.device).items()):
+            digest.update(name.encode())
+            digest.update(np.ascontiguousarray(arr).tobytes())
+        cache[with_raw] = digest.hexdigest()
+        return cache[with_raw]
+
+    def astype(self, dtype) -> "ReadoutDataset":
+        """A copy with demodulated traces cast to ``dtype`` (e.g. float32).
+
+        The batched inference engine's streaming hot path runs in float32;
+        this is the explicit conversion for callers preparing such data
+        ahead of time. Labels and diagnostics are shared, not copied.
+        """
+        return ReadoutDataset(
+            demod=self.demod.astype(dtype, copy=False),
+            labels=self.labels,
+            basis=self.basis,
+            device=self.device,
+            raw=self.raw,
+            final_bits=self.final_bits,
+            relaxed=self.relaxed,
+        )
+
     def mtv(self) -> np.ndarray:
         """Mean Trace Value per qubit: complex ``(n, n_qubits)``."""
         return mean_trace_value(self.demod_complex())

@@ -14,7 +14,7 @@ from .parameters import DeviceParams
 
 
 def demodulate(raw: np.ndarray, device: DeviceParams,
-               qubit_index: int) -> np.ndarray:
+               qubit_index: int, dtype=None) -> np.ndarray:
     """Demodulate one qubit's signal from raw complex traces.
 
     Parameters
@@ -25,6 +25,11 @@ def demodulate(raw: np.ndarray, device: DeviceParams,
         Device parameters (sampling rate, bin width, qubit frequencies).
     qubit_index:
         Index of the qubit whose tone to extract.
+    dtype:
+        Optional complex output dtype. ``np.complex64`` runs the mixing
+        and binning single-precision end to end — the streaming engine's
+        float32 hot path; the default preserves the input precision (the
+        full-precision training/calibration path).
 
     Returns
     -------
@@ -40,17 +45,29 @@ def demodulate(raw: np.ndarray, device: DeviceParams,
         raise ValueError("trace shorter than one demodulation bin")
     if not 0 <= qubit_index < device.n_qubits:
         raise ValueError(f"qubit index {qubit_index} out of range")
+    if dtype is not None:
+        dtype = np.dtype(dtype)
+        if dtype.kind != "c":
+            raise ValueError(f"dtype must be complex, got {dtype}")
+        raw = raw.astype(dtype, copy=False)
 
     freq = device.qubits[qubit_index].intermediate_freq_mhz
     t = np.arange(n_samples) * device.sample_period_ns
     lo = np.exp(-2j * np.pi * freq * 1e-3 * t)
+    if dtype is not None:
+        lo = lo.astype(dtype, copy=False)
     mixed = raw[:, :n_bins * spb] * lo[None, :n_bins * spb]
     return mixed.reshape(raw.shape[0], n_bins, spb).mean(axis=2)
 
 
-def demodulate_all(raw: np.ndarray, device: DeviceParams) -> np.ndarray:
+def demodulate_all(raw: np.ndarray, device: DeviceParams,
+                   dtype=None) -> np.ndarray:
     """Demodulate every qubit; returns ``(n_traces, n_qubits, n_bins)``."""
-    per_qubit = [demodulate(raw, device, q) for q in range(device.n_qubits)]
+    if dtype is not None:
+        # Cast the (large) raw record once, not once per qubit.
+        raw = np.asarray(raw).astype(np.dtype(dtype), copy=False)
+    per_qubit = [demodulate(raw, device, q, dtype=dtype)
+                 for q in range(device.n_qubits)]
     return np.stack(per_qubit, axis=1)
 
 

@@ -1,6 +1,5 @@
 """Fig 12 benchmark suite tests (small subset for speed)."""
 
-import numpy as np
 import pytest
 
 from repro.circuits import NoiseModel, paper_benchmarks

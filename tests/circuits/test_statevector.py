@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.circuits import (Circuit, basis_state, probabilities, run,
+from repro.circuits import (Circuit, basis_state, run,
                             sample_counts, zero_state)
 from repro.circuits import gates
 

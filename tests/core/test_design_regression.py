@@ -1,0 +1,61 @@
+"""Bit-exact regression of every design against the pre-pipeline seed.
+
+The fixture ``tests/data/design_regression.npz`` pins the predictions of
+the original (pre-stage-pipeline) implementation on a fixed-seed dataset;
+these tests prove the declarative stage pipelines are drop-in identical.
+Regenerate the fixture only on an intended behaviour change
+(``tests/data/make_design_regression.py``).
+"""
+
+import pathlib
+
+import numpy as np
+import pytest
+
+from repro.core import FAST_CONFIG, make_design
+from repro.readout import (five_qubit_paper_device, generate_dataset,
+                           single_qubit_device)
+
+FIXTURE = pathlib.Path(__file__).parent.parent / "data" / "design_regression.npz"
+
+TRUNCATE_NS = 500.0
+
+DEMOD_DESIGNS = ("mf", "mf-svm", "mf-nn", "mf-rmf-svm", "mf-rmf-nn",
+                 "centroid", "boxcar")
+
+
+@pytest.fixture(scope="module")
+def expected():
+    with np.load(FIXTURE) as data:
+        return {key: data[key] for key in data.files}
+
+
+@pytest.fixture(scope="module")
+def regression_splits():
+    device = five_qubit_paper_device()
+    data = generate_dataset(device, shots_per_state=30,
+                            rng=np.random.default_rng(20230428))
+    return data.split(np.random.default_rng(20230429), 0.5, 0.1)
+
+
+@pytest.mark.parametrize("name", DEMOD_DESIGNS)
+def test_design_matches_seed_implementation(name, regression_splits,
+                                            expected):
+    train, val, test = regression_splits
+    design = make_design(name, FAST_CONFIG).fit(train, val)
+    np.testing.assert_array_equal(design.predict_bits(test),
+                                  expected[f"{name}/full"])
+    np.testing.assert_array_equal(
+        design.predict_bits(test.truncate(TRUNCATE_NS)),
+        expected[f"{name}/truncated"])
+
+
+def test_baseline_matches_seed_implementation(expected):
+    device = single_qubit_device()
+    data = generate_dataset(device, shots_per_state=80,
+                            rng=np.random.default_rng(20230430),
+                            include_raw=True)
+    train, val, test = data.split(np.random.default_rng(20230431), 0.5, 0.1)
+    design = make_design("baseline", FAST_CONFIG).fit(train, val)
+    np.testing.assert_array_equal(design.predict_bits(test),
+                                  expected["baseline/full"])

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.core import (FAST_CONFIG, HerqulesDiscriminator, TrainingConfig,
+from repro.core import (FAST_CONFIG, HerqulesDiscriminator,
                         load_herqules, save_herqules)
 
 

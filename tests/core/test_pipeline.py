@@ -1,0 +1,161 @@
+"""Stage/pipeline composition contracts and design stage lists."""
+
+import numpy as np
+import pytest
+
+from repro.core import (FAST_CONFIG, DurationScalerStage, MatchedFilterStage,
+                        Pipeline, Stage, ThresholdHead, make_design)
+from repro.core.pipeline import KIND_BITS, KIND_DATASET, KIND_FEATURES
+
+
+class _IdentityFeatures(Stage):
+    name = "identity"
+
+    def transform(self, dataset, features):
+        return features
+
+
+class _WidthLiar(Stage):
+    """Declares one width, returns another (contract-violation probe)."""
+
+    name = "width-liar"
+
+    def transform(self, dataset, features):
+        return features[:, :1]
+
+    def output_width(self, dataset, input_width):
+        return input_width
+
+
+class TestChainValidation:
+    def test_first_stage_must_consume_dataset(self):
+        with pytest.raises(ValueError, match="must consume the dataset"):
+            Pipeline([_IdentityFeatures()])
+
+    def test_dataset_stage_cannot_sit_mid_pipeline(self):
+        with pytest.raises(ValueError, match="mid-pipeline"):
+            Pipeline([MatchedFilterStage(), MatchedFilterStage()])
+
+    def test_bits_stage_cannot_feed_another(self):
+        with pytest.raises(ValueError, match="cannot feed"):
+            Pipeline([MatchedFilterStage(), ThresholdHead(),
+                      _IdentityFeatures()])
+
+    def test_empty_pipeline_rejected(self):
+        with pytest.raises(ValueError, match="at least one stage"):
+            Pipeline([])
+
+    def test_kind_declarations(self):
+        assert MatchedFilterStage().input_kind == KIND_DATASET
+        assert MatchedFilterStage().output_kind == KIND_FEATURES
+        assert ThresholdHead().output_kind == KIND_BITS
+
+
+class TestFitTransformContracts:
+    def test_mf_pipeline_shapes(self, small_splits):
+        train, val, test = small_splits
+        pipeline = Pipeline([MatchedFilterStage(use_rmf=True),
+                             DurationScalerStage()])
+        pipeline.fit(train, val)
+        features = pipeline.transform(test)
+        assert features.shape == (test.n_traces, 2 * test.n_qubits)
+
+    def test_transform_before_fit_raises(self, small_splits):
+        pipeline = Pipeline([MatchedFilterStage()])
+        with pytest.raises(RuntimeError, match="fit"):
+            pipeline.transform(small_splits[2])
+
+    def test_width_contract_enforced(self, small_splits):
+        train, val, test = small_splits
+        pipeline = Pipeline([MatchedFilterStage(), _WidthLiar()])
+        pipeline.fit(train, val)
+        with pytest.raises(ValueError, match="declared width"):
+            pipeline.transform(test)
+
+    def test_truncation_propagates_through_stages(self, small_splits):
+        """A fitted MF pipeline serves shorter readouts without refitting."""
+        train, val, test = small_splits
+        pipeline = Pipeline([MatchedFilterStage(use_rmf=False),
+                             DurationScalerStage()])
+        pipeline.fit(train, val)
+        full = pipeline.transform(test)
+        short = pipeline.transform(test.truncate(500.0))
+        assert short.shape == full.shape
+        assert not np.allclose(short, full)
+        assert pipeline.supports_truncation
+
+    def test_baseline_pipeline_reports_no_truncation(self):
+        design = make_design("baseline", FAST_CONFIG)
+        pipeline = Pipeline(design.build_stages())
+        assert not pipeline.supports_truncation
+
+    def test_prefix_transform(self, small_splits):
+        train, val, test = small_splits
+        pipeline = Pipeline([MatchedFilterStage(), DurationScalerStage()])
+        pipeline.fit(train, val)
+        raw_features = pipeline.transform_prefix(test, 1)
+        scaled = pipeline.transform(test)
+        assert raw_features.shape == scaled.shape
+        assert not np.allclose(raw_features, scaled)
+
+
+class TestDesignStageLists:
+    EXPECTED = {
+        "mf": ["mf-bank", "threshold-head"],
+        "mf-svm": ["mf-bank", "duration-scaler", "svm-head"],
+        "mf-nn": ["mf-bank", "duration-scaler", "herqules-fnn"],
+        "mf-rmf-svm": ["mf-rmf-bank", "duration-scaler", "svm-head"],
+        "mf-rmf-nn": ["mf-rmf-bank", "duration-scaler", "herqules-fnn"],
+        "baseline": ["raw-traces", "standard-scaler", "baseline-fnn"],
+        "centroid": ["centroid-head"],
+        "boxcar": ["boxcar-head"],
+    }
+
+    @pytest.mark.parametrize("name", sorted(EXPECTED))
+    def test_declared_stage_names(self, name):
+        design = make_design(name, FAST_CONFIG)
+        assert [s.name for s in design.build_stages()] == self.EXPECTED[name]
+
+    def test_fitted_design_exposes_pipeline(self, small_splits):
+        train, val, _ = small_splits
+        design = make_design("mf", FAST_CONFIG)
+        assert design.pipeline is None
+        design.fit(train, val)
+        assert design.pipeline.fitted
+        assert [s.name for s in design.stages] == self.EXPECTED["mf"]
+
+
+class TestFingerprints:
+    def test_identically_fitted_banks_share_fingerprints(self, small_splits):
+        train, val, _ = small_splits
+        a = make_design("mf-svm", FAST_CONFIG).fit(train, val)
+        b = make_design("mf-nn", FAST_CONFIG).fit(train, val)
+        # Same training data -> byte-identical banks and scalers.
+        assert (a.stages[0].fingerprint() is not None
+                and a.stages[0].fingerprint() == b.stages[0].fingerprint())
+        assert a.stages[1].fingerprint() == b.stages[1].fingerprint()
+
+    def test_different_flavours_differ(self, small_splits):
+        train, val, _ = small_splits
+        a = make_design("mf-svm", FAST_CONFIG).fit(train, val)
+        b = make_design("mf-rmf-svm", FAST_CONFIG).fit(train, val)
+        assert a.stages[0].fingerprint() != b.stages[0].fingerprint()
+
+    def test_unfitted_stage_has_no_fingerprint(self):
+        assert MatchedFilterStage().fingerprint() is None
+
+
+class TestQuantizedPipeline:
+    def test_quantize_requires_fitted(self, small_splits):
+        pipeline = Pipeline([MatchedFilterStage()])
+        with pytest.raises(ValueError, match="fit"):
+            pipeline.quantized(8)
+
+    def test_quantized_shares_unquantizable_stages(self, small_splits):
+        train, val, _ = small_splits
+        design = make_design("mf-rmf-nn", FAST_CONFIG).fit(train, val)
+        quantized = design.pipeline.quantized(8)
+        # Scaler stage is shared, bank and head are fresh copies.
+        assert quantized.stages[1] is design.pipeline.stages[1]
+        assert quantized.stages[0] is not design.pipeline.stages[0]
+        assert quantized.stages[2] is not design.pipeline.stages[2]

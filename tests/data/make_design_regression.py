@@ -1,0 +1,53 @@
+"""Regenerate the design-regression fixture (``design_regression.npz``).
+
+The fixture pins the bit predictions of every ``make_design`` name on a
+fixed-seed dataset. It was generated with the pre-pipeline (seed)
+implementation, so the regression test proves the stage-pipeline designs
+are drop-in identical. Rerun only when the *intended* behaviour changes:
+
+    PYTHONPATH=src python tests/data/make_design_regression.py
+"""
+
+import pathlib
+
+import numpy as np
+
+from repro.core import FAST_CONFIG, make_design
+from repro.readout import (five_qubit_paper_device, generate_dataset,
+                           single_qubit_device)
+
+OUT = pathlib.Path(__file__).parent / "design_regression.npz"
+
+TRUNCATE_NS = 500.0
+
+
+def main():
+    payload = {}
+
+    device = five_qubit_paper_device()
+    data = generate_dataset(device, shots_per_state=30,
+                            rng=np.random.default_rng(20230428))
+    train, val, test = data.split(np.random.default_rng(20230429), 0.5, 0.1)
+
+    for name in ("mf", "mf-svm", "mf-nn", "mf-rmf-svm", "mf-rmf-nn",
+                 "centroid", "boxcar"):
+        design = make_design(name, FAST_CONFIG).fit(train, val)
+        payload[f"{name}/full"] = design.predict_bits(test)
+        payload[f"{name}/truncated"] = design.predict_bits(
+            test.truncate(TRUNCATE_NS))
+
+    raw_device = single_qubit_device()
+    raw_data = generate_dataset(raw_device, shots_per_state=80,
+                                rng=np.random.default_rng(20230430),
+                                include_raw=True)
+    rtrain, rval, rtest = raw_data.split(np.random.default_rng(20230431),
+                                         0.5, 0.1)
+    baseline = make_design("baseline", FAST_CONFIG).fit(rtrain, rval)
+    payload["baseline/full"] = baseline.predict_bits(rtest)
+
+    np.savez_compressed(OUT, **payload)
+    print(f"wrote {OUT} ({len(payload)} arrays)")
+
+
+if __name__ == "__main__":
+    main()

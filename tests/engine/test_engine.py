@@ -1,0 +1,189 @@
+"""Batched streaming inference engine tests."""
+
+import numpy as np
+import pytest
+
+from repro.core import FAST_CONFIG, Stage, make_design
+from repro.core.pipeline import KIND_DATASET
+from repro.engine import LRUCache, ReadoutEngine
+
+MF_DESIGNS = ("mf", "mf-svm", "mf-nn", "mf-rmf-svm", "mf-rmf-nn")
+
+
+@pytest.fixture(scope="module")
+def fitted_designs(request):
+    train, val, _ = request.getfixturevalue("small_splits")
+    return {name: make_design(name, FAST_CONFIG).fit(train, val)
+            for name in MF_DESIGNS}
+
+
+class TestPredictions:
+    def test_float64_engine_is_bit_exact(self, fitted_designs, small_splits):
+        _, _, test = small_splits
+        engine = ReadoutEngine(fitted_designs, chunk_size=50,
+                               dtype=np.float64)
+        preds = engine.predict_bits(test)
+        for name, design in fitted_designs.items():
+            np.testing.assert_array_equal(preds[name],
+                                          design.predict_bits(test))
+
+    def test_float32_engine_agrees_closely(self, fitted_designs,
+                                           small_splits):
+        _, _, test = small_splits
+        engine = ReadoutEngine(fitted_designs, chunk_size=64)
+        preds = engine.predict_bits(test)
+        for name, design in fitted_designs.items():
+            agreement = (preds[name] == design.predict_bits(test)).mean()
+            assert agreement > 0.99, name
+
+    def test_chunk_size_invariance(self, fitted_designs, small_splits):
+        _, _, test = small_splits
+        a = ReadoutEngine(fitted_designs, chunk_size=7).predict_bits(test)
+        b = ReadoutEngine(fitted_designs, chunk_size=1000).predict_bits(test)
+        for name in fitted_designs:
+            np.testing.assert_array_equal(a[name], b[name])
+
+    def test_empty_dataset(self, fitted_designs, small_splits):
+        _, _, test = small_splits
+        empty = test.subset(np.arange(0))
+        preds = ReadoutEngine(fitted_designs).predict_bits(empty)
+        for bits in preds.values():
+            assert bits.shape == (0, test.n_qubits)
+
+    def test_matching_dtype_chunks_are_views(self, fitted_designs,
+                                             small_splits):
+        _, _, test = small_splits
+        engine = ReadoutEngine(fitted_designs, chunk_size=50,
+                               dtype=np.float64)
+        chunks = list(engine._chunk_datasets(test))
+        assert all(chunk.demod.base is test.demod for chunk in chunks)
+
+    def test_truncated_dataset(self, fitted_designs, small_splits):
+        _, _, test = small_splits
+        preds = ReadoutEngine(fitted_designs).predict_bits(
+            test.truncate(500.0))
+        for bits in preds.values():
+            assert bits.shape == (test.n_traces, test.n_qubits)
+
+    def test_evaluate_matches_design_evaluate(self, fitted_designs,
+                                              small_splits):
+        _, _, test = small_splits
+        engine = ReadoutEngine(fitted_designs, dtype=np.float64)
+        evaluations = engine.evaluate(test)
+        for name, design in fitted_designs.items():
+            direct = design.evaluate(test)
+            assert evaluations[name].cumulative == pytest.approx(
+                direct.cumulative)
+            np.testing.assert_allclose(evaluations[name].per_qubit,
+                                       direct.per_qubit)
+
+
+class TestSharing:
+    def test_mf_features_shared_across_designs(self, fitted_designs,
+                                               small_splits):
+        _, _, test = small_splits
+        engine = ReadoutEngine(fitted_designs, chunk_size=10_000)
+        engine.predict_bits(test)
+        # Five designs, one chunk. Independently they would run 5 bank
+        # passes and 4 scaler passes; shared, only 2 bank evals (one per
+        # MF/RMF flavour), 2 scaler evals, and the 5 unshareable heads run:
+        # 9 evals total (4 shareable), 5 cache hits.
+        assert engine.stats.stage_hits == 5
+        assert engine.stats.stage_evals == 9
+        assert engine.stats.shareable_evals == 4
+        assert engine.stats.sharing_ratio() == pytest.approx(5 / 9)
+
+    def test_stats_accumulate_traces(self, fitted_designs, small_splits):
+        _, _, test = small_splits
+        engine = ReadoutEngine(fitted_designs, chunk_size=40)
+        engine.predict_bits(test)
+        assert engine.stats.traces == test.n_traces
+        assert engine.stats.chunks == -(-test.n_traces // 40)
+
+
+class TestStreaming:
+    def test_stream_of_datasets(self, fitted_designs, small_splits):
+        _, _, test = small_splits
+        batches = [test.subset(np.arange(0, 30)),
+                   test.subset(np.arange(30, 75))]
+        outs = list(ReadoutEngine(fitted_designs).predict_stream(batches))
+        assert [o["mf"].shape[0] for o in outs] == [30, 45]
+
+    def test_stream_of_raw_arrays_needs_device(self, fitted_designs,
+                                               small_splits):
+        _, _, test = small_splits
+        engine = ReadoutEngine(fitted_designs)
+        with pytest.raises(ValueError, match="device"):
+            list(engine.predict_stream([test.demod[:10]]))
+        outs = list(engine.predict_stream([test.demod[:10]],
+                                          device=test.device))
+        assert outs[0]["mf-rmf-nn"].shape == (10, test.n_qubits)
+
+
+class _UpcastingStage(Stage):
+    """A feature stage that silently upcasts (dtype-stability probe)."""
+
+    name = "upcaster"
+    input_kind = KIND_DATASET
+
+    def transform(self, dataset, features):
+        return np.zeros((dataset.n_traces, 2), dtype=np.float64)
+
+    def output_width(self, dataset, input_width):
+        return 2
+
+
+class TestDtypeStability:
+    def test_float32_stays_float32_through_mf_path(self, fitted_designs,
+                                                   small_splits):
+        _, _, test = small_splits
+        design = fitted_designs["mf-rmf-nn"]
+        chunk32 = test.astype(np.float32)
+        features = design.pipeline.transform_prefix(chunk32, 2)
+        assert features.dtype == np.float32
+
+    def test_engine_rejects_upcasting_stage(self, small_splits):
+        from repro.core.pipeline import Pipeline
+
+        train, val, test = small_splits
+        pipeline = Pipeline([_UpcastingStage()])
+        pipeline.fit(train, val)
+        engine = ReadoutEngine({"probe": pipeline})
+        with pytest.raises(TypeError, match="dtype stability"):
+            engine.predict_bits(test)
+
+
+class TestValidation:
+    def test_unfitted_design_rejected(self, small_splits):
+        with pytest.raises(ValueError, match="not a fitted"):
+            ReadoutEngine({"mf": make_design("mf", FAST_CONFIG)})
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError, match="at least one design"):
+            ReadoutEngine({})
+
+    def test_bad_dtype_rejected(self, fitted_designs):
+        with pytest.raises(ValueError, match="floating"):
+            ReadoutEngine(fitted_designs, dtype=np.int32)
+
+
+class TestLRUCache:
+    def test_eviction_order(self):
+        cache = LRUCache(maxsize=2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        assert cache.get("a") == 1          # refresh a
+        assert cache.put("c", 3) == "b"     # b is least recent -> evicted
+        assert "b" not in cache
+        assert cache.get("a") == 1 and cache.get("c") == 3
+
+    def test_hit_miss_counters(self):
+        cache = LRUCache(maxsize=4)
+        cache.put("x", 1)
+        cache.get("x")
+        cache.get("y")
+        assert cache.hits == 1 and cache.misses == 1
+
+    def test_maxsize_validation(self):
+        with pytest.raises(ValueError):
+            LRUCache(0)

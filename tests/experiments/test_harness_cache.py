@@ -1,0 +1,83 @@
+"""Fitted-design LRU cache and shared-engine harness tests."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import QUICK_CONFIG, ExperimentConfig, cache_info
+from repro.experiments import datasets as exp_datasets
+from repro.experiments import harness as exp_harness
+
+
+@pytest.fixture(autouse=True)
+def _clean_caches():
+    exp_datasets.clear_cache()
+    exp_harness.clear_cache()
+    yield
+    exp_datasets.clear_cache()
+    exp_harness.clear_cache()
+
+
+class TestFitCache:
+    def test_cache_hit_returns_same_object(self):
+        a = exp_harness.fit_design("mf", QUICK_CONFIG)
+        before = cache_info()
+        b = exp_harness.fit_design("mf", QUICK_CONFIG)
+        assert a is b
+        assert cache_info()["hits"] == before["hits"] + 1
+
+    def test_key_distinguishes_designs(self):
+        a = exp_harness.fit_design("mf", QUICK_CONFIG)
+        b = exp_harness.fit_design("centroid", QUICK_CONFIG)
+        assert a is not b
+        assert cache_info()["size"] == 2
+
+    def test_key_is_dataset_content_not_config_tuple(self):
+        """Configs producing different data must not alias (the old
+        ``_config_key`` collapsed anything beyond a few scalar fields)."""
+        base = QUICK_CONFIG
+        other = ExperimentConfig(
+            shots_per_state=base.shots_per_state,
+            train_fraction=base.train_fraction,
+            val_fraction=base.val_fraction,
+            seed=base.seed + 1,  # different traces
+            nn=base.nn, baseline_nn=base.baseline_nn)
+        a = exp_harness.fit_design("mf", base)
+        b = exp_harness.fit_design("mf", other)
+        assert a is not b
+
+    def test_cache_is_bounded(self):
+        assert exp_harness._FITTED.maxsize == 32
+
+    def test_demod_design_hits_cache_across_raw_and_demod_splits(self):
+        """Fitting a demod-only design, then causing the raw-inclusive
+        split to be generated, must not refit the demod design."""
+        a = exp_harness.fit_design("centroid", QUICK_CONFIG)
+        exp_datasets.prepare_splits(QUICK_CONFIG, include_raw=True)
+        exp_datasets._CACHE._data.pop(  # drop the demod-only split so the
+            (QUICK_CONFIG.shots_per_state, QUICK_CONFIG.train_fraction,
+             QUICK_CONFIG.val_fraction, QUICK_CONFIG.seed, False), None)
+        b = exp_harness.fit_design("centroid", QUICK_CONFIG)
+        assert a is b
+
+    def test_clear_cache(self):
+        exp_harness.fit_design("centroid", QUICK_CONFIG)
+        exp_harness.clear_cache()
+        assert cache_info()["size"] == 0
+
+
+class TestSharedEngine:
+    def test_engine_over_cached_fits(self):
+        engine = exp_harness.shared_engine(["mf", "mf-svm", "mf-nn"],
+                                           QUICK_CONFIG)
+        _, _, test = exp_datasets.prepare_splits(QUICK_CONFIG)
+        preds = engine.predict_bits(test)
+        assert set(preds) == {"mf", "mf-svm", "mf-nn"}
+        # All three share the one mf-flavour bank.
+        assert engine.stats.stage_hits >= 2
+
+    def test_engine_reuses_fitted_designs(self):
+        design = exp_harness.fit_design("mf", QUICK_CONFIG)
+        engine = exp_harness.shared_engine(["mf"], QUICK_CONFIG)
+        _, _, test = exp_datasets.prepare_splits(QUICK_CONFIG)
+        np.testing.assert_array_equal(engine.predict_bits(test)["mf"],
+                                      design.predict_bits(test))

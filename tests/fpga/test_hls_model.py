@@ -94,3 +94,38 @@ class TestInfrastructure:
     def test_validation(self):
         with pytest.raises(ValueError):
             estimate_infrastructure(0)
+
+
+class TestEstimatePipeline:
+    """FPGA export directly from a fitted pipeline's stage list."""
+
+    @pytest.mark.parametrize("name", ["mf", "mf-svm", "mf-nn", "mf-rmf-svm",
+                                      "mf-rmf-nn", "centroid", "boxcar"])
+    def test_every_demod_design_exports(self, name, small_splits):
+        from repro.core import FAST_CONFIG, make_design
+        from repro.fpga import XCZU7EV, estimate_pipeline
+
+        train, val, _ = small_splits
+        design = make_design(name, FAST_CONFIG).fit(train, val)
+        cost = estimate_pipeline(design, reuse_factor=4)
+        assert cost.luts > 0 and cost.dsps > 0
+        assert cost.fits(XCZU7EV)
+
+    def test_matches_herqules_cost_model(self, small_splits):
+        from repro.core import FAST_CONFIG, make_design
+        from repro.fpga import herqules_cost, estimate_pipeline
+
+        train, val, _ = small_splits
+        design = make_design("mf-rmf-nn", FAST_CONFIG).fit(train, val)
+        cost = estimate_pipeline(design, reuse_factor=4)
+        reference = herqules_cost(4, n_qubits=train.n_qubits,
+                                  n_bins=train.n_bins, use_rmf=True)
+        assert cost.luts == pytest.approx(reference.luts)
+        assert cost.latency_cycles == pytest.approx(reference.latency_cycles)
+
+    def test_unfitted_rejected(self):
+        from repro.core import FAST_CONFIG, make_design
+        from repro.fpga import estimate_pipeline
+
+        with pytest.raises(ValueError, match="fitted"):
+            estimate_pipeline(make_design("mf", FAST_CONFIG))

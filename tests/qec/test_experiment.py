@@ -1,6 +1,5 @@
 """Memory-experiment tests: logical error behaviour."""
 
-import numpy as np
 import pytest
 
 from repro.qec import (MemoryExperimentResult, logical_error_sweep,

@@ -1,0 +1,124 @@
+"""ReadoutDataset truncation, serialization round-trips, and fingerprints."""
+
+import numpy as np
+import pytest
+
+
+class TestTruncation:
+    def test_truncation_keeps_leading_bins(self, small_dataset):
+        truncated = small_dataset.truncate(500.0)
+        expected_bins = int(500.0 // small_dataset.device.demod_bin_ns)
+        assert truncated.n_bins == expected_bins
+        np.testing.assert_array_equal(
+            truncated.demod, small_dataset.demod[..., :expected_bins])
+        np.testing.assert_array_equal(truncated.labels, small_dataset.labels)
+
+    def test_truncation_rounds_down_to_whole_bins(self, small_dataset):
+        bin_ns = small_dataset.device.demod_bin_ns
+        truncated = small_dataset.truncate(bin_ns * 3 + 0.7 * bin_ns)
+        assert truncated.n_bins == 3
+
+    def test_truncation_caps_at_full_duration(self, small_dataset):
+        truncated = small_dataset.truncate(10 * small_dataset.duration_ns)
+        assert truncated.n_bins == small_dataset.n_bins
+
+    def test_truncation_shorter_than_one_bin_rejected(self, small_dataset):
+        with pytest.raises(ValueError, match="shorter than one"):
+            small_dataset.truncate(0.5 * small_dataset.device.demod_bin_ns)
+
+    def test_truncates_raw_consistently(self, raw_dataset):
+        truncated = raw_dataset.truncate(500.0)
+        spb = raw_dataset.device.samples_per_bin
+        assert truncated.raw.shape[-1] == truncated.n_bins * spb
+
+
+class TestSerializationRoundTrip:
+    def test_round_trip_preserves_arrays(self, small_dataset, tmp_path):
+        path = str(tmp_path / "dataset.npz")
+        small_dataset.save(path)
+        loaded = type(small_dataset).load(path)
+        np.testing.assert_array_equal(loaded.demod, small_dataset.demod)
+        np.testing.assert_array_equal(loaded.labels, small_dataset.labels)
+        np.testing.assert_array_equal(loaded.basis, small_dataset.basis)
+        np.testing.assert_array_equal(loaded.final_bits,
+                                      small_dataset.final_bits)
+        assert loaded.raw is None
+
+    def test_round_trip_preserves_device(self, small_dataset, tmp_path):
+        path = str(tmp_path / "dataset.npz")
+        small_dataset.save(path)
+        loaded = type(small_dataset).load(path)
+        assert loaded.device.n_qubits == small_dataset.device.n_qubits
+        assert loaded.device.demod_bin_ns == small_dataset.device.demod_bin_ns
+        for saved_q, orig_q in zip(loaded.device.qubits,
+                                   small_dataset.device.qubits):
+            assert saved_q.intermediate_freq_mhz == orig_q.intermediate_freq_mhz
+
+    def test_round_trip_with_raw(self, raw_dataset, tmp_path):
+        path = str(tmp_path / "raw.npz")
+        raw_dataset.save(path)
+        loaded = type(raw_dataset).load(path)
+        np.testing.assert_array_equal(loaded.raw, raw_dataset.raw)
+
+    def test_truncate_then_round_trip(self, small_dataset, tmp_path):
+        """Truncation composes with persistence (fast-readout archives)."""
+        truncated = small_dataset.truncate(500.0)
+        path = str(tmp_path / "trunc.npz")
+        truncated.save(path)
+        loaded = type(small_dataset).load(path)
+        assert loaded.n_bins == truncated.n_bins
+        np.testing.assert_array_equal(loaded.demod, truncated.demod)
+        # The reloaded dataset still supports further truncation.
+        assert loaded.truncate(250.0).n_bins == int(
+            250.0 // loaded.device.demod_bin_ns)
+
+    def test_round_trip_preserves_fingerprint(self, small_dataset, tmp_path):
+        path = str(tmp_path / "fp.npz")
+        small_dataset.save(path)
+        loaded = type(small_dataset).load(path)
+        assert loaded.fingerprint() == small_dataset.fingerprint()
+
+
+class TestFingerprint:
+    def test_deterministic_and_cached(self, small_dataset):
+        assert small_dataset.fingerprint() == small_dataset.fingerprint()
+
+    def test_sensitive_to_content(self, small_dataset):
+        other = small_dataset.subset(np.arange(small_dataset.n_traces - 1))
+        assert other.fingerprint() != small_dataset.fingerprint()
+
+    def test_sensitive_to_truncation(self, small_dataset):
+        assert (small_dataset.truncate(500.0).fingerprint()
+                != small_dataset.fingerprint())
+
+    def test_sensitive_to_raw_content(self, raw_dataset):
+        tampered = type(raw_dataset)(
+            demod=raw_dataset.demod, labels=raw_dataset.labels,
+            basis=raw_dataset.basis, device=raw_dataset.device,
+            raw=raw_dataset.raw + 1.0)
+        assert tampered.fingerprint() != raw_dataset.fingerprint()
+
+    def test_include_raw_false_keys_on_demod_view(self, raw_dataset):
+        """A demod-only design must hit the same cache entry whether its
+        split carries raw traces or not."""
+        demod_only = type(raw_dataset)(
+            demod=raw_dataset.demod, labels=raw_dataset.labels,
+            basis=raw_dataset.basis, device=raw_dataset.device)
+        assert (raw_dataset.fingerprint(include_raw=False)
+                == demod_only.fingerprint())
+        assert (raw_dataset.fingerprint()
+                != demod_only.fingerprint())
+
+
+class TestAstype:
+    def test_astype_float32(self, small_dataset):
+        converted = small_dataset.astype(np.float32)
+        assert converted.demod.dtype == np.float32
+        np.testing.assert_allclose(converted.demod, small_dataset.demod,
+                                   rtol=1e-6)
+        # Labels are shared, not copied.
+        assert converted.labels is small_dataset.labels
+
+    def test_astype_noop_shares_memory(self, small_dataset):
+        same = small_dataset.astype(small_dataset.demod.dtype)
+        assert same.demod is small_dataset.demod

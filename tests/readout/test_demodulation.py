@@ -4,8 +4,7 @@ import numpy as np
 import pytest
 
 from repro.readout import (complex_to_iq, demodulate, demodulate_all,
-                           iq_to_complex, mean_trace_value,
-                           single_qubit_device)
+                           iq_to_complex, mean_trace_value)
 from repro.readout.parameters import DeviceParams, QubitReadoutParams
 
 
@@ -96,3 +95,24 @@ class TestMeanTraceValue:
     def test_matches_paper_definition(self, rng):
         tr = rng.normal(size=(5, 20)) + 1j * rng.normal(size=(5, 20))
         np.testing.assert_allclose(mean_trace_value(tr), tr.mean(axis=1))
+
+
+class TestDemodulationDtype:
+    """The opt-in single-precision demodulation path (engine hot path)."""
+
+    def test_complex64_output_close_to_full_precision(self):
+        device = make_device([50.0, 120.0])
+        rng = np.random.default_rng(0)
+        raw = (rng.normal(size=(8, device.n_samples))
+               + 1j * rng.normal(size=(8, device.n_samples)))
+        full = demodulate_all(raw, device)
+        single = demodulate_all(raw, device, dtype=np.complex64)
+        assert full.dtype == np.complex128
+        assert single.dtype == np.complex64
+        np.testing.assert_allclose(single, full, rtol=1e-4, atol=1e-5)
+
+    def test_non_complex_dtype_rejected(self):
+        device = make_device([50.0])
+        raw = np.zeros((2, device.n_samples), dtype=np.complex128)
+        with pytest.raises(ValueError, match="complex"):
+            demodulate(raw, device, 0, dtype=np.float32)
