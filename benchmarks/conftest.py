@@ -3,16 +3,26 @@
 Each benchmark regenerates one paper table/figure at the default experiment
 scale, times it with pytest-benchmark (single round — these are minutes-long
 experiments, not microbenchmarks), asserts the paper's qualitative claims,
-and writes the rendered table to ``benchmarks/results/``.
+and writes the rendered table to ``benchmarks/results/`` — as a text
+snapshot plus a machine-readable ``bench_*.json`` with the measured numbers
+so the perf trajectory can be tracked across PRs.
 """
 
 from __future__ import annotations
 
+import json
 import pathlib
 
 import pytest
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def json_result_path(experiment: str) -> pathlib.Path:
+    """Where a benchmark's machine-readable numbers land."""
+    stem = (experiment if experiment.startswith("bench_")
+            else f"bench_{experiment}")
+    return RESULTS_DIR / f"{stem}.json"
 
 
 @pytest.fixture(scope="session")
@@ -23,11 +33,15 @@ def results_dir() -> pathlib.Path:
 
 @pytest.fixture
 def record_result(results_dir):
-    """Write an ExperimentResult's text rendering next to the benchmarks."""
+    """Write an ExperimentResult next to the benchmarks (.txt + .json)."""
 
     def _record(result):
         path = results_dir / f"{result.experiment}.txt"
         path.write_text(result.to_text() + "\n")
+        json_result_path(result.experiment).write_text(
+            json.dumps(result.to_json_dict(), indent=2, sort_keys=True,
+                       allow_nan=False)
+            + "\n")
         print()
         print(result.to_text())
         return path

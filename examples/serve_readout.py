@@ -1,0 +1,85 @@
+"""Serving qubit readout as a traffic-handling service.
+
+Calibrates discriminators for the five-qubit device, splits it into two
+feedline shards (the paper's one-discriminator-per-FPGA deployment), and
+serves single- and multi-trace discrimination requests through the
+micro-batching :class:`~repro.serve.ReadoutServer`:
+
+1. synchronous and ``asyncio`` submissions,
+2. a closed-loop load test vs the naive per-request path,
+3. the server's latency percentiles and batching counters.
+
+Run:  PYTHONPATH=src python examples/serve_readout.py
+"""
+
+import asyncio
+import time
+
+import numpy as np
+
+from repro.core import FAST_CONFIG, make_design
+from repro.engine import ReadoutEngine
+from repro.readout import five_qubit_paper_device, generate_dataset
+from repro.serve import build_sharded_server, closed_loop
+
+DESIGNS = ("mf", "mf-rmf-svm")
+
+
+def main():
+    device = five_qubit_paper_device()
+    data = generate_dataset(device, shots_per_state=40,
+                            rng=np.random.default_rng(7))
+    train, val, test = data.split(np.random.default_rng(8), 0.5, 0.1)
+
+    print(f"calibrating {DESIGNS} on {train.n_traces} traces, "
+          f"2 feedline shards...")
+    server = build_sharded_server(DESIGNS, train, val, n_shards=2,
+                                  training=FAST_CONFIG, max_wait_ms=1.0)
+
+    with server:
+        # One experiment shot: a single multiplexed trace in, bits out.
+        response = server.predict(test.demod[0])
+        print(f"\nsingle-trace request -> "
+              f"{ {d: response.bits[d].tolist() for d in DESIGNS} } "
+              f"in {1000 * response.latency_s:.2f} ms "
+              f"(micro-batch of {response.batch_traces})")
+
+        # Concurrent clients via asyncio: requests coalesce into batches.
+        async def fan_out(n):
+            jobs = [server.predict_async(test.demod[i]) for i in range(n)]
+            return await asyncio.gather(*jobs)
+
+        responses = asyncio.run(fan_out(32))
+        sizes = sorted({r.batch_traces for r in responses})
+        print(f"32 async requests served in micro-batches of {sizes}")
+
+        # Load test: closed loop, 16 clients of single-trace requests.
+        report = closed_loop(server, test, n_clients=16,
+                             requests_per_client=50, seed=9)
+        print(f"\nclosed-loop load: {report.completed} requests in "
+              f"{report.elapsed_s:.2f} s -> {report.traces_per_s():,.0f} "
+              f"traces/s, p50 {report.latency_ms(50):.2f} ms, "
+              f"p99 {report.latency_ms(99):.2f} ms")
+
+        stats = server.stats.snapshot()
+        print(f"server: {stats['batches']} batches, mean "
+              f"{stats['mean_batch_traces']:.1f} traces/batch, "
+              f"{stats['rejected']} rejected, {stats['shed']} shed")
+
+    # The same workload, one naive per-request engine call at a time.
+    engines = {name: make_design(name, FAST_CONFIG).fit(train, val)
+               for name in DESIGNS}
+    engine = ReadoutEngine(engines)
+    n = report.completed
+    rows = np.random.default_rng(9).integers(0, test.n_traces, n)
+    start = time.perf_counter()
+    for i in rows:
+        engine.predict_traces(test.demod[int(i)][None], device)
+    naive_s = time.perf_counter() - start
+    print(f"\nnaive per-request loop: {n / naive_s:,.0f} traces/s "
+          f"-> micro-batching wins "
+          f"{report.traces_per_s() * naive_s / n:.1f}x")
+
+
+if __name__ == "__main__":
+    main()

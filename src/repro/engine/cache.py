@@ -1,7 +1,8 @@
-"""A small keyed LRU cache used by the engine and the experiment harness."""
+"""A small keyed LRU cache used by the engine, harness, and serve workers."""
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from typing import Any, Hashable, Iterator, Optional
 
@@ -10,8 +11,11 @@ class LRUCache:
     """Bounded mapping with least-recently-used eviction.
 
     A lookup (hit) refreshes the entry's recency; inserting beyond
-    ``maxsize`` evicts the least recently used entry. Not thread-safe —
-    callers serialize access (the harness is per-process).
+    ``maxsize`` evicts the least recently used entry. Thread-safe: every
+    operation holds an internal lock, so the serve worker pool can share
+    one instance. (Compound check-then-put sequences are still subject to
+    benign races — two threads may both miss and both fit; the second put
+    simply overwrites the first, which is correct for pure caches.)
     """
 
     def __init__(self, maxsize: int = 16):
@@ -19,37 +23,44 @@ class LRUCache:
             raise ValueError(f"maxsize must be positive, got {maxsize}")
         self.maxsize = int(maxsize)
         self._data: "OrderedDict[Hashable, Any]" = OrderedDict()
+        self._lock = threading.RLock()
         self.hits = 0
         self.misses = 0
 
     def get(self, key: Hashable, default: Any = None) -> Any:
-        if key in self._data:
-            self._data.move_to_end(key)
-            self.hits += 1
-            return self._data[key]
-        self.misses += 1
-        return default
+        with self._lock:
+            if key in self._data:
+                self._data.move_to_end(key)
+                self.hits += 1
+                return self._data[key]
+            self.misses += 1
+            return default
 
     def put(self, key: Hashable, value: Any) -> Optional[Hashable]:
         """Insert ``key``; returns the evicted key, if any."""
-        if key in self._data:
-            self._data.move_to_end(key)
+        with self._lock:
+            if key in self._data:
+                self._data.move_to_end(key)
+                self._data[key] = value
+                return None
             self._data[key] = value
+            if len(self._data) > self.maxsize:
+                evicted, _ = self._data.popitem(last=False)
+                return evicted
             return None
-        self._data[key] = value
-        if len(self._data) > self.maxsize:
-            evicted, _ = self._data.popitem(last=False)
-            return evicted
-        return None
 
     def __contains__(self, key: Hashable) -> bool:
-        return key in self._data
+        with self._lock:
+            return key in self._data
 
     def __len__(self) -> int:
-        return len(self._data)
+        with self._lock:
+            return len(self._data)
 
     def __iter__(self) -> Iterator[Hashable]:
-        return iter(self._data)
+        with self._lock:
+            return iter(list(self._data))
 
     def clear(self) -> None:
-        self._data.clear()
+        with self._lock:
+            self._data.clear()

@@ -47,6 +47,17 @@ class EngineStats:
         total = self.shareable_evals + self.stage_hits
         return 0.0 if total == 0 else self.stage_hits / total
 
+    def as_dict(self) -> Dict[str, float]:
+        """Plain-dict snapshot (for server stats and JSON benchmark files)."""
+        return {
+            "traces": self.traces,
+            "chunks": self.chunks,
+            "stage_evals": self.stage_evals,
+            "shareable_evals": self.shareable_evals,
+            "stage_hits": self.stage_hits,
+            "sharing_ratio": self.sharing_ratio(),
+        }
+
 
 @dataclass
 class _Served:
@@ -220,6 +231,24 @@ class ReadoutEngine:
                 parts[name].append(bits)
         return {name: np.concatenate(chunks) for name, chunks in parts.items()}
 
+    def predict_traces(self, demod: np.ndarray,
+                       device) -> Dict[str, np.ndarray]:
+        """Batch-submission hook: bits for a raw demod array.
+
+        Wraps a ``(n, n_qubits, 2, n_bins)`` demodulated array (no labels
+        needed) in an unlabeled dataset and predicts — the entry point the
+        serving layer uses to push coalesced micro-batches through the
+        engine without materializing label arrays per request.
+        """
+        n = demod.shape[0]
+        dataset = ReadoutDataset(
+            demod=demod,
+            labels=np.zeros((n, demod.shape[1]), dtype=np.int64),
+            basis=np.zeros(n, dtype=np.int64),
+            device=device,
+        )
+        return self.predict_bits(dataset)
+
     def predict_stream(
         self, batches: Iterable[Union[ReadoutDataset, np.ndarray]],
         device=None,
@@ -235,14 +264,9 @@ class ReadoutEngine:
                 if device is None:
                     raise ValueError(
                         "pass device= when streaming raw demod arrays")
-                n = batch.shape[0]
-                batch = ReadoutDataset(
-                    demod=batch,
-                    labels=np.zeros((n, batch.shape[1]), dtype=np.int64),
-                    basis=np.zeros(n, dtype=np.int64),
-                    device=device,
-                )
-            yield self.predict_bits(batch)
+                yield self.predict_traces(batch, device)
+            else:
+                yield self.predict_bits(batch)
 
     def evaluate(self, dataset: ReadoutDataset) -> Dict[str, EvaluationResult]:
         """Per-design evaluation bundles (same shape as ``design.evaluate``)."""

@@ -4,6 +4,7 @@ Usage::
 
     python -m repro.experiments list
     python -m repro.experiments run table1 [--quick] [--out results/]
+    python -m repro.experiments run table1 table2 serve_scaling --quick
     python -m repro.experiments run all --quick
 """
 
@@ -25,9 +26,10 @@ def build_parser() -> argparse.ArgumentParser:
 
     sub.add_parser("list", help="list available experiment ids")
 
-    run = sub.add_parser("run", help="run one experiment (or 'all')")
-    run.add_argument("experiment",
-                     help="experiment id (see 'list') or 'all'")
+    run = sub.add_parser("run",
+                         help="run one or more experiments (or 'all')")
+    run.add_argument("experiments", nargs="+", metavar="experiment",
+                     help="experiment ids (see 'list') or 'all'")
     run.add_argument("--quick", action="store_true",
                      help="use the small smoke-test configuration")
     run.add_argument("--out", type=pathlib.Path, default=None,
@@ -44,13 +46,15 @@ def main(argv=None) -> int:
         return 0
 
     config = QUICK_CONFIG if args.quick else DEFAULT_CONFIG
-    names = experiment_names() if args.experiment == "all" \
-        else [args.experiment]
-    unknown = [n for n in names if n not in EXPERIMENTS]
+    # Deduplicate while keeping the order the user asked for, and reject
+    # typos even when 'all' appears among the ids.
+    requested = list(dict.fromkeys(args.experiments))
+    unknown = [n for n in requested if n != "all" and n not in EXPERIMENTS]
     if unknown:
         print(f"unknown experiment(s): {', '.join(unknown)}; "
               f"run 'list' to see the options", file=sys.stderr)
         return 2
+    names = experiment_names() if "all" in requested else requested
 
     if args.out is not None:
         args.out.mkdir(parents=True, exist_ok=True)

@@ -11,6 +11,7 @@ from .fig13 import run_fig13, run_fig14b
 from .fig15 import run_fig15
 from .figures_traces import run_fig3, run_fig4ab, run_fig8, run_fig10
 from .results import ExperimentResult
+from .serve_scaling import run_serve_scaling
 from .table1 import run_table1
 from .table2 import run_table2
 from .table3 import run_table3
@@ -38,6 +39,7 @@ EXPERIMENTS: Dict[str, Runner] = {
     "fig14a": run_fig14a,
     "fig14b": run_fig14b,
     "fig15": run_fig15,
+    "serve_scaling": run_serve_scaling,
 }
 
 

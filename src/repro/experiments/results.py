@@ -1,9 +1,47 @@
-"""Uniform result container and text rendering for experiments."""
+"""Uniform result container and text/JSON rendering for experiments."""
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Sequence
+
+#: Sentinel for data entries that cannot be rendered to JSON.
+_UNSERIALIZABLE = object()
+
+
+def _jsonify(value: Any) -> Any:
+    """Convert numpy scalars/arrays to plain types; sentinel on failure.
+
+    Non-finite floats become ``null``: bare ``NaN``/``Infinity`` tokens
+    are not valid RFC 8259 JSON and break strict parsers.
+    """
+    import math
+
+    import numpy as np
+    if isinstance(value, (bool, str)) or value is None:
+        return value
+    if isinstance(value, np.generic):
+        value = value.item()
+    if isinstance(value, float):
+        return value if math.isfinite(value) else None
+    if isinstance(value, int):
+        return value
+    if isinstance(value, np.ndarray):
+        return _jsonify(value.tolist())
+    if isinstance(value, (list, tuple)):
+        items = [_jsonify(v) for v in value]
+        if any(v is _UNSERIALIZABLE for v in items):
+            return _UNSERIALIZABLE
+        return items
+    if isinstance(value, dict):
+        out = {}
+        for k, v in value.items():
+            converted = _jsonify(v)
+            if not isinstance(k, str) or converted is _UNSERIALIZABLE:
+                return _UNSERIALIZABLE
+            out[k] = converted
+        return out
+    return _UNSERIALIZABLE
 
 
 @dataclass
@@ -66,6 +104,37 @@ class ExperimentResult:
         if self.notes:
             lines.append(f"notes: {self.notes}")
         return "\n".join(lines)
+
+    def to_json_dict(self) -> Dict[str, Any]:
+        """A JSON-serializable rendering of the result.
+
+        Headers, rows, and metadata always survive (numpy scalars and
+        arrays become plain Python); ``data`` entries that cannot be
+        rendered to JSON (e.g. evaluation bundles) are dropped — this is
+        the machine-readable benchmark trail, not a pickle substitute.
+        """
+        rows = []
+        for row in self.rows:
+            converted_row = []
+            for cell in row:
+                converted = _jsonify(cell)
+                converted_row.append(
+                    str(cell) if converted is _UNSERIALIZABLE else converted)
+            rows.append(converted_row)
+        data = {}
+        for key, value in self.data.items():
+            converted = _jsonify(value)
+            if converted is not _UNSERIALIZABLE:
+                data[key] = converted
+        return {
+            "experiment": self.experiment,
+            "title": self.title,
+            "headers": list(self.headers),
+            "rows": rows,
+            "paper_reference": self.paper_reference,
+            "notes": self.notes,
+            "data": data,
+        }
 
     def column(self, header: str) -> List[Any]:
         """Extract one column by header name."""

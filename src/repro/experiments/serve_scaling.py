@@ -1,0 +1,89 @@
+"""Serving scalability: latency/throughput of the readout service vs shards.
+
+In the spirit of the paper's scaling discussion (Section 8: one discriminator
+pipeline per FPGA/feedline), this experiment partitions the five-qubit device
+into 1, 2, or 4 feedline shards, fits one design per shard, and drives the
+micro-batching :class:`~repro.serve.ReadoutServer` with a deterministic
+closed-loop workload — reporting throughput, p50/p99 latency, and achieved
+batch amortization per shard count.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.serve import build_sharded_server, closed_loop
+
+from .config import DEFAULT_CONFIG, ExperimentConfig
+from .datasets import prepare_splits
+from .results import ExperimentResult
+
+#: Shard counts swept by default (bounded by the device's qubit count).
+DEFAULT_SHARD_COUNTS = (1, 2, 4)
+
+#: Design served by every shard; the threshold MF design keeps per-shard
+#: fitting cheap so the sweep measures serving, not calibration.
+SERVED_DESIGN = "mf"
+
+
+def run_serve_scaling(config: ExperimentConfig = DEFAULT_CONFIG,
+                      shard_counts: Optional[Sequence[int]] = None,
+                      ) -> ExperimentResult:
+    """Sweep shard counts and measure the served latency/throughput."""
+    train, val, test = prepare_splits(config)
+    counts = [int(c) for c in (shard_counts or DEFAULT_SHARD_COUNTS)
+              if 1 <= int(c) <= train.n_qubits]
+    if not counts:
+        raise ValueError(
+            f"no shard count in [1, {train.n_qubits}] to sweep")
+
+    # Scale the workload with the config so --quick stays a smoke test:
+    # 40 shots/state -> 16 requests/client, default 400 -> 96.
+    requests_per_client = max(16, min(96, config.shots_per_state // 4))
+    n_clients = 8
+
+    rows = []
+    reports = {}
+    for n_shards in counts:
+        server = build_sharded_server(
+            (SERVED_DESIGN,), train, val, n_shards=n_shards,
+            training=config.nn, max_batch_traces=128, max_wait_ms=1.0)
+        with server:
+            report = closed_loop(
+                server, test, n_clients=n_clients,
+                requests_per_client=requests_per_client,
+                traces_per_request=2, seed=config.seed)
+        if report.failed:
+            raise RuntimeError(
+                f"{report.failed} requests failed in the {n_shards}-shard "
+                f"sweep; latency/throughput numbers would be meaningless")
+        # String keys so the bundle survives to_json_dict unscathed.
+        reports[str(n_shards)] = {"load": report.summary(),
+                                  "server": server.stats.snapshot()}
+        qubits_per_shard = "/".join(
+            str(s.feedline.n_qubits) for s in server.shards)
+        rows.append([
+            n_shards,
+            qubits_per_shard,
+            report.traces_per_s(),
+            report.latency_ms(50),
+            report.latency_ms(99),
+            server.stats.mean_batch_traces(),
+        ])
+
+    return ExperimentResult(
+        experiment="serve_scaling",
+        title=("Micro-batched readout service: latency/throughput vs "
+               "feedline shards"),
+        headers=["shards", "qubits_per_shard", "traces_per_s", "p50_ms",
+                 "p99_ms", "mean_batch_traces"],
+        rows=rows,
+        paper_reference=("Section 8: per-feedline deployment scales "
+                         "horizontally (one discriminator per FPGA)"),
+        notes=(f"closed loop, {n_clients} clients x "
+               f"{requests_per_client} requests x 2 traces, design "
+               f"{SERVED_DESIGN!r}; single-process shards share the GIL, "
+               f"so the latency distribution (not linear throughput) is "
+               f"the signal here"),
+        data={"reports": reports},
+    )

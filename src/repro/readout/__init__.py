@@ -13,14 +13,16 @@ from .demodulation import (complex_to_iq, demodulate, demodulate_all,
 from .events import NO_TRANSITION, StateTimeline, sample_timeline
 from .parameters import DeviceParams, QubitReadoutParams
 from .presets import five_qubit_paper_device, single_qubit_device
+from .sharding import FeedlineShard, plan_feedlines, shard_device
 from .simulator import ReadoutSimulator, TraceBatch
 from .trajectory import batch_trajectories, steady_state_targets
 
 __all__ = [
-    "DeviceParams", "NO_TRANSITION", "PAPER_TRAIN_FRACTION",
+    "DeviceParams", "FeedlineShard", "NO_TRANSITION", "PAPER_TRAIN_FRACTION",
     "PAPER_VAL_FRACTION", "QubitReadoutParams", "ReadoutDataset",
     "ReadoutSimulator", "StateTimeline", "TraceBatch", "batch_trajectories",
     "complex_to_iq", "demodulate", "demodulate_all", "five_qubit_paper_device",
-    "generate_dataset", "iq_to_complex", "mean_trace_value", "sample_timeline",
-    "single_qubit_device", "steady_state_targets",
+    "generate_dataset", "iq_to_complex", "mean_trace_value", "plan_feedlines",
+    "sample_timeline", "shard_device", "single_qubit_device",
+    "steady_state_targets",
 ]

@@ -180,6 +180,33 @@ class ReadoutDataset:
             relaxed=None if self.relaxed is None else self.relaxed[indices],
         )
 
+    def select_qubits(self, qubit_indices) -> "ReadoutDataset":
+        """A dataset view restricted to one qubit group (feedline shard).
+
+        Slices the per-qubit axes of ``demod``, ``labels``, and the
+        diagnostic masks, restricts the device via
+        :func:`~.sharding.shard_device`, and recomputes ``basis`` from the
+        remaining label bits. The raw ADC record is dropped: it is the
+        *shared* multiplexed channel and cannot be split per qubit.
+        """
+        from .sharding import shard_device
+        device = shard_device(self.device, qubit_indices)
+        idx = list(int(q) for q in qubit_indices)
+        labels = self.labels[:, idx]
+        # Qubit 0 of the subset is the most significant bit, matching
+        # DeviceParams.bits_to_basis_state.
+        weights = 1 << np.arange(len(idx) - 1, -1, -1, dtype=np.int64)
+        return ReadoutDataset(
+            demod=self.demod[:, idx],
+            labels=labels,
+            basis=labels @ weights,
+            device=device,
+            raw=None,
+            final_bits=None if self.final_bits is None
+            else self.final_bits[:, idx],
+            relaxed=None if self.relaxed is None else self.relaxed[:, idx],
+        )
+
     def split(self, rng: np.random.Generator,
               train_fraction: float = PAPER_TRAIN_FRACTION,
               val_fraction: float = PAPER_VAL_FRACTION,

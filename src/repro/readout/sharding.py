@@ -1,0 +1,89 @@
+"""Feedline sharding: partition a device's qubits into serving groups.
+
+The paper deploys one discriminator pipeline per FPGA, each handling the
+qubits multiplexed on one feedline. This module provides the software
+analogue: a :class:`FeedlineShard` names the qubit group one serving worker
+owns, :func:`plan_feedlines` balances a device's qubits across shards, and
+:func:`shard_device` restricts :class:`~.parameters.DeviceParams` to one
+group so per-shard discriminators can be fitted and served independently.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from .parameters import DeviceParams
+
+
+@dataclass(frozen=True)
+class FeedlineShard:
+    """One serving shard: a contiguous group of multiplexed qubits.
+
+    Attributes
+    ----------
+    index:
+        Shard number (0-based, stable across the plan).
+    qubit_indices:
+        Global qubit indices this shard serves, in device order.
+    """
+
+    index: int
+    qubit_indices: Tuple[int, ...]
+
+    def __post_init__(self):
+        if not self.qubit_indices:
+            raise ValueError("a shard must serve at least one qubit")
+        if len(set(self.qubit_indices)) != len(self.qubit_indices):
+            raise ValueError("qubit_indices must be unique")
+
+    @property
+    def n_qubits(self) -> int:
+        return len(self.qubit_indices)
+
+
+def plan_feedlines(n_qubits: int, n_shards: int) -> List[FeedlineShard]:
+    """Partition ``n_qubits`` into ``n_shards`` contiguous balanced groups.
+
+    Group sizes differ by at most one (e.g. 5 qubits over 2 shards gives
+    groups of 3 and 2), mirroring how multiplexed feedlines carry roughly
+    equal tone counts.
+    """
+    if n_qubits < 1:
+        raise ValueError(f"n_qubits must be positive, got {n_qubits}")
+    if not 1 <= n_shards <= n_qubits:
+        raise ValueError(
+            f"n_shards must be in [1, {n_qubits}], got {n_shards}")
+    groups = np.array_split(np.arange(n_qubits), n_shards)
+    return [FeedlineShard(index=i, qubit_indices=tuple(int(q) for q in g))
+            for i, g in enumerate(groups)]
+
+
+def shard_device(device: DeviceParams,
+                 qubit_indices: Sequence[int]) -> DeviceParams:
+    """A device restricted to one qubit group.
+
+    Keeps the shared channel parameters (sampling rate, duration, bins,
+    noise) and slices the crosstalk matrix to the group; coupling to qubits
+    outside the group is dropped, the same assumption the per-feedline FPGA
+    deployment makes (cross-feedline dispersive coupling is negligible).
+    """
+    idx = [int(q) for q in qubit_indices]
+    if not idx:
+        raise ValueError("qubit_indices must be non-empty")
+    for q in idx:
+        if not 0 <= q < device.n_qubits:
+            raise ValueError(
+                f"qubit index {q} out of range for {device.n_qubits} qubits")
+    if len(set(idx)) != len(idx):
+        raise ValueError("qubit_indices must be unique")
+    return DeviceParams(
+        qubits=tuple(device.qubits[q] for q in idx),
+        sampling_rate_msps=device.sampling_rate_msps,
+        readout_duration_ns=device.readout_duration_ns,
+        demod_bin_ns=device.demod_bin_ns,
+        noise_std=device.noise_std,
+        crosstalk=device.crosstalk[np.ix_(idx, idx)],
+    )

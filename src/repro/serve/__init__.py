@@ -1,0 +1,28 @@
+"""Async micro-batching readout service over sharded inference engines.
+
+The traffic-facing layer above :mod:`repro.engine`:
+
+* :class:`ReadoutServer` — sync/future/``asyncio`` submission of single-
+  and multi-trace requests, micro-batched and fanned out to one worker
+  thread per feedline shard (each owning a fitted
+  :class:`~repro.engine.ReadoutEngine`);
+* :class:`MicroBatcher` — the size/deadline coalescing scheduler with
+  reject/shed backpressure;
+* :class:`ServerStats` — p50/p95/p99 latency and throughput counters;
+* :mod:`repro.serve.loadgen` — deterministic open- and closed-loop load
+  generation (:func:`open_loop`, :func:`closed_loop`);
+* :func:`build_sharded_server` — fit-per-shard construction helper.
+"""
+
+from .batcher import (OVERLOAD_POLICIES, MicroBatcher, ServeRequest,
+                      ServerOverloadedError)
+from .builder import build_sharded_server
+from .loadgen import LoadReport, closed_loop, open_loop
+from .server import ReadoutResponse, ReadoutServer, ServeShard
+from .stats import ServerStats
+
+__all__ = [
+    "LoadReport", "MicroBatcher", "OVERLOAD_POLICIES", "ReadoutResponse",
+    "ReadoutServer", "ServeRequest", "ServeShard", "ServerOverloadedError",
+    "ServerStats", "build_sharded_server", "closed_loop", "open_loop",
+]

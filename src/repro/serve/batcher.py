@@ -1,0 +1,165 @@
+"""Micro-batching scheduler: coalesce readout requests into engine batches.
+
+Requests accumulate in a bounded queue; a batch flushes as soon as it holds
+``max_batch_traces`` traces or the oldest request has waited ``max_wait_ms``.
+Requests are never split across batches, so per-request futures resolve from
+exactly one engine pass. Backpressure on a full queue follows the configured
+overload policy: *reject* refuses the new request, *shed* drops the oldest
+queued one (freshest-first service under overload).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from concurrent.futures import Future
+from dataclasses import dataclass, field
+from typing import Deque, List, Optional
+
+import numpy as np
+
+#: Supported behaviours when the submission queue is full.
+OVERLOAD_POLICIES = ("reject", "shed")
+
+
+class ServerOverloadedError(RuntimeError):
+    """The service refused (or shed) a request due to backpressure."""
+
+
+@dataclass
+class ServeRequest:
+    """One submitted request, normalized to a multi-trace demod array.
+
+    ``traces`` is ``(m, n_qubits, 2, n_bins)``; ``single`` records that the
+    caller submitted one unbatched ``(n_qubits, 2, n_bins)`` trace so the
+    response can unwrap to per-qubit bits. The future resolves to a
+    :class:`~repro.serve.server.ReadoutResponse` (or raises on failure).
+    """
+
+    traces: np.ndarray
+    single: bool = False
+    future: Future = field(default_factory=Future)
+    enqueued_at: float = field(default_factory=time.perf_counter)
+
+    @property
+    def n_traces(self) -> int:
+        return int(self.traces.shape[0])
+
+
+class MicroBatcher:
+    """Thread-safe request queue with size- and deadline-triggered flushes.
+
+    Parameters
+    ----------
+    max_batch_traces:
+        Flush once a batch holds at least this many traces. A single
+        request larger than the cap still forms its own (oversized) batch.
+    max_wait_ms:
+        Flush once the oldest request in the forming batch has waited this
+        long, even if the batch is not full — the tail-latency bound.
+    max_queue_requests:
+        Bound on queued (not yet gathered) requests; beyond it the
+        overload policy applies.
+    overload:
+        ``"reject"`` makes :meth:`offer` raise
+        :class:`ServerOverloadedError`; ``"shed"`` accepts the new request
+        and returns the evicted oldest one for the caller to fail.
+    """
+
+    def __init__(self, max_batch_traces: int = 256, max_wait_ms: float = 2.0,
+                 max_queue_requests: int = 1024, overload: str = "reject"):
+        if max_batch_traces < 1:
+            raise ValueError(
+                f"max_batch_traces must be positive, got {max_batch_traces}")
+        if max_wait_ms < 0:
+            raise ValueError(f"max_wait_ms must be >= 0, got {max_wait_ms}")
+        if max_queue_requests < 1:
+            raise ValueError(
+                f"max_queue_requests must be positive, got {max_queue_requests}")
+        if overload not in OVERLOAD_POLICIES:
+            raise ValueError(
+                f"overload must be one of {OVERLOAD_POLICIES}, got {overload!r}")
+        self.max_batch_traces = int(max_batch_traces)
+        self.max_wait_s = float(max_wait_ms) / 1000.0
+        self.max_queue_requests = int(max_queue_requests)
+        self.overload = overload
+        self._pending: Deque[ServeRequest] = deque()
+        self._cond = threading.Condition()
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # Producer side
+    # ------------------------------------------------------------------
+    def offer(self, request: ServeRequest) -> Optional[ServeRequest]:
+        """Enqueue a request; returns the shed victim under that policy.
+
+        Raises :class:`ServerOverloadedError` when the queue is full under
+        the ``reject`` policy, and :class:`RuntimeError` once closed.
+        """
+        with self._cond:
+            if self._closed:
+                raise RuntimeError("batcher is closed")
+            victim = None
+            if len(self._pending) >= self.max_queue_requests:
+                if self.overload == "reject":
+                    raise ServerOverloadedError(
+                        f"queue full ({self.max_queue_requests} requests)")
+                victim = self._pending.popleft()
+            self._pending.append(request)
+            self._cond.notify()
+            return victim
+
+    def close(self) -> None:
+        """Stop accepting requests; :meth:`gather` drains then returns None."""
+        with self._cond:
+            self._closed = True
+            self._cond.notify_all()
+
+    # ------------------------------------------------------------------
+    # Consumer side
+    # ------------------------------------------------------------------
+    def gather(self) -> Optional[List[ServeRequest]]:
+        """Block for the next batch; None once closed and drained.
+
+        The returned batch holds whole requests whose trace counts sum to
+        at most ``max_batch_traces`` (except a single oversized request,
+        which is served alone).
+        """
+        with self._cond:
+            while not self._pending:
+                if self._closed:
+                    return None
+                self._cond.wait()
+            batch = [self._pending.popleft()]
+            n_traces = batch[0].n_traces
+            deadline = batch[0].enqueued_at + self.max_wait_s
+            while n_traces < self.max_batch_traces:
+                if self._pending:
+                    nxt = self._pending[0]
+                    if n_traces + nxt.n_traces > self.max_batch_traces:
+                        break
+                    batch.append(self._pending.popleft())
+                    n_traces += nxt.n_traces
+                    continue
+                remaining = deadline - time.perf_counter()
+                if remaining <= 0 or self._closed:
+                    break
+                self._cond.wait(remaining)
+            return batch
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def closed(self) -> bool:
+        with self._cond:
+            return self._closed
+
+    def __len__(self) -> int:
+        with self._cond:
+            return len(self._pending)
+
+    def pending_traces(self) -> int:
+        with self._cond:
+            return sum(r.n_traces for r in self._pending)

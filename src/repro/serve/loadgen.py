@@ -1,0 +1,241 @@
+"""Deterministic load generation against a :class:`ReadoutServer`.
+
+Two canonical arrival disciplines:
+
+* :func:`closed_loop` — N client threads, each waiting for its response
+  before submitting the next request. Concurrency (and therefore achieved
+  batch size) is bounded by the client count; throughput is the headline.
+* :func:`open_loop` — requests arrive on a schedule independent of
+  completions (Poisson or uniformly paced), the discipline that exposes
+  queueing delay and backpressure at offered loads the service cannot
+  absorb.
+
+Both are deterministic given a seed: arrival schedules and per-request
+trace selection come from a seeded generator, so a report's *workload* is
+reproducible even though measured timings are machine-dependent.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Union
+
+import numpy as np
+
+from repro.readout.dataset import ReadoutDataset
+
+from .batcher import ServerOverloadedError
+from .server import ReadoutServer
+
+#: Supported open-loop arrival patterns.
+ARRIVAL_PATTERNS = ("poisson", "uniform")
+
+
+@dataclass
+class LoadReport:
+    """Outcome of one load-generation run.
+
+    ``latencies_s`` holds per-request server-side latencies (submission to
+    resolution) of completed requests, in completion order. ``failed``
+    counts requests that raised anything other than backpressure (e.g. a
+    shard engine error failing its batch) — a nonzero value means the
+    throughput/latency numbers describe a degraded run.
+    """
+
+    pattern: str
+    requests: int
+    completed: int
+    rejected: int
+    traces_done: int
+    elapsed_s: float
+    failed: int = 0
+    latencies_s: np.ndarray = field(default_factory=lambda: np.empty(0))
+
+    def throughput_rps(self) -> float:
+        """Completed requests per second of wall-clock run time."""
+        return 0.0 if self.elapsed_s <= 0 else self.completed / self.elapsed_s
+
+    def traces_per_s(self) -> float:
+        """Completed traces per second of wall-clock run time."""
+        return 0.0 if self.elapsed_s <= 0 else self.traces_done / self.elapsed_s
+
+    def latency_ms(self, percentile: float) -> float:
+        """A latency percentile (e.g. 50, 99) in milliseconds."""
+        if self.latencies_s.size == 0:
+            return float("nan")
+        return 1000.0 * float(np.percentile(self.latencies_s, percentile))
+
+    def summary(self) -> Dict[str, float]:
+        return {
+            "pattern": self.pattern,
+            "requests": self.requests,
+            "completed": self.completed,
+            "rejected": self.rejected,
+            "failed": self.failed,
+            "traces_done": self.traces_done,
+            "elapsed_s": self.elapsed_s,
+            "throughput_rps": self.throughput_rps(),
+            "traces_per_s": self.traces_per_s(),
+            "p50_ms": self.latency_ms(50),
+            "p99_ms": self.latency_ms(99),
+        }
+
+
+def _demod_of(source: Union[ReadoutDataset, np.ndarray]) -> np.ndarray:
+    demod = source.demod if isinstance(source, ReadoutDataset) else source
+    demod = np.asarray(demod)
+    if demod.ndim != 4:
+        raise ValueError(
+            f"trace source must be (n, n_qubits, 2, n_bins), got {demod.shape}")
+    if demod.shape[0] < 1:
+        raise ValueError("trace source is empty")
+    return demod
+
+
+def _payloads(demod: np.ndarray, n_requests: int, traces_per_request: int,
+              rng: np.random.Generator) -> List[np.ndarray]:
+    """Deterministically sampled request payloads (single or multi-trace)."""
+    if traces_per_request < 1:
+        raise ValueError(
+            f"traces_per_request must be positive, got {traces_per_request}")
+    payloads = []
+    for _ in range(n_requests):
+        rows = rng.integers(0, demod.shape[0], size=traces_per_request)
+        if traces_per_request == 1:
+            payloads.append(demod[int(rows[0])])       # single-trace request
+        else:
+            payloads.append(demod[rows])
+    return payloads
+
+
+def closed_loop(server: ReadoutServer,
+                source: Union[ReadoutDataset, np.ndarray], *,
+                n_clients: int = 4, requests_per_client: int = 64,
+                traces_per_request: int = 1, seed: int = 0) -> LoadReport:
+    """Drive the server with ``n_clients`` synchronous request loops."""
+    if n_clients < 1:
+        raise ValueError(f"n_clients must be positive, got {n_clients}")
+    if requests_per_client < 1:
+        raise ValueError(
+            f"requests_per_client must be positive, got {requests_per_client}")
+    demod = _demod_of(source)
+    server.start()
+    plans = [
+        _payloads(demod, requests_per_client, traces_per_request,
+                  np.random.default_rng(seed + client))
+        for client in range(n_clients)
+    ]
+    lock = threading.Lock()
+    latencies: List[float] = []
+    counters = {"completed": 0, "rejected": 0, "failed": 0, "traces": 0}
+    barrier = threading.Barrier(n_clients + 1)
+
+    def client_loop(payloads: List[np.ndarray]) -> None:
+        barrier.wait()
+        for payload in payloads:
+            try:
+                response = server.predict(payload)
+            except ServerOverloadedError:
+                with lock:
+                    counters["rejected"] += 1
+                continue
+            except Exception:  # noqa: BLE001 — count, keep the run honest
+                with lock:
+                    counters["failed"] += 1
+                continue
+            n = 1 if payload.ndim == 3 else payload.shape[0]
+            with lock:
+                counters["completed"] += 1
+                counters["traces"] += n
+                latencies.append(response.latency_s)
+
+    threads = [threading.Thread(target=client_loop, args=(plan,), daemon=True)
+               for plan in plans]
+    for thread in threads:
+        thread.start()
+    barrier.wait()
+    started = time.perf_counter()
+    for thread in threads:
+        thread.join()
+    elapsed = time.perf_counter() - started
+    return LoadReport(
+        pattern="closed-loop",
+        requests=n_clients * requests_per_client,
+        completed=counters["completed"],
+        rejected=counters["rejected"],
+        failed=counters["failed"],
+        traces_done=counters["traces"],
+        elapsed_s=elapsed,
+        latencies_s=np.asarray(latencies),
+    )
+
+
+def open_loop(server: ReadoutServer,
+              source: Union[ReadoutDataset, np.ndarray], *,
+              rate_rps: float = 500.0, n_requests: int = 256,
+              traces_per_request: int = 1, pattern: str = "poisson",
+              seed: int = 0) -> LoadReport:
+    """Submit on an arrival schedule decoupled from completions.
+
+    ``pattern="poisson"`` draws exponential interarrivals at ``rate_rps``
+    (a memoryless experiment control computer); ``"uniform"`` paces
+    requests exactly ``1/rate_rps`` apart.
+    """
+    if rate_rps <= 0:
+        raise ValueError(f"rate_rps must be positive, got {rate_rps}")
+    if n_requests < 1:
+        raise ValueError(f"n_requests must be positive, got {n_requests}")
+    if pattern not in ARRIVAL_PATTERNS:
+        raise ValueError(
+            f"pattern must be one of {ARRIVAL_PATTERNS}, got {pattern!r}")
+    demod = _demod_of(source)
+    server.start()
+    rng = np.random.default_rng(seed)
+    payloads = _payloads(demod, n_requests, traces_per_request, rng)
+    if pattern == "poisson":
+        gaps = rng.exponential(1.0 / rate_rps, size=n_requests)
+    else:
+        gaps = np.full(n_requests, 1.0 / rate_rps)
+    arrivals = np.cumsum(gaps) - gaps[0]   # first request fires immediately
+
+    futures = []
+    rejected = 0
+    started = time.perf_counter()
+    for payload, arrival in zip(payloads, arrivals):
+        delay = started + arrival - time.perf_counter()
+        if delay > 0:
+            time.sleep(delay)
+        try:
+            futures.append((payload, server.submit(payload)))
+        except ServerOverloadedError:
+            rejected += 1
+
+    latencies: List[float] = []
+    traces_done = 0
+    completed = 0
+    failed = 0
+    for payload, future in futures:
+        try:
+            response = future.result()
+        except ServerOverloadedError:
+            rejected += 1
+            continue
+        except Exception:  # noqa: BLE001 — count, keep the run honest
+            failed += 1
+            continue
+        completed += 1
+        traces_done += 1 if payload.ndim == 3 else payload.shape[0]
+        latencies.append(response.latency_s)
+    elapsed = time.perf_counter() - started
+    return LoadReport(
+        pattern=f"open-loop/{pattern}",
+        requests=n_requests,
+        completed=completed,
+        rejected=rejected,
+        failed=failed,
+        traces_done=traces_done,
+        elapsed_s=elapsed,
+        latencies_s=np.asarray(latencies),
+    )

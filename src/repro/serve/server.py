@@ -1,0 +1,358 @@
+"""Async micro-batching readout service over sharded inference engines.
+
+:class:`ReadoutServer` is the traffic-facing facade over PR 1's
+:class:`~repro.engine.ReadoutEngine`: clients submit single- or multi-trace
+discrimination requests (sync, future-based, or ``asyncio``); a
+:class:`~.batcher.MicroBatcher` coalesces them until a size or deadline
+trigger; and each flushed batch fans out to one worker thread per
+:class:`ServeShard`. A shard owns the fitted engine for one feedline qubit
+group — the software analogue of the paper's one-FPGA-per-feedline
+deployment — so each engine is only ever driven by its own worker thread
+(engines keep mutable chunk buffers) and multi-qubit devices scale
+horizontally by adding shards.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+import time
+from concurrent.futures import Future, InvalidStateError
+from dataclasses import dataclass
+from queue import SimpleQueue
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.readout.parameters import DeviceParams
+from repro.readout.sharding import FeedlineShard
+
+from .batcher import MicroBatcher, ServeRequest, ServerOverloadedError
+from .stats import ServerStats
+
+
+@dataclass(frozen=True)
+class ServeShard:
+    """One serving worker: a feedline qubit group plus its fitted engine.
+
+    ``engine`` must expose ``design_names`` and
+    ``predict_traces(demod, device)`` (a fitted
+    :class:`~repro.engine.ReadoutEngine` does) over traces of
+    ``feedline.n_qubits`` qubits; ``device`` is the sharded
+    :class:`~repro.readout.parameters.DeviceParams` the engine was fitted
+    for (see :func:`~repro.readout.sharding.shard_device`).
+    """
+
+    feedline: FeedlineShard
+    engine: object
+    device: DeviceParams
+
+
+@dataclass
+class ReadoutResponse:
+    """Resolved discrimination result for one request.
+
+    ``bits`` maps design name to predicted bits — ``(n_qubits,)`` for a
+    single-trace request, ``(m, n_qubits)`` otherwise, with qubit columns
+    in global device order. ``latency_s`` covers submission to resolution;
+    ``batch_traces`` is the size of the micro-batch that carried the
+    request (amortization observability).
+    """
+
+    bits: Dict[str, np.ndarray]
+    latency_s: float
+    batch_traces: int
+
+    def bits_for(self, design: Optional[str] = None) -> np.ndarray:
+        """Bits of one design; the sole design may be left implicit."""
+        if design is None:
+            if len(self.bits) != 1:
+                raise ValueError(
+                    f"server hosts {sorted(self.bits)}; name one")
+            return next(iter(self.bits.values()))
+        return self.bits[design]
+
+
+def _fail_future(future: Future, exc: BaseException) -> bool:
+    """Set an exception if the future is still settleable (not cancelled)."""
+    try:
+        future.set_exception(exc)
+        return True
+    except InvalidStateError:
+        return False
+
+
+class _InFlightBatch:
+    """A flushed batch being computed by the shard workers.
+
+    Workers call :meth:`deliver` with their shard's bits; the last one to
+    finish stitches the per-shard columns together, slices rows back to
+    requests, and resolves the futures. Any shard failure fails every
+    still-pending request in the batch. Futures a client has already
+    cancelled (e.g. an ``asyncio`` timeout propagated through
+    ``wrap_future``) are skipped — a cancelled request must never take a
+    worker thread down with it.
+    """
+
+    def __init__(self, requests: List[ServeRequest], n_shards: int,
+                 n_qubits: int, design_names: Sequence[str],
+                 stats: ServerStats):
+        self.requests = requests
+        arrays = [r.traces for r in requests]
+        self.demod = arrays[0] if len(arrays) == 1 else np.concatenate(arrays)
+        self.n_traces = int(self.demod.shape[0])
+        self._n_qubits = n_qubits
+        self._design_names = design_names
+        self._stats = stats
+        self._results: Dict[FeedlineShard, Dict[str, np.ndarray]] = {}
+        self._remaining = n_shards
+        self._settled = False
+        self._lock = threading.Lock()
+
+    def deliver(self, feedline: FeedlineShard,
+                bits: Dict[str, np.ndarray]) -> None:
+        with self._lock:
+            if self._settled:
+                return
+            self._results[feedline] = bits
+            self._remaining -= 1
+            if self._remaining > 0:
+                return
+            self._settled = True
+        self._finalize()
+
+    def fail(self, exc: BaseException) -> None:
+        with self._lock:
+            self._settled = True
+        failed = sum(_fail_future(r.future, exc) for r in self.requests)
+        if failed:
+            self._stats.record_failure(failed)
+
+    def _finalize(self) -> None:
+        stitched = {}
+        for design in self._design_names:
+            full = np.empty((self.n_traces, self._n_qubits), dtype=np.int64)
+            for feedline, bits in self._results.items():
+                full[:, list(feedline.qubit_indices)] = bits[design]
+            stitched[design] = full
+        now = time.perf_counter()
+        offset = 0
+        for request in self.requests:
+            m = request.n_traces
+            bits = {
+                design: (full[offset] if request.single
+                         else full[offset:offset + m])
+                for design, full in stitched.items()
+            }
+            latency = now - request.enqueued_at
+            try:
+                request.future.set_result(ReadoutResponse(
+                    bits=bits, latency_s=latency, batch_traces=self.n_traces))
+            except InvalidStateError:
+                pass        # client cancelled; the result is simply dropped
+            else:
+                self._stats.record_done(m, latency, now)
+            offset += m
+
+
+class ReadoutServer:
+    """Micro-batching readout-discrimination service.
+
+    Parameters
+    ----------
+    shards:
+        The :class:`ServeShard` workers. Their feedline groups must be
+        disjoint and together cover qubits ``0..n-1``; every engine must
+        serve the same design names.
+    max_batch_traces / max_wait_ms / max_queue_requests / overload:
+        Micro-batching and backpressure knobs, passed to
+        :class:`~.batcher.MicroBatcher`.
+    latency_window:
+        Size of the latency sample window kept by :class:`ServerStats`.
+
+    The server starts its threads lazily on first submission (or
+    explicitly via :meth:`start` / use as a context manager) and cannot be
+    restarted after :meth:`stop`.
+    """
+
+    def __init__(self, shards: Sequence[ServeShard], *,
+                 max_batch_traces: int = 256, max_wait_ms: float = 2.0,
+                 max_queue_requests: int = 1024, overload: str = "reject",
+                 latency_window: int = 8192):
+        if not shards:
+            raise ValueError("server needs at least one shard")
+        covered: List[int] = []
+        for shard in shards:
+            covered.extend(shard.feedline.qubit_indices)
+        if len(set(covered)) != len(covered):
+            raise ValueError("shard qubit groups overlap")
+        if sorted(covered) != list(range(len(covered))):
+            raise ValueError(
+                f"shard qubit groups must cover 0..{len(covered) - 1} "
+                f"exactly, got {sorted(covered)}")
+        names = [tuple(sorted(s.engine.design_names)) for s in shards]
+        if len(set(names)) != 1:
+            raise ValueError(
+                f"every shard must serve the same designs, got {names}")
+        self._shards = tuple(shards)
+        self.n_qubits = len(covered)
+        self.design_names = list(names[0])
+        self.stats = ServerStats(latency_window=latency_window)
+        self._batcher = MicroBatcher(
+            max_batch_traces=max_batch_traces, max_wait_ms=max_wait_ms,
+            max_queue_requests=max_queue_requests, overload=overload)
+        self._worker_queues: List[SimpleQueue] = []
+        self._threads: List[threading.Thread] = []
+        self._state_lock = threading.Lock()
+        self._started = False
+        self._stopped = False
+
+    @property
+    def shards(self) -> Sequence[ServeShard]:
+        return self._shards
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> "ReadoutServer":
+        with self._state_lock:
+            if self._stopped:
+                raise RuntimeError("server cannot be restarted after stop()")
+            if self._started:
+                return self
+            self._started = True
+            dispatcher = threading.Thread(
+                target=self._dispatch_loop, name="readout-serve-dispatch",
+                daemon=True)
+            self._threads.append(dispatcher)
+            for shard in self._shards:
+                q: SimpleQueue = SimpleQueue()
+                self._worker_queues.append(q)
+                self._threads.append(threading.Thread(
+                    target=self._worker_loop, args=(shard, q),
+                    name=f"readout-serve-shard{shard.feedline.index}",
+                    daemon=True))
+            for thread in self._threads:
+                thread.start()
+            return self
+
+    def stop(self) -> None:
+        """Drain queued requests, resolve their futures, stop all threads."""
+        with self._state_lock:
+            if self._stopped:
+                return
+            self._stopped = True
+            started = self._started
+        self._batcher.close()
+        if not started:
+            return
+        self._threads[0].join()           # dispatcher drains the batcher
+        for q in self._worker_queues:
+            q.put(None)
+        for thread in self._threads[1:]:
+            thread.join()
+
+    def __enter__(self) -> "ReadoutServer":
+        return self.start()
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.stop()
+
+    # ------------------------------------------------------------------
+    # Submission APIs
+    # ------------------------------------------------------------------
+    def submit(self, traces: np.ndarray) -> Future:
+        """Enqueue a request; returns a future of :class:`ReadoutResponse`.
+
+        ``traces`` is one ``(n_qubits, 2, n_bins)`` trace or a
+        ``(m, n_qubits, 2, n_bins)`` stack. Raises
+        :class:`~.batcher.ServerOverloadedError` under the ``reject``
+        policy when the queue is full; under ``shed`` the oldest queued
+        request's future fails instead.
+        """
+        traces = np.asarray(traces)
+        single = traces.ndim == 3
+        if single:
+            traces = traces[None]
+        if traces.ndim != 4 or traces.shape[2] != 2:
+            raise ValueError(
+                f"traces must be (n_qubits, 2, n_bins) or "
+                f"(m, n_qubits, 2, n_bins), got {traces.shape}")
+        if traces.shape[1] != self.n_qubits:
+            raise ValueError(
+                f"server serves {self.n_qubits} qubits, got "
+                f"{traces.shape[1]}")
+        if traces.shape[0] == 0:
+            raise ValueError("request must contain at least one trace")
+        with self._state_lock:
+            if self._stopped:
+                raise RuntimeError("server is stopped")
+        if not self._started:
+            self.start()
+        request = ServeRequest(traces=traces, single=single)
+        self.stats.record_submit(request.n_traces, request.enqueued_at)
+        try:
+            victim = self._batcher.offer(request)
+        except ServerOverloadedError:
+            self.stats.record_reject()
+            raise
+        if victim is not None:
+            self.stats.record_shed()
+            _fail_future(victim.future, ServerOverloadedError(
+                "request shed by a newer arrival"))
+        return request.future
+
+    def predict(self, traces: np.ndarray,
+                timeout: Optional[float] = None) -> ReadoutResponse:
+        """Synchronous convenience: submit and wait for the response."""
+        return self.submit(traces).result(timeout)
+
+    async def predict_async(self, traces: np.ndarray) -> ReadoutResponse:
+        """``asyncio`` submission: awaits the wrapped request future."""
+        return await asyncio.wrap_future(self.submit(traces))
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _dispatch_loop(self) -> None:
+        while True:
+            batch = self._batcher.gather()
+            if batch is None:
+                return
+            inflight = _InFlightBatch(
+                batch, n_shards=len(self._shards), n_qubits=self.n_qubits,
+                design_names=self.design_names, stats=self.stats)
+            self.stats.record_batch(len(batch), inflight.n_traces)
+            for q in self._worker_queues:
+                q.put(inflight)
+
+    def _worker_loop(self, shard: ServeShard, q: SimpleQueue) -> None:
+        # Contiguous qubit groups (everything plan_feedlines produces) are
+        # sliced as zero-copy views; only irregular groups pay a gather.
+        idx = shard.feedline.qubit_indices
+        if idx == tuple(range(idx[0], idx[-1] + 1)):
+            columns = slice(idx[0], idx[-1] + 1)
+        else:
+            columns = list(idx)
+        while True:
+            inflight = q.get()
+            if inflight is None:
+                return
+            try:
+                bits = shard.engine.predict_traces(
+                    inflight.demod[:, columns], shard.device)
+                inflight.deliver(shard.feedline, bits)
+            except Exception as exc:  # noqa: BLE001 — fail the whole batch
+                # Covers engine errors and stitching errors alike: any
+                # still-pending future fails rather than hanging, and the
+                # worker thread survives for the next batch.
+                inflight.fail(exc)
+
+    def engine_stats(self) -> Dict[int, Dict[str, float]]:
+        """Per-shard engine counters, keyed by shard index."""
+        out: Dict[int, Dict[str, float]] = {}
+        for shard in self._shards:
+            stats = getattr(shard.engine, "stats", None)
+            if stats is not None and hasattr(stats, "as_dict"):
+                out[shard.feedline.index] = stats.as_dict()
+        return out

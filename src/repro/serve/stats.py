@@ -1,0 +1,126 @@
+"""Thread-safe serving counters: latency percentiles and throughput."""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from typing import Deque, Dict, Optional
+
+import numpy as np
+
+#: Percentiles reported by :meth:`ServerStats.latency_percentiles`.
+LATENCY_PERCENTILES = (50, 95, 99)
+
+
+class ServerStats:
+    """Counters for one :class:`~repro.serve.server.ReadoutServer`.
+
+    Latencies are request-level (submission to future resolution) and kept
+    in a bounded window so a long-lived server's percentile math stays O(1)
+    in memory. Throughput is measured over the span from the first
+    submission to the most recent completion.
+    """
+
+    def __init__(self, latency_window: int = 8192):
+        if latency_window < 1:
+            raise ValueError(
+                f"latency_window must be positive, got {latency_window}")
+        self._lock = threading.Lock()
+        self._latencies_s: Deque[float] = deque(maxlen=int(latency_window))
+        self.submitted = 0
+        self.rejected = 0
+        self.shed = 0
+        self.completed = 0
+        self.failed = 0
+        self.traces_in = 0
+        self.traces_done = 0
+        self.batches = 0
+        self.batched_requests = 0
+        self.max_batch_traces = 0
+        self._first_submit_t: Optional[float] = None
+        self._last_done_t: Optional[float] = None
+
+    # ------------------------------------------------------------------
+    # Recording (called from submit path and worker threads)
+    # ------------------------------------------------------------------
+    def record_submit(self, n_traces: int, now: float) -> None:
+        with self._lock:
+            self.submitted += 1
+            self.traces_in += n_traces
+            if self._first_submit_t is None:
+                self._first_submit_t = now
+
+    def record_reject(self) -> None:
+        with self._lock:
+            self.rejected += 1
+
+    def record_shed(self) -> None:
+        with self._lock:
+            self.shed += 1
+
+    def record_batch(self, n_requests: int, n_traces: int) -> None:
+        with self._lock:
+            self.batches += 1
+            self.batched_requests += n_requests
+            self.max_batch_traces = max(self.max_batch_traces, n_traces)
+
+    def record_done(self, n_traces: int, latency_s: float,
+                    now: float) -> None:
+        with self._lock:
+            self.completed += 1
+            self.traces_done += n_traces
+            self._latencies_s.append(latency_s)
+            self._last_done_t = now
+
+    def record_failure(self, n_requests: int = 1) -> None:
+        with self._lock:
+            self.failed += n_requests
+
+    # ------------------------------------------------------------------
+    # Derived metrics
+    # ------------------------------------------------------------------
+    def latency_percentiles(self) -> Dict[str, float]:
+        """``{"p50_ms", "p95_ms", "p99_ms"}`` over the recent window."""
+        with self._lock:
+            window = list(self._latencies_s)
+        if not window:
+            return {f"p{p}_ms": float("nan") for p in LATENCY_PERCENTILES}
+        values = np.percentile(np.asarray(window), LATENCY_PERCENTILES)
+        return {f"p{p}_ms": 1000.0 * float(v)
+                for p, v in zip(LATENCY_PERCENTILES, values)}
+
+    def mean_batch_traces(self) -> float:
+        """Mean traces per flushed batch (amortization achieved)."""
+        with self._lock:
+            if self.batches == 0:
+                return 0.0
+            # Every completed trace went through exactly one batch.
+            return self.traces_done / self.batches
+
+    def throughput_traces_per_s(self) -> float:
+        """Completed traces per second, first submission to last completion."""
+        with self._lock:
+            if (self._first_submit_t is None or self._last_done_t is None
+                    or self._last_done_t <= self._first_submit_t):
+                return 0.0
+            return self.traces_done / (self._last_done_t - self._first_submit_t)
+
+    def snapshot(self) -> Dict[str, float]:
+        """One JSON-friendly dict of every counter and derived metric."""
+        with self._lock:
+            counters = {
+                "submitted": self.submitted,
+                "rejected": self.rejected,
+                "shed": self.shed,
+                "completed": self.completed,
+                "failed": self.failed,
+                "traces_in": self.traces_in,
+                "traces_done": self.traces_done,
+                "batches": self.batches,
+                "batched_requests": self.batched_requests,
+                "max_batch_traces": self.max_batch_traces,
+            }
+        counters.update(self.latency_percentiles())
+        counters["mean_batch_traces"] = self.mean_batch_traces()
+        counters["throughput_traces_per_s"] = self.throughput_traces_per_s()
+        return counters

@@ -101,6 +101,31 @@ class TestSharing:
         assert engine.stats.chunks == -(-test.n_traces // 40)
 
 
+class TestPredictTraces:
+    def test_matches_dataset_prediction(self, fitted_designs, small_splits):
+        _, _, test = small_splits
+        engine = ReadoutEngine(fitted_designs, dtype=np.float64)
+        from_traces = engine.predict_traces(test.demod[:25], test.device)
+        from_dataset = engine.predict_bits(test.subset(np.arange(25)))
+        for name in fitted_designs:
+            np.testing.assert_array_equal(from_traces[name],
+                                          from_dataset[name])
+
+    def test_single_trace_batch(self, fitted_designs, small_splits):
+        _, _, test = small_splits
+        engine = ReadoutEngine(fitted_designs)
+        bits = engine.predict_traces(test.demod[:1], test.device)
+        assert bits["mf"].shape == (1, test.n_qubits)
+
+    def test_stats_as_dict(self, fitted_designs, small_splits):
+        _, _, test = small_splits
+        engine = ReadoutEngine(fitted_designs)
+        engine.predict_traces(test.demod[:10], test.device)
+        snapshot = engine.stats.as_dict()
+        assert snapshot["traces"] == 10
+        assert 0.0 <= snapshot["sharing_ratio"] <= 1.0
+
+
 class TestStreaming:
     def test_stream_of_datasets(self, fitted_designs, small_splits):
         _, _, test = small_splits
@@ -187,3 +212,32 @@ class TestLRUCache:
     def test_maxsize_validation(self):
         with pytest.raises(ValueError):
             LRUCache(0)
+
+    def test_thread_safety_under_contention(self):
+        # The serve worker pool shares one cache; hammer it from several
+        # threads and check the bound and counters stay coherent.
+        import threading
+
+        cache = LRUCache(maxsize=8)
+        errors = []
+
+        def worker(seed):
+            try:
+                for i in range(500):
+                    key = (seed * 500 + i) % 24
+                    if cache.get(key) is None:
+                        cache.put(key, key * 2)
+                    assert len(cache) <= 8
+                    list(cache)
+            except Exception as exc:  # noqa: BLE001 — surfaced below
+                errors.append(exc)
+
+        threads = [threading.Thread(target=worker, args=(s,))
+                   for s in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        assert len(cache) <= 8
+        assert cache.hits + cache.misses == 8 * 500

@@ -25,6 +25,26 @@ class TestCLI:
         assert written.exists()
         assert "herqules" in written.read_text()
 
+    def test_run_multiple_experiments(self, capsys):
+        assert main(["run", "table4", "fig14b", "--quick"]) == 0
+        out = capsys.readouterr().out
+        # Both run, in the order asked for.
+        assert "== table4:" in out and "== fig14b:" in out
+        assert out.index("== table4:") < out.index("== fig14b:")
+
+    def test_run_deduplicates_repeated_ids(self, capsys):
+        assert main(["run", "fig14b", "fig14b", "--quick"]) == 0
+        assert capsys.readouterr().out.count("== fig14b:") == 1
+
+    def test_multiple_with_unknown_fails(self, capsys):
+        assert main(["run", "table4", "table99", "--quick"]) == 2
+        assert "table99" in capsys.readouterr().err
+
+    def test_all_with_unknown_still_fails(self, capsys):
+        # 'all' must not mask a typo elsewhere in the id list.
+        assert main(["run", "all", "table99", "--quick"]) == 2
+        assert "table99" in capsys.readouterr().err
+
     def test_unknown_experiment_fails(self, capsys):
         assert main(["run", "table99", "--quick"]) == 2
         assert "unknown experiment" in capsys.readouterr().err

@@ -26,7 +26,7 @@ class TestRegistry:
         names = experiment_names()
         for expected in ("table1", "table2", "table3", "table4", "table5",
                          "fig11a", "fig11b", "fig12", "fig13", "fig14a",
-                         "fig14b", "fig15"):
+                         "fig14b", "fig15", "serve_scaling"):
             assert expected in names
 
     def test_unknown_experiment(self):
@@ -129,6 +129,38 @@ class TestFig13Small:
         # At the highest physical rate, eps=0.05 should be at least as bad
         # as eps=0 (statistical noise allows ties at small shot counts).
         assert curves[0.05][-1] >= curves[0.0][-1] - 0.02
+
+
+class TestServeScaling:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_experiment("serve_scaling", QUICK_CONFIG)
+
+    def test_sweeps_requested_shard_counts(self, result):
+        assert result.column("shards") == [1, 2, 4]
+
+    def test_metrics_are_sane(self, result):
+        for throughput in result.column("traces_per_s"):
+            assert throughput > 0
+        for p50, p99 in zip(result.column("p50_ms"),
+                            result.column("p99_ms")):
+            assert 0 < p50 <= p99
+        for batch in result.column("mean_batch_traces"):
+            assert batch >= 1.0
+
+    def test_reports_attached(self, result):
+        reports = result.data["reports"]
+        assert set(reports) == {"1", "2", "4"}
+        for bundle in reports.values():
+            assert bundle["load"]["rejected"] == 0
+            assert bundle["load"]["failed"] == 0
+            assert bundle["server"]["failed"] == 0
+
+    def test_reports_survive_json_rendering(self, result):
+        import json
+        payload = json.loads(json.dumps(result.to_json_dict(),
+                                        allow_nan=False))
+        assert set(payload["data"]["reports"]) == {"1", "2", "4"}
 
 
 class TestFig15:

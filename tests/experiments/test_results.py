@@ -44,3 +44,49 @@ class TestExperimentResult:
         header_line = lines[1]
         first_row = lines[3]
         assert header_line.index("accuracy") == first_row.index("0.9000")
+
+
+class TestToJsonDict:
+    def test_round_trips_through_json(self):
+        import json
+        payload = json.loads(json.dumps(make_result().to_json_dict()))
+        assert payload["experiment"] == "toy"
+        assert payload["headers"] == ["design", "accuracy"]
+        assert payload["rows"] == [["mf", 0.9], ["mf-rmf-nn", 0.95]]
+        assert payload["paper_reference"] == "paper says 0.93"
+
+    def test_numpy_values_converted(self):
+        import json
+
+        import numpy as np
+        result = ExperimentResult(
+            experiment="np", title="t", headers=["a"],
+            rows=[[np.float64(0.5)]],
+            data={"scalar": np.int64(3), "array": np.arange(3),
+                  "nested": {"values": np.array([1.5, 2.5])}})
+        payload = result.to_json_dict()
+        json.dumps(payload)  # must be serializable as-is
+        assert payload["rows"] == [[0.5]]
+        assert payload["data"] == {"scalar": 3, "array": [0, 1, 2],
+                                   "nested": {"values": [1.5, 2.5]}}
+
+    def test_non_finite_floats_become_null(self):
+        import json
+
+        import numpy as np
+        result = ExperimentResult(
+            experiment="nan", title="t", headers=["a", "b"],
+            rows=[[float("nan"), 1.0]],
+            data={"inf": float("inf"), "arr": np.array([np.nan, 2.0])})
+        payload = result.to_json_dict()
+        # Strict JSON: bare NaN/Infinity tokens must never be emitted.
+        json.dumps(payload, allow_nan=False)
+        assert payload["rows"] == [[None, 1.0]]
+        assert payload["data"] == {"inf": None, "arr": [None, 2.0]}
+
+    def test_unserializable_data_dropped(self):
+        result = ExperimentResult(
+            experiment="mixed", title="t", headers=["a"], rows=[[1]],
+            data={"keep": 1.0, "drop": object()})
+        data = result.to_json_dict()["data"]
+        assert data == {"keep": 1.0}

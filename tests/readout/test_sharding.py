@@ -1,0 +1,98 @@
+"""Feedline sharding tests: planning, device slicing, dataset views."""
+
+import numpy as np
+import pytest
+
+from repro.readout import FeedlineShard, plan_feedlines, shard_device
+
+
+class TestPlanFeedlines:
+    def test_partition_covers_all_qubits_once(self):
+        for n_shards in (1, 2, 3, 5):
+            shards = plan_feedlines(5, n_shards)
+            covered = [q for s in shards for q in s.qubit_indices]
+            assert sorted(covered) == list(range(5))
+            assert len(shards) == n_shards
+
+    def test_groups_are_contiguous_and_balanced(self):
+        shards = plan_feedlines(5, 2)
+        assert shards[0].qubit_indices == (0, 1, 2)
+        assert shards[1].qubit_indices == (3, 4)
+        sizes = [s.n_qubits for s in plan_feedlines(10, 3)]
+        assert max(sizes) - min(sizes) <= 1
+
+    def test_invalid_counts_rejected(self):
+        with pytest.raises(ValueError):
+            plan_feedlines(5, 0)
+        with pytest.raises(ValueError):
+            plan_feedlines(5, 6)
+        with pytest.raises(ValueError):
+            plan_feedlines(0, 1)
+
+    def test_shard_validation(self):
+        with pytest.raises(ValueError):
+            FeedlineShard(index=0, qubit_indices=())
+        with pytest.raises(ValueError):
+            FeedlineShard(index=0, qubit_indices=(1, 1))
+
+
+class TestShardDevice:
+    def test_qubits_and_crosstalk_sliced(self, five_qubit_device):
+        sub = shard_device(five_qubit_device, (1, 3))
+        assert sub.n_qubits == 2
+        assert sub.qubits == (five_qubit_device.qubits[1],
+                              five_qubit_device.qubits[3])
+        np.testing.assert_array_equal(
+            sub.crosstalk,
+            five_qubit_device.crosstalk[np.ix_([1, 3], [1, 3])])
+
+    def test_channel_parameters_preserved(self, five_qubit_device):
+        sub = shard_device(five_qubit_device, (0,))
+        assert sub.sampling_rate_msps == five_qubit_device.sampling_rate_msps
+        assert sub.n_bins == five_qubit_device.n_bins
+        assert sub.noise_std == five_qubit_device.noise_std
+
+    def test_bad_indices_rejected(self, five_qubit_device):
+        with pytest.raises(ValueError):
+            shard_device(five_qubit_device, ())
+        with pytest.raises(ValueError):
+            shard_device(five_qubit_device, (5,))
+        with pytest.raises(ValueError):
+            shard_device(five_qubit_device, (0, 0))
+
+
+class TestSelectQubits:
+    def test_arrays_sliced_consistently(self, small_dataset):
+        sub = small_dataset.select_qubits((0, 2, 4))
+        assert sub.n_qubits == 3
+        np.testing.assert_array_equal(sub.demod,
+                                      small_dataset.demod[:, [0, 2, 4]])
+        np.testing.assert_array_equal(sub.labels,
+                                      small_dataset.labels[:, [0, 2, 4]])
+        np.testing.assert_array_equal(
+            sub.final_bits, small_dataset.final_bits[:, [0, 2, 4]])
+        np.testing.assert_array_equal(
+            sub.relaxed, small_dataset.relaxed[:, [0, 2, 4]])
+
+    def test_basis_recomputed_from_subset_labels(self, small_dataset):
+        sub = small_dataset.select_qubits((1, 3))
+        for row in range(0, sub.n_traces, 97):
+            expected = sub.device.bits_to_basis_state(sub.labels[row])
+            assert sub.basis[row] == expected
+
+    def test_raw_traces_dropped(self, raw_dataset):
+        sub = raw_dataset.select_qubits((0,))
+        assert sub.raw is None
+
+    def test_roundtrip_full_selection_preserves_basis(self, small_dataset):
+        sub = small_dataset.select_qubits(range(small_dataset.n_qubits))
+        np.testing.assert_array_equal(sub.basis, small_dataset.basis)
+
+    def test_discriminator_fits_on_shard(self, small_splits):
+        from repro.core import make_design
+        train, val, test = small_splits
+        idx = (3, 4)
+        design = make_design("mf").fit(train.select_qubits(idx),
+                                       val.select_qubits(idx))
+        bits = design.predict_bits(test.select_qubits(idx))
+        assert bits.shape == (test.n_traces, 2)

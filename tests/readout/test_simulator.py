@@ -1,8 +1,10 @@
 """Trace simulator tests: shapes, separability, crosstalk, relaxation."""
 
 import numpy as np
+import pytest
 
-from repro.readout import (ReadoutSimulator, five_qubit_paper_device,
+from repro.readout import (DeviceParams, QubitReadoutParams,
+                           ReadoutSimulator, five_qubit_paper_device,
                            mean_trace_value, single_qubit_device)
 from repro.readout.demodulation import iq_to_complex
 
@@ -25,6 +27,64 @@ class TestTraceBatch:
         assert batch.relaxed.mean() > 0.5
         relaxed = batch.relaxed[:, 0]
         np.testing.assert_array_equal(batch.final_bits[relaxed, 0], 0)
+
+
+class TestTraceBatchInvariants:
+    """Cross-field consistency of everything a TraceBatch reports."""
+
+    @pytest.fixture(scope="class")
+    def batch(self, five_qubit_device):
+        sim = ReadoutSimulator(five_qubit_device)
+        return sim.simulate_basis_state(0b11010, 400,
+                                        np.random.default_rng(99))
+
+    def test_shapes_agree_across_fields(self, batch, five_qubit_device):
+        n, n_q = batch.n_traces, five_qubit_device.n_qubits
+        assert batch.raw.shape == (n, five_qubit_device.n_samples)
+        assert batch.demod.shape == (n, n_q, 2, five_qubit_device.n_bins)
+        for field in (batch.prepared_bits, batch.final_bits, batch.relaxed,
+                      batch.excited_during):
+            assert field.shape == (n, n_q)
+
+    def test_prepared_bits_match_basis_state(self, batch,
+                                             five_qubit_device):
+        expected = five_qubit_device.basis_state_bits(batch.basis_state)
+        np.testing.assert_array_equal(
+            batch.prepared_bits,
+            np.broadcast_to(expected, batch.prepared_bits.shape))
+
+    def test_bits_are_binary(self, batch):
+        for field in (batch.prepared_bits, batch.final_bits):
+            assert np.isin(field, (0, 1)).all()
+
+    def test_relaxed_implies_prepared_one_final_zero(self, batch):
+        # A 1 -> 0 transition requires starting excited (only prepared-1
+        # qubits can) and ends in the ground state.
+        assert (batch.prepared_bits[batch.relaxed] == 1).all()
+        assert (batch.final_bits[batch.relaxed] == 0).all()
+
+    def test_excited_implies_final_one(self, batch):
+        assert (batch.final_bits[batch.excited_during] == 1).all()
+
+    def test_masks_mutually_exclusive(self, batch):
+        assert not (batch.relaxed & batch.excited_during).any()
+
+    def test_prepared_zero_flips_only_by_excitation(self, batch):
+        prepared_zero = batch.prepared_bits == 0
+        flipped = prepared_zero & (batch.final_bits == 1)
+        np.testing.assert_array_equal(flipped,
+                                      prepared_zero & batch.excited_during)
+
+    def test_without_init_errors_relaxed_explains_all_decays(self, rng):
+        # With init_error_prob = 0 every prepared-1 qubit starts excited,
+        # so prepared != final downward flips are exactly the relaxations.
+        device = DeviceParams(qubits=(QubitReadoutParams(
+            intermediate_freq_mhz=80.0, iq_ground=0.9 + 0.0j,
+            iq_excited=1.2 + 0.2j, t1_us=1.0, ring_up_rate_per_ns=0.009,
+            init_error_prob=0.0),))
+        batch = ReadoutSimulator(device).simulate_basis_state(1, 300, rng)
+        decayed = (batch.prepared_bits == 1) & (batch.final_bits == 0)
+        np.testing.assert_array_equal(decayed, batch.relaxed)
 
 
 class TestSeparability:

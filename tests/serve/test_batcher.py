@@ -1,0 +1,136 @@
+"""Micro-batching scheduler tests: flush triggers, ordering, backpressure."""
+
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.serve import MicroBatcher, ServeRequest, ServerOverloadedError
+
+
+def request(n_traces=1):
+    return ServeRequest(traces=np.zeros((n_traces, 2, 2, 4)))
+
+
+class TestFlushTriggers:
+    def test_flush_on_batch_size(self):
+        batcher = MicroBatcher(max_batch_traces=3, max_wait_ms=10_000)
+        for _ in range(5):
+            batcher.offer(request())
+        assert len(batcher.gather()) == 3   # no deadline wait when full
+        assert len(batcher) == 2            # leftovers stay queued
+        batcher.close()
+        assert len(batcher.gather()) == 2   # drained on close
+
+    def test_requests_are_never_split(self):
+        batcher = MicroBatcher(max_batch_traces=4, max_wait_ms=0)
+        batcher.offer(request(3))
+        batcher.offer(request(3))
+        first = batcher.gather()
+        assert [r.n_traces for r in first] == [3]
+        assert [r.n_traces for r in batcher.gather()] == [3]
+
+    def test_oversized_request_served_alone(self):
+        batcher = MicroBatcher(max_batch_traces=4, max_wait_ms=0)
+        batcher.offer(request(10))
+        batcher.offer(request(1))
+        assert [r.n_traces for r in batcher.gather()] == [10]
+
+    def test_deadline_flush_without_full_batch(self):
+        batcher = MicroBatcher(max_batch_traces=1000, max_wait_ms=5)
+        batcher.offer(request())
+        started = time.perf_counter()
+        batch = batcher.gather()
+        assert len(batch) == 1
+        assert time.perf_counter() - started < 1.0
+
+    def test_fifo_order_preserved(self):
+        batcher = MicroBatcher(max_batch_traces=10, max_wait_ms=0)
+        first, second = request(), request()
+        batcher.offer(first)
+        batcher.offer(second)
+        assert batcher.gather() == [first, second]
+
+    def test_gather_blocks_until_offer(self):
+        batcher = MicroBatcher(max_batch_traces=1, max_wait_ms=0)
+        got = []
+
+        def consume():
+            got.append(batcher.gather())
+
+        thread = threading.Thread(target=consume, daemon=True)
+        thread.start()
+        time.sleep(0.02)
+        assert not got            # still blocked, nothing offered yet
+        batcher.offer(request())
+        thread.join(timeout=2.0)
+        assert len(got) == 1 and len(got[0]) == 1
+
+
+class TestBackpressure:
+    def test_reject_policy_raises(self):
+        batcher = MicroBatcher(max_queue_requests=2, max_wait_ms=0)
+        batcher.offer(request())
+        batcher.offer(request())
+        with pytest.raises(ServerOverloadedError, match="queue full"):
+            batcher.offer(request())
+
+    def test_shed_policy_returns_oldest_victim(self):
+        batcher = MicroBatcher(max_queue_requests=2, max_wait_ms=0,
+                               overload="shed")
+        oldest, kept, newest = request(), request(), request()
+        assert batcher.offer(oldest) is None
+        assert batcher.offer(kept) is None
+        assert batcher.offer(newest) is oldest
+        assert batcher.gather() == [kept, newest]
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(ValueError, match="overload"):
+            MicroBatcher(overload="drop-all")
+
+
+class TestClose:
+    def test_close_drains_then_returns_none(self):
+        batcher = MicroBatcher(max_batch_traces=100, max_wait_ms=10_000)
+        batcher.offer(request())
+        batcher.close()
+        assert len(batcher.gather()) == 1   # drained without deadline wait
+        assert batcher.gather() is None
+
+    def test_offer_after_close_raises(self):
+        batcher = MicroBatcher()
+        batcher.close()
+        with pytest.raises(RuntimeError, match="closed"):
+            batcher.offer(request())
+
+    def test_close_wakes_blocked_gather(self):
+        batcher = MicroBatcher()
+        got = []
+
+        def consume():
+            got.append(batcher.gather())
+
+        thread = threading.Thread(target=consume, daemon=True)
+        thread.start()
+        time.sleep(0.02)
+        batcher.close()
+        thread.join(timeout=2.0)
+        assert got == [None]
+
+
+class TestValidation:
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            MicroBatcher(max_batch_traces=0)
+        with pytest.raises(ValueError):
+            MicroBatcher(max_wait_ms=-1)
+        with pytest.raises(ValueError):
+            MicroBatcher(max_queue_requests=0)
+
+    def test_pending_introspection(self):
+        batcher = MicroBatcher()
+        batcher.offer(request(3))
+        batcher.offer(request(2))
+        assert len(batcher) == 2
+        assert batcher.pending_traces() == 5

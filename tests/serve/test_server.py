@@ -1,0 +1,293 @@
+"""Readout server tests: correctness, concurrency, backpressure, lifecycle."""
+
+import asyncio
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.core import make_design
+from repro.engine import ReadoutEngine
+from repro.readout import plan_feedlines
+from repro.serve import (ReadoutServer, ServeShard, ServerOverloadedError,
+                         build_sharded_server)
+
+
+@pytest.fixture(scope="module")
+def splits(request):
+    return request.getfixturevalue("small_splits")
+
+
+@pytest.fixture(scope="module")
+def sharded_server(splits):
+    """A 2-shard float64 server over the deterministic 'mf' design."""
+    train, val, _ = splits
+    server = build_sharded_server(("mf",), train, val, n_shards=2,
+                                  dtype=np.float64, max_wait_ms=0.5)
+    with server:
+        yield server
+
+
+@pytest.fixture(scope="module")
+def reference_bits(splits):
+    """Bit-exact per-shard 'mf' predictions, stitched to device order."""
+    train, val, test = splits
+    full = np.empty((test.n_traces, test.n_qubits), dtype=np.int64)
+    for feedline in plan_feedlines(test.n_qubits, 2):
+        idx = list(feedline.qubit_indices)
+        design = make_design("mf").fit(train.select_qubits(idx),
+                                       val.select_qubits(idx))
+        full[:, idx] = design.predict_bits(test.select_qubits(idx))
+    return full
+
+
+class TestPredictions:
+    def test_multi_trace_matches_per_shard_reference(self, sharded_server,
+                                                     splits, reference_bits):
+        _, _, test = splits
+        response = sharded_server.predict(test.demod[:40])
+        np.testing.assert_array_equal(response.bits_for("mf"),
+                                      reference_bits[:40])
+
+    def test_single_trace_request_unwraps(self, sharded_server, splits,
+                                          reference_bits):
+        _, _, test = splits
+        response = sharded_server.predict(test.demod[3])
+        assert response.bits_for().shape == (test.n_qubits,)
+        np.testing.assert_array_equal(response.bits_for(), reference_bits[3])
+
+    def test_concurrent_submissions_all_resolve(self, sharded_server,
+                                                splits, reference_bits):
+        _, _, test = splits
+        futures = [sharded_server.submit(test.demod[i]) for i in range(30)]
+        for i, future in enumerate(futures):
+            np.testing.assert_array_equal(future.result(timeout=10).bits_for(),
+                                          reference_bits[i])
+
+    def test_response_metadata(self, sharded_server, splits):
+        _, _, test = splits
+        response = sharded_server.predict(test.demod[:5])
+        assert response.latency_s > 0
+        assert response.batch_traces >= 5
+
+    def test_asyncio_submission(self, sharded_server, splits,
+                                reference_bits):
+        _, _, test = splits
+
+        async def fan_out():
+            return await asyncio.gather(*[
+                sharded_server.predict_async(test.demod[i]) for i in range(8)
+            ])
+
+        responses = asyncio.run(fan_out())
+        for i, response in enumerate(responses):
+            np.testing.assert_array_equal(response.bits_for(),
+                                          reference_bits[i])
+
+    def test_stats_track_requests(self, sharded_server, splits):
+        _, _, test = splits
+        before = sharded_server.stats.completed
+        sharded_server.predict(test.demod[:2])
+        snapshot = sharded_server.stats.snapshot()
+        assert snapshot["completed"] == before + 1
+        assert snapshot["p50_ms"] > 0
+        assert snapshot["throughput_traces_per_s"] > 0
+
+    def test_engine_stats_exposed(self, sharded_server):
+        per_shard = sharded_server.engine_stats()
+        assert set(per_shard) == {0, 1}
+        assert all(s["traces"] > 0 for s in per_shard.values())
+
+
+class TestValidation:
+    def test_wrong_qubit_count_rejected(self, sharded_server):
+        with pytest.raises(ValueError, match="serves 5 qubits"):
+            sharded_server.submit(np.zeros((3, 2, 20)))
+
+    def test_wrong_rank_rejected(self, sharded_server):
+        with pytest.raises(ValueError, match="traces must be"):
+            sharded_server.submit(np.zeros((5, 20)))
+
+    def test_empty_request_rejected(self, sharded_server):
+        with pytest.raises(ValueError, match="at least one trace"):
+            sharded_server.submit(np.zeros((0, 5, 2, 20)))
+
+    def test_no_shards_rejected(self):
+        with pytest.raises(ValueError, match="at least one shard"):
+            ReadoutServer([])
+
+    def test_overlapping_shards_rejected(self, splits):
+        train, val, _ = splits
+        design = {"mf": make_design("mf").fit(train, val)}
+        shard = ServeShard(feedline=plan_feedlines(5, 1)[0],
+                           engine=ReadoutEngine(design),
+                           device=train.device)
+        with pytest.raises(ValueError, match="overlap"):
+            ReadoutServer([shard, shard])
+
+    def test_gap_in_coverage_rejected(self, splits):
+        train, val, _ = splits
+        feedline = plan_feedlines(5, 2)[1]      # qubits 3-4: gap below
+        idx = list(feedline.qubit_indices)
+        sub = train.select_qubits(idx)
+        design = {"mf": make_design("mf").fit(sub, val.select_qubits(idx))}
+        shard = ServeShard(feedline=feedline, engine=ReadoutEngine(design),
+                           device=sub.device)
+        with pytest.raises(ValueError, match="cover"):
+            ReadoutServer([shard])
+
+    def test_mismatched_designs_rejected(self, splits):
+        train, val, _ = splits
+        shards = []
+        for feedline, names in zip(plan_feedlines(5, 2),
+                                   [("mf",), ("centroid",)]):
+            idx = list(feedline.qubit_indices)
+            sub_train = train.select_qubits(idx)
+            designs = {n: make_design(n).fit(sub_train,
+                                             val.select_qubits(idx))
+                       for n in names}
+            shards.append(ServeShard(feedline=feedline,
+                                     engine=ReadoutEngine(designs),
+                                     device=sub_train.device))
+        with pytest.raises(ValueError, match="same designs"):
+            ReadoutServer(shards)
+
+
+class _SlowEngine:
+    """Engine stub whose predictions take a configurable time."""
+
+    design_names = ["mf"]
+
+    def __init__(self, delay_s=0.02, fail=False):
+        self.delay_s = delay_s
+        self.fail = fail
+
+    def predict_traces(self, demod, device):
+        time.sleep(self.delay_s)
+        if self.fail:
+            raise RuntimeError("shard exploded")
+        return {"mf": np.zeros((demod.shape[0], demod.shape[1]),
+                               dtype=np.int64)}
+
+
+def _stub_server(device, **kwargs):
+    shard = ServeShard(feedline=plan_feedlines(device.n_qubits, 1)[0],
+                       engine=kwargs.pop("engine", _SlowEngine()),
+                       device=device)
+    return ReadoutServer([shard], **kwargs)
+
+
+class TestBackpressure:
+    def test_reject_raises_and_counts(self, splits):
+        _, _, test = splits
+        server = _stub_server(test.device, max_batch_traces=1,
+                              max_wait_ms=0.0, max_queue_requests=2)
+        with server:
+            rejected = 0
+            futures = []
+            for i in range(30):
+                try:
+                    futures.append(server.submit(test.demod[0]))
+                except ServerOverloadedError:
+                    rejected += 1
+            assert rejected > 0
+            assert server.stats.rejected == rejected
+            for future in futures:
+                future.result(timeout=10)
+
+    def test_shed_fails_oldest_future(self, splits):
+        _, _, test = splits
+        server = _stub_server(test.device, max_batch_traces=1,
+                              max_wait_ms=0.0, max_queue_requests=2,
+                              overload="shed")
+        with server:
+            futures = [server.submit(test.demod[0]) for _ in range(30)]
+            outcomes = []
+            for future in futures:
+                try:
+                    future.result(timeout=10)
+                    outcomes.append("ok")
+                except ServerOverloadedError:
+                    outcomes.append("shed")
+            assert outcomes.count("shed") == server.stats.shed
+            assert outcomes.count("shed") > 0
+            # The newest request is never the victim.
+            assert outcomes[-1] == "ok"
+
+
+class TestFailures:
+    def test_shard_failure_fails_request(self, splits):
+        _, _, test = splits
+        server = _stub_server(test.device, engine=_SlowEngine(0.0, fail=True))
+        with server:
+            future = server.submit(test.demod[0])
+            with pytest.raises(RuntimeError, match="shard exploded"):
+                future.result(timeout=10)
+            assert server.stats.failed == 1
+
+    def test_cancelled_future_does_not_kill_worker(self, splits):
+        # A client timing out (asyncio.wait_for cancels the wrapped
+        # future) must not take the shard worker thread down with it.
+        _, _, test = splits
+        server = _stub_server(test.device, engine=_SlowEngine(0.05),
+                              max_batch_traces=1, max_wait_ms=0.0)
+        with server:
+            doomed = server.submit(test.demod[0])
+            doomed.cancel()
+            # The next request is served by the same worker thread.
+            response = server.predict(test.demod[0], timeout=10)
+            assert response.bits_for("mf").shape == (test.n_qubits,)
+
+    def test_failure_skips_cancelled_futures(self, splits):
+        _, _, test = splits
+        server = _stub_server(test.device,
+                              engine=_SlowEngine(0.05, fail=True),
+                              max_batch_traces=1, max_wait_ms=0.0)
+        with server:
+            cancelled = server.submit(test.demod[0])
+            cancelled.cancel()
+            failed = server.submit(test.demod[0])
+            with pytest.raises(RuntimeError, match="shard exploded"):
+                failed.result(timeout=10)
+
+
+class TestLifecycle:
+    def test_stop_drains_queued_requests(self, splits):
+        _, _, test = splits
+        server = _stub_server(test.device, max_batch_traces=1,
+                              max_wait_ms=0.0)
+        futures = [server.submit(test.demod[0]) for _ in range(5)]
+        server.stop()
+        assert all(f.done() for f in futures)
+
+    def test_submit_after_stop_raises(self, splits):
+        _, _, test = splits
+        server = _stub_server(test.device)
+        with server:
+            server.predict(test.demod[0])
+        with pytest.raises(RuntimeError, match="stopped"):
+            server.submit(test.demod[0])
+
+    def test_restart_rejected(self, splits):
+        _, _, test = splits
+        server = _stub_server(test.device)
+        server.start()
+        server.stop()
+        with pytest.raises(RuntimeError, match="restarted"):
+            server.start()
+
+    def test_stop_is_idempotent(self, splits):
+        _, _, test = splits
+        server = _stub_server(test.device)
+        server.start()
+        server.stop()
+        server.stop()
+
+    def test_threads_terminate(self, splits):
+        _, _, test = splits
+        before = threading.active_count()
+        server = _stub_server(test.device)
+        with server:
+            server.predict(test.demod[0])
+        assert threading.active_count() == before
