@@ -1,0 +1,192 @@
+#!/usr/bin/env python
+"""Flag benchmark regressions: fresh ``bench_*.json`` vs committed baselines.
+
+Every benchmark writes machine-readable numbers to
+``benchmarks/results/bench_*.json``; those files are committed, so the
+repository itself carries the perf/fidelity trail. After a fresh benchmark
+run (``pytest benchmarks/``) this script diffs the regenerated files
+against the committed baselines and fails when a tracked quality metric
+dropped by more than ``--max-regression`` (fractional, default 0.4).
+
+Only *machine-portable, higher-is-better* metrics are compared by default —
+speedup ratios, fidelities/accuracies, recovery/sharing fractions. Raw
+throughput numbers (traces/s) vary wildly across machines and are opt-in
+via ``--include-absolute``; latency percentiles are never compared.
+
+Usage::
+
+    python benchmarks/compare_results.py                  # vs git HEAD
+    python benchmarks/compare_results.py --baseline-dir saved_results/
+    python benchmarks/compare_results.py --max-regression 0.2
+
+Exit status: 0 when clean, 1 when any regression exceeds the threshold.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import subprocess
+import sys
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Tuple
+
+#: Metric-name substrings tracked by default (higher is better, portable
+#: across machines).
+QUALITY_PATTERNS = ("speedup", "fidelity", "accuracy", "recovered_fraction",
+                    "sharing_ratio", "throughput_ratio")
+
+#: Machine-dependent higher-is-better metrics, compared only with
+#: ``--include-absolute``.
+ABSOLUTE_PATTERNS = ("_tps", "traces_per_s", "throughput_rps")
+
+#: Metrics whose movement is not a quality signal (e.g. the deliberately
+#: degraded no-recalibration arm of drift_recovery).
+EXCLUDE_PATTERNS = ("no_recal", "p50", "p95", "p99", "latency")
+
+#: How deep into nested ``data`` dicts metrics are collected.
+MAX_DEPTH = 3
+
+
+@dataclass(frozen=True)
+class Regression:
+    """One tracked metric that dropped beyond the threshold."""
+
+    file: str
+    metric: str
+    baseline: float
+    current: float
+
+    @property
+    def drop_fraction(self) -> float:
+        return (self.baseline - self.current) / abs(self.baseline)
+
+    def __str__(self) -> str:
+        return (f"{self.file}: {self.metric} regressed "
+                f"{100 * self.drop_fraction:.1f}% "
+                f"({self.baseline:.4g} -> {self.current:.4g})")
+
+
+def _walk(data, prefix: str = "",
+          depth: int = 0) -> Iterator[Tuple[str, float]]:
+    if depth > MAX_DEPTH or not isinstance(data, dict):
+        return
+    for key, value in data.items():
+        path = f"{prefix}.{key}" if prefix else str(key)
+        if isinstance(value, bool):
+            continue
+        if isinstance(value, (int, float)):
+            yield path, float(value)
+        elif isinstance(value, dict):
+            yield from _walk(value, path, depth + 1)
+
+
+def comparable_metrics(payload: dict,
+                       include_absolute: bool = False) -> Dict[str, float]:
+    """Tracked metrics of one ``bench_*.json`` payload, by dotted path."""
+    patterns = QUALITY_PATTERNS
+    if include_absolute:
+        patterns = patterns + ABSOLUTE_PATTERNS
+    metrics = {}
+    for path, value in _walk(payload.get("data", {})):
+        name = path.lower()
+        if any(pattern in name for pattern in EXCLUDE_PATTERNS):
+            continue
+        if any(pattern in name for pattern in patterns):
+            metrics[path] = value
+    return metrics
+
+
+def compare_payloads(baseline: dict, current: dict, *, file: str,
+                     max_regression: float,
+                     include_absolute: bool = False) -> List[Regression]:
+    """Regressions of ``current`` vs ``baseline`` beyond the threshold.
+
+    Metrics missing from either side are skipped (new benchmarks and
+    retired metrics are not regressions); a sign flip or a drop of more
+    than ``max_regression`` of the baseline magnitude is flagged.
+    """
+    base_metrics = comparable_metrics(baseline, include_absolute)
+    curr_metrics = comparable_metrics(current, include_absolute)
+    regressions = []
+    for metric, base_value in base_metrics.items():
+        if metric not in curr_metrics or base_value == 0:
+            continue
+        regression = Regression(file=file, metric=metric,
+                                baseline=base_value,
+                                current=curr_metrics[metric])
+        if regression.drop_fraction > max_regression:
+            regressions.append(regression)
+    return regressions
+
+
+def _baseline_from_git(rev: str, path: pathlib.Path,
+                       repo_root: pathlib.Path) -> Optional[dict]:
+    relative = path.resolve().relative_to(repo_root.resolve())
+    result = subprocess.run(
+        ["git", "show", f"{rev}:{relative.as_posix()}"],
+        capture_output=True, text=True, cwd=repo_root)
+    if result.returncode != 0:
+        return None              # new benchmark: no committed baseline yet
+    return json.loads(result.stdout)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--results-dir", type=pathlib.Path,
+                        default=pathlib.Path(__file__).parent / "results",
+                        help="directory with freshly emitted bench_*.json")
+    parser.add_argument("--baseline-dir", type=pathlib.Path, default=None,
+                        help="directory of baseline bench_*.json "
+                             "(default: read them from git)")
+    parser.add_argument("--baseline-git", default="HEAD",
+                        help="git rev to read baselines from (default HEAD)")
+    parser.add_argument("--max-regression", type=float, default=0.4,
+                        help="tolerated fractional drop per metric "
+                             "(default 0.4)")
+    parser.add_argument("--include-absolute", action="store_true",
+                        help="also compare machine-dependent throughput")
+    args = parser.parse_args(argv)
+    if args.max_regression <= 0:
+        parser.error("--max-regression must be positive")
+
+    fresh = sorted(args.results_dir.glob("bench_*.json"))
+    if not fresh:
+        print(f"no bench_*.json under {args.results_dir}; "
+              f"run the benchmarks first", file=sys.stderr)
+        return 2
+
+    repo_root = pathlib.Path(__file__).resolve().parent.parent
+    regressions: List[Regression] = []
+    compared = skipped = 0
+    for path in fresh:
+        if args.baseline_dir is not None:
+            baseline_path = args.baseline_dir / path.name
+            baseline = (json.loads(baseline_path.read_text())
+                        if baseline_path.exists() else None)
+        else:
+            baseline = _baseline_from_git(args.baseline_git, path, repo_root)
+        if baseline is None:
+            skipped += 1
+            print(f"{path.name}: no baseline, skipped")
+            continue
+        compared += 1
+        regressions.extend(compare_payloads(
+            baseline, json.loads(path.read_text()), file=path.name,
+            max_regression=args.max_regression,
+            include_absolute=args.include_absolute))
+
+    print(f"compared {compared} benchmark files ({skipped} without "
+          f"baselines), threshold {100 * args.max_regression:.0f}%")
+    if regressions:
+        print(f"\n{len(regressions)} regression(s):", file=sys.stderr)
+        for regression in regressions:
+            print(f"  {regression}", file=sys.stderr)
+        return 1
+    print("no tracked metric regressed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

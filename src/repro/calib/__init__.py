@@ -1,0 +1,37 @@
+"""Closed-loop calibration maintenance for the readout service.
+
+The layer above :mod:`repro.serve` that keeps sharded discriminators
+accurate while the device drifts underneath them:
+
+* :mod:`~repro.calib.drift` — :class:`ParameterDrift` /
+  :class:`DriftSchedule` inject linear/step/sinusoidal/random-walk drift
+  into :class:`~repro.readout.DeviceParams`; :class:`DriftingSimulator`
+  generates time-varying traffic and ground-truth-at-``t`` calibration
+  sets over a shot clock;
+* :mod:`~repro.calib.monitors` — streaming detection:
+  :class:`FidelityMonitor` (labeled probe shots) and
+  :class:`ScoreDriftMonitor` (label-free Page–Hinkley over per-batch IQ
+  statistics, fed by engine batch hooks);
+* :mod:`~repro.calib.recalibrator` — :class:`Recalibrator` refits each
+  shard's designs on fresh shots (warm-started envelopes/centroids),
+  validates candidate vs incumbent on held-out probes, and promotes via
+  the zero-downtime :meth:`~repro.serve.ReadoutServer.swap_engine`;
+* :mod:`~repro.calib.loop` — :class:`CalibrationLoop` runs the whole
+  detect-refit-validate-swap cycle over live traffic windows.
+"""
+
+from .drift import (DRIFT_KINDS, DRIFTABLE_PARAMETERS, DriftingSimulator,
+                    DriftSchedule, ParameterDrift)
+from .loop import CalibrationLoop, WindowRecord
+from .monitors import (DriftAlarm, FidelityMonitor, PageHinkley,
+                       ScoreDriftMonitor)
+from .recalibrator import (RecalibrationReport, Recalibrator,
+                           ShardRecalibration, attach_score_monitors)
+
+__all__ = [
+    "CalibrationLoop", "DRIFT_KINDS", "DRIFTABLE_PARAMETERS", "DriftAlarm",
+    "DriftSchedule", "DriftingSimulator", "FidelityMonitor", "PageHinkley",
+    "ParameterDrift", "RecalibrationReport", "Recalibrator",
+    "ScoreDriftMonitor", "ShardRecalibration", "WindowRecord",
+    "attach_score_monitors",
+]

@@ -1,0 +1,256 @@
+"""Drift injection: parameter drift schedules over a readout device.
+
+Real devices do not hold still between calibrations: resonator responses
+rotate and shrink, T1 degrades, tone frequencies wander, amplifier noise
+creeps up. This module injects exactly those effects into the simulator so
+the calibration-maintenance loop (:mod:`repro.calib`) has something real to
+fight: a :class:`ParameterDrift` describes how one parameter moves as a
+function of the *shot index* (the natural clock of a readout service — wall
+time is just shots times the repetition period), a :class:`DriftSchedule`
+composes several drifts into a time-varying :class:`DeviceParams`, and
+:class:`DriftingSimulator` wraps :class:`~repro.readout.simulator.ReadoutSimulator`
+so traffic generated at shot ``t`` reflects the drifted ground truth at
+``t``.
+"""
+
+from __future__ import annotations
+
+import cmath
+from dataclasses import dataclass, replace
+from typing import Dict, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.readout.dataset import ReadoutDataset, generate_dataset
+from repro.readout.parameters import DeviceParams
+
+#: Supported drift waveforms.
+DRIFT_KINDS = ("linear", "step", "sinusoidal", "random_walk")
+
+#: Parameters a drift may target. Per-qubit ones act on
+#: :class:`~repro.readout.parameters.QubitReadoutParams`; ``noise_scale``
+#: is device-level (``qubit`` must stay None).
+DRIFTABLE_PARAMETERS = ("iq_angle_rad", "separation_scale", "t1_scale",
+                        "freq_offset_mhz", "noise_scale")
+
+#: Random-walk caches are grown in blocks of this many steps.
+_WALK_BLOCK = 1024
+
+
+@dataclass(frozen=True)
+class ParameterDrift:
+    """How one device parameter moves over the shot clock.
+
+    Parameters
+    ----------
+    parameter:
+        One of :data:`DRIFTABLE_PARAMETERS`. Offsets are interpreted as:
+
+        * ``iq_angle_rad`` — rotate ``iq_excited`` around ``iq_ground`` by
+          the offset (radians); separation magnitude is preserved.
+        * ``separation_scale`` — scale ``|iq_excited - iq_ground|`` by
+          ``1 + offset`` (floored just above zero).
+        * ``t1_scale`` — scale ``t1_us`` by ``1 + offset`` (floored).
+        * ``freq_offset_mhz`` — add the offset to the tone's intermediate
+          frequency.
+        * ``noise_scale`` — scale the device's ADC ``noise_std`` by
+          ``1 + offset`` (floored at zero).
+    kind:
+        Waveform: ``linear`` ramps from 0 to ``magnitude`` over
+        ``period_shots`` starting at ``start_shot`` and then holds;
+        ``step`` jumps to ``magnitude`` at ``start_shot``; ``sinusoidal``
+        oscillates with amplitude ``magnitude`` and period
+        ``period_shots``; ``random_walk`` accumulates Gaussian increments
+        of standard deviation ``magnitude`` every ``period_shots`` shots.
+    magnitude:
+        Waveform amplitude in the parameter's offset units.
+    qubit:
+        Target qubit index, or None for every qubit (required None for the
+        device-level ``noise_scale``).
+    period_shots:
+        Timescale of the waveform (ramp length, period, or walk step).
+    start_shot:
+        Drift onset; the offset is exactly zero before it.
+    seed:
+        Random-walk reproducibility: the walk is a pure function of
+        ``(seed, shot)``, so replaying a timeline replays the drift.
+    """
+
+    parameter: str
+    kind: str
+    magnitude: float
+    qubit: Optional[int] = None
+    period_shots: float = 1000.0
+    start_shot: float = 0.0
+    seed: int = 0
+
+    def __post_init__(self):
+        if self.parameter not in DRIFTABLE_PARAMETERS:
+            raise ValueError(
+                f"parameter must be one of {DRIFTABLE_PARAMETERS}, "
+                f"got {self.parameter!r}")
+        if self.kind not in DRIFT_KINDS:
+            raise ValueError(
+                f"kind must be one of {DRIFT_KINDS}, got {self.kind!r}")
+        if self.parameter == "noise_scale" and self.qubit is not None:
+            raise ValueError("noise_scale drifts the whole device; "
+                             "qubit must be None")
+        if self.period_shots <= 0:
+            raise ValueError(
+                f"period_shots must be positive, got {self.period_shots}")
+        if self.start_shot < 0:
+            raise ValueError(
+                f"start_shot must be >= 0, got {self.start_shot}")
+
+    def offset_at(self, shot: float) -> float:
+        """The drift offset at one shot index (0 before ``start_shot``)."""
+        elapsed = float(shot) - self.start_shot
+        if elapsed < 0:
+            return 0.0
+        if self.kind == "linear":
+            return self.magnitude * min(1.0, elapsed / self.period_shots)
+        if self.kind == "step":
+            return self.magnitude
+        if self.kind == "sinusoidal":
+            return self.magnitude * float(
+                np.sin(2.0 * np.pi * elapsed / self.period_shots))
+        return self._walk_value(int(elapsed // self.period_shots))
+
+    def _walk_value(self, step: int) -> float:
+        """Cumulative random walk after ``step`` whole periods (cached)."""
+        cache = getattr(self, "_walk_cache", None)
+        if cache is None or cache.size <= step:
+            n = ((step // _WALK_BLOCK) + 1) * _WALK_BLOCK
+            increments = np.random.default_rng(
+                self.seed).standard_normal(n) * self.magnitude
+            cache = np.concatenate([[0.0], np.cumsum(increments)])
+            object.__setattr__(self, "_walk_cache", cache)
+        return float(cache[step])
+
+
+class DriftSchedule:
+    """A composition of :class:`ParameterDrift` terms over one device.
+
+    Offsets targeting the same ``(qubit, parameter)`` pair sum. The
+    schedule is stateless and deterministic: :meth:`device_at` is a pure
+    function of the base device and the shot index, which is what lets
+    the drift-recovery experiment replay identical timelines across the
+    with/without-recalibration arms.
+    """
+
+    def __init__(self, drifts: Sequence[ParameterDrift]):
+        self.drifts: Tuple[ParameterDrift, ...] = tuple(drifts)
+
+    def offsets_at(self, shot: float) -> Dict[Tuple[Optional[int], str], float]:
+        """Summed offsets per ``(qubit, parameter)`` key at one shot."""
+        offsets: Dict[Tuple[Optional[int], str], float] = {}
+        for drift in self.drifts:
+            value = drift.offset_at(shot)
+            if value == 0.0:
+                continue
+            key = (drift.qubit, drift.parameter)
+            offsets[key] = offsets.get(key, 0.0) + value
+        return offsets
+
+    def device_at(self, base: DeviceParams, shot: float) -> DeviceParams:
+        """The drifted device truth at one shot index."""
+        offsets = self.offsets_at(shot)
+        if not offsets:
+            return base
+        for qubit, _ in offsets:
+            if qubit is not None and not 0 <= qubit < base.n_qubits:
+                raise ValueError(
+                    f"drift targets qubit {qubit}, device has "
+                    f"{base.n_qubits} qubits")
+
+        def offset(qubit: Optional[int], parameter: str) -> float:
+            total = offsets.get((None, parameter), 0.0)
+            if qubit is not None:
+                total += offsets.get((qubit, parameter), 0.0)
+            return total
+
+        qubits = []
+        for q, params in enumerate(base.qubits):
+            angle = offset(q, "iq_angle_rad")
+            sep_scale = max(1e-6, 1.0 + offset(q, "separation_scale"))
+            if angle != 0.0 or sep_scale != 1.0:
+                separation = params.iq_excited - params.iq_ground
+                separation *= sep_scale * cmath.exp(1j * angle)
+                params = replace(params,
+                                 iq_excited=params.iq_ground + separation)
+            t1_scale = max(1e-6, 1.0 + offset(q, "t1_scale"))
+            if t1_scale != 1.0:
+                params = replace(params, t1_us=params.t1_us * t1_scale)
+            freq = offset(q, "freq_offset_mhz")
+            if freq != 0.0:
+                params = replace(
+                    params,
+                    intermediate_freq_mhz=params.intermediate_freq_mhz + freq)
+            qubits.append(params)
+
+        noise_scale = max(0.0, 1.0 + offset(None, "noise_scale"))
+        return replace(base, qubits=tuple(qubits),
+                       noise_std=base.noise_std * noise_scale)
+
+
+class DriftingSimulator:
+    """Traffic and calibration-set generation under a drift schedule.
+
+    Keeps a monotone shot clock: every generated *traffic* trace advances
+    it, so later batches see a further-drifted device — the software
+    analogue of a readout service running for hours after its last
+    calibration. :meth:`calibration_set` freezes the clock, modelling a
+    recalibration performed "now" on fresh shots.
+    """
+
+    def __init__(self, base_device: DeviceParams, schedule: DriftSchedule,
+                 start_shot: int = 0):
+        self.base_device = base_device
+        self.schedule = schedule
+        self.shot = int(start_shot)
+
+    @property
+    def n_qubits(self) -> int:
+        return self.base_device.n_qubits
+
+    def device_now(self) -> DeviceParams:
+        """The drifted ground-truth device at the current shot clock."""
+        return self.schedule.device_at(self.base_device, self.shot)
+
+    def generate_traffic(self, n_traces: int,
+                         rng: np.random.Generator) -> ReadoutDataset:
+        """Labeled traffic at the current drift state; advances the clock.
+
+        Basis states are drawn uniformly and the whole batch is simulated
+        at the batch-start drift state (drift is slow relative to a batch).
+        Rows are shuffled so no consumer can exploit state ordering. The
+        labels are the prepared bits — in production these would only be
+        known for interleaved probe shots; the simulator knows them for
+        every trace, which is what lets the experiment score both arms.
+        """
+        if n_traces < 1:
+            raise ValueError(f"n_traces must be positive, got {n_traces}")
+        device = self.device_now()
+        n_states = device.n_basis_states
+        counts = np.bincount(rng.integers(0, n_states, size=n_traces),
+                             minlength=n_states)
+        states = [b for b in range(n_states) if counts[b] > 0]
+        parts = [generate_dataset(device, int(counts[b]), rng,
+                                  basis_states=[b]) for b in states]
+        dataset = parts[0]
+        for part in parts[1:]:
+            dataset = dataset.concatenate(part)
+        dataset = dataset.subset(rng.permutation(dataset.n_traces))
+        self.shot += n_traces
+        return dataset
+
+    def calibration_set(self, shots_per_state: int, rng: np.random.Generator,
+                        include_raw: bool = False) -> ReadoutDataset:
+        """A fresh labeled calibration dataset at the *current* truth.
+
+        Does not advance the shot clock: recalibration shots are assumed
+        to be taken back-to-back at the moment the recalibrator asks for
+        them, fast relative to the drift timescale.
+        """
+        return generate_dataset(self.device_now(), shots_per_state, rng,
+                                include_raw=include_raw)

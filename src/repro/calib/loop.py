@@ -1,0 +1,231 @@
+"""The closed calibration-maintenance loop over a live readout server.
+
+:class:`CalibrationLoop` ties the subsystem together: traffic windows flow
+through the :class:`~repro.serve.ReadoutServer`; every window's labeled
+shots feed a :class:`~.monitors.FidelityMonitor` while the shard engines'
+batch hooks feed per-shard :class:`~.monitors.ScoreDriftMonitor` instances;
+any alarm triggers the :class:`~.recalibrator.Recalibrator`, whose promoted
+candidates hot-swap into the server with zero downtime. The loop records a
+:class:`WindowRecord` per window — the observability trail the
+``drift_recovery`` experiment and the benchmarks assert against.
+
+The loop is deliberately synchronous (one window at a time): determinism is
+what lets the experiment replay the identical drifting timeline with and
+without recalibration and attribute every fidelity delta to the loop.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from repro.core import metrics
+from repro.readout.dataset import ReadoutDataset
+from repro.serve.server import ReadoutServer
+
+from .drift import DriftingSimulator
+from .monitors import DriftAlarm, FidelityMonitor, ScoreDriftMonitor
+from .recalibrator import (RecalibrationReport, Recalibrator,
+                           attach_score_monitors)
+
+
+@dataclass
+class WindowRecord:
+    """What happened during one traffic window."""
+
+    window: int
+    end_shot: int
+    n_traces: int
+    #: Mean per-qubit assignment fidelity of the scored design's served
+    #: predictions against the window's ground truth.
+    fidelity: float
+    alarm: Optional[DriftAlarm]
+    recalibration: Optional[RecalibrationReport]
+    #: Requests whose futures raised (must stay 0 for a clean run — hot
+    #: swaps are required to be invisible to traffic).
+    request_failures: int
+
+
+class CalibrationLoop:
+    """Serve traffic windows, watch for drift, recalibrate on alarm.
+
+    Parameters
+    ----------
+    server / simulator:
+        The live server and the drifting traffic source.
+    recalibrator:
+        The maintenance engine; pass None for a monitor-only loop (the
+        experiment's no-recalibration baseline arm).
+    design:
+        Which served design's bits are scored; None means the server's
+        sole design.
+    requests_per_window:
+        Each window's traces are submitted as this many concurrent
+        multi-trace requests, so swaps are exercised under real
+        micro-batched traffic rather than one monolithic batch.
+    score_monitoring:
+        Attach per-shard label-free :class:`ScoreDriftMonitor` hooks in
+        addition to the probe-based fidelity monitor.
+    cooldown_windows:
+        Windows to ignore alarms after a recalibration attempt — the
+        refit's own settling time, and the guard against alarm storms
+        when a candidate was rejected.
+    recal_rng:
+        Generator for calibration-shot collection. Kept separate from the
+        traffic generator so the with/without-recalibration arms draw
+        identical traffic.
+    """
+
+    def __init__(self, server: ReadoutServer, simulator: DriftingSimulator,
+                 recalibrator: Optional[Recalibrator] = None, *,
+                 design: Optional[str] = None,
+                 fidelity_monitor: Optional[FidelityMonitor] = None,
+                 score_monitoring: bool = True,
+                 requests_per_window: int = 4,
+                 cooldown_windows: int = 1,
+                 recal_rng: Optional[np.random.Generator] = None):
+        if requests_per_window < 1:
+            raise ValueError("requests_per_window must be positive")
+        self.server = server
+        self.simulator = simulator
+        self.recalibrator = recalibrator
+        if design is None:
+            if len(server.design_names) != 1:
+                raise ValueError(
+                    f"server hosts {sorted(server.design_names)}; pass "
+                    f"design= to choose the scored one")
+            design = server.design_names[0]
+        elif design not in server.design_names:
+            raise ValueError(
+                f"unknown design {design!r}; server hosts "
+                f"{sorted(server.design_names)}")
+        self.design = design
+        self.fidelity_monitor = fidelity_monitor or FidelityMonitor()
+        self.requests_per_window = int(requests_per_window)
+        self.cooldown_windows = int(cooldown_windows)
+        self._recal_rng = recal_rng or np.random.default_rng(0)
+        self._cooldown = 0
+        self._windows = 0
+        self.records: List[WindowRecord] = []
+        self.score_monitors: List[ScoreDriftMonitor] = []
+        if score_monitoring:
+            self.score_monitors = [
+                ScoreDriftMonitor(n_qubits=shard.feedline.n_qubits)
+                for shard in server.shards
+            ]
+            attach_score_monitors(server, self.score_monitors)
+
+    # ------------------------------------------------------------------
+    # One window of the loop
+    # ------------------------------------------------------------------
+    def process_window(self, traffic: ReadoutDataset) -> WindowRecord:
+        """Serve one labeled traffic window and run the maintenance logic."""
+        predicted, rows, failures = self._serve(traffic)
+        labels = traffic.labels[rows]
+        n_scored = len(rows)
+        fidelity = (float(metrics.per_qubit_accuracy(predicted,
+                                                     labels).mean())
+                    if n_scored else float("nan"))
+
+        alarm = None
+        if n_scored:
+            alarm = self.fidelity_monitor.observe(predicted, labels)
+            if self.fidelity_monitor.baseline is None:
+                # First healthy window defines the post-calibration normal.
+                self.fidelity_monitor.set_baseline(
+                    self.fidelity_monitor.fidelity())
+        if alarm is None:
+            alarm = next((m.alarm for m in self.score_monitors
+                          if m.alarm is not None), None)
+
+        recalibration = None
+        if self._cooldown > 0:
+            self._cooldown -= 1
+            alarm = None
+        elif alarm is not None and self.recalibrator is not None:
+            recalibration = self.recalibrator.recalibrate(
+                self.simulator, self._recal_rng)
+            self._after_recalibration(recalibration)
+
+        record = WindowRecord(
+            window=self._windows, end_shot=self.simulator.shot,
+            n_traces=traffic.n_traces, fidelity=fidelity, alarm=alarm,
+            recalibration=recalibration, request_failures=failures)
+        self._windows += 1
+        self.records.append(record)
+        return record
+
+    def run(self, n_windows: int, traces_per_window: int,
+            rng: np.random.Generator) -> List[WindowRecord]:
+        """Generate and process ``n_windows`` drifting traffic windows."""
+        for _ in range(n_windows):
+            self.process_window(
+                self.simulator.generate_traffic(traces_per_window, rng))
+        return self.records
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _serve(self, traffic: ReadoutDataset):
+        """Submit the window as concurrent requests; stitch scored bits.
+
+        Returns ``(predicted, rows, failures)``: every future is awaited,
+        each failed request is counted, and ``rows`` holds the trace
+        indices the surviving predictions cover — a mid-window failure
+        drops its slice from scoring without misaligning the rest.
+        """
+        bounds = np.linspace(0, traffic.n_traces,
+                             self.requests_per_window + 1, dtype=int)
+        ranges = [(int(start), int(stop))
+                  for start, stop in zip(bounds, bounds[1:]) if stop > start]
+        futures = [self.server.submit(traffic.demod[start:stop])
+                   for start, stop in ranges]
+        parts, rows = [], []
+        failures = 0
+        for (start, stop), future in zip(ranges, futures):
+            try:
+                parts.append(future.result(timeout=60).bits_for(self.design))
+            except Exception:  # noqa: BLE001 — count, keep the run honest
+                failures += 1
+                continue
+            rows.append(np.arange(start, stop))
+        predicted = (np.concatenate(parts) if parts
+                     else np.zeros((0, traffic.n_qubits), dtype=np.int64))
+        rows = (np.concatenate(rows) if rows
+                else np.zeros(0, dtype=np.int64))
+        return predicted, rows, failures
+
+    def _after_recalibration(self, report: RecalibrationReport) -> None:
+        self._cooldown = self.cooldown_windows
+        # Score monitors re-baseline after every attempt: whatever state
+        # traffic is in now is the new normal to watch from (a rejected
+        # candidate means the incumbent still fits it best anyway).
+        for monitor in self.score_monitors:
+            monitor.reset()
+        if report.swapped == 0:
+            return
+        # Promotions additionally re-hook the replacement engines and
+        # re-baseline the probe monitor on the validated fidelity.
+        if self.score_monitors:
+            attach_score_monitors(self.server, self.score_monitors)
+        self.fidelity_monitor.reset()
+        self.fidelity_monitor.set_baseline(report.fidelity())
+
+    # ------------------------------------------------------------------
+    # Derived observability
+    # ------------------------------------------------------------------
+    @property
+    def swap_count(self) -> int:
+        """Total promoted hot swaps across the loop's lifetime."""
+        return sum(r.recalibration.swapped for r in self.records
+                   if r.recalibration is not None)
+
+    @property
+    def request_failures(self) -> int:
+        return sum(r.request_failures for r in self.records)
+
+    def fidelity_series(self) -> List[float]:
+        """Per-window served fidelity, in window order."""
+        return [r.fidelity for r in self.records]

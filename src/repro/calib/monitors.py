@@ -1,0 +1,258 @@
+"""Online drift detection from live serving statistics.
+
+Two complementary monitors, mirroring how real readout deployments watch
+calibration health:
+
+* :class:`FidelityMonitor` consumes *labeled probe shots* — traces whose
+  prepared state is known (in production: interleaved calibration shots;
+  in the experiment: the simulator's ground truth) — and alarms when the
+  windowed assignment fidelity falls below its post-calibration baseline.
+  Direct, but costs probe bandwidth.
+* :class:`ScoreDriftMonitor` is label-free: it watches the per-qubit mean
+  I/Q response of the served traffic itself (via the engine's per-batch
+  hooks, :meth:`repro.engine.ReadoutEngine.add_batch_hook`) and runs a
+  two-sided Page–Hinkley mean-shift test per statistic. It reacts to
+  resonator drift before enough probe shots accumulate to move the
+  fidelity estimate.
+
+Both are single-writer streaming objects (one monitor per shard worker);
+they allocate O(window) and observe in O(batch).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, Dict, Optional
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class DriftAlarm:
+    """One raised detection: which monitor fired, on what evidence."""
+
+    monitor: str
+    statistic: float
+    threshold: float
+    detail: str
+
+    def __str__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"[{self.monitor}] {self.detail} "
+                f"(statistic {self.statistic:.4g} > {self.threshold:.4g})")
+
+
+class FidelityMonitor:
+    """Windowed assignment fidelity over labeled probe shots.
+
+    Parameters
+    ----------
+    window:
+        Probe traces kept in the rolling window.
+    drop_tolerance:
+        Alarm when windowed fidelity < baseline - drop_tolerance.
+    min_fidelity:
+        Optional absolute floor that alarms regardless of baseline.
+    min_observations:
+        Probe traces required before the estimate is trusted (a handful of
+        unlucky shots must not trigger a recalibration).
+
+    The *baseline* is the fidelity the current model achieved right after
+    (re)calibration — set it via :meth:`set_baseline` whenever a model is
+    promoted, then :meth:`reset` the window so stale pre-swap probes don't
+    drag the fresh estimate down.
+    """
+
+    def __init__(self, window: int = 512, drop_tolerance: float = 0.03,
+                 min_fidelity: Optional[float] = None,
+                 min_observations: int = 64):
+        if window < 1:
+            raise ValueError(f"window must be positive, got {window}")
+        if drop_tolerance <= 0:
+            raise ValueError(
+                f"drop_tolerance must be positive, got {drop_tolerance}")
+        if not 1 <= min_observations <= window:
+            raise ValueError("min_observations must be in [1, window]")
+        self.window = int(window)
+        self.drop_tolerance = float(drop_tolerance)
+        self.min_fidelity = min_fidelity
+        self.min_observations = int(min_observations)
+        self.baseline: Optional[float] = None
+        self._correct: Deque[float] = deque(maxlen=self.window)
+
+    def set_baseline(self, fidelity: float) -> None:
+        """Record the post-calibration fidelity alarms are judged against."""
+        self.baseline = float(fidelity)
+
+    def reset(self) -> None:
+        """Forget the window (call after promoting a recalibrated model)."""
+        self._correct.clear()
+
+    def fidelity(self) -> float:
+        """Mean per-qubit assignment fidelity over the window (NaN if empty)."""
+        if not self._correct:
+            return float("nan")
+        return float(np.mean(self._correct))
+
+    @property
+    def n_observations(self) -> int:
+        return len(self._correct)
+
+    def observe(self, predicted_bits: np.ndarray,
+                true_bits: np.ndarray) -> Optional[DriftAlarm]:
+        """Feed probe outcomes; returns an alarm when fidelity degraded.
+
+        ``predicted_bits`` / ``true_bits`` are ``(m, n_qubits)`` (or a
+        single ``(n_qubits,)`` probe). Each probe contributes its mean
+        per-qubit correctness, so the window estimate matches the
+        experiments' mean per-qubit accuracy metric.
+        """
+        predicted = np.atleast_2d(np.asarray(predicted_bits))
+        truth = np.atleast_2d(np.asarray(true_bits))
+        if predicted.shape != truth.shape:
+            raise ValueError(
+                f"predicted {predicted.shape} and true {truth.shape} "
+                f"bits disagree")
+        self._correct.extend((predicted == truth).mean(axis=1).tolist())
+        if len(self._correct) < self.min_observations:
+            return None
+        fidelity = self.fidelity()
+        if self.baseline is not None:
+            floor = self.baseline - self.drop_tolerance
+            if fidelity < floor:
+                return DriftAlarm(
+                    monitor="fidelity", statistic=fidelity, threshold=floor,
+                    detail=(f"windowed fidelity {fidelity:.4f} fell below "
+                            f"baseline {self.baseline:.4f} - "
+                            f"{self.drop_tolerance:.4f}"))
+        if self.min_fidelity is not None and fidelity < self.min_fidelity:
+            return DriftAlarm(
+                monitor="fidelity", statistic=fidelity,
+                threshold=self.min_fidelity,
+                detail=(f"windowed fidelity {fidelity:.4f} fell below the "
+                        f"absolute floor {self.min_fidelity:.4f}"))
+        return None
+
+
+class PageHinkley:
+    """Two-sided Page–Hinkley mean-shift test on a scalar stream.
+
+    Tracks ``m_t = sum_i (x_i - mean_i -/+ delta)`` and alarms when the
+    excursion from its running extremum exceeds ``lam`` — the classic
+    sequential change detector: ``delta`` absorbs tolerated wander,
+    ``lam`` sets the evidence required (both in units of the stream).
+    """
+
+    def __init__(self, delta: float = 0.05, lam: float = 5.0):
+        if delta < 0:
+            raise ValueError(f"delta must be >= 0, got {delta}")
+        if lam <= 0:
+            raise ValueError(f"lam must be positive, got {lam}")
+        self.delta = float(delta)
+        self.lam = float(lam)
+        self.reset()
+
+    def reset(self) -> None:
+        self._n = 0
+        self._mean = 0.0
+        self._up = 0.0        # cumulative evidence of an upward shift
+        self._down = 0.0      # ... and of a downward shift
+        self.statistic = 0.0
+
+    def update(self, x: float) -> bool:
+        """Feed one observation; True when a mean shift is detected."""
+        self._n += 1
+        self._mean += (x - self._mean) / self._n
+        deviation = x - self._mean
+        self._up = max(0.0, self._up + deviation - self.delta)
+        self._down = max(0.0, self._down - deviation - self.delta)
+        self.statistic = max(self._up, self._down)
+        return self.statistic > self.lam
+
+
+class ScoreDriftMonitor:
+    """Label-free drift detection on per-batch IQ response statistics.
+
+    For every served batch the monitor reduces the demodulated traces to
+    ``2 * n_qubits`` scalars — each qubit's mean I and mean Q over traces
+    and time bins — standardizes them against statistics estimated from
+    the first ``warmup_batches`` batches after (re)calibration, and feeds
+    each standardized stream to a :class:`PageHinkley` detector. A
+    resonator response rotating or shrinking moves these means long
+    before labels are available to notice.
+
+    Designed to be attached as an engine batch hook::
+
+        monitor = ScoreDriftMonitor(n_qubits=engine_qubits)
+        engine.add_batch_hook(lambda chunk, bits:
+                              monitor.observe_batch(chunk.demod))
+
+    The hook path must never raise, so :meth:`observe_batch` records the
+    alarm on :attr:`alarm` (sticky until :meth:`reset`) as well as
+    returning it.
+    """
+
+    def __init__(self, n_qubits: int, delta: float = 0.5, lam: float = 12.0,
+                 warmup_batches: int = 8):
+        if n_qubits < 1:
+            raise ValueError(f"n_qubits must be positive, got {n_qubits}")
+        if warmup_batches < 2:
+            raise ValueError(
+                f"warmup_batches must be >= 2, got {warmup_batches}")
+        self.n_qubits = int(n_qubits)
+        self.delta = float(delta)
+        self.lam = float(lam)
+        self.warmup_batches = int(warmup_batches)
+        self.alarm: Optional[DriftAlarm] = None
+        self.batches_seen = 0
+        self._warmup: list = []
+        self._mu: Optional[np.ndarray] = None
+        self._sigma: Optional[np.ndarray] = None
+        self._detectors: Dict[int, PageHinkley] = {}
+
+    def reset(self) -> None:
+        """Re-baseline after a recalibration swap: new model, new normal."""
+        self.alarm = None
+        self.batches_seen = 0
+        self._warmup = []
+        self._mu = None
+        self._sigma = None
+        self._detectors = {}
+
+    def _statistics(self, demod: np.ndarray) -> np.ndarray:
+        demod = np.asarray(demod)
+        if demod.ndim != 4 or demod.shape[1] != self.n_qubits:
+            raise ValueError(
+                f"demod must be (m, {self.n_qubits}, 2, n_bins), "
+                f"got {demod.shape}")
+        # (n_qubits, 2): mean I and Q response over traces and bins.
+        return demod.mean(axis=(0, 3), dtype=np.float64).reshape(-1)
+
+    def observe_batch(self, demod: np.ndarray) -> Optional[DriftAlarm]:
+        """Feed one served batch's demod array; alarm on a mean shift."""
+        stats = self._statistics(demod)
+        self.batches_seen += 1
+        if self._mu is None:
+            self._warmup.append(stats)
+            if len(self._warmup) >= self.warmup_batches:
+                warmup = np.stack(self._warmup)
+                self._mu = warmup.mean(axis=0)
+                self._sigma = np.maximum(warmup.std(axis=0), 1e-9)
+                self._detectors = {
+                    i: PageHinkley(delta=self.delta, lam=self.lam)
+                    for i in range(stats.size)
+                }
+                self._warmup = []
+            return None
+        standardized = (stats - self._mu) / self._sigma
+        for i, detector in self._detectors.items():
+            if detector.update(float(standardized[i])) and self.alarm is None:
+                qubit, component = divmod(i, 2)
+                self.alarm = DriftAlarm(
+                    monitor="score-drift", statistic=detector.statistic,
+                    threshold=self.lam,
+                    detail=(f"mean {'IQ'[component]} response of qubit "
+                            f"{qubit} shifted "
+                            f"({standardized[i]:+.2f} sigma after "
+                            f"{self.batches_seen} batches)"))
+        return self.alarm

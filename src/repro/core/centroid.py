@@ -31,6 +31,18 @@ class CentroidHead(Stage):
     def __init__(self):
         self.centroids_by_bins: dict = {}
         self.train_bins: int = 0
+        self._warm: dict = {}
+        self._warm_blend: float = 0.0
+
+    def warm_start(self, incumbent: "CentroidHead", blend: float) -> None:
+        """Blend refitted centroids with an incumbent's (recalibration).
+
+        Durations the incumbent also calibrated get
+        ``(1 - blend) * fresh + blend * incumbent`` centroids (per qubit and
+        state); incompatible incumbents are ignored.
+        """
+        self._warm = dict(incumbent.centroids_by_bins)
+        self._warm_blend = float(blend)
 
     def fit(self, ctx: FitContext) -> None:
         train = ctx.train
@@ -48,7 +60,12 @@ class CentroidHead(Stage):
                             f"training set has no traces with qubit {q} in "
                             f"state {state}")
                     centroids[q, state] = mtv[mask, q].mean()
+            old = self._warm.get(n_bins)
+            if old is not None and np.shape(old) == centroids.shape:
+                blend = self._warm_blend
+                centroids = (1.0 - blend) * centroids + blend * old
             self.centroids_by_bins[n_bins] = centroids
+        self._warm, self._warm_blend = {}, 0.0
 
     def transform(self, dataset: ReadoutDataset,
                   features: Optional[np.ndarray]) -> np.ndarray:

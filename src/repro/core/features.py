@@ -159,6 +159,26 @@ from .pipeline import (KIND_DATASET, KIND_FEATURES,  # noqa: E402
                        FitContext, Stage, _hash_arrays)
 
 
+def _blend_banks(fresh: MatchedFilterBank, old: MatchedFilterBank,
+                 blend: float) -> Optional[MatchedFilterBank]:
+    """``(1 - blend) * fresh + blend * old`` envelopes; None if incompatible."""
+    if (old.n_qubits != fresh.n_qubits or old.uses_rmf != fresh.uses_rmf
+            or old.filters[0].envelope.shape != fresh.filters[0].envelope.shape):
+        return None
+
+    def mix(a: MatchedFilter, b: MatchedFilter) -> MatchedFilter:
+        return MatchedFilter((1.0 - blend) * a.envelope + blend * b.envelope)
+
+    filters = [mix(f, o) for f, o in zip(fresh.filters, old.filters)]
+    rmfs = None
+    if fresh.uses_rmf:
+        assert fresh.relaxation_filters is not None
+        assert old.relaxation_filters is not None
+        rmfs = [mix(f, o) for f, o in zip(fresh.relaxation_filters,
+                                          old.relaxation_filters)]
+    return MatchedFilterBank(filters, rmfs)
+
+
 class MatchedFilterStage(Stage):
     """Dataset -> MF (and optional RMF) filter outputs, one column per filter.
 
@@ -176,11 +196,29 @@ class MatchedFilterStage(Stage):
         self.min_relaxation_traces = int(min_relaxation_traces)
         self.name = "mf-rmf-bank" if use_rmf else "mf-bank"
         self.bank: Optional[MatchedFilterBank] = None
+        self._warm: Optional[tuple] = None
+
+    def warm_start(self, incumbent: "MatchedFilterStage",
+                   blend: float) -> None:
+        """Use an incumbent bank's envelopes as a prior for the next fit.
+
+        After the fresh bank is fitted, each envelope becomes
+        ``(1 - blend) * fresh + blend * incumbent`` — a shrinkage estimator
+        that stabilizes low-shot recalibration fits. Incompatible
+        incumbents (different qubit count, RMF-ness, or envelope length)
+        are silently ignored and the fit stays cold.
+        """
+        if incumbent.bank is not None:
+            self._warm = (incumbent.bank, float(blend))
 
     def fit(self, ctx: FitContext) -> None:
         self.bank = MatchedFilterBank.fit(
             ctx.train, use_rmf=self.use_rmf,
             min_relaxation_traces=self.min_relaxation_traces)
+        if self._warm is not None:
+            old, blend = self._warm
+            self.bank = _blend_banks(self.bank, old, blend) or self.bank
+            self._warm = None
 
     def transform(self, dataset: ReadoutDataset,
                   features: Optional[np.ndarray]) -> np.ndarray:

@@ -1,25 +1,41 @@
-"""Persistence for trained HERQULES discriminators.
+"""Persistence for trained discriminators.
 
-Saving a fitted discriminator captures exactly what a control-hardware
-deployment needs: the MF/RMF envelopes (MAC coefficient ROMs), the
-per-duration feature scalers, and the FNN weights. Loading reconstructs a
-discriminator whose predictions are bit-identical to the original.
+Two surfaces:
+
+* :func:`save_herqules` / :func:`load_herqules` — the original
+  HERQULES-specific format, capturing exactly what a control-hardware
+  deployment needs (MF/RMF envelope ROMs, per-duration scalers, FNN
+  weights).
+* :func:`save_pipeline` / :func:`load_pipeline` — generic persistence for
+  *any* fitted :class:`~.pipeline.Pipeline` stage list (every
+  ``make_design`` product). Each stage type registers a serializer in
+  :data:`_STAGE_IO`; the archive stores a stage-type manifest plus
+  per-stage parameter arrays, and loading reconstructs a pipeline whose
+  predictions are bit-identical to the original. This is the
+  recalibrator's promotion audit trail
+  (:class:`repro.calib.Recalibrator`): every hot-swapped candidate can be
+  persisted and replayed.
 """
 
 from __future__ import annotations
 
-from typing import Dict
+from typing import Callable, Dict, List, Tuple, Type
 
 import numpy as np
 
 from repro import nn
 
+from .boxcar import BoxcarFilter, BoxcarHead
+from .centroid import CentroidHead
 from .config import TrainingConfig
 from .features import (DurationScalerStage, FeatureScaler, MatchedFilterBank,
-                       MatchedFilterStage)
-from .fnn import HerqulesDiscriminator, HerqulesFNNHead
+                       MatchedFilterStage, RawTraceStage, StandardScalerStage)
+from .fnn import BaselineFNNHead, HerqulesDiscriminator, HerqulesFNNHead
 from .matched_filter import MatchedFilter
-from .pipeline import Pipeline
+from .mf_designs import SVMHead, ThresholdHead
+from .pipeline import Pipeline, Stage
+from .svm import LinearSVM
+from .thresholding import Threshold
 
 _FORMAT_VERSION = 1
 
@@ -111,3 +127,279 @@ def load_herqules(path: str) -> HerqulesDiscriminator:
         pipeline.fitted = True
         design._pipeline = pipeline
     return design
+
+
+# ----------------------------------------------------------------------
+# Generic pipeline persistence
+# ----------------------------------------------------------------------
+_PIPELINE_FORMAT_VERSION = 1
+
+#: Per-stage (de)serializers: tag -> (class, save, load). ``save`` maps a
+#: fitted stage to plain arrays; ``load`` reconstructs a fitted stage.
+ArrayDict = Dict[str, np.ndarray]
+_STAGE_IO: Dict[str, Tuple[Type[Stage],
+                           Callable[[Stage], ArrayDict],
+                           Callable[[ArrayDict], Stage]]] = {}
+
+
+def _save_mf_stage(stage: MatchedFilterStage) -> ArrayDict:
+    payload = {
+        "use_rmf": np.array(int(stage.use_rmf)),
+        "min_relaxation_traces": np.array(stage.min_relaxation_traces),
+        "envelopes": np.stack([f.envelope for f in stage.bank.filters]),
+    }
+    if stage.bank.relaxation_filters is not None:
+        payload["rmf_envelopes"] = np.stack(
+            [f.envelope for f in stage.bank.relaxation_filters])
+    return payload
+
+
+def _load_mf_stage(data: ArrayDict) -> MatchedFilterStage:
+    stage = MatchedFilterStage(
+        use_rmf=bool(int(data["use_rmf"])),
+        min_relaxation_traces=int(data["min_relaxation_traces"]))
+    filters = [MatchedFilter(env) for env in data["envelopes"]]
+    rmfs = None
+    if "rmf_envelopes" in data:
+        rmfs = [MatchedFilter(env) for env in data["rmf_envelopes"]]
+    stage.bank = MatchedFilterBank(filters, rmfs)
+    return stage
+
+
+def _save_duration_scaler(stage: DurationScalerStage) -> ArrayDict:
+    bins = sorted(stage.scalers)
+    return {
+        "bins": np.array(bins),
+        "means": np.stack([stage.scalers[b].mean for b in bins]),
+        "stds": np.stack([stage.scalers[b].std for b in bins]),
+        "train_bins": np.array(stage.train_bins),
+    }
+
+
+def _load_duration_scaler(data: ArrayDict) -> DurationScalerStage:
+    stage = DurationScalerStage()
+    for b, mean, std in zip(data["bins"], data["means"], data["stds"]):
+        stage.scalers[int(b)] = FeatureScaler(mean, std)
+    stage.train_bins = int(data["train_bins"])
+    return stage
+
+
+def _save_standard_scaler(stage: StandardScalerStage) -> ArrayDict:
+    return {"mean": stage.scaler.mean, "std": stage.scaler.std}
+
+
+def _load_standard_scaler(data: ArrayDict) -> StandardScalerStage:
+    stage = StandardScalerStage()
+    stage.scaler = FeatureScaler(data["mean"], data["std"])
+    return stage
+
+
+def _save_threshold_head(stage: ThresholdHead) -> ArrayDict:
+    bins = sorted(stage.thresholds_by_bins)
+    return {
+        "bins": np.array(bins),
+        "cuts": np.array([[t.cut for t in stage.thresholds_by_bins[b]]
+                          for b in bins]),
+        "polarities": np.array(
+            [[t.polarity for t in stage.thresholds_by_bins[b]]
+             for b in bins]),
+        "train_bins": np.array(stage.train_bins),
+    }
+
+
+def _load_threshold_head(data: ArrayDict) -> ThresholdHead:
+    stage = ThresholdHead()
+    for b, cuts, polarities in zip(data["bins"], data["cuts"],
+                                   data["polarities"]):
+        stage.thresholds_by_bins[int(b)] = [
+            Threshold(cut=float(c), polarity=int(p))
+            for c, p in zip(cuts, polarities)
+        ]
+    stage.train_bins = int(data["train_bins"])
+    return stage
+
+
+def _save_svm_head(stage: SVMHead) -> ArrayDict:
+    return {
+        "c": np.array(stage.c),
+        "weights": np.stack([svm.weights for svm in stage.svms]),
+        "biases": np.array([svm.bias for svm in stage.svms]),
+    }
+
+
+def _load_svm_head(data: ArrayDict) -> SVMHead:
+    stage = SVMHead(c=float(data["c"]))
+    for weights, bias in zip(data["weights"], data["biases"]):
+        svm = LinearSVM(c=stage.c)
+        svm.weights = np.array(weights)
+        svm.bias = float(bias)
+        stage.svms.append(svm)
+    return stage
+
+
+def _save_centroid_head(stage: CentroidHead) -> ArrayDict:
+    bins = sorted(stage.centroids_by_bins)
+    return {
+        "bins": np.array(bins),
+        "centroids": np.stack([stage.centroids_by_bins[b] for b in bins]),
+        "train_bins": np.array(stage.train_bins),
+    }
+
+
+def _load_centroid_head(data: ArrayDict) -> CentroidHead:
+    stage = CentroidHead()
+    for b, centroids in zip(data["bins"], data["centroids"]):
+        stage.centroids_by_bins[int(b)] = np.array(centroids)
+    stage.train_bins = int(data["train_bins"])
+    return stage
+
+
+def _save_boxcar_head(stage: BoxcarHead) -> ArrayDict:
+    return {
+        "configured_window": np.array(
+            -1 if stage.window_bins is None else stage.window_bins),
+        "windows": np.array([f.window_bins for f in stage.filters]),
+        "axes": np.stack([f.axis_weights for f in stage.filters]),
+        "cuts": np.array([f.threshold.cut for f in stage.filters]),
+        "polarities": np.array(
+            [f.threshold.polarity for f in stage.filters]),
+    }
+
+
+def _load_boxcar_head(data: ArrayDict) -> BoxcarHead:
+    configured = int(data["configured_window"])
+    stage = BoxcarHead(None if configured < 0 else configured)
+    stage.filters = [
+        BoxcarFilter(int(w), axis,
+                     Threshold(cut=float(c), polarity=int(p)))
+        for w, axis, c, p in zip(data["windows"], data["axes"],
+                                 data["cuts"], data["polarities"])
+    ]
+    return stage
+
+
+def _save_raw_traces(stage: RawTraceStage) -> ArrayDict:
+    return {"n_inputs": np.array(stage._n_inputs)}
+
+
+def _load_raw_traces(data: ArrayDict) -> RawTraceStage:
+    stage = RawTraceStage()
+    stage._n_inputs = int(data["n_inputs"])
+    return stage
+
+
+def _save_fnn_head(stage) -> ArrayDict:
+    sizes = stage.network.layer_sizes()   # [(n_in, n_out), ...] per Dense
+    payload = {
+        "n_qubits": np.array(stage._n_qubits),
+        "seed": np.array(stage.config.seed),
+        "n_in": np.array(sizes[0][0]),
+        "hidden": np.array([n_out for _, n_out in sizes[:-1]], dtype=int),
+        "n_out": np.array(sizes[-1][1]),
+        "n_params": np.array(len(stage.network.parameters())),
+    }
+    for i, param in enumerate(stage.network.parameters()):
+        payload[f"param_{i}"] = param.value
+    return payload
+
+
+def _load_fnn_head(cls, data: ArrayDict):
+    stage = cls(TrainingConfig(seed=int(data["seed"])))
+    stage._n_qubits = int(data["n_qubits"])
+    rng = np.random.default_rng(int(data["seed"]))
+    stage.network = nn.build_mlp(
+        int(data["n_in"]), [int(h) for h in data["hidden"]],
+        int(data["n_out"]), rng)
+    params = stage.network.parameters()
+    if int(data["n_params"]) != len(params):
+        raise ValueError(
+            f"saved head has {int(data['n_params'])} parameter tensors, "
+            f"reconstructed network has {len(params)}")
+    for i, param in enumerate(params):
+        saved = data[f"param_{i}"]
+        if saved.shape != param.value.shape:
+            raise ValueError(
+                f"parameter {i} shape mismatch: saved {saved.shape}, "
+                f"expected {param.value.shape}")
+        param.value[...] = saved
+    return stage
+
+
+_STAGE_IO.update({
+    "matched-filter": (MatchedFilterStage, _save_mf_stage, _load_mf_stage),
+    "duration-scaler": (DurationScalerStage, _save_duration_scaler,
+                        _load_duration_scaler),
+    "standard-scaler": (StandardScalerStage, _save_standard_scaler,
+                        _load_standard_scaler),
+    "threshold-head": (ThresholdHead, _save_threshold_head,
+                       _load_threshold_head),
+    "svm-head": (SVMHead, _save_svm_head, _load_svm_head),
+    "centroid-head": (CentroidHead, _save_centroid_head,
+                      _load_centroid_head),
+    "boxcar-head": (BoxcarHead, _save_boxcar_head, _load_boxcar_head),
+    "raw-traces": (RawTraceStage, _save_raw_traces, _load_raw_traces),
+    "herqules-fnn": (HerqulesFNNHead, _save_fnn_head,
+                     lambda data: _load_fnn_head(HerqulesFNNHead, data)),
+    "baseline-fnn": (BaselineFNNHead, _save_fnn_head,
+                     lambda data: _load_fnn_head(BaselineFNNHead, data)),
+})
+
+
+def _stage_tag(stage: Stage) -> str:
+    for tag, (cls, _, _) in _STAGE_IO.items():
+        if type(stage) is cls:
+            return tag
+    raise ValueError(
+        f"no serializer registered for stage type "
+        f"{type(stage).__name__!r}; known: {sorted(_STAGE_IO)}")
+
+
+def save_pipeline(pipeline, path: str) -> None:
+    """Save any fitted :class:`~.pipeline.Pipeline` to an ``.npz`` file.
+
+    Accepts a fitted pipeline or a discriminator exposing one via its
+    ``pipeline`` attribute (every ``make_design`` product). Every stage
+    type ships a registered serializer; an unregistered custom stage
+    raises :class:`ValueError` rather than silently dropping state.
+    """
+    pipeline = getattr(pipeline, "pipeline", pipeline)
+    if not isinstance(pipeline, Pipeline) or not pipeline.fitted:
+        raise ValueError("save_pipeline needs a fitted pipeline "
+                         "(or a fitted pipeline-based discriminator)")
+    tags = [_stage_tag(stage) for stage in pipeline.stages]
+    payload: Dict[str, np.ndarray] = {
+        "pipeline_format_version": np.array(_PIPELINE_FORMAT_VERSION),
+        "stage_tags": np.array(tags),
+    }
+    for i, (tag, stage) in enumerate(zip(tags, pipeline.stages)):
+        for key, value in _STAGE_IO[tag][1](stage).items():
+            payload[f"s{i}_{key}"] = value
+    np.savez_compressed(path, **payload)
+
+
+def load_pipeline(path: str) -> Pipeline:
+    """Load a fitted pipeline saved with :func:`save_pipeline`.
+
+    The reconstructed pipeline's ``transform`` is bit-identical to the
+    original's on any dataset.
+    """
+    with np.load(path) as data:
+        version = int(data["pipeline_format_version"])
+        if version != _PIPELINE_FORMAT_VERSION:
+            raise ValueError(
+                f"unsupported pipeline format version {version}; this "
+                f"build reads version {_PIPELINE_FORMAT_VERSION}")
+        stages: List[Stage] = []
+        for i, tag in enumerate(data["stage_tags"]):
+            tag = str(tag)
+            if tag not in _STAGE_IO:
+                raise ValueError(
+                    f"archive stage {i} has unknown type {tag!r}; "
+                    f"known: {sorted(_STAGE_IO)}")
+            prefix = f"s{i}_"
+            stage_data = {key[len(prefix):]: data[key]
+                          for key in data.files if key.startswith(prefix)}
+            stages.append(_STAGE_IO[tag][2](stage_data))
+    pipeline = Pipeline(stages)
+    pipeline.fitted = True
+    return pipeline

@@ -109,6 +109,17 @@ class Stage(ABC):
         """
         return self
 
+    def warm_start(self, incumbent: "Stage", blend: float) -> None:
+        """Seed the next :meth:`fit` from an incumbent fitted stage.
+
+        ``blend`` is the weight of the *incumbent* parameters in the
+        refitted stage (``0`` = ignore the incumbent, ``1`` = keep it
+        verbatim). The default is a no-op: most stages refit from scratch.
+        Stages with closed-form mean-like parameters (matched-filter
+        envelopes, centroids) override this so low-shot recalibration can
+        lean on the incumbent as a prior.
+        """
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"{type(self).__name__}({self.name})"
 
@@ -278,10 +289,31 @@ class PipelineDiscriminator(Discriminator):
 
     def fit(self, train: ReadoutDataset,
             val: Optional[ReadoutDataset] = None) -> "PipelineDiscriminator":
+        return self.fit_warm(train, val)
+
+    def fit_warm(self, train: ReadoutDataset,
+                 val: Optional[ReadoutDataset] = None,
+                 incumbent: Optional[Pipeline] = None,
+                 blend: float = 0.25) -> "PipelineDiscriminator":
+        """Fit, optionally warm-starting stages from an incumbent pipeline.
+
+        The recalibration path: each fresh stage that is type-compatible
+        with the incumbent's stage at the same position is offered the
+        incumbent via :meth:`Stage.warm_start` before fitting, with
+        ``blend`` as the incumbent's weight. Stages that do not support
+        warm starting (the default) refit from scratch, so a structurally
+        different incumbent degrades gracefully to a cold fit.
+        """
+        if not 0.0 <= blend <= 1.0:
+            raise ValueError(f"blend must be in [0, 1], got {blend}")
         pipeline = Pipeline(self.build_stages())
         if not pipeline.produces_bits:
             raise ValueError(
                 f"design {self.name!r} must end in a bits-producing head")
+        if incumbent is not None and blend > 0.0:
+            for stage, old in zip(pipeline.stages, incumbent.stages):
+                if type(stage) is type(old):
+                    stage.warm_start(old, blend)
         pipeline.fit(train, val)
         self._pipeline = pipeline
         return self

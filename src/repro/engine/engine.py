@@ -13,7 +13,8 @@ chunk (one per MF/RMF flavour) instead of five.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Union
+from typing import (Callable, Dict, Iterable, Iterator, List, Mapping,
+                    Optional, Union)
 
 import numpy as np
 
@@ -41,6 +42,7 @@ class EngineStats:
     stage_evals: int = 0
     shareable_evals: int = 0
     stage_hits: int = 0
+    hook_errors: int = 0
 
     def sharing_ratio(self) -> float:
         """Fraction of shareable stage applications served from cache."""
@@ -55,6 +57,7 @@ class EngineStats:
             "stage_evals": self.stage_evals,
             "shareable_evals": self.shareable_evals,
             "stage_hits": self.stage_hits,
+            "hook_errors": self.hook_errors,
             "sharing_ratio": self.sharing_ratio(),
         }
 
@@ -129,10 +132,39 @@ class ReadoutEngine:
             self._served.append(_Served(name=name, pipeline=pipeline,
                                         prefix_keys=_prefix_keys(pipeline)))
         self._demod_buffer: Optional[np.ndarray] = None
+        self._batch_hooks: List[Callable[
+            [ReadoutDataset, Dict[str, np.ndarray]], None]] = []
 
     @property
     def design_names(self) -> List[str]:
         return [served.name for served in self._served]
+
+    @property
+    def pipelines(self) -> Dict[str, Pipeline]:
+        """The fitted pipeline served under each design name.
+
+        Read-only access for observers and the recalibration path (warm
+        starts read incumbent stage parameters through this).
+        """
+        return {served.name: served.pipeline for served in self._served}
+
+    def add_batch_hook(self, hook: Callable[
+            [ReadoutDataset, Dict[str, np.ndarray]], None]) -> None:
+        """Observe every processed chunk: ``hook(chunk, name_to_bits)``.
+
+        Hooks run synchronously on the inference thread after each chunk —
+        the attachment point for streaming drift monitors
+        (:mod:`repro.calib`). The chunk's demod array may be a view into
+        the engine's reusable buffer, so hooks must consume it before
+        returning, not retain it. A raising hook is counted in
+        ``stats.hook_errors`` and never fails the inference call.
+        """
+        self._batch_hooks.append(hook)
+
+    def remove_batch_hook(self, hook) -> None:
+        """Detach a previously added batch hook (no-op if absent)."""
+        if hook in self._batch_hooks:
+            self._batch_hooks.remove(hook)
 
     # ------------------------------------------------------------------
     # Chunking
@@ -195,6 +227,11 @@ class ReadoutEngine:
             out[served.name] = x
         self.stats.chunks += 1
         self.stats.traces += chunk.n_traces
+        for hook in self._batch_hooks:
+            try:
+                hook(chunk, out)
+            except Exception:  # noqa: BLE001 — observers must not fail serving
+                self.stats.hook_errors += 1
         return out
 
     def _check_dtype(self, stage, in_dtype, out: np.ndarray) -> None:

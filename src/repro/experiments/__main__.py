@@ -15,7 +15,8 @@ import pathlib
 import sys
 
 from .config import DEFAULT_CONFIG, QUICK_CONFIG
-from .registry import EXPERIMENTS, experiment_names, run_experiment
+from .registry import (DESCRIPTIONS, EXPERIMENTS, experiment_names,
+                       run_experiment)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -41,8 +42,10 @@ def main(argv=None) -> int:
     args = build_parser().parse_args(argv)
 
     if args.command == "list":
+        width = max(map(len, experiment_names()))
         for name in experiment_names():
-            print(name)
+            description = DESCRIPTIONS.get(name, "")
+            print(f"{name:<{width}}  {description}".rstrip())
         return 0
 
     config = QUICK_CONFIG if args.quick else DEFAULT_CONFIG

@@ -5,6 +5,7 @@ from __future__ import annotations
 from typing import Callable, Dict, List
 
 from .config import DEFAULT_CONFIG, ExperimentConfig
+from .drift_recovery import run_drift_recovery
 from .fig11 import run_fig11a, run_fig11b
 from .fig12 import run_fig12
 from .fig13 import run_fig13, run_fig14b
@@ -40,6 +41,33 @@ EXPERIMENTS: Dict[str, Runner] = {
     "fig14b": run_fig14b,
     "fig15": run_fig15,
     "serve_scaling": run_serve_scaling,
+    "drift_recovery": run_drift_recovery,
+}
+
+#: One-line description per experiment id (shown by the CLI's ``list``).
+DESCRIPTIONS: Dict[str, str] = {
+    "table1": "assignment fidelity of every design (paper Table 1)",
+    "table2": "per-qubit accuracy of the best designs (paper Table 2)",
+    "table3": "fidelity vs readout duration (paper Table 3)",
+    "table4": "FPGA resource utilization per design (paper Table 4)",
+    "table5": "harness wall-clock timing of the designs (paper Table 5)",
+    "fig3": "demodulated trace examples per prepared state (paper Fig 3)",
+    "fig4ab": "relaxation-driven assignment bias (paper Fig 4a/b)",
+    "fig4c": "FNN size vs accuracy trade-off (paper Fig 4c)",
+    "fig7d": "hls4ml dense-layer resource scaling (paper Fig 7d)",
+    "fig8": "matched-filter envelope shapes (paper Fig 8)",
+    "fig10": "relaxation matched-filter outputs (paper Fig 10)",
+    "fig11a": "accuracy vs training-set size (paper Fig 11a)",
+    "fig11b": "accuracy vs readout duration sweep (paper Fig 11b)",
+    "fig12": "per-qubit saturation durations (paper Fig 12)",
+    "fig13": "fast ancilla readout for QEC cycles (paper Fig 13)",
+    "fig14a": "quantization word size vs accuracy (paper Fig 14a)",
+    "fig14b": "surface-code logical error vs readout (paper Fig 14b)",
+    "fig15": "QEC cycle timing budget (paper Fig 15)",
+    "serve_scaling": ("micro-batched serving latency/throughput vs "
+                      "feedline shard count"),
+    "drift_recovery": ("closed-loop recalibration vs injected drift: "
+                       "fidelity recovery, hot swaps, zero downtime"),
 }
 
 

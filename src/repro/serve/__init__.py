@@ -15,7 +15,7 @@ The traffic-facing layer above :mod:`repro.engine`:
 """
 
 from .batcher import (OVERLOAD_POLICIES, MicroBatcher, ServeRequest,
-                      ServerOverloadedError)
+                      ServerClosedError, ServerOverloadedError)
 from .builder import build_sharded_server
 from .loadgen import LoadReport, closed_loop, open_loop
 from .server import ReadoutResponse, ReadoutServer, ServeShard
@@ -23,6 +23,7 @@ from .stats import ServerStats
 
 __all__ = [
     "LoadReport", "MicroBatcher", "OVERLOAD_POLICIES", "ReadoutResponse",
-    "ReadoutServer", "ServeRequest", "ServeShard", "ServerOverloadedError",
-    "ServerStats", "build_sharded_server", "closed_loop", "open_loop",
+    "ReadoutServer", "ServeRequest", "ServeShard", "ServerClosedError",
+    "ServerOverloadedError", "ServerStats", "build_sharded_server",
+    "closed_loop", "open_loop",
 ]

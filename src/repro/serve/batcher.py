@@ -27,6 +27,17 @@ class ServerOverloadedError(RuntimeError):
     """The service refused (or shed) a request due to backpressure."""
 
 
+class ServerClosedError(RuntimeError):
+    """The server stopped before this request reached an engine.
+
+    Raised by the futures of requests that were still queued (in the
+    batcher or behind other batches in a worker's queue) when
+    :meth:`~repro.serve.server.ReadoutServer.stop` ran: shutdown fails
+    them fast instead of draining an unbounded backlog. Batches already
+    being computed still complete normally.
+    """
+
+
 @dataclass
 class ServeRequest:
     """One submitted request, normalized to a multi-trace demod array.
@@ -111,26 +122,49 @@ class MicroBatcher:
             return victim
 
     def close(self) -> None:
-        """Stop accepting requests; :meth:`gather` drains then returns None."""
+        """Stop accepting requests; :meth:`gather` then returns None.
+
+        Queued requests that no :meth:`gather` call has picked up yet stay
+        in the queue for the owner to :meth:`drain` and fail fast — close
+        never silently computes a backlog.
+        """
         with self._cond:
             self._closed = True
             self._cond.notify_all()
+
+    def drain(self) -> List[ServeRequest]:
+        """Remove and return every queued-but-ungathered request.
+
+        The shutdown path: after :meth:`close`, the server fails these
+        futures with :class:`ServerClosedError` instead of leaving them
+        hanging (or blocking shutdown on an unbounded backlog).
+        """
+        with self._cond:
+            drained = list(self._pending)
+            self._pending.clear()
+            return drained
 
     # ------------------------------------------------------------------
     # Consumer side
     # ------------------------------------------------------------------
     def gather(self) -> Optional[List[ServeRequest]]:
-        """Block for the next batch; None once closed and drained.
+        """Block for the next batch; None once closed.
 
         The returned batch holds whole requests whose trace counts sum to
         at most ``max_batch_traces`` (except a single oversized request,
-        which is served alone).
+        which is served alone). After :meth:`close`, gather returns None
+        immediately — still-queued requests are left for :meth:`drain`, so
+        shutdown fails them fast rather than computing a backlog. A batch
+        already forming when close lands is returned (possibly short) and
+        completes normally.
         """
         with self._cond:
             while not self._pending:
                 if self._closed:
                     return None
                 self._cond.wait()
+            if self._closed:
+                return None
             batch = [self._pending.popleft()]
             n_traces = batch[0].n_traces
             deadline = batch[0].enqueued_at + self.max_wait_s

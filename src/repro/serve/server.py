@@ -27,11 +27,12 @@ import numpy as np
 from repro.readout.parameters import DeviceParams
 from repro.readout.sharding import FeedlineShard
 
-from .batcher import MicroBatcher, ServeRequest, ServerOverloadedError
+from .batcher import (MicroBatcher, ServeRequest, ServerClosedError,
+                      ServerOverloadedError)
 from .stats import ServerStats
 
 
-@dataclass(frozen=True)
+@dataclass
 class ServeShard:
     """One serving worker: a feedline qubit group plus its fitted engine.
 
@@ -41,6 +42,13 @@ class ServeShard:
     ``feedline.n_qubits`` qubits; ``device`` is the sharded
     :class:`~repro.readout.parameters.DeviceParams` the engine was fitted
     for (see :func:`~repro.readout.sharding.shard_device`).
+
+    ``engine`` is deliberately a mutable reference: the shard's worker
+    thread re-reads it at every micro-batch boundary, which is what lets
+    :meth:`ReadoutServer.swap_engine` promote a recalibrated engine with a
+    single atomic assignment and zero downtime. ``device`` may be updated
+    in the same swap (a recalibrated engine is typically fitted against a
+    fresher calibration dataset's device snapshot).
     """
 
     feedline: FeedlineShard
@@ -70,7 +78,12 @@ class ReadoutResponse:
                 raise ValueError(
                     f"server hosts {sorted(self.bits)}; name one")
             return next(iter(self.bits.values()))
-        return self.bits[design]
+        try:
+            return self.bits[design]
+        except KeyError:
+            raise KeyError(
+                f"response has no design {design!r}; "
+                f"available: {sorted(self.bits)}") from None
 
 
 def _fail_future(future: Future, exc: BaseException) -> bool:
@@ -204,6 +217,7 @@ class ReadoutServer:
         self._worker_queues: List[SimpleQueue] = []
         self._threads: List[threading.Thread] = []
         self._state_lock = threading.Lock()
+        self._stopping = threading.Event()
         self._started = False
         self._stopped = False
 
@@ -237,16 +251,31 @@ class ReadoutServer:
             return self
 
     def stop(self) -> None:
-        """Drain queued requests, resolve their futures, stop all threads."""
+        """Stop deterministically: finish in-flight batches, fail the rest.
+
+        The batch each worker is currently computing completes and
+        resolves its futures normally; every request still queued — in the
+        batcher or behind other batches in a worker queue — fails fast
+        with :class:`~.batcher.ServerClosedError` instead of being
+        computed (or left hanging). Shutdown latency is therefore bounded
+        by one in-flight batch per shard, not by the backlog depth.
+        """
         with self._state_lock:
             if self._stopped:
                 return
             self._stopped = True
             started = self._started
+        self._stopping.set()
         self._batcher.close()
+        closed = ServerClosedError(
+            "server stopped before the request was scheduled")
+        if started:
+            self._threads[0].join()       # dispatcher observes the close
+        for request in self._batcher.drain():
+            if _fail_future(request.future, closed):
+                self.stats.record_failure()
         if not started:
             return
-        self._threads[0].join()           # dispatcher drains the batcher
         for q in self._worker_queues:
             q.put(None)
         for thread in self._threads[1:]:
@@ -296,6 +325,12 @@ class ReadoutServer:
         except ServerOverloadedError:
             self.stats.record_reject()
             raise
+        except RuntimeError:
+            # stop() closed the batcher between our _stopped check and the
+            # offer: surface the typed shutdown error and account for the
+            # request so submitted stays reconcilable with the outcomes.
+            self.stats.record_failure()
+            raise ServerClosedError("server is stopped") from None
         if victim is not None:
             self.stats.record_shed()
             _fail_future(victim.future, ServerOverloadedError(
@@ -310,6 +345,58 @@ class ReadoutServer:
     async def predict_async(self, traces: np.ndarray) -> ReadoutResponse:
         """``asyncio`` submission: awaits the wrapped request future."""
         return await asyncio.wrap_future(self.submit(traces))
+
+    # ------------------------------------------------------------------
+    # Hot swap (zero-downtime recalibration)
+    # ------------------------------------------------------------------
+    def swap_engine(self, shard_index: int, engine,
+                    device: Optional[DeviceParams] = None) -> int:
+        """Atomically replace one shard's engine; returns its new version.
+
+        ``shard_index`` is the feedline index (``shard.feedline.index``).
+        The swap is a single reference assignment, so it is lock-free on
+        the serve path: the shard's worker thread re-reads ``shard.engine``
+        at every micro-batch boundary, meaning the batch being computed
+        finishes on the incumbent and the very next batch runs on the new
+        engine — no request is dropped or delayed. ``device`` optionally
+        updates the per-shard device snapshot handed to the engine (a
+        recalibrated engine is usually fitted against fresher calibration
+        data). The new engine must serve exactly the server's design names
+        over the shard's qubit group — design names and, when ``device``
+        is passed, its qubit count are validated here; an engine's group
+        width is not introspectable without a probe trace, so fitting the
+        replacement for the right shard is the caller's contract
+        (:class:`repro.calib.Recalibrator` fits per ``feedline`` slice).
+
+        The per-shard version counter in :attr:`stats` starts at 0 for the
+        construction-time engine and increments on every swap.
+        """
+        shard = next((s for s in self._shards
+                      if s.feedline.index == shard_index), None)
+        if shard is None:
+            known = sorted(s.feedline.index for s in self._shards)
+            raise ValueError(
+                f"no shard with feedline index {shard_index}; have {known}")
+        names = sorted(engine.design_names)
+        if names != sorted(self.design_names):
+            raise ValueError(
+                f"replacement engine serves {names}, server serves "
+                f"{sorted(self.design_names)}")
+        if device is not None and device.n_qubits != shard.feedline.n_qubits:
+            raise ValueError(
+                f"replacement device has {device.n_qubits} qubits, shard "
+                f"{shard_index} serves {shard.feedline.n_qubits}")
+        with self._state_lock:
+            if self._stopped:
+                raise RuntimeError("server is stopped")
+            # Device first: the worker reads `shard.engine` before
+            # `shard.device`, so a torn read pairs the incumbent engine
+            # with the new device for at most one batch — benign, as swaps
+            # never change the trace geometry (bins/duration/qubits).
+            if device is not None:
+                shard.device = device
+            shard.engine = engine          # atomic: next batch uses it
+        return self.stats.record_swap(shard_index)
 
     # ------------------------------------------------------------------
     # Internals
@@ -338,6 +425,12 @@ class ReadoutServer:
             inflight = q.get()
             if inflight is None:
                 return
+            if self._stopping.is_set():
+                # Fail-fast shutdown: batches still queued behind the one
+                # being computed are failed, not drained through the engine.
+                inflight.fail(ServerClosedError(
+                    "server stopped before the batch reached the engine"))
+                continue
             try:
                 bits = shard.engine.predict_traces(
                     inflight.demod[:, columns], shard.device)

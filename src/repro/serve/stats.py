@@ -37,6 +37,8 @@ class ServerStats:
         self.batches = 0
         self.batched_requests = 0
         self.max_batch_traces = 0
+        self.swaps = 0
+        self.model_versions: Dict[int, int] = {}
         self._first_submit_t: Optional[float] = None
         self._last_done_t: Optional[float] = None
 
@@ -76,6 +78,20 @@ class ServerStats:
         with self._lock:
             self.failed += n_requests
 
+    def record_swap(self, shard_index: int) -> int:
+        """Count an engine hot swap; returns the shard's new model version.
+
+        Versions start at 0 (the engine the server was built with) and
+        increment once per promoted recalibration, so ``model_versions``
+        doubles as the zero-downtime observability trail: a version bump
+        with no failure spike is a clean swap.
+        """
+        with self._lock:
+            self.swaps += 1
+            version = self.model_versions.get(shard_index, 0) + 1
+            self.model_versions[shard_index] = version
+            return version
+
     # ------------------------------------------------------------------
     # Derived metrics
     # ------------------------------------------------------------------
@@ -105,8 +121,12 @@ class ServerStats:
                 return 0.0
             return self.traces_done / (self._last_done_t - self._first_submit_t)
 
-    def snapshot(self) -> Dict[str, float]:
-        """One JSON-friendly dict of every counter and derived metric."""
+    def snapshot(self) -> Dict[str, object]:
+        """One JSON-friendly dict of every counter and derived metric.
+
+        Values are numeric except ``model_versions``, a per-shard dict of
+        hot-swap version counters (string keys, JSON-safe).
+        """
         with self._lock:
             counters = {
                 "submitted": self.submitted,
@@ -119,6 +139,9 @@ class ServerStats:
                 "batches": self.batches,
                 "batched_requests": self.batched_requests,
                 "max_batch_traces": self.max_batch_traces,
+                "swaps": self.swaps,
+                "model_versions": {str(shard): version for shard, version
+                                   in sorted(self.model_versions.items())},
             }
         counters.update(self.latency_percentiles())
         counters["mean_batch_traces"] = self.mean_batch_traces()

@@ -1,0 +1,159 @@
+"""Drift schedule and drifting-simulator tests."""
+
+import numpy as np
+import pytest
+
+from repro.calib import DriftingSimulator, DriftSchedule, ParameterDrift
+from repro.readout import single_qubit_device
+
+
+def drift(**kwargs):
+    defaults = dict(parameter="iq_angle_rad", kind="linear", magnitude=1.0,
+                    period_shots=100.0)
+    defaults.update(kwargs)
+    return ParameterDrift(**defaults)
+
+
+class TestWaveforms:
+    def test_linear_ramps_then_holds(self):
+        d = drift(kind="linear", magnitude=2.0, period_shots=100,
+                  start_shot=50)
+        assert d.offset_at(0) == 0.0
+        assert d.offset_at(50) == 0.0
+        assert d.offset_at(100) == pytest.approx(1.0)
+        assert d.offset_at(150) == pytest.approx(2.0)
+        assert d.offset_at(10_000) == pytest.approx(2.0)   # holds at cap
+
+    def test_step_jumps_at_onset(self):
+        d = drift(kind="step", magnitude=0.5, start_shot=10)
+        assert d.offset_at(9.99) == 0.0
+        assert d.offset_at(10) == 0.5
+        assert d.offset_at(1e6) == 0.5
+
+    def test_sinusoidal_oscillates(self):
+        d = drift(kind="sinusoidal", magnitude=0.3, period_shots=100,
+                  start_shot=0)
+        assert d.offset_at(0) == pytest.approx(0.0)
+        assert d.offset_at(25) == pytest.approx(0.3)
+        assert d.offset_at(75) == pytest.approx(-0.3)
+
+    def test_random_walk_deterministic_and_diffusive(self):
+        a = drift(kind="random_walk", magnitude=0.1, period_shots=10, seed=7)
+        b = drift(kind="random_walk", magnitude=0.1, period_shots=10, seed=7)
+        other = drift(kind="random_walk", magnitude=0.1, period_shots=10,
+                      seed=8)
+        values_a = [a.offset_at(s) for s in range(0, 500, 10)]
+        values_b = [b.offset_at(s) for s in range(0, 500, 10)]
+        assert values_a == values_b              # pure function of the seed
+        assert values_a != [other.offset_at(s) for s in range(0, 500, 10)]
+        assert values_a[0] == 0.0
+        assert len(set(values_a)) > 10           # actually walks
+
+    def test_random_walk_constant_within_a_period(self):
+        d = drift(kind="random_walk", magnitude=0.1, period_shots=10, seed=1)
+        assert d.offset_at(10) == d.offset_at(19)
+        assert d.offset_at(10) != d.offset_at(20)
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="parameter"):
+            drift(parameter="frequency")
+        with pytest.raises(ValueError, match="kind"):
+            drift(kind="quadratic")
+        with pytest.raises(ValueError, match="period_shots"):
+            drift(period_shots=0)
+        with pytest.raises(ValueError, match="qubit must be None"):
+            drift(parameter="noise_scale", qubit=0)
+
+
+class TestDeviceApplication:
+    def test_angle_rotation_preserves_separation(self):
+        device = single_qubit_device()
+        schedule = DriftSchedule([drift(kind="step", magnitude=1.2,
+                                        parameter="iq_angle_rad", qubit=0)])
+        drifted = schedule.device_at(device, 10)
+        q0, d0 = device.qubits[0], drifted.qubits[0]
+        assert d0.iq_ground == q0.iq_ground
+        assert d0.separation == pytest.approx(q0.separation)
+        rotated = (d0.iq_excited - d0.iq_ground) / (q0.iq_excited - q0.iq_ground)
+        assert np.angle(rotated) == pytest.approx(1.2)
+
+    def test_separation_scaling(self):
+        device = single_qubit_device()
+        schedule = DriftSchedule([drift(kind="step", magnitude=-0.5,
+                                        parameter="separation_scale")])
+        drifted = schedule.device_at(device, 1)
+        assert drifted.qubits[0].separation == pytest.approx(
+            0.5 * device.qubits[0].separation)
+
+    def test_t1_noise_and_freq(self):
+        device = single_qubit_device()
+        schedule = DriftSchedule([
+            drift(kind="step", magnitude=-0.4, parameter="t1_scale"),
+            drift(kind="step", magnitude=0.5, parameter="noise_scale",
+                  qubit=None),
+            drift(kind="step", magnitude=2.0, parameter="freq_offset_mhz"),
+        ])
+        drifted = schedule.device_at(device, 1)
+        assert drifted.qubits[0].t1_us == pytest.approx(
+            0.6 * device.qubits[0].t1_us)
+        assert drifted.noise_std == pytest.approx(1.5 * device.noise_std)
+        assert drifted.qubits[0].intermediate_freq_mhz == pytest.approx(
+            device.qubits[0].intermediate_freq_mhz + 2.0)
+
+    def test_overlapping_drifts_sum(self):
+        device = single_qubit_device()
+        schedule = DriftSchedule([
+            drift(kind="step", magnitude=0.4, parameter="iq_angle_rad"),
+            drift(kind="step", magnitude=0.3, parameter="iq_angle_rad",
+                  qubit=0),
+        ])
+        drifted = schedule.device_at(device, 1)
+        rotated = ((drifted.qubits[0].iq_excited - drifted.qubits[0].iq_ground)
+                   / (device.qubits[0].iq_excited - device.qubits[0].iq_ground))
+        assert np.angle(rotated) == pytest.approx(0.7)
+
+    def test_identity_before_onset(self):
+        device = single_qubit_device()
+        schedule = DriftSchedule([drift(start_shot=1000)])
+        assert schedule.device_at(device, 500) is device
+
+    def test_out_of_range_qubit_rejected(self):
+        device = single_qubit_device()
+        schedule = DriftSchedule([drift(kind="step", qubit=3)])
+        with pytest.raises(ValueError, match="qubit 3"):
+            schedule.device_at(device, 1)
+
+
+class TestDriftingSimulator:
+    @pytest.fixture
+    def simulator(self):
+        schedule = DriftSchedule([drift(kind="step", magnitude=2.0,
+                                        start_shot=100)])
+        return DriftingSimulator(single_qubit_device(), schedule)
+
+    def test_traffic_advances_the_clock(self, simulator):
+        rng = np.random.default_rng(0)
+        batch = simulator.generate_traffic(60, rng)
+        assert batch.n_traces == 60
+        assert simulator.shot == 60
+        assert batch.labels.shape == (60, 1)
+        # Shuffled uniform traffic contains both prepared states.
+        assert set(np.unique(batch.labels)) == {0, 1}
+
+    def test_calibration_set_freezes_the_clock(self, simulator):
+        rng = np.random.default_rng(0)
+        simulator.generate_traffic(60, rng)
+        calib = simulator.calibration_set(20, rng)
+        assert simulator.shot == 60
+        assert calib.n_traces == 40          # 20 per basis state x 2
+
+    def test_traffic_reflects_drift(self, simulator):
+        rng = np.random.default_rng(0)
+        simulator.generate_traffic(100, rng)        # cross the step onset
+        drifted = simulator.device_now().qubits[0]
+        clean = simulator.base_device.qubits[0]
+        assert drifted.iq_excited != clean.iq_excited
+
+    def test_empty_traffic_rejected(self, simulator):
+        with pytest.raises(ValueError, match="n_traces"):
+            simulator.generate_traffic(0, np.random.default_rng(0))

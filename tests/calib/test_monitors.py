@@ -1,0 +1,147 @@
+"""Streaming drift-monitor tests: fidelity windows and Page-Hinkley."""
+
+import numpy as np
+import pytest
+
+from repro.calib import (FidelityMonitor, PageHinkley, ScoreDriftMonitor)
+
+
+class TestFidelityMonitor:
+    def make(self, **kwargs):
+        defaults = dict(window=100, drop_tolerance=0.05, min_observations=20)
+        defaults.update(kwargs)
+        return FidelityMonitor(**defaults)
+
+    def test_no_alarm_on_healthy_stream(self):
+        monitor = self.make()
+        monitor.set_baseline(0.95)
+        rng = np.random.default_rng(0)
+        for _ in range(20):
+            truth = rng.integers(0, 2, size=(10, 2))
+            predicted = truth.copy()
+            predicted[rng.random(10) < 0.03] ^= 1   # ~97% fidelity
+            assert monitor.observe(predicted, truth) is None
+
+    def test_alarms_on_degradation(self):
+        monitor = self.make()
+        monitor.set_baseline(0.97)
+        rng = np.random.default_rng(0)
+        truth = rng.integers(0, 2, size=(60, 2))
+        predicted = truth.copy()
+        predicted[rng.random(60) < 0.5] ^= 1        # coin-flip predictions
+        alarm = monitor.observe(predicted, truth)
+        assert alarm is not None
+        assert alarm.monitor == "fidelity"
+        assert alarm.statistic < 0.97 - 0.05
+
+    def test_quiet_below_min_observations(self):
+        monitor = self.make(min_observations=50)
+        monitor.set_baseline(1.0)
+        truth = np.zeros((10, 2), dtype=int)
+        assert monitor.observe(1 - truth, truth) is None   # 0% fidelity, 10 obs
+
+    def test_absolute_floor_without_baseline(self):
+        monitor = self.make(min_fidelity=0.8)
+        truth = np.zeros((30, 2), dtype=int)
+        assert monitor.observe(1 - truth, truth) is not None
+
+    def test_reset_clears_window(self):
+        monitor = self.make()
+        truth = np.zeros((30, 2), dtype=int)
+        monitor.observe(truth, truth)
+        assert monitor.n_observations == 30
+        monitor.reset()
+        assert monitor.n_observations == 0
+        assert np.isnan(monitor.fidelity())
+
+    def test_single_probe_shape(self):
+        monitor = self.make(min_observations=1)
+        monitor.observe(np.array([0, 1]), np.array([0, 1]))
+        assert monitor.fidelity() == 1.0
+
+    def test_mismatched_shapes_rejected(self):
+        monitor = self.make()
+        with pytest.raises(ValueError, match="disagree"):
+            monitor.observe(np.zeros((3, 2)), np.zeros((3, 3)))
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="window"):
+            FidelityMonitor(window=0)
+        with pytest.raises(ValueError, match="drop_tolerance"):
+            FidelityMonitor(drop_tolerance=0)
+        with pytest.raises(ValueError, match="min_observations"):
+            FidelityMonitor(window=10, min_observations=11)
+
+
+class TestPageHinkley:
+    def test_stable_stream_never_fires(self):
+        detector = PageHinkley(delta=0.5, lam=10.0)
+        rng = np.random.default_rng(0)
+        assert not any(detector.update(x)
+                       for x in rng.standard_normal(2000))
+
+    @pytest.mark.parametrize("direction", [+1.0, -1.0])
+    def test_detects_mean_shift_both_directions(self, direction):
+        detector = PageHinkley(delta=0.5, lam=10.0)
+        rng = np.random.default_rng(1)
+        for x in rng.standard_normal(300):
+            assert not detector.update(x)
+        fired = any(detector.update(x + direction * 4.0)
+                    for x in rng.standard_normal(200))
+        assert fired
+
+    def test_reset(self):
+        detector = PageHinkley(delta=0.0, lam=1.0)
+        for _ in range(50):
+            detector.update(1.0)
+            detector.update(-1.0)
+        assert detector.statistic > 0
+        detector.reset()
+        assert detector.statistic == 0.0
+
+
+class TestScoreDriftMonitor:
+    def batches(self, rng, n, offset=0.0, n_qubits=2):
+        for _ in range(n):
+            yield offset + rng.standard_normal((64, n_qubits, 2, 10))
+
+    def test_warmup_then_detects_shift(self):
+        monitor = ScoreDriftMonitor(n_qubits=2, warmup_batches=5)
+        rng = np.random.default_rng(0)
+        for demod in self.batches(rng, 30):
+            assert monitor.observe_batch(demod) is None
+        # Shift every qubit's mean response by ~5 per-batch sigmas.
+        shift = 5.0 / np.sqrt(64 * 10)
+        alarms = [monitor.observe_batch(d)
+                  for d in self.batches(rng, 40, offset=shift)]
+        assert alarms[-1] is not None
+        assert alarms[-1].monitor == "score-drift"
+        assert monitor.alarm is alarms[-1]      # sticky until reset
+
+    def test_no_false_alarm_on_stationary_traffic(self):
+        monitor = ScoreDriftMonitor(n_qubits=2, warmup_batches=5)
+        rng = np.random.default_rng(2)
+        for demod in self.batches(rng, 200):
+            monitor.observe_batch(demod)
+        assert monitor.alarm is None
+
+    def test_reset_rebaselines(self):
+        monitor = ScoreDriftMonitor(n_qubits=1, warmup_batches=3)
+        rng = np.random.default_rng(3)
+        for demod in self.batches(rng, 20, n_qubits=1):
+            monitor.observe_batch(demod)
+        shift = 8.0 / np.sqrt(64 * 10)
+        for demod in self.batches(rng, 40, offset=shift, n_qubits=1):
+            monitor.observe_batch(demod)
+        assert monitor.alarm is not None
+        monitor.reset()
+        assert monitor.alarm is None
+        # The shifted level is the new normal: no immediate re-alarm.
+        for demod in self.batches(rng, 30, offset=shift, n_qubits=1):
+            monitor.observe_batch(demod)
+        assert monitor.alarm is None
+
+    def test_shape_validation(self):
+        monitor = ScoreDriftMonitor(n_qubits=2)
+        with pytest.raises(ValueError, match="demod"):
+            monitor.observe_batch(np.zeros((10, 3, 2, 5)))

@@ -1,0 +1,148 @@
+"""Recalibrator and calibration-loop tests over a live server."""
+
+import numpy as np
+import pytest
+
+from repro.calib import (CalibrationLoop, DriftingSimulator, DriftSchedule,
+                         FidelityMonitor, ParameterDrift, Recalibrator,
+                         attach_score_monitors)
+from repro.core import load_pipeline
+from repro.readout import single_qubit_device
+from repro.serve import build_sharded_server
+
+
+def make_simulator(magnitude=2.2, start_shot=0):
+    schedule = DriftSchedule([
+        ParameterDrift(parameter="iq_angle_rad", kind="step",
+                       magnitude=magnitude, start_shot=start_shot),
+    ])
+    return DriftingSimulator(single_qubit_device(), schedule)
+
+
+def make_server(simulator, seed=0):
+    """An 'mf' server calibrated on the simulator's current truth."""
+    calib = simulator.calibration_set(120, np.random.default_rng(seed))
+    train, val, _ = calib.split(np.random.default_rng(seed + 1), 0.6, 0.15)
+    return build_sharded_server(("mf",), train, val, n_shards=1,
+                                max_wait_ms=0.5).start()
+
+
+class TestRecalibrator:
+    def test_promotes_under_drift(self, tmp_path):
+        # Calibrate clean, then step-drift the device hard: the refit
+        # candidate must beat the stale incumbent and get promoted.
+        simulator = make_simulator(start_shot=50)
+        server = make_server(simulator)
+        simulator.shot = 100                 # past the onset: truth rotated
+        recalibrator = Recalibrator(server,
+                                    calibration_shots_per_state=120,
+                                    snapshot_dir=str(tmp_path))
+        report = recalibrator.recalibrate(simulator,
+                                          np.random.default_rng(5))
+        assert report.swapped == 1
+        [shard] = report.shards
+        assert shard.promoted
+        assert shard.candidate_fidelity > shard.incumbent_fidelity + 0.1
+        assert shard.model_version == 1
+        assert server.stats.model_versions == {0: 1}
+        assert server.stats.swaps == 1
+        # The promoted pipeline was snapshotted and round-trips.
+        [snapshot] = sorted(tmp_path.glob("shard0_mf_v1.npz"))
+        assert load_pipeline(str(snapshot)).fitted
+        # The promoted engine actually serves: fidelity back up.
+        probe = simulator.calibration_set(40, np.random.default_rng(6))
+        bits = server.predict(probe.demod).bits_for("mf")
+        assert np.mean(bits == probe.labels) > 0.9
+        server.stop()
+
+    def test_rejects_candidate_without_improvement(self):
+        # No drift at all: a refit on fresh shots of the same truth cannot
+        # clear a positive improvement margin, so the incumbent stays.
+        simulator = make_simulator(magnitude=0.0)
+        server = make_server(simulator)
+        recalibrator = Recalibrator(server,
+                                    calibration_shots_per_state=120,
+                                    min_improvement=0.05)
+        report = recalibrator.recalibrate(simulator,
+                                          np.random.default_rng(5))
+        assert report.swapped == 0
+        assert not report.shards[0].promoted
+        assert server.stats.swaps == 0
+        assert server.stats.model_versions == {}
+        server.stop()
+
+    def test_callable_source(self):
+        simulator = make_simulator(magnitude=0.0)
+        server = make_server(simulator)
+        calls = []
+
+        def source(shots_per_state, rng):
+            calls.append(shots_per_state)
+            return simulator.calibration_set(shots_per_state, rng)
+
+        Recalibrator(server, calibration_shots_per_state=60).recalibrate(
+            source, np.random.default_rng(0))
+        assert calls == [60]
+        server.stop()
+
+    def test_validation(self):
+        simulator = make_simulator()
+        server = make_server(simulator)
+        with pytest.raises(ValueError, match="calibration_shots_per_state"):
+            Recalibrator(server, calibration_shots_per_state=2)
+        with pytest.raises(ValueError, match="min_improvement"):
+            Recalibrator(server, min_improvement=-0.1)
+        server.stop()
+
+
+class TestAttachScoreMonitors:
+    def test_monitor_count_must_match_shards(self):
+        simulator = make_simulator()
+        server = make_server(simulator)
+        with pytest.raises(ValueError, match="one monitor per shard"):
+            attach_score_monitors(server, [])
+        server.stop()
+
+
+class TestCalibrationLoop:
+    def test_closed_loop_recovers_fidelity(self):
+        simulator = make_simulator(magnitude=2.2,
+                                   start_shot=2 * 200)
+        server = make_server(simulator)
+        loop = CalibrationLoop(
+            server, simulator,
+            Recalibrator(server, calibration_shots_per_state=120),
+            fidelity_monitor=FidelityMonitor(window=400,
+                                             drop_tolerance=0.05,
+                                             min_observations=100),
+            recal_rng=np.random.default_rng(9))
+        records = loop.run(n_windows=10, traces_per_window=200,
+                           rng=np.random.default_rng(7))
+        assert loop.swap_count >= 1
+        assert loop.request_failures == 0
+        assert any(r.alarm is not None for r in records)
+        # After the step drift + recovery, serving fidelity is healthy
+        # again by the final window.
+        assert records[-1].fidelity > 0.9
+        # Version counters prove zero-downtime promotions happened.
+        assert server.stats.model_versions[0] >= 1
+        server.stop()
+
+    def test_monitor_only_loop_never_recalibrates(self):
+        simulator = make_simulator(magnitude=2.2, start_shot=100)
+        server = make_server(simulator)
+        loop = CalibrationLoop(server, simulator, recalibrator=None)
+        records = loop.run(n_windows=4, traces_per_window=150,
+                           rng=np.random.default_rng(7))
+        assert loop.swap_count == 0
+        assert all(r.recalibration is None for r in records)
+        # Fidelity visibly degrades with nobody fixing it.
+        assert records[-1].fidelity < records[0].fidelity - 0.1
+        server.stop()
+
+    def test_design_selection_validated(self):
+        simulator = make_simulator()
+        server = make_server(simulator)
+        with pytest.raises(ValueError, match="unknown design"):
+            CalibrationLoop(server, simulator, design="mf-rmf-nn")
+        server.stop()

@@ -3,8 +3,10 @@
 import numpy as np
 import pytest
 
-from repro.core import (FAST_CONFIG, HerqulesDiscriminator,
-                        load_herqules, save_herqules)
+from repro.core import (FAST_CONFIG, HerqulesDiscriminator, load_herqules,
+                        load_pipeline, make_design, save_herqules,
+                        save_pipeline)
+from repro.core.pipeline import KIND_DATASET, Pipeline, Stage
 
 
 @pytest.fixture(scope="module")
@@ -65,3 +67,67 @@ class TestSaveLoad:
         np.savez_compressed(path, **payload)
         with pytest.raises(ValueError, match="version"):
             load_herqules(path)
+
+
+class TestPipelineSaveLoad:
+    """Generic persistence of any fitted Pipeline stage list."""
+
+    @pytest.mark.parametrize("name", ["mf", "mf-svm", "mf-nn", "mf-rmf-svm",
+                                      "mf-rmf-nn", "centroid", "boxcar"])
+    def test_roundtrip_predictions_identical(self, request, tmp_path, name):
+        train, val, test = request.getfixturevalue("small_splits")
+        design = make_design(name, FAST_CONFIG).fit(train, val)
+        path = str(tmp_path / f"{name}.npz")
+        save_pipeline(design, path)              # accepts the discriminator
+        loaded = load_pipeline(path)
+        assert loaded.fitted
+        np.testing.assert_array_equal(loaded.transform(test),
+                                      design.predict_bits(test))
+
+    @pytest.mark.parametrize("name", ["mf", "mf-rmf-nn", "centroid"])
+    def test_truncated_predictions_identical(self, request, tmp_path, name):
+        train, val, test = request.getfixturevalue("small_splits")
+        design = make_design(name, FAST_CONFIG).fit(train, val)
+        path = str(tmp_path / f"{name}.npz")
+        save_pipeline(design.pipeline, path)     # accepts the bare pipeline
+        short = test.truncate(600.0)
+        np.testing.assert_array_equal(load_pipeline(path).transform(short),
+                                      design.predict_bits(short))
+
+    def test_baseline_roundtrip_with_raw_traces(self, request, tmp_path):
+        raw = request.getfixturevalue("raw_dataset")
+        train, val, test = raw.split(np.random.default_rng(5), 0.5, 0.2)
+        design = make_design("baseline", FAST_CONFIG).fit(train, val)
+        path = str(tmp_path / "baseline.npz")
+        save_pipeline(design, path)
+        np.testing.assert_array_equal(load_pipeline(path).transform(test),
+                                      design.predict_bits(test))
+
+    def test_unfitted_pipeline_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="fitted"):
+            save_pipeline(make_design("mf"), str(tmp_path / "x.npz"))
+
+    def test_unregistered_stage_type_rejected(self, request, tmp_path):
+        class MysteryStage(Stage):
+            name = "mystery"
+            input_kind = KIND_DATASET
+
+            def transform(self, dataset, features):
+                return np.zeros((dataset.n_traces, 1))
+
+        pipeline = Pipeline([MysteryStage()])
+        pipeline.fitted = True
+        with pytest.raises(ValueError, match="MysteryStage"):
+            save_pipeline(pipeline, str(tmp_path / "x.npz"))
+
+    def test_version_check(self, request, tmp_path):
+        train, val, _ = request.getfixturevalue("small_splits")
+        design = make_design("mf").fit(train, val)
+        path = str(tmp_path / "mf.npz")
+        save_pipeline(design, path)
+        with np.load(path) as data:
+            payload = {k: data[k] for k in data.files}
+        payload["pipeline_format_version"] = np.array(99)
+        np.savez_compressed(path, **payload)
+        with pytest.raises(ValueError, match="version"):
+            load_pipeline(path)

@@ -159,3 +159,85 @@ class TestQuantizedPipeline:
         assert quantized.stages[1] is design.pipeline.stages[1]
         assert quantized.stages[0] is not design.pipeline.stages[0]
         assert quantized.stages[2] is not design.pipeline.stages[2]
+
+
+class TestWarmStart:
+    """Recalibration warm starts: incumbent-blended refits."""
+
+    def test_mf_envelopes_blend_toward_incumbent(self, small_splits):
+        train, val, test = small_splits
+        incumbent = make_design("mf").fit(train, val)
+        cold = make_design("mf").fit(test, val)        # different data
+        warm = make_design("mf").fit_warm(test, val,
+                                          incumbent=incumbent.pipeline,
+                                          blend=0.25)
+        expected = (0.75 * cold.pipeline.stages[0].bank.filters[0].envelope
+                    + 0.25 * incumbent.pipeline.stages[0].bank.filters[0]
+                    .envelope)
+        np.testing.assert_allclose(
+            warm.pipeline.stages[0].bank.filters[0].envelope, expected)
+
+    def test_blend_one_keeps_incumbent_envelopes(self, small_splits):
+        train, val, test = small_splits
+        incumbent = make_design("mf").fit(train, val)
+        warm = make_design("mf").fit_warm(test, val,
+                                          incumbent=incumbent.pipeline,
+                                          blend=1.0)
+        np.testing.assert_allclose(
+            warm.pipeline.stages[0].bank.filters[0].envelope,
+            incumbent.pipeline.stages[0].bank.filters[0].envelope)
+
+    def test_downstream_stages_calibrate_on_blended_features(self,
+                                                             small_splits):
+        # The threshold head must be fitted against the *blended* bank's
+        # outputs, not the cold bank's — warm starting happens inside the
+        # staged fit, before downstream calibration.
+        train, val, test = small_splits
+        incumbent = make_design("mf").fit(train, val)
+        warm = make_design("mf").fit_warm(test, val,
+                                          incumbent=incumbent.pipeline,
+                                          blend=0.5)
+        predictions = warm.predict_bits(train)
+        accuracy = float(np.mean(predictions == train.labels))
+        assert accuracy > 0.8      # blended pipeline is internally coherent
+
+    def test_centroids_blend(self, small_splits):
+        train, val, test = small_splits
+        incumbent = make_design("centroid").fit(train, val)
+        cold = make_design("centroid").fit(test, val)
+        warm = make_design("centroid").fit_warm(test, val,
+                                                incumbent=incumbent.pipeline,
+                                                blend=0.5)
+        bins = incumbent.pipeline.stages[0].train_bins
+        expected = 0.5 * (cold.pipeline.stages[0].centroids_by_bins[bins]
+                          + incumbent.pipeline.stages[0]
+                          .centroids_by_bins[bins])
+        np.testing.assert_allclose(
+            warm.pipeline.stages[0].centroids_by_bins[bins], expected)
+
+    def test_incompatible_incumbent_degrades_to_cold_fit(self, small_splits):
+        train, val, test = small_splits
+        # RMF incumbent offered to a non-RMF refit: silently ignored.
+        incumbent = make_design("mf-rmf-svm", FAST_CONFIG).fit(train, val)
+        cold = make_design("mf").fit(test, val)
+        warm = make_design("mf").fit_warm(test, val,
+                                          incumbent=incumbent.pipeline,
+                                          blend=0.9)
+        np.testing.assert_allclose(
+            warm.pipeline.stages[0].bank.filters[0].envelope,
+            cold.pipeline.stages[0].bank.filters[0].envelope)
+
+    def test_zero_blend_equals_cold_fit(self, small_splits):
+        train, val, test = small_splits
+        incumbent = make_design("mf").fit(train, val)
+        cold = make_design("mf").fit(test, val)
+        warm = make_design("mf").fit_warm(test, val,
+                                          incumbent=incumbent.pipeline,
+                                          blend=0.0)
+        np.testing.assert_array_equal(warm.predict_bits(val),
+                                      cold.predict_bits(val))
+
+    def test_blend_validation(self, small_splits):
+        train, val, _ = small_splits
+        with pytest.raises(ValueError, match="blend"):
+            make_design("mf").fit_warm(train, val, blend=1.5)

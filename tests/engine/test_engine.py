@@ -241,3 +241,50 @@ class TestLRUCache:
         assert not errors
         assert len(cache) <= 8
         assert cache.hits + cache.misses == 8 * 500
+
+
+class TestBatchHooks:
+    def test_hooks_observe_every_chunk(self, fitted_designs, small_splits):
+        _, _, test = small_splits
+        engine = ReadoutEngine(fitted_designs, chunk_size=32)
+        seen = []
+        engine.add_batch_hook(
+            lambda chunk, bits: seen.append((chunk.n_traces,
+                                             sorted(bits))))
+        engine.predict_bits(test)
+        assert sum(n for n, _ in seen) == test.n_traces
+        assert len(seen) == engine.stats.chunks
+        assert all(names == sorted(MF_DESIGNS) for _, names in seen)
+
+    def test_hook_errors_counted_not_raised(self, fitted_designs,
+                                            small_splits):
+        _, _, test = small_splits
+        engine = ReadoutEngine(fitted_designs, chunk_size=64)
+
+        def explode(chunk, bits):
+            raise RuntimeError("observer bug")
+
+        engine.add_batch_hook(explode)
+        bits = engine.predict_traces(test.demod[:10], test.device)
+        assert bits["mf"].shape == (10, test.n_qubits)   # serving survived
+        assert engine.stats.hook_errors == engine.stats.chunks
+        assert engine.stats.as_dict()["hook_errors"] > 0
+
+    def test_remove_batch_hook(self, fitted_designs, small_splits):
+        _, _, test = small_splits
+        engine = ReadoutEngine(fitted_designs)
+        seen = []
+        hook = lambda chunk, bits: seen.append(chunk.n_traces)  # noqa: E731
+        engine.add_batch_hook(hook)
+        engine.predict_traces(test.demod[:5], test.device)
+        engine.remove_batch_hook(hook)
+        engine.remove_batch_hook(hook)          # idempotent
+        engine.predict_traces(test.demod[:5], test.device)
+        assert seen == [5]
+
+    def test_pipelines_accessor(self, fitted_designs):
+        engine = ReadoutEngine(fitted_designs)
+        pipelines = engine.pipelines
+        assert sorted(pipelines) == sorted(MF_DESIGNS)
+        for name, design in fitted_designs.items():
+            assert pipelines[name] is design.pipeline

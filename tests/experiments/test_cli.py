@@ -11,6 +11,18 @@ class TestCLI:
         out = capsys.readouterr().out
         assert "table1" in out
         assert "fig14b" in out
+        assert "drift_recovery" in out
+
+    def test_list_shows_descriptions(self, capsys):
+        from repro.experiments.registry import DESCRIPTIONS, EXPERIMENTS
+        # Every registered experiment ships a one-line description...
+        assert sorted(DESCRIPTIONS) == sorted(EXPERIMENTS)
+        # ...and the list output carries them next to the ids.
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "paper Table 1" in out
+        assert "closed-loop recalibration" in out
+        assert len(out.splitlines()) == len(EXPERIMENTS)
 
     def test_run_cheap_experiment(self, capsys):
         assert main(["run", "fig14b", "--quick"]) == 0

@@ -21,7 +21,8 @@ class TestFlushTriggers:
         assert len(batcher.gather()) == 3   # no deadline wait when full
         assert len(batcher) == 2            # leftovers stay queued
         batcher.close()
-        assert len(batcher.gather()) == 2   # drained on close
+        assert batcher.gather() is None     # close wins over the backlog
+        assert len(batcher.drain()) == 2    # leftovers fail fast via drain
 
     def test_requests_are_never_split(self):
         batcher = MicroBatcher(max_batch_traces=4, max_wait_ms=0)
@@ -91,12 +92,16 @@ class TestBackpressure:
 
 
 class TestClose:
-    def test_close_drains_then_returns_none(self):
+    def test_close_leaves_backlog_for_drain(self):
         batcher = MicroBatcher(max_batch_traces=100, max_wait_ms=10_000)
-        batcher.offer(request())
+        queued = request()
+        batcher.offer(queued)
         batcher.close()
-        assert len(batcher.gather()) == 1   # drained without deadline wait
+        # Queued-but-ungathered requests are never computed after close;
+        # the owner drains them to fail their futures fast.
         assert batcher.gather() is None
+        assert batcher.drain() == [queued]
+        assert batcher.drain() == []        # drain is idempotent
 
     def test_offer_after_close_raises(self):
         batcher = MicroBatcher()

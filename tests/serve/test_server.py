@@ -1,6 +1,7 @@
 """Readout server tests: correctness, concurrency, backpressure, lifecycle."""
 
 import asyncio
+import concurrent.futures
 import threading
 import time
 
@@ -10,8 +11,8 @@ import pytest
 from repro.core import make_design
 from repro.engine import ReadoutEngine
 from repro.readout import plan_feedlines
-from repro.serve import (ReadoutServer, ServeShard, ServerOverloadedError,
-                         build_sharded_server)
+from repro.serve import (ReadoutServer, ServeShard, ServerClosedError,
+                         ServerOverloadedError, build_sharded_server)
 
 
 @pytest.fixture(scope="module")
@@ -252,6 +253,100 @@ class TestFailures:
                 failed.result(timeout=10)
 
 
+class TestResponseAccess:
+    def test_unknown_design_lists_available(self, sharded_server, splits):
+        _, _, test = splits
+        response = sharded_server.predict(test.demod[0])
+        with pytest.raises(KeyError, match="available.*mf"):
+            response.bits_for("mf-rmf-nn")
+
+    def test_implicit_design_requires_sole_design(self, splits):
+        train, val, test = splits
+        server = build_sharded_server(("mf", "centroid"), train, val,
+                                      max_wait_ms=0.5)
+        with server:
+            response = server.predict(test.demod[0])
+            with pytest.raises(ValueError, match="name one"):
+                response.bits_for()
+            # Naming a hosted design still works.
+            assert response.bits_for("centroid").shape == (5,)
+
+    def test_pre_completion_access_times_out(self, splits):
+        # A future polled before its batch resolves raises TimeoutError
+        # rather than returning a half-built response.
+        _, _, test = splits
+        server = _stub_server(test.device, engine=_SlowEngine(0.2))
+        with server:
+            future = server.submit(test.demod[0])
+            with pytest.raises(concurrent.futures.TimeoutError):
+                future.result(timeout=0.01)
+            assert future.result(timeout=10).bits_for("mf").shape == (5,)
+
+
+class TestHotSwap:
+    def test_swap_takes_effect_at_batch_boundary(self, splits):
+        _, _, test = splits
+
+        class _ConstantEngine:
+            design_names = ["mf"]
+
+            def __init__(self, value):
+                self.value = value
+
+            def predict_traces(self, demod, device):
+                return {"mf": np.full((demod.shape[0], demod.shape[1]),
+                                      self.value, dtype=np.int64)}
+
+        server = _stub_server(test.device, engine=_ConstantEngine(0),
+                              max_wait_ms=0.1)
+        with server:
+            assert server.predict(test.demod[0]).bits_for("mf").sum() == 0
+            version = server.swap_engine(0, _ConstantEngine(1))
+            assert version == 1
+            assert server.predict(test.demod[0]).bits_for("mf").sum() == 5
+            assert server.stats.snapshot()["swaps"] == 1
+            assert server.stats.snapshot()["model_versions"] == {"0": 1}
+
+    def test_swap_under_concurrent_traffic_drops_nothing(self, splits):
+        # Hammer the server while swapping between two fitted engines:
+        # every request resolves, zero failures, versions advance.
+        train, val, test = splits
+        server = build_sharded_server(("mf",), train, val, n_shards=1,
+                                      max_batch_traces=8, max_wait_ms=0.2)
+        engines = [ReadoutEngine({"mf": make_design("mf").fit(train, val)})
+                   for _ in range(2)]
+        with server:
+            futures = []
+            for i in range(60):
+                futures.append(server.submit(test.demod[i % test.n_traces]))
+                if i % 10 == 9:
+                    server.swap_engine(0, engines[(i // 10) % 2])
+            for future in futures:
+                assert future.result(timeout=10).bits_for("mf").shape == (5,)
+        assert server.stats.failed == 0
+        assert server.stats.swaps == 6
+        assert server.stats.model_versions[0] == 6
+
+    def test_swap_validates_designs_and_shard(self, sharded_server, splits):
+        train, val, _ = splits
+        wrong = ReadoutEngine(
+            {"centroid": make_design("centroid").fit(train, val)})
+        with pytest.raises(ValueError, match="serves"):
+            sharded_server.swap_engine(0, wrong)
+        good = sharded_server.shards[0].engine
+        with pytest.raises(ValueError, match="no shard"):
+            sharded_server.swap_engine(7, good)
+
+    def test_swap_after_stop_rejected(self, splits):
+        _, _, test = splits
+        server = _stub_server(test.device)
+        server.start()
+        engine = server.shards[0].engine
+        server.stop()
+        with pytest.raises(RuntimeError, match="stopped"):
+            server.swap_engine(0, engine)
+
+
 class TestLifecycle:
     def test_stop_drains_queued_requests(self, splits):
         _, _, test = splits
@@ -291,3 +386,32 @@ class TestLifecycle:
         with server:
             server.predict(test.demod[0])
         assert threading.active_count() == before
+
+    def test_stop_fails_backlog_fast_but_finishes_in_flight(self, splits):
+        # Regression test for the deterministic-drain contract: a deep
+        # backlog behind a slow engine must not block stop() — the batch
+        # being computed completes, everything queued behind it fails
+        # with ServerClosedError instead of hanging (or being computed).
+        _, _, test = splits
+        delay = 0.3
+        server = _stub_server(test.device, engine=_SlowEngine(delay),
+                              max_batch_traces=1, max_wait_ms=0.0)
+        server.start()
+        futures = [server.submit(test.demod[0]) for _ in range(8)]
+        time.sleep(0.05)              # worker is mid-batch on request 0
+        started = time.perf_counter()
+        server.stop()
+        stop_elapsed = time.perf_counter() - started
+        # Bounded by ~one in-flight batch, not the 8-deep backlog.
+        assert stop_elapsed < 4 * delay
+        assert all(f.done() for f in futures)
+        outcomes = []
+        for future in futures:
+            try:
+                future.result()
+                outcomes.append("ok")
+            except ServerClosedError:
+                outcomes.append("closed")
+        assert outcomes[0] == "ok"            # in-flight batch completed
+        assert "closed" in outcomes           # the backlog failed fast
+        assert server.stats.failed == outcomes.count("closed")

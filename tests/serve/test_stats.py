@@ -1,0 +1,84 @@
+"""ServerStats tests: percentiles, swaps, and concurrent recording."""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.serve import ServerStats
+
+
+class TestPercentiles:
+    def test_empty_window_is_nan(self):
+        snapshot = ServerStats().snapshot()
+        assert np.isnan(snapshot["p50_ms"])
+        assert snapshot["completed"] == 0
+
+    def test_percentiles_ordered(self):
+        stats = ServerStats()
+        for latency in np.linspace(0.001, 0.1, 200):
+            stats.record_done(1, float(latency), now=1.0)
+        snapshot = stats.snapshot()
+        assert snapshot["p50_ms"] <= snapshot["p95_ms"] <= snapshot["p99_ms"]
+        assert snapshot["p50_ms"] == pytest.approx(50.5, rel=0.05)
+
+    def test_window_is_bounded(self):
+        stats = ServerStats(latency_window=16)
+        for _ in range(100):
+            stats.record_done(1, 1.0, now=1.0)
+        for _ in range(16):
+            stats.record_done(1, 0.001, now=2.0)
+        # Only the recent window survives: old 1s latencies evicted.
+        assert stats.snapshot()["p99_ms"] == pytest.approx(1.0, rel=0.1)
+
+
+class TestConcurrentRecording:
+    def test_snapshot_races_with_recorders(self):
+        # Worker threads hammer every recording path while the main
+        # thread snapshots continuously: no exceptions, and the final
+        # counters add up exactly.
+        stats = ServerStats(latency_window=256)
+        n_threads, per_thread = 8, 500
+        start = threading.Barrier(n_threads + 1)
+
+        def recorder(seed):
+            rng = np.random.default_rng(seed)
+            start.wait()
+            for i in range(per_thread):
+                stats.record_submit(2, now=float(i))
+                stats.record_done(2, float(rng.random()), now=float(i))
+                stats.record_batch(1, 2)
+                if i % 50 == 0:
+                    stats.record_swap(seed % 2)
+
+        threads = [threading.Thread(target=recorder, args=(t,), daemon=True)
+                   for t in range(n_threads)]
+        for thread in threads:
+            thread.start()
+        start.wait()
+        snapshots = []
+        while any(t.is_alive() for t in threads):
+            snapshots.append(stats.snapshot())
+        for thread in threads:
+            thread.join()
+
+        final = stats.snapshot()
+        total = n_threads * per_thread
+        assert final["submitted"] == total
+        assert final["completed"] == total
+        assert final["traces_done"] == 2 * total
+        assert final["swaps"] == n_threads * (per_thread // 50)
+        # Per-shard versions sum to the total swap count.
+        assert sum(final["model_versions"].values()) == final["swaps"]
+        # Every mid-run snapshot was internally consistent.
+        for snapshot in snapshots:
+            assert snapshot["completed"] <= snapshot["submitted"]
+            assert not np.isnan(snapshot["p50_ms"]) or snapshot["completed"] == 0
+
+    def test_swap_versions_monotone_per_shard(self):
+        stats = ServerStats()
+        assert stats.record_swap(0) == 1
+        assert stats.record_swap(1) == 1
+        assert stats.record_swap(0) == 2
+        assert stats.snapshot()["model_versions"] == {"0": 2, "1": 1}
+        assert stats.swaps == 3

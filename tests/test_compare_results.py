@@ -1,0 +1,122 @@
+"""Benchmark regression-gate tests (benchmarks/compare_results.py)."""
+
+import importlib.util
+import json
+import pathlib
+import sys
+
+import pytest
+
+_SPEC = importlib.util.spec_from_file_location(
+    "compare_results",
+    pathlib.Path(__file__).parent.parent / "benchmarks" /
+    "compare_results.py")
+compare_results = importlib.util.module_from_spec(_SPEC)
+sys.modules["compare_results"] = compare_results   # dataclasses need this
+_SPEC.loader.exec_module(compare_results)
+
+
+def payload(**data):
+    return {"experiment": "bench_x", "data": data}
+
+
+class TestComparableMetrics:
+    def test_tracks_quality_patterns_only(self):
+        metrics = compare_results.comparable_metrics(payload(
+            speedup_vs_designs=8.0, recovered_fraction=0.9,
+            sharing_ratio=0.6, p99_ms=3.0, served_tps=5000.0,
+            mean_batch_traces=30.0))
+        assert metrics == {"speedup_vs_designs": 8.0,
+                           "recovered_fraction": 0.9,
+                           "sharing_ratio": 0.6}
+
+    def test_absolute_throughput_opt_in(self):
+        data = payload(served_tps=5000.0)
+        assert compare_results.comparable_metrics(data) == {}
+        assert compare_results.comparable_metrics(
+            data, include_absolute=True) == {"served_tps": 5000.0}
+
+    def test_nested_dicts_with_dotted_paths(self):
+        metrics = compare_results.comparable_metrics(payload(
+            recovery={"recovered_fraction": 0.85,
+                      "summary": {"pre_drift_fidelity": 0.97}}))
+        assert metrics == {"recovery.recovered_fraction": 0.85,
+                           "recovery.summary.pre_drift_fidelity": 0.97}
+
+    def test_excluded_patterns_win(self):
+        metrics = compare_results.comparable_metrics(payload(
+            no_recal_fidelity=0.6, with_loop_fidelity=0.95))
+        assert metrics == {"with_loop_fidelity": 0.95}
+
+    def test_non_numeric_values_ignored(self):
+        metrics = compare_results.comparable_metrics(payload(
+            fidelity_note="high", accuracy=True, speedup=[1, 2],
+            real_accuracy=0.9))
+        assert metrics == {"real_accuracy": 0.9}
+
+
+class TestComparePayloads:
+    def compare(self, base, curr, **kwargs):
+        kwargs.setdefault("max_regression", 0.2)
+        return compare_results.compare_payloads(
+            payload(**base), payload(**curr), file="bench_x.json", **kwargs)
+
+    def test_clean_when_within_threshold(self):
+        assert self.compare({"speedup": 8.0}, {"speedup": 7.0}) == []
+
+    def test_flags_large_drop(self):
+        [regression] = self.compare({"speedup": 8.0}, {"speedup": 4.0})
+        assert regression.metric == "speedup"
+        assert regression.drop_fraction == pytest.approx(0.5)
+        assert "bench_x.json" in str(regression)
+
+    def test_improvement_never_flags(self):
+        assert self.compare({"accuracy": 0.8}, {"accuracy": 0.99}) == []
+
+    def test_new_and_retired_metrics_skipped(self):
+        assert self.compare({"old_speedup": 5.0}, {"new_speedup": 1.0}) == []
+
+    def test_zero_baseline_skipped(self):
+        assert self.compare({"speedup": 0.0}, {"speedup": -1.0}) == []
+
+
+class TestMain:
+    def write(self, directory, name, **data):
+        directory.mkdir(parents=True, exist_ok=True)
+        (directory / name).write_text(json.dumps(payload(**data)))
+
+    def test_clean_run_exits_zero(self, tmp_path, capsys):
+        self.write(tmp_path / "current", "bench_a.json", speedup=8.0)
+        self.write(tmp_path / "base", "bench_a.json", speedup=8.5)
+        assert compare_results.main([
+            "--results-dir", str(tmp_path / "current"),
+            "--baseline-dir", str(tmp_path / "base")]) == 0
+        assert "no tracked metric regressed" in capsys.readouterr().out
+
+    def test_regression_exits_one(self, tmp_path, capsys):
+        self.write(tmp_path / "current", "bench_a.json", speedup=2.0)
+        self.write(tmp_path / "base", "bench_a.json", speedup=8.0)
+        assert compare_results.main([
+            "--results-dir", str(tmp_path / "current"),
+            "--baseline-dir", str(tmp_path / "base"),
+            "--max-regression", "0.3"]) == 1
+        assert "regressed" in capsys.readouterr().err
+
+    def test_missing_baseline_skipped(self, tmp_path, capsys):
+        self.write(tmp_path / "current", "bench_new.json", speedup=1.0)
+        (tmp_path / "base").mkdir()
+        assert compare_results.main([
+            "--results-dir", str(tmp_path / "current"),
+            "--baseline-dir", str(tmp_path / "base")]) == 0
+        assert "no baseline, skipped" in capsys.readouterr().out
+
+    def test_empty_results_dir_is_an_error(self, tmp_path):
+        (tmp_path / "current").mkdir()
+        assert compare_results.main([
+            "--results-dir", str(tmp_path / "current")]) == 2
+
+    def test_against_this_repos_committed_baselines(self):
+        # The real invocation CI uses: fresh results (whatever state the
+        # working tree is in) vs committed git baselines must parse.
+        code = compare_results.main([])
+        assert code in (0, 1)       # parses and compares; no crash
