@@ -42,8 +42,8 @@ QUALITY_PATTERNS = ("speedup", "fidelity", "accuracy", "recovered_fraction",
 ABSOLUTE_PATTERNS = ("_tps", "traces_per_s", "throughput_rps")
 
 #: Metrics whose movement is not a quality signal (e.g. the deliberately
-#: degraded no-recalibration arm of drift_recovery).
-EXCLUDE_PATTERNS = ("no_recal", "p50", "p95", "p99", "latency")
+#: degraded no-recalibration/no-worker arms of the drift experiments).
+EXCLUDE_PATTERNS = ("no_recal", "no_worker", "p50", "p95", "p99", "latency")
 
 #: How deep into nested ``data`` dicts metrics are collected.
 MAX_DEPTH = 3

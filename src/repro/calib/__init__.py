@@ -17,7 +17,13 @@ accurate while the device drifts underneath them:
   validates candidate vs incumbent on held-out probes, and promotes via
   the zero-downtime :meth:`~repro.serve.ReadoutServer.swap_engine`;
 * :mod:`~repro.calib.loop` — :class:`CalibrationLoop` runs the whole
-  detect-refit-validate-swap cycle over live traffic windows.
+  detect-refit-validate-swap cycle over live traffic windows,
+  deterministically (the experiment harness);
+* :mod:`~repro.calib.worker` — :class:`CalibrationWorker` runs the same
+  per-shard cycles continuously on a background thread against live
+  traffic, with :class:`ProbeScheduler` interleaving labeled probe shots
+  at a duty cycle and per-shard alarm queues/cooldowns, so one drifting
+  feedline is repaired while the others keep serving undisturbed.
 """
 
 from .drift import (DRIFT_KINDS, DRIFTABLE_PARAMETERS, DriftingSimulator,
@@ -27,11 +33,15 @@ from .monitors import (DriftAlarm, FidelityMonitor, PageHinkley,
                        ScoreDriftMonitor)
 from .recalibrator import (RecalibrationReport, Recalibrator,
                            ShardRecalibration, attach_score_monitors)
+from .worker import (CalibrationWorker, MaintenanceRecord, ProbeScheduler,
+                     WorkerStats)
 
 __all__ = [
-    "CalibrationLoop", "DRIFT_KINDS", "DRIFTABLE_PARAMETERS", "DriftAlarm",
-    "DriftSchedule", "DriftingSimulator", "FidelityMonitor", "PageHinkley",
-    "ParameterDrift", "RecalibrationReport", "Recalibrator",
-    "ScoreDriftMonitor", "ShardRecalibration", "WindowRecord",
+    "CalibrationLoop", "CalibrationWorker", "DRIFT_KINDS",
+    "DRIFTABLE_PARAMETERS", "DriftAlarm", "DriftSchedule",
+    "DriftingSimulator", "FidelityMonitor", "MaintenanceRecord",
+    "PageHinkley", "ParameterDrift", "ProbeScheduler",
+    "RecalibrationReport", "Recalibrator", "ScoreDriftMonitor",
+    "ShardRecalibration", "WindowRecord", "WorkerStats",
     "attach_score_monitors",
 ]

@@ -16,6 +16,7 @@ so traffic generated at shot ``t`` reflects the drifted ground truth at
 from __future__ import annotations
 
 import cmath
+import threading
 from dataclasses import dataclass, replace
 from typing import Dict, Optional, Sequence, Tuple
 
@@ -201,6 +202,12 @@ class DriftingSimulator:
     analogue of a readout service running for hours after its last
     calibration. :meth:`calibration_set` freezes the clock, modelling a
     recalibration performed "now" on fresh shots.
+
+    The shot clock is guarded by an internal lock so a background
+    maintenance thread (probe shots, recalibration collections — see
+    :class:`~.worker.CalibrationWorker`) can share one simulator with the
+    live traffic producer without tearing the clock; trace generation
+    itself runs outside the lock and therefore never stalls traffic.
     """
 
     def __init__(self, base_device: DeviceParams, schedule: DriftSchedule,
@@ -208,6 +215,7 @@ class DriftingSimulator:
         self.base_device = base_device
         self.schedule = schedule
         self.shot = int(start_shot)
+        self._lock = threading.Lock()
 
     @property
     def n_qubits(self) -> int:
@@ -230,7 +238,12 @@ class DriftingSimulator:
         """
         if n_traces < 1:
             raise ValueError(f"n_traces must be positive, got {n_traces}")
-        device = self.device_now()
+        # The lock covers only the clock snapshot/advance, not generation:
+        # a background calibration collection must not stall live traffic
+        # for the duration of a 600-trace simulation.
+        with self._lock:
+            device = self.device_now()
+            self.shot += n_traces
         n_states = device.n_basis_states
         counts = np.bincount(rng.integers(0, n_states, size=n_traces),
                              minlength=n_states)
@@ -240,9 +253,7 @@ class DriftingSimulator:
         dataset = parts[0]
         for part in parts[1:]:
             dataset = dataset.concatenate(part)
-        dataset = dataset.subset(rng.permutation(dataset.n_traces))
-        self.shot += n_traces
-        return dataset
+        return dataset.subset(rng.permutation(dataset.n_traces))
 
     def calibration_set(self, shots_per_state: int, rng: np.random.Generator,
                         include_raw: bool = False) -> ReadoutDataset:
@@ -252,5 +263,7 @@ class DriftingSimulator:
         to be taken back-to-back at the moment the recalibrator asks for
         them, fast relative to the drift timescale.
         """
-        return generate_dataset(self.device_now(), shots_per_state, rng,
+        with self._lock:
+            device = self.device_now()
+        return generate_dataset(device, shots_per_state, rng,
                                 include_raw=include_raw)

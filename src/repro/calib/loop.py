@@ -11,7 +11,13 @@ candidates hot-swap into the server with zero downtime. The loop records a
 
 The loop is deliberately synchronous (one window at a time): determinism is
 what lets the experiment replay the identical drifting timeline with and
-without recalibration and attribute every fidelity delta to the loop.
+without recalibration and attribute every fidelity delta to the loop. It is
+a thin harness over the same per-shard primitives the background
+:class:`~.worker.CalibrationWorker` schedules asynchronously: alarms are
+scoped to the shards that raised them (a score-monitor alarm repairs just
+its shard via the :class:`Recalibrator`'s per-shard cycles; a whole-device
+fidelity alarm cycles every shard), so the two drivers exercise identical
+maintenance code and differ only in scheduling.
 """
 
 from __future__ import annotations
@@ -28,7 +34,39 @@ from repro.serve.server import ReadoutServer
 from .drift import DriftingSimulator
 from .monitors import DriftAlarm, FidelityMonitor, ScoreDriftMonitor
 from .recalibrator import (RecalibrationReport, Recalibrator,
-                           attach_score_monitors)
+                           attach_score_monitors, resolve_design)
+
+
+def serve_window(server: ReadoutServer, traffic: ReadoutDataset,
+                 design: str, n_requests: int):
+    """Submit one labeled window as ``n_requests`` concurrent requests.
+
+    Returns ``(predicted, rows, failures)``: every future is awaited,
+    each failed request is counted, and ``rows`` holds the trace indices
+    the surviving predictions cover — a mid-window failure drops its
+    slice from scoring without misaligning the rest. Shared by the
+    synchronous loop and the ``async_recovery`` experiment, so both score
+    served traffic through identical stitching.
+    """
+    bounds = np.linspace(0, traffic.n_traces, n_requests + 1, dtype=int)
+    ranges = [(int(start), int(stop))
+              for start, stop in zip(bounds, bounds[1:]) if stop > start]
+    futures = [server.submit(traffic.demod[start:stop])
+               for start, stop in ranges]
+    parts, rows = [], []
+    failures = 0
+    for (start, stop), future in zip(ranges, futures):
+        try:
+            parts.append(future.result(timeout=60).bits_for(design))
+        except Exception:  # noqa: BLE001 — count, keep the run honest
+            failures += 1
+            continue
+        rows.append(np.arange(start, stop))
+    predicted = (np.concatenate(parts) if parts
+                 else np.zeros((0, traffic.n_qubits), dtype=np.int64))
+    rows = (np.concatenate(rows) if rows
+            else np.zeros(0, dtype=np.int64))
+    return predicted, rows, failures
 
 
 @dataclass
@@ -46,6 +84,10 @@ class WindowRecord:
     #: Requests whose futures raised (must stay 0 for a clean run — hot
     #: swaps are required to be invisible to traffic).
     request_failures: int
+    #: True when ``alarm`` fired inside a post-recalibration cooldown
+    #: window and was therefore not acted on. The alarm itself is kept —
+    #: the observability trail must never claim nothing fired.
+    suppressed: bool = False
 
 
 class CalibrationLoop:
@@ -91,17 +133,7 @@ class CalibrationLoop:
         self.server = server
         self.simulator = simulator
         self.recalibrator = recalibrator
-        if design is None:
-            if len(server.design_names) != 1:
-                raise ValueError(
-                    f"server hosts {sorted(server.design_names)}; pass "
-                    f"design= to choose the scored one")
-            design = server.design_names[0]
-        elif design not in server.design_names:
-            raise ValueError(
-                f"unknown design {design!r}; server hosts "
-                f"{sorted(server.design_names)}")
-        self.design = design
+        self.design = resolve_design(server, design)
         self.fidelity_monitor = fidelity_monitor or FidelityMonitor()
         self.requests_per_window = int(requests_per_window)
         self.cooldown_windows = int(cooldown_windows)
@@ -130,6 +162,7 @@ class CalibrationLoop:
                     if n_scored else float("nan"))
 
         alarm = None
+        scope = None                    # None: cycle every shard
         if n_scored:
             alarm = self.fidelity_monitor.observe(predicted, labels)
             if self.fidelity_monitor.baseline is None:
@@ -137,22 +170,34 @@ class CalibrationLoop:
                 self.fidelity_monitor.set_baseline(
                     self.fidelity_monitor.fidelity())
         if alarm is None:
-            alarm = next((m.alarm for m in self.score_monitors
-                          if m.alarm is not None), None)
+            # Label-free alarms are per shard: repair exactly the shards
+            # whose monitors fired, through the same per-shard cycle the
+            # background worker uses.
+            alarmed = [shard.feedline.index for shard, monitor
+                       in zip(self.server.shards, self.score_monitors)
+                       if monitor.alarm is not None]
+            if alarmed:
+                scope = alarmed
+                alarm = next(m.alarm for m in self.score_monitors
+                             if m.alarm is not None)
 
+        suppressed = False
         recalibration = None
         if self._cooldown > 0:
             self._cooldown -= 1
-            alarm = None
+            # The refit just happened; don't act, but keep the record
+            # honest: an alarm during cooldown is suppressed, not erased.
+            suppressed = alarm is not None
         elif alarm is not None and self.recalibrator is not None:
             recalibration = self.recalibrator.recalibrate(
-                self.simulator, self._recal_rng)
+                self.simulator, self._recal_rng, shard_indices=scope)
             self._after_recalibration(recalibration)
 
         record = WindowRecord(
             window=self._windows, end_shot=self.simulator.shot,
             n_traces=traffic.n_traces, fidelity=fidelity, alarm=alarm,
-            recalibration=recalibration, request_failures=failures)
+            recalibration=recalibration, request_failures=failures,
+            suppressed=suppressed)
         self._windows += 1
         self.records.append(record)
         return record
@@ -169,41 +214,19 @@ class CalibrationLoop:
     # Internals
     # ------------------------------------------------------------------
     def _serve(self, traffic: ReadoutDataset):
-        """Submit the window as concurrent requests; stitch scored bits.
-
-        Returns ``(predicted, rows, failures)``: every future is awaited,
-        each failed request is counted, and ``rows`` holds the trace
-        indices the surviving predictions cover — a mid-window failure
-        drops its slice from scoring without misaligning the rest.
-        """
-        bounds = np.linspace(0, traffic.n_traces,
-                             self.requests_per_window + 1, dtype=int)
-        ranges = [(int(start), int(stop))
-                  for start, stop in zip(bounds, bounds[1:]) if stop > start]
-        futures = [self.server.submit(traffic.demod[start:stop])
-                   for start, stop in ranges]
-        parts, rows = [], []
-        failures = 0
-        for (start, stop), future in zip(ranges, futures):
-            try:
-                parts.append(future.result(timeout=60).bits_for(self.design))
-            except Exception:  # noqa: BLE001 — count, keep the run honest
-                failures += 1
-                continue
-            rows.append(np.arange(start, stop))
-        predicted = (np.concatenate(parts) if parts
-                     else np.zeros((0, traffic.n_qubits), dtype=np.int64))
-        rows = (np.concatenate(rows) if rows
-                else np.zeros(0, dtype=np.int64))
-        return predicted, rows, failures
+        return serve_window(self.server, traffic, self.design,
+                            self.requests_per_window)
 
     def _after_recalibration(self, report: RecalibrationReport) -> None:
         self._cooldown = self.cooldown_windows
-        # Score monitors re-baseline after every attempt: whatever state
-        # traffic is in now is the new normal to watch from (a rejected
-        # candidate means the incumbent still fits it best anyway).
-        for monitor in self.score_monitors:
-            monitor.reset()
+        # Cycled shards' score monitors re-baseline after every attempt:
+        # whatever state traffic is in now is the new normal to watch
+        # from (a rejected candidate means the incumbent still fits it
+        # best anyway). Un-cycled shards keep their evidence.
+        cycled = {shard.shard_index for shard in report.shards}
+        for shard, monitor in zip(self.server.shards, self.score_monitors):
+            if shard.feedline.index in cycled:
+                monitor.reset()
         if report.swapped == 0:
             return
         # Promotions additionally re-hook the replacement engines and
@@ -211,7 +234,12 @@ class CalibrationLoop:
         if self.score_monitors:
             attach_score_monitors(self.server, self.score_monitors)
         self.fidelity_monitor.reset()
-        self.fidelity_monitor.set_baseline(report.fidelity())
+        if cycled == {s.feedline.index for s in self.server.shards}:
+            self.fidelity_monitor.set_baseline(report.fidelity())
+        else:
+            # A partial cycle validated only the repaired shards; the
+            # whole-device baseline is re-learned from the next window.
+            self.fidelity_monitor.baseline = None
 
     # ------------------------------------------------------------------
     # Derived observability

@@ -21,6 +21,7 @@ they allocate O(window) and observe in O(batch).
 
 from __future__ import annotations
 
+import threading
 from collections import deque
 from dataclasses import dataclass
 from typing import Deque, Dict, Optional
@@ -193,31 +194,46 @@ class ScoreDriftMonitor:
     """
 
     def __init__(self, n_qubits: int, delta: float = 0.5, lam: float = 12.0,
-                 warmup_batches: int = 8):
+                 warmup_batches: int = 8, sigma_rel_floor: float = 0.02,
+                 sigma_abs_floor: float = 1e-9):
         if n_qubits < 1:
             raise ValueError(f"n_qubits must be positive, got {n_qubits}")
         if warmup_batches < 2:
             raise ValueError(
                 f"warmup_batches must be >= 2, got {warmup_batches}")
+        if sigma_rel_floor < 0 or sigma_abs_floor <= 0:
+            raise ValueError(
+                f"sigma floors must be positive, got rel {sigma_rel_floor} "
+                f"/ abs {sigma_abs_floor}")
         self.n_qubits = int(n_qubits)
         self.delta = float(delta)
         self.lam = float(lam)
         self.warmup_batches = int(warmup_batches)
+        self.sigma_rel_floor = float(sigma_rel_floor)
+        self.sigma_abs_floor = float(sigma_abs_floor)
         self.alarm: Optional[DriftAlarm] = None
         self.batches_seen = 0
+        self._lock = threading.Lock()
         self._warmup: list = []
         self._mu: Optional[np.ndarray] = None
         self._sigma: Optional[np.ndarray] = None
         self._detectors: Dict[int, PageHinkley] = {}
 
     def reset(self) -> None:
-        """Re-baseline after a recalibration swap: new model, new normal."""
-        self.alarm = None
-        self.batches_seen = 0
-        self._warmup = []
-        self._mu = None
-        self._sigma = None
-        self._detectors = {}
+        """Re-baseline after a recalibration swap: new model, new normal.
+
+        Safe to call from a maintenance thread while serving-thread hooks
+        observe: reset and observation exclude each other on an internal
+        lock, so a reset can neither tear the baseline out from under a
+        batch in flight nor leave a stale pre-reset alarm behind.
+        """
+        with self._lock:
+            self.alarm = None
+            self.batches_seen = 0
+            self._warmup = []
+            self._mu = None
+            self._sigma = None
+            self._detectors = {}
 
     def _statistics(self, demod: np.ndarray) -> np.ndarray:
         demod = np.asarray(demod)
@@ -231,13 +247,28 @@ class ScoreDriftMonitor:
     def observe_batch(self, demod: np.ndarray) -> Optional[DriftAlarm]:
         """Feed one served batch's demod array; alarm on a mean shift."""
         stats = self._statistics(demod)
+        with self._lock:
+            return self._observe_locked(stats)
+
+    def _observe_locked(self, stats: np.ndarray) -> Optional[DriftAlarm]:
         self.batches_seen += 1
         if self._mu is None:
             self._warmup.append(stats)
             if len(self._warmup) >= self.warmup_batches:
                 warmup = np.stack(self._warmup)
                 self._mu = warmup.mean(axis=0)
-                self._sigma = np.maximum(warmup.std(axis=0), 1e-9)
+                # Floor sigma relative to the statistics' overall scale: a
+                # near-deterministic warmup (std ~ float jitter) must not
+                # standardize later jitter into huge excursions and fire
+                # instantly on perfectly healthy traffic. The scale is the
+                # largest |mean| across components, not each component's
+                # own — an individually zero-centered I or Q channel
+                # (response along one axis) must not degenerate back to
+                # the absolute floor.
+                scale = float(np.max(np.abs(self._mu)))
+                floor = max(self.sigma_rel_floor * scale,
+                            self.sigma_abs_floor)
+                self._sigma = np.maximum(warmup.std(axis=0), floor)
                 self._detectors = {
                     i: PageHinkley(delta=self.delta, lam=self.lam)
                     for i in range(stats.size)

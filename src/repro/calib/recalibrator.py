@@ -23,6 +23,7 @@ replace a healthy incumbent.
 from __future__ import annotations
 
 import pathlib
+import weakref
 from dataclasses import dataclass, field
 from typing import List, Optional, Sequence
 
@@ -135,8 +136,9 @@ class Recalibrator:
     # ------------------------------------------------------------------
     # The maintenance cycle
     # ------------------------------------------------------------------
-    def recalibrate(self, source,
-                    rng: np.random.Generator) -> RecalibrationReport:
+    def recalibrate(self, source, rng: np.random.Generator, *,
+                    shard_indices: Optional[Sequence[int]] = None,
+                    ) -> RecalibrationReport:
         """Run one refit-validate-promote cycle against ``source``.
 
         ``source`` provides fresh ground truth:
@@ -144,26 +146,71 @@ class Recalibrator:
         :class:`~.drift.DriftingSimulator`) or a plain callable with the
         same signature returning a labeled
         :class:`~repro.readout.ReadoutDataset` for the full device.
+
+        ``shard_indices`` scopes the cycle to a subset of feedline shards
+        (default: every shard). One calibration collection is shared by
+        all cycled shards; each shard still fits, validates, and promotes
+        independently — the deterministic multi-shard harness over the
+        same per-shard primitive :meth:`recalibrate_shard` exercises one
+        shard at a time.
         """
-        collect = getattr(source, "calibration_set", source)
-        fresh = collect(self.calibration_shots_per_state, rng)
-        fit_set, val_set, probe = fresh.split(
-            rng, self.fit_fraction, self.val_fraction)
-
-        # Incumbent scored through the live serve path: micro-batched, on
-        # whatever engine version traffic is currently hitting.
-        incumbent_bits = self.server.predict(probe.demod).bits
-
-        report = RecalibrationReport(calibration_traces=fresh.n_traces,
-                                     probe_traces=probe.n_traces)
-        for shard in self.server.shards:
-            report.shards.append(self._recalibrate_shard(
+        shards = self._select_shards(shard_indices)
+        fit_set, val_set, probe = self._collect(source, rng)
+        incumbent_bits = self._incumbent_bits(probe)
+        report = RecalibrationReport(
+            calibration_traces=(fit_set.n_traces + val_set.n_traces
+                                + probe.n_traces),
+            probe_traces=probe.n_traces)
+        for shard in shards:
+            report.shards.append(self._shard_cycle(
                 shard, fit_set, val_set, probe, incumbent_bits))
         return report
 
-    def _recalibrate_shard(self, shard, fit_set: ReadoutDataset,
-                           val_set: ReadoutDataset, probe: ReadoutDataset,
-                           incumbent_bits) -> ShardRecalibration:
+    def recalibrate_shard(self, shard_index: int, source,
+                          rng: np.random.Generator) -> ShardRecalibration:
+        """One *independent* per-shard cycle: collect, refit, validate, swap.
+
+        Unlike :meth:`recalibrate`, this collects and splits its own fresh
+        calibration set (sliced to the shard's qubit group for fitting),
+        so one drifting shard can be repaired without forcing a
+        whole-device refit — the primitive the background
+        :class:`~.worker.CalibrationWorker` schedules per shard. Probe
+        shots still cover the full device because the incumbent is scored
+        through the live serve path, exactly as traffic experiences it.
+        """
+        [shard] = self._select_shards([shard_index])
+        fit_set, val_set, probe = self._collect(source, rng)
+        incumbent_bits = self._incumbent_bits(probe)
+        return self._shard_cycle(shard, fit_set, val_set, probe,
+                                 incumbent_bits)
+
+    # ------------------------------------------------------------------
+    # Cycle internals
+    # ------------------------------------------------------------------
+    def _select_shards(self, shard_indices: Optional[Sequence[int]]):
+        shards = {s.feedline.index: s for s in self.server.shards}
+        if shard_indices is None:
+            return list(shards.values())
+        unknown = sorted(set(shard_indices) - set(shards))
+        if unknown:
+            raise ValueError(
+                f"no shard with feedline index {unknown}; "
+                f"have {sorted(shards)}")
+        return [shards[i] for i in sorted(set(shard_indices))]
+
+    def _collect(self, source, rng: np.random.Generator):
+        collect = getattr(source, "calibration_set", source)
+        fresh = collect(self.calibration_shots_per_state, rng)
+        return fresh.split(rng, self.fit_fraction, self.val_fraction)
+
+    def _incumbent_bits(self, probe: ReadoutDataset):
+        # Incumbent scored through the live serve path: micro-batched, on
+        # whatever engine version traffic is currently hitting.
+        return self.server.predict(probe.demod).bits
+
+    def _shard_cycle(self, shard, fit_set: ReadoutDataset,
+                     val_set: ReadoutDataset, probe: ReadoutDataset,
+                     incumbent_bits) -> ShardRecalibration:
         idx = list(shard.feedline.qubit_indices)
         shard_train = fit_set.select_qubits(idx)
         shard_val = val_set.select_qubits(idx)
@@ -215,14 +262,47 @@ class Recalibrator:
                                       f"_v{version}.npz")
 
 
-def attach_score_monitors(server: ReadoutServer,
-                          monitors: Sequence) -> None:
+def resolve_design(server: ReadoutServer, design: Optional[str]) -> str:
+    """The scored design name: validate ``design``, or infer the sole one.
+
+    Shared by every consumer that scores one served design's bits (the
+    synchronous loop, the probe scheduler).
+    """
+    if design is None:
+        if len(server.design_names) != 1:
+            raise ValueError(
+                f"server hosts {sorted(server.design_names)}; pass "
+                f"design= to choose the scored one")
+        return server.design_names[0]
+    if design not in server.design_names:
+        raise ValueError(
+            f"unknown design {design!r}; server hosts "
+            f"{sorted(server.design_names)}")
+    return design
+
+
+def attach_score_monitors(server: ReadoutServer, monitors: Sequence,
+                          on_alarm=None) -> None:
     """Wire one :class:`~.monitors.ScoreDriftMonitor` per shard engine.
 
     ``monitors[i]`` observes shard ``i``'s chunks via the engine's batch
     hook. Call again after a promotion to hook the replacement engine
-    (the :class:`~.loop.CalibrationLoop` does this automatically);
-    already-hooked engines are left alone.
+    (the :class:`~.loop.CalibrationLoop` does this automatically); an
+    engine this monitor already hooks is left alone, and a monitor moving
+    to a replacement engine detaches its hook from the old one first, so
+    a retired incumbent never keeps feeding the monitor.
+
+    Hooked state is tracked by *object identity through a weak reference*
+    held on the monitor — never by ``id()``, which CPython reuses as soon
+    as the incumbent is freed: a replacement engine allocated at the old
+    address must still be hooked, or drift detection for that shard dies
+    silently.
+
+    ``on_alarm`` (optional) is called as ``on_alarm(shard_index, alarm)``
+    from the serving thread whenever a hooked monitor is in the alarmed
+    state after a batch — the feed for the background worker's per-shard
+    alarm queues. Like the monitors themselves, it must never raise for
+    long (hook errors are counted by the engine, not propagated).
     """
     shards = list(server.shards)
     if len(monitors) != len(shards):
@@ -231,9 +311,19 @@ def attach_score_monitors(server: ReadoutServer,
             f"{len(shards)} shards")
     for shard, monitor in zip(shards, monitors):
         engine = shard.engine
-        hooked = getattr(monitor, "_hooked_engine_id", None)
-        if hooked == id(engine):
+        previous_ref = getattr(monitor, "_hooked_engine", None)
+        previous = previous_ref() if previous_ref is not None else None
+        if previous is engine:
             continue
-        engine.add_batch_hook(
-            lambda chunk, bits, m=monitor: m.observe_batch(chunk.demod))
-        monitor._hooked_engine_id = id(engine)
+        if previous is not None:
+            previous.remove_batch_hook(monitor._hook)
+
+        def hook(chunk, bits, monitor=monitor,
+                 shard_index=shard.feedline.index):
+            alarm = monitor.observe_batch(chunk.demod)
+            if alarm is not None and on_alarm is not None:
+                on_alarm(shard_index, alarm)
+
+        engine.add_batch_hook(hook)
+        monitor._hook = hook
+        monitor._hooked_engine = weakref.ref(engine)

@@ -4,6 +4,7 @@ from __future__ import annotations
 
 from typing import Callable, Dict, List
 
+from .async_recovery import run_async_recovery
 from .config import DEFAULT_CONFIG, ExperimentConfig
 from .drift_recovery import run_drift_recovery
 from .fig11 import run_fig11a, run_fig11b
@@ -42,6 +43,7 @@ EXPERIMENTS: Dict[str, Runner] = {
     "fig15": run_fig15,
     "serve_scaling": run_serve_scaling,
     "drift_recovery": run_drift_recovery,
+    "async_recovery": run_async_recovery,
 }
 
 #: One-line description per experiment id (shown by the CLI's ``list``).
@@ -68,6 +70,9 @@ DESCRIPTIONS: Dict[str, str] = {
                       "feedline shard count"),
     "drift_recovery": ("closed-loop recalibration vs injected drift: "
                        "fidelity recovery, hot swaps, zero downtime"),
+    "async_recovery": ("background per-shard recalibration under live "
+                       "traffic: one shard drifts and is repaired, the "
+                       "other never notices"),
 }
 
 

@@ -36,7 +36,10 @@ class ServerStats:
         self.traces_done = 0
         self.batches = 0
         self.batched_requests = 0
+        self.batched_traces = 0
         self.max_batch_traces = 0
+        self.probes = 0
+        self.probe_traces = 0
         self.swaps = 0
         self.model_versions: Dict[int, int] = {}
         self._first_submit_t: Optional[float] = None
@@ -64,7 +67,21 @@ class ServerStats:
         with self._lock:
             self.batches += 1
             self.batched_requests += n_requests
+            self.batched_traces += n_traces
             self.max_batch_traces = max(self.max_batch_traces, n_traces)
+
+    def record_probe(self, n_traces: int) -> None:
+        """Count one interleaved labeled probe request of ``n_traces``.
+
+        Probe shots ride the normal submit path (so they also appear in
+        ``submitted``/``traces_in``); these counters let operators see how
+        much of the traffic is calibration-maintenance overhead — the
+        :class:`~repro.calib.worker.ProbeScheduler`'s duty cycle made
+        observable.
+        """
+        with self._lock:
+            self.probes += 1
+            self.probe_traces += n_traces
 
     def record_done(self, n_traces: int, latency_s: float,
                     now: float) -> None:
@@ -95,37 +112,51 @@ class ServerStats:
     # ------------------------------------------------------------------
     # Derived metrics
     # ------------------------------------------------------------------
+    def _latency_percentiles_locked(self) -> Dict[str, float]:
+        if not self._latencies_s:
+            return {f"p{p}_ms": float("nan") for p in LATENCY_PERCENTILES}
+        values = np.percentile(np.asarray(self._latencies_s),
+                               LATENCY_PERCENTILES)
+        return {f"p{p}_ms": 1000.0 * float(v)
+                for p, v in zip(LATENCY_PERCENTILES, values)}
+
+    def _mean_batch_traces_locked(self) -> float:
+        if self.batches == 0:
+            return 0.0
+        # Batched traces, not completed ones: a failed or cancelled batch
+        # still counts toward the denominator, so dividing by completions
+        # would deflate the metric exactly when failures make it matter.
+        return self.batched_traces / self.batches
+
+    def _throughput_locked(self) -> float:
+        if (self._first_submit_t is None or self._last_done_t is None
+                or self._last_done_t <= self._first_submit_t):
+            return 0.0
+        return self.traces_done / (self._last_done_t - self._first_submit_t)
+
     def latency_percentiles(self) -> Dict[str, float]:
         """``{"p50_ms", "p95_ms", "p99_ms"}`` over the recent window."""
         with self._lock:
-            window = list(self._latencies_s)
-        if not window:
-            return {f"p{p}_ms": float("nan") for p in LATENCY_PERCENTILES}
-        values = np.percentile(np.asarray(window), LATENCY_PERCENTILES)
-        return {f"p{p}_ms": 1000.0 * float(v)
-                for p, v in zip(LATENCY_PERCENTILES, values)}
+            return self._latency_percentiles_locked()
 
     def mean_batch_traces(self) -> float:
         """Mean traces per flushed batch (amortization achieved)."""
         with self._lock:
-            if self.batches == 0:
-                return 0.0
-            # Every completed trace went through exactly one batch.
-            return self.traces_done / self.batches
+            return self._mean_batch_traces_locked()
 
     def throughput_traces_per_s(self) -> float:
         """Completed traces per second, first submission to last completion."""
         with self._lock:
-            if (self._first_submit_t is None or self._last_done_t is None
-                    or self._last_done_t <= self._first_submit_t):
-                return 0.0
-            return self.traces_done / (self._last_done_t - self._first_submit_t)
+            return self._throughput_locked()
 
     def snapshot(self) -> Dict[str, object]:
         """One JSON-friendly dict of every counter and derived metric.
 
         Values are numeric except ``model_versions``, a per-shard dict of
-        hot-swap version counters (string keys, JSON-safe).
+        hot-swap version counters (string keys, JSON-safe). The whole
+        snapshot is taken under a single lock acquisition so its counters
+        are mutually consistent — a reader never sees a ``completed``
+        bumped after the latency window it is reported next to.
         """
         with self._lock:
             counters = {
@@ -138,12 +169,15 @@ class ServerStats:
                 "traces_done": self.traces_done,
                 "batches": self.batches,
                 "batched_requests": self.batched_requests,
+                "batched_traces": self.batched_traces,
                 "max_batch_traces": self.max_batch_traces,
+                "probes": self.probes,
+                "probe_traces": self.probe_traces,
                 "swaps": self.swaps,
                 "model_versions": {str(shard): version for shard, version
                                    in sorted(self.model_versions.items())},
             }
-        counters.update(self.latency_percentiles())
-        counters["mean_batch_traces"] = self.mean_batch_traces()
-        counters["throughput_traces_per_s"] = self.throughput_traces_per_s()
+            counters.update(self._latency_percentiles_locked())
+            counters["mean_batch_traces"] = self._mean_batch_traces_locked()
+            counters["throughput_traces_per_s"] = self._throughput_locked()
         return counters

@@ -145,3 +145,42 @@ class TestScoreDriftMonitor:
         monitor = ScoreDriftMonitor(n_qubits=2)
         with pytest.raises(ValueError, match="demod"):
             monitor.observe_batch(np.zeros((10, 3, 2, 5)))
+
+    def test_no_false_alarm_on_constant_traffic(self):
+        # Regression: a near-deterministic warmup (std ~ 0) used to floor
+        # sigma at an absolute 1e-9, standardizing later float-level
+        # jitter into huge excursions and firing instantly on perfectly
+        # healthy constant traffic. Sigma must floor relative to the
+        # statistics' scale — including for a component whose own mean is
+        # zero (here the Q channel: the response lies along the I axis).
+        monitor = ScoreDriftMonitor(n_qubits=1, warmup_batches=4)
+        base = np.zeros((32, 1, 2, 8))
+        base[:, :, 0, :] = 0.9               # I response only; mean Q = 0
+        for _ in range(4):
+            monitor.observe_batch(base)      # exactly constant warmup
+        rng = np.random.default_rng(0)
+        for _ in range(100):
+            jitter = 1e-7 * rng.standard_normal(base.shape)
+            monitor.observe_batch(base + jitter)
+        assert monitor.alarm is None
+
+    def test_relative_floor_preserves_real_detection(self):
+        # The floor mutes float jitter, not real shifts: a 10% move of the
+        # mean response still alarms promptly.
+        monitor = ScoreDriftMonitor(n_qubits=1, warmup_batches=4)
+        base = np.full((32, 1, 2, 8), 0.9)
+        rng = np.random.default_rng(1)
+        for _ in range(4):
+            monitor.observe_batch(base)
+        for _ in range(20):                  # healthy steady state first
+            monitor.observe_batch(base + 1e-7 * rng.standard_normal(
+                base.shape))
+        for _ in range(40):
+            monitor.observe_batch(base + 0.09)
+        assert monitor.alarm is not None
+
+    def test_sigma_floor_validation(self):
+        with pytest.raises(ValueError, match="sigma floors"):
+            ScoreDriftMonitor(n_qubits=1, sigma_rel_floor=-0.1)
+        with pytest.raises(ValueError, match="sigma floors"):
+            ScoreDriftMonitor(n_qubits=1, sigma_abs_floor=0.0)

@@ -82,3 +82,30 @@ class TestConcurrentRecording:
         assert stats.record_swap(0) == 2
         assert stats.snapshot()["model_versions"] == {"0": 2, "1": 1}
         assert stats.swaps == 3
+
+
+class TestBatchAccounting:
+    def test_mean_batch_traces_counts_batched_not_completed(self):
+        # Regression: the metric used to divide completed traces by all
+        # flushed batches, so failures deflated "amortization achieved".
+        stats = ServerStats()
+        stats.record_batch(2, 100)
+        stats.record_batch(1, 50)            # this batch will fail
+        stats.record_done(100, 0.01, now=1.0)
+        stats.record_failure()
+        assert stats.mean_batch_traces() == 75.0     # (100 + 50) / 2
+        snapshot = stats.snapshot()
+        assert snapshot["batched_traces"] == 150
+        assert snapshot["mean_batch_traces"] == 75.0
+        assert snapshot["traces_done"] == 100
+
+    def test_mean_batch_traces_empty(self):
+        assert ServerStats().mean_batch_traces() == 0.0
+
+    def test_probe_counters(self):
+        stats = ServerStats()
+        stats.record_probe(16)
+        stats.record_probe(24)
+        snapshot = stats.snapshot()
+        assert snapshot["probes"] == 2
+        assert snapshot["probe_traces"] == 40
