@@ -12,6 +12,10 @@ Only *machine-portable, higher-is-better* metrics are compared by default —
 speedup ratios, fidelities/accuracies, recovery/sharing fractions. Raw
 throughput numbers (traces/s) vary wildly across machines and are opt-in
 via ``--include-absolute``; latency percentiles are never compared.
+Shard-scaling ratios under a ``data.scaling`` block are portable only
+between hosts with the same parallelism, so they are compared **only when
+both payloads record the same ``scaling.cpus``** — a baseline regenerated
+on an 8-core box must not fail a 4-core runner for lacking cores.
 
 Usage::
 
@@ -98,6 +102,16 @@ def comparable_metrics(payload: dict,
     return metrics
 
 
+def _scaling_cpus(payload: dict) -> Optional[float]:
+    """The parallelism context a ``data.scaling`` block was measured on."""
+    scaling = payload.get("data", {}).get("scaling")
+    if isinstance(scaling, dict):
+        cpus = scaling.get("cpus")
+        if isinstance(cpus, (int, float)):
+            return float(cpus)
+    return None
+
+
 def compare_payloads(baseline: dict, current: dict, *, file: str,
                      max_regression: float,
                      include_absolute: bool = False) -> List[Regression]:
@@ -106,12 +120,18 @@ def compare_payloads(baseline: dict, current: dict, *, file: str,
     Metrics missing from either side are skipped (new benchmarks and
     retired metrics are not regressions); a sign flip or a drop of more
     than ``max_regression`` of the baseline magnitude is flagged.
+    ``scaling.*`` metrics are additionally skipped when the two payloads
+    were measured on different ``scaling.cpus`` — parallel-scaling ratios
+    only regress meaningfully against a baseline from equal hardware.
     """
     base_metrics = comparable_metrics(baseline, include_absolute)
     curr_metrics = comparable_metrics(current, include_absolute)
+    cpus_differ = _scaling_cpus(baseline) != _scaling_cpus(current)
     regressions = []
     for metric, base_value in base_metrics.items():
         if metric not in curr_metrics or base_value == 0:
+            continue
+        if cpus_differ and metric.startswith("scaling."):
             continue
         regression = Regression(file=file, metric=metric,
                                 baseline=base_value,

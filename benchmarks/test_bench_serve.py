@@ -1,7 +1,7 @@
-"""Serving benchmark: micro-batched service vs per-request inference.
+"""Serving benchmark: micro-batching wins and multi-process shard scaling.
 
-Serves the five MF-based Table 1 designs three ways over the same fitted
-pipelines:
+Part 1 — micro-batching (unchanged since PR 2): serves the five MF-based
+Table 1 designs three ways over the same fitted pipelines:
 
 * ``per-request designs`` — the pre-serve caller experience: every single-
   trace request runs one ``predict_bits`` call per design;
@@ -11,9 +11,13 @@ pipelines:
   under a 32-client closed loop: requests coalesce into engine batches,
   amortizing per-call overhead across every request in flight.
 
-The served path must beat per-request per-design inference by >= 5x and
-per-request engine calls outright; p50/p99 request latency is reported and
-the measured numbers land in ``benchmarks/results/bench_serve.json``.
+Part 2 — shard scaling: the same five designs served at 1/2/4 feedline
+shards on both execution backends. Thread shards share the GIL (the curve
+plateaus); process shards are spawned workers fed through shared-memory
+rings, so their curve follows the host's cores. The headline metric is
+``process_speedup_4shards`` (4-shard vs 1-shard process throughput) —
+asserted ``>= 1.5`` wherever the runner actually has >= 4 usable cores,
+recorded (and regression-gated via ``compare_results.py``) everywhere.
 """
 
 import json
@@ -25,7 +29,9 @@ from repro.core import FAST_CONFIG, make_design
 from repro.engine import ReadoutEngine
 from repro.experiments.results import ExperimentResult
 from repro.readout import five_qubit_paper_device, generate_dataset
-from repro.serve import ReadoutServer, ServeShard, closed_loop
+from repro.serve import (ReadoutServer, ServeShard, closed_loop,
+                        fit_serve_shards)
+from repro.serve.procshard import scaling_summary
 from repro.readout.sharding import plan_feedlines
 
 from conftest import json_result_path, run_once
@@ -36,6 +42,16 @@ SEED = 42
 N_NAIVE_REQUESTS = 600
 N_CLIENTS = 64
 REQUESTS_PER_CLIENT = 25
+
+#: Shard counts swept by the backend-scaling section. The workload is
+#: deliberately chunky (many traces per request, deep batches) so shard
+#: compute — not per-batch IPC — dominates: that is the regime where
+#: process shards can show parallel speedup on multi-core runners.
+SCALING_SHARDS = (1, 2, 4)
+SCALING_CLIENTS = 16
+SCALING_REQUESTS_PER_CLIENT = 10
+SCALING_TRACES_PER_REQUEST = 32
+SCALING_MAX_BATCH_TRACES = 512
 
 
 def run_bench_serve() -> ExperimentResult:
@@ -87,23 +103,63 @@ def run_bench_serve() -> ExperimentResult:
             f"degraded load run ({report.failed} failed, "
             f"{report.rejected} rejected); benchmark numbers would lie")
 
+    # Part 2: shard scaling, thread vs process backend. Shard engines are
+    # fitted once per shard count and reused across backends (the process
+    # backend ships them to its workers as serialized pipelines, leaving
+    # the parent-side copies untouched).
+    result_rows = [
+        ["per-request designs", per_design_tps,
+         per_design_tps / served_tps, float("nan"), float("nan")],
+        ["per-request engine", per_engine_tps,
+         per_engine_tps / served_tps, float("nan"), float("nan")],
+        ["served (micro-batched)", served_tps, 1.0, p50_ms, p99_ms],
+    ]
+    sweep_tps = {}
+    for n_shards in SCALING_SHARDS:
+        shards = fit_serve_shards(MF_DESIGNS, train, val, n_shards=n_shards,
+                                  training=FAST_CONFIG)
+        for backend in ("thread", "process"):
+            sweep_server = ReadoutServer(
+                shards, backend=backend,
+                max_batch_traces=SCALING_MAX_BATCH_TRACES,
+                max_wait_ms=1.0)
+            with sweep_server:
+                sweep = closed_loop(
+                    sweep_server, test, n_clients=SCALING_CLIENTS,
+                    requests_per_client=SCALING_REQUESTS_PER_CLIENT,
+                    traces_per_request=SCALING_TRACES_PER_REQUEST,
+                    seed=SEED + 4)
+            if sweep.failed or sweep.rejected:
+                raise RuntimeError(
+                    f"degraded scaling run ({backend}/{n_shards} shards: "
+                    f"{sweep.failed} failed, {sweep.rejected} rejected)")
+            exit_codes = getattr(sweep_server.backend, "exit_codes", {})
+            if any(code != 0 for code in exit_codes.values()):
+                raise RuntimeError(
+                    f"scaling run left dirty worker exits: {exit_codes}")
+            sweep_tps.setdefault(backend, {})[str(n_shards)] = (
+                sweep.traces_per_s())
+            result_rows.append([
+                f"{backend} x{n_shards} shards", sweep.traces_per_s(),
+                sweep.traces_per_s() / served_tps,
+                sweep.latency_ms(50), sweep.latency_ms(99)])
+    scaling = scaling_summary(sweep_tps)
+
     result = ExperimentResult(
         experiment="bench_serve",
         title=(f"Micro-batched serving vs per-request inference "
-               f"({len(MF_DESIGNS)} designs, single-trace requests)"),
+               f"({len(MF_DESIGNS)} designs) + shard scaling per backend"),
         headers=["path", "traces_per_s", "speedup_vs_served", "p50_ms",
                  "p99_ms"],
-        rows=[
-            ["per-request designs", per_design_tps,
-             per_design_tps / served_tps, float("nan"), float("nan")],
-            ["per-request engine", per_engine_tps,
-             per_engine_tps / served_tps, float("nan"), float("nan")],
-            ["served (micro-batched)", served_tps, 1.0, p50_ms, p99_ms],
-        ],
+        rows=result_rows,
         notes=(f"{N_CLIENTS}-client closed loop, "
                f"{report.completed} requests, mean batch "
                f"{mean_batch:.1f} traces; per-request rows are "
-               f"single-threaded loops over the same fitted pipelines"),
+               f"single-threaded loops over the same fitted pipelines; "
+               f"scaling rows: {SCALING_CLIENTS} clients x "
+               f"{SCALING_REQUESTS_PER_CLIENT} requests x "
+               f"{SCALING_TRACES_PER_REQUEST} traces on "
+               f"{scaling['cpus']} usable core(s)"),
         data={
             "per_design_tps": per_design_tps,
             "per_engine_tps": per_engine_tps,
@@ -113,6 +169,7 @@ def run_bench_serve() -> ExperimentResult:
             "p50_ms": p50_ms,
             "p99_ms": p99_ms,
             "mean_batch_traces": mean_batch,
+            "scaling": scaling,
             "server_stats": server.stats.snapshot(),
             "load_report": report.summary(),
         },
@@ -134,7 +191,29 @@ def test_bench_serve(benchmark, record_result):
     # request stays within a small multiple of the flush deadline.
     assert 0.0 < result.data["p50_ms"] <= result.data["p99_ms"]
 
+    # Shard scaling: the process backend must actually scale with shards —
+    # but only where the runner has the cores to show it. On <4 usable
+    # cores true parallelism is physically capped (1 core: the sweep only
+    # measures IPC overhead), so the bound adapts; the measured ratios are
+    # always recorded and regression-gated through compare_results.py.
+    scaling = result.data["scaling"]
+    process_speedup = scaling["process_speedup_4shards"]
+    assert process_speedup > 0
+    cpus = scaling["cpus"]
+    if cpus >= 4:
+        assert process_speedup >= 1.5, (
+            f"process backend failed to scale on {cpus} cores: "
+            f"{process_speedup:.2f}x at 4 shards")
+    elif cpus >= 2:
+        assert process_speedup >= 1.1, (
+            f"process backend showed no parallel gain on {cpus} cores: "
+            f"{process_speedup:.2f}x at 4 shards")
+    for backend in ("thread", "process"):
+        for tps in scaling[backend].values():
+            assert tps > 0
+
     # The measured numbers are tracked as machine-readable JSON.
     payload = json.loads(json_result_path(result.experiment).read_text())
     assert payload["data"]["served_tps"] == result.data["served_tps"]
     assert "p99_ms" in payload["data"]
+    assert "process_speedup_4shards" in payload["data"]["scaling"]

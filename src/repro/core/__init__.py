@@ -28,8 +28,8 @@ from .metrics import (cross_fidelity_matrix, cumulative_accuracy,
                       relative_improvement)
 from .mf_designs import (MFSVMDiscriminator, MFThresholdDiscriminator,
                          SVMHead, ThresholdHead)
-from .model_io import (load_herqules, load_pipeline, save_herqules,
-                       save_pipeline)
+from .model_io import (dumps_pipeline, load_herqules, load_pipeline,
+                       loads_pipeline, save_herqules, save_pipeline)
 from .pipeline import (FitContext, Pipeline, PipelineDiscriminator, Stage)
 from .quantization import (QuantizedHerqules, accuracy_vs_word_size,
                            quantization_error, quantize_array)
@@ -52,8 +52,9 @@ __all__ = [
     "QuantizedHerqules", "RawTraceStage", "RelaxationLabels", "Stage",
     "StandardScalerStage", "SVMHead", "Threshold", "ThresholdHead",
     "TrainingConfig",
-    "accuracy_vs_word_size", "apply_envelope", "load_herqules",
-    "load_pipeline", "quantization_error", "quantize_array",
+    "accuracy_vs_word_size", "apply_envelope", "dumps_pipeline",
+    "load_herqules", "load_pipeline", "loads_pipeline",
+    "quantization_error", "quantize_array",
     "save_herqules", "save_pipeline",
     "bits_from_basis", "cross_fidelity_matrix", "cumulative_accuracy",
     "evaluate_at_duration", "fit_threshold", "get_relaxation_traces",

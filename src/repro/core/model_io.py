@@ -19,6 +19,7 @@ Two surfaces:
 
 from __future__ import annotations
 
+import io
 from typing import Callable, Dict, List, Tuple, Type
 
 import numpy as np
@@ -375,6 +376,25 @@ def save_pipeline(pipeline, path: str) -> None:
         for key, value in _STAGE_IO[tag][1](stage).items():
             payload[f"s{i}_{key}"] = value
     np.savez_compressed(path, **payload)
+
+
+def dumps_pipeline(pipeline) -> bytes:
+    """Serialize a fitted pipeline to bytes (:func:`save_pipeline` format).
+
+    The in-memory twin of :func:`save_pipeline`: the returned blob is a
+    complete ``.npz`` archive, so it can cross a process boundary (the
+    process serving backend ships engines to its spawn workers this way)
+    or be written to disk verbatim. Round-trips through
+    :func:`loads_pipeline` bit-identically.
+    """
+    buffer = io.BytesIO()
+    save_pipeline(pipeline, buffer)
+    return buffer.getvalue()
+
+
+def loads_pipeline(blob: bytes) -> Pipeline:
+    """Load a fitted pipeline from :func:`dumps_pipeline` bytes."""
+    return load_pipeline(io.BytesIO(blob))
 
 
 def load_pipeline(path: str) -> Pipeline:

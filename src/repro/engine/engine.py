@@ -166,6 +166,22 @@ class ReadoutEngine:
         if hook in self._batch_hooks:
             self._batch_hooks.remove(hook)
 
+    def run_batch_hooks(self, chunk: ReadoutDataset,
+                        bits: Dict[str, np.ndarray]) -> None:
+        """Feed one processed batch to every hook, counting errors.
+
+        The inference path calls this per chunk; the process serving
+        backend calls it from the parent process with batches its worker
+        computed remotely, so observers (drift monitors) keep seeing
+        traffic even though the engine object itself never ran the
+        prediction. Hook errors are counted, never raised.
+        """
+        for hook in self._batch_hooks:
+            try:
+                hook(chunk, bits)
+            except Exception:  # noqa: BLE001 — observers must not fail serving
+                self.stats.hook_errors += 1
+
     # ------------------------------------------------------------------
     # Chunking
     # ------------------------------------------------------------------
@@ -227,11 +243,7 @@ class ReadoutEngine:
             out[served.name] = x
         self.stats.chunks += 1
         self.stats.traces += chunk.n_traces
-        for hook in self._batch_hooks:
-            try:
-                hook(chunk, out)
-            except Exception:  # noqa: BLE001 — observers must not fail serving
-                self.stats.hook_errors += 1
+        self.run_batch_hooks(chunk, out)
         return out
 
     def _check_dtype(self, stage, in_dtype, out: np.ndarray) -> None:

@@ -67,7 +67,7 @@ DESCRIPTIONS: Dict[str, str] = {
     "fig14b": "surface-code logical error vs readout (paper Fig 14b)",
     "fig15": "QEC cycle timing budget (paper Fig 15)",
     "serve_scaling": ("micro-batched serving latency/throughput vs "
-                      "feedline shard count"),
+                      "feedline shard count, thread vs process backend"),
     "drift_recovery": ("closed-loop recalibration vs injected drift: "
                        "fidelity recovery, hot swaps, zero downtime"),
     "async_recovery": ("background per-shard recalibration under live "

@@ -4,8 +4,13 @@ The traffic-facing layer above :mod:`repro.engine`:
 
 * :class:`ReadoutServer` — sync/future/``asyncio`` submission of single-
   and multi-trace requests, micro-batched and fanned out to one worker
-  thread per feedline shard (each owning a fitted
+  per feedline shard (each owning a fitted
   :class:`~repro.engine.ReadoutEngine`);
+* :class:`ShardBackend` — where those workers run:
+  :class:`ThreadShardBackend` (in-process threads, default) or
+  :class:`ProcessShardBackend` (one spawned process per shard, trace
+  batches through :class:`~repro.serve.shm.TraceRing` shared memory —
+  true parallel shards);
 * :class:`MicroBatcher` — the size/deadline coalescing scheduler with
   reject/shed backpressure;
 * :class:`ServerStats` — p50/p95/p99 latency and throughput counters;
@@ -16,14 +21,19 @@ The traffic-facing layer above :mod:`repro.engine`:
 
 from .batcher import (OVERLOAD_POLICIES, MicroBatcher, ServeRequest,
                       ServerClosedError, ServerOverloadedError)
-from .builder import build_sharded_server
+from .builder import build_sharded_server, fit_serve_shards
 from .loadgen import LoadReport, closed_loop, open_loop
-from .server import ReadoutResponse, ReadoutServer, ServeShard
+from .procshard import ProcessShardBackend
+from .server import (BACKENDS, ReadoutResponse, ReadoutServer, ServeShard,
+                     ShardBackend, ThreadShardBackend)
+from .shm import TraceRing
 from .stats import ServerStats
 
 __all__ = [
-    "LoadReport", "MicroBatcher", "OVERLOAD_POLICIES", "ReadoutResponse",
-    "ReadoutServer", "ServeRequest", "ServeShard", "ServerClosedError",
-    "ServerOverloadedError", "ServerStats", "build_sharded_server",
-    "closed_loop", "open_loop",
+    "BACKENDS", "LoadReport", "MicroBatcher", "OVERLOAD_POLICIES",
+    "ProcessShardBackend", "ReadoutResponse", "ReadoutServer",
+    "ServeRequest", "ServeShard", "ServerClosedError",
+    "ServerOverloadedError", "ServerStats", "ShardBackend",
+    "ThreadShardBackend", "TraceRing", "build_sharded_server",
+    "closed_loop", "fit_serve_shards", "open_loop",
 ]

@@ -7,7 +7,7 @@ training data and wires the per-shard engines into a server — the whole
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
+from typing import List, Optional, Sequence
 
 import numpy as np
 
@@ -19,34 +19,18 @@ from repro.readout.sharding import plan_feedlines
 from .server import ReadoutServer, ServeShard
 
 
-def build_sharded_server(design_names: Sequence[str], train: ReadoutDataset,
-                         val: Optional[ReadoutDataset] = None, *,
-                         n_shards: int = 1,
-                         training: Optional[TrainingConfig] = None,
-                         dtype=np.float32,
-                         chunk_size: Optional[int] = None,
-                         **server_kwargs) -> ReadoutServer:
-    """Fit per-shard designs and assemble the serving facade.
+def fit_serve_shards(design_names: Sequence[str], train: ReadoutDataset,
+                     val: Optional[ReadoutDataset] = None, *,
+                     n_shards: int = 1,
+                     training: Optional[TrainingConfig] = None,
+                     dtype=np.float32,
+                     chunk_size: Optional[int] = None) -> List[ServeShard]:
+    """Fit one engine per feedline shard; the servable building blocks.
 
-    Parameters
-    ----------
-    design_names:
-        Designs every shard serves (e.g. ``("mf", "mf-rmf-nn")``).
-    train / val:
-        Full-device calibration splits; each shard fits on its
-        :meth:`~repro.readout.dataset.ReadoutDataset.select_qubits` view.
-    n_shards:
-        Feedline groups to partition the device into (see
-        :func:`~repro.readout.sharding.plan_feedlines`).
-    training:
-        Training hyper-parameters for NN/SVM heads; defaults to each
-        design's defaults.
-    dtype / chunk_size:
-        Engine knobs; the float32 default is the streaming hot path, pass
-        ``np.float64`` for bit-exact parity with per-design prediction.
-    server_kwargs:
-        Forwarded to :class:`~.server.ReadoutServer` (batching and
-        backpressure knobs).
+    The fitting half of :func:`build_sharded_server`, exposed separately
+    so fitted shards can be reused — e.g. served by both execution
+    backends in the scaling sweeps without recalibrating per backend
+    (parameters are documented there).
     """
     if not design_names:
         raise ValueError("need at least one design name")
@@ -68,4 +52,45 @@ def build_sharded_server(design_names: Sequence[str], train: ReadoutDataset,
             engine=ReadoutEngine(designs, **engine_kwargs),
             device=shard_train.device,
         ))
-    return ReadoutServer(shards, **server_kwargs)
+    return shards
+
+
+def build_sharded_server(design_names: Sequence[str], train: ReadoutDataset,
+                         val: Optional[ReadoutDataset] = None, *,
+                         n_shards: int = 1,
+                         training: Optional[TrainingConfig] = None,
+                         dtype=np.float32,
+                         chunk_size: Optional[int] = None,
+                         backend: str = "thread",
+                         **server_kwargs) -> ReadoutServer:
+    """Fit per-shard designs and assemble the serving facade.
+
+    Parameters
+    ----------
+    design_names:
+        Designs every shard serves (e.g. ``("mf", "mf-rmf-nn")``).
+    train / val:
+        Full-device calibration splits; each shard fits on its
+        :meth:`~repro.readout.dataset.ReadoutDataset.select_qubits` view.
+    n_shards:
+        Feedline groups to partition the device into (see
+        :func:`~repro.readout.sharding.plan_feedlines`).
+    training:
+        Training hyper-parameters for NN/SVM heads; defaults to each
+        design's defaults.
+    dtype / chunk_size:
+        Engine knobs; the float32 default is the streaming hot path, pass
+        ``np.float64`` for bit-exact parity with per-design prediction.
+    backend:
+        Shard execution backend: ``"thread"`` (in-process workers,
+        default) or ``"process"`` (one spawned worker process per shard —
+        true parallel shards; see
+        :class:`~.procshard.ProcessShardBackend`).
+    server_kwargs:
+        Forwarded to :class:`~.server.ReadoutServer` (batching and
+        backpressure knobs, ``backend_options``).
+    """
+    shards = fit_serve_shards(design_names, train, val, n_shards=n_shards,
+                              training=training, dtype=dtype,
+                              chunk_size=chunk_size)
+    return ReadoutServer(shards, backend=backend, **server_kwargs)

@@ -1,0 +1,706 @@
+"""Process-based shard execution: true parallel serving workers.
+
+:class:`ProcessShardBackend` runs each :class:`~.server.ServeShard` in its
+own **spawned worker process**, so shard compute escapes the parent
+interpreter's GIL and a multi-shard server's throughput scales with cores
+instead of plateauing. The moving parts, per shard:
+
+* **engine shipping** — the worker never pickles live engine objects; it
+  rebuilds a fresh :class:`~repro.engine.ReadoutEngine` from the fitted
+  pipelines serialized with :func:`repro.core.dumps_pipeline` (the
+  ``save_pipeline``/``load_pipeline`` archive format), both at startup and
+  on every :meth:`~.server.ReadoutServer.swap_engine` hot swap;
+* **trace transport** — micro-batches move through a
+  :class:`~.shm.TraceRing` (paired request/response slots in POSIX shared
+  memory): the parent memcpys the shard's trace columns into a free slot
+  and sends a tiny ``("batch", seq, slot, n)`` message over a pipe; the
+  worker predicts straight out of the mapped slot and writes bits back in
+  place — no hot-path pickling;
+* **control flow** — commands (ring attach, batch, swap, stop) are
+  strictly ordered on one pipe, which is what preserves the swap-at-a-
+  batch-boundary contract remotely; results return on a second pipe, and
+  a parent-side receiver thread resolves the shared
+  :class:`~.server._InFlightBatch` futures exactly like a thread-backend
+  worker would;
+* **observability mirroring** — each result carries the worker engine's
+  counter snapshot (surfaced via
+  :meth:`~.server.ReadoutServer.engine_stats`), and the parent replays
+  every completed batch through the parent-side replica engine's batch
+  hooks (:meth:`~repro.engine.ReadoutEngine.run_batch_hooks`), so drift
+  monitors and the :class:`~repro.calib.worker.CalibrationWorker` keep
+  working unchanged;
+* **deterministic teardown** — :meth:`~.server.ReadoutServer.stop` makes
+  queued batches fail fast (an ``Event`` the worker checks before
+  computing), completes the in-flight one, then joins every child —
+  escalating to terminate/kill after a timeout — and records exit codes.
+  A worker that *dies* (crash, OOM kill) is detected via its process
+  sentinel: its pending batches fail immediately with
+  :class:`~.batcher.ServerClosedError` and the death is counted in
+  :class:`~.stats.ServerStats`.
+
+Workers use the ``spawn`` start method: children import the package fresh
+and receive only picklable state, so the backend never depends on
+fork-inherited locks or monkeypatched module state.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import os
+import pickle
+import queue
+import threading
+from dataclasses import dataclass
+from multiprocessing.connection import wait as _connection_wait
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.model_io import dumps_pipeline, loads_pipeline
+from repro.readout.dataset import ReadoutDataset
+
+from .batcher import ServerClosedError
+from .server import ShardBackend, ServeShard, _shard_columns
+from .shm import TraceRing
+
+#: Request/response slots per worker ring: double buffering, so the parent
+#: fills the next batch while the worker computes the current one.
+DEFAULT_RING_SLOTS = 2
+
+#: How long a clean shutdown waits for a worker before escalating.
+DEFAULT_JOIN_TIMEOUT_S = 10.0
+
+#: How long ReadoutServer.start() waits for every worker's ready
+#: handshake (interpreter boot + package import, budgeted generously for
+#: loaded CI machines).
+DEFAULT_STARTUP_TIMEOUT_S = 120.0
+
+#: BLAS/OpenMP pools are capped to one thread per worker unless the
+#: operator set these explicitly: the backend's parallelism is one
+#: process per shard, and N workers each spinning up a cores-wide BLAS
+#: pool oversubscribe the host instead of scaling it. The caps ride the
+#: environment snapshot spawn takes at Process.start(), so applying them
+#: mutates the parent environment briefly — _SPAWN_ENV_LOCK serializes
+#: every backend's spawn batch so two servers starting concurrently
+#: cannot see each other's half-applied caps.
+_WORKER_THREAD_CAPS = {
+    "OMP_NUM_THREADS": "1",
+    "OPENBLAS_NUM_THREADS": "1",
+    "MKL_NUM_THREADS": "1",
+}
+
+_SPAWN_ENV_LOCK = threading.Lock()
+
+
+def scaling_summary(
+        throughput: Dict[str, Dict[str, float]]) -> Dict[str, object]:
+    """Summarize a backend x shard-count throughput sweep.
+
+    ``throughput[backend][str(n_shards)]`` is traces/s. Returns the
+    ``data["scaling"]`` block both the serve benchmark and the
+    ``serve_scaling`` experiment emit: the per-backend curves, one
+    ``{backend}_speedup_{N}shards`` ratio (largest vs smallest swept
+    shard count), and the ``cpus`` context
+    ``benchmarks/compare_results.py`` keys its cross-machine gating on —
+    one producer, so the gate's schema cannot silently drift.
+    """
+    summary: Dict[str, object] = {"cpus": usable_cpu_count()}
+    for backend, curve in throughput.items():
+        summary[backend] = dict(curve)
+        counts = sorted(curve, key=int)
+        low, high = counts[0], counts[-1]
+        if len(counts) > 1 and curve[low] > 0:
+            summary[f"{backend}_speedup_{high}shards"] = (
+                curve[high] / curve[low])
+    return summary
+
+
+def usable_cpu_count() -> int:
+    """CPUs this process may actually run on — the parallelism ceiling.
+
+    ``os.cpu_count()`` reports the machine; affinity masks and container
+    cpusets can grant far less. Scaling expectations for the process
+    backend (how many shards can truly run in parallel) must come from
+    this number, not the nominal one.
+    """
+    getaffinity = getattr(os, "sched_getaffinity", None)
+    if getaffinity is not None:
+        try:
+            return max(1, len(getaffinity(0)))
+        except OSError:  # pragma: no cover - exotic platforms
+            pass
+    return os.cpu_count() or 1
+
+
+@dataclass(frozen=True)
+class EngineSpec:
+    """Picklable description of a fitted engine, rebuildable anywhere.
+
+    ``blobs`` maps design name to :func:`repro.core.dumps_pipeline` bytes;
+    ``dtype``/``chunk_size`` reproduce the engine's streaming knobs. The
+    mapping order fixes the design order used for response-slot layout.
+    """
+
+    blobs: Tuple[Tuple[str, bytes], ...]
+    dtype: str
+    chunk_size: int
+
+
+def engine_to_spec(engine) -> EngineSpec:
+    """Serialize an engine's fitted pipelines for a worker process.
+
+    Requires an engine exposing ``pipelines`` (a fitted
+    :class:`~repro.engine.ReadoutEngine` does); anything else cannot cross
+    the process boundary and is rejected up front with a clear error.
+    """
+    pipelines = getattr(engine, "pipelines", None)
+    if not pipelines:
+        raise ValueError(
+            f"the process backend ships engines as serialized fitted "
+            f"pipelines; {type(engine).__name__!r} exposes no pipelines "
+            f"mapping (use a fitted repro.engine.ReadoutEngine)")
+    blobs = tuple((name, dumps_pipeline(pipeline))
+                  for name, pipeline in pipelines.items())
+    return EngineSpec(
+        blobs=blobs,
+        dtype=np.dtype(getattr(engine, "dtype", np.float32)).str,
+        chunk_size=int(getattr(engine, "chunk_size", 2048)))
+
+
+def engine_from_spec(spec: EngineSpec):
+    """Rebuild a serving engine from :func:`engine_to_spec` output."""
+    from repro.engine import ReadoutEngine
+    designs = {name: loads_pipeline(blob) for name, blob in spec.blobs}
+    return ReadoutEngine(designs, chunk_size=spec.chunk_size,
+                         dtype=np.dtype(spec.dtype))
+
+
+def _portable_exc(exc: BaseException) -> BaseException:
+    """The exception itself when picklable, else a faithful stand-in."""
+    try:
+        pickle.loads(pickle.dumps(exc))
+        return exc
+    except Exception:  # noqa: BLE001 — anything unpicklable gets wrapped
+        return RuntimeError(f"{type(exc).__name__}: {exc}")
+
+
+def _shard_worker_main(shard_index: int, design_names: Tuple[str, ...],
+                       device, spec: EngineSpec, commands, results,
+                       stopping) -> None:
+    """Entry point of one spawned shard worker (module-level for spawn).
+
+    Processes the strictly ordered command stream: attach to (re)allocated
+    trace rings, compute batches out of ring slots, rebuild the engine on
+    hot swaps, and acknowledge ``stop``. Batches arriving after the
+    stopping event are skipped, not computed — the parent fails their
+    futures fast, mirroring the thread backend's drain semantics.
+    """
+    engine = engine_from_spec(spec)
+    ring: Optional[TraceRing] = None
+    try:
+        # Interpreter boot + package import dominate worker startup; the
+        # ready handshake lets the parent keep that out of serving time.
+        results.send(("ready",))
+        while True:
+            try:
+                message = commands.recv()
+            except (EOFError, OSError):
+                break                     # parent vanished; die quietly
+            kind = message[0]
+            if kind == "stop":
+                results.send(("stopped",))
+                break
+            if kind == "ring":
+                if ring is not None:
+                    ring.close()
+                ring = TraceRing.attach(message[1])
+            elif kind == "swap":
+                engine = engine_from_spec(message[1])
+                if message[2] is not None:
+                    device = message[2]
+            elif kind == "batch":
+                _, seq, slot, n_traces = message
+                if stopping.is_set():
+                    results.send(("skipped", seq, slot))
+                    continue
+                try:
+                    demod = ring.request_view(slot, n_traces)
+                    bits = engine.predict_traces(demod, device)
+                    ring.write_response(slot, bits, design_names)
+                    results.send(("done", seq, slot,
+                                  engine.stats.as_dict()))
+                except Exception as exc:  # noqa: BLE001 — fail the batch
+                    results.send(("err", seq, slot, _portable_exc(exc)))
+    finally:
+        if ring is not None:
+            ring.close()
+        try:
+            results.close()
+            commands.close()
+        except OSError:
+            pass
+
+
+class _ShardUnavailable(Exception):
+    """Internal: this shard cannot take the batch (dead or stopping)."""
+
+
+class _ProcessShard:
+    """Parent-side handle for one spawned shard worker."""
+
+    def __init__(self, server, shard: ServeShard, spec: EngineSpec, ctx,
+                 n_slots: int, join_timeout_s: float):
+        self.shard = shard
+        self.index = shard.feedline.index
+        self._server = server
+        self._n_slots = n_slots
+        self._join_timeout_s = join_timeout_s
+        self._columns = _shard_columns(shard.feedline)
+        self._n_qubits = shard.feedline.n_qubits
+        # Canonical design order shared with the worker for the life of
+        # the shard: fixes the response-slot layout across hot swaps
+        # (engines may list designs in any internal order).
+        self._design_names = tuple(server.design_names)
+        self._ring: Optional[TraceRing] = None
+        self._free: "queue.Queue[int]" = queue.Queue()
+        for slot in range(n_slots):
+            self._free.put(slot)
+        self._pending: Dict[int, object] = {}
+        self._next_seq = 0
+        self._lock = threading.Lock()
+        self._send_lock = threading.Lock()
+        self._dead = False
+        self._finished = False
+        self._ready = threading.Event()
+        self.exit_code: Optional[int] = None
+        self.last_engine_stats: Optional[Dict[str, float]] = None
+
+        cmd_child, self._commands = ctx.Pipe(duplex=False)
+        self._results, res_child = ctx.Pipe(duplex=False)
+        self._stopping = ctx.Event()
+        self._proc = ctx.Process(
+            target=_shard_worker_main,
+            args=(self.index, self._design_names, shard.device, spec,
+                  cmd_child, res_child, self._stopping),
+            name=f"readout-serve-shard{self.index}", daemon=True)
+        self._proc.start()
+        # Close the child's pipe ends in the parent so EOF propagates.
+        cmd_child.close()
+        res_child.close()
+        self._receiver = threading.Thread(
+            target=self._receive_loop,
+            name=f"readout-serve-shard{self.index}-recv", daemon=True)
+        self._receiver.start()
+
+    # ------------------------------------------------------------------
+    # Submission (dispatcher thread only)
+    # ------------------------------------------------------------------
+    @property
+    def dead(self) -> bool:
+        return self._dead
+
+    @property
+    def pid(self) -> Optional[int]:
+        return self._proc.pid
+
+    def death_error(self) -> ServerClosedError:
+        return ServerClosedError(
+            f"shard {self.index} worker died (exit code {self.exit_code})")
+
+    def wait_ready(self, timeout_s: float) -> None:
+        """Block until the worker's ready handshake (or its death).
+
+        Keeps one-time worker startup (interpreter boot, package import,
+        pipeline deserialization) out of serving latency, and turns a
+        worker that cannot even start — e.g. a corrupt engine blob — into
+        an immediate, attributable error instead of a dead first batch.
+        """
+        if not self._ready.wait(timeout_s):
+            raise RuntimeError(
+                f"shard {self.index} worker not ready after {timeout_s:g}s")
+        if self._dead:
+            raise RuntimeError(str(self.death_error()))
+
+    def submit(self, inflight) -> None:
+        try:
+            demod = inflight.demod[:, self._columns]
+            slot = self._prepare_slot(demod)
+        except _ShardUnavailable as exc:
+            inflight.fail(ServerClosedError(str(exc)))
+            return
+        with self._lock:
+            if self._dead:
+                self._free.put(slot)
+                inflight.fail(self.death_error())
+                return
+            seq = self._next_seq
+            self._next_seq += 1
+            self._pending[seq] = inflight
+        try:
+            with self._send_lock:
+                self._commands.send(("batch", seq, slot,
+                                     int(demod.shape[0])))
+        except (BrokenPipeError, OSError):
+            with self._lock:
+                self._pending.pop(seq, None)
+            self._free.put(slot)      # the worker will never release it
+            inflight.fail(self.death_error())
+
+    def _prepare_slot(self, demod: np.ndarray) -> int:
+        if self._ring is None or not self._ring.fits(demod):
+            self._reallocate_ring(demod)
+        slot = self._acquire_free_slot()
+        self._ring.write_request(slot, demod)
+        return slot
+
+    def _acquire_free_slot(self) -> int:
+        while True:
+            if self._dead:
+                raise _ShardUnavailable(str(self.death_error()))
+            if self._server.stopping.is_set():
+                raise _ShardUnavailable(
+                    "server stopped before the batch was shipped to the "
+                    "worker")
+            try:
+                return self._free.get(timeout=0.05)
+            except queue.Empty:
+                continue
+
+    def _reallocate_ring(self, demod: np.ndarray) -> None:
+        """Swap in a ring sized for this batch (first batch, or growth).
+
+        Claims every slot first so no in-flight batch still references
+        the old segment, then publishes the new geometry on the ordered
+        command pipe — the worker attaches before it can see any batch
+        message that uses the new slots.
+        """
+        claimed = [self._acquire_free_slot() for _ in range(self._n_slots)]
+        old = self._ring
+        capacity = max(self._server.max_batch_traces, int(demod.shape[0]))
+        ring = TraceRing.create(
+            n_slots=self._n_slots, capacity=capacity,
+            trace_shape=demod.shape[1:], dtype=demod.dtype,
+            n_designs=len(self._design_names))
+        try:
+            with self._send_lock:
+                self._commands.send(("ring", ring.spec.as_dict()))
+        except (BrokenPipeError, OSError):
+            ring.close()
+            ring.unlink()
+            for slot in claimed:
+                self._free.put(slot)
+            raise _ShardUnavailable(str(self.death_error())) from None
+        self._ring = ring
+        if old is not None:
+            old.close()
+            old.unlink()
+        for slot in claimed:
+            self._free.put(slot)
+
+    # ------------------------------------------------------------------
+    # Results (receiver thread)
+    # ------------------------------------------------------------------
+    def _receive_loop(self) -> None:
+        sentinel = self._proc.sentinel
+        while True:
+            try:
+                ready = _connection_wait([self._results, sentinel])
+            except OSError:
+                self._on_death()
+                return
+            if self._results in ready:
+                try:
+                    message = self._results.recv()
+                except (EOFError, OSError):
+                    self._on_death()
+                    return
+                if not self._dispatch_message(message):
+                    return
+            else:
+                # The worker died. Drain results it flushed before the
+                # crash, then fail whatever is still pending.
+                while self._results.poll(0.01):
+                    try:
+                        message = self._results.recv()
+                    except (EOFError, OSError):
+                        break
+                    if not self._dispatch_message(message):
+                        return
+                self._on_death()
+                return
+
+    def _dispatch_message(self, message) -> bool:
+        """Route one worker message; False ends the receive loop."""
+        if message[0] == "stopped":
+            return False
+        if message[0] == "ready":
+            self._ready.set()
+            return True
+        self._handle_result(message)
+        return True
+
+    def _handle_result(self, message) -> None:
+        kind, seq, slot = message[0], message[1], message[2]
+        with self._lock:
+            inflight = self._pending.pop(seq, None)
+        bits = None
+        failure: Optional[BaseException] = None
+        if kind == "done":
+            self.last_engine_stats = message[3]
+            if inflight is not None:
+                try:
+                    bits = self._ring.read_response(
+                        slot, inflight.n_traces, self._design_names)
+                except Exception as exc:  # noqa: BLE001 — never hang a client
+                    failure = exc
+        elif kind == "skipped":
+            failure = ServerClosedError(
+                "server stopped before the batch reached the engine")
+        elif kind == "err":
+            failure = message[3]
+        # Nothing reads the slot past this point (hooks run on the
+        # parent's own copy of the batch) — and it is always freed, even
+        # on a failed read, or the ring would leak capacity and stall.
+        self._free.put(slot)
+        if inflight is None:
+            return
+        if failure is not None:
+            inflight.fail(failure)
+        elif bits is not None:
+            try:
+                self._mirror_hooks(inflight, bits)
+                inflight.deliver(self.shard.feedline, bits)
+            except Exception as exc:  # noqa: BLE001 — never hang a client
+                inflight.fail(exc)
+
+    def _mirror_hooks(self, inflight,
+                      bits: Dict[str, np.ndarray]) -> None:
+        """Replay a remotely computed batch through the replica's hooks.
+
+        Keeps parent-side observers (score drift monitors, any
+        ``add_batch_hook`` consumer) fed even though inference ran in the
+        worker. The chunk is built from the parent's own copy of the
+        batch, so a slow hook never pins a ring slot.
+        """
+        engine = self.shard.engine
+        run = getattr(engine, "run_batch_hooks", None)
+        if run is None or not getattr(engine, "_batch_hooks", None):
+            return
+        demod = inflight.demod[:, self._columns]
+        chunk = ReadoutDataset(
+            demod=demod,
+            labels=np.zeros((demod.shape[0], self._n_qubits),
+                            dtype=np.int64),
+            basis=np.zeros(demod.shape[0], dtype=np.int64),
+            device=self.shard.device)
+        run(chunk, bits)
+
+    def _on_death(self) -> None:
+        with self._lock:
+            if self._dead:
+                return
+            self._dead = True
+            pending = list(self._pending.values())
+            self._pending.clear()
+        self._proc.join(timeout=1.0)
+        self.exit_code = self._proc.exitcode
+        self._server.stats.record_worker_death()
+        self._ready.set()             # wake any startup waiter to the error
+        exc = self.death_error()
+        for inflight in pending:
+            inflight.fail(exc)
+
+    # ------------------------------------------------------------------
+    # Swap and teardown
+    # ------------------------------------------------------------------
+    def send_swap(self, spec: EngineSpec, device) -> None:
+        if self._dead:
+            return        # requests are failing anyway; parent state holds
+        try:
+            with self._send_lock:
+                self._commands.send(("swap", spec, device))
+        except (BrokenPipeError, OSError):
+            pass          # receiver notices the death via the sentinel
+
+    def begin_stop(self) -> None:
+        """Make batches the worker has not started computing fail fast."""
+        self._stopping.set()
+
+    def send_stop(self) -> None:
+        if self._dead:
+            return
+        try:
+            with self._send_lock:
+                self._commands.send(("stop",))
+        except (BrokenPipeError, OSError):
+            pass
+
+    def finish_stop(self) -> None:
+        """Reap the worker: join, escalate on timeout, record exit code."""
+        if self._finished:
+            return
+        self._finished = True
+        self._proc.join(self._join_timeout_s)
+        if self._proc.is_alive():
+            self._proc.terminate()
+            self._proc.join(2.0)
+        if self._proc.is_alive():
+            self._proc.kill()
+            self._proc.join()
+        self.exit_code = self._proc.exitcode
+        self._receiver.join(timeout=self._join_timeout_s)
+        with self._lock:
+            self._dead = True
+            pending = list(self._pending.values())
+            self._pending.clear()
+        closed = ServerClosedError(
+            "server stopped before the request was scheduled")
+        for inflight in pending:
+            inflight.fail(closed)
+        for conn in (self._commands, self._results):
+            try:
+                conn.close()
+            except OSError:
+                pass
+        if self._ring is not None:
+            self._ring.close()
+            self._ring.unlink()
+            self._ring = None
+
+
+class ProcessShardBackend(ShardBackend):
+    """One spawned worker process per shard; batches via shared memory.
+
+    Parameters
+    ----------
+    ring_slots:
+        Request/response slots per worker ring. Two (the default) double-
+        buffers: the parent fills the next batch while the worker computes
+        the current one. More slots deepen the per-worker queue at the
+        cost of shared memory.
+    join_timeout_s:
+        How long :meth:`stop` waits for a worker to exit cleanly before
+        escalating to ``terminate()`` (then ``kill()``).
+    start_method:
+        ``multiprocessing`` start method; ``spawn`` (the default) is the
+        portable, state-clean choice and the one the spawn-safety tests
+        pin.
+
+    Requires every shard engine to expose serializable fitted pipelines
+    (see :func:`engine_to_spec`); stub engines without them are rejected
+    at :meth:`start`. After :meth:`stop`, :attr:`exit_codes` holds each
+    worker's recorded exit code, keyed by shard index — ``0`` is a clean
+    reap, negative values are the fatal signal.
+    """
+
+    name = "process"
+
+    def __init__(self, *, ring_slots: int = DEFAULT_RING_SLOTS,
+                 join_timeout_s: float = DEFAULT_JOIN_TIMEOUT_S,
+                 startup_timeout_s: float = DEFAULT_STARTUP_TIMEOUT_S,
+                 start_method: str = "spawn"):
+        if ring_slots < 1:
+            raise ValueError(
+                f"ring_slots must be positive, got {ring_slots}")
+        if join_timeout_s <= 0:
+            raise ValueError(
+                f"join_timeout_s must be positive, got {join_timeout_s}")
+        if startup_timeout_s <= 0:
+            raise ValueError(
+                f"startup_timeout_s must be positive, "
+                f"got {startup_timeout_s}")
+        self._ring_slots = int(ring_slots)
+        self._join_timeout_s = float(join_timeout_s)
+        self._startup_timeout_s = float(startup_timeout_s)
+        self._start_method = start_method
+        self._handles: List[_ProcessShard] = []
+        self._server = None
+
+    def start(self, server) -> None:
+        if self._server is not None:
+            raise RuntimeError(
+                "a ShardBackend instance serves exactly one server; "
+                "build a fresh backend for a new server")
+        self._server = server
+        ctx = mp.get_context(self._start_method)
+        # Serialize every engine before spawning anything: a shard whose
+        # engine cannot ship must fail the whole start, not leave a
+        # half-started worker pool behind.
+        specs = [(shard, engine_to_spec(shard.engine))
+                 for shard in server.shards]
+        # Workers boot concurrently; block until every one reports ready.
+        # Any failure — a spawn that cannot even fork or a worker that
+        # never comes up — reaps whatever was already started, so a
+        # failed start leaves no orphans (and no stale handles behind
+        # for a later submit to trip over).
+        try:
+            # Cap the workers' BLAS pools for the duration of the spawn
+            # batch (spawn snapshots the environment at Process.start());
+            # operator-set values are respected, and the lock keeps a
+            # concurrently starting backend from seeing — or tearing down
+            # — a half-applied environment.
+            with _SPAWN_ENV_LOCK:
+                capped = {key: value
+                          for key, value in _WORKER_THREAD_CAPS.items()
+                          if key not in os.environ}
+                os.environ.update(capped)
+                try:
+                    for shard, spec in specs:
+                        self._handles.append(_ProcessShard(
+                            server, shard, spec, ctx, self._ring_slots,
+                            self._join_timeout_s))
+                finally:
+                    for key in capped:
+                        os.environ.pop(key, None)
+            for handle in self._handles:
+                handle.wait_ready(self._startup_timeout_s)
+        except Exception:
+            self.request_stop()
+            self.stop()
+            self._handles = []
+            self._server = None     # a failed start may be retried
+            raise
+
+    def submit(self, inflight) -> None:
+        for handle in self._handles:
+            if handle.dead:
+                # One dead shard makes the whole batch unservable; fail it
+                # up front instead of burning the healthy workers on it.
+                inflight.fail(handle.death_error())
+                return
+        for handle in self._handles:
+            handle.submit(inflight)
+
+    def request_stop(self) -> None:
+        for handle in self._handles:
+            handle.begin_stop()
+
+    def stop(self) -> None:
+        for handle in self._handles:
+            handle.send_stop()
+        for handle in self._handles:
+            handle.finish_stop()
+
+    def prepare_swap(self, shard: ServeShard, engine) -> EngineSpec:
+        return engine_to_spec(engine)
+
+    def commit_swap(self, shard: ServeShard, payload: EngineSpec) -> None:
+        for handle in self._handles:
+            if handle.shard is shard:
+                handle.send_swap(payload, shard.device)
+                return
+
+    def engine_stats(self) -> Dict[int, Dict[str, float]]:
+        return {handle.index: dict(handle.last_engine_stats)
+                for handle in self._handles
+                if handle.last_engine_stats is not None}
+
+    @property
+    def exit_codes(self) -> Dict[int, Optional[int]]:
+        """Recorded worker exit codes by shard index (None: still alive)."""
+        return {handle.index: handle.exit_code for handle in self._handles}
+
+    @property
+    def worker_pids(self) -> Dict[int, Optional[int]]:
+        """Live worker process ids by shard index (observability/tests)."""
+        return {handle.index: handle.pid for handle in self._handles}

@@ -4,12 +4,27 @@
 :class:`~repro.engine.ReadoutEngine`: clients submit single- or multi-trace
 discrimination requests (sync, future-based, or ``asyncio``); a
 :class:`~.batcher.MicroBatcher` coalesces them until a size or deadline
-trigger; and each flushed batch fans out to one worker thread per
+trigger; and each flushed batch fans out to one worker per
 :class:`ServeShard`. A shard owns the fitted engine for one feedline qubit
 group — the software analogue of the paper's one-FPGA-per-feedline
-deployment — so each engine is only ever driven by its own worker thread
-(engines keep mutable chunk buffers) and multi-qubit devices scale
-horizontally by adding shards.
+deployment — so each engine is only ever driven by its own worker (engines
+keep mutable chunk buffers) and multi-qubit devices scale horizontally by
+adding shards.
+
+*Where* the shard workers run is a :class:`ShardBackend` choice:
+
+* ``backend="thread"`` (:class:`ThreadShardBackend`, the default) runs one
+  worker thread per shard in this process — lowest latency, zero setup
+  cost, but every shard shares the GIL, so added shards mostly improve
+  batching, not raw throughput;
+* ``backend="process"`` (:class:`~.procshard.ProcessShardBackend`) runs
+  one *spawned worker process* per shard, shipping trace batches through
+  shared-memory rings and engines as serialized pipelines — true parallel
+  shards at the cost of per-batch IPC and worker startup.
+
+Everything above the backend — submission APIs, micro-batching,
+backpressure, :class:`~.stats.ServerStats`, :meth:`ReadoutServer.swap_engine`
+hot swaps, and the calibration plumbing — behaves identically on both.
 """
 
 from __future__ import annotations
@@ -20,7 +35,7 @@ import time
 from concurrent.futures import Future, InvalidStateError
 from dataclasses import dataclass
 from queue import SimpleQueue
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Union
 
 import numpy as np
 
@@ -30,6 +45,9 @@ from repro.readout.sharding import FeedlineShard
 from .batcher import (MicroBatcher, ServeRequest, ServerClosedError,
                       ServerOverloadedError)
 from .stats import ServerStats
+
+#: Shard execution backends selectable by name.
+BACKENDS = ("thread", "process")
 
 
 @dataclass
@@ -44,11 +62,15 @@ class ServeShard:
     for (see :func:`~repro.readout.sharding.shard_device`).
 
     ``engine`` is deliberately a mutable reference: the shard's worker
-    thread re-reads it at every micro-batch boundary, which is what lets
+    re-reads it at every micro-batch boundary, which is what lets
     :meth:`ReadoutServer.swap_engine` promote a recalibrated engine with a
     single atomic assignment and zero downtime. ``device`` may be updated
     in the same swap (a recalibrated engine is typically fitted against a
-    fresher calibration dataset's device snapshot).
+    fresher calibration dataset's device snapshot). On the process backend
+    this object is the *parent-side replica* — the authoritative fitted
+    model the worker process's deserialized copy is built from, and the
+    attachment point for batch-hook observers (drift monitors), which the
+    backend feeds with every remotely computed batch.
     """
 
     feedline: FeedlineShard
@@ -104,7 +126,7 @@ class _InFlightBatch:
     still-pending request in the batch. Futures a client has already
     cancelled (e.g. an ``asyncio`` timeout propagated through
     ``wrap_future``) are skipped — a cancelled request must never take a
-    worker thread down with it.
+    worker down with it.
     """
 
     def __init__(self, requests: List[ServeRequest], n_shards: int,
@@ -136,6 +158,8 @@ class _InFlightBatch:
 
     def fail(self, exc: BaseException) -> None:
         with self._lock:
+            if self._settled:
+                return
             self._settled = True
         failed = sum(_fail_future(r.future, exc) for r in self.requests)
         if failed:
@@ -168,6 +192,149 @@ class _InFlightBatch:
             offset += m
 
 
+class ShardBackend:
+    """Execution strategy for flushed micro-batches over the shards.
+
+    The server owns admission (validation, micro-batching, backpressure)
+    and result plumbing (futures, stats); a backend owns the workers that
+    drive each :class:`ServeShard`'s engine. The lifecycle mirrors the
+    server's:
+
+    * :meth:`start` once, before any batch flows;
+    * :meth:`submit` from the dispatcher thread only — fan one
+      :class:`_InFlightBatch` out to every shard worker;
+    * :meth:`request_stop` when shutdown begins — queued-but-unstarted
+      work must fail fast from here on (the batch each worker is
+      computing still completes);
+    * :meth:`stop` last — reap every worker deterministically.
+
+    Engine hot swaps are split into :meth:`prepare_swap` (may raise, runs
+    before the server mutates any shard state — e.g. the process backend
+    serializes the replacement here) and :meth:`commit_swap` (runs under
+    the server's state lock after the shard references are updated).
+    """
+
+    name = "?"
+
+    def start(self, server: "ReadoutServer") -> None:
+        raise NotImplementedError
+
+    def submit(self, inflight: _InFlightBatch) -> None:
+        raise NotImplementedError
+
+    def request_stop(self) -> None:
+        """Shutdown has begun: make not-yet-started work fail fast."""
+
+    def stop(self) -> None:
+        raise NotImplementedError
+
+    def prepare_swap(self, shard: ServeShard, engine) -> object:
+        """Validate/serialize a replacement engine; returns commit payload."""
+        return None
+
+    def commit_swap(self, shard: ServeShard, payload: object) -> None:
+        """Propagate an already-applied swap to the shard's worker."""
+
+    def engine_stats(self) -> Dict[int, Dict[str, float]]:
+        """Worker-side engine counters, for backends that run remotely."""
+        return {}
+
+
+class ThreadShardBackend(ShardBackend):
+    """One worker thread per shard, sharing this process (and its GIL).
+
+    The original execution model: lowest latency and zero startup cost,
+    with every shard's engine driven in-process. Engine batch hooks fire
+    naturally on the inference threads and :meth:`ReadoutServer.swap_engine`
+    is a plain reference swap. Throughput, however, is bounded by one
+    interpreter — use :class:`~.procshard.ProcessShardBackend` when shard
+    compute should actually run in parallel.
+    """
+
+    name = "thread"
+
+    def __init__(self):
+        self._server: Optional[ReadoutServer] = None
+        self._queues: List[SimpleQueue] = []
+        self._threads: List[threading.Thread] = []
+
+    def start(self, server: "ReadoutServer") -> None:
+        if self._server is not None:
+            raise RuntimeError(
+                "a ShardBackend instance serves exactly one server; "
+                "build a fresh backend for a new server")
+        self._server = server
+        for shard in server.shards:
+            q: SimpleQueue = SimpleQueue()
+            self._queues.append(q)
+            self._threads.append(threading.Thread(
+                target=self._worker_loop, args=(shard, q),
+                name=f"readout-serve-shard{shard.feedline.index}",
+                daemon=True))
+        for thread in self._threads:
+            thread.start()
+
+    def submit(self, inflight: _InFlightBatch) -> None:
+        for q in self._queues:
+            q.put(inflight)
+
+    def stop(self) -> None:
+        for q in self._queues:
+            q.put(None)
+        for thread in self._threads:
+            thread.join()
+
+    def _worker_loop(self, shard: ServeShard, q: SimpleQueue) -> None:
+        # Contiguous qubit groups (everything plan_feedlines produces) are
+        # sliced as zero-copy views; only irregular groups pay a gather.
+        columns = _shard_columns(shard.feedline)
+        while True:
+            inflight = q.get()
+            if inflight is None:
+                return
+            if self._server.stopping.is_set():
+                # Fail-fast shutdown: batches still queued behind the one
+                # being computed are failed, not drained through the engine.
+                inflight.fail(ServerClosedError(
+                    "server stopped before the batch reached the engine"))
+                continue
+            try:
+                bits = shard.engine.predict_traces(
+                    inflight.demod[:, columns], shard.device)
+                inflight.deliver(shard.feedline, bits)
+            except Exception as exc:  # noqa: BLE001 — fail the whole batch
+                # Covers engine errors and stitching errors alike: any
+                # still-pending future fails rather than hanging, and the
+                # worker thread survives for the next batch.
+                inflight.fail(exc)
+
+
+def _shard_columns(feedline: FeedlineShard) -> Union[slice, List[int]]:
+    """Column indexer for one shard's qubits (zero-copy when contiguous)."""
+    idx = feedline.qubit_indices
+    if idx == tuple(range(idx[0], idx[-1] + 1)):
+        return slice(idx[0], idx[-1] + 1)
+    return list(idx)
+
+
+def _make_backend(backend, backend_options) -> ShardBackend:
+    if isinstance(backend, ShardBackend):
+        if backend_options:
+            raise ValueError(
+                "backend_options only apply to backends built by name; "
+                "configure the instance directly")
+        return backend
+    options = dict(backend_options or {})
+    if backend == "thread":
+        return ThreadShardBackend(**options)
+    if backend == "process":
+        from .procshard import ProcessShardBackend
+        return ProcessShardBackend(**options)
+    raise ValueError(
+        f"backend must be one of {BACKENDS} or a ShardBackend instance, "
+        f"got {backend!r}")
+
+
 class ReadoutServer:
     """Micro-batching readout-discrimination service.
 
@@ -182,8 +349,18 @@ class ReadoutServer:
         :class:`~.batcher.MicroBatcher`.
     latency_window:
         Size of the latency sample window kept by :class:`ServerStats`.
+    backend:
+        Where shard workers run: ``"thread"`` (default, this process),
+        ``"process"`` (one spawned worker process per shard, batches via
+        shared memory), or a prebuilt :class:`ShardBackend` instance.
+        The process backend requires engines whose fitted pipelines are
+        serializable (a :class:`~repro.engine.ReadoutEngine` over
+        ``make_design`` products is).
+    backend_options:
+        Keyword arguments for the named backend's constructor (e.g.
+        ``{"ring_slots": 4}`` for the process backend).
 
-    The server starts its threads lazily on first submission (or
+    The server starts its workers lazily on first submission (or
     explicitly via :meth:`start` / use as a context manager) and cannot be
     restarted after :meth:`stop`.
     """
@@ -191,7 +368,9 @@ class ReadoutServer:
     def __init__(self, shards: Sequence[ServeShard], *,
                  max_batch_traces: int = 256, max_wait_ms: float = 2.0,
                  max_queue_requests: int = 1024, overload: str = "reject",
-                 latency_window: int = 8192):
+                 latency_window: int = 8192,
+                 backend: Union[str, ShardBackend] = "thread",
+                 backend_options: Optional[Dict[str, object]] = None):
         if not shards:
             raise ValueError("server needs at least one shard")
         covered: List[int] = []
@@ -214,8 +393,8 @@ class ReadoutServer:
         self._batcher = MicroBatcher(
             max_batch_traces=max_batch_traces, max_wait_ms=max_wait_ms,
             max_queue_requests=max_queue_requests, overload=overload)
-        self._worker_queues: List[SimpleQueue] = []
-        self._threads: List[threading.Thread] = []
+        self._backend = _make_backend(backend, backend_options)
+        self._dispatcher: Optional[threading.Thread] = None
         self._state_lock = threading.Lock()
         self._stopping = threading.Event()
         self._started = False
@@ -224,6 +403,21 @@ class ReadoutServer:
     @property
     def shards(self) -> Sequence[ServeShard]:
         return self._shards
+
+    @property
+    def backend(self) -> ShardBackend:
+        """The shard execution backend (``backend.name`` identifies it)."""
+        return self._backend
+
+    @property
+    def stopping(self) -> threading.Event:
+        """Set once shutdown begins; backends use it to fail work fast."""
+        return self._stopping
+
+    @property
+    def max_batch_traces(self) -> int:
+        """The micro-batcher's flush size (backends size buffers from it)."""
+        return self._batcher.max_batch_traces
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -234,20 +428,15 @@ class ReadoutServer:
                 raise RuntimeError("server cannot be restarted after stop()")
             if self._started:
                 return self
+            # Backend first: a backend that cannot start (e.g. process
+            # workers with unserializable engines) reaps itself and leaves
+            # the server un-started, so stop() has nothing to unwind.
+            self._backend.start(self)
             self._started = True
-            dispatcher = threading.Thread(
+            self._dispatcher = threading.Thread(
                 target=self._dispatch_loop, name="readout-serve-dispatch",
                 daemon=True)
-            self._threads.append(dispatcher)
-            for shard in self._shards:
-                q: SimpleQueue = SimpleQueue()
-                self._worker_queues.append(q)
-                self._threads.append(threading.Thread(
-                    target=self._worker_loop, args=(shard, q),
-                    name=f"readout-serve-shard{shard.feedline.index}",
-                    daemon=True))
-            for thread in self._threads:
-                thread.start()
+            self._dispatcher.start()
             return self
 
     def stop(self) -> None:
@@ -255,10 +444,13 @@ class ReadoutServer:
 
         The batch each worker is currently computing completes and
         resolves its futures normally; every request still queued — in the
-        batcher or behind other batches in a worker queue — fails fast
-        with :class:`~.batcher.ServerClosedError` instead of being
-        computed (or left hanging). Shutdown latency is therefore bounded
-        by one in-flight batch per shard, not by the backlog depth.
+        batcher or behind other batches on a worker — fails fast with
+        :class:`~.batcher.ServerClosedError` instead of being computed (or
+        left hanging). Shutdown latency is therefore bounded by one
+        in-flight batch per shard, not by the backlog depth. On the
+        process backend, :meth:`stop` additionally reaps every worker
+        process (joining, escalating to terminate/kill on timeout) and
+        records exit codes — no orphans survive it.
         """
         with self._state_lock:
             if self._stopped:
@@ -266,20 +458,18 @@ class ReadoutServer:
             self._stopped = True
             started = self._started
         self._stopping.set()
+        if started:
+            self._backend.request_stop()
         self._batcher.close()
         closed = ServerClosedError(
             "server stopped before the request was scheduled")
         if started:
-            self._threads[0].join()       # dispatcher observes the close
+            self._dispatcher.join()       # dispatcher observes the close
         for request in self._batcher.drain():
             if _fail_future(request.future, closed):
                 self.stats.record_failure()
-        if not started:
-            return
-        for q in self._worker_queues:
-            q.put(None)
-        for thread in self._threads[1:]:
-            thread.join()
+        if started:
+            self._backend.stop()
 
     def __enter__(self) -> "ReadoutServer":
         return self.start()
@@ -355,17 +545,22 @@ class ReadoutServer:
 
         ``shard_index`` is the feedline index (``shard.feedline.index``).
         The swap is a single reference assignment, so it is lock-free on
-        the serve path: the shard's worker thread re-reads ``shard.engine``
-        at every micro-batch boundary, meaning the batch being computed
+        the serve path: the shard's worker re-reads ``shard.engine`` at
+        every micro-batch boundary, meaning the batch being computed
         finishes on the incumbent and the very next batch runs on the new
-        engine — no request is dropped or delayed. ``device`` optionally
-        updates the per-shard device snapshot handed to the engine (a
-        recalibrated engine is usually fitted against fresher calibration
-        data). The new engine must serve exactly the server's design names
-        over the shard's qubit group — design names and, when ``device``
-        is passed, its qubit count are validated here; an engine's group
-        width is not introspectable without a probe trace, so fitting the
-        replacement for the right shard is the caller's contract
+        engine — no request is dropped or delayed. On the process backend
+        the same boundary holds remotely: the replacement's fitted
+        pipelines are serialized (:func:`repro.core.dumps_pipeline`) and
+        shipped through the worker's command channel, which is ordered
+        ahead of subsequent batches, so the worker rebuilds its engine at
+        exactly the same batch boundary. ``device`` optionally updates the
+        per-shard device snapshot handed to the engine (a recalibrated
+        engine is usually fitted against fresher calibration data). The
+        new engine must serve exactly the server's design names over the
+        shard's qubit group — design names and, when ``device`` is passed,
+        its qubit count are validated here; an engine's group width is not
+        introspectable without a probe trace, so fitting the replacement
+        for the right shard is the caller's contract
         (:class:`repro.calib.Recalibrator` fits per ``feedline`` slice).
 
         The per-shard version counter in :attr:`stats` starts at 0 for the
@@ -386,6 +581,9 @@ class ReadoutServer:
             raise ValueError(
                 f"replacement device has {device.n_qubits} qubits, shard "
                 f"{shard_index} serves {shard.feedline.n_qubits}")
+        # Serialization (process backend) happens before any state
+        # mutation: a replacement that cannot ship never half-applies.
+        payload = self._backend.prepare_swap(shard, engine)
         with self._state_lock:
             if self._stopped:
                 raise RuntimeError("server is stopped")
@@ -396,6 +594,7 @@ class ReadoutServer:
             if device is not None:
                 shard.device = device
             shard.engine = engine          # atomic: next batch uses it
+            self._backend.commit_swap(shard, payload)
         return self.stats.record_swap(shard_index)
 
     # ------------------------------------------------------------------
@@ -410,42 +609,33 @@ class ReadoutServer:
                 batch, n_shards=len(self._shards), n_qubits=self.n_qubits,
                 design_names=self.design_names, stats=self.stats)
             self.stats.record_batch(len(batch), inflight.n_traces)
-            for q in self._worker_queues:
-                q.put(inflight)
-
-    def _worker_loop(self, shard: ServeShard, q: SimpleQueue) -> None:
-        # Contiguous qubit groups (everything plan_feedlines produces) are
-        # sliced as zero-copy views; only irregular groups pay a gather.
-        idx = shard.feedline.qubit_indices
-        if idx == tuple(range(idx[0], idx[-1] + 1)):
-            columns = slice(idx[0], idx[-1] + 1)
-        else:
-            columns = list(idx)
-        while True:
-            inflight = q.get()
-            if inflight is None:
-                return
-            if self._stopping.is_set():
-                # Fail-fast shutdown: batches still queued behind the one
-                # being computed are failed, not drained through the engine.
-                inflight.fail(ServerClosedError(
-                    "server stopped before the batch reached the engine"))
-                continue
             try:
-                bits = shard.engine.predict_traces(
-                    inflight.demod[:, columns], shard.device)
-                inflight.deliver(shard.feedline, bits)
-            except Exception as exc:  # noqa: BLE001 — fail the whole batch
-                # Covers engine errors and stitching errors alike: any
-                # still-pending future fails rather than hanging, and the
-                # worker thread survives for the next batch.
+                self._backend.submit(inflight)
+            except Exception as exc:  # noqa: BLE001 — keep dispatching
+                # A backend that cannot take the batch fails it; the
+                # dispatcher itself must survive to drain the close.
                 inflight.fail(exc)
 
     def engine_stats(self) -> Dict[int, Dict[str, float]]:
-        """Per-shard engine counters, keyed by shard index."""
+        """Per-shard engine counters, keyed by shard index.
+
+        On the thread backend these come from the in-process engines; on
+        the process backend each worker reports its own engine's counters
+        with every completed batch, and the freshest snapshot wins — except
+        ``hook_errors``, which is summed with the parent replica's count:
+        batch hooks run parent-side there (the workers have none), so the
+        replica is the only place a broken observer shows up.
+        """
         out: Dict[int, Dict[str, float]] = {}
         for shard in self._shards:
             stats = getattr(shard.engine, "stats", None)
             if stats is not None and hasattr(stats, "as_dict"):
                 out[shard.feedline.index] = stats.as_dict()
+        for index, worker in self._backend.engine_stats().items():
+            parent = out.get(index)
+            if parent is not None and "hook_errors" in parent:
+                worker = dict(worker)
+                worker["hook_errors"] = (worker.get("hook_errors", 0)
+                                         + parent["hook_errors"])
+            out[index] = worker
         return out

@@ -1,0 +1,191 @@
+"""Shared-memory trace rings for the process serving backend.
+
+A :class:`TraceRing` is one ``multiprocessing.shared_memory`` segment laid
+out as ``n_slots`` paired request/response slots:
+
+* the **request block** holds up to ``capacity`` demodulated traces per
+  slot (``(capacity, n_qubits, 2, n_bins)`` in the traffic dtype) — the
+  parent writes a micro-batch's shard columns here with one ``memcpy``
+  instead of pickling the array through a pipe;
+* the **response block** holds the worker's predicted bits per slot
+  (``(n_designs, capacity, n_qubits)`` int64), written in place by the
+  worker and copied out by the parent when the result message arrives.
+
+The ring itself is just typed views over the segment; slot ownership (who
+may write which slot when) is the
+:class:`~.procshard.ProcessShardBackend`'s job — the parent only reuses a
+slot after the worker's ``done``/``skipped``/``err`` message for it, so no
+locks live in shared memory. Geometry travels as a plain :class:`RingSpec`
+dict so the worker can attach with :meth:`TraceRing.attach`.
+
+Rings are sized lazily from real traffic (trace geometry is only known at
+the first batch) and reallocated — never resized in place — when a batch
+outgrows them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass
+from multiprocessing import shared_memory
+from typing import Dict, Sequence, Tuple
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class RingSpec:
+    """Picklable geometry of one :class:`TraceRing` segment."""
+
+    name: str
+    n_slots: int
+    capacity: int
+    trace_shape: Tuple[int, int, int]   # (n_qubits, 2, n_bins)
+    dtype: str
+    n_designs: int
+
+    def as_dict(self) -> Dict[str, object]:
+        return asdict(self)
+
+
+class TraceRing:
+    """Typed request/response slot views over one shared-memory segment.
+
+    Construct with :meth:`create` (owner side — allocates and later
+    unlinks) or :meth:`attach` (worker side — maps an existing segment by
+    name). Both sides address slots by index; payload sizes are carried in
+    the control messages, not in shared memory.
+    """
+
+    def __init__(self, spec: RingSpec, *, create: bool):
+        if spec.n_slots < 1:
+            raise ValueError(f"n_slots must be positive, got {spec.n_slots}")
+        if spec.capacity < 1:
+            raise ValueError(
+                f"capacity must be positive, got {spec.capacity}")
+        if len(spec.trace_shape) != 3 or spec.trace_shape[1] != 2:
+            raise ValueError(
+                f"trace_shape must be (n_qubits, 2, n_bins), "
+                f"got {spec.trace_shape}")
+        if spec.n_designs < 1:
+            raise ValueError(
+                f"n_designs must be positive, got {spec.n_designs}")
+        self.spec = spec
+        self._owner = bool(create)
+        dtype = np.dtype(spec.dtype)
+        req_shape = (spec.n_slots, spec.capacity) + tuple(spec.trace_shape)
+        res_shape = (spec.n_slots, spec.n_designs, spec.capacity,
+                     spec.trace_shape[0])
+        req_nbytes = int(np.prod(req_shape)) * dtype.itemsize
+        res_nbytes = int(np.prod(res_shape)) * np.dtype(np.int64).itemsize
+        if create:
+            self._shm = shared_memory.SharedMemory(
+                create=True, size=req_nbytes + res_nbytes)
+            self.spec = RingSpec(name=self._shm.name, n_slots=spec.n_slots,
+                                 capacity=spec.capacity,
+                                 trace_shape=tuple(spec.trace_shape),
+                                 dtype=spec.dtype, n_designs=spec.n_designs)
+        else:
+            self._shm = shared_memory.SharedMemory(name=spec.name)
+        self._requests = np.ndarray(req_shape, dtype=dtype,
+                                    buffer=self._shm.buf)
+        self._responses = np.ndarray(res_shape, dtype=np.int64,
+                                     buffer=self._shm.buf,
+                                     offset=req_nbytes)
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def create(cls, *, n_slots: int, capacity: int,
+               trace_shape: Sequence[int], dtype,
+               n_designs: int) -> "TraceRing":
+        """Allocate a fresh segment (owner side; name is auto-assigned)."""
+        spec = RingSpec(name="", n_slots=int(n_slots), capacity=int(capacity),
+                        trace_shape=tuple(int(d) for d in trace_shape),
+                        dtype=np.dtype(dtype).str, n_designs=int(n_designs))
+        return cls(spec, create=True)
+
+    @classmethod
+    def attach(cls, spec: Dict[str, object]) -> "TraceRing":
+        """Map an existing segment from its :meth:`RingSpec.as_dict`."""
+        fields = dict(spec)
+        fields["trace_shape"] = tuple(int(d) for d in fields["trace_shape"])
+        return cls(RingSpec(**fields), create=False)
+
+    # ------------------------------------------------------------------
+    # Capacity queries
+    # ------------------------------------------------------------------
+    @property
+    def capacity(self) -> int:
+        return self.spec.capacity
+
+    @property
+    def n_slots(self) -> int:
+        return self.spec.n_slots
+
+    def fits(self, demod: np.ndarray) -> bool:
+        """Whether a ``(m, n_qubits, 2, n_bins)`` batch fits one slot."""
+        return (demod.shape[0] <= self.spec.capacity
+                and tuple(demod.shape[1:]) == tuple(self.spec.trace_shape)
+                and demod.dtype == self._requests.dtype)
+
+    # ------------------------------------------------------------------
+    # Request side
+    # ------------------------------------------------------------------
+    def write_request(self, slot: int, demod: np.ndarray) -> int:
+        """Copy a batch into a request slot; returns its trace count."""
+        n = int(demod.shape[0])
+        if not self.fits(demod):
+            raise ValueError(
+                f"batch {demod.shape}/{demod.dtype} does not fit ring slot "
+                f"({self.spec.capacity} x {self.spec.trace_shape}, "
+                f"{self.spec.dtype})")
+        self._requests[slot, :n] = demod
+        return n
+
+    def request_view(self, slot: int, n_traces: int) -> np.ndarray:
+        """Zero-copy view of the first ``n_traces`` of a request slot."""
+        return self._requests[slot, :n_traces]
+
+    # ------------------------------------------------------------------
+    # Response side
+    # ------------------------------------------------------------------
+    def write_response(self, slot: int, bits: Dict[str, np.ndarray],
+                       design_names: Sequence[str]) -> None:
+        """Store per-design bits for a slot (worker side, in place)."""
+        for d, name in enumerate(design_names):
+            out = bits[name]
+            self._responses[slot, d, :out.shape[0]] = out
+
+    def read_response(self, slot: int, n_traces: int,
+                      design_names: Sequence[str]) -> Dict[str, np.ndarray]:
+        """Copy per-design bits out of a slot (owner side).
+
+        Copies, not views: the caller frees the slot for reuse immediately
+        after, so a view would be silently overwritten by the next batch.
+        """
+        return {name: np.array(self._responses[slot, d, :n_traces])
+                for d, name in enumerate(design_names)}
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Drop this process's mapping (both sides; idempotent)."""
+        # The ndarray views hold exported pointers into the mmap; they
+        # must be dropped before close() or BufferError fires.
+        self._requests = None
+        self._responses = None
+        try:
+            self._shm.close()
+        except BufferError:     # a view escaped; leak rather than crash
+            pass
+
+    def unlink(self) -> None:
+        """Destroy the segment (owner side only; idempotent)."""
+        if not self._owner:
+            return
+        try:
+            self._shm.unlink()
+        except FileNotFoundError:
+            pass

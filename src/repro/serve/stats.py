@@ -40,6 +40,7 @@ class ServerStats:
         self.max_batch_traces = 0
         self.probes = 0
         self.probe_traces = 0
+        self.worker_deaths = 0
         self.swaps = 0
         self.model_versions: Dict[int, int] = {}
         self._first_submit_t: Optional[float] = None
@@ -94,6 +95,18 @@ class ServerStats:
     def record_failure(self, n_requests: int = 1) -> None:
         with self._lock:
             self.failed += n_requests
+
+    def record_worker_death(self) -> None:
+        """Count an unexpected shard-worker exit (process backend).
+
+        A nonzero value means the server lost serving capacity mid-run:
+        requests touching the dead shard fail fast with
+        :class:`~.batcher.ServerClosedError` rather than hanging, and the
+        counter is the operator's cue to look at the backend's recorded
+        exit codes.
+        """
+        with self._lock:
+            self.worker_deaths += 1
 
     def record_swap(self, shard_index: int) -> int:
         """Count an engine hot swap; returns the shard's new model version.
@@ -173,6 +186,7 @@ class ServerStats:
                 "max_batch_traces": self.max_batch_traces,
                 "probes": self.probes,
                 "probe_traces": self.probe_traces,
+                "worker_deaths": self.worker_deaths,
                 "swaps": self.swaps,
                 "model_versions": {str(shard): version for shard, version
                                    in sorted(self.model_versions.items())},

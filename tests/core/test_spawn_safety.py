@@ -1,0 +1,129 @@
+"""Spawn-safety regression tests: fitted models across a real process gap.
+
+The process serving backend rebuilds engines in ``spawn`` workers from
+serialized pipelines, and spawn pickles whatever crosses the boundary.
+These tests pin both transports against a real spawned child:
+
+* every ``make_design`` product (covering **every** stage type registered
+  in ``repro.core.model_io``) round-trips as a ``dumps_pipeline`` blob and
+  re-predicts **bit-identically** in the child;
+* a fitted :class:`~repro.core.PipelineDiscriminator` also survives being
+  pickled directly through ``Process`` args — the transport spawn itself
+  uses for everything else (devices, datasets, specs).
+
+A stage type added without a serializer (or with unpicklable state) must
+fail here, not silently in a worker.
+"""
+
+import multiprocessing as mp
+
+import numpy as np
+import pytest
+
+from repro.core import FAST_CONFIG, make_design
+from repro.core.model_io import _STAGE_IO, _stage_tag, dumps_pipeline
+from repro.readout import five_qubit_paper_device, generate_dataset
+
+#: Designs fitted for the round-trip; together they must exercise every
+#: registered stage serializer (asserted below, so a new stage type cannot
+#: dodge spawn coverage).
+DESIGNS = ("baseline", "mf", "mf-svm", "mf-nn", "mf-rmf-svm", "mf-rmf-nn",
+           "centroid", "boxcar")
+
+
+def _child_predict(jobs, test_blob, conn):
+    """Spawn target: rebuild every design both ways and predict.
+
+    ``jobs`` maps design name to ``(pickled fitted design, pipeline
+    blob)`` — the design object arrives through the spawn pickling of
+    this function's arguments; the blob is deserialized here. Returns
+    ``{name: (bits_from_pickle, bits_from_blob)}`` through the pipe.
+    """
+    import pickle
+
+    from repro.core.model_io import loads_pipeline
+
+    test = pickle.loads(test_blob)
+    out = {}
+    for name, (design, blob) in jobs.items():
+        from_pickle = design.predict_bits(test)
+        from_blob = loads_pipeline(blob).transform(test)
+        out[name] = (from_pickle, from_blob)
+    conn.send(out)
+    conn.close()
+
+
+@pytest.fixture(scope="module")
+def fitted():
+    """Small fitted instances of every design plus their reference bits."""
+    device = five_qubit_paper_device()
+    data = generate_dataset(device, shots_per_state=8,
+                            rng=np.random.default_rng(41), include_raw=True)
+    train, val, test = data.split(np.random.default_rng(42), 0.5, 0.2)
+    designs = {name: make_design(name, FAST_CONFIG).fit(train, val)
+               for name in DESIGNS}
+    reference = {name: design.predict_bits(test)
+                 for name, design in designs.items()}
+    return designs, reference, test
+
+
+class TestStageCoverage:
+    def test_designs_cover_every_registered_stage_type(self, fitted):
+        designs, _, _ = fitted
+        covered = {_stage_tag(stage)
+                   for design in designs.values()
+                   for stage in design.pipeline.stages}
+        assert covered == set(_STAGE_IO), (
+            "spawn-safety suite no longer exercises every registered "
+            "stage serializer; add a design covering the gap")
+
+
+class TestSpawnRoundTrip:
+    @pytest.fixture(scope="class")
+    def child_bits(self, fitted):
+        """One spawned child re-predicting every design both ways."""
+        import pickle
+
+        designs, _, test = fitted
+        jobs = {name: (design, dumps_pipeline(design.pipeline))
+                for name, design in designs.items()}
+        ctx = mp.get_context("spawn")
+        parent_conn, child_conn = ctx.Pipe(duplex=False)
+        proc = ctx.Process(target=_child_predict,
+                           args=(jobs, pickle.dumps(test), child_conn))
+        proc.start()
+        child_conn.close()
+        assert parent_conn.poll(120), "spawn child produced no result"
+        out = parent_conn.recv()
+        proc.join(30)
+        assert proc.exitcode == 0
+        return out
+
+    @pytest.mark.parametrize("name", DESIGNS)
+    def test_pickled_design_repredicts_bit_identically(self, fitted,
+                                                       child_bits, name):
+        _, reference, _ = fitted
+        from_pickle, _ = child_bits[name]
+        np.testing.assert_array_equal(from_pickle, reference[name])
+
+    @pytest.mark.parametrize("name", DESIGNS)
+    def test_pipeline_blob_repredicts_bit_identically(self, fitted,
+                                                      child_bits, name):
+        _, reference, _ = fitted
+        _, from_blob = child_bits[name]
+        np.testing.assert_array_equal(from_blob, reference[name])
+
+
+class TestBlobFormat:
+    def test_dumps_is_a_complete_npz_archive(self, fitted):
+        designs, _, _ = fitted
+        blob = dumps_pipeline(designs["mf"].pipeline)
+        assert blob[:2] == b"PK"      # zip container, readable from disk too
+
+    def test_loads_round_trip_in_process(self, fitted):
+        from repro.core.model_io import loads_pipeline
+        designs, reference, test = fitted
+        for name, design in designs.items():
+            pipeline = loads_pipeline(dumps_pipeline(design.pipeline))
+            np.testing.assert_array_equal(pipeline.transform(test),
+                                          reference[name])

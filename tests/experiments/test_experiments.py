@@ -136,8 +136,13 @@ class TestServeScaling:
     def result(self):
         return run_experiment("serve_scaling", QUICK_CONFIG)
 
-    def test_sweeps_requested_shard_counts(self, result):
-        assert result.column("shards") == [1, 2, 4]
+    EXPECTED_SWEEP = {f"{backend}-{n}" for backend in ("thread", "process")
+                      for n in (1, 2, 4)}
+
+    def test_sweeps_both_backends_at_requested_shard_counts(self, result):
+        assert result.column("shards") == [1, 2, 4, 1, 2, 4]
+        assert result.column("backend") == (["thread"] * 3
+                                            + ["process"] * 3)
 
     def test_metrics_are_sane(self, result):
         for throughput in result.column("traces_per_s"):
@@ -150,17 +155,25 @@ class TestServeScaling:
 
     def test_reports_attached(self, result):
         reports = result.data["reports"]
-        assert set(reports) == {"1", "2", "4"}
+        assert set(reports) == self.EXPECTED_SWEEP
         for bundle in reports.values():
             assert bundle["load"]["rejected"] == 0
             assert bundle["load"]["failed"] == 0
             assert bundle["server"]["failed"] == 0
+            assert bundle["server"]["worker_deaths"] == 0
+
+    def test_scaling_summary_attached(self, result):
+        scaling = result.data["scaling"]
+        assert scaling["cpus"] >= 1
+        for backend in ("thread", "process"):
+            assert set(scaling[backend]) == {"1", "2", "4"}
+            assert scaling[f"{backend}_speedup_4shards"] > 0
 
     def test_reports_survive_json_rendering(self, result):
         import json
         payload = json.loads(json.dumps(result.to_json_dict(),
                                         allow_nan=False))
-        assert set(payload["data"]["reports"]) == {"1", "2", "4"}
+        assert set(payload["data"]["reports"]) == self.EXPECTED_SWEEP
 
 
 class TestFig15:

@@ -1,0 +1,111 @@
+"""TraceRing tests: layout, round-trips, attach, and lifecycle."""
+
+import numpy as np
+import pytest
+
+from repro.serve.shm import RingSpec, TraceRing
+
+
+@pytest.fixture
+def ring():
+    ring = TraceRing.create(n_slots=2, capacity=8, trace_shape=(3, 2, 10),
+                            dtype=np.float64, n_designs=2)
+    yield ring
+    ring.close()
+    ring.unlink()
+
+
+class TestRoundTrip:
+    def test_request_round_trip_is_bit_exact(self, ring):
+        batch = np.random.default_rng(0).normal(size=(5, 3, 2, 10))
+        n = ring.write_request(1, batch)
+        assert n == 5
+        np.testing.assert_array_equal(ring.request_view(1, 5), batch)
+
+    def test_response_round_trip_per_design(self, ring):
+        rng = np.random.default_rng(1)
+        bits = {"mf": rng.integers(0, 2, (5, 3)),
+                "centroid": rng.integers(0, 2, (5, 3))}
+        ring.write_response(0, bits, ("mf", "centroid"))
+        out = ring.read_response(0, 5, ("mf", "centroid"))
+        np.testing.assert_array_equal(out["mf"], bits["mf"])
+        np.testing.assert_array_equal(out["centroid"], bits["centroid"])
+
+    def test_slots_do_not_alias(self, ring):
+        a = np.zeros((8, 3, 2, 10))
+        b = np.ones((8, 3, 2, 10))
+        ring.write_request(0, a)
+        ring.write_request(1, b)
+        np.testing.assert_array_equal(ring.request_view(0, 8), a)
+        np.testing.assert_array_equal(ring.request_view(1, 8), b)
+
+    def test_read_response_copies(self, ring):
+        bits = {"mf": np.ones((4, 3), dtype=np.int64)}
+        ring.write_response(0, bits, ("mf",))
+        out = ring.read_response(0, 4, ("mf",))
+        ring.write_response(0, {"mf": np.zeros((4, 3), dtype=np.int64)},
+                            ("mf",))
+        np.testing.assert_array_equal(out["mf"], 1)   # unaffected snapshot
+
+
+class TestAttach:
+    def test_attached_ring_shares_memory(self, ring):
+        batch = np.random.default_rng(2).normal(size=(3, 3, 2, 10))
+        ring.write_request(0, batch)
+        other = TraceRing.attach(ring.spec.as_dict())
+        try:
+            np.testing.assert_array_equal(other.request_view(0, 3), batch)
+            other.write_response(0, {"x": np.ones((3, 3), dtype=np.int64),
+                                     "y": np.zeros((3, 3), dtype=np.int64)},
+                                 ("x", "y"))
+            out = ring.read_response(0, 3, ("x", "y"))
+            np.testing.assert_array_equal(out["x"], 1)
+        finally:
+            other.close()
+
+    def test_attach_side_never_unlinks(self, ring):
+        other = TraceRing.attach(ring.spec.as_dict())
+        other.unlink()               # non-owner: must be a no-op
+        other.close()
+        # The segment is still usable by the owner.
+        ring.write_request(0, np.zeros((1, 3, 2, 10)))
+
+
+class TestFit:
+    def test_fits_checks_count_shape_and_dtype(self, ring):
+        assert ring.fits(np.zeros((8, 3, 2, 10)))
+        assert not ring.fits(np.zeros((9, 3, 2, 10)))      # too many traces
+        assert not ring.fits(np.zeros((4, 3, 2, 12)))      # wrong bins
+        assert not ring.fits(np.zeros((4, 3, 2, 10), dtype=np.float32))
+
+    def test_oversized_write_rejected(self, ring):
+        with pytest.raises(ValueError, match="does not fit"):
+            ring.write_request(0, np.zeros((9, 3, 2, 10)))
+
+
+class TestValidation:
+    @pytest.mark.parametrize("kwargs, match", [
+        (dict(n_slots=0, capacity=4, trace_shape=(2, 2, 5),
+              dtype=np.float64, n_designs=1), "n_slots"),
+        (dict(n_slots=1, capacity=0, trace_shape=(2, 2, 5),
+              dtype=np.float64, n_designs=1), "capacity"),
+        (dict(n_slots=1, capacity=4, trace_shape=(2, 3, 5),
+              dtype=np.float64, n_designs=1), "trace_shape"),
+        (dict(n_slots=1, capacity=4, trace_shape=(2, 2, 5),
+              dtype=np.float64, n_designs=0), "n_designs"),
+    ])
+    def test_bad_geometry_rejected(self, kwargs, match):
+        with pytest.raises(ValueError, match=match):
+            TraceRing.create(**kwargs)
+
+    def test_close_is_idempotent(self):
+        ring = TraceRing.create(n_slots=1, capacity=1, trace_shape=(1, 2, 4),
+                                dtype=np.float32, n_designs=1)
+        ring.close()
+        ring.close()
+        ring.unlink()
+        ring.unlink()
+
+    def test_spec_survives_dict_round_trip(self, ring):
+        spec = RingSpec(**ring.spec.as_dict())
+        assert spec == ring.spec

@@ -79,6 +79,25 @@ class TestComparePayloads:
     def test_zero_baseline_skipped(self):
         assert self.compare({"speedup": 0.0}, {"speedup": -1.0}) == []
 
+    def test_scaling_metrics_skipped_across_different_cpu_counts(self):
+        # A parallel-scaling ratio from an 8-core baseline must not fail
+        # a 1-core runner that physically cannot reproduce it.
+        base = {"scaling": {"cpus": 8, "process_speedup_4shards": 3.1}}
+        curr = {"scaling": {"cpus": 1, "process_speedup_4shards": 0.6}}
+        assert self.compare(base, curr) == []
+
+    def test_scaling_metrics_gated_on_matching_cpu_counts(self):
+        base = {"scaling": {"cpus": 4, "process_speedup_4shards": 2.0}}
+        curr = {"scaling": {"cpus": 4, "process_speedup_4shards": 1.0}}
+        [regression] = self.compare(base, curr)
+        assert regression.metric == "scaling.process_speedup_4shards"
+
+    def test_non_scaling_metrics_still_gated_across_cpu_counts(self):
+        base = {"scaling": {"cpus": 8}, "speedup_vs_designs": 8.0}
+        curr = {"scaling": {"cpus": 1}, "speedup_vs_designs": 2.0}
+        [regression] = self.compare(base, curr)
+        assert regression.metric == "speedup_vs_designs"
+
 
 class TestMain:
     def write(self, directory, name, **data):
