@@ -12,7 +12,8 @@ Only *machine-portable, higher-is-better* metrics are compared by default —
 speedup ratios, fidelities/accuracies, recovery/sharing fractions. Raw
 throughput numbers (traces/s) vary wildly across machines and are opt-in
 via ``--include-absolute``; latency percentiles are never compared.
-Shard-scaling ratios under a ``data.scaling`` block are portable only
+Shard-scaling ratios under a ``data.scaling`` block and hot-path ratios
+under ``data.dispatch`` (slab reuse, ring coalescing) are portable only
 between hosts with the same parallelism, so they are compared **only when
 both payloads record the same ``scaling.cpus``** — a baseline regenerated
 on an 8-core box must not fail a 4-core runner for lacking cores.
@@ -39,15 +40,18 @@ from typing import Dict, Iterator, List, Optional, Tuple
 #: Metric-name substrings tracked by default (higher is better, portable
 #: across machines).
 QUALITY_PATTERNS = ("speedup", "fidelity", "accuracy", "recovered_fraction",
-                    "sharing_ratio", "throughput_ratio")
+                    "sharing_ratio", "throughput_ratio", "reuse_ratio",
+                    "coalesce_ratio")
 
 #: Machine-dependent higher-is-better metrics, compared only with
 #: ``--include-absolute``.
 ABSOLUTE_PATTERNS = ("_tps", "traces_per_s", "throughput_rps")
 
 #: Metrics whose movement is not a quality signal (e.g. the deliberately
-#: degraded no-recalibration/no-worker arms of the drift experiments).
-EXCLUDE_PATTERNS = ("no_recal", "no_worker", "p50", "p95", "p99", "latency")
+#: degraded no-recalibration/no-worker arms of the drift experiments, or
+#: dispatch-lag timings that swing with machine load).
+EXCLUDE_PATTERNS = ("no_recal", "no_worker", "p50", "p95", "p99", "latency",
+                    "lag", "fallback")
 
 #: How deep into nested ``data`` dicts metrics are collected.
 MAX_DEPTH = 3
@@ -120,9 +124,11 @@ def compare_payloads(baseline: dict, current: dict, *, file: str,
     Metrics missing from either side are skipped (new benchmarks and
     retired metrics are not regressions); a sign flip or a drop of more
     than ``max_regression`` of the baseline magnitude is flagged.
-    ``scaling.*`` metrics are additionally skipped when the two payloads
-    were measured on different ``scaling.cpus`` — parallel-scaling ratios
-    only regress meaningfully against a baseline from equal hardware.
+    ``scaling.*`` and ``dispatch.*`` metrics are additionally skipped when
+    the two payloads were measured on different ``scaling.cpus`` —
+    parallel-scaling speedups and hot-path ratios (slab reuse, ring
+    coalescing track how hard the dispatcher was backlogged) only regress
+    meaningfully against a baseline from equal hardware.
     """
     base_metrics = comparable_metrics(baseline, include_absolute)
     curr_metrics = comparable_metrics(current, include_absolute)
@@ -131,7 +137,7 @@ def compare_payloads(baseline: dict, current: dict, *, file: str,
     for metric, base_value in base_metrics.items():
         if metric not in curr_metrics or base_value == 0:
             continue
-        if cpus_differ and metric.startswith("scaling."):
+        if cpus_differ and metric.startswith(("scaling.", "dispatch.")):
             continue
         regression = Regression(file=file, metric=metric,
                                 baseline=base_value,

@@ -18,6 +18,19 @@ import pytest
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 
 
+def pytest_addoption(parser):
+    parser.addoption(
+        "--profile", action="store_true", default=False,
+        help="capture cProfile dumps of the serve hot paths (dispatcher "
+             "thread + client submit path) into benchmarks/results/")
+
+
+@pytest.fixture(scope="session")
+def profile_mode(request) -> bool:
+    """True when the run should also capture hot-path cProfile dumps."""
+    return bool(request.config.getoption("--profile"))
+
+
 def json_result_path(experiment: str) -> pathlib.Path:
     """Where a benchmark's machine-readable numbers land."""
     stem = (experiment if experiment.startswith("bench_")

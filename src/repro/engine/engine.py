@@ -269,25 +269,52 @@ class ReadoutEngine:
     # ------------------------------------------------------------------
     # Public inference surface
     # ------------------------------------------------------------------
-    def predict_bits(self, dataset: ReadoutDataset) -> Dict[str, np.ndarray]:
-        """Per-design ``(n, n_qubits)`` bit predictions for a dataset."""
+    def predict_bits(self, dataset: ReadoutDataset,
+                     out: Optional[Dict[str, np.ndarray]] = None,
+                     ) -> Dict[str, np.ndarray]:
+        """Per-design ``(n, n_qubits)`` bit predictions for a dataset.
+
+        ``out`` optionally supplies preallocated per-design destination
+        arrays of at least ``(n_traces, n_qubits)`` rows; chunk results
+        are written at their offsets and the returned dict holds
+        ``out[name][:n_traces]`` views — no concatenation, no result
+        allocation. Without ``out`` each design's chunks are concatenated
+        into a fresh array as before.
+        """
         if dataset.n_traces == 0:
             empty = np.zeros((0, dataset.n_qubits), dtype=np.int64)
             return {served.name: empty for served in self._served}
+        if out is not None:
+            for served in self._served:
+                dest = out.get(served.name)
+                if dest is None or dest.shape[0] < dataset.n_traces:
+                    raise ValueError(
+                        f"out[{served.name!r}] must hold at least "
+                        f"{dataset.n_traces} rows")
+            offset = 0
+            for chunk in self._chunk_datasets(dataset):
+                m = chunk.n_traces
+                for name, bits in self._process_chunk(chunk).items():
+                    out[name][offset:offset + m] = bits
+                offset += m
+            return {served.name: out[served.name][:dataset.n_traces]
+                    for served in self._served}
         parts: Dict[str, List[np.ndarray]] = {s.name: [] for s in self._served}
         for chunk in self._chunk_datasets(dataset):
             for name, bits in self._process_chunk(chunk).items():
                 parts[name].append(bits)
         return {name: np.concatenate(chunks) for name, chunks in parts.items()}
 
-    def predict_traces(self, demod: np.ndarray,
-                       device) -> Dict[str, np.ndarray]:
+    def predict_traces(self, demod: np.ndarray, device,
+                       out: Optional[Dict[str, np.ndarray]] = None,
+                       ) -> Dict[str, np.ndarray]:
         """Batch-submission hook: bits for a raw demod array.
 
         Wraps a ``(n, n_qubits, 2, n_bins)`` demodulated array (no labels
         needed) in an unlabeled dataset and predicts — the entry point the
         serving layer uses to push coalesced micro-batches through the
-        engine without materializing label arrays per request.
+        engine without materializing label arrays per request. ``out``
+        passes through to :meth:`predict_bits` for allocation-free results.
         """
         n = demod.shape[0]
         dataset = ReadoutDataset(
@@ -296,7 +323,20 @@ class ReadoutEngine:
             basis=np.zeros(n, dtype=np.int64),
             device=device,
         )
-        return self.predict_bits(dataset)
+        return self.predict_bits(dataset, out=out)
+
+    def predict_traces_into(self, demod: np.ndarray, device,
+                            out: Dict[str, np.ndarray],
+                            ) -> Dict[str, np.ndarray]:
+        """Allocation-free serving entry point: bits into caller buffers.
+
+        The serving layer's feature-detected fast path: shard workers keep
+        recycled per-design output buffers (thread backend) or hand views
+        straight into a shared-memory ring's response block (process
+        backend) so a steady-state batch allocates nothing on the result
+        side. Semantically ``predict_traces(demod, device, out=out)``.
+        """
+        return self.predict_traces(demod, device, out=out)
 
     def predict_stream(
         self, batches: Iterable[Union[ReadoutDataset, np.ndarray]],

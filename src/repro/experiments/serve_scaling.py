@@ -104,6 +104,22 @@ def run_serve_scaling(config: ExperimentConfig = DEFAULT_CONFIG,
 
     scaling = scaling_summary(throughput)
 
+    # Hot-path health per swept config: how well the dispatcher kept up
+    # (sealed->dispatched lag), how often slabs recycled instead of
+    # allocating, and how many micro-batches each ring flush amortized.
+    dispatch = {
+        key: {
+            "dispatch_lag_p50_ms": snap["dispatch_lag_p50_ms"],
+            "dispatch_lag_p99_ms": snap["dispatch_lag_p99_ms"],
+            "slab_reuse_ratio": snap["slab_reuse_ratio"],
+            "ring_coalesce_ratio": snap["ring_coalesce_ratio"],
+            "trace_slab_allocated": snap["trace_slab_allocated"],
+            "trace_slab_fallbacks": snap["trace_slab_fallbacks"],
+        }
+        for key, bundle in reports.items()
+        for snap in (bundle["server"],)
+    }
+
     return ExperimentResult(
         experiment="serve_scaling",
         title=("Micro-batched readout service: latency/throughput vs "
@@ -120,5 +136,6 @@ def run_serve_scaling(config: ExperimentConfig = DEFAULT_CONFIG,
                f"workers fed through shared-memory rings — their "
                f"throughput curve follows the host's "
                f"{scaling['cpus']} usable core(s)"),
-        data={"reports": reports, "scaling": scaling},
+        data={"reports": reports, "scaling": scaling,
+              "dispatch": dispatch},
     )

@@ -12,28 +12,33 @@ The traffic-facing layer above :mod:`repro.engine`:
   batches through :class:`~repro.serve.shm.TraceRing` shared memory —
   true parallel shards);
 * :class:`MicroBatcher` — the size/deadline coalescing scheduler with
-  reject/shed backpressure;
+  reject/shed backpressure, assembling batches by copying request traces
+  into recycled :class:`SlabPool` slabs at submit time (the zero-copy
+  dispatch hot path — flushes are :class:`FlushedBatch` slab views, never
+  concatenations);
 * :class:`ServerStats` — p50/p95/p99 latency and throughput counters;
 * :mod:`repro.serve.loadgen` — deterministic open- and closed-loop load
   generation (:func:`open_loop`, :func:`closed_loop`);
 * :func:`build_sharded_server` — fit-per-shard construction helper.
 """
 
-from .batcher import (OVERLOAD_POLICIES, MicroBatcher, ServeRequest,
-                      ServerClosedError, ServerOverloadedError)
+from .batcher import (OVERLOAD_POLICIES, FlushedBatch, MicroBatcher,
+                      ServeRequest, ServerClosedError,
+                      ServerOverloadedError)
 from .builder import build_sharded_server, fit_serve_shards
 from .loadgen import LoadReport, closed_loop, open_loop
 from .procshard import ProcessShardBackend
 from .server import (BACKENDS, ReadoutResponse, ReadoutServer, ServeShard,
                      ShardBackend, ThreadShardBackend)
 from .shm import TraceRing
+from .slab import SlabPool
 from .stats import ServerStats
 
 __all__ = [
-    "BACKENDS", "LoadReport", "MicroBatcher", "OVERLOAD_POLICIES",
-    "ProcessShardBackend", "ReadoutResponse", "ReadoutServer",
-    "ServeRequest", "ServeShard", "ServerClosedError",
-    "ServerOverloadedError", "ServerStats", "ShardBackend",
+    "BACKENDS", "FlushedBatch", "LoadReport", "MicroBatcher",
+    "OVERLOAD_POLICIES", "ProcessShardBackend", "ReadoutResponse",
+    "ReadoutServer", "ServeRequest", "ServeShard", "ServerClosedError",
+    "ServerOverloadedError", "ServerStats", "ShardBackend", "SlabPool",
     "ThreadShardBackend", "TraceRing", "build_sharded_server",
     "closed_loop", "fit_serve_shards", "open_loop",
 ]

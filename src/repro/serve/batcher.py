@@ -1,11 +1,22 @@
 """Micro-batching scheduler: coalesce readout requests into engine batches.
 
-Requests accumulate in a bounded queue; a batch flushes as soon as it holds
-``max_batch_traces`` traces or the oldest request has waited ``max_wait_ms``.
-Requests are never split across batches, so per-request futures resolve from
-exactly one engine pass. Backpressure on a full queue follows the configured
-overload policy: *reject* refuses the new request, *shed* drops the oldest
-queued one (freshest-first service under overload).
+Requests accumulate into a *forming* batch; a batch seals as soon as it
+holds ``max_batch_traces`` traces or the oldest request has waited
+``max_wait_ms``. Requests are never split across batches, so per-request
+futures resolve from exactly one engine pass. Backpressure on a full queue
+follows the configured overload policy: *reject* refuses the new request,
+*shed* fails the oldest queued one (freshest-first service under overload).
+
+This is the zero-copy half of the serve hot path: each request's traces
+are copied **once**, at :meth:`MicroBatcher.offer` time, straight into a
+recycled trace slab from a :class:`~.slab.SlabPool` — on the submitting
+client's thread, outside the batcher lock, so concurrent clients
+parallelize the memcpy instead of serializing it behind a dispatcher. A
+sealed batch reaches the dispatcher as a :class:`FlushedBatch` whose
+``demod`` is a view of the slab: no ``np.concatenate``, no per-flush
+allocation. Requests that cannot ride a slab — oversized singles, a pool
+at its outstanding bound, mismatched trace geometry — fall back to an
+assemble-at-gather batch, counted but off the steady-state path.
 """
 
 from __future__ import annotations
@@ -18,6 +29,8 @@ from dataclasses import dataclass, field
 from typing import Deque, List, Optional
 
 import numpy as np
+
+from .slab import SlabPool
 
 #: Supported behaviours when the submission queue is full.
 OVERLOAD_POLICIES = ("reject", "shed")
@@ -46,16 +59,68 @@ class ServeRequest:
     caller submitted one unbatched ``(n_qubits, 2, n_bins)`` trace so the
     response can unwrap to per-qubit bits. The future resolves to a
     :class:`~repro.serve.server.ReadoutResponse` (or raises on failure).
+    ``shed`` marks a request evicted under the shed policy: its future has
+    already failed, but its rows may still ride an already-written slab —
+    the finalize path simply skips the dead future.
     """
 
     traces: np.ndarray
     single: bool = False
     future: Future = field(default_factory=Future)
     enqueued_at: float = field(default_factory=time.perf_counter)
+    shed: bool = False
 
     @property
     def n_traces(self) -> int:
         return int(self.traces.shape[0])
+
+
+@dataclass
+class FlushedBatch:
+    """One sealed micro-batch, ready for dispatch.
+
+    ``demod`` is the batch's assembled ``(n_traces, n_qubits, 2, n_bins)``
+    array — a view of ``slab`` on the pooled hot path (``slab is not
+    None``), or an exact-size array on the fallback/oversized path. The
+    owner must call :meth:`release_slab` exactly once when no shard can
+    still read ``demod`` (release is advisory; see
+    :class:`~.slab.SlabPool`). ``sealed_at`` timestamps the seal for
+    dispatch-lag accounting.
+    """
+
+    requests: List[ServeRequest]
+    demod: np.ndarray
+    n_traces: int
+    sealed_at: float
+    slab: Optional[np.ndarray] = None
+    pool: Optional[SlabPool] = None
+
+    def release_slab(self) -> None:
+        slab, self.slab = self.slab, None
+        if slab is not None and self.pool is not None:
+            self.pool.release(slab)
+
+    def __len__(self) -> int:
+        return len(self.requests)
+
+    def __iter__(self):
+        return iter(self.requests)
+
+
+class _Forming:
+    """A batch being assembled (and copied into) under the batcher."""
+
+    __slots__ = ("slab", "requests", "n_traces", "deadline", "sealed_at",
+                 "copying", "sealed")
+
+    def __init__(self, slab: Optional[np.ndarray], deadline: float):
+        self.slab = slab
+        self.requests: List[ServeRequest] = []
+        self.n_traces = 0
+        self.deadline = deadline
+        self.sealed_at = 0.0
+        self.copying = 0         # offer() copies still writing the slab
+        self.sealed = False
 
 
 class MicroBatcher:
@@ -64,8 +129,9 @@ class MicroBatcher:
     Parameters
     ----------
     max_batch_traces:
-        Flush once a batch holds at least this many traces. A single
-        request larger than the cap still forms its own (oversized) batch.
+        Flush once a batch holds this many traces; also the trace slab
+        size. A single request larger than the cap still forms its own
+        (oversized, slab-bypassing) batch.
     max_wait_ms:
         Flush once the oldest request in the forming batch has waited this
         long, even if the batch is not full — the tail-latency bound.
@@ -76,10 +142,18 @@ class MicroBatcher:
         ``"reject"`` makes :meth:`offer` raise
         :class:`ServerOverloadedError`; ``"shed"`` accepts the new request
         and returns the evicted oldest one for the caller to fail.
+    trace_dtype:
+        Forced slab dtype (e.g. ``np.float16`` for the quantized trace
+        path). ``None`` (default) inherits the first request's dtype, so
+        float64 traffic keeps bit-exact float64 batches.
+    slab_pool:
+        The :class:`~.slab.SlabPool` trace slabs come from; a private pool
+        is created when omitted (the server passes one wired to its stats).
     """
 
     def __init__(self, max_batch_traces: int = 256, max_wait_ms: float = 2.0,
-                 max_queue_requests: int = 1024, overload: str = "reject"):
+                 max_queue_requests: int = 1024, overload: str = "reject",
+                 trace_dtype=None, slab_pool: Optional[SlabPool] = None):
         if max_batch_traces < 1:
             raise ValueError(
                 f"max_batch_traces must be positive, got {max_batch_traces}")
@@ -95,7 +169,15 @@ class MicroBatcher:
         self.max_wait_s = float(max_wait_ms) / 1000.0
         self.max_queue_requests = int(max_queue_requests)
         self.overload = overload
-        self._pending: Deque[ServeRequest] = deque()
+        self.trace_dtype = (None if trace_dtype is None
+                            else np.dtype(trace_dtype))
+        self._pool = slab_pool if slab_pool is not None else SlabPool()
+        self._queue: Deque[_Forming] = deque()   # sealed, oldest first
+        self._forming: Optional[_Forming] = None
+        self._trace_shape: Optional[tuple] = None
+        self._slab_dtype: Optional[np.dtype] = None
+        self._n_pending = 0
+        self._pending_traces = 0
         self._cond = threading.Condition()
         self._closed = False
 
@@ -105,82 +187,208 @@ class MicroBatcher:
     def offer(self, request: ServeRequest) -> Optional[ServeRequest]:
         """Enqueue a request; returns the shed victim under that policy.
 
-        Raises :class:`ServerOverloadedError` when the queue is full under
-        the ``reject`` policy, and :class:`RuntimeError` once closed.
+        The request's traces are copied into the forming batch's slab on
+        *this* thread, outside the batcher lock — concurrent submitters
+        copy in parallel, and the dispatcher never touches trace payloads
+        again. Raises :class:`ServerOverloadedError` when the queue is
+        full under the ``reject`` policy, and :class:`RuntimeError` once
+        closed.
         """
+        traces = request.traces
+        n = int(traces.shape[0])
+        copy_into: Optional[_Forming] = None
+        start = 0
         with self._cond:
             if self._closed:
                 raise RuntimeError("batcher is closed")
             victim = None
-            if len(self._pending) >= self.max_queue_requests:
+            if self._n_pending >= self.max_queue_requests:
                 if self.overload == "reject":
                     raise ServerOverloadedError(
                         f"queue full ({self.max_queue_requests} requests)")
-                victim = self._pending.popleft()
-            self._pending.append(request)
-            self._cond.notify()
-            return victim
+                victim = self._shed_oldest_locked()
+            if self._trace_shape is None:
+                self._trace_shape = tuple(traces.shape[1:])
+                self._slab_dtype = (self.trace_dtype if self.trace_dtype
+                                    is not None else traces.dtype)
+            if (n > self.max_batch_traces
+                    or tuple(traces.shape[1:]) != self._trace_shape):
+                # Oversized single request (or alien geometry): its own
+                # slab-bypassing batch, sealed on the spot. The engine
+                # rejects bad geometry per batch instead of poisoning a
+                # shared slab.
+                self._seal_forming_locked()
+                alone = _Forming(slab=None, deadline=0.0)
+                alone.requests.append(request)
+                alone.n_traces = n
+                self._seal_locked(alone)
+            else:
+                forming = self._forming
+                if (forming is not None
+                        and forming.n_traces + n > self.max_batch_traces):
+                    self._seal_forming_locked()
+                    forming = None
+                if forming is None:
+                    slab = self._pool.acquire(
+                        (self.max_batch_traces,) + self._trace_shape,
+                        self._slab_dtype)
+                    forming = _Forming(
+                        slab=slab,
+                        deadline=request.enqueued_at + self.max_wait_s)
+                    self._forming = forming
+                start = forming.n_traces
+                forming.requests.append(request)
+                forming.n_traces += n
+                if forming.slab is not None:
+                    forming.copying += 1
+                    copy_into = forming
+                if forming.n_traces >= self.max_batch_traces:
+                    self._seal_forming_locked()
+            self._n_pending += 1
+            self._pending_traces += n
+            self._cond.notify_all()
+        if copy_into is not None:
+            # The one trace copy of the hot path (casts to the slab dtype
+            # when the quantized path is on). No lock held: large-request
+            # memcpys from different clients overlap.
+            copy_into.slab[start:start + n] = traces
+            with self._cond:
+                copy_into.copying -= 1
+                if copy_into.copying == 0 and (copy_into.sealed
+                                               or self._closed):
+                    self._cond.notify_all()
+        return victim
+
+    def _shed_oldest_locked(self) -> ServeRequest:
+        for batch in self._queue:
+            for r in batch.requests:
+                if not r.shed:
+                    return self._mark_shed_locked(r)
+        if self._forming is not None:
+            for r in self._forming.requests:
+                if not r.shed:
+                    return self._mark_shed_locked(r)
+        # Unreachable while accounting holds (pending >= bound >= 1).
+        raise ServerOverloadedError(
+            f"queue full ({self.max_queue_requests} requests)")
+
+    def _mark_shed_locked(self, request: ServeRequest) -> ServeRequest:
+        request.shed = True
+        self._n_pending -= 1
+        self._pending_traces -= request.n_traces
+        return request
+
+    def _seal_forming_locked(self) -> None:
+        if self._forming is not None:
+            forming, self._forming = self._forming, None
+            self._seal_locked(forming)
+
+    def _seal_locked(self, forming: _Forming) -> None:
+        forming.sealed = True
+        forming.sealed_at = time.perf_counter()
+        self._queue.append(forming)
 
     def close(self) -> None:
         """Stop accepting requests; :meth:`gather` then returns None.
 
         Queued requests that no :meth:`gather` call has picked up yet stay
-        in the queue for the owner to :meth:`drain` and fail fast — close
-        never silently computes a backlog.
+        behind for the owner to :meth:`drain` and fail fast — close never
+        silently computes a backlog.
         """
         with self._cond:
             self._closed = True
             self._cond.notify_all()
 
     def drain(self) -> List[ServeRequest]:
-        """Remove and return every queued-but-ungathered request.
+        """Remove and return every queued-but-ungathered live request.
 
         The shutdown path: after :meth:`close`, the server fails these
         futures with :class:`ServerClosedError` instead of leaving them
-        hanging (or blocking shutdown on an unbounded backlog).
+        hanging (or blocking shutdown on an unbounded backlog). Trace
+        slabs of the drained batches return to the pool once any in-flight
+        :meth:`offer` copy into them has finished.
         """
         with self._cond:
-            drained = list(self._pending)
-            self._pending.clear()
-            return drained
+            batches = list(self._queue)
+            self._queue.clear()
+            if self._forming is not None:
+                batches.append(self._forming)
+                self._forming = None
+            while any(b.copying for b in batches):
+                self._cond.wait(0.05)
+            requests: List[ServeRequest] = []
+            for batch in batches:
+                requests.extend(r for r in batch.requests if not r.shed)
+                if batch.slab is not None:
+                    self._pool.release(batch.slab)
+                    batch.slab = None
+            self._n_pending = 0
+            self._pending_traces = 0
+            return requests
 
     # ------------------------------------------------------------------
     # Consumer side
     # ------------------------------------------------------------------
-    def gather(self) -> Optional[List[ServeRequest]]:
-        """Block for the next batch; None once closed.
+    def gather(self) -> Optional[FlushedBatch]:
+        """Block for the next sealed batch; None once closed.
 
-        The returned batch holds whole requests whose trace counts sum to
-        at most ``max_batch_traces`` (except a single oversized request,
-        which is served alone). After :meth:`close`, gather returns None
-        immediately — still-queued requests are left for :meth:`drain`, so
-        shutdown fails them fast rather than computing a backlog. A batch
-        already forming when close lands is returned (possibly short) and
-        completes normally.
+        A batch holds whole requests whose trace counts sum to at most
+        ``max_batch_traces`` (except a single oversized request, served
+        alone). After :meth:`close`, gather returns None immediately —
+        still-queued requests are left for :meth:`drain`, so shutdown
+        fails them fast rather than computing a backlog.
         """
         with self._cond:
-            while not self._pending:
+            while True:
+                if self._queue and self._queue[0].copying == 0:
+                    batch = self._queue.popleft()
+                    live = [r for r in batch.requests if not r.shed]
+                    self._n_pending -= len(live)
+                    self._pending_traces -= sum(r.n_traces for r in live)
+                    break
                 if self._closed:
                     return None
-                self._cond.wait()
-            if self._closed:
-                return None
-            batch = [self._pending.popleft()]
-            n_traces = batch[0].n_traces
-            deadline = batch[0].enqueued_at + self.max_wait_s
-            while n_traces < self.max_batch_traces:
-                if self._pending:
-                    nxt = self._pending[0]
-                    if n_traces + nxt.n_traces > self.max_batch_traces:
-                        break
-                    batch.append(self._pending.popleft())
-                    n_traces += nxt.n_traces
+                if self._queue:
+                    self._cond.wait()        # head slab copy committing
                     continue
-                remaining = deadline - time.perf_counter()
-                if remaining <= 0 or self._closed:
-                    break
+                forming = self._forming
+                if forming is None:
+                    self._cond.wait()
+                    continue
+                remaining = forming.deadline - time.perf_counter()
+                if remaining <= 0:
+                    self._seal_forming_locked()
+                    continue
                 self._cond.wait(remaining)
-            return batch
+        return self._build(batch)
+
+    def _build(self, batch: _Forming) -> FlushedBatch:
+        if batch.slab is not None:
+            demod = batch.slab[:batch.n_traces]
+            return FlushedBatch(
+                requests=batch.requests, demod=demod,
+                n_traces=batch.n_traces, sealed_at=batch.sealed_at,
+                slab=batch.slab, pool=self._pool)
+        # Off the hot path: oversized/alien-geometry singles reuse the
+        # request's own array (cast only when a quantized dtype is
+        # forced); a pool at its outstanding bound assembles per batch.
+        if len(batch.requests) == 1:
+            traces = batch.requests[0].traces
+            demod = traces
+            if (self._slab_dtype is not None
+                    and traces.dtype != self._slab_dtype
+                    and tuple(traces.shape[1:]) == self._trace_shape):
+                demod = traces.astype(self._slab_dtype)
+        else:
+            demod = np.empty((batch.n_traces,) + self._trace_shape,
+                             dtype=self._slab_dtype)
+            offset = 0
+            for r in batch.requests:
+                demod[offset:offset + r.n_traces] = r.traces
+                offset += r.n_traces
+        return FlushedBatch(requests=batch.requests, demod=demod,
+                            n_traces=batch.n_traces,
+                            sealed_at=batch.sealed_at)
 
     # ------------------------------------------------------------------
     # Introspection
@@ -190,10 +398,14 @@ class MicroBatcher:
         with self._cond:
             return self._closed
 
+    @property
+    def slab_pool(self) -> SlabPool:
+        return self._pool
+
     def __len__(self) -> int:
         with self._cond:
-            return len(self._pending)
+            return self._n_pending
 
     def pending_traces(self) -> int:
         with self._cond:
-            return sum(r.n_traces for r in self._pending)
+            return self._pending_traces

@@ -12,10 +12,16 @@ instead of plateauing. The moving parts, per shard:
   on every :meth:`~.server.ReadoutServer.swap_engine` hot swap;
 * **trace transport** — micro-batches move through a
   :class:`~.shm.TraceRing` (paired request/response slots in POSIX shared
-  memory): the parent memcpys the shard's trace columns into a free slot
-  and sends a tiny ``("batch", seq, slot, n)`` message over a pipe; the
-  worker predicts straight out of the mapped slot and writes bits back in
-  place — no hot-path pickling;
+  memory): a per-shard **submitter thread** memcpys the shard's trace
+  columns of each batch into a free slot — coalescing up to
+  ``coalesce_batches`` queued micro-batches back to back into *one* slot
+  so small batches amortize the IPC round-trip — and sends a tiny
+  ``("batch", seq, slot, n)`` message over a pipe; the worker predicts
+  straight out of the mapped slot and writes bits directly into the
+  slot's response block (``predict_traces_into``) — no hot-path pickling,
+  no intermediate result copy. Because each shard has its own submitter
+  and its own ring, one slow or backlogged shard never stalls the
+  others' handoff;
 * **control flow** — commands (ring attach, batch, swap, stop) are
   strictly ordered on one pipe, which is what preserves the swap-at-a-
   batch-boundary contract remotely; results return on a second pipe, and
@@ -50,6 +56,7 @@ import os
 import pickle
 import queue
 import threading
+from collections import deque
 from dataclasses import dataclass
 from multiprocessing.connection import wait as _connection_wait
 from typing import Dict, List, Optional, Tuple
@@ -66,6 +73,11 @@ from .shm import TraceRing
 #: Request/response slots per worker ring: double buffering, so the parent
 #: fills the next batch while the worker computes the current one.
 DEFAULT_RING_SLOTS = 2
+
+#: Micro-batches coalesced into one ring slot (and one IPC round-trip)
+#: when a shard's submit queue runs deep. Rings are sized for this, so
+#: coalescing never waits — it only packs what is already queued.
+DEFAULT_COALESCE_BATCHES = 4
 
 #: How long a clean shutdown waits for a worker before escalating.
 DEFAULT_JOIN_TIMEOUT_S = 10.0
@@ -98,9 +110,9 @@ def scaling_summary(
 
     ``throughput[backend][str(n_shards)]`` is traces/s. Returns the
     ``data["scaling"]`` block both the serve benchmark and the
-    ``serve_scaling`` experiment emit: the per-backend curves, one
-    ``{backend}_speedup_{N}shards`` ratio (largest vs smallest swept
-    shard count), and the ``cpus`` context
+    ``serve_scaling`` experiment emit: the per-backend curves, a
+    ``{backend}_speedup_{N}shards`` ratio for every swept shard count
+    against the smallest, and the ``cpus`` context
     ``benchmarks/compare_results.py`` keys its cross-machine gating on —
     one producer, so the gate's schema cannot silently drift.
     """
@@ -108,10 +120,11 @@ def scaling_summary(
     for backend, curve in throughput.items():
         summary[backend] = dict(curve)
         counts = sorted(curve, key=int)
-        low, high = counts[0], counts[-1]
+        low = counts[0]
         if len(counts) > 1 and curve[low] > 0:
-            summary[f"{backend}_speedup_{high}shards"] = (
-                curve[high] / curve[low])
+            for count in counts[1:]:
+                summary[f"{backend}_speedup_{count}shards"] = (
+                    curve[count] / curve[low])
     return summary
 
 
@@ -225,8 +238,18 @@ def _shard_worker_main(shard_index: int, design_names: Tuple[str, ...],
                     continue
                 try:
                     demod = ring.request_view(slot, n_traces)
-                    bits = engine.predict_traces(demod, device)
-                    ring.write_response(slot, bits, design_names)
+                    into = getattr(engine, "predict_traces_into", None)
+                    if into is not None:
+                        # Zero-copy result path: the engine writes each
+                        # chunk's bits straight into the slot's response
+                        # block — no worker-side result array at all.
+                        out = {name: ring.response_view(slot, d, 0,
+                                                        n_traces)
+                               for d, name in enumerate(design_names)}
+                        into(demod, device, out)
+                    else:
+                        bits = engine.predict_traces(demod, device)
+                        ring.write_response(slot, bits, design_names)
                     results.send(("done", seq, slot,
                                   engine.stats.as_dict()))
                 except Exception as exc:  # noqa: BLE001 — fail the batch
@@ -246,15 +269,25 @@ class _ShardUnavailable(Exception):
 
 
 class _ProcessShard:
-    """Parent-side handle for one spawned shard worker."""
+    """Parent-side handle for one spawned shard worker.
+
+    The dispatcher's handoff is :meth:`enqueue` — a lock-light append to
+    this shard's own submit deque. A dedicated **submitter thread** drains
+    the deque into the shard's trace ring, coalescing compatible queued
+    batches into single slots, so slot backpressure (and the memcpy into
+    shared memory) lands on the shard it belongs to instead of stalling
+    the dispatcher — and with it every other shard.
+    """
 
     def __init__(self, server, shard: ServeShard, spec: EngineSpec, ctx,
-                 n_slots: int, join_timeout_s: float):
+                 n_slots: int, join_timeout_s: float,
+                 coalesce_batches: int = DEFAULT_COALESCE_BATCHES):
         self.shard = shard
         self.index = shard.feedline.index
         self._server = server
         self._n_slots = n_slots
         self._join_timeout_s = join_timeout_s
+        self._coalesce = max(1, int(coalesce_batches))
         self._columns = _shard_columns(shard.feedline)
         self._n_qubits = shard.feedline.n_qubits
         # Canonical design order shared with the worker for the life of
@@ -265,10 +298,13 @@ class _ProcessShard:
         self._free: "queue.Queue[int]" = queue.Queue()
         for slot in range(n_slots):
             self._free.put(slot)
-        self._pending: Dict[int, object] = {}
+        #: seq -> [(inflight, offset, n_traces), ...] slot segments.
+        self._pending: Dict[int, List[Tuple[object, int, int]]] = {}
         self._next_seq = 0
         self._lock = threading.Lock()
         self._send_lock = threading.Lock()
+        self._submit_q: "deque[object]" = deque()
+        self._submit_cond = threading.Condition()
         self._dead = False
         self._finished = False
         self._ready = threading.Event()
@@ -291,9 +327,13 @@ class _ProcessShard:
             target=self._receive_loop,
             name=f"readout-serve-shard{self.index}-recv", daemon=True)
         self._receiver.start()
+        self._submitter = threading.Thread(
+            target=self._submit_loop,
+            name=f"readout-serve-shard{self.index}-submit", daemon=True)
+        self._submitter.start()
 
     # ------------------------------------------------------------------
-    # Submission (dispatcher thread only)
+    # Submission (dispatcher enqueues; the submitter thread ships)
     # ------------------------------------------------------------------
     @property
     def dead(self) -> bool:
@@ -321,37 +361,105 @@ class _ProcessShard:
         if self._dead:
             raise RuntimeError(str(self.death_error()))
 
-    def submit(self, inflight) -> None:
-        try:
-            demod = inflight.demod[:, self._columns]
-            slot = self._prepare_slot(demod)
-        except _ShardUnavailable as exc:
-            inflight.fail(ServerClosedError(str(exc)))
+    def enqueue(self, inflight) -> None:
+        """Hand one in-flight batch to this shard (dispatcher thread).
+
+        Never blocks on slot availability or the memcpy into shared
+        memory — that work belongs to this shard's submitter thread.
+        """
+        with self._submit_cond:
+            self._submit_q.append(inflight)
+            self._submit_cond.notify()
+
+    def _submit_loop(self) -> None:
+        """Drain the submit deque into the ring, coalescing when deep.
+
+        Coalescing only packs what is *already queued*: a group is the
+        head batch plus up to ``coalesce_batches - 1`` immediate followers
+        with the same trace geometry — never a wait for more traffic, so
+        an idle server's latency is untouched.
+        """
+        while True:
+            with self._submit_cond:
+                while not self._submit_q:
+                    self._submit_cond.wait()
+                head = self._submit_q.popleft()
+                if head is None:
+                    return
+                group = [head]
+                limit = (self._server.max_batch_traces * self._coalesce)
+                total = head.n_traces
+                while (len(group) < self._coalesce and self._submit_q
+                        and self._submit_q[0] is not None):
+                    nxt = self._submit_q[0]
+                    if (total + nxt.n_traces > limit
+                            or nxt.demod.shape[1:] != head.demod.shape[1:]
+                            or nxt.demod.dtype != head.demod.dtype):
+                        break
+                    group.append(self._submit_q.popleft())
+                    total += nxt.n_traces
+            self._send_group(group, total)
+
+    def _send_group(self, group: List[object], total: int) -> None:
+        """Ship one coalesced group: one slot, one command message."""
+        failure: Optional[BaseException] = None
+        if self._dead:
+            failure = self.death_error()
+        elif self._server.stopping.is_set():
+            failure = ServerClosedError(
+                "server stopped before the batch was shipped to the "
+                "worker")
+        if failure is not None:
+            for inflight in group:
+                inflight.shard_error(failure)
             return
+        try:
+            demods = [inflight.demod[:, self._columns]
+                      for inflight in group]
+            if not self._ring_fits(demods[0], total):
+                self._reallocate_ring(demods[0], total)
+            slot = self._acquire_free_slot()
+        except _ShardUnavailable as exc:
+            closed = ServerClosedError(str(exc))
+            for inflight in group:
+                inflight.shard_error(closed)
+            return
+        offset = 0
+        segments: List[Tuple[object, int, int]] = []
+        for inflight, demod in zip(group, demods):
+            n = int(demod.shape[0])
+            self._ring.write_request_at(slot, offset, demod)
+            segments.append((inflight, offset, n))
+            offset += n
         with self._lock:
             if self._dead:
                 self._free.put(slot)
-                inflight.fail(self.death_error())
+                exc = self.death_error()
+                for inflight in group:
+                    inflight.shard_error(exc)
                 return
             seq = self._next_seq
             self._next_seq += 1
-            self._pending[seq] = inflight
+            self._pending[seq] = segments
         try:
             with self._send_lock:
-                self._commands.send(("batch", seq, slot,
-                                     int(demod.shape[0])))
+                self._commands.send(("batch", seq, slot, total))
         except (BrokenPipeError, OSError):
             with self._lock:
                 self._pending.pop(seq, None)
             self._free.put(slot)      # the worker will never release it
-            inflight.fail(self.death_error())
+            exc = self.death_error()
+            for inflight in group:
+                inflight.shard_error(exc)
+            return
+        self._server.stats.record_ring_flush(len(group))
 
-    def _prepare_slot(self, demod: np.ndarray) -> int:
-        if self._ring is None or not self._ring.fits(demod):
-            self._reallocate_ring(demod)
-        slot = self._acquire_free_slot()
-        self._ring.write_request(slot, demod)
-        return slot
+    def _ring_fits(self, demod: np.ndarray, total: int) -> bool:
+        ring = self._ring
+        return (ring is not None
+                and total <= ring.capacity
+                and tuple(demod.shape[1:]) == tuple(ring.spec.trace_shape)
+                and demod.dtype == np.dtype(ring.spec.dtype))
 
     def _acquire_free_slot(self) -> int:
         while True:
@@ -366,17 +474,20 @@ class _ProcessShard:
             except queue.Empty:
                 continue
 
-    def _reallocate_ring(self, demod: np.ndarray) -> None:
-        """Swap in a ring sized for this batch (first batch, or growth).
+    def _reallocate_ring(self, demod: np.ndarray,
+                         min_capacity: int) -> None:
+        """Swap in a ring sized for this traffic (first batch, or growth).
 
         Claims every slot first so no in-flight batch still references
         the old segment, then publishes the new geometry on the ordered
         command pipe — the worker attaches before it can see any batch
-        message that uses the new slots.
+        message that uses the new slots. Capacity covers a full coalesced
+        group, so coalescing is never defeated by slot size.
         """
         claimed = [self._acquire_free_slot() for _ in range(self._n_slots)]
         old = self._ring
-        capacity = max(self._server.max_batch_traces, int(demod.shape[0]))
+        capacity = max(self._server.max_batch_traces * self._coalesce,
+                       int(min_capacity))
         ring = TraceRing.create(
             n_slots=self._n_slots, capacity=capacity,
             trace_shape=demod.shape[1:], dtype=demod.dtype,
@@ -442,36 +553,39 @@ class _ProcessShard:
     def _handle_result(self, message) -> None:
         kind, seq, slot = message[0], message[1], message[2]
         with self._lock:
-            inflight = self._pending.pop(seq, None)
-        bits = None
-        failure: Optional[BaseException] = None
+            segments = self._pending.pop(seq, None)
         if kind == "done":
             self.last_engine_stats = message[3]
-            if inflight is not None:
-                try:
-                    bits = self._ring.read_response(
-                        slot, inflight.n_traces, self._design_names)
-                except Exception as exc:  # noqa: BLE001 — never hang a client
-                    failure = exc
-        elif kind == "skipped":
+        failure: Optional[BaseException] = None
+        if kind == "skipped":
             failure = ServerClosedError(
                 "server stopped before the batch reached the engine")
         elif kind == "err":
             failure = message[3]
-        # Nothing reads the slot past this point (hooks run on the
-        # parent's own copy of the batch) — and it is always freed, even
-        # on a failed read, or the ring would leak capacity and stall.
-        self._free.put(slot)
-        if inflight is None:
-            return
-        if failure is not None:
-            inflight.fail(failure)
-        elif bits is not None:
-            try:
-                self._mirror_hooks(inflight, bits)
-                inflight.deliver(self.shard.feedline, bits)
-            except Exception as exc:  # noqa: BLE001 — never hang a client
-                inflight.fail(exc)
+        try:
+            if segments is None:
+                return
+            if failure is not None:
+                for inflight, _, _ in segments:
+                    inflight.shard_error(failure)
+                return
+            for inflight, offset, n in segments:
+                # Zero-copy handback: hand views into the slot's response
+                # block straight to deliver(), which scatters them into
+                # the batch's response slab before returning — the slot
+                # is only freed (finally) after every segment consumed it.
+                try:
+                    bits = {name: self._ring.response_view(slot, d,
+                                                           offset, n)
+                            for d, name in enumerate(self._design_names)}
+                    self._mirror_hooks(inflight, bits)
+                    inflight.deliver(self.shard.feedline, bits)
+                except Exception as exc:  # noqa: BLE001 — never hang a client
+                    inflight.shard_error(exc)
+        finally:
+            # The slot is always freed — even on a failed read/scatter —
+            # or the ring would leak capacity and stall.
+            self._free.put(slot)
 
     def _mirror_hooks(self, inflight,
                       bits: Dict[str, np.ndarray]) -> None:
@@ -507,8 +621,19 @@ class _ProcessShard:
         self._server.stats.record_worker_death()
         self._ready.set()             # wake any startup waiter to the error
         exc = self.death_error()
-        for inflight in pending:
-            inflight.fail(exc)
+        for segments in pending:
+            for inflight, _, _ in segments:
+                inflight.shard_error(exc)
+        # Batches still queued for submission can never ship; fail them
+        # now rather than waiting for the submitter to trip over each one.
+        with self._submit_cond:
+            queued = [item for item in self._submit_q if item is not None]
+            sentinels = [item for item in self._submit_q if item is None]
+            self._submit_q.clear()
+            self._submit_q.extend(sentinels)
+            self._submit_cond.notify_all()
+        for inflight in queued:
+            inflight.shard_error(exc)
 
     # ------------------------------------------------------------------
     # Swap and teardown
@@ -540,6 +665,12 @@ class _ProcessShard:
         if self._finished:
             return
         self._finished = True
+        # Retire the submitter first: anything it still ships was already
+        # queued before stop, and its stopping-check fails those fast.
+        with self._submit_cond:
+            self._submit_q.append(None)
+            self._submit_cond.notify_all()
+        self._submitter.join(timeout=self._join_timeout_s)
         self._proc.join(self._join_timeout_s)
         if self._proc.is_alive():
             self._proc.terminate()
@@ -555,8 +686,9 @@ class _ProcessShard:
             self._pending.clear()
         closed = ServerClosedError(
             "server stopped before the request was scheduled")
-        for inflight in pending:
-            inflight.fail(closed)
+        for segments in pending:
+            for inflight, _, _ in segments:
+                inflight.shard_error(closed)
         for conn in (self._commands, self._results):
             try:
                 conn.close()
@@ -578,6 +710,11 @@ class ProcessShardBackend(ShardBackend):
         buffers: the parent fills the next batch while the worker computes
         the current one. More slots deepen the per-worker queue at the
         cost of shared memory.
+    coalesce_batches:
+        Micro-batches the submitter may pack into one ring slot (and one
+        IPC round-trip) when its queue runs deep; rings are sized
+        ``max_batch_traces * coalesce_batches`` so packing never waits on
+        capacity. ``1`` disables coalescing.
     join_timeout_s:
         How long :meth:`stop` waits for a worker to exit cleanly before
         escalating to ``terminate()`` (then ``kill()``).
@@ -596,12 +733,17 @@ class ProcessShardBackend(ShardBackend):
     name = "process"
 
     def __init__(self, *, ring_slots: int = DEFAULT_RING_SLOTS,
+                 coalesce_batches: int = DEFAULT_COALESCE_BATCHES,
                  join_timeout_s: float = DEFAULT_JOIN_TIMEOUT_S,
                  startup_timeout_s: float = DEFAULT_STARTUP_TIMEOUT_S,
                  start_method: str = "spawn"):
         if ring_slots < 1:
             raise ValueError(
                 f"ring_slots must be positive, got {ring_slots}")
+        if coalesce_batches < 1:
+            raise ValueError(
+                f"coalesce_batches must be positive, "
+                f"got {coalesce_batches}")
         if join_timeout_s <= 0:
             raise ValueError(
                 f"join_timeout_s must be positive, got {join_timeout_s}")
@@ -610,6 +752,7 @@ class ProcessShardBackend(ShardBackend):
                 f"startup_timeout_s must be positive, "
                 f"got {startup_timeout_s}")
         self._ring_slots = int(ring_slots)
+        self._coalesce_batches = int(coalesce_batches)
         self._join_timeout_s = float(join_timeout_s)
         self._startup_timeout_s = float(startup_timeout_s)
         self._start_method = start_method
@@ -648,7 +791,8 @@ class ProcessShardBackend(ShardBackend):
                     for shard, spec in specs:
                         self._handles.append(_ProcessShard(
                             server, shard, spec, ctx, self._ring_slots,
-                            self._join_timeout_s))
+                            self._join_timeout_s,
+                            coalesce_batches=self._coalesce_batches))
                 finally:
                     for key in capped:
                         os.environ.pop(key, None)
@@ -668,8 +812,11 @@ class ProcessShardBackend(ShardBackend):
                 # up front instead of burning the healthy workers on it.
                 inflight.fail(handle.death_error())
                 return
+        # Per-shard handoff: each shard's submitter thread owns the slot
+        # wait and the shared-memory copy, so the dispatcher returns
+        # immediately and a backlogged shard only delays itself.
         for handle in self._handles:
-            handle.submit(inflight)
+            handle.enqueue(inflight)
 
     def request_stop(self) -> None:
         for handle in self._handles:

@@ -11,6 +11,13 @@ deployment — so each engine is only ever driven by its own worker (engines
 keep mutable chunk buffers) and multi-qubit devices scale horizontally by
 adding shards.
 
+The hot path is allocation-free in steady state: request traces are copied
+once, at submit time, into recycled trace slabs
+(:class:`~.slab.SlabPool`); each shard scatters its bits straight into a
+pooled response slab through column indexers precomputed at construction;
+and the dispatcher thread is a thin flush pump — it never concatenates,
+stitches, or copies trace payloads.
+
 *Where* the shard workers run is a :class:`ShardBackend` choice:
 
 * ``backend="thread"`` (:class:`ThreadShardBackend`, the default) runs one
@@ -18,9 +25,10 @@ adding shards.
   cost, but every shard shares the GIL, so added shards mostly improve
   batching, not raw throughput;
 * ``backend="process"`` (:class:`~.procshard.ProcessShardBackend`) runs
-  one *spawned worker process* per shard, shipping trace batches through
-  shared-memory rings and engines as serialized pipelines — true parallel
-  shards at the cost of per-batch IPC and worker startup.
+  one *spawned worker process* per shard, with a per-shard submitter
+  thread feeding trace batches through shared-memory rings (one slow or
+  backlogged shard never stalls the others) — true parallel shards at the
+  cost of per-batch IPC and worker startup.
 
 Everything above the backend — submission APIs, micro-batching,
 backpressure, :class:`~.stats.ServerStats`, :meth:`ReadoutServer.swap_engine`
@@ -42,8 +50,9 @@ import numpy as np
 from repro.readout.parameters import DeviceParams
 from repro.readout.sharding import FeedlineShard
 
-from .batcher import (MicroBatcher, ServeRequest, ServerClosedError,
-                      ServerOverloadedError)
+from .batcher import (FlushedBatch, MicroBatcher, ServeRequest,
+                      ServerClosedError, ServerOverloadedError)
+from .slab import SlabPool
 from .stats import ServerStats
 
 #: Shard execution backends selectable by name.
@@ -59,7 +68,10 @@ class ServeShard:
     :class:`~repro.engine.ReadoutEngine` does) over traces of
     ``feedline.n_qubits`` qubits; ``device`` is the sharded
     :class:`~repro.readout.parameters.DeviceParams` the engine was fitted
-    for (see :func:`~repro.readout.sharding.shard_device`).
+    for (see :func:`~repro.readout.sharding.shard_device`). Engines that
+    additionally expose ``predict_traces_into(demod, device, out)`` are
+    driven through preallocated output buffers (zero per-batch result
+    allocation); plain ``predict_traces`` stubs keep working.
 
     ``engine`` is deliberately a mutable reference: the shard's worker
     re-reads it at every micro-batch boundary, which is what lets
@@ -84,9 +96,11 @@ class ReadoutResponse:
 
     ``bits`` maps design name to predicted bits — ``(n_qubits,)`` for a
     single-trace request, ``(m, n_qubits)`` otherwise, with qubit columns
-    in global device order. ``latency_s`` covers submission to resolution;
-    ``batch_traces`` is the size of the micro-batch that carried the
-    request (amortization observability).
+    in global device order. The arrays are views into the batch's pooled
+    response slab, whose ownership transfers to the resolved futures (the
+    slab is only recycled when no response escaped). ``latency_s`` covers
+    submission to resolution; ``batch_traces`` is the size of the
+    micro-batch that carried the request (amortization observability).
     """
 
     bits: Dict[str, np.ndarray]
@@ -120,76 +134,122 @@ def _fail_future(future: Future, exc: BaseException) -> bool:
 class _InFlightBatch:
     """A flushed batch being computed by the shard workers.
 
-    Workers call :meth:`deliver` with their shard's bits; the last one to
-    finish stitches the per-shard columns together, slices rows back to
-    requests, and resolves the futures. Any shard failure fails every
-    still-pending request in the batch. Futures a client has already
-    cancelled (e.g. an ``asyncio`` timeout propagated through
-    ``wrap_future``) are skipped — a cancelled request must never take a
-    worker down with it.
+    Each shard worker reports exactly once — :meth:`deliver` with its
+    bits, or :meth:`shard_error` on failure. Delivery scatters the shard's
+    columns directly into a pooled response slab (column indexers
+    precomputed at server construction); when the last shard reports, the
+    finalize pass slices request rows out of the slab and resolves the
+    futures — no per-batch stitch allocation. The trace slab returns to
+    its pool at that same last report, the one point where no worker can
+    still be reading it. Futures a client has already cancelled (e.g. an
+    ``asyncio`` timeout propagated through ``wrap_future``) are skipped —
+    a cancelled request must never take a worker down with it — and a
+    batch whose every future was cancelled or shed recycles its response
+    slab too, since no view escaped.
     """
 
-    def __init__(self, requests: List[ServeRequest], n_shards: int,
-                 n_qubits: int, design_names: Sequence[str],
-                 stats: ServerStats):
-        self.requests = requests
-        arrays = [r.traces for r in requests]
-        self.demod = arrays[0] if len(arrays) == 1 else np.concatenate(arrays)
-        self.n_traces = int(self.demod.shape[0])
-        self._n_qubits = n_qubits
-        self._design_names = design_names
-        self._stats = stats
-        self._results: Dict[FeedlineShard, Dict[str, np.ndarray]] = {}
-        self._remaining = n_shards
-        self._settled = False
+    def __init__(self, batch: FlushedBatch, server: "ReadoutServer"):
+        self._batch = batch
+        self.requests = batch.requests
+        self.demod = batch.demod
+        self.n_traces = batch.n_traces
+        self._server = server
+        self._stats = server.stats
+        self._design_names = server.design_names
+        self._columns = server._columns
+        self._remaining = len(server.shards)
+        self._failed = False
         self._lock = threading.Lock()
+        self._response: Optional[np.ndarray] = None
+        self._views_escaped = 0
 
     def deliver(self, feedline: FeedlineShard,
                 bits: Dict[str, np.ndarray]) -> None:
+        """One shard's bits: scatter into the response slab, then report.
+
+        The scatter copies out of ``bits`` synchronously, so callers may
+        pass views into reusable worker buffers (or shared-memory ring
+        slots) and recycle them as soon as this returns.
+        """
         with self._lock:
-            if self._settled:
-                return
-            self._results[feedline] = bits
-            self._remaining -= 1
-            if self._remaining > 0:
-                return
-            self._settled = True
-        self._finalize()
+            settle = not self._failed
+            if settle and self._response is None:
+                self._response = self._server._acquire_response(
+                    self.n_traces)
+            response = self._response
+        if settle:
+            columns = self._columns[feedline.index]
+            for d, design in enumerate(self._design_names):
+                response[d, :self.n_traces, columns] = bits[design]
+        self._shard_done()
+
+    def shard_error(self, exc: BaseException) -> None:
+        """One shard's terminal failure: fail the batch, then report."""
+        self.fail(exc)
+        self._shard_done()
 
     def fail(self, exc: BaseException) -> None:
+        """Fail every still-pending future (idempotent, non-reporting).
+
+        For batch-level errors outside any shard's report (dispatcher
+        submit errors, a backend refusing the batch). Slabs are *not*
+        recycled here — a path that cannot prove every worker is done
+        simply leaks them to the garbage collector (pool release is
+        advisory).
+        """
         with self._lock:
-            if self._settled:
+            if self._failed:
                 return
-            self._settled = True
+            self._failed = True
         failed = sum(_fail_future(r.future, exc) for r in self.requests)
         if failed:
             self._stats.record_failure(failed)
 
+    def _shard_done(self) -> None:
+        with self._lock:
+            self._remaining -= 1
+            if self._remaining > 0:
+                return
+            failed = self._failed
+        if not failed:
+            try:
+                self._finalize()
+            except Exception as exc:  # noqa: BLE001 — never hang a client
+                self.fail(exc)
+        # The last shard has reported: nothing can still read the trace
+        # slab, so it recycles; the response slab recycles only when no
+        # resolved future carried a view out of it.
+        self._batch.release_slab()
+        response, self._response = self._response, None
+        if response is not None and (self._failed
+                                     or self._views_escaped == 0):
+            self._server._release_response(response)
+
     def _finalize(self) -> None:
-        stitched = {}
-        for design in self._design_names:
-            full = np.empty((self.n_traces, self._n_qubits), dtype=np.int64)
-            for feedline, bits in self._results.items():
-                full[:, list(feedline.qubit_indices)] = bits[design]
-            stitched[design] = full
+        response = self._response
         now = time.perf_counter()
         offset = 0
+        escaped = 0
         for request in self.requests:
             m = request.n_traces
             bits = {
-                design: (full[offset] if request.single
-                         else full[offset:offset + m])
-                for design, full in stitched.items()
+                design: (response[d, offset]
+                         if request.single
+                         else response[d, offset:offset + m])
+                for d, design in enumerate(self._design_names)
             }
             latency = now - request.enqueued_at
             try:
                 request.future.set_result(ReadoutResponse(
-                    bits=bits, latency_s=latency, batch_traces=self.n_traces))
+                    bits=bits, latency_s=latency,
+                    batch_traces=self.n_traces))
             except InvalidStateError:
-                pass        # client cancelled; the result is simply dropped
+                pass        # client cancelled (or shed): result dropped
             else:
+                escaped += 1
                 self._stats.record_done(m, latency, now)
             offset += m
+        self._views_escaped = escaped
 
 
 class ShardBackend:
@@ -201,8 +261,10 @@ class ShardBackend:
     server's:
 
     * :meth:`start` once, before any batch flows;
-    * :meth:`submit` from the dispatcher thread only — fan one
-      :class:`_InFlightBatch` out to every shard worker;
+    * :meth:`submit` from the dispatcher thread only — hand one
+      :class:`_InFlightBatch` to every shard's worker queue (the handoff
+      must not block on any single shard's backlog); every shard must
+      eventually report terminally via ``deliver`` or ``shard_error``;
     * :meth:`request_stop` when shutdown begins — queued-but-unstarted
       work must fail fast from here on (the batch each worker is
       computing still completes);
@@ -244,11 +306,14 @@ class ThreadShardBackend(ShardBackend):
     """One worker thread per shard, sharing this process (and its GIL).
 
     The original execution model: lowest latency and zero startup cost,
-    with every shard's engine driven in-process. Engine batch hooks fire
-    naturally on the inference threads and :meth:`ReadoutServer.swap_engine`
-    is a plain reference swap. Throughput, however, is bounded by one
-    interpreter — use :class:`~.procshard.ProcessShardBackend` when shard
-    compute should actually run in parallel.
+    with every shard's engine driven in-process. Each worker keeps a
+    preallocated per-design output buffer and drives engines through
+    ``predict_traces_into`` when available, so a steady-state batch
+    allocates nothing; engine batch hooks fire naturally on the inference
+    threads and :meth:`ReadoutServer.swap_engine` is a plain reference
+    swap. Throughput, however, is bounded by one interpreter — use
+    :class:`~.procshard.ProcessShardBackend` when shard compute should
+    actually run in parallel.
     """
 
     name = "thread"
@@ -288,6 +353,7 @@ class ThreadShardBackend(ShardBackend):
         # Contiguous qubit groups (everything plan_feedlines produces) are
         # sliced as zero-copy views; only irregular groups pay a gather.
         columns = _shard_columns(shard.feedline)
+        out_bufs: Dict[str, np.ndarray] = {}
         while True:
             inflight = q.get()
             if inflight is None:
@@ -295,26 +361,54 @@ class ThreadShardBackend(ShardBackend):
             if self._server.stopping.is_set():
                 # Fail-fast shutdown: batches still queued behind the one
                 # being computed are failed, not drained through the engine.
-                inflight.fail(ServerClosedError(
+                inflight.shard_error(ServerClosedError(
                     "server stopped before the batch reached the engine"))
                 continue
             try:
-                bits = shard.engine.predict_traces(
-                    inflight.demod[:, columns], shard.device)
+                engine = shard.engine
+                demod = inflight.demod[:, columns]
+                predict_into = getattr(engine, "predict_traces_into", None)
+                if predict_into is not None:
+                    out = self._out_views(out_bufs, engine.design_names,
+                                          inflight.n_traces,
+                                          shard.feedline.n_qubits)
+                    bits = predict_into(demod, shard.device, out)
+                else:
+                    bits = engine.predict_traces(demod, shard.device)
+                # deliver() copies out of `bits` before returning, so the
+                # worker's reusable output buffers are free for the next
+                # batch the moment it does.
                 inflight.deliver(shard.feedline, bits)
             except Exception as exc:  # noqa: BLE001 — fail the whole batch
-                # Covers engine errors and stitching errors alike: any
+                # Covers engine errors and scatter errors alike: any
                 # still-pending future fails rather than hanging, and the
                 # worker thread survives for the next batch.
-                inflight.fail(exc)
+                inflight.shard_error(exc)
+
+    @staticmethod
+    def _out_views(bufs: Dict[str, np.ndarray], design_names,
+                   n_traces: int, n_qubits: int) -> Dict[str, np.ndarray]:
+        """Per-design views of this worker's recycled output buffers."""
+        out = {}
+        for name in design_names:
+            buf = bufs.get(name)
+            if buf is None or buf.shape[0] < n_traces:
+                buf = np.empty((max(n_traces, 1), n_qubits), dtype=np.int64)
+                bufs[name] = buf
+            out[name] = buf[:n_traces]
+        return out
 
 
-def _shard_columns(feedline: FeedlineShard) -> Union[slice, List[int]]:
-    """Column indexer for one shard's qubits (zero-copy when contiguous)."""
+def _shard_columns(feedline: FeedlineShard) -> Union[slice, np.ndarray]:
+    """Column indexer for one shard's qubits (zero-copy when contiguous).
+
+    Precomputed once per shard (server construction / worker start), so
+    the per-batch scatter never rebuilds an index list.
+    """
     idx = feedline.qubit_indices
     if idx == tuple(range(idx[0], idx[-1] + 1)):
         return slice(idx[0], idx[-1] + 1)
-    return list(idx)
+    return np.asarray(idx, dtype=np.intp)
 
 
 def _make_backend(backend, backend_options) -> ShardBackend:
@@ -346,7 +440,15 @@ class ReadoutServer:
         serve the same design names.
     max_batch_traces / max_wait_ms / max_queue_requests / overload:
         Micro-batching and backpressure knobs, passed to
-        :class:`~.batcher.MicroBatcher`.
+        :class:`~.batcher.MicroBatcher`. ``max_batch_traces`` is also the
+        recycled trace-slab size.
+    trace_dtype:
+        Optional forced dtype for the trace slabs (and, on the process
+        backend, the shared-memory rings). ``np.float16`` halves hot-path
+        memory traffic at a small, measured accuracy cost (see the
+        ``bench_ablation_quantization`` harness); the default ``None``
+        inherits each stream's own dtype, preserving bit-exact float64
+        parity.
     latency_window:
         Size of the latency sample window kept by :class:`ServerStats`.
     backend:
@@ -368,7 +470,7 @@ class ReadoutServer:
     def __init__(self, shards: Sequence[ServeShard], *,
                  max_batch_traces: int = 256, max_wait_ms: float = 2.0,
                  max_queue_requests: int = 1024, overload: str = "reject",
-                 latency_window: int = 8192,
+                 trace_dtype=None, latency_window: int = 8192,
                  backend: Union[str, ShardBackend] = "thread",
                  backend_options: Optional[Dict[str, object]] = None):
         if not shards:
@@ -389,10 +491,21 @@ class ReadoutServer:
         self._shards = tuple(shards)
         self.n_qubits = len(covered)
         self.design_names = list(names[0])
+        self.trace_dtype = (None if trace_dtype is None
+                            else np.dtype(trace_dtype))
         self.stats = ServerStats(latency_window=latency_window)
+        # Column indexers by feedline index, computed exactly once: the
+        # per-batch scatter must never rebuild list(feedline.qubit_indices).
+        self._columns = {s.feedline.index: _shard_columns(s.feedline)
+                         for s in self._shards}
+        self._trace_pool = SlabPool(
+            observer=lambda event: self.stats.record_slab("trace", event))
+        self._response_pool = SlabPool(
+            observer=lambda event: self.stats.record_slab("response", event))
         self._batcher = MicroBatcher(
             max_batch_traces=max_batch_traces, max_wait_ms=max_wait_ms,
-            max_queue_requests=max_queue_requests, overload=overload)
+            max_queue_requests=max_queue_requests, overload=overload,
+            trace_dtype=trace_dtype, slab_pool=self._trace_pool)
         self._backend = _make_backend(backend, backend_options)
         self._dispatcher: Optional[threading.Thread] = None
         self._state_lock = threading.Lock()
@@ -418,6 +531,21 @@ class ReadoutServer:
     def max_batch_traces(self) -> int:
         """The micro-batcher's flush size (backends size buffers from it)."""
         return self._batcher.max_batch_traces
+
+    # ------------------------------------------------------------------
+    # Response slab pool (used by _InFlightBatch)
+    # ------------------------------------------------------------------
+    def _acquire_response(self, n_traces: int) -> np.ndarray:
+        """A pooled ``(n_designs, capacity, n_qubits)`` bits slab."""
+        shape = (len(self.design_names),
+                 max(self.max_batch_traces, n_traces), self.n_qubits)
+        slab = self._response_pool.acquire(shape, np.int64)
+        if slab is None:            # pool at its outstanding bound
+            slab = np.empty(shape, dtype=np.int64)
+        return slab
+
+    def _release_response(self, slab: np.ndarray) -> None:
+        self._response_pool.release(slab)
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -487,7 +615,8 @@ class ReadoutServer:
         ``(m, n_qubits, 2, n_bins)`` stack. Raises
         :class:`~.batcher.ServerOverloadedError` under the ``reject``
         policy when the queue is full; under ``shed`` the oldest queued
-        request's future fails instead.
+        request's future fails instead. Raises
+        :class:`~.batcher.ServerClosedError` once the server is stopped.
         """
         traces = np.asarray(traces)
         single = traces.ndim == 3
@@ -503,9 +632,13 @@ class ReadoutServer:
                 f"{traces.shape[1]}")
         if traces.shape[0] == 0:
             raise ValueError("request must contain at least one trace")
-        with self._state_lock:
-            if self._stopped:
-                raise RuntimeError("server is stopped")
+        # Lock-free stop check: _stopped is a monotonic bool flipped under
+        # the state lock, and a plain read is atomic under the GIL — the
+        # submit path must not contend on the state lock per request. The
+        # race window (stop() landing right after the read) is closed by
+        # the batcher: offer() on a closed batcher raises, handled below.
+        if self._stopped:
+            raise ServerClosedError("server is stopped")
         if not self._started:
             self.start()
         request = ServeRequest(traces=traces, single=single)
@@ -601,14 +734,23 @@ class ReadoutServer:
     # Internals
     # ------------------------------------------------------------------
     def _dispatch_loop(self) -> None:
+        # A thin flush pump: the trace payload was already written into
+        # the batch's slab at submit time, so per batch this thread only
+        # builds the in-flight bookkeeping and hands the slab views to the
+        # backend (whose per-shard queues never block on one another).
         while True:
             batch = self._batcher.gather()
             if batch is None:
                 return
-            inflight = _InFlightBatch(
-                batch, n_shards=len(self._shards), n_qubits=self.n_qubits,
-                design_names=self.design_names, stats=self.stats)
-            self.stats.record_batch(len(batch), inflight.n_traces)
+            live = sum(1 for r in batch.requests if not r.shed)
+            if live == 0:
+                # Every rider was shed while queued; nothing to compute.
+                batch.release_slab()
+                continue
+            inflight = _InFlightBatch(batch, self)
+            self.stats.record_batch(live, batch.n_traces)
+            self.stats.record_dispatch_lag(
+                time.perf_counter() - batch.sealed_at)
             try:
                 self._backend.submit(inflight)
             except Exception as exc:  # noqa: BLE001 — keep dispatching

@@ -143,6 +143,25 @@ class TraceRing:
         self._requests[slot, :n] = demod
         return n
 
+    def write_request_at(self, slot: int, offset: int,
+                         demod: np.ndarray) -> int:
+        """Copy a batch into a request slot starting at ``offset``.
+
+        The coalescing submit path packs several micro-batches into one
+        slot back to back; each segment lands at its own offset and the
+        worker sees them as a single contiguous batch. The assignment
+        casts, so a float64 batch flows into a float16 ring without an
+        intermediate ``astype`` copy. Returns the trace count written.
+        """
+        n = int(demod.shape[0])
+        if (offset < 0 or offset + n > self.spec.capacity
+                or tuple(demod.shape[1:]) != tuple(self.spec.trace_shape)):
+            raise ValueError(
+                f"batch {demod.shape} at offset {offset} does not fit ring "
+                f"slot ({self.spec.capacity} x {self.spec.trace_shape})")
+        self._requests[slot, offset:offset + n] = demod
+        return n
+
     def request_view(self, slot: int, n_traces: int) -> np.ndarray:
         """Zero-copy view of the first ``n_traces`` of a request slot."""
         return self._requests[slot, :n_traces]
@@ -166,6 +185,19 @@ class TraceRing:
         """
         return {name: np.array(self._responses[slot, d, :n_traces])
                 for d, name in enumerate(design_names)}
+
+    def response_view(self, slot: int, design_index: int, offset: int,
+                      n_traces: int) -> np.ndarray:
+        """Zero-copy ``(n_traces, n_qubits)`` view into a response slot.
+
+        Both sides of the zero-copy result path use this: the worker hands
+        these views to ``predict_traces_into`` so the engine writes bits
+        straight into shared memory, and the parent scatters them into the
+        response slab *before* freeing the slot (the view dies with the
+        free — consume it first).
+        """
+        return self._responses[slot, design_index,
+                               offset:offset + n_traces]
 
     # ------------------------------------------------------------------
     # Lifecycle

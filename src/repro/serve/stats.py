@@ -43,6 +43,17 @@ class ServerStats:
         self.worker_deaths = 0
         self.swaps = 0
         self.model_versions: Dict[int, int] = {}
+        # Hot-path memory counters (slab pools) and dispatch health.
+        self.trace_slab_allocated = 0
+        self.trace_slab_reused = 0
+        self.trace_slab_fallbacks = 0
+        self.response_slab_allocated = 0
+        self.response_slab_reused = 0
+        self.response_slab_fallbacks = 0
+        self.ring_flushes = 0
+        self.ring_batches = 0
+        self._dispatch_lags_s: Deque[float] = deque(
+            maxlen=int(latency_window))
         self._first_submit_t: Optional[float] = None
         self._last_done_t: Optional[float] = None
 
@@ -108,6 +119,44 @@ class ServerStats:
         with self._lock:
             self.worker_deaths += 1
 
+    def record_slab(self, pool: str, event: str) -> None:
+        """Count one slab-pool acquire outcome.
+
+        ``pool`` is ``"trace"`` (micro-batch trace slabs) or ``"response"``
+        (bit-scatter slabs); ``event`` is the :class:`~.slab.SlabPool`
+        observer vocabulary — ``"allocated"`` (fresh array), ``"reused"``
+        (recycled, the steady state), or ``"fallback"`` (pool at its
+        outstanding bound, caller allocated exact-size). A healthy hot
+        path converges to reused-only; fallbacks flag backlog pressure.
+        """
+        attr = f"{pool}_slab_{event}"
+        if event == "fallback":
+            attr += "s"
+        with self._lock:
+            setattr(self, attr, getattr(self, attr) + 1)
+
+    def record_dispatch_lag(self, lag_s: float) -> None:
+        """Seal-to-dispatch delay for one flushed batch.
+
+        Measures how long a sealed micro-batch waited for the dispatch
+        pump — the direct observable for the single-dispatcher bottleneck
+        this layer was rebuilt to remove. Kept in the same bounded window
+        as latencies.
+        """
+        with self._lock:
+            self._dispatch_lags_s.append(lag_s)
+
+    def record_ring_flush(self, n_batches: int) -> None:
+        """One shared-memory ring submission carrying ``n_batches`` batches.
+
+        Process backend only: ``ring_batches / ring_flushes`` is the
+        coalescing ratio — how many micro-batches each IPC round-trip
+        amortizes.
+        """
+        with self._lock:
+            self.ring_flushes += 1
+            self.ring_batches += n_batches
+
     def record_swap(self, shard_index: int) -> int:
         """Count an engine hot swap; returns the shard's new model version.
 
@@ -140,6 +189,28 @@ class ServerStats:
         # still counts toward the denominator, so dividing by completions
         # would deflate the metric exactly when failures make it matter.
         return self.batched_traces / self.batches
+
+    def _dispatch_lag_locked(self) -> Dict[str, float]:
+        if not self._dispatch_lags_s:
+            return {"dispatch_lag_p50_ms": 0.0, "dispatch_lag_p99_ms": 0.0}
+        values = np.percentile(np.asarray(self._dispatch_lags_s), (50, 99))
+        return {"dispatch_lag_p50_ms": 1000.0 * float(values[0]),
+                "dispatch_lag_p99_ms": 1000.0 * float(values[1])}
+
+    def _slab_reuse_ratio_locked(self) -> float:
+        acquires = (self.trace_slab_allocated + self.trace_slab_reused
+                    + self.trace_slab_fallbacks
+                    + self.response_slab_allocated
+                    + self.response_slab_reused
+                    + self.response_slab_fallbacks)
+        if acquires == 0:
+            return 0.0
+        return (self.trace_slab_reused + self.response_slab_reused) / acquires
+
+    def _ring_coalesce_ratio_locked(self) -> float:
+        if self.ring_flushes == 0:
+            return 0.0
+        return self.ring_batches / self.ring_flushes
 
     def _throughput_locked(self) -> float:
         if (self._first_submit_t is None or self._last_done_t is None
@@ -188,10 +259,22 @@ class ServerStats:
                 "probe_traces": self.probe_traces,
                 "worker_deaths": self.worker_deaths,
                 "swaps": self.swaps,
+                "trace_slab_allocated": self.trace_slab_allocated,
+                "trace_slab_reused": self.trace_slab_reused,
+                "trace_slab_fallbacks": self.trace_slab_fallbacks,
+                "response_slab_allocated": self.response_slab_allocated,
+                "response_slab_reused": self.response_slab_reused,
+                "response_slab_fallbacks": self.response_slab_fallbacks,
+                "ring_flushes": self.ring_flushes,
+                "ring_batches": self.ring_batches,
                 "model_versions": {str(shard): version for shard, version
                                    in sorted(self.model_versions.items())},
             }
             counters.update(self._latency_percentiles_locked())
+            counters.update(self._dispatch_lag_locked())
             counters["mean_batch_traces"] = self._mean_batch_traces_locked()
+            counters["slab_reuse_ratio"] = self._slab_reuse_ratio_locked()
+            counters["ring_coalesce_ratio"] = \
+                self._ring_coalesce_ratio_locked()
             counters["throughput_traces_per_s"] = self._throughput_locked()
         return counters

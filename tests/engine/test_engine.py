@@ -126,6 +126,30 @@ class TestPredictTraces:
         assert 0.0 <= snapshot["sharing_ratio"] <= 1.0
 
 
+class TestPreallocatedOutput:
+    def test_out_matches_fresh_allocation(self, fitted_designs, small_splits):
+        _, _, test = small_splits
+        engine = ReadoutEngine(fitted_designs, dtype=np.float64)
+        fresh = engine.predict_traces(test.demod[:20], test.device)
+        out = {name: np.empty((20, test.n_qubits), dtype=np.int64)
+               for name in fitted_designs}
+        into = engine.predict_traces_into(test.demod[:20], test.device, out)
+        for name in fitted_designs:
+            np.testing.assert_array_equal(into[name], fresh[name])
+            assert into[name].base is out[name]   # wrote in place, no copy
+
+    def test_oversized_out_written_as_prefix(self, fitted_designs,
+                                             small_splits):
+        _, _, test = small_splits
+        engine = ReadoutEngine(fitted_designs, dtype=np.float64)
+        out = {name: np.full((64, test.n_qubits), -1, dtype=np.int64)
+               for name in fitted_designs}
+        bits = engine.predict_traces_into(test.demod[:20], test.device, out)
+        for name in fitted_designs:
+            assert bits[name].shape == (20, test.n_qubits)
+            np.testing.assert_array_equal(out[name][20:], -1)   # untouched
+
+
 class TestStreaming:
     def test_stream_of_datasets(self, fitted_designs, small_splits):
         _, _, test = small_splits

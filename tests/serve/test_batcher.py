@@ -51,7 +51,7 @@ class TestFlushTriggers:
         first, second = request(), request()
         batcher.offer(first)
         batcher.offer(second)
-        assert batcher.gather() == [first, second]
+        assert batcher.gather().requests == [first, second]
 
     def test_gather_blocks_until_offer(self):
         batcher = MicroBatcher(max_batch_traces=1, max_wait_ms=0)
@@ -84,7 +84,9 @@ class TestBackpressure:
         assert batcher.offer(oldest) is None
         assert batcher.offer(kept) is None
         assert batcher.offer(newest) is oldest
-        assert batcher.gather() == [kept, newest]
+        batch = batcher.gather()
+        assert oldest.shed                   # victim rides the slab marked
+        assert [r for r in batch if not r.shed] == [kept, newest]
 
     def test_unknown_policy_rejected(self):
         with pytest.raises(ValueError, match="overload"):

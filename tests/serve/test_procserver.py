@@ -313,6 +313,64 @@ class TestLifecycle:
         assert snapshot["failed"] >= 40
 
 
+class TestQuantizedPath:
+    def test_float16_bits_identical_across_backends(self, splits):
+        # The opt-in quantized slab/ring path must be a *deterministic*
+        # quantization: the same float16 traces produce the same bits
+        # whether the shard engines run in threads or worker processes.
+        train, val, test = splits
+        thread_server = build_sharded_server(
+            ("mf",), train, val, n_shards=2, max_wait_ms=0.5,
+            trace_dtype=np.float16)
+        process_server = build_sharded_server(
+            ("mf",), train, val, n_shards=2, max_wait_ms=0.5,
+            backend="process", trace_dtype=np.float16)
+        with thread_server:
+            via_threads = thread_server.predict(
+                test.demod[:40], timeout=30).bits_for("mf")
+        with process_server:
+            via_processes = process_server.predict(
+                test.demod[:40], timeout=30).bits_for("mf")
+        np.testing.assert_array_equal(via_threads, via_processes)
+
+
+class TestRingCoalescing:
+    def test_backlogged_batches_share_ring_round_trips(self, splits):
+        # Saturate a single-slot ring so flushed micro-batches pile up in
+        # the shard's submit queue, then verify the submitter packed them:
+        # strictly fewer ring flushes than batches dispatched.
+        train, val, test = splits
+        server = build_sharded_server(
+            ("mf",), train, val, n_shards=1, backend="process",
+            max_batch_traces=4, max_wait_ms=0.0,
+            backend_options={"ring_slots": 1, "coalesce_batches": 4})
+        with server:
+            futures = [server.submit(test.demod[i % test.n_traces])
+                       for i in range(64)]
+            for future in futures:
+                future.result(timeout=60)
+        snapshot = server.stats.snapshot()
+        assert snapshot["ring_batches"] >= snapshot["ring_flushes"] > 0
+        assert snapshot["ring_batches"] < snapshot["batches"] * 2
+        assert snapshot["ring_coalesce_ratio"] >= 1.0
+        # The pile-up behind the single slot must actually coalesce.
+        assert snapshot["ring_flushes"] < snapshot["ring_batches"]
+        assert server.stats.failed == 0
+
+    def test_coalescing_disabled_maps_one_batch_per_flush(self, splits):
+        train, val, test = splits
+        server = build_sharded_server(
+            ("mf",), train, val, n_shards=1, backend="process",
+            max_batch_traces=4, max_wait_ms=0.0,
+            backend_options={"coalesce_batches": 1})
+        with server:
+            for i in range(8):
+                server.predict(test.demod[i], timeout=30)
+        snapshot = server.stats.snapshot()
+        assert snapshot["ring_flushes"] == snapshot["ring_batches"] > 0
+        assert snapshot["ring_coalesce_ratio"] == 1.0
+
+
 class TestEngineSpec:
     def test_spec_round_trip_preserves_predictions(self, splits):
         from repro.serve.procshard import engine_from_spec

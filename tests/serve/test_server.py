@@ -415,3 +415,143 @@ class TestLifecycle:
         assert outcomes[0] == "ok"            # in-flight batch completed
         assert "closed" in outcomes           # the backlog failed fast
         assert server.stats.failed == outcomes.count("closed")
+
+    def test_submit_vs_stop_race_is_typed_and_reconciled(self, splits):
+        # submit() reads the stopped flag without the state lock; hammer
+        # the window where stop() lands mid-submit and require (a) every
+        # refusal is the typed ServerClosedError and (b) the stats ledger
+        # still reconciles: every counted submission has exactly one
+        # counted outcome.
+        _, _, test = splits
+        trace = test.demod[0]
+        for _ in range(3):
+            server = _stub_server(test.device, engine=_SlowEngine(0.0),
+                                  max_batch_traces=8, max_wait_ms=0.1)
+            server.start()
+            start = threading.Barrier(3)
+            futures, untyped = [], []
+            lock = threading.Lock()
+
+            def hammer():
+                start.wait()
+                for _ in range(200):
+                    try:
+                        future = server.submit(trace)
+                    except ServerClosedError:
+                        continue          # typed refusal: the contract
+                    except RuntimeError as exc:
+                        with lock:
+                            untyped.append(exc)
+                        continue
+                    with lock:
+                        futures.append(future)
+
+            threads = [threading.Thread(target=hammer) for _ in range(2)]
+            for thread in threads:
+                thread.start()
+            start.wait()
+            time.sleep(0.002)
+            server.stop()
+            for thread in threads:
+                thread.join(timeout=10)
+            assert untyped == []
+            assert all(f.done() for f in futures)
+            stats = server.stats
+            assert stats.submitted == stats.completed + stats.failed
+
+    def test_response_slab_recycles_when_every_future_cancelled(self,
+                                                                splits):
+        # A batch whose every client went away must return its pooled
+        # response slab — ownership only transfers with a resolved future.
+        _, _, test = splits
+
+        class _GateEngine:
+            design_names = ["mf"]
+
+            def __init__(self):
+                self.gate = threading.Event()
+
+            def predict_traces(self, demod, device):
+                assert self.gate.wait(10)
+                return {"mf": np.zeros((demod.shape[0], demod.shape[1]),
+                                       dtype=np.int64)}
+
+        engine = _GateEngine()
+        server = _stub_server(test.device, engine=engine,
+                              max_batch_traces=4, max_wait_ms=0.0)
+        with server:
+            pool = server._response_pool
+            doomed = server.submit(test.demod[:2])
+            time.sleep(0.05)              # batch in flight, engine gated
+            assert doomed.cancel()
+            engine.gate.set()
+            deadline = time.perf_counter() + 5
+            while pool.free_count() == 0 and time.perf_counter() < deadline:
+                time.sleep(0.01)
+            assert pool.free_count() == 1     # recycled, nobody saw it
+            # The next live request reuses that very slab...
+            response = server.predict(test.demod[:2], timeout=10)
+            assert server.stats.response_slab_reused == 1
+            # ...and keeps it: its views escaped to the client.
+            assert response.bits_for("mf").shape == (2, test.n_qubits)
+            assert pool.free_count() == 0
+
+
+class TestHotPathMemory:
+    def test_oversized_request_spans_slab_boundary_correctly(self, splits,
+                                                             reference_bits):
+        # A single request larger than max_batch_traces bypasses the slab
+        # and is served alone — interleaved with slab-sized traffic, every
+        # response must still match the per-shard reference bit for bit.
+        train, val, test = splits
+        server = build_sharded_server(("mf",), train, val, n_shards=2,
+                                      dtype=np.float64, max_batch_traces=8,
+                                      max_wait_ms=0.5)
+        with server:
+            small_a = server.submit(test.demod[:3])
+            oversized = server.submit(test.demod[:20])   # > 8: slab bypass
+            small_b = server.submit(test.demod[5:10])
+            np.testing.assert_array_equal(
+                oversized.result(timeout=10).bits_for("mf"),
+                reference_bits[:20])
+            np.testing.assert_array_equal(
+                small_a.result(timeout=10).bits_for("mf"),
+                reference_bits[:3])
+            np.testing.assert_array_equal(
+                small_b.result(timeout=10).bits_for("mf"),
+                reference_bits[5:10])
+
+    def test_steady_state_recycles_slabs_with_zero_fallbacks(self, splits):
+        _, _, test = splits
+        server = _stub_server(test.device, engine=_SlowEngine(0.0),
+                              max_batch_traces=4, max_wait_ms=0.0)
+        with server:
+            for _ in range(12):
+                server.predict(test.demod[:2], timeout=10)
+        snapshot = server.stats.snapshot()
+        # Trace slabs converge to pure recycling: one allocation ever.
+        assert snapshot["trace_slab_allocated"] == 1
+        assert snapshot["trace_slab_reused"] >= 10
+        assert snapshot["trace_slab_fallbacks"] == 0
+        # Response slabs recycle only when no view escaped (ownership
+        # moves to resolved futures), so the combined ratio is bounded
+        # below by the trace side alone.
+        assert snapshot["response_slab_fallbacks"] == 0
+        assert snapshot["slab_reuse_ratio"] > 0.3
+        assert snapshot["dispatch_lag_p99_ms"] >= 0.0
+
+    def test_float16_trace_path_serves_quantized_slabs(self, splits):
+        train, val, test = splits
+        server = build_sharded_server(("mf",), train, val, n_shards=2,
+                                      max_wait_ms=0.5,
+                                      trace_dtype=np.float16)
+        reference = build_sharded_server(("mf",), train, val, n_shards=2,
+                                         max_wait_ms=0.5)
+        assert server.trace_dtype == np.dtype(np.float16)
+        with server, reference:
+            quantized = server.predict(test.demod[:40], timeout=10)
+            full = reference.predict(test.demod[:40], timeout=10)
+        agree = np.mean(quantized.bits_for("mf") == full.bits_for("mf"))
+        # Half-precision traces cost a little accuracy, never correctness.
+        assert agree >= 0.9
+        assert quantized.bits_for("mf").shape == full.bits_for("mf").shape

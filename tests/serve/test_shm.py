@@ -47,6 +47,39 @@ class TestRoundTrip:
                             ("mf",))
         np.testing.assert_array_equal(out["mf"], 1)   # unaffected snapshot
 
+    def test_segmented_writes_compose_one_contiguous_batch(self, ring):
+        # The coalescing submit path: two micro-batches packed back to
+        # back into one slot read back as a single contiguous batch.
+        rng = np.random.default_rng(3)
+        a = rng.normal(size=(3, 3, 2, 10))
+        b = rng.normal(size=(4, 3, 2, 10))
+        assert ring.write_request_at(0, 0, a) == 3
+        assert ring.write_request_at(0, 3, b) == 4
+        combined = ring.request_view(0, 7)
+        np.testing.assert_array_equal(combined[:3], a)
+        np.testing.assert_array_equal(combined[3:], b)
+
+    def test_offset_write_casts_into_ring_dtype(self, ring):
+        batch = np.ones((2, 3, 2, 10), dtype=np.float32)
+        ring.write_request_at(1, 4, batch)     # ring is float64
+        np.testing.assert_array_equal(ring.request_view(1, 6)[4:], 1.0)
+
+    def test_offset_write_past_capacity_rejected(self, ring):
+        with pytest.raises(ValueError, match="does not fit"):
+            ring.write_request_at(0, 6, np.zeros((3, 3, 2, 10)))
+        with pytest.raises(ValueError, match="does not fit"):
+            ring.write_request_at(0, -1, np.zeros((1, 3, 2, 10)))
+
+    def test_response_view_is_zero_copy_per_segment(self, ring):
+        bits = {"mf": np.arange(15).reshape(5, 3),
+                "centroid": np.zeros((5, 3), dtype=np.int64)}
+        ring.write_response(0, bits, ("mf", "centroid"))
+        view = ring.response_view(0, 0, 2, 3)      # design 0, rows 2..4
+        np.testing.assert_array_equal(view, bits["mf"][2:5])
+        view[:] = -1                                # writes through
+        np.testing.assert_array_equal(
+            ring.read_response(0, 5, ("mf",))["mf"][2:], -1)
+
 
 class TestAttach:
     def test_attached_ring_shares_memory(self, ring):

@@ -109,3 +109,49 @@ class TestBatchAccounting:
         snapshot = stats.snapshot()
         assert snapshot["probes"] == 2
         assert snapshot["probe_traces"] == 40
+
+
+class TestHotPathCounters:
+    def test_slab_events_split_by_pool_and_kind(self):
+        stats = ServerStats()
+        stats.record_slab("trace", "allocated")
+        stats.record_slab("trace", "reused")
+        stats.record_slab("trace", "reused")
+        stats.record_slab("response", "allocated")
+        stats.record_slab("response", "fallback")
+        snapshot = stats.snapshot()
+        assert snapshot["trace_slab_allocated"] == 1
+        assert snapshot["trace_slab_reused"] == 2
+        assert snapshot["trace_slab_fallbacks"] == 0
+        assert snapshot["response_slab_allocated"] == 1
+        assert snapshot["response_slab_fallbacks"] == 1
+        # 2 reuses out of 5 acquires across both pools.
+        assert snapshot["slab_reuse_ratio"] == pytest.approx(0.4)
+
+    def test_slab_ratio_is_zero_safe(self):
+        # No acquires yet must yield 0.0, not NaN — benchmark JSON is
+        # written with allow_nan=False.
+        snapshot = ServerStats().snapshot()
+        assert snapshot["slab_reuse_ratio"] == 0.0
+        assert snapshot["ring_coalesce_ratio"] == 0.0
+        assert snapshot["dispatch_lag_p50_ms"] == 0.0
+        assert snapshot["dispatch_lag_p99_ms"] == 0.0
+
+    def test_dispatch_lag_percentiles(self):
+        stats = ServerStats()
+        for lag in np.linspace(0.001, 0.01, 100):
+            stats.record_dispatch_lag(float(lag))
+        snapshot = stats.snapshot()
+        assert 0 < snapshot["dispatch_lag_p50_ms"] \
+            <= snapshot["dispatch_lag_p99_ms"]
+        assert snapshot["dispatch_lag_p50_ms"] == pytest.approx(5.5,
+                                                                rel=0.05)
+
+    def test_ring_coalesce_ratio(self):
+        stats = ServerStats()
+        stats.record_ring_flush(3)
+        stats.record_ring_flush(1)
+        snapshot = stats.snapshot()
+        assert snapshot["ring_flushes"] == 2
+        assert snapshot["ring_batches"] == 4
+        assert snapshot["ring_coalesce_ratio"] == 2.0

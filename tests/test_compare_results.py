@@ -54,6 +54,15 @@ class TestComparableMetrics:
             real_accuracy=0.9))
         assert metrics == {"real_accuracy": 0.9}
 
+    def test_dispatch_ratios_tracked_but_lag_and_fallbacks_excluded(self):
+        metrics = compare_results.comparable_metrics(payload(
+            dispatch={"served": {"slab_reuse_ratio": 0.9,
+                                 "ring_coalesce_ratio": 2.5,
+                                 "dispatch_lag_p99_ms": 1.5,
+                                 "trace_slab_fallbacks": 0.0}}))
+        assert metrics == {"dispatch.served.slab_reuse_ratio": 0.9,
+                           "dispatch.served.ring_coalesce_ratio": 2.5}
+
 
 class TestComparePayloads:
     def compare(self, base, curr, **kwargs):
@@ -91,6 +100,20 @@ class TestComparePayloads:
         curr = {"scaling": {"cpus": 4, "process_speedup_4shards": 1.0}}
         [regression] = self.compare(base, curr)
         assert regression.metric == "scaling.process_speedup_4shards"
+
+    def test_dispatch_metrics_follow_the_cpu_guard(self):
+        # Slab-reuse/coalesce ratios track how backlogged the dispatcher
+        # was, which depends on host parallelism just like the scaling
+        # speedups — same-cpus baselines gate, cross-cpus ones do not.
+        base = {"scaling": {"cpus": 8},
+                "dispatch": {"served": {"ring_coalesce_ratio": 3.0}}}
+        curr_other = {"scaling": {"cpus": 1},
+                      "dispatch": {"served": {"ring_coalesce_ratio": 1.0}}}
+        assert self.compare(base, curr_other) == []
+        curr_same = {"scaling": {"cpus": 8},
+                     "dispatch": {"served": {"ring_coalesce_ratio": 1.0}}}
+        [regression] = self.compare(base, curr_same)
+        assert regression.metric == "dispatch.served.ring_coalesce_ratio"
 
     def test_non_scaling_metrics_still_gated_across_cpu_counts(self):
         base = {"scaling": {"cpus": 8}, "speedup_vs_designs": 8.0}
