@@ -1,0 +1,91 @@
+#!/usr/bin/env python
+"""Regenerate committed benchmark baselines — only if they pass the gate.
+
+The repository carries its perf/fidelity trail in committed
+``benchmarks/results/bench_*.json`` files, diffed by
+``compare_results.py`` on every CI run. That trail is only as good as
+the baselines: committing one noisy run (loaded host, unlucky scheduler
+draw) silently ratchets the quality floor down and masks the next real
+regression. This script is the supported way to refresh baselines::
+
+    PYTHONPATH=src python benchmarks/refresh_baselines.py
+
+It re-runs the benchmark suite, then diffs the fresh results against the
+currently committed baselines. When the gate passes, the fresh files are
+left in the working tree ready to commit; when any tracked metric
+regressed beyond the threshold, the tracked result files are restored
+from git and the script exits 1 — a regressed baseline never lands by
+default. Pass ``--keep-on-fail`` to keep the failing files for
+inspection (they are *not* safe to commit), ``--pytest-args`` to narrow
+the rerun (e.g. ``--pytest-args benchmarks/test_bench_serve.py``), and
+any ``compare_results`` flag after ``--``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import subprocess
+import sys
+
+import compare_results
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+RESULTS_DIR = pathlib.Path(__file__).resolve().parent / "results"
+
+
+def _run_benchmarks(pytest_args) -> int:
+    command = [sys.executable, "-m", "pytest", "-q"]
+    command += pytest_args if pytest_args else ["benchmarks"]
+    print(f"$ {' '.join(command)}")
+    return subprocess.run(command, cwd=REPO_ROOT).returncode
+
+
+def _restore_tracked_results() -> None:
+    subprocess.run(
+        ["git", "checkout", "--", str(RESULTS_DIR.relative_to(REPO_ROOT))],
+        cwd=REPO_ROOT, check=True)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--keep-on-fail", action="store_true",
+                        help="leave failing fresh results in the working "
+                             "tree instead of restoring the committed ones")
+    parser.add_argument("--skip-run", action="store_true",
+                        help="gate existing fresh results without re-running "
+                             "the benchmark suite")
+    parser.add_argument("--pytest-args", nargs="+", default=None,
+                        metavar="ARG",
+                        help="arguments for the pytest rerun "
+                             "(default: benchmarks)")
+    parser.add_argument("compare_args", nargs="*",
+                        help="extra flags forwarded to compare_results "
+                             "(after --)")
+    args = parser.parse_args(argv)
+
+    if not args.skip_run:
+        code = _run_benchmarks(args.pytest_args)
+        if code != 0:
+            print(f"benchmark run failed (exit {code}); "
+                  f"baselines untouched", file=sys.stderr)
+            return code
+
+    gate = compare_results.main(list(args.compare_args))
+    if gate == 0:
+        print("\ngate passed — fresh baselines kept; review `git diff "
+              "benchmarks/results` and commit them")
+        return 0
+    if args.keep_on_fail:
+        print("\ngate FAILED — fresh results kept for inspection "
+              "(--keep-on-fail); do not commit them", file=sys.stderr)
+    else:
+        _restore_tracked_results()
+        print("\ngate FAILED — committed baselines restored. Rerun on an "
+              "idle host, or fix the regression before refreshing.",
+              file=sys.stderr)
+    return gate
+
+
+if __name__ == "__main__":
+    sys.exit(main())

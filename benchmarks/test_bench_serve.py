@@ -12,7 +12,9 @@ Table 1 designs three ways over the same fitted pipelines:
   amortizing per-call overhead across every request in flight.
 
 Part 2 — shard scaling: the same five designs served at 1/2/4 feedline
-shards on both execution backends. Thread shards share the GIL (the curve
+shards on both execution backends, each config measured as the median of
+``SCALING_REPEATS`` closed-loop runs (single draws are too noisy for the
+regression-gated speedup ratios). Thread shards share the GIL (the curve
 plateaus); process shards are spawned workers fed through shared-memory
 rings, so their curve follows the host's cores. The headline metric is
 ``process_speedup_4shards`` (4-shard vs 1-shard process throughput) —
@@ -63,6 +65,13 @@ SCALING_CLIENTS = 16
 SCALING_REQUESTS_PER_CLIENT = 10
 SCALING_TRACES_PER_REQUEST = 32
 SCALING_MAX_BATCH_TRACES = 512
+#: Closed-loop repeats per swept config; the recorded throughput is the
+#: median. ``scaling.*`` speedups are regression-gated by
+#: ``compare_results.py``, and a single draw of a 5-second closed loop
+#: swings enough with scheduler load to trip the gate on an otherwise
+#: healthy tree — the median absorbs one bad draw without hiding a real
+#: regression (which shifts all repeats).
+SCALING_REPEATS = 3
 
 
 def _dispatch_metrics(snapshot):
@@ -211,28 +220,38 @@ def run_bench_serve() -> ExperimentResult:
                 shards, backend=backend,
                 max_batch_traces=SCALING_MAX_BATCH_TRACES,
                 max_wait_ms=1.0)
+            repeats = []
             with sweep_server:
-                sweep = closed_loop(
-                    sweep_server, test, n_clients=SCALING_CLIENTS,
-                    requests_per_client=SCALING_REQUESTS_PER_CLIENT,
-                    traces_per_request=SCALING_TRACES_PER_REQUEST,
-                    seed=SEED + 4)
-            if sweep.failed or sweep.rejected:
-                raise RuntimeError(
-                    f"degraded scaling run ({backend}/{n_shards} shards: "
-                    f"{sweep.failed} failed, {sweep.rejected} rejected)")
+                # Median of several repeats on the same running server:
+                # worker spawn / engine ship happens once, and the gated
+                # speedup ratios stop riding on a single scheduler draw.
+                for repeat in range(SCALING_REPEATS):
+                    sweep = closed_loop(
+                        sweep_server, test, n_clients=SCALING_CLIENTS,
+                        requests_per_client=SCALING_REQUESTS_PER_CLIENT,
+                        traces_per_request=SCALING_TRACES_PER_REQUEST,
+                        seed=SEED + 4 + repeat)
+                    if sweep.failed or sweep.rejected:
+                        raise RuntimeError(
+                            f"degraded scaling run ({backend}/{n_shards} "
+                            f"shards, repeat {repeat}: {sweep.failed} "
+                            f"failed, {sweep.rejected} rejected)")
+                    repeats.append(sweep)
             exit_codes = getattr(sweep_server.backend, "exit_codes", {})
             if any(code != 0 for code in exit_codes.values()):
                 raise RuntimeError(
                     f"scaling run left dirty worker exits: {exit_codes}")
-            sweep_tps.setdefault(backend, {})[str(n_shards)] = (
-                sweep.traces_per_s())
+            median_tps = float(np.median(
+                [run.traces_per_s() for run in repeats]))
+            median_run = min(
+                repeats, key=lambda run: abs(run.traces_per_s() - median_tps))
+            sweep_tps.setdefault(backend, {})[str(n_shards)] = median_tps
             dispatch[f"{backend}-{n_shards}"] = _dispatch_metrics(
                 sweep_server.stats.snapshot())
             result_rows.append([
-                f"{backend} x{n_shards} shards", sweep.traces_per_s(),
-                sweep.traces_per_s() / served_tps,
-                sweep.latency_ms(50), sweep.latency_ms(99)])
+                f"{backend} x{n_shards} shards", median_tps,
+                median_tps / served_tps,
+                median_run.latency_ms(50), median_run.latency_ms(99)])
     scaling = scaling_summary(sweep_tps)
 
     result = ExperimentResult(
@@ -246,7 +265,8 @@ def run_bench_serve() -> ExperimentResult:
                f"{report.completed} requests, mean batch "
                f"{mean_batch:.1f} traces; per-request rows are "
                f"single-threaded loops over the same fitted pipelines; "
-               f"scaling rows: {SCALING_CLIENTS} clients x "
+               f"scaling rows: median of {SCALING_REPEATS} runs, "
+               f"{SCALING_CLIENTS} clients x "
                f"{SCALING_REQUESTS_PER_CLIENT} requests x "
                f"{SCALING_TRACES_PER_REQUEST} traces on "
                f"{scaling['cpus']} usable core(s)"),

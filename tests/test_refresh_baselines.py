@@ -1,0 +1,100 @@
+"""Baseline refresh guard tests (benchmarks/refresh_baselines.py).
+
+The guard is the supported path for updating the committed ``bench_*.json``
+baselines: it only keeps regenerated results that pass the
+``compare_results`` gate, so a noisy run on a loaded host can never
+silently ratchet the committed quality floor down.
+"""
+
+import importlib.util
+import json
+import pathlib
+import sys
+
+_BENCHMARKS = pathlib.Path(__file__).parent.parent / "benchmarks"
+
+
+def _load(name):
+    spec = importlib.util.spec_from_file_location(
+        name, _BENCHMARKS / f"{name}.py")
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[name] = module
+    spec.loader.exec_module(module)
+    return module
+
+
+# refresh_baselines does ``import compare_results``; register it first so
+# the import resolves without benchmarks/ on sys.path.
+compare_results = (sys.modules.get("compare_results")
+                   or _load("compare_results"))
+refresh_baselines = _load("refresh_baselines")
+
+
+def write(directory, name, **data):
+    directory.mkdir(parents=True, exist_ok=True)
+    (directory / name).write_text(json.dumps(
+        {"experiment": "bench_x", "data": data}))
+
+
+def gate_args(tmp_path):
+    # After ``--`` the flags are forwarded verbatim to compare_results.
+    return ["--", "--results-dir", str(tmp_path / "current"),
+            "--baseline-dir", str(tmp_path / "base")]
+
+
+class TestRefreshBaselines:
+    def test_gate_pass_keeps_fresh_results(self, tmp_path, capsys,
+                                           monkeypatch):
+        monkeypatch.setattr(refresh_baselines, "_restore_tracked_results",
+                            lambda: (_ for _ in ()).throw(AssertionError(
+                                "must not restore on a clean gate")))
+        write(tmp_path / "current", "bench_a.json", speedup=8.0)
+        write(tmp_path / "base", "bench_a.json", speedup=7.5)
+        assert refresh_baselines.main(
+            ["--skip-run"] + gate_args(tmp_path)) == 0
+        assert "gate passed" in capsys.readouterr().out
+
+    def test_gate_fail_restores_committed_baselines(self, tmp_path, capsys,
+                                                    monkeypatch):
+        restored = []
+        monkeypatch.setattr(refresh_baselines, "_restore_tracked_results",
+                            lambda: restored.append(True))
+        write(tmp_path / "current", "bench_a.json", speedup=2.0)
+        write(tmp_path / "base", "bench_a.json", speedup=8.0)
+        assert refresh_baselines.main(
+            ["--skip-run"] + gate_args(tmp_path)) == 1
+        assert restored == [True]
+        assert "committed baselines restored" in capsys.readouterr().err
+
+    def test_keep_on_fail_leaves_files_for_inspection(self, tmp_path,
+                                                      capsys, monkeypatch):
+        monkeypatch.setattr(refresh_baselines, "_restore_tracked_results",
+                            lambda: (_ for _ in ()).throw(AssertionError(
+                                "--keep-on-fail must not restore")))
+        write(tmp_path / "current", "bench_a.json", speedup=2.0)
+        write(tmp_path / "base", "bench_a.json", speedup=8.0)
+        assert refresh_baselines.main(
+            ["--skip-run", "--keep-on-fail"] + gate_args(tmp_path)) == 1
+        assert "do not commit" in capsys.readouterr().err
+
+    def test_failed_benchmark_run_short_circuits(self, tmp_path, capsys,
+                                                 monkeypatch):
+        monkeypatch.setattr(refresh_baselines, "_run_benchmarks",
+                            lambda args: 3)
+        monkeypatch.setattr(
+            compare_results, "main",
+            lambda argv: (_ for _ in ()).throw(AssertionError(
+                "gate must not run after a failed benchmark run")))
+        assert refresh_baselines.main(gate_args(tmp_path)) == 3
+        assert "baselines untouched" in capsys.readouterr().err
+
+    def test_pytest_args_forwarded(self, tmp_path, monkeypatch):
+        seen = []
+        monkeypatch.setattr(refresh_baselines, "_run_benchmarks",
+                            lambda args: seen.append(args) or 0)
+        write(tmp_path / "current", "bench_a.json", speedup=8.0)
+        write(tmp_path / "base", "bench_a.json", speedup=8.0)
+        assert refresh_baselines.main(
+            ["--pytest-args", "benchmarks/test_bench_serve.py"]
+            + gate_args(tmp_path)) == 0
+        assert seen == [["benchmarks/test_bench_serve.py"]]
