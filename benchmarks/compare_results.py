@@ -9,7 +9,10 @@ against the committed baselines and fails when a tracked quality metric
 dropped by more than ``--max-regression`` (fractional, default 0.4).
 
 Only *machine-portable, higher-is-better* metrics are compared by default —
-speedup ratios, fidelities/accuracies, recovery/sharing fractions. Raw
+speedup ratios, fidelities/accuracies, recovery/sharing fractions, and the
+serve bench's tracing-overhead ratios (traced vs untraced throughput on
+the same host in the same run, so the ratio travels even though the raw
+throughputs don't). Raw
 throughput numbers (traces/s) vary wildly across machines and are opt-in
 via ``--include-absolute``; latency percentiles are never compared.
 Shard-scaling ratios under a ``data.scaling`` block and hot-path ratios
@@ -41,7 +44,7 @@ from typing import Dict, Iterator, List, Optional, Tuple
 #: across machines).
 QUALITY_PATTERNS = ("speedup", "fidelity", "accuracy", "recovered_fraction",
                     "sharing_ratio", "throughput_ratio", "reuse_ratio",
-                    "coalesce_ratio")
+                    "coalesce_ratio", "overhead_ratio")
 
 #: Machine-dependent higher-is-better metrics, compared only with
 #: ``--include-absolute``.

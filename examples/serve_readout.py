@@ -37,6 +37,13 @@ def main():
                                   training=FAST_CONFIG, max_wait_ms=1.0)
 
     with server:
+        # Prove both shards answer end to end before sending traffic.
+        health = server.healthcheck(budget_s=10.0)
+        worst_rtt = max(s.round_trip_ms for s in health.shards)
+        print(f"healthcheck: {'healthy' if health.healthy else 'UNHEALTHY'} "
+              f"({len(health.shards)} shards, worst probe rtt "
+              f"{worst_rtt:.2f} ms)")
+
         # One experiment shot: a single multiplexed trace in, bits out.
         response = server.predict(test.demod[0])
         print(f"\nsingle-trace request -> "

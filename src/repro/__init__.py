@@ -11,7 +11,12 @@ Learning Architectures" (ISCA 2023). Subpackages:
 * :mod:`repro.fpga` — calibrated FPGA resource/latency model;
 * :mod:`repro.circuits` — NISQ statevector simulator and benchmarks;
 * :mod:`repro.qec` — surface-code memory experiments and cycle timing;
+* :mod:`repro.obs` — request tracing, metrics registry, and structured
+  event logging shared by the serving and calibration layers;
 * :mod:`repro.experiments` — one runner per paper table/figure.
+
+(:mod:`repro.serve` and :mod:`repro.calib` — the online serving and
+maintenance layers — are imported explicitly by their users.)
 
 Quickstart::
 
@@ -24,12 +29,12 @@ Quickstart::
                             rng=np.random.default_rng(0))
     train, val, test = data.split(np.random.default_rng(1))
     herqules = make_design("mf-rmf-nn").fit(train, val)
-    print(herqules.evaluate(test).cumulative)
+    accuracy = herqules.evaluate(test).cumulative   # mean assignment acc.
 """
 
 __version__ = "1.0.0"
 
-from . import circuits, core, engine, experiments, fpga, nn, qec, readout
+from . import circuits, core, engine, experiments, fpga, nn, obs, qec, readout
 
-__all__ = ["circuits", "core", "engine", "experiments", "fpga", "nn", "qec",
-           "readout", "__version__"]
+__all__ = ["circuits", "core", "engine", "experiments", "fpga", "nn", "obs",
+           "qec", "readout", "__version__"]

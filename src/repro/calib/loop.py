@@ -22,12 +22,14 @@ maintenance code and differ only in scheduling.
 
 from __future__ import annotations
 
+import logging
 from dataclasses import dataclass
 from typing import List, Optional
 
 import numpy as np
 
 from repro.core import metrics
+from repro.obs.log import log_event
 from repro.readout.dataset import ReadoutDataset
 from repro.serve.server import ReadoutServer
 
@@ -200,6 +202,22 @@ class CalibrationLoop:
             suppressed=suppressed)
         self._windows += 1
         self.records.append(record)
+        log_event("calib", "window", level=logging.DEBUG,
+                  window=record.window, n_traces=record.n_traces,
+                  fidelity=round(fidelity, 6), alarmed=alarm is not None,
+                  suppressed=suppressed,
+                  swapped=(0 if recalibration is None
+                           else recalibration.swapped))
+        if suppressed:
+            log_event("calib", "cooldown_suppressed", window=record.window,
+                      monitor=alarm.monitor,
+                      cooldown_windows_left=self._cooldown)
+        if recalibration is not None:
+            log_event("calib", "recalibration", window=record.window,
+                      monitor=alarm.monitor,
+                      shards_cycled=len(recalibration.shards),
+                      swapped=recalibration.swapped,
+                      fidelity_after=round(recalibration.fidelity(), 6))
         return record
 
     def run(self, n_windows: int, traces_per_window: int,

@@ -21,12 +21,27 @@ they allocate O(window) and observe in O(batch).
 
 from __future__ import annotations
 
+import logging
 import threading
 from collections import deque
 from dataclasses import dataclass
 from typing import Deque, Dict, Optional
 
 import numpy as np
+
+from repro.obs.log import log_event
+
+
+def _log_alarm(alarm: "DriftAlarm") -> None:
+    """Emit one structured event for a fresh detection.
+
+    Called only on the *transition* into the alarmed state — monitors
+    re-evaluate per batch/probe, so logging every evaluation would turn
+    one physical drift episode into thousands of events.
+    """
+    log_event("calib", "drift_alarm", level=logging.WARNING,
+              monitor=alarm.monitor, statistic=alarm.statistic,
+              threshold=alarm.threshold, detail=alarm.detail)
 
 
 @dataclass(frozen=True)
@@ -80,6 +95,7 @@ class FidelityMonitor:
         self.min_observations = int(min_observations)
         self.baseline: Optional[float] = None
         self._correct: Deque[float] = deque(maxlen=self.window)
+        self._alarmed = False
 
     def set_baseline(self, fidelity: float) -> None:
         """Record the post-calibration fidelity alarms are judged against."""
@@ -88,6 +104,7 @@ class FidelityMonitor:
     def reset(self) -> None:
         """Forget the window (call after promoting a recalibrated model)."""
         self._correct.clear()
+        self._alarmed = False
 
     def fidelity(self) -> float:
         """Mean per-qubit assignment fidelity over the window (NaN if empty)."""
@@ -118,21 +135,29 @@ class FidelityMonitor:
         if len(self._correct) < self.min_observations:
             return None
         fidelity = self.fidelity()
+        alarm = None
         if self.baseline is not None:
             floor = self.baseline - self.drop_tolerance
             if fidelity < floor:
-                return DriftAlarm(
+                alarm = DriftAlarm(
                     monitor="fidelity", statistic=fidelity, threshold=floor,
                     detail=(f"windowed fidelity {fidelity:.4f} fell below "
                             f"baseline {self.baseline:.4f} - "
                             f"{self.drop_tolerance:.4f}"))
-        if self.min_fidelity is not None and fidelity < self.min_fidelity:
-            return DriftAlarm(
+        if (alarm is None and self.min_fidelity is not None
+                and fidelity < self.min_fidelity):
+            alarm = DriftAlarm(
                 monitor="fidelity", statistic=fidelity,
                 threshold=self.min_fidelity,
                 detail=(f"windowed fidelity {fidelity:.4f} fell below the "
                         f"absolute floor {self.min_fidelity:.4f}"))
-        return None
+        if alarm is None:
+            self._alarmed = False
+            return None
+        if not self._alarmed:
+            self._alarmed = True
+            _log_alarm(alarm)
+        return alarm
 
 
 class PageHinkley:
@@ -286,4 +311,7 @@ class ScoreDriftMonitor:
                             f"{qubit} shifted "
                             f"({standardized[i]:+.2f} sigma after "
                             f"{self.batches_seen} batches)"))
+                # Sticky: the None->alarm edge happens exactly once per
+                # (re)baseline, so this is the transition log.
+                _log_alarm(self.alarm)
         return self.alarm

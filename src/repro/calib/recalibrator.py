@@ -32,6 +32,7 @@ import numpy as np
 from repro.core import TrainingConfig, make_design, metrics
 from repro.core.model_io import save_pipeline
 from repro.engine import ReadoutEngine
+from repro.obs.log import log_event
 from repro.readout.dataset import ReadoutDataset
 from repro.serve.server import ReadoutServer
 
@@ -245,6 +246,12 @@ class Recalibrator:
             version = self.server.swap_engine(
                 shard_index, candidate, device=shard_train.device)
             self._snapshot(shard_index, version, designs)
+        log_event("calib",
+                  "swap_promoted" if promoted else "candidate_rejected",
+                  shard=shard_index, version=version,
+                  incumbent_fidelity=round(incumbent_fidelity, 6),
+                  candidate_fidelity=round(candidate_fidelity, 6),
+                  min_improvement=self.min_improvement)
         return ShardRecalibration(
             shard_index=shard_index, promoted=promoted,
             incumbent_fidelity=incumbent_fidelity,

@@ -28,6 +28,7 @@ exception — probe and refit failures are counted, not raised.
 
 from __future__ import annotations
 
+import logging
 import threading
 import time
 from collections import deque
@@ -36,6 +37,8 @@ from typing import Deque, Dict, List, Optional, Tuple
 
 import numpy as np
 
+from repro.obs.log import log_event
+from repro.obs.metrics import MetricsRegistry
 from repro.serve.server import ReadoutServer
 
 from .monitors import DriftAlarm, FidelityMonitor, ScoreDriftMonitor
@@ -313,6 +316,12 @@ class CalibrationWorker:
             self._thread = threading.Thread(
                 target=self._run, name="calib-worker", daemon=True)
             self._thread.start()
+        log_event("calib", "worker_start",
+                  shards=len(self._shard_indices),
+                  poll_interval_s=self.poll_interval_s,
+                  cooldown_s=self.cooldown_s,
+                  probes=self.probes is not None,
+                  score_monitoring=bool(self.score_monitors))
         return self
 
     def stop(self) -> None:
@@ -326,6 +335,10 @@ class CalibrationWorker:
         self._stop_event.set()
         if thread is not None:
             thread.join()
+        log_event("calib", "worker_stop",
+                  ticks=self.stats.ticks, refits=self.stats.refits,
+                  promotions=self.stats.promotions,
+                  tick_errors=self.stats.tick_errors)
 
     def __enter__(self) -> "CalibrationWorker":
         return self.start()
@@ -394,6 +407,11 @@ class CalibrationWorker:
             self.stats.alarms_seen += 1
             if time.monotonic() < self._cooldown_until[shard_index]:
                 self.stats.alarms_suppressed += 1
+                log_event("calib", "cooldown_suppressed",
+                          shard=shard_index, monitor=alarm.monitor,
+                          cooldown_remaining_s=round(
+                              self._cooldown_until[shard_index]
+                              - time.monotonic(), 4))
                 # A sticky monitor re-reports the same alarm *object*, and
                 # the enqueue dedup keys on identity — forget it here or
                 # the re-reports after cooldown would be deduped against a
@@ -415,6 +433,11 @@ class CalibrationWorker:
         except Exception as exc:  # noqa: BLE001 — count, never die
             self.stats.refit_errors += 1
             error = f"{type(exc).__name__}: {exc}"
+        log_event("calib", "recalibration",
+                  level=logging.WARNING if error else logging.INFO,
+                  shard=shard_index, monitor=alarm.monitor,
+                  promoted=bool(report is not None and report.promoted),
+                  error=error)
         self.records.append(MaintenanceRecord(
             shard_index=shard_index, alarm=alarm, report=report,
             finished_at=time.monotonic(), error=error))
@@ -446,6 +469,24 @@ class CalibrationWorker:
     # ------------------------------------------------------------------
     # Observability
     # ------------------------------------------------------------------
+    def register_into(self, registry: MetricsRegistry,
+                      component: str = "calib") -> None:
+        """Expose this worker's counters through a metrics registry.
+
+        Registers a collector returning the :class:`WorkerStats` snapshot
+        plus maintenance-record and liveness gauges, so one
+        ``registry.export_dict()`` covers serving and calibration alike
+        (pair with :meth:`repro.serve.ServerStats.register_into`).
+        """
+
+        def collect() -> Dict[str, object]:
+            snapshot: Dict[str, object] = dict(self.stats.as_dict())
+            snapshot["maintenance_records"] = len(self.records)
+            snapshot["running"] = self.running
+            return snapshot
+
+        registry.register_collector(component, collect, replace=True)
+
     @property
     def promotions(self) -> int:
         return self.stats.promotions

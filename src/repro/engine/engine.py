@@ -12,6 +12,7 @@ chunk (one per MF/RMF flavour) instead of five.
 
 from __future__ import annotations
 
+import logging
 from dataclasses import dataclass, field
 from typing import (Callable, Dict, Iterable, Iterator, List, Mapping,
                     Optional, Union)
@@ -19,6 +20,7 @@ from typing import (Callable, Dict, Iterable, Iterator, List, Mapping,
 import numpy as np
 
 from repro.core import metrics
+from repro.obs.log import log_event
 from repro.core.discriminators import EvaluationResult
 from repro.core.pipeline import KIND_FEATURES, Pipeline
 from repro.readout.dataset import ReadoutDataset
@@ -134,6 +136,10 @@ class ReadoutEngine:
         self._demod_buffer: Optional[np.ndarray] = None
         self._batch_hooks: List[Callable[
             [ReadoutDataset, Dict[str, np.ndarray]], None]] = []
+        # Hooks whose failure has already been logged — hooks run per
+        # chunk, so a persistently broken observer would otherwise spam
+        # one event per chunk. The counter still ticks every time.
+        self._hooks_logged: set = set()
 
     @property
     def design_names(self) -> List[str]:
@@ -165,6 +171,7 @@ class ReadoutEngine:
         """Detach a previously added batch hook (no-op if absent)."""
         if hook in self._batch_hooks:
             self._batch_hooks.remove(hook)
+            self._hooks_logged.discard(id(hook))
 
     def run_batch_hooks(self, chunk: ReadoutDataset,
                         bits: Dict[str, np.ndarray]) -> None:
@@ -179,8 +186,15 @@ class ReadoutEngine:
         for hook in self._batch_hooks:
             try:
                 hook(chunk, bits)
-            except Exception:  # noqa: BLE001 — observers must not fail serving
+            except Exception as exc:  # noqa: BLE001 — observers must not fail serving
                 self.stats.hook_errors += 1
+                if id(hook) not in self._hooks_logged:
+                    self._hooks_logged.add(id(hook))
+                    log_event("engine", "hook_error",
+                              level=logging.WARNING,
+                              hook=getattr(hook, "__qualname__",
+                                           repr(hook)),
+                              error=repr(exc))
 
     # ------------------------------------------------------------------
     # Chunking

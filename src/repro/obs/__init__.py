@@ -1,0 +1,34 @@
+"""Dependency-free observability: tracing, metrics, structured events.
+
+Three small, stdlib-only building blocks shared by every layer of the
+stack (serve, engine, calib, worker):
+
+- :mod:`repro.obs.trace` — per-request ``TraceContext`` spans on one
+  monotonic clock, sampled by a ``Tracer`` and retained by a bounded
+  ``FlightRecorder`` (N slowest + uniform sample) for postmortems.
+- :mod:`repro.obs.metrics` — a ``MetricsRegistry`` of counters, gauges
+  and histograms plus snapshot *collectors*, exported as one nested
+  dict (``export_dict``) or flat text (``export_text``).
+- :mod:`repro.obs.log` — JSONL structured events over stdlib
+  ``logging`` with per-component child loggers; silent until
+  ``configure_event_log`` attaches a sink.
+"""
+
+from repro.obs.log import (EVENT_LOGGER_ROOT, JsonlFormatter,
+                           configure_event_log, log_event)
+from repro.obs.metrics import (Counter, Gauge, Histogram, MetricsRegistry)
+from repro.obs.trace import FlightRecorder, TraceContext, Tracer
+
+__all__ = [
+    "Counter",
+    "EVENT_LOGGER_ROOT",
+    "FlightRecorder",
+    "Gauge",
+    "Histogram",
+    "JsonlFormatter",
+    "MetricsRegistry",
+    "TraceContext",
+    "Tracer",
+    "configure_event_log",
+    "log_event",
+]

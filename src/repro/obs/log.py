@@ -1,0 +1,99 @@
+"""Structured JSONL events over stdlib logging.
+
+Every lifecycle edge that used to be silent (worker spawn/death, swap
+promote/reject, drift alarms, cooldown suppressions, backpressure
+rejects/sheds, slab fallbacks) calls :func:`log_event` with a component
+name and flat keyword fields. Events route through per-component child
+loggers under ``repro.events`` — ``repro.events.serve``,
+``repro.events.calib``, ``repro.events.worker``, ``repro.events.engine``
+— so standard logging configuration (levels, per-component filtering)
+applies unchanged.
+
+By default nothing is emitted: the ``repro.events`` logger has only a
+``NullHandler`` and does not propagate, so an un-configured process
+pays one level check per event and produces no output. Call
+:func:`configure_event_log` to attach a JSONL sink (a file path or a
+stream); each line is one self-contained JSON object::
+
+    {"ts": 1754650000.123456, "level": "warning", "component": "worker",
+     "event": "worker_death", "shard": 1, "exit_code": -9}
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import sys
+from typing import IO, Optional
+
+__all__ = ["EVENT_LOGGER_ROOT", "JsonlFormatter", "configure_event_log",
+           "event_logger", "log_event"]
+
+EVENT_LOGGER_ROOT = "repro.events"
+
+_root = logging.getLogger(EVENT_LOGGER_ROOT)
+_root.addHandler(logging.NullHandler())
+_root.propagate = False
+
+
+def event_logger(component: str) -> logging.Logger:
+    """The child logger events for ``component`` route through."""
+    return logging.getLogger(f"{EVENT_LOGGER_ROOT}.{component}")
+
+
+def log_event(component: str, event: str, *,
+              level: int = logging.INFO, **fields: object) -> None:
+    """Emit one structured event (a no-op until a sink is configured)."""
+    logger = event_logger(component)
+    if logger.isEnabledFor(level):
+        logger.log(level, event, extra={"event_fields": fields})
+
+
+class JsonlFormatter(logging.Formatter):
+    """One JSON object per record: ts/level/component/event + fields."""
+
+    def format(self, record: logging.LogRecord) -> str:
+        name = record.name
+        prefix = EVENT_LOGGER_ROOT + "."
+        component = name[len(prefix):] if name.startswith(prefix) else name
+        payload = {
+            "ts": round(record.created, 6),
+            "level": record.levelname.lower(),
+            "component": component,
+            "event": record.getMessage(),
+        }
+        fields = getattr(record, "event_fields", None)
+        if fields:
+            for key, value in fields.items():
+                payload.setdefault(key, value)
+        return json.dumps(payload, default=str)
+
+
+def configure_event_log(path: Optional[str] = None,
+                        stream: Optional[IO[str]] = None,
+                        level: int = logging.INFO) -> logging.Handler:
+    """Attach a JSONL sink to the event loggers and enable them.
+
+    Exactly one of ``path`` (append-mode file) or ``stream`` may be
+    given; with neither, events go to stderr. Returns the handler so
+    callers (tests, examples) can detach it via
+    :func:`remove_event_handler`.
+    """
+    if path is not None and stream is not None:
+        raise ValueError("give either path or stream, not both")
+    if path is not None:
+        handler: logging.Handler = logging.FileHandler(path)
+    else:
+        handler = logging.StreamHandler(stream or sys.stderr)
+    handler.setFormatter(JsonlFormatter())
+    handler.setLevel(level)
+    _root.addHandler(handler)
+    if _root.level == logging.NOTSET or _root.level > level:
+        _root.setLevel(level)
+    return handler
+
+
+def remove_event_handler(handler: logging.Handler) -> None:
+    """Detach a handler returned by :func:`configure_event_log`."""
+    _root.removeHandler(handler)
+    handler.close()

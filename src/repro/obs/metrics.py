@@ -1,0 +1,289 @@
+"""A small labelled-metrics registry with pluggable snapshot collectors.
+
+Two kinds of sources feed one export surface:
+
+- *Instruments* — ``Counter`` / ``Gauge`` / ``Histogram`` created via
+  ``registry.counter(...)`` etc., incremented directly at the point of
+  measurement. Labels are keyword arguments (``c.inc(shard=0)``).
+- *Collectors* — zero-argument callables registered per component
+  (``registry.register_collector("serve", stats.snapshot)``) that
+  return a dict when an export is taken. This is how the existing
+  ``ServerStats.snapshot()`` / ``EngineStats.as_dict()`` /
+  ``WorkerStats.as_dict()`` shapes plug in *unchanged* — they stay as
+  thin adapters while ``export_dict()`` / ``export_text()`` become the
+  one snapshot surface.
+
+``export_dict`` returns nested dicts (JSON-safe); ``export_text``
+flattens every numeric leaf into ``dotted.path value`` lines, with
+instrument labels rendered ``name{k=v,...} value`` — greppable and
+diffable, no external format dependency.
+"""
+
+from __future__ import annotations
+
+import threading
+from bisect import bisect_left
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry"]
+
+LabelKey = Tuple[Tuple[str, str], ...]
+
+#: Default histogram bucket upper bounds, in the unit observed
+#: (latencies in ms fit well; the overflow bucket catches the rest).
+DEFAULT_BUCKETS = (0.5, 1.0, 2.5, 5.0, 10.0, 25.0, 50.0, 100.0,
+                   250.0, 500.0, 1000.0)
+
+
+def _label_key(labels: Dict[str, object]) -> LabelKey:
+    return tuple(sorted((k, str(v)) for k, v in labels.items()))
+
+
+def _label_suffix(key: LabelKey) -> str:
+    if not key:
+        return ""
+    return "{" + ",".join(f"{k}={v}" for k, v in key) + "}"
+
+
+class _Instrument:
+    """Shared plumbing: a lock and a per-label-set value table."""
+
+    kind = "instrument"
+
+    def __init__(self, name: str, help: str = "") -> None:
+        self.name = name
+        self.help = help
+        self._lock = threading.Lock()
+
+    def _check_value(self, amount: object) -> float:
+        value = float(amount)          # raises for non-numerics
+        return value
+
+
+class Counter(_Instrument):
+    """Monotonically increasing value per label set."""
+
+    kind = "counter"
+
+    def __init__(self, name: str, help: str = "") -> None:
+        super().__init__(name, help)
+        self._values: Dict[LabelKey, float] = {}
+
+    def inc(self, amount: float = 1.0, **labels: object) -> None:
+        value = self._check_value(amount)
+        if value < 0:
+            raise ValueError("counters only go up")
+        key = _label_key(labels)
+        with self._lock:
+            self._values[key] = self._values.get(key, 0.0) + value
+
+    def value(self, **labels: object) -> float:
+        with self._lock:
+            return self._values.get(_label_key(labels), 0.0)
+
+    def collect(self) -> Dict[str, float]:
+        with self._lock:
+            return {self.name + _label_suffix(key): value
+                    for key, value in sorted(self._values.items())}
+
+
+class Gauge(_Instrument):
+    """A value that can go up and down (depths, rates, versions)."""
+
+    kind = "gauge"
+
+    def __init__(self, name: str, help: str = "") -> None:
+        super().__init__(name, help)
+        self._values: Dict[LabelKey, float] = {}
+
+    def set(self, value: float, **labels: object) -> None:
+        amount = self._check_value(value)
+        with self._lock:
+            self._values[_label_key(labels)] = amount
+
+    def inc(self, amount: float = 1.0, **labels: object) -> None:
+        value = self._check_value(amount)
+        key = _label_key(labels)
+        with self._lock:
+            self._values[key] = self._values.get(key, 0.0) + value
+
+    def value(self, **labels: object) -> float:
+        with self._lock:
+            return self._values.get(_label_key(labels), 0.0)
+
+    def collect(self) -> Dict[str, float]:
+        with self._lock:
+            return {self.name + _label_suffix(key): value
+                    for key, value in sorted(self._values.items())}
+
+
+class Histogram(_Instrument):
+    """Bucketed distribution (cumulative counts, plus sum/min/max)."""
+
+    kind = "histogram"
+
+    def __init__(self, name: str, help: str = "",
+                 buckets: Sequence[float] = DEFAULT_BUCKETS) -> None:
+        super().__init__(name, help)
+        bounds = tuple(sorted(float(b) for b in buckets))
+        if not bounds:
+            raise ValueError("histogram needs at least one bucket bound")
+        self.bounds = bounds
+        self._series: Dict[LabelKey, List[float]] = {}
+        # per label key: [count, sum, min, max, bucket0, bucket1, ...]
+
+    def observe(self, value: float, **labels: object) -> None:
+        amount = self._check_value(value)
+        key = _label_key(labels)
+        with self._lock:
+            series = self._series.get(key)
+            if series is None:
+                series = [0.0, 0.0, float("inf"), float("-inf")]
+                series.extend(0.0 for _ in self.bounds)
+                self._series[key] = series
+            series[0] += 1
+            series[1] += amount
+            series[2] = min(series[2], amount)
+            series[3] = max(series[3], amount)
+            # bucket counts are non-cumulative internally; index of the
+            # first bound >= amount, or past-the-end for the overflow
+            idx = bisect_left(self.bounds, amount)
+            if idx < len(self.bounds):
+                series[4 + idx] += 1
+
+    def snapshot(self, **labels: object) -> Dict[str, object]:
+        key = _label_key(labels)
+        with self._lock:
+            series = self._series.get(key)
+            if series is None:
+                return {"count": 0, "sum": 0.0}
+            return self._render(series)
+
+    def _render(self, series: List[float]) -> Dict[str, object]:
+        count = int(series[0])
+        buckets: Dict[str, int] = {}
+        cumulative = 0
+        for bound, n in zip(self.bounds, series[4:]):
+            cumulative += int(n)
+            buckets[f"le_{bound:g}"] = cumulative
+        buckets["le_inf"] = count
+        return {
+            "count": count,
+            "sum": series[1],
+            "min": series[2] if count else 0.0,
+            "max": series[3] if count else 0.0,
+            "mean": (series[1] / count) if count else 0.0,
+            "buckets": buckets,
+        }
+
+    def collect(self) -> Dict[str, object]:
+        with self._lock:
+            items = sorted(self._series.items())
+            return {self.name + _label_suffix(key): self._render(series)
+                    for key, series in items}
+
+
+class MetricsRegistry:
+    """Named instruments + per-component collectors, one export surface.
+
+    ``counter``/``gauge``/``histogram`` are get-or-create: asking twice
+    for the same name returns the same instrument (a kind mismatch is a
+    bug and raises). Collector callables run at export time; a broken
+    collector is reported in-band (``{"error": ...}``) rather than
+    taking the whole export down — exports run inside health probes and
+    postmortems, exactly when components may be mid-failure.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._instruments: Dict[str, _Instrument] = {}
+        self._collectors: Dict[str, Callable[[], Dict[str, object]]] = {}
+
+    # -- instruments -----------------------------------------------------
+    def _get_or_create(self, cls, name: str, help: str,
+                       **kwargs) -> _Instrument:
+        with self._lock:
+            existing = self._instruments.get(name)
+            if existing is not None:
+                if not isinstance(existing, cls):
+                    raise TypeError(
+                        f"metric {name!r} already registered as "
+                        f"{existing.kind}, not {cls.kind}")
+                return existing
+            instrument = cls(name, help=help, **kwargs)
+            self._instruments[name] = instrument
+            return instrument
+
+    def counter(self, name: str, help: str = "") -> Counter:
+        return self._get_or_create(Counter, name, help)
+
+    def gauge(self, name: str, help: str = "") -> Gauge:
+        return self._get_or_create(Gauge, name, help)
+
+    def histogram(self, name: str, help: str = "",
+                  buckets: Sequence[float] = DEFAULT_BUCKETS) -> Histogram:
+        return self._get_or_create(Histogram, name, help, buckets=buckets)
+
+    # -- collectors ------------------------------------------------------
+    def register_collector(self, component: str,
+                           collect: Callable[[], Dict[str, object]],
+                           replace: bool = False) -> None:
+        with self._lock:
+            if component in self._collectors and not replace:
+                raise ValueError(
+                    f"collector {component!r} already registered")
+            self._collectors[component] = collect
+
+    def unregister_collector(self, component: str) -> None:
+        with self._lock:
+            self._collectors.pop(component, None)
+
+    def components(self) -> List[str]:
+        with self._lock:
+            return sorted(self._collectors)
+
+    # -- export ----------------------------------------------------------
+    def export_dict(self) -> Dict[str, object]:
+        """One nested snapshot: collectors by component + instruments."""
+        with self._lock:
+            collectors = dict(self._collectors)
+            instruments = list(self._instruments.values())
+        out: Dict[str, object] = {}
+        for component, collect in sorted(collectors.items()):
+            try:
+                out[component] = collect()
+            except Exception as exc:   # noqa: BLE001 - report in-band
+                out[component] = {"error": repr(exc)}
+        metrics: Dict[str, object] = {}
+        for instrument in sorted(instruments, key=lambda i: i.name):
+            metrics.update(instrument.collect())
+        if metrics:
+            out["metrics"] = metrics
+        return out
+
+    def export_text(self) -> str:
+        """Flat ``dotted.path value`` lines for every numeric leaf."""
+        lines: List[str] = []
+
+        def emit(prefix: str, value: object) -> None:
+            if isinstance(value, bool):
+                lines.append(f"{prefix} {int(value)}")
+            elif isinstance(value, (int, float)):
+                lines.append(f"{prefix} {value:g}")
+            elif isinstance(value, dict):
+                for key, sub in value.items():
+                    emit(f"{prefix}.{key}" if prefix else str(key), sub)
+            elif isinstance(value, (list, tuple)):
+                for i, sub in enumerate(value):
+                    emit(f"{prefix}.{i}", sub)
+            # non-numeric scalars (strings, None) are not metrics
+
+        for component, payload in self.export_dict().items():
+            emit(component, payload)
+        return "\n".join(lines) + ("\n" if lines else "")
+
+
+def ensure_registry(
+        registry: Optional[MetricsRegistry]) -> MetricsRegistry:
+    """The given registry, or a fresh private one."""
+    return registry if registry is not None else MetricsRegistry()

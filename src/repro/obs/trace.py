@@ -1,0 +1,286 @@
+"""Request tracing: spans on one monotonic clock, bounded retention.
+
+A ``TraceContext`` is attached to a request at submit time and rides
+with it through the pipeline; each stage appends ``(name, start, end)``
+spans measured with :func:`time.perf_counter`. On Linux (and every
+platform CPython supports) ``perf_counter`` is a *system-wide*
+monotonic clock, so spans recorded in a spawned worker process are
+directly comparable with spans recorded in the parent — that is what
+lets process-backend traces stitch across the spawn boundary without
+any clock-offset estimation.
+
+``Tracer`` decides which requests get a context (deterministic
+fractional sampling, zero allocation on the not-sampled path) and
+``FlightRecorder`` retains a bounded set of finished traces: the N
+slowest (min-heap) plus a uniform reservoir sample, so both tail
+outliers and typical requests survive for postmortem dumps.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import random
+import threading
+import time
+from typing import Dict, List, Optional, Sequence, Tuple
+
+__all__ = ["FlightRecorder", "TraceContext", "Tracer"]
+
+Span = Tuple[str, float, float]
+
+
+class TraceContext:
+    """Spans of one request's trip through the pipeline.
+
+    Span timestamps are raw ``perf_counter`` readings; ``to_dict``
+    rebases them onto ``started_at`` so dumps are human-readable.
+    ``add_span`` is safe to call from any thread or (via message
+    passing of the recorded numbers) any process: appends to a list
+    are atomic under the GIL, and nothing reads ``spans`` until the
+    trace is finished.
+    """
+
+    __slots__ = ("trace_id", "started_at", "ended_at", "spans")
+
+    def __init__(self, trace_id: int,
+                 started_at: Optional[float] = None) -> None:
+        self.trace_id = int(trace_id)
+        self.started_at = (time.perf_counter() if started_at is None
+                           else float(started_at))
+        self.ended_at: Optional[float] = None
+        self.spans: List[Span] = []
+
+    def add_span(self, name: str, start: float, end: float) -> None:
+        self.spans.append((name, float(start), float(end)))
+
+    def finish(self, ended_at: Optional[float] = None) -> None:
+        self.ended_at = (time.perf_counter() if ended_at is None
+                         else float(ended_at))
+
+    @property
+    def finished(self) -> bool:
+        return self.ended_at is not None
+
+    @property
+    def duration_s(self) -> float:
+        end = self.ended_at
+        if end is None:
+            return 0.0
+        return max(0.0, end - self.started_at)
+
+    def sorted_spans(self) -> List[Span]:
+        return sorted(self.spans, key=lambda span: (span[1], span[2]))
+
+    def span_names(self) -> List[str]:
+        return [name for name, _, _ in self.sorted_spans()]
+
+    def gaps(self, epsilon_s: float = 0.0) -> List[Tuple[float, float]]:
+        """Sub-intervals of [started_at, ended_at] no span covers.
+
+        The acceptance test for "a complete stitched trace" is exactly
+        ``gaps(eps) == []``: every instant between submit and resolve
+        is attributed to some pipeline stage (spans may overlap).
+        """
+        end = self.ended_at if self.ended_at is not None else self.started_at
+        gaps: List[Tuple[float, float]] = []
+        cursor = self.started_at
+        for _, s, e in self.sorted_spans():
+            if s > cursor + epsilon_s:
+                gaps.append((cursor, s))
+            cursor = max(cursor, e)
+        if end > cursor + epsilon_s:
+            gaps.append((cursor, end))
+        return gaps
+
+    def to_dict(self) -> Dict[str, object]:
+        base = self.started_at
+        return {
+            "trace_id": self.trace_id,
+            "duration_ms": round(self.duration_s * 1e3, 4),
+            "spans": [
+                {"name": name,
+                 "start_ms": round((s - base) * 1e3, 4),
+                 "end_ms": round((e - base) * 1e3, 4)}
+                for name, s, e in self.sorted_spans()
+            ],
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"TraceContext(id={self.trace_id}, "
+                f"spans={len(self.spans)}, "
+                f"duration_ms={self.duration_s * 1e3:.3f})")
+
+
+class FlightRecorder:
+    """Bounded retention of finished traces: N slowest + uniform sample.
+
+    The slowest set is a min-heap keyed on duration (a new trace evicts
+    the current fastest of the slow set once full); the sample is a
+    classic reservoir, so it stays uniform over *all* recorded traces
+    regardless of how many were seen. Thread-safe; ``record`` is O(log
+    max_slowest) and is only called for sampled (finished) traces, so
+    it is off the hot path entirely when sampling is disabled.
+    """
+
+    def __init__(self, max_slowest: int = 32, sample_size: int = 128,
+                 seed: int = 0) -> None:
+        if max_slowest < 0 or sample_size < 0:
+            raise ValueError("retention sizes must be >= 0")
+        self.max_slowest = int(max_slowest)
+        self.sample_size = int(sample_size)
+        self._rng = random.Random(seed)
+        self._lock = threading.Lock()
+        self._recorded = 0
+        self._seq = itertools.count()
+        # heap of (duration_s, tiebreak_seq, trace)
+        self._slowest: List[Tuple[float, int, TraceContext]] = []
+        self._sample: List[TraceContext] = []
+
+    def record(self, trace: TraceContext) -> None:
+        if not trace.finished:
+            trace.finish()
+        duration = trace.duration_s
+        with self._lock:
+            self._recorded += 1
+            if self.max_slowest:
+                entry = (duration, next(self._seq), trace)
+                if len(self._slowest) < self.max_slowest:
+                    heapq.heappush(self._slowest, entry)
+                elif duration > self._slowest[0][0]:
+                    heapq.heapreplace(self._slowest, entry)
+            if self.sample_size:
+                if len(self._sample) < self.sample_size:
+                    self._sample.append(trace)
+                else:
+                    j = self._rng.randrange(self._recorded)
+                    if j < self.sample_size:
+                        self._sample[j] = trace
+
+    @property
+    def recorded(self) -> int:
+        with self._lock:
+            return self._recorded
+
+    def slowest(self) -> List[TraceContext]:
+        """Retained slowest traces, slowest first."""
+        with self._lock:
+            entries = sorted(self._slowest, reverse=True)
+        return [trace for _, _, trace in entries]
+
+    def sample(self) -> List[TraceContext]:
+        with self._lock:
+            return list(self._sample)
+
+    def traces(self) -> List[TraceContext]:
+        """All retained traces (slowest first, then the sample), deduped."""
+        seen = set()
+        out: List[TraceContext] = []
+        for trace in self.slowest() + self.sample():
+            if id(trace) not in seen:
+                seen.add(id(trace))
+                out.append(trace)
+        return out
+
+    def find(self, trace_id: int) -> Optional[TraceContext]:
+        for trace in self.traces():
+            if trace.trace_id == trace_id:
+                return trace
+        return None
+
+    def clear(self) -> None:
+        with self._lock:
+            self._recorded = 0
+            self._slowest.clear()
+            self._sample.clear()
+
+    def stats(self) -> Dict[str, float]:
+        with self._lock:
+            slowest_s = max((d for d, _, _ in self._slowest), default=0.0)
+            return {
+                "recorded": float(self._recorded),
+                "retained_slowest": float(len(self._slowest)),
+                "retained_sample": float(len(self._sample)),
+                "slowest_ms": round(slowest_s * 1e3, 4),
+            }
+
+    def dump(self) -> Dict[str, object]:
+        """JSON-safe postmortem payload (slowest + sampled traces)."""
+        return {
+            "recorded": self.recorded,
+            "slowest": [t.to_dict() for t in self.slowest()],
+            "sample": [t.to_dict() for t in self.sample()],
+        }
+
+
+class Tracer:
+    """Hands out ``TraceContext``s at a deterministic sampling rate.
+
+    ``sample_rate`` is the fraction of requests that get a context
+    (0.0 disables tracing — the hot path then costs one attribute read
+    and one comparison). Sampling is a fractional accumulator rather
+    than a coin flip, so a rate of 0.1 traces exactly every 10th
+    request — deterministic for tests and evenly spread under load.
+    """
+
+    def __init__(self, sample_rate: float = 0.0,
+                 recorder: Optional[FlightRecorder] = None) -> None:
+        if not 0.0 <= sample_rate <= 1.0:
+            raise ValueError(f"sample_rate must be in [0, 1], "
+                             f"got {sample_rate}")
+        self.sample_rate = float(sample_rate)
+        self.recorder = recorder if recorder is not None else FlightRecorder()
+        self._lock = threading.Lock()
+        self._acc = 0.0
+        self._ids = itertools.count(1)   # 0 means "no trace" on the wire
+
+    @property
+    def enabled(self) -> bool:
+        return self.sample_rate > 0.0
+
+    def sample(self) -> Optional[TraceContext]:
+        """A new context for this request, or None if not sampled."""
+        if not self.sample_rate:
+            return None
+        if self.sample_rate >= 1.0:
+            # Every request is sampled: no accumulator state to guard,
+            # and ``next()`` on itertools.count is atomic under the GIL
+            # — concurrent submitters skip the lock entirely.
+            return TraceContext(next(self._ids))
+        with self._lock:
+            self._acc += self.sample_rate
+            # The epsilon absorbs float accumulation error: ten adds of
+            # 0.1 sum to 0.99999..., and rate 0.1 must mean every 10th.
+            if self._acc < 1.0 - 1e-9:
+                return None
+            self._acc -= 1.0
+            trace_id = next(self._ids)
+        return TraceContext(trace_id)
+
+    def start(self) -> TraceContext:
+        """A new context unconditionally (healthchecks, probes)."""
+        with self._lock:
+            trace_id = next(self._ids)
+        return TraceContext(trace_id)
+
+    def record(self, trace: TraceContext,
+               ended_at: Optional[float] = None) -> None:
+        """Finish a trace and hand it to the recorder."""
+        trace.finish(ended_at)
+        self.recorder.record(trace)
+
+
+def merge_spans(traces: Sequence[TraceContext],
+                spans_by_id: Dict[int, Sequence[Span]]) -> int:
+    """Attach externally recorded spans (e.g. from a worker process).
+
+    Returns the number of spans attached. Used by the process backend
+    to stitch worker-side inference spans — shipped back over the
+    result pipe keyed by trace id — onto the parent-side contexts.
+    """
+    attached = 0
+    for trace in traces:
+        for name, start, end in spans_by_id.get(trace.trace_id, ()):
+            trace.add_span(name, start, end)
+            attached += 1
+    return attached

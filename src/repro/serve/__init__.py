@@ -16,7 +16,11 @@ The traffic-facing layer above :mod:`repro.engine`:
   into recycled :class:`SlabPool` slabs at submit time (the zero-copy
   dispatch hot path — flushes are :class:`FlushedBatch` slab views, never
   concatenations);
-* :class:`ServerStats` — p50/p95/p99 latency and throughput counters;
+* :class:`ServerStats` — p50/p95/p99/p999 latency and throughput
+  counters, registered into a :class:`~repro.obs.MetricsRegistry`;
+* :meth:`ReadoutServer.healthcheck` — end-to-end per-shard liveness
+  probes (:class:`HealthReport` / :class:`ShardHealth`), backed by the
+  forced-trace path of :mod:`repro.obs`;
 * :mod:`repro.serve.loadgen` — deterministic open- and closed-loop load
   generation (:func:`open_loop`, :func:`closed_loop`);
 * :func:`build_sharded_server` — fit-per-shard construction helper.
@@ -28,17 +32,19 @@ from .batcher import (OVERLOAD_POLICIES, FlushedBatch, MicroBatcher,
 from .builder import build_sharded_server, fit_serve_shards
 from .loadgen import LoadReport, closed_loop, open_loop
 from .procshard import ProcessShardBackend
-from .server import (BACKENDS, ReadoutResponse, ReadoutServer, ServeShard,
-                     ShardBackend, ThreadShardBackend)
+from .server import (BACKENDS, HealthReport, ReadoutResponse, ReadoutServer,
+                     ServeShard, ShardBackend, ShardHealth,
+                     ThreadShardBackend)
 from .shm import TraceRing
 from .slab import SlabPool
-from .stats import ServerStats
+from .stats import LATENCY_PERCENTILES, ServerStats, percentile_key
 
 __all__ = [
-    "BACKENDS", "FlushedBatch", "LoadReport", "MicroBatcher",
-    "OVERLOAD_POLICIES", "ProcessShardBackend", "ReadoutResponse",
-    "ReadoutServer", "ServeRequest", "ServeShard", "ServerClosedError",
-    "ServerOverloadedError", "ServerStats", "ShardBackend", "SlabPool",
-    "ThreadShardBackend", "TraceRing", "build_sharded_server",
-    "closed_loop", "fit_serve_shards", "open_loop",
+    "BACKENDS", "FlushedBatch", "HealthReport", "LATENCY_PERCENTILES",
+    "LoadReport", "MicroBatcher", "OVERLOAD_POLICIES",
+    "ProcessShardBackend", "ReadoutResponse", "ReadoutServer",
+    "ServeRequest", "ServeShard", "ServerClosedError",
+    "ServerOverloadedError", "ServerStats", "ShardBackend", "ShardHealth",
+    "SlabPool", "ThreadShardBackend", "TraceRing", "build_sharded_server",
+    "closed_loop", "fit_serve_shards", "open_loop", "percentile_key",
 ]

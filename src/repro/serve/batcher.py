@@ -30,6 +30,8 @@ from typing import Deque, List, Optional
 
 import numpy as np
 
+from repro.obs.trace import TraceContext
+
 from .slab import SlabPool
 
 #: Supported behaviours when the submission queue is full.
@@ -61,7 +63,10 @@ class ServeRequest:
     :class:`~repro.serve.server.ReadoutResponse` (or raises on failure).
     ``shed`` marks a request evicted under the shed policy: its future has
     already failed, but its rows may still ride an already-written slab —
-    the finalize path simply skips the dead future.
+    the finalize path simply skips the dead future. ``trace`` is the
+    request's sampled :class:`~repro.obs.trace.TraceContext` (None for
+    the untraced majority): pipeline stages append spans to it as the
+    request moves, and the finalize path hands it to the flight recorder.
     """
 
     traces: np.ndarray
@@ -69,6 +74,7 @@ class ServeRequest:
     future: Future = field(default_factory=Future)
     enqueued_at: float = field(default_factory=time.perf_counter)
     shed: bool = False
+    trace: Optional[TraceContext] = None
 
     @property
     def n_traces(self) -> int:
@@ -111,7 +117,7 @@ class _Forming:
     """A batch being assembled (and copied into) under the batcher."""
 
     __slots__ = ("slab", "requests", "n_traces", "deadline", "sealed_at",
-                 "copying", "sealed")
+                 "copying", "sealed", "traced")
 
     def __init__(self, slab: Optional[np.ndarray], deadline: float):
         self.slab = slab
@@ -121,6 +127,7 @@ class _Forming:
         self.sealed_at = 0.0
         self.copying = 0         # offer() copies still writing the slab
         self.sealed = False
+        self.traced = False      # any request carries a TraceContext
 
 
 class MicroBatcher:
@@ -221,6 +228,7 @@ class MicroBatcher:
                 alone = _Forming(slab=None, deadline=0.0)
                 alone.requests.append(request)
                 alone.n_traces = n
+                alone.traced = request.trace is not None
                 self._seal_locked(alone)
             else:
                 forming = self._forming
@@ -239,6 +247,8 @@ class MicroBatcher:
                 start = forming.n_traces
                 forming.requests.append(request)
                 forming.n_traces += n
+                if request.trace is not None:
+                    forming.traced = True
                 if forming.slab is not None:
                     forming.copying += 1
                     copy_into = forming
@@ -251,7 +261,11 @@ class MicroBatcher:
             # The one trace copy of the hot path (casts to the slab dtype
             # when the quantized path is on). No lock held: large-request
             # memcpys from different clients overlap.
+            trace = request.trace
+            copy_start = time.perf_counter() if trace is not None else 0.0
             copy_into.slab[start:start + n] = traces
+            if trace is not None:
+                trace.add_span("slab_copy", copy_start, time.perf_counter())
             with self._cond:
                 copy_into.copying -= 1
                 if copy_into.copying == 0 and (copy_into.sealed
@@ -286,6 +300,11 @@ class MicroBatcher:
     def _seal_locked(self, forming: _Forming) -> None:
         forming.sealed = True
         forming.sealed_at = time.perf_counter()
+        if forming.traced:
+            for r in forming.requests:
+                if r.trace is not None:
+                    r.trace.add_span("queue_wait", r.enqueued_at,
+                                     forming.sealed_at)
         self._queue.append(forming)
 
     def close(self) -> None:
@@ -363,6 +382,13 @@ class MicroBatcher:
         return self._build(batch)
 
     def _build(self, batch: _Forming) -> FlushedBatch:
+        if batch.traced:
+            # seal -> gather: time the batch spent waiting for (and being
+            # assembled by) the dispatch pump after its seal.
+            built_at = time.perf_counter()
+            for r in batch.requests:
+                if r.trace is not None and not r.shed:
+                    r.trace.add_span("batch_seal", batch.sealed_at, built_at)
         if batch.slab is not None:
             demod = batch.slab[:batch.n_traces]
             return FlushedBatch(
@@ -401,6 +427,12 @@ class MicroBatcher:
     @property
     def slab_pool(self) -> SlabPool:
         return self._pool
+
+    @property
+    def trace_shape(self) -> Optional[tuple]:
+        """Per-trace geometry locked in by the first request (or None)."""
+        with self._cond:
+            return self._trace_shape
 
     def __len__(self) -> int:
         with self._cond:

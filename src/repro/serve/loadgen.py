@@ -62,7 +62,13 @@ class LoadReport:
         return 0.0 if self.elapsed_s <= 0 else self.traces_done / self.elapsed_s
 
     def latency_ms(self, percentile: float) -> float:
-        """A latency percentile (e.g. 50, 99) in milliseconds."""
+        """A latency percentile (e.g. 50, 99, 99.9) in milliseconds.
+
+        Computed over *every* completed request of the run (no window),
+        so ``latency_ms(99.9)`` interpolates between true order
+        statistics — meaningful once the run completed >= ~1000
+        requests, which the tail-latency harnesses size for.
+        """
         if self.latencies_s.size == 0:
             return float("nan")
         return 1000.0 * float(np.percentile(self.latencies_s, percentile))
@@ -79,7 +85,9 @@ class LoadReport:
             "throughput_rps": self.throughput_rps(),
             "traces_per_s": self.traces_per_s(),
             "p50_ms": self.latency_ms(50),
+            "p95_ms": self.latency_ms(95),
             "p99_ms": self.latency_ms(99),
+            "p999_ms": self.latency_ms(99.9),
         }
 
 

@@ -51,11 +51,13 @@ fork-inherited locks or monkeypatched module state.
 
 from __future__ import annotations
 
+import logging
 import multiprocessing as mp
 import os
 import pickle
 import queue
 import threading
+import time
 from collections import deque
 from dataclasses import dataclass
 from multiprocessing.connection import wait as _connection_wait
@@ -64,6 +66,7 @@ from typing import Dict, List, Optional, Tuple
 import numpy as np
 
 from repro.core.model_io import dumps_pipeline, loads_pipeline
+from repro.obs.log import log_event
 from repro.readout.dataset import ReadoutDataset
 
 from .batcher import ServerClosedError
@@ -237,6 +240,14 @@ def _shard_worker_main(shard_index: int, design_names: Tuple[str, ...],
                     results.send(("skipped", seq, slot))
                     continue
                 try:
+                    # Trace stitching: the slot header names the traced
+                    # requests riding this batch; time the engine pass
+                    # and ship the span home keyed by those ids.
+                    # perf_counter is a system-wide monotonic clock, so
+                    # the timestamps are directly comparable with the
+                    # parent's.
+                    trace_ids = ring.read_trace_ids(slot)
+                    t_infer = time.perf_counter() if trace_ids else 0.0
                     demod = ring.request_view(slot, n_traces)
                     into = getattr(engine, "predict_traces_into", None)
                     if into is not None:
@@ -250,8 +261,10 @@ def _shard_worker_main(shard_index: int, design_names: Tuple[str, ...],
                     else:
                         bits = engine.predict_traces(demod, device)
                         ring.write_response(slot, bits, design_names)
+                    span = ((trace_ids, t_infer, time.perf_counter())
+                            if trace_ids else None)
                     results.send(("done", seq, slot,
-                                  engine.stats.as_dict()))
+                                  engine.stats.as_dict(), span))
                 except Exception as exc:  # noqa: BLE001 — fail the batch
                     results.send(("err", seq, slot, _portable_exc(exc)))
     finally:
@@ -300,6 +313,9 @@ class _ProcessShard:
             self._free.put(slot)
         #: seq -> [(inflight, offset, n_traces), ...] slot segments.
         self._pending: Dict[int, List[Tuple[object, int, int]]] = {}
+        #: seq -> send timestamp, kept only for traced groups (ring
+        #: transit spans stitch send -> result-receive per group).
+        self._sent_at: Dict[int, float] = {}
         self._next_seq = 0
         self._lock = threading.Lock()
         self._send_lock = threading.Lock()
@@ -320,6 +336,8 @@ class _ProcessShard:
                   cmd_child, res_child, self._stopping),
             name=f"readout-serve-shard{self.index}", daemon=True)
         self._proc.start()
+        log_event("worker", "worker_spawn", shard=self.index,
+                  pid=self._proc.pid)
         # Close the child's pipe ends in the parent so EOF propagates.
         cmd_child.close()
         res_child.close()
@@ -431,6 +449,12 @@ class _ProcessShard:
             self._ring.write_request_at(slot, offset, demod)
             segments.append((inflight, offset, n))
             offset += n
+        traced = [inflight for inflight in group if inflight.traced]
+        # Headers are written for every group (count 0 clears a recycled
+        # slot's stale ids) before the batch message that reveals them.
+        self._ring.write_trace_ids(
+            slot, [r.trace.trace_id
+                   for inflight in traced for r in inflight.traced])
         with self._lock:
             if self._dead:
                 self._free.put(slot)
@@ -441,12 +465,24 @@ class _ProcessShard:
             seq = self._next_seq
             self._next_seq += 1
             self._pending[seq] = segments
+            if traced:
+                # Registered with _pending under the same lock so the
+                # receiver (which may win the race to this seq) always
+                # finds it. ring_submit covers submitter-queue wait,
+                # slot wait and the shared-memory memcpy.
+                sent_at = time.perf_counter()
+                self._sent_at[seq] = sent_at
+                for inflight in traced:
+                    if inflight.dispatched_at is not None:
+                        inflight.add_span(f"ring_submit/shard{self.index}",
+                                          inflight.dispatched_at, sent_at)
         try:
             with self._send_lock:
                 self._commands.send(("batch", seq, slot, total))
         except (BrokenPipeError, OSError):
             with self._lock:
                 self._pending.pop(seq, None)
+                self._sent_at.pop(seq, None)
             self._free.put(slot)      # the worker will never release it
             exc = self.death_error()
             for inflight in group:
@@ -546,6 +582,8 @@ class _ProcessShard:
             return False
         if message[0] == "ready":
             self._ready.set()
+            log_event("worker", "worker_ready", shard=self.index,
+                      pid=self._proc.pid)
             return True
         self._handle_result(message)
         return True
@@ -554,8 +592,12 @@ class _ProcessShard:
         kind, seq, slot = message[0], message[1], message[2]
         with self._lock:
             segments = self._pending.pop(seq, None)
+            sent_at = self._sent_at.pop(seq, None)
+        worker_span = None
         if kind == "done":
             self.last_engine_stats = message[3]
+            if len(message) > 4:
+                worker_span = message[4]
         failure: Optional[BaseException] = None
         if kind == "skipped":
             failure = ServerClosedError(
@@ -569,16 +611,28 @@ class _ProcessShard:
                 for inflight, _, _ in segments:
                     inflight.shard_error(failure)
                 return
+            recv_at = (time.perf_counter() if sent_at is not None
+                       else None)
+            span_ids = frozenset(worker_span[0]) if worker_span else None
             for inflight, offset, n in segments:
                 # Zero-copy handback: hand views into the slot's response
                 # block straight to deliver(), which scatters them into
                 # the batch's response slab before returning — the slot
                 # is only freed (finally) after every segment consumed it.
                 try:
+                    if inflight.traced:
+                        self._stitch_spans(inflight, sent_at, recv_at,
+                                           worker_span, span_ids)
                     bits = {name: self._ring.response_view(slot, d,
                                                            offset, n)
                             for d, name in enumerate(self._design_names)}
+                    mirror_start = (time.perf_counter()
+                                    if inflight.traced else 0.0)
                     self._mirror_hooks(inflight, bits)
+                    if inflight.traced:
+                        inflight.add_span(
+                            f"hook_mirror/shard{self.index}",
+                            mirror_start, time.perf_counter())
                     inflight.deliver(self.shard.feedline, bits)
                 except Exception as exc:  # noqa: BLE001 — never hang a client
                     inflight.shard_error(exc)
@@ -586,6 +640,26 @@ class _ProcessShard:
             # The slot is always freed — even on a failed read/scatter —
             # or the ring would leak capacity and stall.
             self._free.put(slot)
+
+    def _stitch_spans(self, inflight, sent_at: Optional[float],
+                      recv_at: Optional[float], worker_span,
+                      span_ids: Optional[frozenset]) -> None:
+        """Attach ring-transit and worker-side spans to traced requests.
+
+        ``worker_span`` is the worker's ``(trace_ids, start, end)``
+        inference timing, valid on the parent's clock because
+        ``perf_counter`` is system-wide monotonic; requests whose id
+        fell past the slot header's cap simply miss the worker span.
+        """
+        if sent_at is not None and recv_at is not None:
+            inflight.add_span(f"ring_transit/shard{self.index}",
+                              sent_at, recv_at)
+        if worker_span and span_ids:
+            _, start, end = worker_span
+            name = f"worker_inference/shard{self.index}"
+            for request in inflight.traced:
+                if request.trace.trace_id in span_ids:
+                    request.trace.add_span(name, start, end)
 
     def _mirror_hooks(self, inflight,
                       bits: Dict[str, np.ndarray]) -> None:
@@ -619,6 +693,9 @@ class _ProcessShard:
         self._proc.join(timeout=1.0)
         self.exit_code = self._proc.exitcode
         self._server.stats.record_worker_death()
+        log_event("worker", "worker_death", level=logging.WARNING,
+                  shard=self.index, pid=self._proc.pid,
+                  exit_code=self.exit_code)
         self._ready.set()             # wake any startup waiter to the error
         exc = self.death_error()
         for segments in pending:
@@ -634,6 +711,18 @@ class _ProcessShard:
             self._submit_cond.notify_all()
         for inflight in queued:
             inflight.shard_error(exc)
+
+    def health(self) -> Dict[str, object]:
+        """Liveness + queue depth for :meth:`ShardBackend.shard_health`."""
+        alive = not self._dead and self._proc.is_alive()
+        return {
+            "alive": alive,
+            "pid": self._proc.pid,
+            "exit_code": self.exit_code,
+            # Batches the backend still owes the worker: queued at the
+            # submitter plus shipped-but-unanswered ring groups.
+            "backlog": len(self._submit_q) + len(self._pending),
+        }
 
     # ------------------------------------------------------------------
     # Swap and teardown
@@ -679,6 +768,8 @@ class _ProcessShard:
             self._proc.kill()
             self._proc.join()
         self.exit_code = self._proc.exitcode
+        log_event("worker", "worker_exit", shard=self.index,
+                  pid=self._proc.pid, exit_code=self.exit_code)
         self._receiver.join(timeout=self._join_timeout_s)
         with self._lock:
             self._dead = True
@@ -841,6 +932,10 @@ class ProcessShardBackend(ShardBackend):
         return {handle.index: dict(handle.last_engine_stats)
                 for handle in self._handles
                 if handle.last_engine_stats is not None}
+
+    def shard_health(self) -> Dict[int, Dict[str, object]]:
+        return {handle.index: handle.health()
+                for handle in self._handles}
 
     @property
     def exit_codes(self) -> Dict[int, Optional[int]]:

@@ -38,15 +38,20 @@ hot swaps, and the calibration plumbing — behaves identically on both.
 from __future__ import annotations
 
 import asyncio
+import logging
+import math
 import threading
 import time
 from concurrent.futures import Future, InvalidStateError
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from queue import SimpleQueue
 from typing import Dict, List, Optional, Sequence, Union
 
 import numpy as np
 
+from repro.obs.log import log_event
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import FlightRecorder, TraceContext, Tracer
 from repro.readout.parameters import DeviceParams
 from repro.readout.sharding import FeedlineShard
 
@@ -122,6 +127,62 @@ class ReadoutResponse:
                 f"available: {sorted(self.bits)}") from None
 
 
+@dataclass
+class ShardHealth:
+    """One shard's verdict from :meth:`ReadoutServer.healthcheck`.
+
+    ``alive`` is the backend's liveness view (worker thread running /
+    worker process not dead); ``round_trip_ms`` is the submit-to-scatter
+    time of the probe through *this* shard (NaN when the shard never
+    answered); ``backlog`` counts batches queued at the backend for the
+    shard (ring/queue depth); ``pid`` is set on the process backend.
+    """
+
+    shard_index: int
+    alive: bool
+    round_trip_ms: float
+    engine_version: int
+    backlog: int
+    pid: Optional[int] = None
+    detail: str = ""
+
+    @property
+    def healthy(self) -> bool:
+        return self.alive and not math.isnan(self.round_trip_ms)
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "shard_index": self.shard_index,
+            "alive": self.alive,
+            "healthy": self.healthy,
+            "round_trip_ms": round(self.round_trip_ms, 4),
+            "engine_version": self.engine_version,
+            "backlog": self.backlog,
+            "pid": self.pid,
+            "detail": self.detail,
+        }
+
+
+@dataclass
+class HealthReport:
+    """End-to-end health verdict for a server (one probe, every shard)."""
+
+    healthy: bool
+    probe_ok: bool
+    budget_s: float
+    shards: List[ShardHealth] = field(default_factory=list)
+    error: str = ""
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "healthy": self.healthy,
+            "probe_ok": self.probe_ok,
+            "budget_s": self.budget_s,
+            "error": self.error,
+            "shards": [shard.as_dict() for shard in self.shards],
+        }
+
+
 def _fail_future(future: Future, exc: BaseException) -> bool:
     """Set an exception if the future is still settleable (not cancelled)."""
     try:
@@ -162,6 +223,19 @@ class _InFlightBatch:
         self._lock = threading.Lock()
         self._response: Optional[np.ndarray] = None
         self._views_escaped = 0
+        # Tracing: the (usually empty) list of live requests carrying a
+        # TraceContext, cached so every instrumentation point below is a
+        # single truthiness check for the untraced majority.
+        self.traced = [r for r in batch.requests
+                       if r.trace is not None and not r.shed]
+        # Set by the dispatcher just before the backend handoff; the
+        # backends use it as the start of their worker/ring spans.
+        self.dispatched_at: Optional[float] = None
+
+    def add_span(self, name: str, start: float, end: float) -> None:
+        """Record one span onto every traced request riding this batch."""
+        for request in self.traced:
+            request.trace.add_span(name, start, end)
 
     def deliver(self, feedline: FeedlineShard,
                 bits: Dict[str, np.ndarray]) -> None:
@@ -178,9 +252,13 @@ class _InFlightBatch:
                     self.n_traces)
             response = self._response
         if settle:
+            scatter_start = time.perf_counter() if self.traced else 0.0
             columns = self._columns[feedline.index]
             for d, design in enumerate(self._design_names):
                 response[d, :self.n_traces, columns] = bits[design]
+            if self.traced:
+                self.add_span(f"response_scatter/shard{feedline.index}",
+                              scatter_start, time.perf_counter())
         self._shard_done()
 
     def shard_error(self, exc: BaseException) -> None:
@@ -250,6 +328,12 @@ class _InFlightBatch:
                 self._stats.record_done(m, latency, now)
             offset += m
         self._views_escaped = escaped
+        if self.traced:
+            resolve_end = time.perf_counter()
+            tracer = self._server.tracer
+            for request in self.traced:
+                request.trace.add_span("resolve", now, resolve_end)
+                tracer.record(request.trace, resolve_end)
 
 
 class ShardBackend:
@@ -301,6 +385,18 @@ class ShardBackend:
         """Worker-side engine counters, for backends that run remotely."""
         return {}
 
+    def shard_health(self) -> Dict[int, Dict[str, object]]:
+        """Backend-level liveness per shard index.
+
+        Keys per shard: ``alive`` (worker thread running / process not
+        dead), ``backlog`` (batches queued at the backend for this
+        shard), plus backend-specific extras (``pid``, ``exit_code``,
+        ``detail``). :meth:`ReadoutServer.healthcheck` merges this with
+        an end-to-end probe; an empty dict means "nothing known" (e.g.
+        the backend never started) and reads as alive-by-default.
+        """
+        return {}
+
 
 class ThreadShardBackend(ShardBackend):
     """One worker thread per shard, sharing this process (and its GIL).
@@ -349,6 +445,18 @@ class ThreadShardBackend(ShardBackend):
         for thread in self._threads:
             thread.join()
 
+    def shard_health(self) -> Dict[int, Dict[str, object]]:
+        if self._server is None:
+            return {}
+        out: Dict[int, Dict[str, object]] = {}
+        for shard, q, thread in zip(self._server.shards, self._queues,
+                                    self._threads):
+            out[shard.feedline.index] = {
+                "alive": thread.is_alive(),
+                "backlog": q.qsize(),
+            }
+        return out
+
     def _worker_loop(self, shard: ServeShard, q: SimpleQueue) -> None:
         # Contiguous qubit groups (everything plan_feedlines produces) are
         # sliced as zero-copy views; only irregular groups pay a gather.
@@ -375,6 +483,12 @@ class ThreadShardBackend(ShardBackend):
                     bits = predict_into(demod, shard.device, out)
                 else:
                     bits = engine.predict_traces(demod, shard.device)
+                if inflight.traced and inflight.dispatched_at is not None:
+                    # Starts at the backend handoff, so worker-queue wait
+                    # and the engine pass land in one attributed span.
+                    inflight.add_span(
+                        f"worker_inference/shard{shard.feedline.index}",
+                        inflight.dispatched_at, time.perf_counter())
                 # deliver() copies out of `bits` before returning, so the
                 # worker's reusable output buffers are free for the next
                 # batch the moment it does.
@@ -461,6 +575,22 @@ class ReadoutServer:
     backend_options:
         Keyword arguments for the named backend's constructor (e.g.
         ``{"ring_slots": 4}`` for the process backend).
+    trace_sample_rate:
+        Fraction of requests that get a :class:`~repro.obs.trace.
+        TraceContext` recording per-stage spans (queue-wait, batch-seal,
+        slab-copy, dispatch, ring-transit, worker inference,
+        response-scatter, resolve) into :attr:`flight_recorder`. The
+        default 0.0 disables tracing; the hot path then pays one
+        attribute read per request.
+    flight_recorder:
+        Where sampled traces are retained
+        (:class:`~repro.obs.trace.FlightRecorder`; a private one is
+        created when omitted).
+    metrics:
+        A :class:`~repro.obs.metrics.MetricsRegistry` this server
+        registers its snapshot collectors into (``serve``, ``engine``,
+        ``flight_recorder`` components); a private registry is created
+        when omitted, so ``server.metrics.export_dict()`` always works.
 
     The server starts its workers lazily on first submission (or
     explicitly via :meth:`start` / use as a context manager) and cannot be
@@ -472,7 +602,10 @@ class ReadoutServer:
                  max_queue_requests: int = 1024, overload: str = "reject",
                  trace_dtype=None, latency_window: int = 8192,
                  backend: Union[str, ShardBackend] = "thread",
-                 backend_options: Optional[Dict[str, object]] = None):
+                 backend_options: Optional[Dict[str, object]] = None,
+                 trace_sample_rate: float = 0.0,
+                 flight_recorder: Optional[FlightRecorder] = None,
+                 metrics: Optional[MetricsRegistry] = None):
         if not shards:
             raise ValueError("server needs at least one shard")
         covered: List[int] = []
@@ -507,6 +640,17 @@ class ReadoutServer:
             max_queue_requests=max_queue_requests, overload=overload,
             trace_dtype=trace_dtype, slab_pool=self._trace_pool)
         self._backend = _make_backend(backend, backend_options)
+        self._recorder = (flight_recorder if flight_recorder is not None
+                          else FlightRecorder())
+        self._tracer = Tracer(trace_sample_rate, self._recorder)
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.stats.register_into(self.metrics, "serve")
+        self.metrics.register_collector(
+            "engine",
+            lambda: {str(i): d for i, d in self.engine_stats().items()},
+            replace=True)
+        self.metrics.register_collector(
+            "flight_recorder", self._recorder.stats, replace=True)
         self._dispatcher: Optional[threading.Thread] = None
         self._state_lock = threading.Lock()
         self._stopping = threading.Event()
@@ -526,6 +670,16 @@ class ReadoutServer:
     def stopping(self) -> threading.Event:
         """Set once shutdown begins; backends use it to fail work fast."""
         return self._stopping
+
+    @property
+    def tracer(self) -> Tracer:
+        """The request-trace sampler (rate set by ``trace_sample_rate``)."""
+        return self._tracer
+
+    @property
+    def flight_recorder(self) -> FlightRecorder:
+        """Retained sampled traces (N slowest + uniform sample)."""
+        return self._recorder
 
     @property
     def max_batch_traces(self) -> int:
@@ -565,6 +719,9 @@ class ReadoutServer:
                 target=self._dispatch_loop, name="readout-serve-dispatch",
                 daemon=True)
             self._dispatcher.start()
+            log_event("serve", "server_start",
+                      backend=self._backend.name,
+                      shards=len(self._shards), n_qubits=self.n_qubits)
             return self
 
     def stop(self) -> None:
@@ -598,6 +755,10 @@ class ReadoutServer:
                 self.stats.record_failure()
         if started:
             self._backend.stop()
+        log_event("serve", "server_stop",
+                  submitted=self.stats.submitted,
+                  completed=self.stats.completed,
+                  failed=self.stats.failed)
 
     def __enter__(self) -> "ReadoutServer":
         return self.start()
@@ -608,7 +769,8 @@ class ReadoutServer:
     # ------------------------------------------------------------------
     # Submission APIs
     # ------------------------------------------------------------------
-    def submit(self, traces: np.ndarray) -> Future:
+    def submit(self, traces: np.ndarray, *,
+               _trace: Optional[TraceContext] = None) -> Future:
         """Enqueue a request; returns a future of :class:`ReadoutResponse`.
 
         ``traces`` is one ``(n_qubits, 2, n_bins)`` trace or a
@@ -617,6 +779,8 @@ class ReadoutServer:
         policy when the queue is full; under ``shed`` the oldest queued
         request's future fails instead. Raises
         :class:`~.batcher.ServerClosedError` once the server is stopped.
+        ``_trace`` force-attaches a pre-made trace context (internal —
+        the healthcheck probe uses it to bypass sampling).
         """
         traces = np.asarray(traces)
         single = traces.ndim == 3
@@ -641,12 +805,15 @@ class ReadoutServer:
             raise ServerClosedError("server is stopped")
         if not self._started:
             self.start()
-        request = ServeRequest(traces=traces, single=single)
+        trace = _trace if _trace is not None else self._tracer.sample()
+        request = ServeRequest(traces=traces, single=single, trace=trace)
         self.stats.record_submit(request.n_traces, request.enqueued_at)
         try:
             victim = self._batcher.offer(request)
         except ServerOverloadedError:
             self.stats.record_reject()
+            log_event("serve", "backpressure_reject",
+                      level=logging.WARNING, n_traces=request.n_traces)
             raise
         except RuntimeError:
             # stop() closed the batcher between our _stopped check and the
@@ -654,8 +821,12 @@ class ReadoutServer:
             # request so submitted stays reconcilable with the outcomes.
             self.stats.record_failure()
             raise ServerClosedError("server is stopped") from None
+        if trace is not None:
+            trace.add_span("submit", trace.started_at, time.perf_counter())
         if victim is not None:
             self.stats.record_shed()
+            log_event("serve", "backpressure_shed",
+                      level=logging.WARNING, n_traces=victim.n_traces)
             _fail_future(victim.future, ServerOverloadedError(
                 "request shed by a newer arrival"))
         return request.future
@@ -728,7 +899,91 @@ class ReadoutServer:
                 shard.device = device
             shard.engine = engine          # atomic: next batch uses it
             self._backend.commit_swap(shard, payload)
-        return self.stats.record_swap(shard_index)
+        version = self.stats.record_swap(shard_index)
+        log_event("serve", "engine_swap", shard=shard_index,
+                  version=version)
+        return version
+
+    # ------------------------------------------------------------------
+    # Health
+    # ------------------------------------------------------------------
+    def _probe_traces(self) -> np.ndarray:
+        """A minimal one-trace request matching the served geometry."""
+        shape = self._batcher.trace_shape
+        if shape is None:
+            # No traffic yet: derive the geometry from the shard devices
+            # (every shard shares bins/duration; only qubit counts differ).
+            shape = (self.n_qubits, 2, int(self._shards[0].device.n_bins))
+        dtype = (self.trace_dtype if self.trace_dtype is not None
+                 else np.float64)
+        return np.zeros((1,) + tuple(shape), dtype=dtype)
+
+    def healthcheck(self, budget_s: float = 5.0) -> HealthReport:
+        """Probe every shard end to end; per-shard verdicts within budget.
+
+        Submits one zero-filled probe trace through the full pipeline
+        (micro-batcher, dispatcher, every shard's worker, scatter,
+        resolve) with a forced trace context, then combines the probe's
+        per-shard ``response_scatter`` spans with the backend's liveness
+        view. A shard is *healthy* when its backend worker is alive
+        **and** it answered the probe; ``HealthReport.healthy`` requires
+        the probe to resolve within ``budget_s`` and every shard to be
+        healthy. The probe rides the normal submit path, so it also
+        exercises admission and counts in :attr:`stats` (one request,
+        one trace). Works on a stopped server (reports unhealthy rather
+        than raising) and starts a lazily not-yet-started one.
+        """
+        if budget_s <= 0:
+            raise ValueError(f"budget_s must be positive, got {budget_s}")
+        error = ""
+        probe_ok = False
+        trace = self._tracer.start()
+        try:
+            future = self.submit(self._probe_traces(), _trace=trace)
+        except Exception as exc:  # noqa: BLE001 — verdict, not crash
+            error = repr(exc)
+            future = None
+        if future is not None:
+            try:
+                future.result(budget_s)
+                probe_ok = True
+            except Exception as exc:  # noqa: BLE001 — verdict, not crash
+                error = repr(exc)
+        # Liveness is read *after* the probe so a worker death the probe
+        # itself exposed (fast-fail on a dead ring) is already visible.
+        backend_health = self._backend.shard_health()
+        versions = self.stats.snapshot()["model_versions"]
+        scatter_end: Dict[int, float] = {}
+        for name, _, end in trace.spans:
+            if name.startswith("response_scatter/shard"):
+                index = int(name.rsplit("shard", 1)[1])
+                scatter_end[index] = max(scatter_end.get(index, end), end)
+        shards = []
+        for shard in self._shards:
+            index = shard.feedline.index
+            info = backend_health.get(index, {})
+            alive = bool(info.get("alive", True))
+            end = scatter_end.get(index)
+            rtt_ms = (float("nan") if end is None
+                      else 1e3 * (end - trace.started_at))
+            detail = str(info.get("detail", ""))
+            if not detail and not alive:
+                exit_code = info.get("exit_code")
+                detail = (f"worker dead (exit code {exit_code})"
+                          if exit_code is not None else "worker dead")
+            shards.append(ShardHealth(
+                shard_index=index, alive=alive, round_trip_ms=rtt_ms,
+                engine_version=int(versions.get(str(index), 0)),
+                backlog=int(info.get("backlog", 0)),
+                pid=info.get("pid"), detail=detail))
+        healthy = probe_ok and all(s.healthy for s in shards)
+        log_event("serve", "healthcheck", healthy=healthy,
+                  probe_ok=probe_ok, error=error,
+                  unhealthy_shards=[s.shard_index for s in shards
+                                    if not s.healthy])
+        return HealthReport(healthy=healthy, probe_ok=probe_ok,
+                            budget_s=float(budget_s), shards=shards,
+                            error=error)
 
     # ------------------------------------------------------------------
     # Internals
@@ -749,8 +1004,13 @@ class ReadoutServer:
                 continue
             inflight = _InFlightBatch(batch, self)
             self.stats.record_batch(live, batch.n_traces)
-            self.stats.record_dispatch_lag(
-                time.perf_counter() - batch.sealed_at)
+            now = time.perf_counter()
+            self.stats.record_dispatch_lag(now - batch.sealed_at)
+            if inflight.traced:
+                # dispatched_at must be set *before* the handoff: a worker
+                # may pick the batch up the instant submit() enqueues it.
+                inflight.dispatched_at = time.perf_counter()
+                inflight.add_span("dispatch", now, inflight.dispatched_at)
             try:
                 self._backend.submit(inflight)
             except Exception as exc:  # noqa: BLE001 — keep dispatching

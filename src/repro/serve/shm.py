@@ -9,7 +9,12 @@ out as ``n_slots`` paired request/response slots:
   instead of pickling the array through a pipe;
 * the **response block** holds the worker's predicted bits per slot
   (``(n_designs, capacity, n_qubits)`` int64), written in place by the
-  worker and copied out by the parent when the result message arrives.
+  worker and copied out by the parent when the result message arrives;
+* a small **header block** (``(n_slots, 1 + MAX_TRACE_IDS)`` int64,
+  laid out first) carries the trace ids of the requests riding each
+  slot — ``[count, id0, id1, ...]`` — so request traces stitch across
+  the spawn boundary: the worker reads the ids, times its inference,
+  and ships the span back keyed by id (see :mod:`repro.obs.trace`).
 
 The ring itself is just typed views over the segment; slot ownership (who
 may write which slot when) is the
@@ -30,6 +35,12 @@ from multiprocessing import shared_memory
 from typing import Dict, Sequence, Tuple
 
 import numpy as np
+
+#: Trace ids a slot header can carry. Under heavy sampling a coalesced
+#: slot may hold more traced requests than this; the overflow simply
+#: loses its worker-side span (the parent-side spans still record), so
+#: the cap bounds header size without ever failing a batch.
+MAX_TRACE_IDS = 32
 
 
 @dataclass(frozen=True)
@@ -72,25 +83,31 @@ class TraceRing:
         self.spec = spec
         self._owner = bool(create)
         dtype = np.dtype(spec.dtype)
+        hdr_shape = (spec.n_slots, 1 + MAX_TRACE_IDS)
         req_shape = (spec.n_slots, spec.capacity) + tuple(spec.trace_shape)
         res_shape = (spec.n_slots, spec.n_designs, spec.capacity,
                      spec.trace_shape[0])
+        hdr_nbytes = int(np.prod(hdr_shape)) * np.dtype(np.int64).itemsize
         req_nbytes = int(np.prod(req_shape)) * dtype.itemsize
         res_nbytes = int(np.prod(res_shape)) * np.dtype(np.int64).itemsize
         if create:
             self._shm = shared_memory.SharedMemory(
-                create=True, size=req_nbytes + res_nbytes)
+                create=True, size=hdr_nbytes + req_nbytes + res_nbytes)
             self.spec = RingSpec(name=self._shm.name, n_slots=spec.n_slots,
                                  capacity=spec.capacity,
                                  trace_shape=tuple(spec.trace_shape),
                                  dtype=spec.dtype, n_designs=spec.n_designs)
         else:
             self._shm = shared_memory.SharedMemory(name=spec.name)
+        # Fresh segments are zero-filled, so headers start at count 0.
+        self._headers = np.ndarray(hdr_shape, dtype=np.int64,
+                                   buffer=self._shm.buf)
         self._requests = np.ndarray(req_shape, dtype=dtype,
-                                    buffer=self._shm.buf)
+                                    buffer=self._shm.buf,
+                                    offset=hdr_nbytes)
         self._responses = np.ndarray(res_shape, dtype=np.int64,
                                      buffer=self._shm.buf,
-                                     offset=req_nbytes)
+                                     offset=hdr_nbytes + req_nbytes)
 
     # ------------------------------------------------------------------
     # Construction
@@ -167,6 +184,28 @@ class TraceRing:
         return self._requests[slot, :n_traces]
 
     # ------------------------------------------------------------------
+    # Trace-id headers (spawn-boundary trace stitching)
+    # ------------------------------------------------------------------
+    def write_trace_ids(self, slot: int, trace_ids: Sequence[int]) -> None:
+        """Publish the trace ids riding a slot (parent side, pre-send).
+
+        Always called — with an empty sequence for untraced traffic — so
+        a recycled slot never leaks the previous batch's ids. Ids beyond
+        :data:`MAX_TRACE_IDS` are dropped (bounded header, see above).
+        """
+        ids = list(trace_ids)[:MAX_TRACE_IDS]
+        self._headers[slot, 0] = len(ids)
+        if ids:
+            self._headers[slot, 1:1 + len(ids)] = ids
+
+    def read_trace_ids(self, slot: int) -> Tuple[int, ...]:
+        """The trace ids riding a slot (worker side, on batch arrival)."""
+        count = int(self._headers[slot, 0])
+        if count <= 0:
+            return ()
+        return tuple(int(i) for i in self._headers[slot, 1:1 + count])
+
+    # ------------------------------------------------------------------
     # Response side
     # ------------------------------------------------------------------
     def write_response(self, slot: int, bits: Dict[str, np.ndarray],
@@ -206,6 +245,7 @@ class TraceRing:
         """Drop this process's mapping (both sides; idempotent)."""
         # The ndarray views hold exported pointers into the mmap; they
         # must be dropped before close() or BufferError fires.
+        self._headers = None
         self._requests = None
         self._responses = None
         try:

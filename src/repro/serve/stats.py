@@ -3,13 +3,22 @@
 from __future__ import annotations
 
 import threading
+import time
 from collections import deque
 from typing import Deque, Dict, Optional
 
 import numpy as np
 
 #: Percentiles reported by :meth:`ServerStats.latency_percentiles`.
-LATENCY_PERCENTILES = (50, 95, 99)
+#: 99.9 (reported as ``p999_ms``) is the QEC tail-latency observable;
+#: it is only meaningful once the window holds >= ~1000 samples, which
+#: the default ``latency_window`` of 8192 comfortably allows.
+LATENCY_PERCENTILES = (50, 95, 99, 99.9)
+
+
+def percentile_key(p: float) -> str:
+    """Snapshot key for a percentile: 50 -> ``p50_ms``, 99.9 -> ``p999_ms``."""
+    return f"p{p:g}_ms".replace(".", "")
 
 
 class ServerStats:
@@ -176,10 +185,11 @@ class ServerStats:
     # ------------------------------------------------------------------
     def _latency_percentiles_locked(self) -> Dict[str, float]:
         if not self._latencies_s:
-            return {f"p{p}_ms": float("nan") for p in LATENCY_PERCENTILES}
+            return {percentile_key(p): float("nan")
+                    for p in LATENCY_PERCENTILES}
         values = np.percentile(np.asarray(self._latencies_s),
                                LATENCY_PERCENTILES)
-        return {f"p{p}_ms": 1000.0 * float(v)
+        return {percentile_key(p): 1000.0 * float(v)
                 for p, v in zip(LATENCY_PERCENTILES, values)}
 
     def _mean_batch_traces_locked(self) -> float:
@@ -213,15 +223,30 @@ class ServerStats:
         return self.ring_batches / self.ring_flushes
 
     def _throughput_locked(self) -> float:
+        # Well-defined before the first completion: 0.0, never None or a
+        # ZeroDivision — snapshot consumers (benches, dashboards, the
+        # healthcheck) must be able to read it at any lifecycle point.
         if (self._first_submit_t is None or self._last_done_t is None
                 or self._last_done_t <= self._first_submit_t):
             return 0.0
         return self.traces_done / (self._last_done_t - self._first_submit_t)
 
+    def _uptime_locked(self, now: float) -> float:
+        # Serving-time clock: starts at the first submission (the same
+        # origin the throughput span uses), 0.0 before any traffic.
+        if self._first_submit_t is None:
+            return 0.0
+        return max(0.0, now - self._first_submit_t)
+
     def latency_percentiles(self) -> Dict[str, float]:
-        """``{"p50_ms", "p95_ms", "p99_ms"}`` over the recent window."""
+        """``{"p50_ms", "p95_ms", "p99_ms", "p999_ms"}`` over the window."""
         with self._lock:
             return self._latency_percentiles_locked()
+
+    def uptime_s(self) -> float:
+        """Seconds since the first submission (0.0 before any traffic)."""
+        with self._lock:
+            return self._uptime_locked(time.perf_counter())
 
     def mean_batch_traces(self) -> float:
         """Mean traces per flushed batch (amortization achieved)."""
@@ -277,4 +302,14 @@ class ServerStats:
             counters["ring_coalesce_ratio"] = \
                 self._ring_coalesce_ratio_locked()
             counters["throughput_traces_per_s"] = self._throughput_locked()
+            counters["uptime_s"] = self._uptime_locked(time.perf_counter())
         return counters
+
+    def register_into(self, registry, component: str = "serve") -> None:
+        """Expose this snapshot through a ``MetricsRegistry``.
+
+        Thin adapter onto :meth:`snapshot` — the registry's
+        ``export_dict()``/``export_text()`` become the one snapshot
+        surface while this class keeps its existing shape.
+        """
+        registry.register_collector(component, self.snapshot, replace=True)

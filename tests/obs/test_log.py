@@ -1,0 +1,91 @@
+"""Unit tests for the structured JSONL event log."""
+
+import io
+import json
+import logging
+
+import pytest
+
+from repro.obs.log import (EVENT_LOGGER_ROOT, configure_event_log, event_logger,
+                           log_event, remove_event_handler)
+
+
+@pytest.fixture
+def sink():
+    """A StringIO JSONL sink attached for the test, detached after."""
+    stream = io.StringIO()
+    handler = configure_event_log(stream=stream, level=logging.DEBUG)
+    yield stream
+    remove_event_handler(handler)
+
+
+def _events(stream):
+    return [json.loads(line) for line in stream.getvalue().splitlines()]
+
+
+def test_silent_without_configuration():
+    # Must not raise, must not propagate to the logging root.
+    log_event("serve", "server_start", shards=2)
+    root = logging.getLogger(EVENT_LOGGER_ROOT)
+    assert root.propagate is False
+
+
+def test_event_logger_namespacing():
+    assert event_logger("serve").name == f"{EVENT_LOGGER_ROOT}.serve"
+
+
+def test_events_are_one_json_object_per_line(sink):
+    log_event("serve", "server_start", shards=2, backend="thread")
+    log_event("worker", "worker_death", level=logging.WARNING,
+              shard=1, exit_code=-9)
+    first, second = _events(sink)
+    assert first["component"] == "serve"
+    assert first["event"] == "server_start"
+    assert first["shards"] == 2
+    assert first["level"] == "info"
+    assert isinstance(first["ts"], float)
+    assert second == {**second, "component": "worker", "exit_code": -9,
+                      "level": "warning"}
+
+
+def test_level_filtering():
+    stream = io.StringIO()
+    handler = configure_event_log(stream=stream, level=logging.WARNING)
+    try:
+        log_event("serve", "chatter", level=logging.INFO)
+        log_event("serve", "problem", level=logging.WARNING)
+        events = _events(stream)
+        assert [e["event"] for e in events] == ["problem"]
+    finally:
+        remove_event_handler(handler)
+
+
+def test_reserved_keys_not_clobbered_by_fields(sink):
+    log_event("serve", "oddball", ts=0)
+    [event] = _events(sink)
+    assert event["ts"] != 0     # payload wins over same-named fields
+
+
+def test_non_json_fields_stringified(sink):
+    log_event("serve", "detail", error=ValueError("bad"))
+    [event] = _events(sink)
+    assert "bad" in event["error"]
+
+
+def test_file_sink(tmp_path):
+    path = tmp_path / "events.jsonl"
+    handler = configure_event_log(path=str(path))
+    try:
+        log_event("calib", "swap_promoted", shard=0, version=2)
+    finally:
+        remove_event_handler(handler)
+    [event] = [json.loads(line)
+               for line in path.read_text().splitlines()]
+    assert event["event"] == "swap_promoted"
+    assert event["version"] == 2
+
+
+def test_path_and_stream_mutually_exclusive(tmp_path):
+    with pytest.raises(ValueError):
+        configure_event_log(path=str(tmp_path / "x.jsonl"),
+                            stream=io.StringIO())

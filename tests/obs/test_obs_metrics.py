@@ -1,0 +1,134 @@
+"""Unit tests for the metrics instruments and registry export surface."""
+
+import json
+
+import pytest
+
+from repro.obs.metrics import (Counter, Gauge, Histogram, MetricsRegistry,
+                               ensure_registry)
+
+
+class TestCounter:
+    def test_inc_and_value(self):
+        counter = Counter("requests")
+        counter.inc()
+        counter.inc(2.5)
+        assert counter.value() == pytest.approx(3.5)
+
+    def test_labels_are_independent_series(self):
+        counter = Counter("requests")
+        counter.inc(shard=0)
+        counter.inc(3, shard=1)
+        assert counter.value(shard=0) == 1.0
+        assert counter.value(shard=1) == 3.0
+        assert counter.collect() == {
+            "requests{shard=0}": 1.0, "requests{shard=1}": 3.0}
+
+    def test_counters_only_go_up(self):
+        with pytest.raises(ValueError):
+            Counter("requests").inc(-1)
+
+
+class TestGauge:
+    def test_set_inc_value(self):
+        gauge = Gauge("depth")
+        gauge.set(5)
+        gauge.inc(-2)
+        assert gauge.value() == 3.0
+
+
+class TestHistogram:
+    def test_bucket_counts_are_cumulative(self):
+        hist = Histogram("latency_ms", buckets=(1.0, 10.0, 100.0))
+        for value in (0.5, 0.9, 5.0, 50.0, 5000.0):
+            hist.observe(value)
+        snap = hist.snapshot()
+        assert snap["count"] == 5
+        assert snap["buckets"] == {
+            "le_1": 2, "le_10": 3, "le_100": 4, "le_inf": 5}
+        assert snap["min"] == 0.5
+        assert snap["max"] == 5000.0
+        assert snap["mean"] == pytest.approx(5056.4 / 5)
+
+    def test_boundary_value_lands_in_its_bucket(self):
+        hist = Histogram("latency_ms", buckets=(1.0, 10.0))
+        hist.observe(1.0)
+        assert hist.snapshot()["buckets"]["le_1"] == 1
+
+    def test_empty_snapshot(self):
+        hist = Histogram("latency_ms")
+        assert hist.snapshot() == {"count": 0, "sum": 0.0}
+
+    def test_needs_buckets(self):
+        with pytest.raises(ValueError):
+            Histogram("latency_ms", buckets=())
+
+
+class TestMetricsRegistry:
+    def test_instruments_are_get_or_create(self):
+        registry = MetricsRegistry()
+        assert registry.counter("a") is registry.counter("a")
+
+    def test_kind_mismatch_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("a")
+        with pytest.raises(TypeError):
+            registry.gauge("a")
+
+    def test_duplicate_collector_requires_replace(self):
+        registry = MetricsRegistry()
+        registry.register_collector("serve", dict)
+        with pytest.raises(ValueError):
+            registry.register_collector("serve", dict)
+        registry.register_collector("serve", lambda: {"x": 1}, replace=True)
+        assert registry.export_dict()["serve"] == {"x": 1}
+
+    def test_export_dict_combines_collectors_and_instruments(self):
+        registry = MetricsRegistry()
+        registry.register_collector("serve", lambda: {"completed": 7})
+        registry.counter("rejects").inc(2)
+        out = registry.export_dict()
+        assert out["serve"] == {"completed": 7}
+        assert out["metrics"] == {"rejects": 2.0}
+        json.dumps(out)
+
+    def test_broken_collector_reported_in_band(self):
+        registry = MetricsRegistry()
+        registry.register_collector("serve", lambda: {"ok": 1})
+
+        def broken():
+            raise RuntimeError("boom")
+
+        registry.register_collector("calib", broken)
+        out = registry.export_dict()
+        assert out["serve"] == {"ok": 1}
+        assert "RuntimeError" in out["calib"]["error"]
+
+    def test_unregister_collector(self):
+        registry = MetricsRegistry()
+        registry.register_collector("serve", dict)
+        assert registry.components() == ["serve"]
+        registry.unregister_collector("serve")
+        assert registry.components() == []
+
+    def test_export_text_flattens_numeric_leaves(self):
+        registry = MetricsRegistry()
+        registry.register_collector("serve", lambda: {
+            "completed": 7, "uptime_s": 1.5, "backend": "thread",
+            "healthy": True, "shards": [2, 3]})
+        text = registry.export_text()
+        lines = set(text.strip().splitlines())
+        assert "serve.completed 7" in lines
+        assert "serve.uptime_s 1.5" in lines
+        assert "serve.healthy 1" in lines       # bools render as ints
+        assert "serve.shards.0 2" in lines
+        assert not any("backend" in line for line in lines)  # strings skipped
+
+    def test_export_text_empty_registry(self):
+        assert MetricsRegistry().export_text() == ""
+
+
+def test_ensure_registry():
+    registry = MetricsRegistry()
+    assert ensure_registry(registry) is registry
+    assert isinstance(ensure_registry(None), MetricsRegistry)

@@ -1,0 +1,159 @@
+"""Unit tests for trace contexts, sampling, and flight recording."""
+
+import json
+
+import pytest
+
+from repro.obs.trace import (FlightRecorder, TraceContext, Tracer,
+                             merge_spans)
+
+
+class TestTraceContext:
+    def test_duration_zero_until_finished(self):
+        trace = TraceContext(1, started_at=10.0)
+        assert not trace.finished
+        assert trace.duration_s == 0.0
+        trace.finish(10.5)
+        assert trace.finished
+        assert trace.duration_s == pytest.approx(0.5)
+
+    def test_sorted_spans_orders_by_start(self):
+        trace = TraceContext(1, started_at=0.0)
+        trace.add_span("b", 0.5, 0.7)
+        trace.add_span("a", 0.0, 0.5)
+        assert trace.span_names() == ["a", "b"]
+
+    def test_full_coverage_has_no_gaps(self):
+        trace = TraceContext(1, started_at=0.0)
+        trace.add_span("first", 0.0, 0.4)
+        trace.add_span("overlap", 0.3, 0.8)
+        trace.add_span("last", 0.8, 1.0)
+        trace.finish(1.0)
+        assert trace.gaps() == []
+
+    def test_uncovered_interval_is_a_gap(self):
+        trace = TraceContext(1, started_at=0.0)
+        trace.add_span("head", 0.0, 0.3)
+        trace.add_span("tail", 0.6, 1.0)
+        trace.finish(1.0)
+        assert trace.gaps() == [(0.3, 0.6)]
+
+    def test_trailing_gap_reported(self):
+        trace = TraceContext(1, started_at=0.0)
+        trace.add_span("head", 0.0, 0.4)
+        trace.finish(1.0)
+        assert trace.gaps() == [(0.4, 1.0)]
+
+    def test_epsilon_tolerates_micro_gaps(self):
+        trace = TraceContext(1, started_at=0.0)
+        trace.add_span("head", 0.0, 0.5)
+        trace.add_span("tail", 0.5005, 1.0)
+        trace.finish(1.0)
+        assert trace.gaps() != []
+        assert trace.gaps(epsilon_s=1e-3) == []
+
+    def test_to_dict_rebases_onto_start(self):
+        trace = TraceContext(7, started_at=100.0)
+        trace.add_span("stage", 100.1, 100.2)
+        trace.finish(100.25)
+        payload = trace.to_dict()
+        assert payload["trace_id"] == 7
+        assert payload["duration_ms"] == pytest.approx(250.0)
+        [span] = payload["spans"]
+        assert span["start_ms"] == pytest.approx(100.0)
+        assert span["end_ms"] == pytest.approx(200.0)
+        json.dumps(payload)   # JSON-safe
+
+
+class TestFlightRecorder:
+    @staticmethod
+    def _trace(trace_id, duration):
+        trace = TraceContext(trace_id, started_at=0.0)
+        trace.finish(duration)
+        return trace
+
+    def test_retains_n_slowest_in_order(self):
+        recorder = FlightRecorder(max_slowest=3, sample_size=0)
+        for i in range(20):
+            recorder.record(self._trace(i, duration=float(i)))
+        assert recorder.recorded == 20
+        assert [t.trace_id for t in recorder.slowest()] == [19, 18, 17]
+
+    def test_sample_is_bounded(self):
+        recorder = FlightRecorder(max_slowest=0, sample_size=8, seed=1)
+        for i in range(100):
+            recorder.record(self._trace(i, duration=1.0))
+        assert len(recorder.sample()) == 8
+        assert recorder.recorded == 100
+
+    def test_find_and_clear(self):
+        recorder = FlightRecorder(max_slowest=4, sample_size=4)
+        recorder.record(self._trace(42, duration=1.0))
+        assert recorder.find(42) is not None
+        assert recorder.find(43) is None
+        recorder.clear()
+        assert recorder.recorded == 0
+        assert recorder.find(42) is None
+
+    def test_traces_deduplicates_slow_and_sampled(self):
+        recorder = FlightRecorder(max_slowest=4, sample_size=4)
+        recorder.record(self._trace(1, duration=1.0))
+        assert len(recorder.traces()) == 1
+
+    def test_stats_and_dump_are_json_safe(self):
+        recorder = FlightRecorder(max_slowest=2, sample_size=2)
+        recorder.record(self._trace(1, duration=0.25))
+        stats = recorder.stats()
+        assert stats["recorded"] == 1.0
+        assert stats["slowest_ms"] == pytest.approx(250.0)
+        json.dumps(recorder.dump())
+
+    def test_negative_sizes_rejected(self):
+        with pytest.raises(ValueError):
+            FlightRecorder(max_slowest=-1)
+
+
+class TestTracer:
+    def test_rate_validation(self):
+        with pytest.raises(ValueError):
+            Tracer(sample_rate=1.5)
+        with pytest.raises(ValueError):
+            Tracer(sample_rate=-0.1)
+
+    def test_rate_zero_never_samples(self):
+        tracer = Tracer(0.0)
+        assert not tracer.enabled
+        assert all(tracer.sample() is None for _ in range(50))
+
+    def test_rate_one_always_samples(self):
+        tracer = Tracer(1.0)
+        ids = [tracer.sample().trace_id for _ in range(5)]
+        assert ids == [1, 2, 3, 4, 5]   # 0 means "no trace" on the wire
+
+    def test_fractional_rate_is_deterministic(self):
+        tracer = Tracer(0.1)
+        sampled = [tracer.sample() is not None for _ in range(30)]
+        assert sum(sampled) == 3
+        # exactly every 10th request, not a random 10%
+        assert [i for i, hit in enumerate(sampled) if hit] == [9, 19, 29]
+
+    def test_start_forces_a_context(self):
+        tracer = Tracer(0.0)
+        assert tracer.start() is not None
+
+    def test_record_finishes_and_retains(self):
+        recorder = FlightRecorder()
+        tracer = Tracer(1.0, recorder)
+        trace = tracer.sample()
+        tracer.record(trace)
+        assert trace.finished
+        assert recorder.recorded == 1
+
+
+def test_merge_spans_attaches_by_trace_id():
+    a, b = TraceContext(1, started_at=0.0), TraceContext(2, started_at=0.0)
+    attached = merge_spans(
+        [a, b], {1: [("worker", 0.1, 0.2)], 3: [("orphan", 0.0, 0.1)]})
+    assert attached == 1
+    assert a.span_names() == ["worker"]
+    assert b.span_names() == []

@@ -112,3 +112,25 @@ class TestReportMath:
                             rejected=0, traces_done=0, elapsed_s=0.0)
         assert np.isnan(report.latency_ms(50))
         assert report.throughput_rps() == 0.0
+
+    def test_percentile_math_pinned(self):
+        # 2000 known latencies: every percentile is an exact function of
+        # np.percentile over the full (unwindowed) retained array, so
+        # p999 is a real order statistic, not an extrapolation.
+        latencies_s = np.arange(1, 2001) / 1000.0   # 1ms .. 2000ms
+        report = LoadReport(pattern="x", requests=2000, completed=2000,
+                            rejected=0, traces_done=2000, elapsed_s=2.0,
+                            latencies_s=latencies_s)
+        for percentile in (50, 95, 99, 99.9):
+            expected = 1000.0 * float(np.percentile(latencies_s, percentile))
+            assert report.latency_ms(percentile) == pytest.approx(expected)
+        assert report.latency_ms(99.9) == pytest.approx(1998.001)
+
+    def test_summary_reports_full_tail(self):
+        report = LoadReport(pattern="x", requests=4, completed=4,
+                            rejected=0, traces_done=4, elapsed_s=1.0,
+                            latencies_s=np.array([0.001, 0.002, 0.003, 0.1]))
+        summary = report.summary()
+        assert (summary["p50_ms"] <= summary["p95_ms"]
+                <= summary["p99_ms"] <= summary["p999_ms"])
+        assert summary["p999_ms"] == pytest.approx(100.0, rel=0.01)

@@ -155,3 +155,62 @@ class TestHotPathCounters:
         assert snapshot["ring_flushes"] == 2
         assert snapshot["ring_batches"] == 4
         assert snapshot["ring_coalesce_ratio"] == 2.0
+
+
+class TestTailPercentiles:
+    def test_percentile_key_pinned(self):
+        from repro.serve import LATENCY_PERCENTILES, percentile_key
+        assert LATENCY_PERCENTILES == (50, 95, 99, 99.9)
+        assert percentile_key(50) == "p50_ms"
+        assert percentile_key(99.9) == "p999_ms"
+
+    def test_snapshot_reports_p999(self):
+        stats = ServerStats()
+        for latency in np.linspace(0.001, 1.0, 2000):
+            stats.record_done(1, float(latency), now=1.0)
+        snapshot = stats.snapshot()
+        assert (snapshot["p50_ms"] <= snapshot["p95_ms"]
+                <= snapshot["p99_ms"] <= snapshot["p999_ms"])
+        # The default window (8192) holds all 2000 samples, so p999 is
+        # real order-statistic math, pinned against numpy directly.
+        expected = 1000.0 * float(np.percentile(
+            np.linspace(0.001, 1.0, 2000), 99.9))
+        assert snapshot["p999_ms"] == pytest.approx(expected)
+
+
+class TestLifecycleEdges:
+    def test_snapshot_before_any_traffic(self):
+        # Regression: every derived metric must be well-defined on a
+        # fresh server — throughput/uptime 0.0, never None or an error.
+        snapshot = ServerStats().snapshot()
+        assert snapshot["throughput_traces_per_s"] == 0.0
+        assert snapshot["uptime_s"] == 0.0
+
+    def test_throughput_zero_between_submit_and_first_completion(self):
+        stats = ServerStats()
+        stats.record_submit(4, now=1.0)
+        assert stats.snapshot()["throughput_traces_per_s"] == 0.0
+        assert stats.throughput_traces_per_s() == 0.0
+        # Uptime starts ticking at the first submission, though.
+        assert stats.uptime_s() >= 0.0
+        stats.record_done(4, 0.01, now=2.0)
+        assert stats.snapshot()["throughput_traces_per_s"] == \
+            pytest.approx(4.0)
+
+    def test_completion_at_submit_instant_is_zero_not_inf(self):
+        stats = ServerStats()
+        stats.record_submit(1, now=1.0)
+        stats.record_done(1, 0.0, now=1.0)
+        assert stats.snapshot()["throughput_traces_per_s"] == 0.0
+
+    def test_register_into_registry(self):
+        from repro.obs import MetricsRegistry
+        stats = ServerStats()
+        registry = MetricsRegistry()
+        stats.register_into(registry)
+        stats.record_submit(2, now=1.0)
+        stats.record_done(2, 0.01, now=2.0)
+        exported = registry.export_dict()["serve"]
+        assert exported["completed"] == 1
+        assert exported["traces_done"] == 2
+        assert "serve.completed 1" in registry.export_text()
