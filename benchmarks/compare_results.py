@@ -44,7 +44,7 @@ from typing import Dict, Iterator, List, Optional, Tuple
 #: across machines).
 QUALITY_PATTERNS = ("speedup", "fidelity", "accuracy", "recovered_fraction",
                     "sharing_ratio", "throughput_ratio", "reuse_ratio",
-                    "coalesce_ratio", "overhead_ratio")
+                    "coalesce_ratio", "overhead_ratio", "quiet_ratio")
 
 #: Machine-dependent higher-is-better metrics, compared only with
 #: ``--include-absolute``.

@@ -30,12 +30,17 @@ block (dispatch lag percentiles, slab reuse, ring coalescing); run with
 thread and the client submit path into the results dir.
 
 Part 3 — observability cost: the same single-shard serving workload on
-three identical servers — tracing off, every request traced
-(``trace_sample_rate=1.0``), and off again — interleaved repeats, medians.
-``data["obs"]["span_overhead_ratio"]`` (traced / baseline throughput) is
-the headline: it must stay ~1.0 (spans are cheap perf_counter pairs), and
-the trailing off arm (``span_overhead_ratio_off``) separates real tracer
-cost from machine drift between arms. The bench preamble also runs
+four identical servers — tracing off, every request traced
+(``trace_sample_rate=1.0``), continuous telemetry+alerting at a 20 ms
+interval, and off again — interleaved repeats, medians.
+``data["obs"]["span_overhead_ratio"]`` (traced / baseline throughput) and
+``sampler_overhead_ratio`` (telemetry / baseline) are the headlines: both
+must stay ~1.0 (spans are cheap perf_counter pairs; the sampler polls off
+the hot path), and the trailing off arm (``span_overhead_ratio_off``)
+separates real instrumentation cost from machine drift between arms. The
+telemetry arm also counts default-rule alert firings under this clean
+load — ``alert_false_positives`` must be 0 (gated through
+``alert_quiet_ratio``). The bench preamble also runs
 ``ReadoutServer.healthcheck`` and records its per-shard verdicts, so a
 sick runner fails loudly before any numbers are published.
 """
@@ -92,28 +97,34 @@ OBS_REPEATS = 5
 
 
 def _span_overhead(designs, device, test):
-    """Throughput cost of request tracing, measured A/B/A.
+    """Throughput cost of tracing and telemetry, measured A/B/B'/A.
 
-    Three identical single-shard servers — sampling off, every request
-    traced, off again — driven in interleaved repeat rounds. The
-    reported ratios are *medians of per-round ratios*: within one round
-    the arms run back to back, so a slow frequency/load drift across
-    the measurement cancels out of each round's quotient instead of
-    polluting a cross-arm median. ``span_overhead_ratio`` is
-    traced/baseline throughput; ``span_overhead_ratio_off`` (second
+    Four identical single-shard servers — sampling off, every request
+    traced, continuous telemetry+alerting at a 20 ms interval, off
+    again — driven in interleaved repeat rounds. The reported ratios
+    are *medians of per-round ratios*: within one round the arms run
+    back to back, so a slow frequency/load drift across the measurement
+    cancels out of each round's quotient instead of polluting a
+    cross-arm median. ``span_overhead_ratio`` is traced/baseline
+    throughput; ``sampler_overhead_ratio`` is telemetry/baseline (the
+    monitoring loop must be ~free); ``span_overhead_ratio_off`` (second
     off arm / first) is the noise floor — when it strays from 1.0 the
-    machine moved within rounds, and the traced ratio carries the same
-    uncertainty.
+    machine moved within rounds, and the other ratios carry the same
+    uncertainty. The telemetry arm also reports how often the default
+    alert rules fired under this clean load — any firing is a false
+    positive (``alert_quiet_ratio`` gates it as 1.0 = silent).
     """
     [feedline] = plan_feedlines(test.n_qubits, 1)
 
-    def make_server(rate):
+    def make_server(rate, **kwargs):
         return ReadoutServer(
             [ServeShard(feedline=feedline, engine=ReadoutEngine(designs),
                         device=device)],
-            max_batch_traces=512, max_wait_ms=1.0, trace_sample_rate=rate)
+            max_batch_traces=512, max_wait_ms=1.0, trace_sample_rate=rate,
+            **kwargs)
 
     arms = {"off": make_server(0.0), "traced": make_server(1.0),
+            "telemetry": make_server(0.0, telemetry_interval_s=0.02),
             "off_again": make_server(0.0)}
     tps = {name: [] for name in arms}
     try:
@@ -128,21 +139,36 @@ def _span_overhead(designs, device, test):
                         f"{run.failed} failed, {run.rejected} rejected)")
                 tps[name].append(run.traces_per_s())
         recorded = arms["traced"].flight_recorder.recorded
+        telemetry_arm = arms["telemetry"]
+        telemetry_samples = telemetry_arm.telemetry.samples
+        alert_false_positives = telemetry_arm.alerts.total_fired()
     finally:
         for server in arms.values():
             server.stop()
+    # stop() runs one final telemetry tick; count fires after it too so a
+    # rule tripped by shutdown itself would still register as a false
+    # positive here.
+    alert_false_positives = max(alert_false_positives,
+                                telemetry_arm.alerts.total_fired())
     median = {name: float(np.median(values)) for name, values in tps.items()}
     per_round = {
         name: float(np.median([a / b for a, b in zip(tps[name], tps["off"])]))
-        for name in ("traced", "off_again")
+        for name in ("traced", "telemetry", "off_again")
     }
     return {
         "baseline_tps": median["off"],
         "traced_tps": median["traced"],
         "span_overhead_ratio": per_round["traced"],
+        "sampler_overhead_ratio": per_round["telemetry"],
         "span_overhead_ratio_off": per_round["off_again"],
         "trace_sample_rate": 1.0,
         "recorded_traces": recorded,
+        "telemetry_samples": telemetry_samples,
+        "alert_false_positives": alert_false_positives,
+        # Gate-friendly encoding of "zero false positives": 1.0 when the
+        # default rules stayed silent under clean load, 0.0 otherwise
+        # (compare_results.py treats *_ratio drops as regressions).
+        "alert_quiet_ratio": 1.0 if alert_false_positives == 0 else 0.0,
     }
 
 
@@ -448,6 +474,14 @@ def test_bench_serve(benchmark, record_result, profile_mode, results_dir):
     assert obs["recorded_traces"] > 0
     assert obs["span_overhead_ratio"] >= 0.85, obs
     assert obs["span_overhead_ratio_off"] >= 0.85, obs
+    # The continuous-monitoring arm: polling the registry every 20 ms
+    # must be invisible to throughput, the sampler must actually have
+    # sampled, and the default alert rules must stay silent on clean
+    # load (any firing here is a false positive).
+    assert obs["sampler_overhead_ratio"] >= 0.85, obs
+    assert obs["telemetry_samples"] > 0, obs
+    assert obs["alert_false_positives"] == 0, obs
+    assert obs["alert_quiet_ratio"] == 1.0, obs
 
     # The measured numbers are tracked as machine-readable JSON.
     payload = json.loads(json_result_path(result.experiment).read_text())
@@ -457,3 +491,5 @@ def test_bench_serve(benchmark, record_result, profile_mode, results_dir):
     assert "thread_speedup_2shards" in payload["data"]["scaling"]
     assert "slab_reuse_ratio" in payload["data"]["dispatch"]["served"]
     assert "span_overhead_ratio" in payload["data"]["obs"]
+    assert "sampler_overhead_ratio" in payload["data"]["obs"]
+    assert "alert_quiet_ratio" in payload["data"]["obs"]

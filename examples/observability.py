@@ -13,21 +13,26 @@ for:
 3. ``server.healthcheck()``: one probe through the full pipeline, a
    per-shard healthy/unhealthy verdict,
 4. the unified :class:`~repro.obs.metrics.MetricsRegistry`: server,
-   engine, and flight-recorder counters in one exportable snapshot.
+   engine, and flight-recorder counters in one exportable snapshot,
+5. continuous telemetry (``telemetry_interval_s``): a background sampler
+   polling that registry into windowed time series, with the default
+   SLO alert rules evaluating every sample,
+6. a postmortem debug bundle (``write_debug_bundle``) capturing all of
+   the above in one directory, rendered by the ops console.
 
 Answering "why is p99 high?" becomes: find the slowest retained trace,
 read its span breakdown, and see which stage ate the time.
 
 Run:  PYTHONPATH=src python examples/observability.py \
-          [--events events.jsonl] [--metrics metrics.json]
+          [--events events.jsonl] [--bundle bundle_dir]
 """
 
 import argparse
-import json
 
 import numpy as np
 
 from repro.core import FAST_CONFIG
+from repro.obs import render_console, write_debug_bundle
 from repro.obs.log import configure_event_log
 from repro.readout import five_qubit_paper_device, generate_dataset
 from repro.serve import build_sharded_server, closed_loop
@@ -39,8 +44,8 @@ def main():
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--events", default="observability_events.jsonl",
                         help="JSONL event-log sink (default: %(default)s)")
-    parser.add_argument("--metrics", default="observability_metrics.json",
-                        help="metrics dump path (default: %(default)s)")
+    parser.add_argument("--bundle", default="observability_bundle",
+                        help="debug-bundle directory (default: %(default)s)")
     args = parser.parse_args()
 
     # 1. Event log: every lifecycle edge lands in this file as one JSON
@@ -54,10 +59,11 @@ def main():
     train, val, test = data.split(np.random.default_rng(8), 0.5, 0.1)
 
     print(f"calibrating {DESIGNS}, 2 feedline shards, tracing every "
-          f"request...")
+          f"request, telemetry every 50 ms...")
     server = build_sharded_server(DESIGNS, train, val, n_shards=2,
                                   training=FAST_CONFIG, max_wait_ms=1.0,
-                                  trace_sample_rate=1.0)
+                                  trace_sample_rate=1.0,
+                                  telemetry_interval_s=0.05)
     with server:
         # 2. Health check before traffic: one probe, per-shard verdicts.
         report = server.healthcheck(budget_s=10.0)
@@ -95,13 +101,25 @@ def main():
             if any(k in line for k in ("submitted", "completed", "batches",
                                        "recorded", "slowest_ms")):
                 print(f"  {line}")
-        dump = {"metrics": server.metrics.export_dict(),
-                "healthcheck": report.as_dict(),
-                "flight_recorder": recorder.dump()}
 
-    with open(args.metrics, "w") as fh:
-        json.dump(dump, fh, indent=2, sort_keys=True, default=str)
-    print(f"\nfull metrics + healthcheck + trace dump -> {args.metrics}")
+        # 5. The background sampler has been folding that registry into
+        # windowed time series the whole time; the default alert rules
+        # judged every sample and stayed quiet on this clean load.
+        store = server.telemetry.store
+        print(f"\ntelemetry: {int(server.telemetry.samples)} samples, "
+              f"~{store.rate('serve.completed', window_s=30.0) or 0.0:,.0f} "
+              f"requests/s over the last window, "
+              f"{len(server.alerts.active())} alerts firing")
+
+        # 6. Everything above, snapshotted into one postmortem directory.
+        bundle = write_debug_bundle(args.bundle, server=server,
+                                    event_log_path=args.events)
+    print(f"\ndebug bundle -> {bundle}")
+
+    # The ops console renders a saved bundle (or a live server) as a
+    # plain-text dashboard; `python -m repro.obs.console <dir>` does the
+    # same from a shell.
+    print(render_console(bundle))
 
 
 if __name__ == "__main__":

@@ -7,7 +7,9 @@ micro-batching :class:`~repro.serve.ReadoutServer`:
 
 1. synchronous and ``asyncio`` submissions,
 2. a closed-loop load test vs the naive per-request path,
-3. the server's latency percentiles and batching counters.
+3. the server's latency percentiles and batching counters,
+4. signal-safe operation: SIGTERM/Ctrl-C writes a debug bundle and
+   drains the server instead of dropping in-flight requests.
 
 Run:  PYTHONPATH=src python examples/serve_readout.py
 """
@@ -19,6 +21,7 @@ import numpy as np
 
 from repro.core import FAST_CONFIG, make_design
 from repro.engine import ReadoutEngine
+from repro.obs import install_signal_handlers
 from repro.readout import five_qubit_paper_device, generate_dataset
 from repro.serve import build_sharded_server, closed_loop
 
@@ -36,7 +39,10 @@ def main():
     server = build_sharded_server(DESIGNS, train, val, n_shards=2,
                                   training=FAST_CONFIG, max_wait_ms=1.0)
 
-    with server:
+    # SIGTERM/Ctrl-C writes a debug bundle and drains in-flight requests
+    # before exiting (a second signal force-quits).
+    with server, install_signal_handlers(server,
+                                         bundle_dir="serve_readout_bundle"):
         # Prove both shards answer end to end before sending traffic.
         health = server.healthcheck(budget_s=10.0)
         worst_rtt = max(s.round_trip_ms for s in health.shards)

@@ -313,6 +313,10 @@ class CalibrationWorker:
             if self._started:
                 return self
             self._started = True
+            # The worker's counters join the server's registry, so one
+            # telemetry sampler (and the alert rules riding it) sees the
+            # maintenance loop alongside serving traffic.
+            self.register_into(self.server.metrics)
             self._thread = threading.Thread(
                 target=self._run, name="calib-worker", daemon=True)
             self._thread.start()

@@ -1,7 +1,7 @@
-"""Dependency-free observability: tracing, metrics, structured events.
+"""Dependency-free observability: tracing, metrics, events, monitoring.
 
-Three small, stdlib-only building blocks shared by every layer of the
-stack (serve, engine, calib, worker):
+Small, stdlib-only building blocks shared by every layer of the stack
+(serve, engine, calib, worker):
 
 - :mod:`repro.obs.trace` — per-request ``TraceContext`` spans on one
   monotonic clock, sampled by a ``Tracer`` and retained by a bounded
@@ -12,23 +12,79 @@ stack (serve, engine, calib, worker):
 - :mod:`repro.obs.log` — JSONL structured events over stdlib
   ``logging`` with per-component child loggers; silent until
   ``configure_event_log`` attaches a sink.
+- :mod:`repro.obs.timeseries` — a ``TelemetrySampler`` thread polling
+  the registry into a bounded ``TelemetryStore`` of per-metric rate
+  history (windowed deltas/rates, p99-from-histogram).
+- :mod:`repro.obs.alerts` — declarative ``AlertRule``s and ``SLO``
+  objectives evaluated per sample by an edge-triggered
+  ``AlertManager``.
+- :mod:`repro.obs.bundle` — ``write_debug_bundle`` / ``load_bundle``:
+  one directory capturing metrics, telemetry, traces, health, and the
+  event-log tail for postmortems.
+- :mod:`repro.obs.console` — the plain-text ops dashboard
+  (``python -m repro.obs.console <bundle_dir>``).
+- :mod:`repro.obs.signals` — ``install_signal_handlers``: SIGTERM/
+  SIGINT → bundle + drain + clean exit.
 """
 
+from repro.obs.alerts import (SLO, AlertManager, AlertRule, AlertState,
+                              ErrorBudgetRule, SeriesRule, default_rules)
 from repro.obs.log import (EVENT_LOGGER_ROOT, JsonlFormatter,
-                           configure_event_log, log_event)
+                           configure_event_log, event_log_paths,
+                           log_event)
 from repro.obs.metrics import (Counter, Gauge, Histogram, MetricsRegistry)
+from repro.obs.signals import SignalHandle, install_signal_handlers
+from repro.obs.timeseries import (TelemetrySampler, TelemetryStore,
+                                  flatten_numeric)
 from repro.obs.trace import FlightRecorder, TraceContext, Tracer
 
+# bundle and console are runnable (`python -m repro.obs.console`); loading
+# them eagerly here would make runpy warn about re-execution, so their
+# names resolve lazily (PEP 562).
+_LAZY = {
+    "load_bundle": "repro.obs.bundle",
+    "write_debug_bundle": "repro.obs.bundle",
+    "build_payload": "repro.obs.console",
+    "render_console": "repro.obs.console",
+    "sparkline": "repro.obs.console",
+}
+
+
+def __getattr__(name: str):
+    module_name = _LAZY.get(name)
+    if module_name is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    import importlib
+    return getattr(importlib.import_module(module_name), name)
+
 __all__ = [
+    "AlertManager",
+    "AlertRule",
+    "AlertState",
     "Counter",
     "EVENT_LOGGER_ROOT",
+    "ErrorBudgetRule",
     "FlightRecorder",
     "Gauge",
     "Histogram",
     "JsonlFormatter",
     "MetricsRegistry",
+    "SLO",
+    "SeriesRule",
+    "SignalHandle",
+    "TelemetrySampler",
+    "TelemetryStore",
     "TraceContext",
     "Tracer",
+    "build_payload",
     "configure_event_log",
+    "default_rules",
+    "event_log_paths",
+    "flatten_numeric",
+    "install_signal_handlers",
+    "load_bundle",
     "log_event",
+    "render_console",
+    "sparkline",
+    "write_debug_bundle",
 ]

@@ -1,0 +1,443 @@
+"""SLO objectives and edge-triggered alert rules over telemetry.
+
+Rules are declarative descriptions of "something is wrong" evaluated
+against a :class:`~repro.obs.timeseries.TelemetryStore` on every
+telemetry sample:
+
+- :class:`SeriesRule` — a static threshold on a series' current value,
+  or on its windowed ``delta``/``rate`` (so "any worker death in the
+  last 30 s" and "rejects/s above 50" are both one-liners).
+- :class:`ErrorBudgetRule` — burn-rate alerting against an availability
+  :class:`SLO`: fires when the windowed error fraction consumes the
+  error budget faster than ``burn_factor`` times the sustainable rate
+  (the classic multi-window burn alert, single-window here).
+
+:class:`AlertManager` is the evaluator. It is **edge-triggered**, the
+same discipline the calibration drift monitors use: one
+``alert_firing`` event on the False→True transition, one
+``alert_resolved`` on True→False, and silence in between — a
+worker-death alert fires *exactly once* per episode no matter how many
+samples observe the same death. Active alerts are exported as an
+``alerts_active`` gauge plus an ``alerts`` collector snapshot, and the
+fire transition can run a callback — the server uses that to write a
+postmortem debug bundle the moment a critical rule trips.
+
+A rule whose series has never been sampled is *inactive* (None), not
+firing: absence of evidence never pages anyone. NaN values (e.g.
+``serve.p99_ms`` before any traffic) compare False and likewise never
+fire.
+"""
+
+from __future__ import annotations
+
+import logging
+import math
+import threading
+from typing import (Callable, Dict, List, Optional, Sequence, Tuple,
+                    Union)
+
+from repro.obs.log import log_event
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.timeseries import TelemetryStore
+
+__all__ = ["AlertManager", "AlertRule", "AlertState", "ErrorBudgetRule",
+           "SLO", "SeriesRule", "default_rules"]
+
+_OPS: Dict[str, Callable[[float, float], bool]] = {
+    ">": lambda a, b: a > b,
+    ">=": lambda a, b: a >= b,
+    "<": lambda a, b: a < b,
+    "<=": lambda a, b: a <= b,
+}
+
+
+class SLO:
+    """A service-level objective: a target fraction over a window.
+
+    ``objective`` is the *good* fraction (0.999 availability = at most
+    0.1% of requests rejected/shed/failed over ``window_s``). The error
+    budget is ``1 - objective``; burn-rate rules compare the observed
+    error fraction against multiples of that budget.
+    """
+
+    def __init__(self, name: str, objective: float,
+                 window_s: float = 300.0) -> None:
+        if not 0.0 < objective < 1.0:
+            raise ValueError(
+                f"objective must be in (0, 1), got {objective}")
+        if window_s <= 0:
+            raise ValueError(f"window_s must be positive, got {window_s}")
+        self.name = name
+        self.objective = float(objective)
+        self.window_s = float(window_s)
+
+    @property
+    def error_budget(self) -> float:
+        return 1.0 - self.objective
+
+    def to_dict(self) -> Dict[str, object]:
+        return {"name": self.name, "objective": self.objective,
+                "window_s": self.window_s,
+                "error_budget": self.error_budget}
+
+
+class AlertRule:
+    """Base class: a named condition over the telemetry store.
+
+    Subclasses implement :meth:`active`, returning True (condition
+    holds), False (condition does not hold), or None (cannot be
+    evaluated yet — missing series). ``capture_bundle`` marks rules
+    whose firing should trigger an automatic postmortem bundle.
+    """
+
+    def __init__(self, name: str, *, severity: str = "warning",
+                 description: str = "",
+                 capture_bundle: bool = False) -> None:
+        self.name = name
+        self.severity = severity
+        self.description = description
+        self.capture_bundle = bool(capture_bundle)
+
+    def active(self, store: TelemetryStore,
+               now: Optional[float] = None) -> Optional[bool]:
+        raise NotImplementedError
+
+    def detail(self, store: TelemetryStore,
+               now: Optional[float] = None) -> Dict[str, object]:
+        """Extra fields for the firing/resolved event (best effort)."""
+        return {}
+
+    def to_dict(self) -> Dict[str, object]:
+        return {"name": self.name, "severity": self.severity,
+                "description": self.description,
+                "capture_bundle": self.capture_bundle}
+
+
+def _sum_series(store: TelemetryStore, names: Sequence[str], mode: str,
+                window_s: float, now: Optional[float]
+                ) -> Optional[float]:
+    """Sum of value/delta/rate across series; None if none exist."""
+    total = None
+    for name in names:
+        if mode == "value":
+            value = store.latest(name)
+        elif mode == "delta":
+            value = store.delta(name, window_s, now)
+        else:
+            value = store.rate(name, window_s, now)
+        if value is None or math.isnan(value):
+            continue
+        total = value if total is None else total + value
+    return total
+
+
+class SeriesRule(AlertRule):
+    """Threshold on a series' current value, windowed delta, or rate.
+
+    ``series`` may be one name or a sequence summed together (rejects +
+    sheds make one backpressure signal). ``mode`` selects what is
+    compared: ``"value"`` (latest sample), ``"delta"`` (change over
+    ``window_s``), or ``"rate"`` (per-second change over ``window_s``).
+    """
+
+    def __init__(self, name: str, series: Union[str, Sequence[str]],
+                 threshold: float, *, mode: str = "value",
+                 op: str = ">", window_s: float = 30.0,
+                 severity: str = "warning", description: str = "",
+                 capture_bundle: bool = False) -> None:
+        super().__init__(name, severity=severity, description=description,
+                         capture_bundle=capture_bundle)
+        if mode not in ("value", "delta", "rate"):
+            raise ValueError(f"unknown mode {mode!r}")
+        if op not in _OPS:
+            raise ValueError(f"unknown op {op!r}")
+        if window_s <= 0:
+            raise ValueError(f"window_s must be positive, got {window_s}")
+        self.series: Tuple[str, ...] = ((series,)
+                                        if isinstance(series, str)
+                                        else tuple(series))
+        if not self.series:
+            raise ValueError("rule needs at least one series")
+        self.threshold = float(threshold)
+        self.mode = mode
+        self.op = op
+        self.window_s = float(window_s)
+
+    def observed(self, store: TelemetryStore,
+                 now: Optional[float] = None) -> Optional[float]:
+        return _sum_series(store, self.series, self.mode,
+                           self.window_s, now)
+
+    def active(self, store: TelemetryStore,
+               now: Optional[float] = None) -> Optional[bool]:
+        observed = self.observed(store, now)
+        if observed is None:
+            return None
+        return _OPS[self.op](observed, self.threshold)
+
+    def detail(self, store: TelemetryStore,
+               now: Optional[float] = None) -> Dict[str, object]:
+        return {"series": list(self.series), "mode": self.mode,
+                "observed": self.observed(store, now),
+                "op": self.op, "threshold": self.threshold,
+                "window_s": self.window_s}
+
+    def to_dict(self) -> Dict[str, object]:
+        base = super().to_dict()
+        base.update({"series": list(self.series), "mode": self.mode,
+                     "op": self.op, "threshold": self.threshold,
+                     "window_s": self.window_s})
+        return base
+
+
+class ErrorBudgetRule(AlertRule):
+    """Burn-rate alert against an availability :class:`SLO`.
+
+    Over the SLO window, ``error_rate = error_delta / total_delta``
+    (both windowed deltas of cumulative counters). The *burn* is
+    ``error_rate / error_budget`` — 1.0 means the budget is being
+    consumed exactly as fast as the objective allows; the rule fires at
+    ``burn_factor`` times that. ``min_events`` suppresses evaluation on
+    tiny denominators, where one rejected request of three would read
+    as a 333x burn.
+    """
+
+    def __init__(self, name: str, slo: SLO, *,
+                 error_series: Union[str, Sequence[str]],
+                 total_series: Union[str, Sequence[str]],
+                 burn_factor: float = 1.0, min_events: int = 20,
+                 severity: str = "critical", description: str = "",
+                 capture_bundle: bool = False) -> None:
+        super().__init__(name, severity=severity, description=description,
+                         capture_bundle=capture_bundle)
+        if burn_factor <= 0:
+            raise ValueError(
+                f"burn_factor must be positive, got {burn_factor}")
+        self.slo = slo
+        self.error_series = ((error_series,)
+                             if isinstance(error_series, str)
+                             else tuple(error_series))
+        self.total_series = ((total_series,)
+                             if isinstance(total_series, str)
+                             else tuple(total_series))
+        self.burn_factor = float(burn_factor)
+        self.min_events = int(min_events)
+
+    def burn(self, store: TelemetryStore,
+             now: Optional[float] = None) -> Optional[float]:
+        window = self.slo.window_s
+        errors = _sum_series(store, self.error_series, "delta",
+                             window, now)
+        total = _sum_series(store, self.total_series, "delta",
+                            window, now)
+        if errors is None or total is None:
+            return None
+        events = errors + total  # total counts successes in this stack
+        if events < self.min_events:
+            return None
+        error_rate = errors / events if events > 0 else 0.0
+        return error_rate / self.slo.error_budget
+
+    def active(self, store: TelemetryStore,
+               now: Optional[float] = None) -> Optional[bool]:
+        burn = self.burn(store, now)
+        if burn is None:
+            return None
+        return burn >= self.burn_factor
+
+    def detail(self, store: TelemetryStore,
+               now: Optional[float] = None) -> Dict[str, object]:
+        return {"slo": self.slo.to_dict(),
+                "burn": self.burn(store, now),
+                "burn_factor": self.burn_factor,
+                "error_series": list(self.error_series),
+                "total_series": list(self.total_series)}
+
+    def to_dict(self) -> Dict[str, object]:
+        base = super().to_dict()
+        base.update({"slo": self.slo.to_dict(),
+                     "burn_factor": self.burn_factor,
+                     "min_events": self.min_events,
+                     "error_series": list(self.error_series),
+                     "total_series": list(self.total_series)})
+        return base
+
+
+class AlertState:
+    """Mutable evaluation state of one rule inside a manager."""
+
+    __slots__ = ("rule", "firing", "fired_count", "resolved_count",
+                 "last_transition", "last_detail")
+
+    def __init__(self, rule: AlertRule) -> None:
+        self.rule = rule
+        self.firing = False
+        self.fired_count = 0
+        self.resolved_count = 0
+        self.last_transition: Optional[float] = None
+        self.last_detail: Dict[str, object] = {}
+
+    def to_dict(self) -> Dict[str, object]:
+        return {"rule": self.rule.to_dict(), "firing": self.firing,
+                "fired_count": self.fired_count,
+                "resolved_count": self.resolved_count,
+                "last_transition": self.last_transition,
+                "last_detail": self.last_detail}
+
+
+class AlertManager:
+    """Evaluates rules on each telemetry sample, edge-triggered.
+
+    On a False→True transition: ``repro.events.alerts`` gets an
+    ``alert_firing`` event, ``fired_count`` increments, and ``on_fire``
+    (if given) runs with the rule's :class:`AlertState` — exceptions in
+    the callback are counted, never propagated (a broken bundle writer
+    must not take down monitoring). True→False logs ``alert_resolved``.
+    No transition, no output. With a registry attached the manager
+    exports an ``alerts_active`` gauge and an ``alerts`` collector
+    snapshot of every rule's state.
+    """
+
+    def __init__(self, rules: Sequence[AlertRule], *,
+                 registry: Optional[MetricsRegistry] = None,
+                 on_fire: Optional[Callable[[AlertState], None]] = None,
+                 on_resolve: Optional[Callable[[AlertState], None]] = None
+                 ) -> None:
+        names = [rule.name for rule in rules]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate rule names in {names}")
+        self.rules: Tuple[AlertRule, ...] = tuple(rules)
+        self._states = {rule.name: AlertState(rule) for rule in rules}
+        self._lock = threading.Lock()
+        self.on_fire = on_fire
+        self.on_resolve = on_resolve
+        self.evaluations = 0
+        self.callback_errors = 0
+        self._gauge = None
+        if registry is not None:
+            self._gauge = registry.gauge(
+                "alerts_active", "number of alert rules currently firing")
+            self._gauge.set(0.0)
+            registry.register_collector("alerts", self.snapshot,
+                                        replace=True)
+
+    # -- evaluation ------------------------------------------------------
+    def evaluate(self, store: TelemetryStore,
+                 now: Optional[float] = None) -> List[AlertState]:
+        """Run every rule once; returns states that *transitioned*."""
+        transitions: List[AlertState] = []
+        with self._lock:
+            self.evaluations += 1
+            for state in self._states.values():
+                try:
+                    active = state.rule.active(store, now)
+                except Exception:  # noqa: BLE001 - a broken rule is inert
+                    continue
+                if active is None or active == state.firing:
+                    continue
+                state.firing = active
+                state.last_transition = now
+                try:
+                    state.last_detail = state.rule.detail(store, now)
+                except Exception:  # noqa: BLE001 - detail is best-effort
+                    state.last_detail = {}
+                if active:
+                    state.fired_count += 1
+                else:
+                    state.resolved_count += 1
+                transitions.append(state)
+            if self._gauge is not None:
+                self._gauge.set(float(sum(
+                    1 for s in self._states.values() if s.firing)))
+        for state in transitions:
+            rule = state.rule
+            if state.firing:
+                log_event("alerts", "alert_firing",
+                          level=logging.WARNING, rule=rule.name,
+                          severity=rule.severity, **state.last_detail)
+                self._run_callback(self.on_fire, state)
+            else:
+                log_event("alerts", "alert_resolved", rule=rule.name,
+                          severity=rule.severity, **state.last_detail)
+                self._run_callback(self.on_resolve, state)
+        return transitions
+
+    def _run_callback(self, callback, state: AlertState) -> None:
+        if callback is None:
+            return
+        try:
+            callback(state)
+        except Exception:  # noqa: BLE001 - monitoring outlives callbacks
+            self.callback_errors += 1
+
+    # -- inspection ------------------------------------------------------
+    def state(self, name: str) -> AlertState:
+        return self._states[name]
+
+    def active(self) -> List[AlertState]:
+        with self._lock:
+            return [s for s in self._states.values() if s.firing]
+
+    def total_fired(self) -> int:
+        with self._lock:
+            return sum(s.fired_count for s in self._states.values())
+
+    def snapshot(self) -> Dict[str, object]:
+        """Collector payload: per-rule state + aggregate counts."""
+        with self._lock:
+            states = {name: state.to_dict()
+                      for name, state in sorted(self._states.items())}
+            return {
+                "evaluations": self.evaluations,
+                "active": sum(1 for s in self._states.values()
+                              if s.firing),
+                "fired_total": sum(s.fired_count
+                                   for s in self._states.values()),
+                "callback_errors": self.callback_errors,
+                "rules": states,
+            }
+
+
+def default_rules(*, p99_objective_ms: float = 500.0,
+                  availability: float = 0.999,
+                  window_s: float = 30.0) -> List[AlertRule]:
+    """The stock rule set for a :class:`~repro.serve.server.ReadoutServer`.
+
+    Series names are the flattened ``ServerStats.snapshot()`` paths the
+    telemetry sampler produces. Thresholds are deliberately generous —
+    a healthy server under clean load must never trip them (the serve
+    bench gates exactly that as ``alert_false_positives == 0``).
+    """
+    return [
+        SeriesRule(
+            "worker_death",
+            "serve.worker_deaths", 0.0, mode="delta", op=">",
+            window_s=window_s, severity="critical",
+            description="a shard worker process died",
+            capture_bundle=True),
+        SeriesRule(
+            "backpressure",
+            ("serve.rejected", "serve.shed"), 50.0, mode="rate",
+            op=">", window_s=window_s, severity="warning",
+            description="sustained reject/shed rate above 50 req/s"),
+        SeriesRule(
+            "p99_breach",
+            "serve.p99_ms", p99_objective_ms, mode="value", op=">",
+            window_s=window_s, severity="warning",
+            description=f"window p99 above the "
+                        f"{p99_objective_ms:g} ms latency objective"),
+        SeriesRule(
+            "swap_storm",
+            "serve.swaps", 3.0, mode="delta", op=">",
+            window_s=window_s, severity="warning",
+            description="more than 3 engine hot-swaps inside one window "
+                        "(recalibration thrash)"),
+        ErrorBudgetRule(
+            "availability_burn",
+            SLO("availability", availability, window_s=10 * window_s),
+            error_series=("serve.rejected", "serve.shed"),
+            total_series="serve.completed",
+            burn_factor=10.0, min_events=50,
+            description="error budget burning 10x faster than the "
+                        "availability objective sustains"),
+    ]

@@ -1,0 +1,293 @@
+"""A plain-text ops console over live servers and saved bundles.
+
+``python -m repro.obs.console <bundle_dir>`` renders a dashboard from a
+postmortem bundle (the directory :func:`~repro.obs.bundle.write_debug_bundle`
+produced — e.g. a CI artifact, triaged on a laptop); in code,
+:func:`render_console` does the same for a live server. The view is
+deliberately boring: current rates with sparkline history, active
+alerts, shard health, the slowest trace's span breakdown, and the last
+few events — what an operator scans in the first thirty seconds of an
+incident.
+
+Everything renders to a string (library code never prints — ruff T20);
+``main`` writes the string to stdout. Only stdlib, no serve imports:
+the console duck-types the same server surface the bundle writer does.
+"""
+
+from __future__ import annotations
+
+import math
+import sys
+from typing import Dict, List, Optional, Sequence
+
+from repro.obs.bundle import load_bundle
+from repro.obs.timeseries import TelemetryStore
+
+__all__ = ["build_payload", "render_console", "sparkline"]
+
+#: Unicode block elements, shortest to tallest, for value history.
+_BLOCKS = " ▁▂▃▄▅▆▇█"
+
+#: Series shown in the rates panel: (label, series, kind). ``rate`` rows
+#: render the windowed per-second rate, ``value`` rows the last sample.
+_RATE_ROWS = (
+    ("requests/s", "serve.completed", "rate"),
+    ("traces/s", "serve.traces_done", "rate"),
+    ("rejects/s", "serve.rejected", "rate"),
+    ("sheds/s", "serve.shed", "rate"),
+    ("swaps (window)", "serve.swaps", "delta"),
+    ("worker deaths", "serve.worker_deaths", "value"),
+    ("p99 ms", "serve.p99_ms", "value"),
+)
+
+_RATE_WINDOW_S = 30.0
+_SPARK_POINTS = 32
+
+
+def sparkline(values: Sequence[float], width: int = _SPARK_POINTS) -> str:
+    """Values as a fixed-width run of block characters.
+
+    NaN renders as a gap; constant series render mid-height (flat and
+    alive beats invisible). The newest ``width`` values are shown.
+    """
+    points = [float(v) for v in values][-width:]
+    if not points:
+        return ""
+    finite = [v for v in points if not math.isnan(v)]
+    if not finite:
+        return " " * len(points)
+    lo, hi = min(finite), max(finite)
+    span = hi - lo
+    chars = []
+    for v in points:
+        if math.isnan(v):
+            chars.append(" ")
+        elif span <= 0:
+            chars.append(_BLOCKS[4])
+        else:
+            idx = 1 + int((v - lo) / span * (len(_BLOCKS) - 2))
+            chars.append(_BLOCKS[min(idx, len(_BLOCKS) - 1)])
+    return "".join(chars)
+
+
+def _fmt(value: Optional[float]) -> str:
+    if value is None or (isinstance(value, float) and math.isnan(value)):
+        return "-"
+    if isinstance(value, float) and value and abs(value) < 0.01:
+        return f"{value:.4f}"
+    return f"{value:,.2f}".rstrip("0").rstrip(".")
+
+
+def build_payload(server: object) -> Dict[str, object]:
+    """A live server's state in the same shape ``load_bundle`` returns.
+
+    Duck-typed: any object with ``metrics`` / ``telemetry`` / ``alerts``
+    / ``flight_recorder`` / ``last_health`` works; missing pieces are
+    simply absent panels.
+    """
+    payload: Dict[str, object] = {"path": "<live>"}
+    registry = getattr(server, "metrics", None)
+    if registry is not None:
+        payload["metrics"] = registry.export_dict()
+    sampler = getattr(server, "telemetry", None)
+    store = getattr(sampler, "store", sampler)
+    if store is not None and hasattr(store, "dump"):
+        payload["telemetry"] = store.dump()
+    alerts = getattr(server, "alerts", None)
+    if alerts is not None:
+        payload["alerts"] = alerts.snapshot()
+    recorder = getattr(server, "flight_recorder", None)
+    if recorder is not None:
+        payload["flight_recorder"] = recorder.dump()
+    health = getattr(server, "last_health", None)
+    if health is not None:
+        payload["health"] = (health.as_dict()
+                             if hasattr(health, "as_dict") else health)
+    return payload
+
+
+# -- panels ---------------------------------------------------------------
+
+def _header(payload: Dict[str, object]) -> List[str]:
+    manifest = payload.get("manifest") or {}
+    lines = ["== readout serving console =="]
+    source = payload.get("path", "<live>")
+    when = manifest.get("wall_time_iso")
+    reason = manifest.get("reason")
+    line = f"source: {source}"
+    if when:
+        line += f"  captured: {when}"
+    if reason:
+        line += f"  reason: {reason}"
+    lines.append(line)
+    server = manifest.get("server")
+    if server:
+        bits = [str(server.get("type", "?"))]
+        if "n_shards" in server:
+            bits.append(f"{server['n_shards']} shards")
+        if "backend" in server:
+            bits.append(str(server["backend"]))
+        pids = server.get("worker_pids")
+        if pids:
+            bits.append(f"pids={pids}")
+        lines.append("server: " + ", ".join(bits))
+    return lines
+
+
+def _rates_panel(store: TelemetryStore) -> List[str]:
+    end = store.end_time()
+    if end is None:
+        return []
+    lines = ["-- rates (last %.0fs) --" % _RATE_WINDOW_S]
+    label_width = max(len(label) for label, _, _ in _RATE_ROWS)
+    for label, series, kind in _RATE_ROWS:
+        if kind == "rate":
+            current = store.rate(series, _RATE_WINDOW_S, now=end)
+        elif kind == "delta":
+            current = store.delta(series, _RATE_WINDOW_S, now=end)
+        else:
+            current = store.latest(series)
+        if current is None:
+            continue
+        history = [v for _, v in store.series(series)]
+        if kind in ("rate", "delta"):
+            # History of a cumulative counter is monotone and unreadable;
+            # sparkline the per-sample increments instead.
+            history = [b - a for a, b in zip(history, history[1:])]
+        lines.append(f"{label:<{label_width}}  {_fmt(current):>10}  "
+                     f"{sparkline(history)}")
+    p99 = store.quantile_from_buckets(
+        "metrics.request_latency_ms", 0.99, _RATE_WINDOW_S, now=end)
+    if p99 is not None:
+        lines.append(f"{'p99 ms (hist)':<{label_width}}  "
+                     f"{_fmt(p99):>10}")
+    return lines
+
+
+def _alerts_panel(alerts: Dict[str, object]) -> List[str]:
+    rules = alerts.get("rules") or {}
+    lines = [f"-- alerts ({alerts.get('active', 0)} active, "
+             f"{alerts.get('fired_total', 0)} fired total) --"]
+    for name, state in sorted(rules.items()):
+        firing = state.get("firing")
+        rule = state.get("rule") or {}
+        marker = "FIRING" if firing else "ok"
+        line = (f"[{marker:>6}] {name} ({rule.get('severity', '?')}) "
+                f"fired x{state.get('fired_count', 0)}")
+        if firing:
+            detail = state.get("last_detail") or {}
+            observed = detail.get("observed", detail.get("burn"))
+            if observed is not None:
+                line += f"  observed={_fmt(float(observed))}"
+        lines.append(line)
+    return lines
+
+
+def _health_panel(health: Dict[str, object]) -> List[str]:
+    shards = health.get("shards") or []
+    verdict = "healthy" if health.get("healthy") else "UNHEALTHY"
+    lines = [f"-- health: {verdict} --"]
+    for shard in shards:
+        ok = "ok" if shard.get("healthy") else "DOWN"
+        line = (f"shard {shard.get('shard_index', '?')}: {ok}  "
+                f"rtt={_fmt(shard.get('round_trip_ms'))}ms  "
+                f"v{shard.get('engine_version', '?')}")
+        exit_code = shard.get("exit_code")
+        if exit_code is not None:
+            line += f"  exit_code={exit_code}"
+        lines.append(line)
+    error = health.get("error")
+    if error:
+        lines.append(f"error: {error}")
+    return lines
+
+
+def _trace_panel(recorder: Dict[str, object]) -> List[str]:
+    slowest = recorder.get("slowest") or []
+    if not slowest:
+        return []
+    trace = slowest[0]
+    duration = float(trace.get("duration_ms", 0.0))
+    lines = [f"-- slowest trace (id {trace.get('trace_id', '?')}, "
+             f"{duration:.3f} ms of {recorder.get('recorded', 0)} "
+             f"recorded) --"]
+    spans = trace.get("spans") or []
+    width = 40
+    for span in spans:
+        start = float(span.get("start_ms", 0.0))
+        end = float(span.get("end_ms", 0.0))
+        if duration > 0:
+            left = int(start / duration * width)
+            right = max(left + 1, int(end / duration * width))
+        else:
+            left, right = 0, 1
+        bar = " " * left + "█" * (right - left)
+        lines.append(f"{span.get('name', '?'):<18} "
+                     f"{start:>9.3f}..{end:<9.3f} |{bar:<{width}}|")
+    return lines
+
+
+def _events_panel(events: List[object], limit: int = 8) -> List[str]:
+    lines = [f"-- last events ({len(events)} in tail) --"]
+    for event in events[-limit:]:
+        if not isinstance(event, dict):
+            lines.append(str(event))
+            continue
+        fields = {k: v for k, v in event.items()
+                  if k not in ("ts", "level", "component", "event")}
+        detail = " ".join(f"{k}={v}" for k, v in fields.items())
+        lines.append(f"{event.get('component', '?'):<8} "
+                     f"{event.get('event', '?'):<22} {detail}".rstrip())
+    return lines
+
+
+def render_console(source) -> str:
+    """The dashboard as one string.
+
+    ``source`` is a bundle payload dict (:func:`~repro.obs.bundle.load_bundle`),
+    a bundle directory path, or a live server object.
+    """
+    if isinstance(source, str):
+        payload = load_bundle(source)
+    elif isinstance(source, dict):
+        payload = source
+    else:
+        payload = build_payload(source)
+
+    sections: List[List[str]] = [_header(payload)]
+    telemetry = payload.get("telemetry")
+    if telemetry:
+        sections.append(_rates_panel(TelemetryStore.from_dump(telemetry)))
+    alerts = payload.get("alerts")
+    if alerts:
+        sections.append(_alerts_panel(alerts))
+    health = payload.get("health")
+    if health:
+        sections.append(_health_panel(health))
+    recorder = payload.get("flight_recorder")
+    if recorder:
+        sections.append(_trace_panel(recorder))
+    events = payload.get("events_tail")
+    if events:
+        sections.append(_events_panel(events))
+    return "\n".join("\n".join(section)
+                     for section in sections if section) + "\n"
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI: ``python -m repro.obs.console <bundle_dir>``."""
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs.console",
+        description="render the ops dashboard from a saved debug bundle")
+    parser.add_argument("bundle_dir",
+                        help="bundle directory written by "
+                             "write_debug_bundle / the worker-death alert")
+    args = parser.parse_args(argv)
+    sys.stdout.write(render_console(args.bundle_dir))
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via CLI tests
+    raise SystemExit(main())

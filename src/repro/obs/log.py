@@ -27,13 +27,17 @@ import sys
 from typing import IO, Optional
 
 __all__ = ["EVENT_LOGGER_ROOT", "JsonlFormatter", "configure_event_log",
-           "event_logger", "log_event"]
+           "event_log_paths", "event_logger", "log_event"]
 
 EVENT_LOGGER_ROOT = "repro.events"
 
 _root = logging.getLogger(EVENT_LOGGER_ROOT)
 _root.addHandler(logging.NullHandler())
 _root.propagate = False
+
+# File sinks currently attached via configure_event_log, by handler id.
+# Postmortem bundles use this to locate the live event log for tailing.
+_file_sinks: dict = {}
 
 
 def event_logger(component: str) -> logging.Logger:
@@ -83,6 +87,7 @@ def configure_event_log(path: Optional[str] = None,
         raise ValueError("give either path or stream, not both")
     if path is not None:
         handler: logging.Handler = logging.FileHandler(path)
+        _file_sinks[id(handler)] = str(path)
     else:
         handler = logging.StreamHandler(stream or sys.stderr)
     handler.setFormatter(JsonlFormatter())
@@ -93,7 +98,13 @@ def configure_event_log(path: Optional[str] = None,
     return handler
 
 
+def event_log_paths() -> list:
+    """Paths of the file sinks currently attached (newest last)."""
+    return list(_file_sinks.values())
+
+
 def remove_event_handler(handler: logging.Handler) -> None:
     """Detach a handler returned by :func:`configure_event_log`."""
     _root.removeHandler(handler)
+    _file_sinks.pop(id(handler), None)
     handler.close()

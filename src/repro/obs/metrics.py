@@ -156,7 +156,10 @@ class Histogram(_Instrument):
         with self._lock:
             series = self._series.get(key)
             if series is None:
-                return {"count": 0, "sum": 0.0}
+                # Same schema as a populated series: consumers (telemetry,
+                # console) must never branch on missing keys.
+                series = [0.0, 0.0, float("inf"), float("-inf")]
+                series.extend(0.0 for _ in self.bounds)
             return self._render(series)
 
     def _render(self, series: List[float]) -> Dict[str, object]:

@@ -1,0 +1,122 @@
+"""Signal-safe shutdown: SIGTERM/SIGINT → bundle, drain, exit.
+
+The first slice of the ROADMAP chaos-hardening candidate: a long-running
+serving process (the examples, an eventual network front end) should
+react to SIGTERM the way an orchestrator expects — capture state, drain
+in-flight work via ``server.stop()``, exit 0 — instead of dying with a
+stack trace mid-batch.
+
+:func:`install_signal_handlers` installs handlers for SIGTERM/SIGINT.
+On the first signal: log a ``shutdown_signal`` event, write a debug
+bundle (*before* draining, so the bundle shows the state the signal
+interrupted), stop the server, restore the previous handlers, and raise
+``SystemExit(0)`` out of the main thread. A second signal while the
+first is still draining escalates to an immediate ``SystemExit(1)`` —
+the operator pressing Ctrl-C twice means *now*.
+
+Returns a :class:`SignalHandle` so callers (and tests) can
+``uninstall()`` explicitly or invoke the handler directly without
+delivering a real signal.
+"""
+
+from __future__ import annotations
+
+import signal
+import threading
+from typing import Dict, Optional, Sequence
+
+from repro.obs.log import log_event
+
+__all__ = ["SignalHandle", "install_signal_handlers"]
+
+DEFAULT_SIGNALS = (signal.SIGTERM, signal.SIGINT)
+
+
+class SignalHandle:
+    """The installed handlers; uninstall restores what was there before."""
+
+    def __init__(self, server: object, bundle_dir: Optional[str],
+                 signums: Sequence[int], exit_on_signal: bool) -> None:
+        self.server = server
+        self.bundle_dir = bundle_dir
+        self.signums = tuple(signums)
+        self.exit_on_signal = exit_on_signal
+        self.triggered = 0
+        self.bundle_path: Optional[str] = None
+        self._lock = threading.Lock()
+        self._previous: Dict[int, object] = {}
+        self._installed = False
+
+    # -- lifecycle -------------------------------------------------------
+    def install(self) -> "SignalHandle":
+        if self._installed:
+            return self
+        for signum in self.signums:
+            self._previous[signum] = signal.signal(signum, self._handler)
+        self._installed = True
+        return self
+
+    def uninstall(self) -> None:
+        if not self._installed:
+            return
+        for signum, previous in self._previous.items():
+            signal.signal(signum, previous)
+        self._previous.clear()
+        self._installed = False
+
+    def __enter__(self) -> "SignalHandle":
+        return self.install()
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.uninstall()
+
+    # -- the handler -----------------------------------------------------
+    def _handler(self, signum: int, frame=None) -> None:
+        with self._lock:
+            self.triggered += 1
+            nth = self.triggered
+        if nth > 1:
+            # Second signal while draining: the operator means *now*.
+            log_event("obs", "shutdown_forced", signum=signum)
+            if self.exit_on_signal:
+                raise SystemExit(1)
+            return
+        try:
+            name = signal.Signals(signum).name
+        except ValueError:  # pragma: no cover - unknown signal number
+            name = str(signum)
+        log_event("obs", "shutdown_signal", signum=signum, signal=name,
+                  bundle_dir=self.bundle_dir)
+        # Bundle first: the point is the state the signal interrupted,
+        # not the quiesced state after a clean drain.
+        if self.bundle_dir is not None:
+            # Imported here so `python -m repro.obs.bundle` never finds
+            # its module pre-imported via the package __init__.
+            from repro.obs.bundle import write_debug_bundle
+            try:
+                self.bundle_path = write_debug_bundle(
+                    self.bundle_dir, self.server,
+                    reason=f"signal:{name}")
+            except Exception:  # noqa: BLE001 - shutdown must proceed
+                self.bundle_path = None
+        try:
+            self.server.stop()
+        finally:
+            self.uninstall()
+        if self.exit_on_signal:
+            raise SystemExit(0)
+
+
+def install_signal_handlers(server: object, *,
+                            bundle_dir: Optional[str] = None,
+                            signals: Sequence[int] = DEFAULT_SIGNALS,
+                            exit_on_signal: bool = True) -> SignalHandle:
+    """Arm SIGTERM/SIGINT to bundle + drain ``server``; returns the handle.
+
+    ``bundle_dir=None`` skips the bundle and just drains.
+    ``exit_on_signal=False`` suppresses the ``SystemExit`` (for embedding
+    in hosts that manage their own exit). Must run on the main thread —
+    CPython only allows signal handler installation there.
+    """
+    return SignalHandle(server, bundle_dir, signals,
+                        exit_on_signal).install()

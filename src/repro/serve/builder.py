@@ -88,10 +88,12 @@ def build_sharded_server(design_names: Sequence[str], train: ReadoutDataset,
         :class:`~.procshard.ProcessShardBackend`).
     server_kwargs:
         Forwarded to :class:`~.server.ReadoutServer` (batching and
-        backpressure knobs, ``backend_options``, and ``trace_dtype`` —
+        backpressure knobs, ``backend_options``, ``trace_dtype`` —
         pass ``trace_dtype=np.float16`` for the opt-in quantized trace
         slab/ring path; see the README serve tuning guide for the
-        accuracy trade measured by ``bench_ablation_quantization``).
+        accuracy trade measured by ``bench_ablation_quantization`` —
+        and the monitoring knobs ``telemetry_interval_s`` /
+        ``alert_rules`` / ``bundle_dir``).
     """
     shards = fit_serve_shards(design_names, train, val, n_shards=n_shards,
                               training=training, dtype=dtype,

@@ -40,6 +40,7 @@ from __future__ import annotations
 import asyncio
 import logging
 import math
+import os
 import threading
 import time
 from concurrent.futures import Future, InvalidStateError
@@ -49,8 +50,10 @@ from typing import Dict, List, Optional, Sequence, Union
 
 import numpy as np
 
+from repro.obs.alerts import AlertManager, AlertRule, AlertState, default_rules
 from repro.obs.log import log_event
 from repro.obs.metrics import MetricsRegistry
+from repro.obs.timeseries import TelemetrySampler
 from repro.obs.trace import FlightRecorder, TraceContext, Tracer
 from repro.readout.parameters import DeviceParams
 from repro.readout.sharding import FeedlineShard
@@ -591,6 +594,23 @@ class ReadoutServer:
         registers its snapshot collectors into (``serve``, ``engine``,
         ``flight_recorder`` components); a private registry is created
         when omitted, so ``server.metrics.export_dict()`` always works.
+    telemetry_interval_s:
+        When set, a :class:`~repro.obs.timeseries.TelemetrySampler`
+        polls :attr:`metrics` every this many seconds for the server's
+        lifetime, building rate history in :attr:`telemetry` and
+        evaluating :attr:`alerts` on each sample. The default ``None``
+        disables continuous monitoring entirely (no thread, no
+        overhead).
+    alert_rules:
+        The :class:`~repro.obs.alerts.AlertRule`s the sampler
+        evaluates; defaults to :func:`~repro.obs.alerts.default_rules`
+        (worker death, backpressure, p99 breach, swap storms,
+        availability burn). Requires ``telemetry_interval_s``.
+    bundle_dir:
+        When set (requires ``telemetry_interval_s``), a rule firing
+        with ``capture_bundle=True`` — worker death, in the default set
+        — automatically writes a postmortem debug bundle into
+        ``{bundle_dir}/alert-{rule}-{n}``.
 
     The server starts its workers lazily on first submission (or
     explicitly via :meth:`start` / use as a context manager) and cannot be
@@ -605,7 +625,10 @@ class ReadoutServer:
                  backend_options: Optional[Dict[str, object]] = None,
                  trace_sample_rate: float = 0.0,
                  flight_recorder: Optional[FlightRecorder] = None,
-                 metrics: Optional[MetricsRegistry] = None):
+                 metrics: Optional[MetricsRegistry] = None,
+                 telemetry_interval_s: Optional[float] = None,
+                 alert_rules: Optional[Sequence[AlertRule]] = None,
+                 bundle_dir: Optional[str] = None):
         if not shards:
             raise ValueError("server needs at least one shard")
         covered: List[int] = []
@@ -651,6 +674,23 @@ class ReadoutServer:
             replace=True)
         self.metrics.register_collector(
             "flight_recorder", self._recorder.stats, replace=True)
+        self.last_health: Optional[HealthReport] = None
+        self.bundle_dir = bundle_dir
+        self._telemetry: Optional[TelemetrySampler] = None
+        self._alerts: Optional[AlertManager] = None
+        if telemetry_interval_s is None:
+            if alert_rules is not None or bundle_dir is not None:
+                raise ValueError(
+                    "alert_rules/bundle_dir require telemetry_interval_s "
+                    "(alerts are evaluated on telemetry samples)")
+        else:
+            rules = (default_rules() if alert_rules is None
+                     else list(alert_rules))
+            self._alerts = AlertManager(rules, registry=self.metrics,
+                                        on_fire=self._on_alert_fire)
+            self._telemetry = TelemetrySampler(
+                self.metrics, interval_s=telemetry_interval_s,
+                alerts=self._alerts)
         self._dispatcher: Optional[threading.Thread] = None
         self._state_lock = threading.Lock()
         self._stopping = threading.Event()
@@ -686,6 +726,35 @@ class ReadoutServer:
         """The micro-batcher's flush size (backends size buffers from it)."""
         return self._batcher.max_batch_traces
 
+    @property
+    def telemetry(self) -> Optional[TelemetrySampler]:
+        """Continuous metric sampling (None unless ``telemetry_interval_s``
+        was set)."""
+        return self._telemetry
+
+    @property
+    def alerts(self) -> Optional[AlertManager]:
+        """The alert evaluator riding :attr:`telemetry` (None when
+        monitoring is off)."""
+        return self._alerts
+
+    def _on_alert_fire(self, state: AlertState) -> None:
+        # Runs on the sampler thread at the firing edge. Bundles only for
+        # rules that ask for one, into a per-episode directory so a later
+        # unrelated firing never overwrites this postmortem.
+        if not state.rule.capture_bundle or self.bundle_dir is None:
+            return
+        # Imported lazily: repro.obs.bundle is runnable via -m, and a
+        # module-level import here would pre-load it through the package
+        # chain, making runpy warn on `python -m repro.obs.bundle`.
+        from repro.obs.bundle import write_debug_bundle
+
+        target = os.path.join(
+            self.bundle_dir,
+            f"alert-{state.rule.name}-{state.fired_count}")
+        write_debug_bundle(target, self,
+                           reason=f"alert:{state.rule.name}")
+
     # ------------------------------------------------------------------
     # Response slab pool (used by _InFlightBatch)
     # ------------------------------------------------------------------
@@ -719,6 +788,8 @@ class ReadoutServer:
                 target=self._dispatch_loop, name="readout-serve-dispatch",
                 daemon=True)
             self._dispatcher.start()
+            if self._telemetry is not None:
+                self._telemetry.start()
             log_event("serve", "server_start",
                       backend=self._backend.name,
                       shards=len(self._shards), n_qubits=self.n_qubits)
@@ -743,6 +814,10 @@ class ReadoutServer:
             self._stopped = True
             started = self._started
         self._stopping.set()
+        if self._telemetry is not None:
+            # Joins the sampler (its last tick runs now, so the stored
+            # history covers the moment shutdown began).
+            self._telemetry.stop()
         if started:
             self._backend.request_stop()
         self._batcher.close()
@@ -981,9 +1056,13 @@ class ReadoutServer:
                   probe_ok=probe_ok, error=error,
                   unhealthy_shards=[s.shard_index for s in shards
                                     if not s.healthy])
-        return HealthReport(healthy=healthy, probe_ok=probe_ok,
-                            budget_s=float(budget_s), shards=shards,
-                            error=error)
+        report = HealthReport(healthy=healthy, probe_ok=probe_ok,
+                              budget_s=float(budget_s), shards=shards,
+                              error=error)
+        # Cached for postmortem bundles: a bundle written mid-failure
+        # must not run a live probe of its own.
+        self.last_health = report
+        return report
 
     # ------------------------------------------------------------------
     # Internals

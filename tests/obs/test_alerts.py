@@ -1,0 +1,288 @@
+"""Alert rules, SLO burn math, and edge-triggered evaluation."""
+
+import json
+import logging
+
+import pytest
+
+from repro.obs.alerts import (SLO, AlertManager, ErrorBudgetRule,
+                              SeriesRule, default_rules)
+from repro.obs.log import configure_event_log, remove_event_handler
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.timeseries import TelemetryStore
+
+
+def make_store(samples):
+    """A store from {series: [(t, v), ...]} shorthand."""
+    store = TelemetryStore()
+    times = sorted({t for series in samples.values() for t, _ in series})
+    for now in times:
+        flat = {}
+        for name, points in samples.items():
+            for t, v in points:
+                if t == now:
+                    flat[name] = v
+        if flat:
+            store.ingest(flat, now=now)
+    return store
+
+
+class TestSLO:
+    def test_error_budget(self):
+        slo = SLO("availability", 0.999, window_s=300.0)
+        assert slo.error_budget == pytest.approx(0.001)
+        json.dumps(slo.to_dict())
+
+    def test_objective_bounds(self):
+        with pytest.raises(ValueError):
+            SLO("x", 1.0)
+        with pytest.raises(ValueError):
+            SLO("x", 0.5, window_s=0.0)
+
+
+class TestSeriesRule:
+    def test_value_threshold(self):
+        rule = SeriesRule("p99", "serve.p99_ms", 100.0, mode="value")
+        store = make_store({"serve.p99_ms": [(0.0, 50.0), (1.0, 150.0)]})
+        assert rule.active(store, now=1.0) is True
+        store2 = make_store({"serve.p99_ms": [(0.0, 50.0)]})
+        assert rule.active(store2, now=0.0) is False
+
+    def test_missing_series_is_inactive(self):
+        rule = SeriesRule("p99", "serve.p99_ms", 100.0)
+        assert rule.active(TelemetryStore()) is None
+
+    def test_nan_never_fires(self):
+        rule = SeriesRule("p99", "serve.p99_ms", 100.0, mode="value")
+        store = make_store({"serve.p99_ms": [(0.0, float("nan"))]})
+        # NaN = "no latency data yet": inactive, not firing.
+        assert rule.active(store, now=0.0) is None
+
+    def test_delta_mode(self):
+        rule = SeriesRule("deaths", "serve.worker_deaths", 0.0,
+                          mode="delta", window_s=30.0)
+        store = make_store({"serve.worker_deaths": [(0.0, 0.0), (1.0, 1.0)]})
+        assert rule.active(store, now=1.0) is True
+
+    def test_rate_mode_sums_series(self):
+        rule = SeriesRule("backpressure",
+                          ("serve.rejected", "serve.shed"), 50.0,
+                          mode="rate", window_s=10.0)
+        store = make_store({
+            "serve.rejected": [(0.0, 0.0), (10.0, 400.0)],
+            "serve.shed": [(0.0, 0.0), (10.0, 300.0)],
+        })
+        # 700 events over 10 s = 70/s > 50/s.
+        assert rule.active(store, now=10.0) is True
+        assert rule.observed(store, now=10.0) == pytest.approx(70.0)
+
+    def test_detail_is_json_safe(self):
+        rule = SeriesRule("deaths", "serve.worker_deaths", 0.0,
+                          mode="delta")
+        store = make_store({"serve.worker_deaths": [(0.0, 0.0), (1.0, 2.0)]})
+        json.dumps(rule.detail(store, now=1.0))
+        json.dumps(rule.to_dict())
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SeriesRule("x", "s", 1.0, mode="median")
+        with pytest.raises(ValueError):
+            SeriesRule("x", "s", 1.0, op="!=")
+        with pytest.raises(ValueError):
+            SeriesRule("x", (), 1.0)
+        with pytest.raises(ValueError):
+            SeriesRule("x", "s", 1.0, window_s=0.0)
+
+
+class TestErrorBudgetRule:
+    def rule(self, **kwargs):
+        options = {"burn_factor": 10.0, "min_events": 20}
+        options.update(kwargs)
+        return ErrorBudgetRule(
+            "availability_burn", SLO("availability", 0.999, window_s=300.0),
+            error_series=("serve.rejected", "serve.shed"),
+            total_series="serve.completed", **options)
+
+    def test_burn_fires_on_fast_budget_consumption(self):
+        # 5% of requests erroring vs a 0.1% budget = 50x burn.
+        store = make_store({
+            "serve.rejected": [(0.0, 0.0), (100.0, 50.0)],
+            "serve.shed": [(0.0, 0.0), (100.0, 0.0)],
+            "serve.completed": [(0.0, 0.0), (100.0, 950.0)],
+        })
+        rule = self.rule()
+        assert rule.burn(store, now=100.0) == pytest.approx(50.0)
+        assert rule.active(store, now=100.0) is True
+
+    def test_healthy_traffic_does_not_fire(self):
+        store = make_store({
+            "serve.rejected": [(0.0, 0.0), (100.0, 0.0)],
+            "serve.shed": [(0.0, 0.0), (100.0, 0.0)],
+            "serve.completed": [(0.0, 0.0), (100.0, 1000.0)],
+        })
+        assert self.rule().active(store, now=100.0) is False
+
+    def test_tiny_denominator_suppressed(self):
+        # 1 reject of 3 events would read as a 333x burn; min_events
+        # keeps the rule quiet until there is real evidence.
+        store = make_store({
+            "serve.rejected": [(0.0, 0.0), (100.0, 1.0)],
+            "serve.shed": [(0.0, 0.0), (100.0, 0.0)],
+            "serve.completed": [(0.0, 0.0), (100.0, 2.0)],
+        })
+        assert self.rule().active(store, now=100.0) is None
+
+    def test_missing_series_inactive(self):
+        assert self.rule().active(TelemetryStore()) is None
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            self.rule(burn_factor=0.0)
+
+
+class TestAlertManagerEdgeTriggering:
+    def test_fire_once_then_resolve_once(self, tmp_path):
+        rule = SeriesRule("deaths", "serve.worker_deaths", 0.0,
+                          mode="delta", window_s=5.0)
+        manager = AlertManager([rule])
+        store = TelemetryStore()
+        log_path = tmp_path / "events.jsonl"
+        handler = configure_event_log(path=str(log_path))
+        try:
+            store.ingest({"serve.worker_deaths": 0.0}, now=0.0)
+            assert manager.evaluate(store, now=0.0) == []
+            # Death at t=1; delta > 0 holds for every sample in the
+            # window — but only the first evaluation transitions.
+            for t in (1.0, 2.0, 3.0):
+                store.ingest({"serve.worker_deaths": 1.0}, now=t)
+                manager.evaluate(store, now=t)
+            state = manager.state("deaths")
+            assert state.firing and state.fired_count == 1
+            # The death leaves the window: one resolve transition.
+            for t in (7.0, 8.0):
+                store.ingest({"serve.worker_deaths": 1.0}, now=t)
+                manager.evaluate(store, now=t)
+            assert not state.firing
+            assert state.fired_count == 1 and state.resolved_count == 1
+        finally:
+            remove_event_handler(handler)
+        events = [json.loads(line)
+                  for line in log_path.read_text().splitlines()]
+        alert_events = [e for e in events if e["component"] == "alerts"]
+        assert [e["event"] for e in alert_events] == [
+            "alert_firing", "alert_resolved"]
+        assert alert_events[0]["rule"] == "deaths"
+        assert alert_events[0]["level"] == "warning"
+
+    def test_on_fire_callback_runs_once_per_episode(self):
+        fired = []
+        rule = SeriesRule("deaths", "serve.worker_deaths", 0.0,
+                          mode="delta", window_s=5.0, capture_bundle=True)
+        manager = AlertManager([rule], on_fire=fired.append)
+        store = TelemetryStore()
+        store.ingest({"serve.worker_deaths": 0.0}, now=0.0)
+        for t in (1.0, 2.0, 3.0):
+            store.ingest({"serve.worker_deaths": 1.0}, now=t)
+            manager.evaluate(store, now=t)
+        assert len(fired) == 1
+        assert fired[0].rule is rule
+
+    def test_broken_callback_is_counted_not_raised(self):
+        def explode(state):
+            raise RuntimeError("bundle writer died")
+
+        rule = SeriesRule("deaths", "serve.worker_deaths", 0.0,
+                          mode="delta", window_s=5.0)
+        manager = AlertManager([rule], on_fire=explode)
+        store = TelemetryStore()
+        store.ingest({"serve.worker_deaths": 0.0}, now=0.0)
+        store.ingest({"serve.worker_deaths": 1.0}, now=1.0)
+        manager.evaluate(store, now=1.0)
+        assert manager.state("deaths").firing
+        assert manager.callback_errors == 1
+
+    def test_gauge_and_collector_exports(self):
+        registry = MetricsRegistry()
+        rule = SeriesRule("p99", "serve.p99_ms", 100.0, mode="value")
+        manager = AlertManager([rule], registry=registry)
+        store = TelemetryStore()
+        store.ingest({"serve.p99_ms": 500.0}, now=0.0)
+        manager.evaluate(store, now=0.0)
+        out = registry.export_dict()
+        assert out["metrics"]["alerts_active"] == 1.0
+        assert out["alerts"]["active"] == 1
+        assert out["alerts"]["fired_total"] == 1
+        assert out["alerts"]["rules"]["p99"]["firing"] is True
+        json.dumps(out)
+        store.ingest({"serve.p99_ms": 10.0}, now=1.0)
+        manager.evaluate(store, now=1.0)
+        assert registry.export_dict()["metrics"]["alerts_active"] == 0.0
+
+    def test_broken_rule_is_inert(self):
+        class BrokenRule(SeriesRule):
+            def active(self, store, now=None):
+                raise RuntimeError("boom")
+
+        broken = BrokenRule("broken", "x", 0.0)
+        ok = SeriesRule("ok", "serve.p99_ms", 100.0, mode="value")
+        manager = AlertManager([broken, ok])
+        store = TelemetryStore()
+        store.ingest({"serve.p99_ms": 500.0}, now=0.0)
+        manager.evaluate(store, now=0.0)
+        assert manager.state("ok").firing
+        assert not manager.state("broken").firing
+
+    def test_duplicate_rule_names_rejected(self):
+        rules = [SeriesRule("x", "a", 0.0), SeriesRule("x", "b", 0.0)]
+        with pytest.raises(ValueError):
+            AlertManager(rules)
+
+
+class TestDefaultRules:
+    def test_shapes(self):
+        rules = default_rules()
+        names = {rule.name for rule in rules}
+        assert names == {"worker_death", "backpressure", "p99_breach",
+                         "swap_storm", "availability_burn"}
+        by_name = {rule.name: rule for rule in rules}
+        assert by_name["worker_death"].capture_bundle
+        assert by_name["worker_death"].severity == "critical"
+
+    def test_quiet_on_healthy_traffic(self):
+        # A server doing brisk, clean traffic must not trip anything.
+        manager = AlertManager(default_rules())
+        store = TelemetryStore()
+        for t in range(20):
+            store.ingest({
+                "serve.completed": 100.0 * t,
+                "serve.traces_done": 100.0 * t,
+                "serve.rejected": 0.0,
+                "serve.shed": 0.0,
+                "serve.worker_deaths": 0.0,
+                "serve.swaps": 1.0 if t > 10 else 0.0,  # one hot swap: fine
+                "serve.p99_ms": 4.0,
+            }, now=float(t))
+            manager.evaluate(store, now=float(t))
+        assert manager.total_fired() == 0
+        assert manager.active() == []
+
+    def test_worker_death_fires(self):
+        manager = AlertManager(default_rules())
+        store = TelemetryStore()
+        store.ingest({"serve.worker_deaths": 0.0}, now=0.0)
+        manager.evaluate(store, now=0.0)
+        store.ingest({"serve.worker_deaths": 1.0}, now=1.0)
+        manager.evaluate(store, now=1.0)
+        assert manager.state("worker_death").firing
+
+    def test_events_silent_without_sink(self, caplog):
+        # Transition with no configured sink: no records propagate.
+        manager = AlertManager(default_rules())
+        store = TelemetryStore()
+        store.ingest({"serve.worker_deaths": 0.0}, now=0.0)
+        manager.evaluate(store, now=0.0)
+        with caplog.at_level(logging.DEBUG):
+            store.ingest({"serve.worker_deaths": 1.0}, now=1.0)
+            manager.evaluate(store, now=1.0)
+        assert not [r for r in caplog.records
+                    if r.name.startswith("repro.events")]

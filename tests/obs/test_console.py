@@ -1,0 +1,201 @@
+"""The ops console: sparklines, panels, live servers, and the CLI."""
+
+import json
+import os
+import subprocess
+import sys
+
+from repro.obs.bundle import write_debug_bundle
+from repro.obs.console import build_payload, render_console, sparkline
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.timeseries import TelemetryStore
+from repro.obs.trace import FlightRecorder, TraceContext
+
+
+def synthetic_bundle_payload():
+    """A bundle-shaped payload exercising every panel."""
+    store = TelemetryStore()
+    for t in range(10):
+        store.ingest({
+            "serve.completed": 50.0 * t,
+            "serve.traces_done": 50.0 * t,
+            "serve.rejected": 0.0,
+            "serve.shed": 0.0,
+            "serve.swaps": 0.0,
+            "serve.worker_deaths": 0.0 if t < 6 else 1.0,
+            "serve.p99_ms": 4.5,
+        }, now=float(t))
+    return {
+        "path": "/bundles/incident-1",
+        "manifest": {
+            "reason": "alert:worker_death",
+            "wall_time_iso": "2026-08-08T12:00:00+0000",
+            "server": {"type": "ReadoutServer", "n_shards": 2,
+                       "backend": "ProcessShardBackend",
+                       "worker_pids": [101, 102]},
+        },
+        "telemetry": store.dump(),
+        "alerts": {
+            "active": 1, "fired_total": 1, "evaluations": 10,
+            "rules": {
+                "worker_death": {
+                    "firing": True, "fired_count": 1,
+                    "rule": {"severity": "critical"},
+                    "last_detail": {"observed": 1.0},
+                },
+                "p99_breach": {
+                    "firing": False, "fired_count": 0,
+                    "rule": {"severity": "warning"},
+                },
+            },
+        },
+        "health": {
+            "healthy": False,
+            "shards": [
+                {"shard_index": 0, "healthy": False,
+                 "round_trip_ms": float("nan"), "engine_version": 1,
+                 "exit_code": -9},
+                {"shard_index": 1, "healthy": True,
+                 "round_trip_ms": 2.5, "engine_version": 1},
+            ],
+            "error": "probe timed out",
+        },
+        "flight_recorder": {
+            "recorded": 12,
+            "slowest": [{
+                "trace_id": 7, "duration_ms": 5.0,
+                "spans": [
+                    {"name": "queue_wait", "start_ms": 0.0, "end_ms": 2.0},
+                    {"name": "inference", "start_ms": 2.0, "end_ms": 4.5},
+                    {"name": "resolve", "start_ms": 4.5, "end_ms": 5.0},
+                ],
+            }],
+            "sample": [],
+        },
+        "events_tail": [
+            {"ts": 1.0, "level": "info", "component": "serve",
+             "event": "server_start", "shards": 2},
+            {"ts": 2.0, "level": "warning", "component": "worker",
+             "event": "worker_death", "shard": 0, "exit_code": -9},
+        ],
+    }
+
+
+class TestSparkline:
+    def test_empty(self):
+        assert sparkline([]) == ""
+
+    def test_monotone_ramp(self):
+        line = sparkline([0, 1, 2, 3])
+        assert len(line) == 4
+        assert line[0] < line[-1]
+        assert line[-1] == "█"
+
+    def test_constant_series_renders_mid_height(self):
+        assert sparkline([5, 5, 5]) == "▄▄▄"
+
+    def test_nan_renders_as_gap(self):
+        assert sparkline([1.0, float("nan"), 2.0])[1] == " "
+
+    def test_all_nan(self):
+        assert sparkline([float("nan")] * 3) == "   "
+
+    def test_width_keeps_newest(self):
+        line = sparkline([0] * 50 + [9], width=8)
+        assert len(line) == 8
+        assert line[-1] == "█"
+
+
+class TestRenderConsole:
+    def test_all_panels_render(self):
+        text = render_console(synthetic_bundle_payload())
+        assert "readout serving console" in text
+        assert "reason: alert:worker_death" in text
+        assert "2 shards" in text
+        assert "requests/s" in text
+        assert "worker deaths" in text
+        assert "[FIRING] worker_death (critical)" in text
+        assert "fired x1" in text
+        assert "UNHEALTHY" in text
+        assert "exit_code=-9" in text
+        assert "probe timed out" in text
+        assert "slowest trace (id 7" in text
+        assert "queue_wait" in text
+        assert "worker_death" in text
+        assert "server_start" in text
+
+    def test_rates_come_from_windowed_math(self):
+        text = render_console(synthetic_bundle_payload())
+        # 50 completions per 1 s sample over the window = 50/s.
+        for line in text.splitlines():
+            if line.startswith("requests/s"):
+                assert "50" in line
+                break
+        else:  # pragma: no cover - the panel must exist
+            raise AssertionError("requests/s row missing")
+
+    def test_empty_payload_renders_header_only(self):
+        text = render_console({"path": "/nowhere"})
+        assert "readout serving console" in text
+        assert "alerts" not in text
+
+    def test_bundle_directory_roundtrip(self, tmp_path):
+        registry = MetricsRegistry()
+        registry.counter("done").inc(3)
+        store = TelemetryStore()
+        store.ingest({"serve.completed": 5.0}, now=0.0)
+        store.ingest({"serve.completed": 25.0}, now=1.0)
+        recorder = FlightRecorder()
+        trace = TraceContext(1, started_at=0.0)
+        trace.add_span("inference", 0.0, 0.001)
+        trace.finish(0.002)
+        recorder.record(trace)
+        write_debug_bundle(str(tmp_path / "b"), registry=registry,
+                           telemetry=store, flight_recorder=recorder)
+        text = render_console(str(tmp_path / "b"))
+        assert "requests/s" in text
+        assert "slowest trace (id 1" in text
+
+    def test_live_server_duck_typing(self):
+        registry = MetricsRegistry()
+        registry.counter("done").inc(2)
+        store = TelemetryStore()
+        store.ingest({"serve.completed": 1.0}, now=0.0)
+
+        class FakeSampler:
+            def __init__(self):
+                self.store = store
+
+        class FakeServer:
+            metrics = registry
+            telemetry = FakeSampler()
+            alerts = None
+            flight_recorder = None
+            last_health = None
+
+        payload = build_payload(FakeServer())
+        assert payload["path"] == "<live>"
+        assert "alerts" not in payload
+        text = render_console(FakeServer())
+        assert "requests/s" in text
+
+
+class TestConsoleCli:
+    def test_cli_renders_saved_bundle(self, tmp_path):
+        payload = synthetic_bundle_payload()
+        bundle = tmp_path / "b"
+        bundle.mkdir()
+        for name in ("manifest", "telemetry", "alerts",
+                     "flight_recorder"):
+            (bundle / f"{name}.json").write_text(
+                json.dumps(payload[name]))
+        env = dict(os.environ)
+        env["PYTHONPATH"] = ("src" + os.pathsep + env["PYTHONPATH"]
+                             if env.get("PYTHONPATH") else "src")
+        out = subprocess.run(
+            [sys.executable, "-m", "repro.obs.console", str(bundle)],
+            capture_output=True, text=True, env=env, timeout=60)
+        assert out.returncode == 0, out.stderr
+        assert "found in sys.modules" not in out.stderr
+        assert "[FIRING] worker_death" in out.stdout
+        assert "requests/s" in out.stdout

@@ -55,9 +55,18 @@ class TestHistogram:
         hist.observe(1.0)
         assert hist.snapshot()["buckets"]["le_1"] == 1
 
-    def test_empty_snapshot(self):
-        hist = Histogram("latency_ms")
-        assert hist.snapshot() == {"count": 0, "sum": 0.0}
+    def test_empty_snapshot_has_full_schema(self):
+        # An unseen label set renders the same shape as a populated one:
+        # telemetry/console consumers never branch on missing keys.
+        hist = Histogram("latency_ms", buckets=(1.0, 5.0))
+        empty = hist.snapshot()
+        assert empty == {"count": 0, "sum": 0.0, "min": 0.0, "max": 0.0,
+                         "mean": 0.0,
+                         "buckets": {"le_1": 0, "le_5": 0, "le_inf": 0}}
+        hist.observe(2.0, shard=0)
+        assert set(hist.snapshot(shard=1)) == set(hist.snapshot(shard=0))
+        assert hist.snapshot(shard=1)["buckets"] == \
+            {"le_1": 0, "le_5": 0, "le_inf": 0}
 
     def test_needs_buckets(self):
         with pytest.raises(ValueError):
@@ -132,3 +141,133 @@ def test_ensure_registry():
     registry = MetricsRegistry()
     assert ensure_registry(registry) is registry
     assert isinstance(ensure_registry(None), MetricsRegistry)
+
+
+class TestRegistryConcurrency:
+    """The registry under fire: get-or-create + observe vs export."""
+
+    def test_get_or_create_races_return_one_instrument(self):
+        import threading
+
+        registry = MetricsRegistry()
+        seen = []
+        barrier = threading.Barrier(8)
+
+        def create():
+            barrier.wait()
+            for i in range(50):
+                seen.append(registry.counter(f"shared_{i % 5}"))
+
+        threads = [threading.Thread(target=create) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        # 8 threads x 50 asks collapse to exactly 5 instruments.
+        assert len({id(c) for c in seen}) == 5
+
+    def test_observe_vs_export_never_tears(self):
+        import threading
+
+        registry = MetricsRegistry()
+        counter = registry.counter("done")
+        hist = registry.histogram("lat_ms", buckets=(1.0, 10.0))
+        registry.register_collector("serve", lambda: {"alive": True})
+        stop = threading.Event()
+        errors = []
+
+        def hammer():
+            try:
+                while not stop.is_set():
+                    counter.inc(shard=0)
+                    counter.inc(shard=1)
+                    hist.observe(0.5)
+                    hist.observe(50.0, shard=1)
+            except Exception as exc:  # noqa: BLE001 - reported below
+                errors.append(exc)
+
+        def export():
+            try:
+                while not stop.is_set():
+                    out = registry.export_dict()
+                    # A torn histogram render would violate these: the
+                    # bucket counts are cumulative and bounded by count.
+                    for payload in out["metrics"].values():
+                        if isinstance(payload, dict) and "buckets" in payload:
+                            buckets = list(payload["buckets"].values())
+                            assert buckets == sorted(buckets)
+                            assert buckets[-1] == payload["count"]
+                    json.dumps(out)
+                    registry.export_text()
+            except Exception as exc:  # noqa: BLE001 - reported below
+                errors.append(exc)
+
+        threads = ([threading.Thread(target=hammer) for _ in range(4)]
+                   + [threading.Thread(target=export) for _ in range(2)])
+        for t in threads:
+            t.start()
+        import time
+        time.sleep(0.4)
+        stop.set()
+        for t in threads:
+            t.join()
+        assert errors == []
+        # Counters only ever go up; the final export sees every inc.
+        total = counter.value(shard=0) + counter.value(shard=1)
+        assert total == hist.snapshot()["count"] + hist.snapshot(
+            shard=1)["count"]
+
+    def test_counter_reads_monotonic_across_exports(self):
+        import threading
+
+        registry = MetricsRegistry()
+        counter = registry.counter("done")
+        stop = threading.Event()
+        errors = []
+
+        def hammer():
+            while not stop.is_set():
+                counter.inc()
+
+        def watch():
+            try:
+                last = 0.0
+                while not stop.is_set():
+                    value = registry.export_dict()["metrics"]["done"]
+                    assert value >= last
+                    last = value
+            except Exception as exc:  # noqa: BLE001 - reported below
+                errors.append(exc)
+
+        threads = [threading.Thread(target=hammer),
+                   threading.Thread(target=watch)]
+        for t in threads:
+            t.start()
+        import time
+        time.sleep(0.3)
+        stop.set()
+        for t in threads:
+            t.join()
+        assert errors == []
+
+    def test_raising_collector_stays_in_band_under_concurrency(self):
+        import threading
+
+        registry = MetricsRegistry()
+        registry.counter("ok").inc()
+        registry.register_collector(
+            "broken", lambda: (_ for _ in ()).throw(RuntimeError("boom")))
+        outs = []
+
+        def export():
+            outs.append(registry.export_dict())
+
+        threads = [threading.Thread(target=export) for _ in range(6)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert len(outs) == 6
+        for out in outs:
+            assert "RuntimeError" in out["broken"]["error"]
+            assert out["metrics"]["ok"] == 1.0

@@ -1,0 +1,138 @@
+"""Signal-safe shutdown: bundle, drain, restore, escalate."""
+
+import json
+import os
+import signal
+
+import pytest
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.signals import install_signal_handlers
+
+
+class FakeServer:
+    """Duck-typed server: a registry and a stop() that records calls."""
+
+    def __init__(self):
+        self.metrics = MetricsRegistry()
+        self.metrics.counter("done").inc(4)
+        self.telemetry = None
+        self.alerts = None
+        self.flight_recorder = None
+        self.last_health = None
+        self.stops = 0
+
+    def stop(self):
+        self.stops += 1
+
+
+class TestSignalHandle:
+    def test_install_and_uninstall_restore_previous(self):
+        server = FakeServer()
+        before = signal.getsignal(signal.SIGTERM)
+        handle = install_signal_handlers(server, exit_on_signal=False)
+        try:
+            assert signal.getsignal(signal.SIGTERM) == handle._handler
+        finally:
+            handle.uninstall()
+        assert signal.getsignal(signal.SIGTERM) == before
+
+    def test_first_signal_bundles_then_drains(self, tmp_path):
+        server = FakeServer()
+        handle = install_signal_handlers(
+            server, bundle_dir=str(tmp_path / "b"), exit_on_signal=False)
+        try:
+            handle._handler(signal.SIGTERM, None)
+        finally:
+            handle.uninstall()
+        assert server.stops == 1
+        assert handle.triggered == 1
+        assert handle.bundle_path == str(tmp_path / "b")
+        manifest = json.loads(
+            (tmp_path / "b" / "manifest.json").read_text())
+        assert manifest["reason"] == "signal:SIGTERM"
+        metrics = json.loads((tmp_path / "b" / "metrics.json").read_text())
+        assert metrics["metrics"]["done"] == 4.0
+
+    def test_first_signal_uninstalls_handlers(self):
+        server = FakeServer()
+        before = signal.getsignal(signal.SIGINT)
+        handle = install_signal_handlers(server, exit_on_signal=False)
+        handle._handler(signal.SIGINT, None)
+        # After a clean drain the previous handlers are back.
+        assert signal.getsignal(signal.SIGINT) == before
+        assert server.stops == 1
+
+    def test_exit_on_signal_raises_systemexit_zero(self):
+        server = FakeServer()
+        handle = install_signal_handlers(server)
+        try:
+            with pytest.raises(SystemExit) as exc:
+                handle._handler(signal.SIGTERM, None)
+        finally:
+            handle.uninstall()
+        assert exc.value.code == 0
+        assert server.stops == 1
+
+    def test_second_signal_escalates(self):
+        class SlowServer(FakeServer):
+            def __init__(self, handle_box):
+                super().__init__()
+                self.handle_box = handle_box
+
+            def stop(self):
+                super().stop()
+                # Operator presses Ctrl-C again mid-drain.
+                with pytest.raises(SystemExit) as exc:
+                    self.handle_box[0]._handler(signal.SIGINT, None)
+                assert exc.value.code == 1
+
+        box = []
+        server = SlowServer(box)
+        handle = install_signal_handlers(server)
+        box.append(handle)
+        try:
+            with pytest.raises(SystemExit) as exc:
+                handle._handler(signal.SIGTERM, None)
+        finally:
+            handle.uninstall()
+        assert exc.value.code == 0
+        assert handle.triggered == 2
+        assert server.stops == 1
+
+    def test_bundle_failure_does_not_block_drain(self, tmp_path):
+        server = FakeServer()
+        server.metrics = None  # nothing to bundle
+        target = tmp_path / "file"
+        target.write_text("not a directory")
+        handle = install_signal_handlers(
+            server, bundle_dir=str(target), exit_on_signal=False)
+        try:
+            handle._handler(signal.SIGTERM, None)
+        finally:
+            handle.uninstall()
+        assert server.stops == 1
+        assert handle.bundle_path is None
+
+    def test_context_manager(self):
+        server = FakeServer()
+        before = signal.getsignal(signal.SIGTERM)
+        with install_signal_handlers(server, exit_on_signal=False) as handle:
+            assert signal.getsignal(signal.SIGTERM) == handle._handler
+        assert signal.getsignal(signal.SIGTERM) == before
+
+    def test_real_signal_delivery(self, tmp_path):
+        # One real SIGTERM through the OS, handled on the main thread.
+        server = FakeServer()
+        handle = install_signal_handlers(
+            server, bundle_dir=str(tmp_path / "b"), exit_on_signal=False)
+        try:
+            os.kill(os.getpid(), signal.SIGTERM)
+            # CPython runs the handler at the next bytecode boundary.
+            deadline = 1000
+            while server.stops == 0 and deadline:
+                deadline -= 1
+        finally:
+            handle.uninstall()
+        assert server.stops == 1
+        assert (tmp_path / "b" / "manifest.json").exists()

@@ -1,0 +1,247 @@
+"""Telemetry store math and the sampler lifecycle."""
+
+import math
+import threading
+import time
+
+import pytest
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.timeseries import (TelemetrySampler, TelemetryStore,
+                                  flatten_numeric)
+
+
+class TestFlattenNumeric:
+    def test_numeric_leaves_by_dotted_path(self):
+        flat = flatten_numeric({
+            "serve": {"completed": 7, "p99_ms": 1.5, "backend": "thread",
+                      "healthy": True, "shards": [2, 3]},
+        })
+        assert flat == {"serve.completed": 7.0, "serve.p99_ms": 1.5,
+                        "serve.healthy": 1.0, "serve.shards.0": 2.0,
+                        "serve.shards.1": 3.0}
+
+    def test_matches_export_text_paths(self):
+        registry = MetricsRegistry()
+        registry.register_collector("serve", lambda: {
+            "completed": 7, "nested": {"x": 1}, "name": "skip"})
+        registry.counter("rejects").inc(2)
+        flat = flatten_numeric(registry.export_dict())
+        text_paths = {line.rsplit(" ", 1)[0]
+                      for line in registry.export_text().splitlines()}
+        assert set(flat) == text_paths
+
+    def test_nan_leaves_survive(self):
+        flat = flatten_numeric({"p99_ms": float("nan")})
+        assert math.isnan(flat["p99_ms"])
+
+
+class TestTelemetryStore:
+    def test_bounded_ring(self):
+        store = TelemetryStore(max_samples=4)
+        for i in range(10):
+            store.ingest({"x": float(i)}, now=float(i))
+        assert store.series("x") == [(6.0, 6.0), (7.0, 7.0),
+                                     (8.0, 8.0), (9.0, 9.0)]
+        assert store.latest("x") == 9.0
+        assert store.ingested == 10
+
+    def test_needs_two_slots(self):
+        with pytest.raises(ValueError):
+            TelemetryStore(max_samples=1)
+
+    def test_delta_and_rate_use_window_baseline(self):
+        store = TelemetryStore()
+        # Cumulative counter: +10 per second.
+        for t in range(8):
+            store.ingest({"done": 10.0 * t}, now=float(t))
+        # Window of 3 s ending at t=7: baseline is the sample at t=4.
+        assert store.delta("done", 3.0, now=7.0) == pytest.approx(30.0)
+        assert store.rate("done", 3.0, now=7.0) == pytest.approx(10.0)
+        # Window longer than history: oldest sample is the baseline.
+        assert store.delta("done", 100.0, now=7.0) == pytest.approx(70.0)
+
+    def test_delta_unknown_series_is_none(self):
+        store = TelemetryStore()
+        assert store.delta("nope", 30.0) is None
+        assert store.rate("nope", 30.0) is None
+        assert store.latest("nope") is None
+
+    def test_single_sample_delta_is_zero(self):
+        store = TelemetryStore()
+        store.ingest({"x": 5.0}, now=0.0)
+        assert store.delta("x", 30.0, now=0.0) == 0.0
+        assert store.rate("x", 30.0, now=0.0) == 0.0
+
+    def test_window_returns_samples_inside(self):
+        store = TelemetryStore()
+        for t in range(6):
+            store.ingest({"x": float(t)}, now=float(t))
+        assert store.window("x", 2.0, now=5.0) == [
+            (3.0, 3.0), (4.0, 4.0), (5.0, 5.0)]
+
+    def test_quantile_from_buckets_windowed(self):
+        store = TelemetryStore()
+        prefix = "metrics.lat_ms"
+        # At t=0 the histogram has 100 old observations all <= 1 ms.
+        store.ingest({f"{prefix}.buckets.le_1": 100.0,
+                      f"{prefix}.buckets.le_10": 100.0,
+                      f"{prefix}.buckets.le_inf": 100.0}, now=0.0)
+        # During the window, 100 new observations land in (1, 10].
+        store.ingest({f"{prefix}.buckets.le_1": 100.0,
+                      f"{prefix}.buckets.le_10": 200.0,
+                      f"{prefix}.buckets.le_inf": 200.0}, now=10.0)
+        p50 = store.quantile_from_buckets(prefix, 0.5, 30.0, now=10.0)
+        # All windowed mass is in (1, 10]: the median interpolates there,
+        # and the old <=1ms observations do not drag it down.
+        assert 1.0 < p50 <= 10.0
+        assert p50 == pytest.approx(5.5)
+
+    def test_quantile_empty_window_is_none(self):
+        store = TelemetryStore()
+        prefix = "metrics.lat_ms"
+        store.ingest({f"{prefix}.buckets.le_1": 50.0,
+                      f"{prefix}.buckets.le_inf": 50.0}, now=0.0)
+        store.ingest({f"{prefix}.buckets.le_1": 50.0,
+                      f"{prefix}.buckets.le_inf": 50.0}, now=10.0)
+        assert store.quantile_from_buckets(prefix, 0.99, 5.0,
+                                           now=10.0) is None
+        assert store.quantile_from_buckets("unknown", 0.99, 5.0) is None
+
+    def test_quantile_overflow_bucket_reports_highest_bound(self):
+        store = TelemetryStore()
+        prefix = "m.h"
+        store.ingest({f"{prefix}.buckets.le_1": 0.0,
+                      f"{prefix}.buckets.le_inf": 0.0}, now=0.0)
+        store.ingest({f"{prefix}.buckets.le_1": 0.0,
+                      f"{prefix}.buckets.le_inf": 10.0}, now=1.0)
+        assert store.quantile_from_buckets(prefix, 0.99, 30.0,
+                                           now=1.0) == 1.0
+
+    def test_bad_quantile_raises(self):
+        with pytest.raises(ValueError):
+            TelemetryStore().quantile_from_buckets("x", 0.0, 30.0)
+
+    def test_dump_roundtrip(self):
+        import json
+
+        store = TelemetryStore(max_samples=8)
+        for t in range(5):
+            store.ingest({"a": float(t), "b": 2.0 * t}, now=float(t))
+        payload = json.loads(json.dumps(store.dump()))
+        clone = TelemetryStore.from_dump(payload)
+        assert clone.series("a") == store.series("a")
+        assert clone.series("b") == store.series("b")
+        assert clone.delta("b", 10.0, now=4.0) == \
+            store.delta("b", 10.0, now=4.0)
+        assert clone.ingested == store.ingested
+        assert clone.end_time() == 4.0
+
+    def test_concurrent_ingest_and_read(self):
+        store = TelemetryStore(max_samples=64)
+        stop = threading.Event()
+        errors = []
+
+        def write():
+            t = 0.0
+            while not stop.is_set():
+                store.ingest({"x": t, "y": -t}, now=t)
+                t += 1.0
+
+        def read():
+            try:
+                while not stop.is_set():
+                    store.delta("x", 10.0)
+                    store.rate("y", 10.0)
+                    store.dump()
+            except Exception as exc:  # noqa: BLE001 - reported below
+                errors.append(exc)
+
+        threads = [threading.Thread(target=write),
+                   threading.Thread(target=read),
+                   threading.Thread(target=read)]
+        for t in threads:
+            t.start()
+        time.sleep(0.3)
+        stop.set()
+        for t in threads:
+            t.join()
+        assert errors == []
+
+
+class TestTelemetrySampler:
+    def test_sample_once_flattens_registry(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("done")
+        counter.inc(3)
+        sampler = TelemetrySampler(registry, interval_s=1.0)
+        flat = sampler.sample_once(now=0.0)
+        assert flat["metrics.done"] == 3.0
+        assert sampler.store.latest("metrics.done") == 3.0
+        assert sampler.samples == 1
+
+    def test_registers_its_own_collector(self):
+        registry = MetricsRegistry()
+        sampler = TelemetrySampler(registry, interval_s=0.5)
+        sampler.sample_once(now=0.0)
+        # The sampler's health shows up in the exports it takes.
+        assert sampler.store.latest("telemetry.samples") == 0.0
+        sampler.sample_once(now=1.0)
+        assert sampler.store.latest("telemetry.samples") == 1.0
+        assert sampler.store.latest("telemetry.interval_s") == 0.5
+
+    def test_background_thread_samples_and_stops(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("done")
+        sampler = TelemetrySampler(registry, interval_s=0.01)
+        with sampler:
+            counter.inc(5)
+            deadline = time.time() + 5.0
+            while time.time() < deadline and sampler.samples < 4:
+                time.sleep(0.005)
+            assert sampler.samples >= 4
+        assert not sampler.running
+        assert sampler.store.latest("metrics.done") == 5.0
+        with pytest.raises(RuntimeError):
+            sampler.start()
+
+    def test_start_takes_a_synchronous_baseline(self):
+        registry = MetricsRegistry()
+        registry.counter("done").inc(0)
+        sampler = TelemetrySampler(registry, interval_s=60.0)
+        try:
+            sampler.start()
+            # No interval has elapsed, yet the baseline sample exists —
+            # deltas of anything that happens now have a "before" point.
+            assert sampler.samples == 1
+            assert sampler.store.latest("metrics.done") == 0.0
+        finally:
+            sampler.stop()
+
+    def test_stop_is_idempotent_and_samples_once_more(self):
+        registry = MetricsRegistry()
+        sampler = TelemetrySampler(registry, interval_s=10.0)
+        sampler.start()
+        before = sampler.samples
+        sampler.stop()
+        sampler.stop()
+        # The final on-stop tick ran exactly once.
+        assert sampler.samples == before + 1
+
+    def test_broken_rule_is_counted_not_raised(self):
+        class BrokenAlerts:
+            rules = ()
+
+            def evaluate(self, store, now=None):
+                raise RuntimeError("boom")
+
+        registry = MetricsRegistry()
+        sampler = TelemetrySampler(registry, interval_s=1.0,
+                                   alerts=BrokenAlerts())
+        sampler.sample_once(now=0.0)
+        assert sampler.samples == 1
+        assert sampler.rule_errors == 1
+
+    def test_bad_interval_raises(self):
+        with pytest.raises(ValueError):
+            TelemetrySampler(MetricsRegistry(), interval_s=0.0)
