@@ -1,0 +1,39 @@
+"""repro-lint: static concurrency & invariant checks for this codebase.
+
+The serving stack re-derives the same handful of rules in every PR:
+counters shared across threads stay behind their lock, callbacks and
+blocking calls run *outside* locks, pipeline stages survive the spawn
+boundary, and the submit->ring hot path never concatenates or
+serializes.  This package makes those rules executable with nothing but
+``ast`` + ``symtable``:
+
+- RPA001 lock-discipline   (``#: guarded-by: <lock>`` annotations)
+- RPA002 no-blocking-under-lock
+- RPA003 spawn-safety      (``core.model_io._STAGE_IO`` registry)
+- RPA004 hot-path-allocation (``#: hot-path`` markers)
+
+Run it as ``python -m repro.analysis src``.  Inline suppressions use
+``# repro-lint: ignore[RPA00N] <reason>`` and are reported in a printed
+inventory so exceptions stay visible.
+
+``repro.analysis.runtime`` is the dynamic counterpart: an opt-in
+instrumented lock wrapper (``REPRO_LOCK_ORDER=1``) that records the
+global lock-acquisition graph during the test suite and flags
+lock-order cycles and blocking-while-holding events.
+"""
+
+from repro.analysis.base import Finding, SourceInfo, Suppression
+from repro.analysis.runner import (Report, analyze_file, analyze_source,
+                                   iter_python_files, main, run)
+
+__all__ = [
+    "Finding",
+    "SourceInfo",
+    "Suppression",
+    "Report",
+    "analyze_file",
+    "analyze_source",
+    "iter_python_files",
+    "main",
+    "run",
+]

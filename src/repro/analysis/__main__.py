@@ -1,0 +1,8 @@
+"""CLI entry point: ``python -m repro.analysis src [tests ...]``."""
+
+import sys
+
+from repro.analysis.runner import main
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,136 @@
+"""Shared plumbing for the repro-lint checkers.
+
+Comment-level conventions live here so every checker reads them the same
+way:
+
+- ``#: guarded-by: <lock>``   trailing an assignment in ``__init__``
+  declares the attribute may only be touched under ``with self.<lock>:``.
+- ``#: hot-path``             on the line above a ``def`` (or trailing
+  the ``def`` line) bans allocation/serialization calls in that function.
+- ``# repro-lint: ignore[RPA001] <reason>``  trailing a flagged line
+  suppresses the finding; the reason is mandatory and every suppression
+  is reported in the inventory.
+
+Comments are extracted with :mod:`tokenize` (not regex over raw lines)
+so string literals that *look* like annotations never confuse a checker.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+GUARDED_BY_RE = re.compile(r"#:\s*guarded-by:\s*([A-Za-z_][A-Za-z0-9_]*)")
+HOT_PATH_RE = re.compile(r"#:\s*hot-path\b")
+SUPPRESS_RE = re.compile(
+    r"#\s*repro-lint:\s*ignore\[([A-Z]{3}\d{3}(?:\s*,\s*[A-Z]{3}\d{3})*)\]\s*(.*)"
+)
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation, pointing at an exact source line."""
+
+    rule: str
+    file: str
+    line: int
+    message: str
+    hint: str
+
+    def render(self) -> str:
+        return f"{self.file}:{self.line}: {self.rule} {self.message}" \
+               f" (hint: {self.hint})"
+
+
+@dataclass
+class Suppression:
+    """An inline ``# repro-lint: ignore[...]`` comment.
+
+    ``matched`` counts how many findings it absorbed; a suppression that
+    absorbs nothing is stale and reported as such.  A suppression with
+    no written reason is *invalid* and does not absorb anything — the
+    inventory exists so exceptions stay reviewable.
+    """
+
+    file: str
+    line: int
+    rules: Tuple[str, ...]
+    reason: str
+    matched: int = 0
+
+    @property
+    def valid(self) -> bool:
+        return bool(self.reason.strip())
+
+    def render(self) -> str:
+        rules = ",".join(self.rules)
+        reason = self.reason.strip() or "<MISSING REASON - suppression ignored>"
+        return f"{self.file}:{self.line}: ignore[{rules}] {reason}"
+
+
+@dataclass
+class SourceInfo:
+    """Per-file comment facts shared by all checkers."""
+
+    filename: str
+    comments: Dict[int, str] = field(default_factory=dict)
+    standalone: Set[int] = field(default_factory=set)
+    hot_path_lines: Set[int] = field(default_factory=set)
+    suppressions: List[Suppression] = field(default_factory=list)
+
+    def guarded_by(self, line: int) -> Optional[str]:
+        """The lock name declared for an assignment on ``line``.
+
+        Accepts the annotation trailing the assignment line, or standing
+        *alone* on the line directly above it (for assignments that would
+        overflow the line length) — a trailing comment on the previous
+        statement never bleeds onto the next one.
+        """
+        for candidate in (line, line - 1):
+            if candidate != line and candidate not in self.standalone:
+                continue
+            text = self.comments.get(candidate)
+            if text:
+                match = GUARDED_BY_RE.search(text)
+                if match:
+                    return match.group(1)
+        return None
+
+    def is_hot_path(self, def_line: int, first_decorator_line: Optional[int]) -> bool:
+        """True if a ``#: hot-path`` marker covers the ``def`` at def_line."""
+        above = {def_line - 1}
+        if first_decorator_line is not None:
+            above.add(first_decorator_line - 1)
+        if def_line in self.hot_path_lines:
+            return True
+        return bool(above & self.hot_path_lines & self.standalone)
+
+
+def scan_source(source: str, filename: str) -> SourceInfo:
+    """Tokenize ``source`` and collect every repro-lint comment."""
+    info = SourceInfo(filename=filename)
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(source).readline)
+        for tok in tokens:
+            if tok.type != tokenize.COMMENT:
+                continue
+            line = tok.start[0]
+            info.comments[line] = tok.string
+            if tok.line.strip().startswith("#"):
+                info.standalone.add(line)
+            if HOT_PATH_RE.search(tok.string):
+                info.hot_path_lines.add(line)
+            sup = SUPPRESS_RE.search(tok.string)
+            if sup:
+                rules = tuple(r.strip() for r in sup.group(1).split(","))
+                info.suppressions.append(
+                    Suppression(file=filename, line=line, rules=rules,
+                                reason=sup.group(2)))
+    except tokenize.TokenError:
+        # A file the tokenizer rejects will also fail ast.parse; the
+        # runner reports that as a syntax finding, so stay silent here.
+        pass
+    return info

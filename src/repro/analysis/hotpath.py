@@ -1,0 +1,79 @@
+"""RPA004 hot-path-allocation: the submit->ring path stays copy-bounded.
+
+PR 6 rebuilt the serve hot path around "one copy at offer, zero
+concatenation after": clients copy traces straight into pooled slabs,
+shards scatter results through preallocated response slabs, and the
+ring protocol moves views, not fresh arrays.  Those wins silently rot
+the first time someone adds an `np.concatenate` "just for this case".
+
+Mark a function with ``#: hot-path`` (its own comment line directly
+above the ``def``, or trailing the ``def`` line) and this checker bans
+the known allocation/serialization sinks inside it:
+
+- ``np.concatenate`` / ``np.vstack`` (per-batch reallocation),
+- ``json.dumps`` (text serialization on a binary path),
+- ``copy.deepcopy`` (unbounded recursive allocation).
+
+Bare-name forms (``concatenate(...)``, ``deepcopy(...)``, ``dumps(...)``)
+are flagged too, so an import alias cannot dodge the rule.  Nested
+functions inside a marked function inherit the marker — a closure on
+the hot path runs on the hot path.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List, Optional
+
+from repro.analysis.base import Finding, SourceInfo
+
+RPA004 = "RPA004"
+
+# Attribute-call names banned regardless of receiver (numpy is aliased
+# as np everywhere in this codebase, but any receiver counts).
+_BANNED_ATTRS = frozenset({"concatenate", "vstack", "deepcopy"})
+# `dumps` only when the receiver is a serializer module, so a hot-path
+# function may still call an unrelated object's `.dumps`.
+_DUMPS_RECEIVERS = frozenset({"json", "pickle", "marshal"})
+_BANNED_BARE = frozenset({"concatenate", "vstack", "deepcopy", "dumps"})
+
+
+def check_module(tree: ast.Module, info: SourceInfo) -> List[Finding]:
+    findings: List[Finding] = []
+    for node in ast.walk(tree):
+        if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        first_decorator = (node.decorator_list[0].lineno
+                           if node.decorator_list else None)
+        if info.is_hot_path(node.lineno, first_decorator):
+            _check_function(node, info, findings)
+    return findings
+
+
+def _banned_call(node: ast.Call) -> Optional[str]:
+    func = node.func
+    if isinstance(func, ast.Attribute):
+        if func.attr in _BANNED_ATTRS:
+            return ast.unparse(func)
+        if (func.attr == "dumps" and isinstance(func.value, ast.Name)
+                and func.value.id in _DUMPS_RECEIVERS):
+            return ast.unparse(func)
+    elif isinstance(func, ast.Name) and func.id in _BANNED_BARE:
+        return func.id
+    return None
+
+
+def _check_function(fn: ast.AST, info: SourceInfo,
+                    findings: List[Finding]) -> None:
+    for node in ast.walk(fn):
+        if not isinstance(node, ast.Call):
+            continue
+        banned = _banned_call(node)
+        if banned is None:
+            continue
+        findings.append(Finding(
+            rule=RPA004, file=info.filename, line=node.lineno,
+            message=(f"`{banned}(...)` inside `#: hot-path` function"
+                     f" `{fn.name}`"),
+            hint=("preallocate and write into pooled slabs/rings instead"
+                  " of concatenating or serializing on the hot path")))

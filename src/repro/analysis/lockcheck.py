@@ -1,0 +1,206 @@
+"""RPA001 lock-discipline and RPA002 no-blocking-under-lock.
+
+RPA001: an attribute assigned in ``__init__`` with a trailing
+``#: guarded-by: <lock>`` annotation may only be read or written inside
+a ``with self.<lock>:`` block in that class.  Two escape hatches keep
+the rule honest instead of noisy:
+
+- ``__init__`` itself is exempt (the object is not shared yet), and
+- methods whose name ends in ``_locked`` are exempt — the codebase's
+  existing convention for helpers that document "caller holds the lock".
+
+RPA002: inside a ``with self.<lockish>:`` body (any ``self`` attribute
+whose name contains ``lock``/``cond``/``mutex``), flag calls that can
+block or re-enter arbitrary code: ``join``/``send``/``recv``/``put``/
+``sleep``/``wait``-on-another-object, ``log_event`` (sinks can be slow
+files), and user callbacks (``callback``/``hook``/``on_*``).  This
+codifies the AlertManager rule: collect work under the lock, run it
+after release.  ``wait``/``notify`` on the *same* condition object as
+the enclosing ``with`` are the blessed Condition idiom and exempt.
+``.get`` is deliberately NOT flagged: ``dict.get`` under a lock is
+ubiquitous and indistinguishable statically from ``Queue.get`` — the
+runtime lock-order detector covers blocking getters instead.
+
+Both rules look only at locks reached as ``self.<attr>``; module-level
+locks (e.g. a spawn-env serialization lock) are out of scope and left
+to the runtime detector.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, List, Optional, Tuple
+
+from repro.analysis.base import Finding, SourceInfo
+
+RPA001 = "RPA001"
+RPA002 = "RPA002"
+
+_LOCKISH_MARKERS = ("lock", "cond", "mutex")
+# Calls that can block the holder (or hand control to arbitrary code)
+# and therefore do not belong under a lock.  `.get` is excluded on
+# purpose — see module docstring.
+_BLOCKING_NAMES = frozenset(
+    {"join", "send", "recv", "send_bytes", "recv_bytes", "put", "sleep"})
+_CALLBACK_NAMES = frozenset({"callback", "hook"})
+
+
+def _self_attr(node: ast.AST) -> Optional[str]:
+    """``self.X`` -> ``"X"``, anything else -> None."""
+    if (isinstance(node, ast.Attribute)
+            and isinstance(node.value, ast.Name)
+            and node.value.id == "self"):
+        return node.attr
+    return None
+
+
+def _is_lockish(attr: str) -> bool:
+    lowered = attr.lower()
+    return any(marker in lowered for marker in _LOCKISH_MARKERS)
+
+
+def check_module(tree: ast.Module, info: SourceInfo) -> List[Finding]:
+    findings: List[Finding] = []
+    for node in tree.body:
+        _check_container(node, info, findings, guarded={})
+    return findings
+
+
+def _check_container(node: ast.AST, info: SourceInfo,
+                     findings: List[Finding],
+                     guarded: Dict[str, str]) -> None:
+    if isinstance(node, ast.ClassDef):
+        class_guarded = _collect_guarded(node, info)
+        for child in node.body:
+            _check_container(child, info, findings, class_guarded)
+    elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+        exempt_rpa001 = (not guarded
+                         or node.name == "__init__"
+                         or node.name.endswith("_locked"))
+        checker = _FunctionChecker(
+            info, findings, guarded if not exempt_rpa001 else {})
+        checker.check(node)
+
+
+def _collect_guarded(classdef: ast.ClassDef, info: SourceInfo) -> Dict[str, str]:
+    """Read ``#: guarded-by:`` annotations off ``__init__`` assignments."""
+    guarded: Dict[str, str] = {}
+    for node in classdef.body:
+        if isinstance(node, ast.FunctionDef) and node.name == "__init__":
+            for stmt in ast.walk(node):
+                targets: List[ast.expr] = []
+                if isinstance(stmt, ast.Assign):
+                    targets = stmt.targets
+                elif isinstance(stmt, (ast.AnnAssign, ast.AugAssign)):
+                    targets = [stmt.target]
+                for target in targets:
+                    attr = _self_attr(target)
+                    if attr is None:
+                        continue
+                    lock = info.guarded_by(stmt.lineno)
+                    if lock:
+                        guarded[attr] = lock
+            break
+    return guarded
+
+
+class _FunctionChecker:
+    """Walk one function, tracking which ``self.<lock>`` are held."""
+
+    def __init__(self, info: SourceInfo, findings: List[Finding],
+                 guarded: Dict[str, str]):
+        self.info = info
+        self.findings = findings
+        self.guarded = guarded
+
+    def check(self, fn: ast.AST) -> None:
+        body = fn.body if not isinstance(fn, ast.Lambda) else [fn.body]
+        for stmt in body:
+            self._walk(stmt, held=())
+
+    def _walk(self, node: ast.AST, held: Tuple[str, ...]) -> None:
+        if isinstance(node, ast.With):
+            new_held = held
+            for item in node.items:
+                self._walk(item.context_expr, held)
+                attr = _self_attr(item.context_expr)
+                if attr is not None and attr not in new_held:
+                    new_held = new_held + (attr,)
+            for stmt in node.body:
+                self._walk(stmt, new_held)
+            return
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+            # A nested function runs later, when the enclosing with-block
+            # has long exited — its body holds nothing.
+            body = [node.body] if isinstance(node, ast.Lambda) else node.body
+            for stmt in body:
+                self._walk(stmt, held=())
+            return
+        if isinstance(node, ast.Call):
+            self._check_call(node, held)
+        elif isinstance(node, ast.Attribute):
+            self._check_attribute(node, held)
+        for child in ast.iter_child_nodes(node):
+            self._walk(child, held)
+
+    # -- RPA001 ------------------------------------------------------------
+
+    def _check_attribute(self, node: ast.Attribute, held: Tuple[str, ...]) -> None:
+        attr = _self_attr(node)
+        if attr is None or attr not in self.guarded:
+            return
+        lock = self.guarded[attr]
+        if lock in held:
+            return
+        verb = "write" if isinstance(node.ctx, (ast.Store, ast.Del)) else "read"
+        self.findings.append(Finding(
+            rule=RPA001, file=self.info.filename, line=node.lineno,
+            message=(f"`self.{attr}` {verb} outside `with self.{lock}:`"
+                     f" (declared guarded-by: {lock})"),
+            hint=(f"hold `self.{lock}` for this access, or move it into a"
+                  f" `*_locked` helper called under the lock")))
+
+    # -- RPA002 ------------------------------------------------------------
+
+    def _check_call(self, node: ast.Call, held: Tuple[str, ...]) -> None:
+        lockish = [attr for attr in held if _is_lockish(attr)]
+        if not lockish:
+            return
+        func = node.func
+        if isinstance(func, ast.Attribute):
+            name = func.attr
+            receiver = _self_attr(func.value)
+        elif isinstance(func, ast.Name):
+            name = func.id
+            receiver = None
+        else:
+            return
+        innermost = lockish[-1]
+        display = ast.unparse(func)
+
+        if name in ("wait", "wait_for"):
+            if receiver is not None and receiver in held:
+                return  # Condition.wait on the lock we hold: the idiom.
+            self._blocking(node, display, innermost)
+        elif name in _BLOCKING_NAMES:
+            self._blocking(node, display, innermost)
+        elif name == "log_event":
+            self.findings.append(Finding(
+                rule=RPA002, file=self.info.filename, line=node.lineno,
+                message=f"`log_event(...)` while holding `self.{innermost}`",
+                hint=("emit the event after releasing the lock; a slow"
+                      " sink must never stall lock holders")))
+        elif name in _CALLBACK_NAMES or name.startswith("on_"):
+            self.findings.append(Finding(
+                rule=RPA002, file=self.info.filename, line=node.lineno,
+                message=(f"user callback `{display}(...)` invoked while"
+                         f" holding `self.{innermost}`"),
+                hint=("collect callbacks under the lock, invoke them after"
+                      " release (see AlertManager.evaluate)")))
+
+    def _blocking(self, node: ast.Call, display: str, lock: str) -> None:
+        self.findings.append(Finding(
+            rule=RPA002, file=self.info.filename, line=node.lineno,
+            message=f"blocking call `{display}(...)` while holding `self.{lock}`",
+            hint=("do the blocking work after releasing the lock (collect"
+                  " under the lock, act after release)")))

@@ -1,0 +1,161 @@
+"""Aggregate the repro-lint checkers over files and render the report.
+
+``python -m repro.analysis src`` walks every ``*.py`` under the given
+paths, runs RPA001-RPA004, applies inline suppressions, prints findings
+plus the suppression inventory, and exits non-zero when any unsuppressed
+finding remains.  The whole run stays well under the 5 s budget the CI
+lint job allows (ast + symtable only; the single import in the RPA003
+registry pass is ``repro.core.model_io``, which the lint job already
+has on PYTHONPATH).
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+import sys
+import time
+from dataclasses import dataclass, field
+from typing import Iterable, List, Optional, Sequence, TextIO, Tuple
+
+from repro.analysis import hotpath, lockcheck, spawncheck
+from repro.analysis.base import Finding, Suppression, scan_source
+
+RPA000 = "RPA000"  # file does not parse — always fatal, never suppressible
+
+
+def iter_python_files(paths: Sequence[str]) -> Iterable[str]:
+    for path in paths:
+        if os.path.isfile(path):
+            if path.endswith(".py"):
+                yield path
+        else:
+            for root, dirs, files in os.walk(path):
+                dirs[:] = sorted(d for d in dirs
+                                 if d not in ("__pycache__", ".git"))
+                for name in sorted(files):
+                    if name.endswith(".py"):
+                        yield os.path.join(root, name)
+
+
+def analyze_source(source: str, filename: str
+                   ) -> Tuple[List[Finding], List[Suppression]]:
+    """Run every per-file checker; returns raw findings + suppressions.
+
+    Suppressions are *not* applied here — tests and the runner decide
+    that — so callers can assert on exactly what each rule flags.
+    """
+    info = scan_source(source, filename)
+    try:
+        tree = ast.parse(source, filename=filename)
+    except SyntaxError as exc:
+        finding = Finding(
+            rule=RPA000, file=filename, line=exc.lineno or 1,
+            message=f"file does not parse: {exc.msg}",
+            hint="fix the syntax error; no other checks ran on this file")
+        return [finding], info.suppressions
+    findings: List[Finding] = []
+    findings.extend(lockcheck.check_module(tree, info))
+    findings.extend(spawncheck.check_module(tree, info, source))
+    findings.extend(hotpath.check_module(tree, info))
+    return findings, info.suppressions
+
+
+def analyze_file(path: str) -> Tuple[List[Finding], List[Suppression]]:
+    with open(path, "r", encoding="utf-8") as handle:
+        source = handle.read()
+    return analyze_source(source, path)
+
+
+@dataclass
+class Report:
+    """Everything one analyzer run learned, pre-rendered split."""
+
+    active: List[Finding] = field(default_factory=list)
+    suppressed: List[Finding] = field(default_factory=list)
+    suppressions: List[Suppression] = field(default_factory=list)
+    files: int = 0
+    elapsed_s: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        return not self.active
+
+
+def apply_suppressions(findings: List[Finding],
+                       suppressions: List[Suppression]
+                       ) -> Tuple[List[Finding], List[Finding]]:
+    """Split findings into (active, suppressed), counting matches.
+
+    A suppression only absorbs a finding when it names the finding's
+    rule, sits on the same line of the same file, and carries a written
+    reason.  RPA000 (syntax error) can never be suppressed.
+    """
+    by_line = {}
+    for sup in suppressions:
+        by_line.setdefault((sup.file, sup.line), []).append(sup)
+    active: List[Finding] = []
+    suppressed: List[Finding] = []
+    for finding in findings:
+        absorbed = False
+        if finding.rule != RPA000:
+            for sup in by_line.get((finding.file, finding.line), ()):
+                if finding.rule in sup.rules and sup.valid:
+                    sup.matched += 1
+                    absorbed = True
+                    break
+        (suppressed if absorbed else active).append(finding)
+    return active, suppressed
+
+
+def run(paths: Sequence[str], import_check: bool = True) -> Report:
+    start = time.perf_counter()
+    all_findings: List[Finding] = []
+    all_suppressions: List[Suppression] = []
+    report = Report()
+    for path in iter_python_files(paths):
+        findings, suppressions = analyze_file(path)
+        all_findings.extend(findings)
+        all_suppressions.extend(suppressions)
+        report.files += 1
+    if import_check:
+        all_findings.extend(spawncheck.check_registry())
+    report.active, report.suppressed = apply_suppressions(
+        all_findings, all_suppressions)
+    report.suppressions = all_suppressions
+    report.elapsed_s = time.perf_counter() - start
+    return report
+
+
+def render(report: Report, stream: TextIO) -> None:
+    out = stream.write
+    for finding in sorted(report.active, key=lambda f: (f.file, f.line, f.rule)):
+        out(finding.render() + "\n")
+    if report.suppressions:
+        out("\nsuppression inventory"
+            " (every exception to the rules, with its reason):\n")
+        for sup in sorted(report.suppressions, key=lambda s: (s.file, s.line)):
+            status = "" if sup.matched else "  [stale: matched no finding]"
+            if not sup.valid:
+                status = "  [INVALID: no reason given - not honored]"
+            out(f"  {sup.render()}{status}\n")
+    out(f"\nrepro-lint: {report.files} files, "
+        f"{len(report.active)} finding(s), "
+        f"{len(report.suppressed)} suppressed, "
+        f"{report.elapsed_s:.2f}s\n")
+
+
+def main(argv: Optional[Sequence[str]] = None,
+         stream: TextIO = sys.stdout) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    import_check = True
+    if "--no-import-check" in argv:
+        argv.remove("--no-import-check")
+        import_check = False
+    if not argv:
+        stream.write("usage: python -m repro.analysis [--no-import-check]"
+                     " <path> [path ...]\n")
+        return 2
+    report = run(argv, import_check=import_check)
+    render(report, stream)
+    return 0 if report.ok else 1

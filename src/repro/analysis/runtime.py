@@ -1,0 +1,408 @@
+"""Opt-in runtime lock-order detector (the dynamic half of repro-lint).
+
+Static rules catch accesses, but lock-order inversions only exist at
+runtime: thread A takes ``stats._lock`` then ``pool._lock`` while thread
+B takes them in the other order, and the suite still passes until the
+day it deadlocks in production.  With ``REPRO_LOCK_ORDER=1`` the test
+conftest calls :func:`install`, which patches ``threading.Lock`` /
+``RLock`` / ``Condition`` with instrumented wrappers that:
+
+- name each lock by its *creation site* (the first ``src/repro`` or
+  ``tests`` frame on the constructing stack), so every ``ServerStats``
+  instance collapses into one graph node;
+- record an edge ``A -> B`` whenever a thread blocks-acquires B while
+  holding A (the global lock-acquisition graph);
+- record a *blocking-while-holding* event when that acquire actually
+  contends (the try-lock probe fails while other locks are held).
+
+At session teardown the conftest dumps :meth:`LockOrderMonitor.report`
+as JSON and asserts the graph is acyclic; ``python -m
+repro.analysis.runtime report.json`` re-checks a dumped report in CI.
+
+Scope notes: locks created outside repro code (library internals) are
+left untracked so the graph stays readable; a ``Condition()`` created
+under the patch uses a tracked lock and therefore loses RLock
+re-entrancy across ``wait()`` for *plain* locks passed in by stdlib code
+exactly as real ``Condition`` does — no repro Condition re-enters.
+Edges between two locks from the *same* creation site are skipped
+(same-site nesting would self-loop the node; a true same-lock re-entry
+on a plain Lock deadlocks the suite immediately and needs no detector).
+"""
+
+from __future__ import annotations
+
+import _thread
+import json
+import os
+import sys
+import threading
+from typing import Dict, List, Optional, Sequence, TextIO, Tuple
+
+# Real factories, captured at import time so install() can never wrap
+# an already-wrapped factory.
+_real_Lock = threading.Lock
+_real_RLock = threading.RLock
+_real_Condition = threading.Condition
+
+_SITE_MARKERS = (f"{os.sep}repro{os.sep}", f"{os.sep}tests{os.sep}",
+                 f"{os.sep}benchmarks{os.sep}", f"{os.sep}examples{os.sep}")
+_MAX_BLOCK_KINDS = 1024  # aggregation keys, not raw events; plenty
+
+
+class LockOrderMonitor:
+    """Thread-safe recorder for the global lock-acquisition graph."""
+
+    def __init__(self) -> None:
+        self._mu = _thread.allocate_lock()  # raw: never self-tracked
+        self._local = threading.local()
+        self._sites: Dict[str, Dict[str, int]] = {}
+        self._edges: Dict[Tuple[str, str], int] = {}
+        self._blocking: Dict[Tuple[Tuple[str, ...], str], int] = {}
+
+    # -- bookkeeping used by the wrappers ---------------------------------
+
+    def _held(self) -> List[str]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = []
+            self._local.stack = stack
+        return stack
+
+    def note_created(self, site: str) -> None:
+        with self._mu:
+            entry = self._sites.setdefault(
+                site, {"instances": 0, "acquisitions": 0})
+            entry["instances"] += 1
+
+    def note_attempt(self, site: str) -> None:
+        """A blocking acquire of ``site`` is starting on this thread."""
+        held = self._held()
+        if not held:
+            return
+        with self._mu:
+            for holder in held:
+                if holder != site:
+                    edge = (holder, site)
+                    self._edges[edge] = self._edges.get(edge, 0) + 1
+
+    def note_blocked(self, site: str) -> None:
+        """The acquire contended while this thread held other locks."""
+        held = tuple(self._held())
+        if not held:
+            return
+        with self._mu:
+            key = (held, site)
+            if key in self._blocking or len(self._blocking) < _MAX_BLOCK_KINDS:
+                self._blocking[key] = self._blocking.get(key, 0) + 1
+
+    def note_acquired(self, site: str) -> None:
+        self._held().append(site)
+        with self._mu:
+            entry = self._sites.setdefault(
+                site, {"instances": 0, "acquisitions": 0})
+            entry["acquisitions"] += 1
+
+    def note_released(self, site: str) -> None:
+        stack = self._held()
+        # Locks may legally be released by a thread that never pushed
+        # them (cross-thread release as a signal); ignore those.
+        for i in range(len(stack) - 1, -1, -1):
+            if stack[i] == site:
+                del stack[i]
+                return
+
+    # -- analysis ----------------------------------------------------------
+
+    def edges(self) -> Dict[Tuple[str, str], int]:
+        with self._mu:
+            return dict(self._edges)
+
+    def cycles(self) -> List[List[str]]:
+        """Strongly-connected components with more than one node.
+
+        Any such SCC means two locks are (transitively) acquired in
+        both orders — a potential deadlock.  Tarjan, iteratively.
+        """
+        graph: Dict[str, List[str]] = {}
+        for (a, b) in self.edges():
+            graph.setdefault(a, []).append(b)
+            graph.setdefault(b, [])
+        index: Dict[str, int] = {}
+        low: Dict[str, int] = {}
+        on_stack: Dict[str, bool] = {}
+        stack: List[str] = []
+        counter = [0]
+        sccs: List[List[str]] = []
+
+        for root in graph:
+            if root in index:
+                continue
+            work: List[Tuple[str, int]] = [(root, 0)]
+            while work:
+                node, child_i = work.pop()
+                if child_i == 0:
+                    index[node] = low[node] = counter[0]
+                    counter[0] += 1
+                    stack.append(node)
+                    on_stack[node] = True
+                recurse = False
+                children = graph[node]
+                for i in range(child_i, len(children)):
+                    child = children[i]
+                    if child not in index:
+                        work.append((node, i + 1))
+                        work.append((child, 0))
+                        recurse = True
+                        break
+                    if on_stack.get(child):
+                        low[node] = min(low[node], index[child])
+                if recurse:
+                    continue
+                if low[node] == index[node]:
+                    scc = []
+                    while True:
+                        member = stack.pop()
+                        on_stack[member] = False
+                        scc.append(member)
+                        if member == node:
+                            break
+                    if len(scc) > 1:
+                        sccs.append(sorted(scc))
+                if work:
+                    parent = work[-1][0]
+                    low[parent] = min(low[parent], low[node])
+        return sorted(sccs)
+
+    def report(self) -> dict:
+        with self._mu:
+            sites = {name: dict(entry) for name, entry in self._sites.items()}
+            edges = [{"from": a, "to": b, "count": count}
+                     for (a, b), count in sorted(self._edges.items())]
+            blocking = [{"held": list(held), "acquiring": site, "count": count}
+                        for (held, site), count in sorted(self._blocking.items())]
+        return {
+            "locks": sites,
+            "edges": edges,
+            "cycles": self.cycles(),
+            "blocking_while_holding": blocking,
+        }
+
+
+class TrackedLock:
+    """A named, monitored wrapper around a non-reentrant lock."""
+
+    _reentrant = False
+
+    def __init__(self, name: str, monitor: LockOrderMonitor,
+                 inner=None) -> None:
+        self._name = name
+        self._monitor = monitor
+        self._inner = inner if inner is not None else _thread.allocate_lock()
+
+    def acquire(self, blocking: bool = True, timeout: float = -1) -> bool:
+        if not blocking:
+            got = self._inner.acquire(False)
+            if got:
+                self._monitor.note_acquired(self._name)
+            return got
+        self._monitor.note_attempt(self._name)
+        got = self._inner.acquire(False)
+        if not got:
+            self._monitor.note_blocked(self._name)
+            got = self._inner.acquire(True, timeout)
+        if got:
+            self._monitor.note_acquired(self._name)
+        return got
+
+    def release(self) -> None:
+        self._monitor.note_released(self._name)
+        self._inner.release()
+
+    def locked(self) -> bool:
+        return self._inner.locked()
+
+    def __enter__(self) -> bool:
+        return self.acquire()
+
+    def __exit__(self, *exc) -> None:
+        self.release()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{type(self).__name__} {self._name!r} wrapping {self._inner!r}>"
+
+
+class TrackedRLock(TrackedLock):
+    """Reentrant variant; implements Condition's full lock protocol."""
+
+    _reentrant = True
+
+    def __init__(self, name: str, monitor: LockOrderMonitor,
+                 inner=None) -> None:
+        super().__init__(name, monitor,
+                         inner if inner is not None else _real_RLock())
+        self._depth = threading.local()
+
+    def _get_depth(self) -> int:
+        return getattr(self._depth, "value", 0)
+
+    def acquire(self, blocking: bool = True, timeout: float = -1) -> bool:
+        if self._get_depth() > 0:  # re-entry: no new edge, no new hold
+            got = self._inner.acquire(blocking, timeout)
+            if got:
+                self._depth.value = self._get_depth() + 1
+            return got
+        if not blocking:
+            got = self._inner.acquire(False)
+            if got:
+                self._depth.value = 1
+                self._monitor.note_acquired(self._name)
+            return got
+        self._monitor.note_attempt(self._name)
+        got = self._inner.acquire(False)
+        if not got:
+            self._monitor.note_blocked(self._name)
+            got = self._inner.acquire(True, timeout)
+        if got:
+            self._depth.value = 1
+            self._monitor.note_acquired(self._name)
+        return got
+
+    def release(self) -> None:
+        depth = self._get_depth()
+        self._depth.value = depth - 1
+        if depth == 1:
+            self._monitor.note_released(self._name)
+        self._inner.release()
+
+    # Condition.wait() uses these to fully release a re-entered lock.
+    def _release_save(self):
+        depth = self._get_depth()
+        self._depth.value = 0
+        self._monitor.note_released(self._name)
+        return (depth, self._inner._release_save())
+
+    def _acquire_restore(self, state) -> None:
+        depth, inner_state = state
+        self._monitor.note_attempt(self._name)
+        self._inner._acquire_restore(inner_state)
+        self._depth.value = depth
+        self._monitor.note_acquired(self._name)
+
+    def _is_owned(self) -> bool:
+        return self._inner._is_owned()
+
+
+# -- global patching -------------------------------------------------------
+
+_installed: Optional[LockOrderMonitor] = None
+
+
+def _creation_site() -> Optional[str]:
+    """First repro/tests frame on the stack, as ``path:lineno``."""
+    frame = sys._getframe(2)
+    for _ in range(25):
+        if frame is None:
+            return None
+        filename = frame.f_code.co_filename
+        if filename != __file__ and any(m in filename for m in _SITE_MARKERS):
+            parts = filename.replace(os.sep, "/").rsplit("/", 3)
+            short = "/".join(parts[-3:])
+            return f"{short}:{frame.f_lineno}"
+        frame = frame.f_back
+    return None
+
+
+def get_monitor() -> Optional[LockOrderMonitor]:
+    return _installed
+
+
+def install(monitor: Optional[LockOrderMonitor] = None) -> LockOrderMonitor:
+    """Patch threading lock factories; returns the active monitor."""
+    global _installed
+    if _installed is not None:
+        return _installed
+    active = monitor if monitor is not None else LockOrderMonitor()
+
+    def tracked_lock():
+        site = _creation_site()
+        if site is None:
+            return _real_Lock()
+        active.note_created(site)
+        return TrackedLock(site, active, _real_Lock())
+
+    def tracked_rlock():
+        site = _creation_site()
+        if site is None:
+            return _real_RLock()
+        active.note_created(site)
+        return TrackedRLock(site, active, _real_RLock())
+
+    def tracked_condition(lock=None):
+        if lock is None:
+            site = _creation_site()
+            if site is None:
+                return _real_Condition()
+            active.note_created(site)
+            lock = TrackedRLock(site, active, _real_RLock())
+        return _real_Condition(lock)
+
+    threading.Lock = tracked_lock
+    threading.RLock = tracked_rlock
+    threading.Condition = tracked_condition
+    _installed = active
+    return active
+
+
+def uninstall() -> None:
+    global _installed
+    threading.Lock = _real_Lock
+    threading.RLock = _real_RLock
+    threading.Condition = _real_Condition
+    _installed = None
+
+
+def write_report(monitor: LockOrderMonitor, path: str) -> dict:
+    report = monitor.report()
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(report, handle, indent=2, sort_keys=True)
+    return report
+
+
+# -- report checking (CI gate) ---------------------------------------------
+
+def check_report(report: dict) -> List[str]:
+    """Human-readable problems in a dumped report; empty means healthy."""
+    problems = []
+    for cycle in report.get("cycles", []):
+        problems.append("lock-order cycle (potential deadlock): "
+                        + " <-> ".join(cycle))
+    return problems
+
+
+def main(argv: Optional[Sequence[str]] = None,
+         stream: TextIO = sys.stdout) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if len(argv) != 1:
+        stream.write("usage: python -m repro.analysis.runtime"
+                     " <lock_order_report.json>\n")
+        return 2
+    with open(argv[0], "r", encoding="utf-8") as handle:
+        report = json.load(handle)
+    out = stream.write
+    out(f"locks tracked: {len(report.get('locks', {}))}\n")
+    out(f"acquisition-order edges: {len(report.get('edges', []))}\n")
+    blocking = report.get("blocking_while_holding", [])
+    out(f"blocking-while-holding kinds: {len(blocking)}\n")
+    for event in blocking[:10]:
+        out(f"  held {event['held']} -> blocked acquiring"
+            f" {event['acquiring']} x{event['count']}\n")
+    problems = check_report(report)
+    for problem in problems:
+        out(f"PROBLEM: {problem}\n")
+    if not problems:
+        out("lock graph is acyclic\n")
+    return 1 if problems else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

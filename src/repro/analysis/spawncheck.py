@@ -1,0 +1,200 @@
+"""RPA003 spawn-safety: stage classes must survive the spawn boundary.
+
+`ProcessShardBackend` ships engines to spawn workers as serialized
+pipelines (`dumps_pipeline`): every stage is reduced to a tag from
+``core.model_io._STAGE_IO`` plus plain arrays, and the *worker* rebuilds
+it by importing ``repro.core.model_io`` fresh.  That only works when
+every registered class (and its save/load callables) is reachable at
+module level in a fresh interpreter and carries no closure state.
+``tests/core/test_spawn_safety.py`` proves this dynamically per stage
+type; this checker is its static twin and also covers classes a future
+PR registers but forgets to exercise.
+
+Two passes:
+
+- a per-file AST+symtable pass that finds ``_STAGE_IO`` registrations
+  (dict-literal assignment or ``_STAGE_IO[tag] = ...`` anywhere, incl.
+  inside functions) and flags locally-defined classes that are nested
+  or close over enclosing state;
+- a whole-project pass (the registry is assembled from imports, which a
+  single file cannot see) that imports ``repro.core.model_io`` and
+  verifies every registered class is module-level, reachable under its
+  own name, and free of ``__code__.co_freevars`` in its methods.
+  Anything serialized by ``dumps_pipeline`` must be registered here, so
+  checking the registry covers everything shipped.
+"""
+
+from __future__ import annotations
+
+import ast
+import symtable
+from typing import Dict, List, Optional, Set
+
+from repro.analysis.base import Finding, SourceInfo
+
+RPA003 = "RPA003"
+_REGISTRY_NAME = "_STAGE_IO"
+
+
+def _registry_target(node: ast.expr) -> bool:
+    """True if ``node`` names the stage registry (``_STAGE_IO`` or ``x._STAGE_IO``)."""
+    if isinstance(node, ast.Name):
+        return node.id == _REGISTRY_NAME
+    if isinstance(node, ast.Attribute):
+        return node.attr == _REGISTRY_NAME
+    return False
+
+
+def _registered_class_names(tree: ast.Module) -> List[ast.Name]:
+    """Every ``Name`` node registered as a stage class in this module."""
+    names: List[ast.Name] = []
+
+    def _from_entry(entry: ast.expr) -> None:
+        # A registry entry is ``(Cls, save, load)``; only the class ships.
+        if isinstance(entry, ast.Tuple) and entry.elts:
+            first = entry.elts[0]
+            if isinstance(first, ast.Name):
+                names.append(first)
+        elif isinstance(entry, ast.Name):
+            names.append(entry)
+
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Assign):
+            for target in node.targets:
+                if _registry_target(target) and isinstance(node.value, ast.Dict):
+                    for value in node.value.values:
+                        _from_entry(value)
+                elif (isinstance(target, ast.Subscript)
+                      and _registry_target(target.value)):
+                    _from_entry(node.value)
+        elif (isinstance(node, ast.Call)
+              and isinstance(node.func, ast.Attribute)
+              and node.func.attr == "update"
+              and _registry_target(node.func.value)):
+            for arg in node.args:
+                if isinstance(arg, ast.Dict):
+                    for value in arg.values:
+                        _from_entry(value)
+    return names
+
+
+def check_module(tree: ast.Module, info: SourceInfo,
+                 source: str) -> List[Finding]:
+    findings: List[Finding] = []
+    registered = _registered_class_names(tree)
+    if not registered:
+        return findings
+
+    wanted: Set[str] = {name.id for name in registered}
+    module_level = {node.name for node in tree.body
+                    if isinstance(node, ast.ClassDef)}
+    # Class definitions anywhere in the file, for nested-def findings.
+    defs: Dict[str, ast.ClassDef] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ClassDef) and node.name in wanted:
+            defs.setdefault(node.name, node)
+
+    for name in sorted(wanted):
+        classdef = defs.get(name)
+        if classdef is None:
+            continue  # imported class: the project-level registry pass owns it
+        if name not in module_level:
+            findings.append(Finding(
+                rule=RPA003, file=info.filename, line=classdef.lineno,
+                message=(f"stage class `{name}` is registered in _STAGE_IO"
+                         " but not defined at module level"),
+                hint=("move the class to module scope so a spawn worker can"
+                      " rebuild it by importing the module")))
+        findings.extend(_closure_findings(source, info, classdef))
+    return findings
+
+
+def _closure_findings(source: str, info: SourceInfo,
+                      classdef: ast.ClassDef) -> List[Finding]:
+    """Flag methods of ``classdef`` that close over enclosing state."""
+    findings: List[Finding] = []
+    try:
+        table = symtable.symtable(source, info.filename, "exec")
+    except SyntaxError:
+        return findings
+    block = _find_class_block(table, classdef.name)
+    if block is None:
+        return findings
+    for child in block.get_children():
+        frees = sorted(child.get_frees()) if child.get_type() == "function" else []
+        if frees:
+            findings.append(Finding(
+                rule=RPA003, file=info.filename,
+                line=_method_line(classdef, child.get_name()),
+                message=(f"stage class `{classdef.name}` method"
+                         f" `{child.get_name()}` closes over"
+                         f" {', '.join(repr(f) for f in frees)}"),
+                hint=("closure cells do not survive the spawn boundary;"
+                      " pass state through __init__/arrays instead")))
+    return findings
+
+
+def _find_class_block(table: symtable.SymbolTable,
+                      name: str) -> Optional[symtable.SymbolTable]:
+    if table.get_type() == "class" and table.get_name() == name:
+        return table
+    for child in table.get_children():
+        found = _find_class_block(child, name)
+        if found is not None:
+            return found
+    return None
+
+
+def _method_line(classdef: ast.ClassDef, method: str) -> int:
+    for node in classdef.body:
+        if isinstance(node, ast.FunctionDef) and node.name == method:
+            return node.lineno
+    return classdef.lineno
+
+
+def check_registry() -> List[Finding]:
+    """Project-level pass: import the live registry and audit every entry."""
+    import inspect
+    import sys
+    import types
+
+    try:
+        from repro.core import model_io
+    except Exception:  # pragma: no cover - analyzer run outside the repo
+        return []
+
+    findings: List[Finding] = []
+    for tag, (cls, _save, _load) in sorted(model_io._STAGE_IO.items()):
+        try:
+            src_file = inspect.getsourcefile(cls) or "<unknown>"
+            _lines, line = inspect.getsourcelines(cls)
+        except (OSError, TypeError):  # pragma: no cover - C extension class
+            src_file, line = "<unknown>", 0
+        if "<locals>" in cls.__qualname__:
+            findings.append(Finding(
+                rule=RPA003, file=src_file, line=line,
+                message=(f"stage `{tag}` class {cls.__qualname__} is defined"
+                         " inside a function"),
+                hint="define stage classes at module level"))
+            continue
+        module = sys.modules.get(cls.__module__)
+        if module is None or getattr(module, cls.__name__, None) is not cls:
+            findings.append(Finding(
+                rule=RPA003, file=src_file, line=line,
+                message=(f"stage `{tag}` class {cls.__name__} is not"
+                         f" reachable as {cls.__module__}.{cls.__name__}"),
+                hint=("a spawn worker reconstructs stages by import; the"
+                      " registered class must be the module-level one")))
+        for attr_name, attr in vars(cls).items():
+            fn = attr
+            if isinstance(attr, (staticmethod, classmethod)):
+                fn = attr.__func__
+            if isinstance(fn, types.FunctionType) and fn.__code__.co_freevars:
+                findings.append(Finding(
+                    rule=RPA003, file=src_file, line=line,
+                    message=(f"stage `{tag}` method {cls.__name__}."
+                             f"{attr_name} closes over"
+                             f" {fn.__code__.co_freevars!r}"),
+                    hint=("closure cells do not survive the spawn boundary;"
+                          " pass state through __init__/arrays instead")))
+    return findings

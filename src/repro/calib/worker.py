@@ -175,7 +175,9 @@ class ProbeScheduler:
         outcomes (empty when no batch was due or nothing alarmed). Called
         from the worker thread only.
         """
-        done = self.server.stats.traces_done
+        # Locked read: traces_done is _lock-guarded ServerStats state and
+        # duty-cycle accounting must never see a torn/stale counter.
+        (done,) = self.server.stats.read_counters("traces_done")
         delta = done - self._accounted
         self._accounted = done
         # Probe traces complete through the same counter; don't owe
@@ -299,9 +301,10 @@ class CalibrationWorker:
             self._attach_hooks()
         self._state_lock = threading.Lock()
         self._stop_event = threading.Event()
+        #: guarded-by: _state_lock
         self._thread: Optional[threading.Thread] = None
-        self._started = False
-        self._stopped = False
+        self._started = False  #: guarded-by: _state_lock
+        self._stopped = False  #: guarded-by: _state_lock
 
     # ------------------------------------------------------------------
     # Lifecycle (mirrors ReadoutServer.start/stop)
@@ -352,7 +355,8 @@ class CalibrationWorker:
 
     @property
     def running(self) -> bool:
-        thread = self._thread
+        with self._state_lock:
+            thread = self._thread
         return thread is not None and thread.is_alive()
 
     # ------------------------------------------------------------------
@@ -402,8 +406,9 @@ class CalibrationWorker:
             except Exception:  # noqa: BLE001 — a dead probe must not kill us
                 self.stats.probe_errors += 1
             else:
-                self.stats.probe_batches = self.server.stats.probes
-                self.stats.probe_traces = self.server.stats.probe_traces
+                (self.stats.probe_batches,
+                 self.stats.probe_traces) = self.server.stats.read_counters(
+                     "probes", "probe_traces")
         for shard_index in self._shard_indices:
             alarm = self._next_alarm(shard_index)
             if alarm is None:

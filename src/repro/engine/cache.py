@@ -22,10 +22,11 @@ class LRUCache:
         if maxsize < 1:
             raise ValueError(f"maxsize must be positive, got {maxsize}")
         self.maxsize = int(maxsize)
+        #: guarded-by: _lock
         self._data: "OrderedDict[Hashable, Any]" = OrderedDict()
         self._lock = threading.RLock()
-        self.hits = 0
-        self.misses = 0
+        self.hits = 0  #: guarded-by: _lock
+        self.misses = 0  #: guarded-by: _lock
 
     def get(self, key: Hashable, default: Any = None) -> Any:
         with self._lock:

@@ -234,6 +234,7 @@ class ReadoutEngine:
     # ------------------------------------------------------------------
     # Shared-feature chunk execution
     # ------------------------------------------------------------------
+    #: hot-path
     def _process_chunk(self,
                        chunk: ReadoutDataset) -> Dict[str, np.ndarray]:
         memo: Dict[str, np.ndarray] = {}
@@ -339,6 +340,7 @@ class ReadoutEngine:
         )
         return self.predict_bits(dataset, out=out)
 
+    #: hot-path
     def predict_traces_into(self, demod: np.ndarray, device,
                             out: Dict[str, np.ndarray],
                             ) -> Dict[str, np.ndarray]:

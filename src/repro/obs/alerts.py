@@ -307,12 +307,13 @@ class AlertManager:
         if len(set(names)) != len(names):
             raise ValueError(f"duplicate rule names in {names}")
         self.rules: Tuple[AlertRule, ...] = tuple(rules)
+        #: guarded-by: _lock
         self._states = {rule.name: AlertState(rule) for rule in rules}
         self._lock = threading.Lock()
         self.on_fire = on_fire
         self.on_resolve = on_resolve
-        self.evaluations = 0
-        self.callback_errors = 0
+        self.evaluations = 0  #: guarded-by: _lock
+        self.callback_errors = 0  #: guarded-by: _lock
         self._gauge = None
         if registry is not None:
             self._gauge = registry.gauge(
@@ -368,11 +369,13 @@ class AlertManager:
         try:
             callback(state)
         except Exception:  # noqa: BLE001 - monitoring outlives callbacks
-            self.callback_errors += 1
+            with self._lock:
+                self.callback_errors += 1
 
     # -- inspection ------------------------------------------------------
     def state(self, name: str) -> AlertState:
-        return self._states[name]
+        with self._lock:
+            return self._states[name]
 
     def active(self) -> List[AlertState]:
         with self._lock:

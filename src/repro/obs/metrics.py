@@ -67,7 +67,7 @@ class Counter(_Instrument):
 
     def __init__(self, name: str, help: str = "") -> None:
         super().__init__(name, help)
-        self._values: Dict[LabelKey, float] = {}
+        self._values: Dict[LabelKey, float] = {}  #: guarded-by: _lock
 
     def inc(self, amount: float = 1.0, **labels: object) -> None:
         value = self._check_value(amount)
@@ -94,7 +94,7 @@ class Gauge(_Instrument):
 
     def __init__(self, name: str, help: str = "") -> None:
         super().__init__(name, help)
-        self._values: Dict[LabelKey, float] = {}
+        self._values: Dict[LabelKey, float] = {}  #: guarded-by: _lock
 
     def set(self, value: float, **labels: object) -> None:
         amount = self._check_value(value)
@@ -129,7 +129,7 @@ class Histogram(_Instrument):
         if not bounds:
             raise ValueError("histogram needs at least one bucket bound")
         self.bounds = bounds
-        self._series: Dict[LabelKey, List[float]] = {}
+        self._series: Dict[LabelKey, List[float]] = {}  #: guarded-by: _lock
         # per label key: [count, sum, min, max, bucket0, bucket1, ...]
 
     def observe(self, value: float, **labels: object) -> None:
@@ -199,7 +199,8 @@ class MetricsRegistry:
 
     def __init__(self) -> None:
         self._lock = threading.Lock()
-        self._instruments: Dict[str, _Instrument] = {}
+        self._instruments: Dict[str, _Instrument] = {}  #: guarded-by: _lock
+        #: guarded-by: _lock
         self._collectors: Dict[str, Callable[[], Dict[str, object]]] = {}
 
     # -- instruments -----------------------------------------------------
@@ -248,6 +249,10 @@ class MetricsRegistry:
     # -- export ----------------------------------------------------------
     def export_dict(self) -> Dict[str, object]:
         """One nested snapshot: collectors by component + instruments."""
+        # Copy under the lock, call outside it: collectors are arbitrary
+        # user callables (ServerStats.snapshot, AlertManager.snapshot)
+        # that take their own locks — release-before-callback keeps the
+        # registry lock a leaf in the lock-order graph.
         with self._lock:
             collectors = dict(self._collectors)
             instruments = list(self._instruments.values())

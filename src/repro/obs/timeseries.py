@@ -92,8 +92,8 @@ class TelemetryStore:
                 f"got {max_samples}")
         self.max_samples = int(max_samples)
         self._lock = threading.Lock()
-        self._series: Dict[str, Deque[Sample]] = {}
-        self._ingested = 0
+        self._series: Dict[str, Deque[Sample]] = {}  #: guarded-by: _lock
+        self._ingested = 0  #: guarded-by: _lock
 
     # -- writing ---------------------------------------------------------
     def ingest(self, flat: Dict[str, float],

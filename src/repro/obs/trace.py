@@ -129,13 +129,14 @@ class FlightRecorder:
             raise ValueError("retention sizes must be >= 0")
         self.max_slowest = int(max_slowest)
         self.sample_size = int(sample_size)
-        self._rng = random.Random(seed)
+        self._rng = random.Random(seed)  #: guarded-by: _lock
         self._lock = threading.Lock()
-        self._recorded = 0
-        self._seq = itertools.count()
+        self._recorded = 0  #: guarded-by: _lock
+        self._seq = itertools.count()  #: guarded-by: _lock
         # heap of (duration_s, tiebreak_seq, trace)
+        #: guarded-by: _lock
         self._slowest: List[Tuple[float, int, TraceContext]] = []
-        self._sample: List[TraceContext] = []
+        self._sample: List[TraceContext] = []  #: guarded-by: _lock
 
     def record(self, trace: TraceContext) -> None:
         if not trace.finished:

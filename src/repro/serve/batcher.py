@@ -179,18 +179,19 @@ class MicroBatcher:
         self.trace_dtype = (None if trace_dtype is None
                             else np.dtype(trace_dtype))
         self._pool = slab_pool if slab_pool is not None else SlabPool()
-        self._queue: Deque[_Forming] = deque()   # sealed, oldest first
-        self._forming: Optional[_Forming] = None
-        self._trace_shape: Optional[tuple] = None
-        self._slab_dtype: Optional[np.dtype] = None
-        self._n_pending = 0
-        self._pending_traces = 0
+        self._queue: Deque[_Forming] = deque()   #: guarded-by: _cond
+        self._forming: Optional[_Forming] = None  #: guarded-by: _cond
+        self._trace_shape: Optional[tuple] = None  #: guarded-by: _cond
+        self._slab_dtype: Optional[np.dtype] = None  #: guarded-by: _cond
+        self._n_pending = 0  #: guarded-by: _cond
+        self._pending_traces = 0  #: guarded-by: _cond
         self._cond = threading.Condition()
-        self._closed = False
+        self._closed = False  #: guarded-by: _cond
 
     # ------------------------------------------------------------------
     # Producer side
     # ------------------------------------------------------------------
+    #: hot-path
     def offer(self, request: ServeRequest) -> Optional[ServeRequest]:
         """Enqueue a request; returns the shed victim under that policy.
 
@@ -348,6 +349,7 @@ class MicroBatcher:
     # ------------------------------------------------------------------
     # Consumer side
     # ------------------------------------------------------------------
+    #: hot-path
     def gather(self) -> Optional[FlushedBatch]:
         """Block for the next sealed batch; None once closed.
 
@@ -379,9 +381,15 @@ class MicroBatcher:
                     self._seal_forming_locked()
                     continue
                 self._cond.wait(remaining)
-        return self._build(batch)
+            # Snapshot the geometry while still under the lock: _build
+            # runs outside it (the fallback assembly must not serialize
+            # gatherers), and these two are _cond-guarded state.
+            trace_shape = self._trace_shape
+            slab_dtype = self._slab_dtype
+        return self._build(batch, trace_shape, slab_dtype)
 
-    def _build(self, batch: _Forming) -> FlushedBatch:
+    def _build(self, batch: _Forming, trace_shape: Optional[tuple],
+               slab_dtype: Optional[np.dtype]) -> FlushedBatch:
         if batch.traced:
             # seal -> gather: time the batch spent waiting for (and being
             # assembled by) the dispatch pump after its seal.
@@ -401,13 +409,13 @@ class MicroBatcher:
         if len(batch.requests) == 1:
             traces = batch.requests[0].traces
             demod = traces
-            if (self._slab_dtype is not None
-                    and traces.dtype != self._slab_dtype
-                    and tuple(traces.shape[1:]) == self._trace_shape):
-                demod = traces.astype(self._slab_dtype)
+            if (slab_dtype is not None
+                    and traces.dtype != slab_dtype
+                    and tuple(traces.shape[1:]) == trace_shape):
+                demod = traces.astype(slab_dtype)
         else:
-            demod = np.empty((batch.n_traces,) + self._trace_shape,
-                             dtype=self._slab_dtype)
+            demod = np.empty((batch.n_traces,) + trace_shape,
+                             dtype=slab_dtype)
             offset = 0
             for r in batch.requests:
                 demod[offset:offset + r.n_traces] = r.traces

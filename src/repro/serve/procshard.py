@@ -311,15 +311,15 @@ class _ProcessShard:
         self._free: "queue.Queue[int]" = queue.Queue()
         for slot in range(n_slots):
             self._free.put(slot)
-        #: seq -> [(inflight, offset, n_traces), ...] slot segments.
-        self._pending: Dict[int, List[Tuple[object, int, int]]] = {}
-        #: seq -> send timestamp, kept only for traced groups (ring
-        #: transit spans stitch send -> result-receive per group).
-        self._sent_at: Dict[int, float] = {}
-        self._next_seq = 0
+        # seq -> [(inflight, offset, n_traces), ...] slot segments.
+        self._pending: Dict[int, List[Tuple[object, int, int]]] = {}  #: guarded-by: _lock
+        # seq -> send timestamp, kept only for traced groups (ring
+        # transit spans stitch send -> result-receive per group).
+        self._sent_at: Dict[int, float] = {}  #: guarded-by: _lock
+        self._next_seq = 0  #: guarded-by: _lock
         self._lock = threading.Lock()
         self._send_lock = threading.Lock()
-        self._submit_q: "deque[object]" = deque()
+        self._submit_q: "deque[object]" = deque()  #: guarded-by: _submit_cond
         self._submit_cond = threading.Condition()
         self._dead = False
         self._finished = False
@@ -379,6 +379,7 @@ class _ProcessShard:
         if self._dead:
             raise RuntimeError(str(self.death_error()))
 
+    #: hot-path
     def enqueue(self, inflight) -> None:
         """Hand one in-flight batch to this shard (dispatcher thread).
 
@@ -389,6 +390,7 @@ class _ProcessShard:
             self._submit_q.append(inflight)
             self._submit_cond.notify()
 
+    #: hot-path
     def _submit_loop(self) -> None:
         """Drain the submit deque into the ring, coalescing when deep.
 
@@ -418,6 +420,7 @@ class _ProcessShard:
                     total += nxt.n_traces
             self._send_group(group, total)
 
+    #: hot-path
     def _send_group(self, group: List[object], total: int) -> None:
         """Ship one coalesced group: one slot, one command message."""
         failure: Optional[BaseException] = None
@@ -455,30 +458,38 @@ class _ProcessShard:
         self._ring.write_trace_ids(
             slot, [r.trace.trace_id
                    for inflight in traced for r in inflight.traced])
+        died = False
         with self._lock:
             if self._dead:
-                self._free.put(slot)
-                exc = self.death_error()
-                for inflight in group:
-                    inflight.shard_error(exc)
-                return
-            seq = self._next_seq
-            self._next_seq += 1
-            self._pending[seq] = segments
-            if traced:
-                # Registered with _pending under the same lock so the
-                # receiver (which may win the race to this seq) always
-                # finds it. ring_submit covers submitter-queue wait,
-                # slot wait and the shared-memory memcpy.
-                sent_at = time.perf_counter()
-                self._sent_at[seq] = sent_at
-                for inflight in traced:
-                    if inflight.dispatched_at is not None:
-                        inflight.add_span(f"ring_submit/shard{self.index}",
-                                          inflight.dispatched_at, sent_at)
+                # Only note the fact under the lock; failing futures runs
+                # done-callbacks and the slot return can wake the
+                # submitter — neither belongs under _lock.
+                died = True
+            else:
+                seq = self._next_seq
+                self._next_seq += 1
+                self._pending[seq] = segments
+                if traced:
+                    # Registered with _pending under the same lock so the
+                    # receiver (which may win the race to this seq) always
+                    # finds it. ring_submit covers submitter-queue wait,
+                    # slot wait and the shared-memory memcpy.
+                    sent_at = time.perf_counter()
+                    self._sent_at[seq] = sent_at
+                    for inflight in traced:
+                        if inflight.dispatched_at is not None:
+                            inflight.add_span(
+                                f"ring_submit/shard{self.index}",
+                                inflight.dispatched_at, sent_at)
+        if died:
+            self._free.put(slot)
+            exc = self.death_error()
+            for inflight in group:
+                inflight.shard_error(exc)
+            return
         try:
             with self._send_lock:
-                self._commands.send(("batch", seq, slot, total))
+                self._commands.send(("batch", seq, slot, total))  # repro-lint: ignore[RPA002] serializing pipe writes is _send_lock's sole purpose; nothing else is held under it
         except (BrokenPipeError, OSError):
             with self._lock:
                 self._pending.pop(seq, None)
@@ -530,7 +541,7 @@ class _ProcessShard:
             n_designs=len(self._design_names))
         try:
             with self._send_lock:
-                self._commands.send(("ring", ring.spec.as_dict()))
+                self._commands.send(("ring", ring.spec.as_dict()))  # repro-lint: ignore[RPA002] serializing pipe writes is _send_lock's sole purpose; nothing else is held under it
         except (BrokenPipeError, OSError):
             ring.close()
             ring.unlink()
@@ -588,6 +599,7 @@ class _ProcessShard:
         self._handle_result(message)
         return True
 
+    #: hot-path
     def _handle_result(self, message) -> None:
         kind, seq, slot = message[0], message[1], message[2]
         with self._lock:
@@ -715,13 +727,19 @@ class _ProcessShard:
     def health(self) -> Dict[str, object]:
         """Liveness + queue depth for :meth:`ShardBackend.shard_health`."""
         alive = not self._dead and self._proc.is_alive()
+        # Batches the backend still owes the worker: queued at the
+        # submitter plus shipped-but-unanswered ring groups. Each count
+        # is read under its own lock (they are guarded state); the sum
+        # is a diagnostic, not a transaction.
+        with self._submit_cond:
+            queued = len(self._submit_q)
+        with self._lock:
+            shipped = len(self._pending)
         return {
             "alive": alive,
             "pid": self._proc.pid,
             "exit_code": self.exit_code,
-            # Batches the backend still owes the worker: queued at the
-            # submitter plus shipped-but-unanswered ring groups.
-            "backlog": len(self._submit_q) + len(self._pending),
+            "backlog": queued + shipped,
         }
 
     # ------------------------------------------------------------------
@@ -732,7 +750,7 @@ class _ProcessShard:
             return        # requests are failing anyway; parent state holds
         try:
             with self._send_lock:
-                self._commands.send(("swap", spec, device))
+                self._commands.send(("swap", spec, device))  # repro-lint: ignore[RPA002] serializing pipe writes is _send_lock's sole purpose; nothing else is held under it
         except (BrokenPipeError, OSError):
             pass          # receiver notices the death via the sentinel
 
@@ -745,7 +763,7 @@ class _ProcessShard:
             return
         try:
             with self._send_lock:
-                self._commands.send(("stop",))
+                self._commands.send(("stop",))  # repro-lint: ignore[RPA002] serializing pipe writes is _send_lock's sole purpose; nothing else is held under it
         except (BrokenPipeError, OSError):
             pass
 

@@ -790,10 +790,13 @@ class ReadoutServer:
             self._dispatcher.start()
             if self._telemetry is not None:
                 self._telemetry.start()
-            log_event("serve", "server_start",
-                      backend=self._backend.name,
-                      shards=len(self._shards), n_qubits=self.n_qubits)
-            return self
+        # Outside _state_lock: the event log is an arbitrary sink (file,
+        # test handler) and must never stall submit()'s stopped-check or
+        # a concurrent stop() — repro-lint RPA002 pins this.
+        log_event("serve", "server_start",
+                  backend=self._backend.name,
+                  shards=len(self._shards), n_qubits=self.n_qubits)
+        return self
 
     def stop(self) -> None:
         """Stop deterministically: finish in-flight batches, fail the rest.

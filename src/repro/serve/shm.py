@@ -160,6 +160,7 @@ class TraceRing:
         self._requests[slot, :n] = demod
         return n
 
+    #: hot-path
     def write_request_at(self, slot: int, offset: int,
                          demod: np.ndarray) -> int:
         """Copy a batch into a request slot starting at ``offset``.
@@ -179,6 +180,7 @@ class TraceRing:
         self._requests[slot, offset:offset + n] = demod
         return n
 
+    #: hot-path
     def request_view(self, slot: int, n_traces: int) -> np.ndarray:
         """Zero-copy view of the first ``n_traces`` of a request slot."""
         return self._requests[slot, :n_traces]
@@ -186,6 +188,7 @@ class TraceRing:
     # ------------------------------------------------------------------
     # Trace-id headers (spawn-boundary trace stitching)
     # ------------------------------------------------------------------
+    #: hot-path
     def write_trace_ids(self, slot: int, trace_ids: Sequence[int]) -> None:
         """Publish the trace ids riding a slot (parent side, pre-send).
 
@@ -198,6 +201,7 @@ class TraceRing:
         if ids:
             self._headers[slot, 1:1 + len(ids)] = ids
 
+    #: hot-path
     def read_trace_ids(self, slot: int) -> Tuple[int, ...]:
         """The trace ids riding a slot (worker side, on batch arrival)."""
         count = int(self._headers[slot, 0])
@@ -225,6 +229,7 @@ class TraceRing:
         return {name: np.array(self._responses[slot, d, :n_traces])
                 for d, name in enumerate(design_names)}
 
+    #: hot-path
     def response_view(self, slot: int, design_index: int, offset: int,
                       n_traces: int) -> np.ndarray:
         """Zero-copy ``(n_traces, n_qubits)`` view into a response slot.

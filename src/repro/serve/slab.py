@@ -76,12 +76,12 @@ class SlabPool:
         # reaper callback mutates the dict without the pool lock — dict
         # pop is GIL-atomic, and a GC fired inside acquire/release must
         # not deadlock on our own non-reentrant lock.
-        self._lent: Dict[int, "weakref.ref"] = {}
-        self.allocated = 0
-        self.reused = 0
-        self.fallbacks = 0
+        self._lent: Dict[int, "weakref.ref"] = {}  #: guarded-by: _lock
+        self.allocated = 0  #: guarded-by: _lock
+        self.reused = 0  #: guarded-by: _lock
+        self.fallbacks = 0  #: guarded-by: _lock
 
-    def _track(self, slab: np.ndarray) -> None:
+    def _track_locked(self, slab: np.ndarray) -> None:
         key = id(slab)
         lent = self._lent
         lent[key] = weakref.ref(
@@ -91,6 +91,7 @@ class SlabPool:
         if self._observer is not None:
             self._observer(event)
 
+    #: hot-path
     def acquire(self, shape: Tuple[int, ...],
                 dtype) -> Optional[np.ndarray]:
         """A pooled (or fresh) uninitialized array; None at the bound."""
@@ -99,7 +100,7 @@ class SlabPool:
             stack = self._free.get(key)
             if stack:
                 slab = stack.pop()
-                self._track(slab)
+                self._track_locked(slab)
                 self.reused += 1
                 event = "reused"
             elif (self.max_outstanding is not None
@@ -109,12 +110,15 @@ class SlabPool:
                 event = "fallback"
             else:
                 slab = np.empty(key[0], dtype=key[1])
-                self._track(slab)
+                self._track_locked(slab)
                 self.allocated += 1
                 event = "allocated"
+        # Release-before-callback: the observer (ServerStats.record_slab)
+        # takes its own lock and must never nest inside the pool lock.
         self._notify(event)
         return slab
 
+    #: hot-path
     def release(self, slab: np.ndarray) -> None:
         """Return a slab for reuse (advisory — skipping it only costs GC)."""
         key = (slab.shape, slab.dtype)

@@ -35,36 +35,37 @@ class ServerStats:
             raise ValueError(
                 f"latency_window must be positive, got {latency_window}")
         self._lock = threading.Lock()
-        self._latencies_s: Deque[float] = deque(maxlen=int(latency_window))
-        self.submitted = 0
-        self.rejected = 0
-        self.shed = 0
-        self.completed = 0
-        self.failed = 0
-        self.traces_in = 0
-        self.traces_done = 0
-        self.batches = 0
-        self.batched_requests = 0
-        self.batched_traces = 0
-        self.max_batch_traces = 0
-        self.probes = 0
-        self.probe_traces = 0
-        self.worker_deaths = 0
-        self.swaps = 0
-        self.model_versions: Dict[int, int] = {}
+        self._latencies_s: Deque[float] = deque(maxlen=int(latency_window))  #: guarded-by: _lock
+        self.submitted = 0  #: guarded-by: _lock
+        self.rejected = 0  #: guarded-by: _lock
+        self.shed = 0  #: guarded-by: _lock
+        self.completed = 0  #: guarded-by: _lock
+        self.failed = 0  #: guarded-by: _lock
+        self.traces_in = 0  #: guarded-by: _lock
+        self.traces_done = 0  #: guarded-by: _lock
+        self.batches = 0  #: guarded-by: _lock
+        self.batched_requests = 0  #: guarded-by: _lock
+        self.batched_traces = 0  #: guarded-by: _lock
+        self.max_batch_traces = 0  #: guarded-by: _lock
+        self.probes = 0  #: guarded-by: _lock
+        self.probe_traces = 0  #: guarded-by: _lock
+        self.worker_deaths = 0  #: guarded-by: _lock
+        self.swaps = 0  #: guarded-by: _lock
+        self.model_versions: Dict[int, int] = {}  #: guarded-by: _lock
         # Hot-path memory counters (slab pools) and dispatch health.
-        self.trace_slab_allocated = 0
-        self.trace_slab_reused = 0
-        self.trace_slab_fallbacks = 0
-        self.response_slab_allocated = 0
-        self.response_slab_reused = 0
-        self.response_slab_fallbacks = 0
-        self.ring_flushes = 0
-        self.ring_batches = 0
+        self.trace_slab_allocated = 0  #: guarded-by: _lock
+        self.trace_slab_reused = 0  #: guarded-by: _lock
+        self.trace_slab_fallbacks = 0  #: guarded-by: _lock
+        self.response_slab_allocated = 0  #: guarded-by: _lock
+        self.response_slab_reused = 0  #: guarded-by: _lock
+        self.response_slab_fallbacks = 0  #: guarded-by: _lock
+        self.ring_flushes = 0  #: guarded-by: _lock
+        self.ring_batches = 0  #: guarded-by: _lock
+        #: guarded-by: _lock
         self._dispatch_lags_s: Deque[float] = deque(
             maxlen=int(latency_window))
-        self._first_submit_t: Optional[float] = None
-        self._last_done_t: Optional[float] = None
+        self._first_submit_t: Optional[float] = None  #: guarded-by: _lock
+        self._last_done_t: Optional[float] = None  #: guarded-by: _lock
 
     # ------------------------------------------------------------------
     # Recording (called from submit path and worker threads)
@@ -257,6 +258,20 @@ class ServerStats:
         """Completed traces per second, first submission to last completion."""
         with self._lock:
             return self._throughput_locked()
+
+    def read_counters(self, *names: str) -> tuple:
+        """Read several counters under one lock acquisition.
+
+        External pollers (the probe scheduler, the calibration worker's
+        cadence check) used to read counter attributes directly — racy
+        against concurrent ``record_*`` writers and flagged by
+        repro-lint's RPA001 once the counters were declared
+        ``guarded-by: _lock``. This is the locked path for "give me a
+        mutually-consistent view of two or three counters" without the
+        cost of a full :meth:`snapshot`.
+        """
+        with self._lock:
+            return tuple(getattr(self, name) for name in names)
 
     def snapshot(self) -> Dict[str, object]:
         """One JSON-friendly dict of every counter and derived metric.

@@ -1,0 +1,22 @@
+"""Fixture: guarded attribute touched outside its lock (RPA001).
+
+Expected findings (asserted by line number in test_fixtures.py):
+line 17 — write of ``self.count`` with no lock held;
+line 22 — read of ``self.count`` after the with-block exited.
+"""
+
+import threading
+
+
+class BadCounter:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.count = 0  #: guarded-by: _lock
+
+    def bump(self):
+        self.count += 1
+
+    def peek(self):
+        with self._lock:
+            pass
+        return self.count

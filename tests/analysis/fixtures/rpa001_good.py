@@ -1,0 +1,26 @@
+"""Fixture: lock discipline done right — no RPA001 findings expected."""
+
+import threading
+
+
+class GoodCounter:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.count = 0  #: guarded-by: _lock
+        #: guarded-by: _lock
+        self.events = []
+
+    def bump(self):
+        with self._lock:
+            self.count += 1
+            self.events.append(self.count)
+
+    def _drain_locked(self):
+        # *_locked suffix: caller documents it holds self._lock.
+        drained = list(self.events)
+        self.events.clear()
+        return drained
+
+    def snapshot(self):
+        with self._lock:
+            return (self.count, self._drain_locked())

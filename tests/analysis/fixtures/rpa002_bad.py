@@ -1,0 +1,33 @@
+"""Fixture: blocking calls and callbacks under a lock (RPA002).
+
+Expected findings (asserted by line number in test_fixtures.py):
+line 27 — pipe ``send`` while holding ``self._lock``;
+line 28 — ``log_event`` while holding ``self._lock``;
+line 29 — user callback while holding ``self._lock``;
+line 33 — ``wait`` on a *different* object while holding ``self._cond``.
+"""
+
+import threading
+
+
+def log_event(component, event):
+    return (component, event)
+
+
+class BadShipper:
+    def __init__(self, conn, callback, done):
+        self._lock = threading.Lock()
+        self._cond = threading.Condition()
+        self._conn = conn
+        self._done = done
+        self.callback = callback
+
+    def ship(self, payload):
+        with self._lock:
+            self._conn.send(payload)
+            log_event("fixture", "shipped")
+            self.callback(payload)
+
+    def wait_done(self):
+        with self._cond:
+            self._done.wait()

@@ -1,0 +1,35 @@
+"""Fixture: blocking work hoisted out of the lock — no RPA002 expected."""
+
+import threading
+
+
+def log_event(component, event, **fields):
+    return (component, event, fields)
+
+
+class GoodShipper:
+    def __init__(self, conn):
+        self._lock = threading.Lock()
+        self._conn = conn
+        self._outbox = []  #: guarded-by: _lock
+
+    def ship(self):
+        # Collect under the lock, act after release.
+        with self._lock:
+            payload = list(self._outbox)
+            self._outbox.clear()
+        self._conn.send(payload)
+        log_event("fixture", "shipped", n=len(payload))
+        return payload
+
+
+class GoodWaiter:
+    def __init__(self):
+        self._cond = threading.Condition()
+        self._ready = False  #: guarded-by: _cond
+
+    def await_ready(self):
+        with self._cond:
+            while not self._ready:
+                # Condition.wait on the held condition: the idiom.
+                self._cond.wait()

@@ -1,0 +1,25 @@
+"""Fixture: nested, closure-carrying stage class registered (RPA003).
+
+Expected findings (asserted by line number in test_fixtures.py):
+line 11 — ``NestedIO`` registered but not defined at module level;
+line 12 — ``save`` closes over ``tag``;
+line 15 — ``load`` closes over ``tag``.
+"""
+
+
+def make_io(tag):
+    class NestedIO:
+        def save(self, path, obj):
+            return (path, obj, tag)
+
+        def load(self, path):
+            return (path, tag)
+
+    return NestedIO
+
+
+NestedIO = make_io("demo")
+
+_STAGE_IO = {
+    "nested": (NestedIO, None, None),
+}

@@ -1,0 +1,17 @@
+"""Fixture: spawn-safe stage registration — no RPA003 expected."""
+
+
+class ArrayIO:
+    def __init__(self, scale):
+        self.scale = scale
+
+    def save(self, path, obj):
+        return (path, obj, self.scale)
+
+    def load(self, path):
+        return (path, self.scale)
+
+
+_STAGE_IO = {
+    "array": (ArrayIO, ArrayIO.save, ArrayIO.load),
+}

@@ -1,0 +1,24 @@
+"""Fixture: allocation sinks inside a ``#: hot-path`` function (RPA004).
+
+Expected findings (asserted by line number in test_fixtures.py):
+line 18 — ``np.concatenate`` per-batch reallocation;
+line 19 — ``json.dumps`` text serialization;
+line 22 — bare-name ``deepcopy`` inside a nested function (the marker
+is inherited — a closure on the hot path runs on the hot path).
+"""
+
+import json
+
+import numpy as np
+from copy import deepcopy
+
+
+#: hot-path
+def assemble(parts, meta):
+    batch = np.concatenate(parts)
+    payload = json.dumps(meta)
+
+    def freeze():
+        return deepcopy(meta)
+
+    return batch, payload, freeze

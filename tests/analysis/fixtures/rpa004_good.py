@@ -1,0 +1,20 @@
+"""Fixture: hot path writes into preallocated buffers — no RPA004.
+
+``cold_path`` may concatenate freely: it carries no marker.
+"""
+
+import numpy as np
+
+
+#: hot-path
+def scatter(parts, out):
+    offset = 0
+    for part in parts:
+        n = part.shape[0]
+        out[offset:offset + n] = part
+        offset += n
+    return out[:offset]
+
+
+def cold_path(parts):
+    return np.concatenate(parts)

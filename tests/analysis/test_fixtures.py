@@ -1,0 +1,66 @@
+"""Every rule proven live against the fixture corpus.
+
+Each bad fixture must produce *exactly* the findings its docstring
+declares (rule id + line); each good fixture must produce none.  A
+checker that silently stops firing breaks these tests, not just the
+codebases it was supposed to protect.
+"""
+
+import os
+
+import pytest
+
+from repro.analysis import analyze_file
+
+FIXTURES = os.path.join(os.path.dirname(__file__), "fixtures")
+
+
+def fixture_findings(name):
+    findings, _suppressions = analyze_file(os.path.join(FIXTURES, name))
+    return sorted((f.rule, f.line) for f in findings)
+
+
+@pytest.mark.parametrize("name", [
+    "rpa001_good.py", "rpa002_good.py", "rpa003_good.py", "rpa004_good.py",
+])
+def test_good_fixtures_are_clean(name):
+    assert fixture_findings(name) == []
+
+
+def test_rpa001_lock_discipline_fires():
+    assert fixture_findings("rpa001_bad.py") == [
+        ("RPA001", 17),   # write outside the lock
+        ("RPA001", 22),   # read after the with-block exited
+    ]
+
+
+def test_rpa002_no_blocking_under_lock_fires():
+    assert fixture_findings("rpa002_bad.py") == [
+        ("RPA002", 27),   # pipe send under self._lock
+        ("RPA002", 28),   # log_event under self._lock
+        ("RPA002", 29),   # user callback under self._lock
+        ("RPA002", 33),   # wait on a different object under self._cond
+    ]
+
+
+def test_rpa003_spawn_safety_fires():
+    assert fixture_findings("rpa003_bad.py") == [
+        ("RPA003", 11),   # registered class not at module level
+        ("RPA003", 12),   # save closes over `tag`
+        ("RPA003", 15),   # load closes over `tag`
+    ]
+
+
+def test_rpa004_hot_path_allocation_fires():
+    assert fixture_findings("rpa004_bad.py") == [
+        ("RPA004", 18),   # np.concatenate
+        ("RPA004", 19),   # json.dumps
+        ("RPA004", 22),   # deepcopy in a nested def (marker inherited)
+    ]
+
+
+def test_findings_carry_location_rule_and_hint():
+    findings, _ = analyze_file(os.path.join(FIXTURES, "rpa001_bad.py"))
+    rendered = findings[0].render()
+    assert "rpa001_bad.py:17: RPA001" in rendered
+    assert "(hint:" in rendered

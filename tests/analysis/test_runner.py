@@ -1,0 +1,106 @@
+"""Runner behavior: suppressions, inventory, CLI exit codes, speed."""
+
+import io
+import os
+import time
+
+from repro.analysis import analyze_source, main
+from repro.analysis.runner import apply_suppressions, run
+
+SRC = os.path.join(os.path.dirname(__file__), "..", "..", "src")
+FIXTURES = os.path.join(os.path.dirname(__file__), "fixtures")
+
+VIOLATION = """\
+import threading
+
+
+class C:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.n = 0  #: guarded-by: _lock
+
+    def bump(self):
+        self.n += 1{suffix}
+"""
+
+
+def _active(source):
+    findings, suppressions = analyze_source(source, "demo.py")
+    return apply_suppressions(findings, suppressions)
+
+
+def test_reasoned_suppression_absorbs_the_finding():
+    source = VIOLATION.format(
+        suffix="  # repro-lint: ignore[RPA001] single-writer, reads racy-ok")
+    active, suppressed = _active(source)
+    assert active == []
+    assert [f.rule for f in suppressed] == ["RPA001"]
+
+
+def test_suppression_without_reason_is_not_honored():
+    source = VIOLATION.format(suffix="  # repro-lint: ignore[RPA001]")
+    active, suppressed = _active(source)
+    assert [f.rule for f in active] == ["RPA001"]
+    assert suppressed == []
+
+
+def test_suppression_for_wrong_rule_does_not_absorb():
+    source = VIOLATION.format(
+        suffix="  # repro-lint: ignore[RPA004] wrong rule entirely")
+    active, _ = _active(source)
+    assert [f.rule for f in active] == ["RPA001"]
+
+
+def test_syntax_error_is_rpa000_and_unsuppressible():
+    source = "def broken(:  # repro-lint: ignore[RPA000] nice try\n"
+    active, suppressed = _active(source)
+    assert [f.rule for f in active] == ["RPA000"]
+    assert suppressed == []
+
+
+def test_cli_exit_codes_and_inventory(tmp_path):
+    clean = tmp_path / "clean.py"
+    clean.write_text("x = 1\n")
+    dirty = tmp_path / "dirty.py"
+    dirty.write_text(VIOLATION.format(suffix=""))
+    stale = tmp_path / "stale.py"
+    stale.write_text("y = 2  # repro-lint: ignore[RPA001] nothing here\n")
+
+    out = io.StringIO()
+    assert main(["--no-import-check", str(clean)], stream=out) == 0
+
+    out = io.StringIO()
+    assert main(["--no-import-check", str(dirty)], stream=out) == 1
+    assert "RPA001" in out.getvalue()
+
+    # A suppression that matches nothing is surfaced as stale, and the
+    # inventory prints even when the run is otherwise clean.
+    out = io.StringIO()
+    assert main(["--no-import-check", str(stale)], stream=out) == 0
+    assert "stale: matched no finding" in out.getvalue()
+
+    out = io.StringIO()
+    assert main([], stream=out) == 2   # usage error
+
+
+def test_full_src_tree_is_clean_and_fast():
+    # The acceptance gate: the analyzer exits 0 on the final tree and
+    # stays under the 5 s CI budget (ast + symtable, one registry import).
+    start = time.perf_counter()
+    report = run([SRC], import_check=True)
+    elapsed = time.perf_counter() - start
+    assert report.ok, [f.render() for f in report.active]
+    assert report.files > 50
+    assert elapsed < 5.0, f"analyzer took {elapsed:.2f}s over src/"
+    # Every suppression in the tree carries a reason and matches a finding.
+    for sup in report.suppressions:
+        assert sup.valid, sup.render()
+        assert sup.matched, f"stale suppression: {sup.render()}"
+
+
+def test_fixture_corpus_itself_gates_on_suppressions():
+    # The bad fixtures carry no suppressions: run() over the corpus must
+    # report active findings for all four rules.
+    report = run([FIXTURES], import_check=False)
+    assert {f.rule for f in report.active} == {
+        "RPA001", "RPA002", "RPA003", "RPA004"}

@@ -2,11 +2,39 @@
 
 from __future__ import annotations
 
+import os
+
 import numpy as np
 import pytest
 
 from repro.readout import (five_qubit_paper_device, generate_dataset,
                            single_qubit_device)
+
+
+@pytest.fixture(scope="session", autouse=True)
+def lock_order_monitor():
+    """Opt-in runtime lock-order detection (``REPRO_LOCK_ORDER=1``).
+
+    Patches the threading lock factories for the whole session so every
+    lock created by repro/test code is tracked, dumps the global
+    acquisition graph as JSON at teardown (``REPRO_LOCK_ORDER_OUT``,
+    default ``lock_order_report.json``), and fails the session if the
+    graph contains a cycle — a lock-order inversion that could deadlock.
+    """
+    if os.environ.get("REPRO_LOCK_ORDER") != "1":
+        yield None
+        return
+    from repro.analysis import runtime as lock_runtime
+    monitor = lock_runtime.install()
+    try:
+        yield monitor
+    finally:
+        out = os.environ.get("REPRO_LOCK_ORDER_OUT",
+                             "lock_order_report.json")
+        report = lock_runtime.write_report(monitor, out)
+        lock_runtime.uninstall()
+    problems = lock_runtime.check_report(report)
+    assert not problems, "\n".join(problems)
 
 
 @pytest.fixture
