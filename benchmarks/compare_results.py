@@ -20,6 +20,12 @@ under ``data.dispatch`` (slab reuse, ring coalescing) are portable only
 between hosts with the same parallelism, so they are compared **only when
 both payloads record the same ``scaling.cpus``** — a baseline regenerated
 on an 8-core box must not fail a 4-core runner for lacking cores.
+``scaling.*`` speedups additionally require **at least
+``MIN_SCALING_CPUS`` usable cores on both sides**: the serve bench's own
+headline assertion (``process_speedup_4shards >= 1.5``) only applies on
+>= 4 cores, and below that the sweep measures scheduler contention, not
+parallel scaling, so a noisy low-core run must neither trip the gate nor
+ratchet the committed baseline.
 
 Usage::
 
@@ -58,6 +64,11 @@ EXCLUDE_PATTERNS = ("no_recal", "no_worker", "p50", "p95", "p99", "latency",
 
 #: How deep into nested ``data`` dicts metrics are collected.
 MAX_DEPTH = 3
+
+#: Minimum ``scaling.cpus`` (on both payloads) for ``scaling.*`` shard
+#: speedups to be gated; with fewer cores there is nothing to scale onto
+#: and the ratios are scheduler noise.
+MIN_SCALING_CPUS = 4
 
 
 @dataclass(frozen=True)
@@ -131,16 +142,26 @@ def compare_payloads(baseline: dict, current: dict, *, file: str,
     the two payloads were measured on different ``scaling.cpus`` —
     parallel-scaling speedups and hot-path ratios (slab reuse, ring
     coalescing track how hard the dispatcher was backlogged) only regress
-    meaningfully against a baseline from equal hardware.
+    meaningfully against a baseline from equal hardware. ``scaling.*``
+    speedups are further skipped when either side had fewer than
+    ``MIN_SCALING_CPUS`` usable cores: without cores to scale onto the
+    shard sweep measures scheduler contention, so those ratios neither
+    gate nor serve as a meaningful baseline.
     """
     base_metrics = comparable_metrics(baseline, include_absolute)
     curr_metrics = comparable_metrics(current, include_absolute)
-    cpus_differ = _scaling_cpus(baseline) != _scaling_cpus(current)
+    base_cpus = _scaling_cpus(baseline)
+    curr_cpus = _scaling_cpus(current)
+    cpus_differ = base_cpus != curr_cpus
+    cpus_too_few = any(cpus is not None and cpus < MIN_SCALING_CPUS
+                       for cpus in (base_cpus, curr_cpus))
     regressions = []
     for metric, base_value in base_metrics.items():
         if metric not in curr_metrics or base_value == 0:
             continue
         if cpus_differ and metric.startswith(("scaling.", "dispatch.")):
+            continue
+        if cpus_too_few and metric.startswith("scaling."):
             continue
         regression = Regression(file=file, metric=metric,
                                 baseline=base_value,

@@ -101,6 +101,26 @@ class TestComparePayloads:
         [regression] = self.compare(base, curr)
         assert regression.metric == "scaling.process_speedup_4shards"
 
+    def test_scaling_metrics_skipped_below_min_cpus(self):
+        # On a 1-core host the 4-shard sweep measures scheduler
+        # contention, not parallel scaling — a wild swing between two
+        # such runs is noise and must not trip the gate.
+        base = {"scaling": {"cpus": 1, "process_speedup_4shards": 1.0}}
+        curr = {"scaling": {"cpus": 1, "process_speedup_4shards": 0.36}}
+        assert self.compare(base, curr) == []
+
+    def test_min_cpus_guard_leaves_dispatch_and_plain_metrics_gated(self):
+        # The low-core skip is scoped to scaling.* speedups: dispatch
+        # ratios and host-independent metrics still gate on a 1-core
+        # baseline.
+        base = {"scaling": {"cpus": 1}, "speedup_vs_designs": 8.0,
+                "dispatch": {"served": {"slab_reuse_ratio": 0.9}}}
+        curr = {"scaling": {"cpus": 1}, "speedup_vs_designs": 2.0,
+                "dispatch": {"served": {"slab_reuse_ratio": 0.2}}}
+        metrics = {r.metric for r in self.compare(base, curr)}
+        assert metrics == {"speedup_vs_designs",
+                           "dispatch.served.slab_reuse_ratio"}
+
     def test_dispatch_metrics_follow_the_cpu_guard(self):
         # Slab-reuse/coalesce ratios track how backlogged the dispatcher
         # was, which depends on host parallelism just like the scaling
