@@ -16,7 +16,7 @@ import numpy as np
 from repro.calib import (CalibrationLoop, DriftingSimulator, DriftSchedule,
                          FidelityMonitor, ParameterDrift, Recalibrator)
 from repro.experiments.drift_recovery import drifting_two_qubit_device
-from repro.serve import build_sharded_server
+from repro.serve import ServerConfig, build_sharded_server
 
 TRACES_PER_WINDOW = 150
 N_WINDOWS = 16
@@ -39,8 +39,9 @@ def main():
     print("calibrating 'mf' on the clean device, 2 feedline shards...")
     initial = simulator.calibration_set(150, np.random.default_rng(0))
     train, val, _ = initial.split(np.random.default_rng(1), 0.6, 0.15)
-    server = build_sharded_server(("mf",), train, val, n_shards=2,
-                                  max_wait_ms=0.5).start()
+    server = build_sharded_server(
+        ("mf",), train, val, n_shards=2,
+        config=ServerConfig(max_wait_ms=0.5)).start()
 
     loop = CalibrationLoop(
         server, simulator,

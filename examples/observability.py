@@ -35,7 +35,7 @@ from repro.core import FAST_CONFIG
 from repro.obs import render_console, write_debug_bundle
 from repro.obs.log import configure_event_log
 from repro.readout import five_qubit_paper_device, generate_dataset
-from repro.serve import build_sharded_server, closed_loop
+from repro.serve import ServerConfig, build_sharded_server, closed_loop
 
 DESIGNS = ("mf", "mf-rmf-svm")
 
@@ -61,9 +61,11 @@ def main():
     print(f"calibrating {DESIGNS}, 2 feedline shards, tracing every "
           f"request, telemetry every 50 ms...")
     server = build_sharded_server(DESIGNS, train, val, n_shards=2,
-                                  training=FAST_CONFIG, max_wait_ms=1.0,
-                                  trace_sample_rate=1.0,
-                                  telemetry_interval_s=0.05)
+                                  training=FAST_CONFIG,
+                                  config=ServerConfig(
+                                      max_wait_ms=1.0,
+                                      trace_sample_rate=1.0,
+                                      telemetry_interval_s=0.05))
     with server:
         # 2. Health check before traffic: one probe, per-shard verdicts.
         report = server.healthcheck(budget_s=10.0)

@@ -28,7 +28,7 @@ import numpy as np
 from repro.core import FAST_CONFIG
 from repro.obs import install_signal_handlers, render_console
 from repro.readout import five_qubit_paper_device, generate_dataset
-from repro.serve import build_sharded_server, closed_loop
+from repro.serve import ServerConfig, build_sharded_server, closed_loop
 
 DESIGN = "mf"
 
@@ -48,8 +48,10 @@ def main():
           f"50 ms, default alert rules, bundles -> {args.bundles}/ ...")
     server = build_sharded_server(
         (DESIGN,), train, val, n_shards=2, training=FAST_CONFIG,
-        backend="process", max_wait_ms=1.0, trace_sample_rate=0.25,
-        telemetry_interval_s=0.05, bundle_dir=args.bundles)
+        config=ServerConfig(backend="process", max_wait_ms=1.0,
+                            trace_sample_rate=0.25,
+                            telemetry_interval_s=0.05,
+                            bundle_dir=args.bundles))
 
     # SIGTERM/Ctrl-C now writes a bundle and drains before exiting, so an
     # operator kill is still a postmortem, not a mystery.

@@ -18,7 +18,7 @@ import numpy as np
 from repro.core import FAST_CONFIG, make_design
 from repro.engine import ReadoutEngine
 from repro.readout import five_qubit_paper_device, generate_dataset
-from repro.serve import build_sharded_server, closed_loop
+from repro.serve import ServerConfig, build_sharded_server, closed_loop
 
 DESIGN = "mf"
 N_SHARDS = 2
@@ -36,7 +36,7 @@ def main():
     for backend in ("thread", "process"):
         server = build_sharded_server(
             (DESIGN,), train, val, n_shards=N_SHARDS, training=FAST_CONFIG,
-            backend=backend, max_wait_ms=1.0)
+            config=ServerConfig(backend=backend, max_wait_ms=1.0))
         with server:
             bits[backend] = server.predict(test.demod[:32]).bits_for(DESIGN)
             reports[backend] = closed_loop(
@@ -65,8 +65,9 @@ def main():
     # engine's fitted pipelines are serialized and shipped to the worker,
     # which rebuilds at a micro-batch boundary — no request is dropped.
     server = build_sharded_server((DESIGN,), train, val, n_shards=N_SHARDS,
-                                  training=FAST_CONFIG, backend="process",
-                                  max_wait_ms=1.0)
+                                  training=FAST_CONFIG,
+                                  config=ServerConfig(backend="process",
+                                                      max_wait_ms=1.0))
     with server:
         server.predict(test.demod[0])
         shard = server.shards[1]

@@ -23,7 +23,7 @@ from repro.core import FAST_CONFIG, make_design
 from repro.engine import ReadoutEngine
 from repro.obs import install_signal_handlers
 from repro.readout import five_qubit_paper_device, generate_dataset
-from repro.serve import build_sharded_server, closed_loop
+from repro.serve import ServerConfig, build_sharded_server, closed_loop
 
 DESIGNS = ("mf", "mf-rmf-svm")
 
@@ -37,7 +37,8 @@ def main():
     print(f"calibrating {DESIGNS} on {train.n_traces} traces, "
           f"2 feedline shards...")
     server = build_sharded_server(DESIGNS, train, val, n_shards=2,
-                                  training=FAST_CONFIG, max_wait_ms=1.0)
+                                  training=FAST_CONFIG,
+                                  config=ServerConfig(max_wait_ms=1.0))
 
     # SIGTERM/Ctrl-C writes a debug bundle and drains in-flight requests
     # before exiting (a second signal force-quits).

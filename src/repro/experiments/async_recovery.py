@@ -31,7 +31,7 @@ import numpy as np
 from repro.calib import (CalibrationWorker, DriftingSimulator, DriftSchedule,
                          ParameterDrift, ProbeScheduler, Recalibrator)
 from repro.calib.loop import serve_window
-from repro.serve import build_sharded_server
+from repro.serve import ServerConfig, build_sharded_server
 
 from .config import DEFAULT_CONFIG, ExperimentConfig
 from .drift_recovery import drifting_two_qubit_device
@@ -114,7 +114,7 @@ def _run_arm(config: ExperimentConfig, *, with_worker: bool,
                                   0.6, 0.15)
     server = build_sharded_server(
         (SERVED_DESIGN,), train, val, n_shards=2,
-        max_batch_traces=128, max_wait_ms=0.5).start()
+        config=ServerConfig(max_batch_traces=128, max_wait_ms=0.5)).start()
     columns = {shard.feedline.index: list(shard.feedline.qubit_indices)
                for shard in server.shards}
 

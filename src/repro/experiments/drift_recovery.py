@@ -30,7 +30,7 @@ import numpy as np
 from repro.calib import (CalibrationLoop, DriftingSimulator, DriftSchedule,
                          FidelityMonitor, ParameterDrift, Recalibrator)
 from repro.readout import DeviceParams, QubitReadoutParams
-from repro.serve import build_sharded_server
+from repro.serve import ServerConfig, build_sharded_server
 
 from .config import DEFAULT_CONFIG, ExperimentConfig
 from .results import ExperimentResult
@@ -122,7 +122,7 @@ def _run_arm(config: ExperimentConfig, *, recalibrate: bool,
                                   0.6, 0.15)
     server = build_sharded_server(
         (SERVED_DESIGN,), train, val, n_shards=2,
-        max_batch_traces=128, max_wait_ms=0.5).start()
+        config=ServerConfig(max_batch_traces=128, max_wait_ms=0.5)).start()
 
     recalibrator = None
     if recalibrate:

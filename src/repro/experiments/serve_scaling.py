@@ -23,7 +23,8 @@ from __future__ import annotations
 
 from typing import Optional, Sequence
 
-from repro.serve import ReadoutServer, closed_loop, fit_serve_shards
+from repro.serve import (ReadoutServer, ServerConfig, closed_loop,
+                         fit_serve_shards)
 from repro.serve.procshard import scaling_summary
 
 from .config import DEFAULT_CONFIG, ExperimentConfig
@@ -72,8 +73,10 @@ def run_serve_scaling(config: ExperimentConfig = DEFAULT_CONFIG,
     throughput = {backend: {} for backend in swept_backends}
     for backend in swept_backends:
         for n_shards in counts:
-            server = ReadoutServer(fitted[n_shards], backend=backend,
-                                   max_batch_traces=128, max_wait_ms=1.0)
+            server = ReadoutServer(
+                fitted[n_shards],
+                ServerConfig(backend=backend, max_batch_traces=128,
+                             max_wait_ms=1.0))
             with server:
                 report = closed_loop(
                     server, test, n_clients=n_clients,

@@ -1,0 +1,35 @@
+"""Network front end: serve readout discrimination over TCP.
+
+The step from library to service — a stdlib-only transport layer over
+:class:`~repro.serve.ReadoutServer`:
+
+* :mod:`~repro.net.protocol` — the versioned length-prefixed binary
+  frame protocol (:data:`PROTOCOL_VERSION`; no JSON on the hot path,
+  raw little-endian trace/bits payloads; spec in
+  ``docs/wire-protocol.md``);
+* :class:`ReadoutService` — the TCP listener decoding frames into the
+  server's ``submit()`` future path, with per-connection in-flight
+  caps, typed error frames for every backpressure/shutdown edge,
+  out-of-order response streaming, and graceful drain on
+  ``stop()``/SIGTERM;
+* :class:`ReadoutClient` — the matching synchronous client (context
+  manager, ``predict``/``predict_many``/``healthcheck``, timeout and
+  reconnect policy), returning the same
+  :class:`~repro.serve.ReadoutResponse` as the in-process path;
+* :class:`NetStats` — front-end counters registered into the server's
+  metrics registry as the ``net`` component.
+
+Multi-client load generation over this transport lives in
+:func:`repro.serve.loadgen.network_closed_loop`.
+"""
+
+from .client import ReadoutClient
+from .protocol import (PROTOCOL_VERSION, Frame, FrameTooLargeError,
+                       ProtocolError, RemoteError, UnsupportedVersionError)
+from .service import NetStats, ReadoutService
+
+__all__ = [
+    "Frame", "FrameTooLargeError", "NetStats", "PROTOCOL_VERSION",
+    "ProtocolError", "ReadoutClient", "ReadoutService", "RemoteError",
+    "UnsupportedVersionError",
+]

@@ -1,0 +1,270 @@
+"""Synchronous client for the :mod:`repro.net` wire protocol.
+
+:class:`ReadoutClient` mirrors the in-process server surface over TCP:
+``predict`` / ``predict_many`` return the same
+:class:`~repro.serve.ReadoutResponse` the server's own futures resolve
+to (bits per design, latency, micro-batch size), and the server's typed
+backpressure surfaces as the same exceptions —
+:class:`~repro.serve.ServerOverloadedError` for reject/shed/in-flight
+limits, :class:`~repro.serve.ServerClosedError` for draining/stopped —
+so callers move between the library and the service without changing
+their error handling.
+
+The client connects lazily, handshakes with an ``OP_INFO`` exchange
+(design names, device geometry, protocol version), and reconnects once
+per request on a broken connection (prediction is idempotent — a retry
+can at worst recompute). Socket timeouts raise :class:`TimeoutError`
+without a retry: the request may still be computing server-side, and the
+response correlation by request id lets the *next* request on the same
+connection skip the stale reply.
+"""
+
+from __future__ import annotations
+
+import itertools
+import socket
+import time
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.serve.batcher import ServerClosedError, ServerOverloadedError
+from repro.serve.server import ReadoutResponse
+
+from . import protocol
+from .protocol import (DEFAULT_MAX_FRAME_BYTES, Frame, ProtocolError,
+                       RemoteError, UnsupportedVersionError)
+
+__all__ = ["ReadoutClient"]
+
+
+class ReadoutClient:
+    """A blocking TCP client for one :class:`~repro.net.ReadoutService`.
+
+    Parameters
+    ----------
+    host / port:
+        The service address (``service.address`` after start).
+    timeout_s:
+        Per-request socket timeout; expiry raises :class:`TimeoutError`.
+    connect_timeout_s:
+        Bound on TCP connect (and the handshake exchange).
+    reconnect:
+        When True (default), a request that finds the connection broken
+        reconnects and resends once before giving up with
+        :class:`ConnectionError`.
+    max_frame_bytes:
+        Bound on response frames accepted off the wire.
+
+    Usable as a context manager; :meth:`close` is idempotent and the
+    client reconnects transparently if used again after closing.
+    """
+
+    def __init__(self, host: str, port: int, *, timeout_s: float = 30.0,
+                 connect_timeout_s: float = 5.0, reconnect: bool = True,
+                 max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES) -> None:
+        self.host = host
+        self.port = int(port)
+        self.timeout_s = timeout_s
+        self.connect_timeout_s = connect_timeout_s
+        self.reconnect = reconnect
+        self.max_frame_bytes = max_frame_bytes
+        self._sock: Optional[socket.socket] = None
+        self._info: Optional[Dict[str, object]] = None
+        self._request_ids = itertools.count(1)
+
+    # -- connection management -----------------------------------------
+    def _ensure_connected(self) -> socket.socket:
+        if self._sock is not None:
+            return self._sock
+        sock = socket.create_connection(
+            (self.host, self.port), timeout=self.connect_timeout_s)
+        sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        sock.settimeout(self.timeout_s)
+        self._sock = sock
+        try:
+            self._handshake()
+        except BaseException:
+            self.close()
+            raise
+        return sock
+
+    def _handshake(self) -> None:
+        request_id = next(self._request_ids)
+        self._sock.sendall(protocol.encode_frame(
+            protocol.OP_INFO, request_id))
+        frame = self._read_reply(request_id)
+        info = protocol.decode_json(frame)
+        if not isinstance(info, dict):
+            raise ProtocolError(f"malformed info reply: {info!r}")
+        version = info.get("protocol_version")
+        if version != protocol.PROTOCOL_VERSION:
+            raise UnsupportedVersionError(
+                f"service speaks protocol v{version}, client speaks "
+                f"v{protocol.PROTOCOL_VERSION}")
+        self._info = info
+
+    def close(self) -> None:
+        """Close the connection (reopened lazily on the next request)."""
+        sock, self._sock = self._sock, None
+        self._info = None
+        if sock is not None:
+            try:
+                sock.close()
+            except OSError:  # pragma: no cover - close is best-effort
+                pass
+
+    def __enter__(self) -> "ReadoutClient":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    # -- request plumbing ----------------------------------------------
+    def _exchange(self, encode, request_id: int) -> Frame:
+        """Send one request and read its reply, reconnecting once.
+
+        ``encode`` is a zero-argument callable producing the frame bytes
+        (re-invoked on the retry so a request never half-sends stale
+        state). Timeouts raise :class:`TimeoutError` with no retry.
+        """
+        last_error: Optional[Exception] = None
+        for attempt in (0, 1):
+            try:
+                sock = self._ensure_connected()
+                sock.sendall(encode())
+                return self._read_reply(request_id)
+            except socket.timeout:
+                # The reply may still arrive; drop the connection so a
+                # later request never pairs with this request's reply.
+                self.close()
+                raise TimeoutError(
+                    f"no reply from {self.host}:{self.port} within "
+                    f"{self.timeout_s}s") from None
+            except (ConnectionError, ProtocolError, OSError) as exc:
+                if isinstance(exc, UnsupportedVersionError):
+                    raise
+                self.close()
+                last_error = exc
+                if not (self.reconnect and attempt == 0):
+                    break
+        raise ConnectionError(
+            f"request to {self.host}:{self.port} failed: "
+            f"{last_error}") from last_error
+
+    def _read_reply(self, request_id: int) -> Frame:
+        """The reply frame for ``request_id``, skipping stale replies."""
+        while True:
+            frame = protocol.read_frame(
+                self._sock, max_frame_bytes=self.max_frame_bytes)
+            if frame is None:
+                raise ConnectionError(
+                    "service closed the connection before replying")
+            if frame.op == protocol.OP_ERROR and frame.request_id == 0:
+                # Connection-fatal protocol error (id 0 = not request-
+                # correlated): surface it, the stream is done.
+                self._raise_error(frame)
+            if frame.request_id != request_id:
+                continue           # stale reply of a timed-out request
+            if frame.op == protocol.OP_ERROR:
+                self._raise_error(frame)
+            return frame
+
+    def _raise_error(self, frame: Frame) -> None:
+        message = frame.payload.decode("utf-8", "replace")
+        code = frame.status
+        if code in (protocol.E_OVERLOADED, protocol.E_IN_FLIGHT_LIMIT):
+            raise ServerOverloadedError(message)
+        if code in (protocol.E_DRAINING, protocol.E_CLOSED):
+            raise ServerClosedError(message)
+        if code == protocol.E_BAD_REQUEST:
+            raise ValueError(message)
+        if code == protocol.E_UNSUPPORTED_VERSION:
+            raise UnsupportedVersionError(message)
+        if code in (protocol.E_BAD_FRAME, protocol.E_TOO_LARGE):
+            raise ProtocolError(f"{frame.error_name}: {message}")
+        raise RemoteError(f"{frame.error_name}: {message}")
+
+    # -- public API ----------------------------------------------------
+    def info(self) -> Dict[str, object]:
+        """The service's handshake facts (designs, geometry, limits)."""
+        self._ensure_connected()
+        return dict(self._info)
+
+    @property
+    def design_names(self) -> List[str]:
+        """Design names the service serves (connects if needed)."""
+        self._ensure_connected()
+        return list(self._info["design_names"])
+
+    def predict(self, trace: np.ndarray) -> ReadoutResponse:
+        """Discriminate one ``(n_qubits, 2, n_bins)`` trace.
+
+        Returns a :class:`~repro.serve.ReadoutResponse` whose bits are
+        ``(n_qubits,)`` int64 per design; ``latency_s`` is the client's
+        wall-clock request time (network included).
+        """
+        trace = np.asarray(trace)
+        if trace.ndim != 3:
+            raise ValueError(
+                f"predict takes one (n_qubits, 2, n_bins) trace, got "
+                f"{trace.shape}; use predict_many for stacks")
+        return self._predict(trace, single=True)
+
+    def predict_many(self, traces: np.ndarray) -> ReadoutResponse:
+        """Discriminate a ``(m, n_qubits, 2, n_bins)`` trace stack."""
+        traces = np.asarray(traces)
+        if traces.ndim != 4:
+            raise ValueError(
+                f"predict_many takes a (m, n_qubits, 2, n_bins) stack, "
+                f"got {traces.shape}")
+        return self._predict(traces, single=False)
+
+    def _predict(self, traces: np.ndarray,
+                 single: bool) -> ReadoutResponse:
+        request_id = next(self._request_ids)
+        started = time.perf_counter()
+        frame = self._exchange(
+            lambda: protocol.encode_traces(request_id, traces),
+            request_id)
+        if frame.op != protocol.OP_BITS:
+            raise ProtocolError(
+                f"expected OP_BITS reply, got op 0x{frame.op:02x}")
+        names = self.design_names
+        bits = protocol.decode_bits(frame, names)
+        if single:
+            bits = {name: arr[0] for name, arr in bits.items()}
+        return ReadoutResponse(bits=bits,
+                               latency_s=time.perf_counter() - started,
+                               batch_traces=frame.status)
+
+    def healthcheck(self, budget_s: float = 5.0) -> Dict[str, object]:
+        """The server's end-to-end health verdict, as a plain dict."""
+        request_id = next(self._request_ids)
+        sock = self._ensure_connected()
+        # The probe legitimately takes up to its budget; widen the
+        # socket timeout for this exchange only.
+        sock.settimeout(max(self.timeout_s, budget_s + 5.0))
+        try:
+            frame = self._exchange(
+                lambda: protocol.encode_json(
+                    protocol.OP_HEALTHCHECK, request_id,
+                    {"budget_s": budget_s}),
+                request_id)
+        finally:
+            if self._sock is not None:
+                self._sock.settimeout(self.timeout_s)
+        return protocol.decode_json(frame)
+
+    def drain(self) -> Dict[str, object]:
+        """Ask the service to begin draining; returns its acknowledgement."""
+        request_id = next(self._request_ids)
+        frame = self._exchange(
+            lambda: protocol.encode_frame(protocol.OP_DRAIN, request_id),
+            request_id)
+        return protocol.decode_json(frame)
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        """The configured service address."""
+        return (self.host, self.port)

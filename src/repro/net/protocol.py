@@ -1,0 +1,370 @@
+"""The versioned binary wire protocol spoken by the network front end.
+
+Every message on the wire is one *frame*: a fixed 40-byte header
+followed by ``payload_len`` raw payload bytes. There is no JSON on the
+hot path — trace batches and discrimination bits travel as raw
+little-endian array bytes described entirely by header fields; JSON
+appears only in the payloads of control ops (healthcheck, info, drain),
+which are rare and latency-insensitive.
+
+Header layout (:data:`HEADER`, little-endian)::
+
+    offset  size  field        meaning
+    ------  ----  -----------  -------------------------------------------
+         0     4  magic        b"RPRO" — frame sync / protocol identifier
+         4     1  version      PROTOCOL_VERSION of the sender
+         5     1  op           operation code (OP_*)
+         6     2  status       0 on requests; on OP_BITS the micro-batch
+                               trace count (capped at 65535 — amortization
+                               observability); on OP_ERROR the error code
+         8     8  request_id   client-chosen correlation id, echoed back
+        16     1  dtype        payload element dtype (DTYPE_*; 0 = none)
+        17     1  reserved     0
+        18     2  reserved     0
+        20     4  shape0       payload array shape, meaning per op:
+        24     4  shape1       requests: (m, n_qubits, n_bins) — the IQ
+        28     4  shape2       axis of 2 is implied by the protocol;
+                               OP_BITS: (n_designs, m, n_qubits)
+        32     8  payload_len  payload bytes following the header
+
+Request ops: :data:`OP_PREDICT` (one trace, payload
+``(1, n_qubits, 2, n_bins)``), :data:`OP_PREDICT_MANY` (a trace stack),
+:data:`OP_HEALTHCHECK`, :data:`OP_INFO`, :data:`OP_DRAIN`. Response ops
+have the high bit set: :data:`OP_BITS` carries int8 discrimination bits
+stacked ``(n_designs, m, n_qubits)`` in the server's (sorted) design-name
+order; :data:`OP_HEALTH` / :data:`OP_INFO_REPLY` / :data:`OP_DRAINED`
+carry JSON; :data:`OP_ERROR` carries a UTF-8 message with the typed
+error code in ``status``.
+
+Responses stream back in whatever order the server resolves them —
+``request_id`` is the only correlation; clients must not assume FIFO.
+
+Versioning: :data:`PROTOCOL_VERSION` bumps on any incompatible header or
+payload change. The header layout through the ``version`` field is
+frozen across versions, so a v1 endpoint can always *recognize* a frame
+from the future and answer :data:`E_UNSUPPORTED_VERSION` before closing.
+The authoritative spec (kept in lockstep with this constant) is
+``docs/wire-protocol.md``.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import struct
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence, Tuple
+
+import numpy as np
+
+#: Wire protocol version; bump on any incompatible frame change and
+#: update ``docs/wire-protocol.md`` in the same commit.
+PROTOCOL_VERSION = 1
+
+#: Frame-sync magic opening every header.
+MAGIC = b"RPRO"
+
+#: The fixed frame header (see module docstring for the field table).
+HEADER = struct.Struct("<4sBBHQBBHIIIQ")
+HEADER_BYTES = HEADER.size
+
+#: Default bound on a single frame's payload; a peer declaring more is
+#: answered with :data:`E_TOO_LARGE` and disconnected (the stream cannot
+#: be resynchronized without trusting the hostile length).
+DEFAULT_MAX_FRAME_BYTES = 32 * 1024 * 1024
+
+# ---------------------------------------------------------------------------
+# Operation codes (requests < 0x80, responses >= 0x80)
+# ---------------------------------------------------------------------------
+OP_PREDICT = 0x01        #: one trace in, bits out
+OP_PREDICT_MANY = 0x02   #: a trace stack in, bits out
+OP_HEALTHCHECK = 0x03    #: end-to-end probe; JSON options payload
+OP_INFO = 0x04           #: server/protocol facts; empty payload
+OP_DRAIN = 0x05          #: begin draining; empty payload
+
+OP_BITS = 0x81           #: int8 bits (n_designs, m, n_qubits)
+OP_HEALTH = 0x83         #: JSON HealthReport
+OP_INFO_REPLY = 0x84     #: JSON server info
+OP_DRAINED = 0x85        #: JSON drain acknowledgement
+OP_ERROR = 0xFF          #: UTF-8 message; error code in ``status``
+
+# ---------------------------------------------------------------------------
+# Error codes (the ``status`` field of OP_ERROR frames)
+# ---------------------------------------------------------------------------
+E_OK = 0                 #: not an error
+E_BAD_FRAME = 1          #: unparseable header or payload; connection closes
+E_UNSUPPORTED_VERSION = 2  #: peer speaks another version; connection closes
+E_TOO_LARGE = 3          #: declared payload beyond the frame bound; closes
+E_BAD_REQUEST = 4        #: request rejected by validation (geometry, op)
+E_OVERLOADED = 5         #: server backpressure (reject/shed policies)
+E_IN_FLIGHT_LIMIT = 6    #: connection exceeded its in-flight request cap
+E_DRAINING = 7           #: service is draining; retry against a peer
+E_CLOSED = 8             #: server stopped before the request was scheduled
+E_INTERNAL = 9           #: request failed inside the server
+
+#: Human-readable names for logs and error messages.
+ERROR_NAMES = {
+    E_OK: "ok", E_BAD_FRAME: "bad_frame",
+    E_UNSUPPORTED_VERSION: "unsupported_version", E_TOO_LARGE: "too_large",
+    E_BAD_REQUEST: "bad_request", E_OVERLOADED: "overloaded",
+    E_IN_FLIGHT_LIMIT: "in_flight_limit", E_DRAINING: "draining",
+    E_CLOSED: "closed", E_INTERNAL: "internal",
+}
+
+# ---------------------------------------------------------------------------
+# Payload dtypes (explicitly little-endian on the wire)
+# ---------------------------------------------------------------------------
+DTYPE_NONE = 0
+DTYPE_FLOAT64 = 1
+DTYPE_FLOAT32 = 2
+DTYPE_FLOAT16 = 3
+DTYPE_INT64 = 4
+DTYPE_INT8 = 5
+
+_DTYPE_TO_NP: Dict[int, np.dtype] = {
+    DTYPE_FLOAT64: np.dtype("<f8"),
+    DTYPE_FLOAT32: np.dtype("<f4"),
+    DTYPE_FLOAT16: np.dtype("<f2"),
+    DTYPE_INT64: np.dtype("<i8"),
+    DTYPE_INT8: np.dtype("|i1"),
+}
+_NP_TO_DTYPE = {dt: code for code, dt in _DTYPE_TO_NP.items()}
+
+
+class ProtocolError(RuntimeError):
+    """The byte stream violated the framing contract (unrecoverable)."""
+
+
+class FrameTooLargeError(ProtocolError):
+    """A frame declared a payload beyond the configured bound."""
+
+
+class UnsupportedVersionError(ProtocolError):
+    """The peer speaks a protocol version this endpoint does not."""
+
+
+class RemoteError(RuntimeError):
+    """The service reported an internal failure for this request."""
+
+
+@dataclass
+class Frame:
+    """One decoded wire frame (header fields + raw payload bytes)."""
+
+    version: int
+    op: int
+    status: int
+    request_id: int
+    dtype_code: int
+    shape: Tuple[int, int, int]
+    payload: bytes
+
+    @property
+    def error_name(self) -> str:
+        """Symbolic name of ``status`` when this is an OP_ERROR frame."""
+        return ERROR_NAMES.get(self.status, f"error_{self.status}")
+
+
+def dtype_code_for(dtype: np.dtype) -> int:
+    """The wire code for a NumPy dtype; raises on unsupported dtypes."""
+    code = _NP_TO_DTYPE.get(np.dtype(dtype).newbyteorder("<"))
+    if code is None:
+        supported = sorted(str(d) for d in _NP_TO_DTYPE)
+        raise ProtocolError(
+            f"dtype {np.dtype(dtype)} has no wire encoding; "
+            f"supported: {supported}")
+    return code
+
+
+def np_dtype_for(code: int) -> np.dtype:
+    """The (little-endian) NumPy dtype for a wire dtype code."""
+    try:
+        return _DTYPE_TO_NP[code]
+    except KeyError:
+        raise ProtocolError(f"unknown wire dtype code {code}") from None
+
+
+# ---------------------------------------------------------------------------
+# Encoding
+# ---------------------------------------------------------------------------
+def encode_frame(op: int, request_id: int, *, status: int = 0,
+                 dtype_code: int = DTYPE_NONE,
+                 shape: Tuple[int, int, int] = (0, 0, 0),
+                 payload: bytes = b"",
+                 version: int = PROTOCOL_VERSION) -> bytes:
+    """One wire frame: packed header + payload bytes."""
+    header = HEADER.pack(MAGIC, version, op, status, request_id,
+                         dtype_code, 0, 0,
+                         shape[0], shape[1], shape[2], len(payload))
+    return header + payload
+
+
+def encode_traces(request_id: int, traces: np.ndarray) -> bytes:
+    """A predict request frame for one trace block.
+
+    ``traces`` is ``(n_qubits, 2, n_bins)`` (encoded as
+    :data:`OP_PREDICT`) or ``(m, n_qubits, 2, n_bins)``
+    (:data:`OP_PREDICT_MANY`). The array is sent in its own dtype
+    (float16/32/64), little-endian, C-contiguous; the IQ axis of 2 is
+    implied by the protocol and never travels.
+    """
+    traces = np.asarray(traces)
+    single = traces.ndim == 3
+    if single:
+        traces = traces[None]
+    if traces.ndim != 4 or traces.shape[2] != 2:
+        raise ValueError(
+            f"traces must be (n_qubits, 2, n_bins) or "
+            f"(m, n_qubits, 2, n_bins), got {traces.shape}")
+    wire_dtype = np_dtype_for(dtype_code_for(traces.dtype))
+    payload = np.ascontiguousarray(traces, dtype=wire_dtype).tobytes()
+    return encode_frame(
+        OP_PREDICT if single else OP_PREDICT_MANY, request_id,
+        dtype_code=dtype_code_for(traces.dtype),
+        shape=(traces.shape[0], traces.shape[1], traces.shape[3]),
+        payload=payload)
+
+
+def decode_traces(frame: Frame) -> np.ndarray:
+    """The ``(m, n_qubits, 2, n_bins)`` trace block of a predict frame."""
+    m, n_qubits, n_bins = frame.shape
+    if m < 1 or n_qubits < 1 or n_bins < 1:
+        raise ProtocolError(
+            f"invalid trace shape ({m}, {n_qubits}, 2, {n_bins})")
+    dtype = np_dtype_for(frame.dtype_code)
+    expected = m * n_qubits * 2 * n_bins * dtype.itemsize
+    if len(frame.payload) != expected:
+        raise ProtocolError(
+            f"trace payload is {len(frame.payload)} bytes, header "
+            f"declares shape ({m}, {n_qubits}, 2, {n_bins}) {dtype} "
+            f"= {expected}")
+    return np.frombuffer(frame.payload, dtype=dtype).reshape(
+        m, n_qubits, 2, n_bins)
+
+
+def encode_bits(request_id: int, design_names: Sequence[str],
+                bits: Dict[str, np.ndarray], *,
+                batch_traces: int = 0) -> bytes:
+    """An :data:`OP_BITS` response frame.
+
+    ``bits`` maps design name to a ``(m, n_qubits)`` (or ``(n_qubits,)``
+    single-trace) bit array; the payload stacks them int8 in
+    ``design_names`` order — the order the client learned from
+    :data:`OP_INFO`. ``batch_traces`` rides the ``status`` field (capped
+    at 65535) so clients can observe micro-batch amortization.
+    """
+    arrays = []
+    for name in design_names:
+        arr = np.asarray(bits[name])
+        if arr.ndim == 1:
+            arr = arr[None]
+        arrays.append(arr)
+    stack = np.ascontiguousarray(np.stack(arrays), dtype=np.int8)
+    return encode_frame(
+        OP_BITS, request_id, status=min(int(batch_traces), 0xFFFF),
+        dtype_code=DTYPE_INT8,
+        shape=(stack.shape[0], stack.shape[1], stack.shape[2]),
+        payload=stack.tobytes())
+
+
+def decode_bits(frame: Frame,
+                design_names: Sequence[str]) -> Dict[str, np.ndarray]:
+    """Per-design int64 bit arrays of an :data:`OP_BITS` frame."""
+    n_designs, m, n_qubits = frame.shape
+    if n_designs != len(design_names):
+        raise ProtocolError(
+            f"bits frame stacks {n_designs} designs, client knows "
+            f"{len(design_names)}")
+    expected = n_designs * m * n_qubits
+    if len(frame.payload) != expected:
+        raise ProtocolError(
+            f"bits payload is {len(frame.payload)} bytes, header "
+            f"declares ({n_designs}, {m}, {n_qubits}) int8 = {expected}")
+    stack = np.frombuffer(frame.payload, dtype=np.int8).reshape(
+        n_designs, m, n_qubits).astype(np.int64)
+    return {name: stack[i] for i, name in enumerate(design_names)}
+
+
+def encode_json(op: int, request_id: int, obj: object, *,
+                status: int = 0) -> bytes:
+    """A control frame whose payload is a JSON document (off hot path)."""
+    return encode_frame(op, request_id, status=status,
+                        payload=json.dumps(obj).encode("utf-8"))
+
+
+def decode_json(frame: Frame) -> object:
+    """The JSON document of a control frame (``{}`` when empty)."""
+    if not frame.payload:
+        return {}
+    try:
+        return json.loads(frame.payload.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ProtocolError(f"bad JSON control payload: {exc}") from None
+
+
+def encode_error(request_id: int, code: int, message: str) -> bytes:
+    """An :data:`OP_ERROR` frame carrying ``code`` and a UTF-8 message."""
+    return encode_frame(OP_ERROR, request_id, status=code,
+                        payload=message.encode("utf-8", "replace"))
+
+
+# ---------------------------------------------------------------------------
+# Socket framing
+# ---------------------------------------------------------------------------
+def recv_exact(sock: socket.socket, n: int) -> Optional[bytes]:
+    """Exactly ``n`` bytes from ``sock``.
+
+    Returns None on a clean EOF *before the first byte*; raises
+    :class:`ProtocolError` when the peer disconnects mid-chunk (the
+    truncated-frame case). Propagates socket timeouts/errors as-is.
+    """
+    chunks = []
+    received = 0
+    while received < n:
+        chunk = sock.recv(min(n - received, 1 << 20))
+        if not chunk:
+            if received == 0:
+                return None
+            raise ProtocolError(
+                f"peer closed mid-frame ({received}/{n} bytes)")
+        chunks.append(chunk)
+        received += len(chunk)
+    return b"".join(chunks)
+
+
+def read_frame(sock: socket.socket, *,
+               max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES
+               ) -> Optional[Frame]:
+    """Read one frame off a socket; None on clean EOF between frames.
+
+    Raises :class:`ProtocolError` for bad magic or a truncated header/
+    payload, :class:`UnsupportedVersionError` for a foreign protocol
+    version, and :class:`FrameTooLargeError` when the declared payload
+    exceeds ``max_frame_bytes`` — in every raising case the stream can
+    no longer be trusted and the connection should close.
+    """
+    header = recv_exact(sock, HEADER_BYTES)
+    if header is None:
+        return None
+    (magic, version, op, status, request_id, dtype_code, _r0, _r1,
+     shape0, shape1, shape2, payload_len) = HEADER.unpack(header)
+    if magic != MAGIC:
+        raise ProtocolError(f"bad frame magic {magic!r}")
+    if version != PROTOCOL_VERSION:
+        raise UnsupportedVersionError(
+            f"peer speaks protocol v{version}, this endpoint speaks "
+            f"v{PROTOCOL_VERSION}")
+    if payload_len > max_frame_bytes:
+        raise FrameTooLargeError(
+            f"frame declares {payload_len} payload bytes, bound is "
+            f"{max_frame_bytes}")
+    if payload_len:
+        payload = recv_exact(sock, payload_len)
+        if payload is None or len(payload) != payload_len:
+            raise ProtocolError(
+                f"peer closed mid-payload (expected {payload_len} bytes)")
+    else:
+        payload = b""
+    return Frame(version=version, op=op, status=status,
+                 request_id=request_id, dtype_code=dtype_code,
+                 shape=(shape0, shape1, shape2), payload=payload)

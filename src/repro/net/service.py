@@ -1,0 +1,700 @@
+"""TCP front end over a :class:`~repro.serve.ReadoutServer`.
+
+:class:`ReadoutService` is the "library to service" step: it listens on
+a TCP socket, decodes :mod:`~repro.net.protocol` frames from concurrent
+clients into the server's existing :meth:`~repro.serve.ReadoutServer
+.submit` future path, and streams responses back *as futures resolve* —
+out of order, correlated by request id — so one slow micro-batch never
+convoys the frames behind it.
+
+Thread layout (all daemon threads, no thread per request):
+
+* one **listener** thread accepting connections;
+* per connection, one **reader** thread (frame decode, admission,
+  ``submit``) and one **writer** thread draining a send queue — the
+  writer is the only thread that ever touches the socket's send side, so
+  response encoding and ``sendall`` never run on a serve worker thread
+  (future done-callbacks just enqueue).
+
+Backpressure is layered: the server's own queue bound still applies
+(``ServerOverloadedError`` maps to an ``E_OVERLOADED`` error frame), and
+each connection additionally has an in-flight request cap
+(``max_inflight_per_conn``) answered with ``E_IN_FLIGHT_LIMIT`` — a
+single greedy client saturates its own pipe, not the listener.
+
+Graceful drain (:meth:`ReadoutService.stop`, also the SIGTERM path via
+:func:`repro.obs.install_signal_handlers`): the listener closes, new
+request frames are answered ``E_DRAINING``, every in-flight request
+completes and its response is flushed, then sockets shut down cleanly.
+The drain loses zero in-flight requests because a response is enqueued
+to its connection's writer *before* the in-flight slot releases — "all
+slots free" therefore implies "all responses queued ahead of the close
+sentinel".
+"""
+
+from __future__ import annotations
+
+import logging
+import socket
+import threading
+import time
+from queue import SimpleQueue
+from typing import Dict, List, Optional, Tuple
+
+from repro.obs.log import log_event
+from repro.serve.batcher import ServerClosedError, ServerOverloadedError
+
+from . import protocol
+from .protocol import (DEFAULT_MAX_FRAME_BYTES, E_BAD_FRAME, E_BAD_REQUEST,
+                       E_CLOSED, E_DRAINING, E_IN_FLIGHT_LIMIT, E_OVERLOADED,
+                       E_TOO_LARGE, E_UNSUPPORTED_VERSION, FrameTooLargeError,
+                       ProtocolError, UnsupportedVersionError)
+
+__all__ = ["NetStats", "ReadoutService"]
+
+
+class NetStats:
+    """Thread-safe counters for the network front end.
+
+    Mirrors :class:`~repro.serve.ServerStats`: ``record_*`` methods from
+    any thread, one consistent :meth:`snapshot`, registered into the
+    server's :class:`~repro.obs.MetricsRegistry` as the ``net``
+    component so telemetry/alerts/bundles see the front end for free.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self.connections_opened = 0    #: guarded-by: _lock
+        self.connections_closed = 0    #: guarded-by: _lock
+        self.connections_rejected = 0  #: guarded-by: _lock
+        self.frames_received = 0       #: guarded-by: _lock
+        self.frames_sent = 0           #: guarded-by: _lock
+        self.bytes_received = 0        #: guarded-by: _lock
+        self.bytes_sent = 0            #: guarded-by: _lock
+        self.requests_in = 0           #: guarded-by: _lock
+        self.responses_out = 0         #: guarded-by: _lock
+        self.errors_out = 0            #: guarded-by: _lock
+        self.protocol_errors = 0       #: guarded-by: _lock
+        self.inflight_rejected = 0     #: guarded-by: _lock
+        self.draining_rejected = 0     #: guarded-by: _lock
+        self.requests_failed = 0       #: guarded-by: _lock
+        self.send_failures = 0         #: guarded-by: _lock
+
+    def record_connection(self, opened: bool) -> None:
+        """Count one connection open (``True``) or close (``False``)."""
+        with self._lock:
+            if opened:
+                self.connections_opened += 1
+            else:
+                self.connections_closed += 1
+
+    def record_connection_rejected(self) -> None:
+        """Count a connection turned away (accepted while draining)."""
+        with self._lock:
+            self.connections_rejected += 1
+
+    def record_frame_in(self, nbytes: int) -> None:
+        """Count one decoded inbound frame of ``nbytes`` wire bytes."""
+        with self._lock:
+            self.frames_received += 1
+            self.bytes_received += nbytes
+
+    def record_frame_out(self, nbytes: int) -> None:
+        """Count one outbound frame actually written to a socket."""
+        with self._lock:
+            self.frames_sent += 1
+            self.bytes_sent += nbytes
+
+    def record_request(self) -> None:
+        """Count one request admitted into ``server.submit``."""
+        with self._lock:
+            self.requests_in += 1
+
+    def record_response(self) -> None:
+        """Count one successful bits response encoded."""
+        with self._lock:
+            self.responses_out += 1
+
+    def record_error_out(self, *, draining: bool = False,
+                         inflight: bool = False, failed: bool = False,
+                         protocol: bool = False) -> None:
+        """Count one typed error frame (and the rejection class it is)."""
+        with self._lock:
+            self.errors_out += 1
+            if draining:
+                self.draining_rejected += 1
+            if inflight:
+                self.inflight_rejected += 1
+            if failed:
+                self.requests_failed += 1
+            if protocol:
+                self.protocol_errors += 1
+
+    def record_send_failure(self) -> None:
+        """Count a response dropped because its socket had died."""
+        with self._lock:
+            self.send_failures += 1
+
+    def snapshot(self) -> Dict[str, int]:
+        """All counters, read consistently under one lock acquisition."""
+        with self._lock:
+            return {
+                "connections_opened": self.connections_opened,
+                "connections_closed": self.connections_closed,
+                "connections_rejected": self.connections_rejected,
+                "frames_received": self.frames_received,
+                "frames_sent": self.frames_sent,
+                "bytes_received": self.bytes_received,
+                "bytes_sent": self.bytes_sent,
+                "requests_in": self.requests_in,
+                "responses_out": self.responses_out,
+                "errors_out": self.errors_out,
+                "protocol_errors": self.protocol_errors,
+                "inflight_rejected": self.inflight_rejected,
+                "draining_rejected": self.draining_rejected,
+                "requests_failed": self.requests_failed,
+                "send_failures": self.send_failures,
+            }
+
+    def register_into(self, registry, component: str = "net") -> None:
+        """Expose these counters as a metrics-registry collector."""
+        registry.register_collector(component, self.snapshot, replace=True)
+
+
+class _Connection:
+    """One accepted client socket plus its reader/writer bookkeeping.
+
+    The in-flight slot accounting lives here so every access runs under
+    this connection's own lock: :meth:`try_reserve` admits a request
+    (observing the service's draining flag *inside* the lock, which is
+    what makes the drain race-free), :meth:`release` frees the slot
+    after the response has been enqueued to the writer.
+    """
+
+    def __init__(self, conn_id: int, sock: socket.socket,
+                 peer: Tuple[str, int], max_inflight: int) -> None:
+        self.conn_id = conn_id
+        self.sock = sock
+        self.peer = f"{peer[0]}:{peer[1]}"
+        self.max_inflight = max_inflight
+        self.sendq: SimpleQueue = SimpleQueue()
+        self.reader: Optional[threading.Thread] = None
+        self.writer: Optional[threading.Thread] = None
+        self._lock = threading.Lock()
+        self.in_flight = 0       #: guarded-by: _lock
+        self.closed = False      #: guarded-by: _lock
+
+    def try_reserve(self, draining: bool) -> str:
+        """Claim an in-flight slot: ``"ok"``, ``"busy"``, or ``"draining"``.
+
+        ``draining`` is the service's flag read by the caller; checking
+        it under this lock pairs with :meth:`busy`'s locked read, so a
+        reservation that slipped past a concurrent drain decision is
+        always visible to the drain's slot poll.
+        """
+        with self._lock:
+            if draining:
+                return "draining"
+            if self.in_flight >= self.max_inflight:
+                return "busy"
+            self.in_flight += 1
+            return "ok"
+
+    def release(self) -> None:
+        """Free one in-flight slot (response already queued to the writer)."""
+        with self._lock:
+            self.in_flight -= 1
+
+    def busy(self) -> int:
+        """In-flight requests on this connection right now."""
+        with self._lock:
+            return self.in_flight
+
+    def mark_closed(self) -> bool:
+        """Flip to closed; True exactly once (teardown runs one time)."""
+        with self._lock:
+            if self.closed:
+                return False
+            self.closed = True
+            return True
+
+
+class ReadoutService:
+    """A TCP listener serving the wire protocol over one server.
+
+    Parameters
+    ----------
+    server:
+        The :class:`~repro.serve.ReadoutServer` requests decode into.
+        Started lazily by its first submission as usual.
+    host / port:
+        Bind address; ``port=0`` (the default) picks a free port —
+        read the bound address from :attr:`address` after
+        :meth:`start`.
+    max_inflight_per_conn:
+        In-flight request cap per connection; excess request frames are
+        answered ``E_IN_FLIGHT_LIMIT`` without touching the server.
+    max_frame_bytes:
+        Upper bound on a frame's declared payload; a peer exceeding it
+        gets ``E_TOO_LARGE`` and a disconnect.
+    drain_timeout_s:
+        How long :meth:`stop` waits for in-flight requests to resolve
+        before closing sockets anyway.
+    stop_server:
+        When True, :meth:`stop` also stops the underlying server after
+        the network drain — the right setting when the service owns the
+        server (examples, standalone processes).
+
+    The service registers a ``net`` collector (:class:`NetStats`) into
+    ``server.metrics`` and logs ``net.*`` lifecycle events; it proxies
+    ``metrics`` / ``telemetry`` / ``alerts`` / ``flight_recorder`` /
+    ``stats`` / ``last_health`` to the server so
+    :func:`repro.obs.install_signal_handlers` and
+    ``write_debug_bundle`` accept a service wherever they accept a
+    server.
+    """
+
+    def __init__(self, server, host: str = "127.0.0.1", port: int = 0, *,
+                 max_inflight_per_conn: int = 64,
+                 max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES,
+                 drain_timeout_s: float = 30.0,
+                 stop_server: bool = False) -> None:
+        if max_inflight_per_conn < 1:
+            raise ValueError(
+                f"max_inflight_per_conn must be positive, got "
+                f"{max_inflight_per_conn}")
+        self._server = server
+        self._host = host
+        self._port = port
+        self.max_inflight_per_conn = max_inflight_per_conn
+        self.max_frame_bytes = max_frame_bytes
+        self.drain_timeout_s = drain_timeout_s
+        self._stop_server = stop_server
+        self.net_stats = NetStats()
+        self.net_stats.register_into(server.metrics, "net")
+        self._lock = threading.Lock()
+        self._conns: Dict[int, _Connection] = {}   #: guarded-by: _lock
+        self._next_conn_id = 0                     #: guarded-by: _lock
+        self._listener: Optional[socket.socket] = None
+        self._listener_thread: Optional[threading.Thread] = None
+        self._started = False
+        # Drain flag, same idiom as ReadoutServer._stopped: a monotonic
+        # bool flipped once, read without the lock (plain reads are
+        # atomic under the GIL); the admission race is closed by
+        # try_reserve re-reading it under each connection's lock.
+        self._draining = False
+
+    # -- server proxies (bundle/signal/console compatibility) ----------
+    @property
+    def server(self):
+        """The fronted :class:`~repro.serve.ReadoutServer`."""
+        return self._server
+
+    @property
+    def metrics(self):
+        """The server's metrics registry (the ``net`` collector included)."""
+        return self._server.metrics
+
+    @property
+    def telemetry(self):
+        """The server's telemetry sampler (None when monitoring is off)."""
+        return self._server.telemetry
+
+    @property
+    def alerts(self):
+        """The server's alert manager (None when monitoring is off)."""
+        return self._server.alerts
+
+    @property
+    def flight_recorder(self):
+        """The server's flight recorder."""
+        return self._server.flight_recorder
+
+    @property
+    def stats(self):
+        """The server's :class:`~repro.serve.ServerStats`."""
+        return self._server.stats
+
+    @property
+    def last_health(self):
+        """The server's most recent :class:`~repro.serve.HealthReport`."""
+        return self._server.last_health
+
+    @property
+    def draining(self) -> bool:
+        """True once drain began (new requests get ``E_DRAINING``)."""
+        return self._draining
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        """The bound ``(host, port)``; valid after :meth:`start`."""
+        if self._listener is None:
+            raise RuntimeError("service is not started")
+        return self._listener.getsockname()[:2]
+
+    # -- lifecycle -----------------------------------------------------
+    def start(self) -> "ReadoutService":
+        """Bind, listen, and start accepting connections."""
+        with self._lock:
+            if self._started:
+                return self
+            if self._draining:
+                raise RuntimeError(
+                    "service cannot be restarted after stop()")
+            listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+            listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+            listener.bind((self._host, self._port))
+            listener.listen(128)
+            # A short accept timeout, not close(), is what unblocks the
+            # listener on stop(): closing a socket does not wake a
+            # thread already blocked in accept() on Linux.
+            listener.settimeout(0.2)
+            self._listener = listener
+            self._started = True
+            self._listener_thread = threading.Thread(
+                target=self._listen_loop, name="readout-net-listener",
+                daemon=True)
+            self._listener_thread.start()
+        # Outside _lock: the event sink is arbitrary (RPA002).
+        log_event("net", "service_start", host=self.address[0],
+                  port=self.address[1],
+                  max_inflight_per_conn=self.max_inflight_per_conn)
+        return self
+
+    def stop(self) -> None:
+        """Drain gracefully: in-flight completes, then sockets close.
+
+        Sequence: flip the draining flag (new request frames answer
+        ``E_DRAINING`` from here on), close the listener, wait (up to
+        ``drain_timeout_s``) for every connection's in-flight count to
+        reach zero — at which point all responses are already queued to
+        their writers, because a slot only releases after its response
+        is enqueued — then send each writer its close sentinel: the
+        writer flushes the queue, shuts the socket down, the reader
+        observes EOF and tears the connection down. Finally joins every
+        connection thread and, with ``stop_server=True``, stops the
+        underlying server too. Idempotent.
+        """
+        with self._lock:
+            already = self._draining and not self._started
+            started = self._started
+            self._started = False
+        if already:
+            return
+        self._draining = True
+        if not started:
+            if self._stop_server:
+                self._server.stop()
+            return
+        if self._listener_thread is not None:
+            self._listener_thread.join()   # wakes on its accept timeout
+        listener = self._listener
+        if listener is not None:
+            try:
+                listener.close()
+            except OSError:  # pragma: no cover - close is best-effort
+                pass
+        deadline = time.monotonic() + self.drain_timeout_s
+        drained = False
+        while time.monotonic() < deadline:
+            if self._total_in_flight() == 0:
+                drained = True
+                break
+            time.sleep(0.002)
+        with self._lock:
+            conns = list(self._conns.values())
+        for conn in conns:
+            conn.sendq.put(None)
+        for conn in conns:
+            if conn.reader is not None:
+                conn.reader.join(timeout=5.0)
+            if conn.writer is not None:
+                conn.writer.join(timeout=5.0)
+        log_event("net", "service_stop", drained=drained,
+                  **self.net_stats.snapshot())
+        if self._stop_server:
+            self._server.stop()
+
+    def _total_in_flight(self) -> int:
+        """Requests admitted but not yet response-queued, service-wide."""
+        with self._lock:
+            conns = list(self._conns.values())
+        # Per-connection locks are taken strictly after _lock released —
+        # the lock-order detector sees no nesting on this path.
+        return sum(conn.busy() for conn in conns)
+
+    def __enter__(self) -> "ReadoutService":
+        return self.start()
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.stop()
+
+    # -- listener ------------------------------------------------------
+    def _listen_loop(self) -> None:
+        while True:
+            try:
+                sock, peer = self._listener.accept()
+            except socket.timeout:
+                if self._draining:
+                    return         # stop() has begun; exit so it can join
+                continue
+            except OSError:
+                return             # listener closed
+            sock.settimeout(None)  # reader/writer use blocking I/O
+            if self._draining:
+                self.net_stats.record_connection_rejected()
+                try:
+                    sock.close()
+                except OSError:  # pragma: no cover - close is best-effort
+                    pass
+                continue
+            sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            with self._lock:
+                conn_id = self._next_conn_id
+                self._next_conn_id += 1
+                conn = _Connection(conn_id, sock, peer,
+                                   self.max_inflight_per_conn)
+                self._conns[conn_id] = conn
+            conn.writer = threading.Thread(
+                target=self._writer_loop, args=(conn,),
+                name=f"readout-net-c{conn_id}-writer", daemon=True)
+            conn.reader = threading.Thread(
+                target=self._reader_loop, args=(conn,),
+                name=f"readout-net-c{conn_id}-reader", daemon=True)
+            conn.writer.start()
+            conn.reader.start()
+            self.net_stats.record_connection(opened=True)
+            log_event("net", "connection_open", conn=conn_id,
+                      peer=conn.peer)
+
+    # -- reader --------------------------------------------------------
+    def _reader_loop(self, conn: _Connection) -> None:
+        reason = "eof"
+        try:
+            while True:
+                try:
+                    frame = protocol.read_frame(
+                        conn.sock, max_frame_bytes=self.max_frame_bytes)
+                except UnsupportedVersionError as exc:
+                    self._protocol_error(conn, E_UNSUPPORTED_VERSION, exc)
+                    reason = "unsupported_version"
+                    return
+                except FrameTooLargeError as exc:
+                    self._protocol_error(conn, E_TOO_LARGE, exc)
+                    reason = "frame_too_large"
+                    return
+                except ProtocolError as exc:
+                    self._protocol_error(conn, E_BAD_FRAME, exc)
+                    reason = "bad_frame"
+                    return
+                except OSError:
+                    reason = "socket_error"
+                    return
+                if frame is None:
+                    return         # clean close between frames
+                self.net_stats.record_frame_in(
+                    protocol.HEADER_BYTES + len(frame.payload))
+                self._handle_frame(conn, frame)
+        finally:
+            self._teardown(conn, reason)
+
+    def _protocol_error(self, conn: _Connection, code: int,
+                        exc: Exception) -> None:
+        """Best-effort typed error frame for an unrecoverable stream."""
+        self.net_stats.record_error_out(protocol=True)
+        log_event("net", "protocol_error", level=logging.WARNING,
+                  conn=conn.conn_id, code=protocol.ERROR_NAMES.get(code),
+                  detail=str(exc))
+        conn.sendq.put(("bytes", protocol.encode_error(0, code, str(exc))))
+
+    def _handle_frame(self, conn: _Connection,
+                      frame: protocol.Frame) -> None:
+        op = frame.op
+        if op in (protocol.OP_PREDICT, protocol.OP_PREDICT_MANY):
+            self._handle_predict(conn, frame)
+        elif op == protocol.OP_HEALTHCHECK:
+            self._handle_healthcheck(conn, frame)
+        elif op == protocol.OP_INFO:
+            conn.sendq.put(("bytes", protocol.encode_json(
+                protocol.OP_INFO_REPLY, frame.request_id, self.info())))
+        elif op == protocol.OP_DRAIN:
+            self._handle_drain(conn, frame)
+        else:
+            self._send_error(conn, frame.request_id, E_BAD_REQUEST,
+                             f"unknown request op 0x{op:02x}")
+
+    def _handle_predict(self, conn: _Connection,
+                        frame: protocol.Frame) -> None:
+        trace = self._server.tracer.sample()
+        decode_start = time.perf_counter() if trace is not None else 0.0
+        try:
+            traces = protocol.decode_traces(frame)
+        except ProtocolError as exc:
+            self.net_stats.record_error_out(protocol=True)
+            conn.sendq.put(("bytes", protocol.encode_error(
+                frame.request_id, E_BAD_FRAME, str(exc))))
+            return
+        if trace is not None:
+            trace.add_span("net_decode", decode_start, time.perf_counter())
+        verdict = conn.try_reserve(self._draining)
+        if verdict != "ok":
+            if verdict == "draining":
+                self._send_error(conn, frame.request_id, E_DRAINING,
+                                 "service is draining", draining=True)
+            else:
+                self._send_error(
+                    conn, frame.request_id, E_IN_FLIGHT_LIMIT,
+                    f"connection exceeds {conn.max_inflight} in-flight "
+                    f"requests", inflight=True)
+            return
+        payload = traces[0] if frame.op == protocol.OP_PREDICT else traces
+        try:
+            future = self._server.submit(payload, _trace=trace)
+        except ServerOverloadedError as exc:
+            conn.release()
+            self._send_error(conn, frame.request_id, E_OVERLOADED,
+                             str(exc))
+        except ServerClosedError as exc:
+            conn.release()
+            code = E_DRAINING if self._draining else E_CLOSED
+            self._send_error(conn, frame.request_id, code, str(exc),
+                             draining=self._draining)
+        except ValueError as exc:
+            conn.release()
+            self._send_error(conn, frame.request_id, E_BAD_REQUEST,
+                             str(exc))
+        else:
+            self.net_stats.record_request()
+            request_id = frame.request_id
+
+            def _resolved(fut, conn=conn, request_id=request_id,
+                          trace=trace):
+                # Queue first, release second: once every slot is free,
+                # every response is already ahead of any close sentinel.
+                conn.sendq.put(("response", request_id, fut, trace))
+                conn.release()
+
+            future.add_done_callback(_resolved)
+
+    def _handle_healthcheck(self, conn: _Connection,
+                            frame: protocol.Frame) -> None:
+        # Control op, allowed to block this connection's reader: the
+        # probe rides the normal submit path with its own budget.
+        try:
+            options = protocol.decode_json(frame)
+        except ProtocolError as exc:
+            self._send_error(conn, frame.request_id, E_BAD_REQUEST,
+                             str(exc))
+            return
+        budget = 5.0
+        if isinstance(options, dict) and "budget_s" in options:
+            budget = float(options["budget_s"])
+        try:
+            report = self._server.healthcheck(budget)
+        except Exception as exc:  # noqa: BLE001 — verdict, not crash
+            self._send_error(conn, frame.request_id, E_BAD_REQUEST,
+                             repr(exc))
+            return
+        conn.sendq.put(("bytes", protocol.encode_json(
+            protocol.OP_HEALTH, frame.request_id, report.as_dict())))
+
+    def _handle_drain(self, conn: _Connection,
+                      frame: protocol.Frame) -> None:
+        first = not self._draining
+        self._draining = True
+        if first:
+            log_event("net", "service_drain", conn=conn.conn_id)
+        with self._lock:
+            connections = len(self._conns)
+        conn.sendq.put(("bytes", protocol.encode_json(
+            protocol.OP_DRAINED, frame.request_id, {
+                "draining": True,
+                "connections": connections,
+                "in_flight": self._total_in_flight(),
+            })))
+
+    def info(self) -> Dict[str, object]:
+        """The facts a client handshake needs (the OP_INFO payload)."""
+        server = self._server
+        return {
+            "protocol_version": protocol.PROTOCOL_VERSION,
+            "design_names": list(server.design_names),
+            "n_qubits": int(server.n_qubits),
+            "n_bins": int(server.shards[0].device.n_bins),
+            "backend": server.backend.name,
+            "max_inflight_per_conn": self.max_inflight_per_conn,
+            "max_frame_bytes": int(self.max_frame_bytes),
+        }
+
+    def _send_error(self, conn: _Connection, request_id: int, code: int,
+                    message: str, **classes: bool) -> None:
+        self.net_stats.record_error_out(**classes)
+        conn.sendq.put(("bytes", protocol.encode_error(
+            request_id, code, message)))
+
+    # -- writer --------------------------------------------------------
+    def _writer_loop(self, conn: _Connection) -> None:
+        while True:
+            item = conn.sendq.get()
+            if item is None:
+                break
+            if item[0] == "bytes":
+                data = item[1]
+            else:
+                data = self._render_response(item[1], item[2], item[3])
+            try:
+                conn.sock.sendall(data)
+            except OSError:
+                # The socket died under us; keep draining the queue so
+                # in-flight accounting and the sentinel still complete.
+                self.net_stats.record_send_failure()
+            else:
+                self.net_stats.record_frame_out(len(data))
+        try:
+            conn.sock.shutdown(socket.SHUT_RDWR)
+        except OSError:
+            pass                   # peer already gone / reader closed it
+
+    def _render_response(self, request_id: int, future, trace) -> bytes:
+        """Encode a resolved future (bits or typed error) on the writer."""
+        try:
+            response = future.result()
+        except ServerOverloadedError as exc:
+            self.net_stats.record_error_out()
+            return protocol.encode_error(request_id, E_OVERLOADED,
+                                         str(exc))
+        except ServerClosedError as exc:
+            self.net_stats.record_error_out(
+                draining=self._draining)
+            code = E_DRAINING if self._draining else E_CLOSED
+            return protocol.encode_error(request_id, code, str(exc))
+        except Exception as exc:  # noqa: BLE001 — typed frame, not crash
+            self.net_stats.record_error_out(failed=True)
+            return protocol.encode_error(request_id, protocol.E_INTERNAL,
+                                         repr(exc))
+        encode_start = time.perf_counter() if trace is not None else 0.0
+        data = protocol.encode_bits(
+            request_id, self._server.design_names, response.bits,
+            batch_traces=response.batch_traces)
+        if trace is not None:
+            trace.add_span("net_encode", encode_start,
+                           time.perf_counter())
+        self.net_stats.record_response()
+        return data
+
+    # -- teardown ------------------------------------------------------
+    def _teardown(self, conn: _Connection, reason: str) -> None:
+        if not conn.mark_closed():
+            return
+        conn.sendq.put(None)       # writer flushes queued frames, exits
+        if conn.writer is not None:
+            conn.writer.join()
+        try:
+            conn.sock.close()
+        except OSError:  # pragma: no cover - close is best-effort
+            pass
+        with self._lock:
+            self._conns.pop(conn.conn_id, None)
+        self.net_stats.record_connection(opened=False)
+        log_event("net", "connection_close", conn=conn.conn_id,
+                  peer=conn.peer, reason=reason)

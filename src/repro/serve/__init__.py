@@ -22,7 +22,12 @@ The traffic-facing layer above :mod:`repro.engine`:
   probes (:class:`HealthReport` / :class:`ShardHealth`), backed by the
   forced-trace path of :mod:`repro.obs`;
 * :mod:`repro.serve.loadgen` — deterministic open- and closed-loop load
-  generation (:func:`open_loop`, :func:`closed_loop`);
+  generation (:func:`open_loop`, :func:`closed_loop`), plus
+  :func:`network_closed_loop` driving the same workload over TCP through
+  :mod:`repro.net`;
+* :class:`ServerConfig` — every server knob as one dataclass façade
+  (``ReadoutServer(shards, ServerConfig(...))``; legacy keyword
+  arguments keep working through a deprecation shim);
 * :func:`build_sharded_server` — fit-per-shard construction helper.
 """
 
@@ -30,7 +35,8 @@ from .batcher import (OVERLOAD_POLICIES, FlushedBatch, MicroBatcher,
                       ServeRequest, ServerClosedError,
                       ServerOverloadedError)
 from .builder import build_sharded_server, fit_serve_shards
-from .loadgen import LoadReport, closed_loop, open_loop
+from .config import ServerConfig
+from .loadgen import LoadReport, closed_loop, network_closed_loop, open_loop
 from .procshard import ProcessShardBackend
 from .server import (BACKENDS, HealthReport, ReadoutResponse, ReadoutServer,
                      ServeShard, ShardBackend, ShardHealth,
@@ -43,8 +49,9 @@ __all__ = [
     "BACKENDS", "FlushedBatch", "HealthReport", "LATENCY_PERCENTILES",
     "LoadReport", "MicroBatcher", "OVERLOAD_POLICIES",
     "ProcessShardBackend", "ReadoutResponse", "ReadoutServer",
-    "ServeRequest", "ServeShard", "ServerClosedError",
+    "ServeRequest", "ServeShard", "ServerClosedError", "ServerConfig",
     "ServerOverloadedError", "ServerStats", "ShardBackend", "ShardHealth",
     "SlabPool", "ThreadShardBackend", "TraceRing", "build_sharded_server",
-    "closed_loop", "fit_serve_shards", "open_loop", "percentile_key",
+    "closed_loop", "fit_serve_shards", "network_closed_loop", "open_loop",
+    "percentile_key",
 ]

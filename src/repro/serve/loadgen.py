@@ -10,6 +10,11 @@ Two canonical arrival disciplines:
   queueing delay and backpressure at offered loads the service cannot
   absorb.
 
+:func:`network_closed_loop` is the closed-loop discipline driven over
+TCP through :class:`~repro.net.ReadoutClient` — one real connection per
+client thread — so the serve bench can price the network front end
+against the in-process path on identical workloads.
+
 Both are deterministic given a seed: arrival schedules and per-request
 trace selection come from a seeded generator, so a report's *workload* is
 reproducible even though measured timings are machine-dependent.
@@ -170,6 +175,93 @@ def closed_loop(server: ReadoutServer,
     elapsed = time.perf_counter() - started
     return LoadReport(
         pattern="closed-loop",
+        requests=n_clients * requests_per_client,
+        completed=counters["completed"],
+        rejected=counters["rejected"],
+        failed=counters["failed"],
+        traces_done=counters["traces"],
+        elapsed_s=elapsed,
+        latencies_s=np.asarray(latencies),
+    )
+
+
+def network_closed_loop(address, source: Union[ReadoutDataset, np.ndarray],
+                        *, n_clients: int = 4,
+                        requests_per_client: int = 64,
+                        traces_per_request: int = 1, seed: int = 0,
+                        timeout_s: float = 30.0) -> LoadReport:
+    """Closed-loop load over TCP: one :class:`~repro.net.ReadoutClient`
+    per client thread against ``address`` (a ``(host, port)`` pair, e.g.
+    ``service.address``).
+
+    The workload is identical to :func:`closed_loop` under the same
+    seed — same per-client payload plans — so the two reports are
+    directly comparable; only the transport differs. Latencies here are
+    *client wall-clock* times (network and framing included), not the
+    server-side submission-to-resolution latencies of the in-process
+    loop. Backpressure (server overload or the service's per-connection
+    in-flight cap) counts as ``rejected``; draining, connection loss,
+    and every other failure counts as ``failed``.
+    """
+    if n_clients < 1:
+        raise ValueError(f"n_clients must be positive, got {n_clients}")
+    if requests_per_client < 1:
+        raise ValueError(
+            f"requests_per_client must be positive, got {requests_per_client}")
+    # Imported lazily: repro.serve must stay importable without the net
+    # layer and repro.net imports repro.serve for the shared response
+    # and error types.
+    from repro.net import ReadoutClient
+
+    host, port = address
+    demod = _demod_of(source)
+    plans = [
+        _payloads(demod, requests_per_client, traces_per_request,
+                  np.random.default_rng(seed + client))
+        for client in range(n_clients)
+    ]
+    lock = threading.Lock()
+    latencies: List[float] = []
+    counters = {"completed": 0, "rejected": 0, "failed": 0, "traces": 0}
+    barrier = threading.Barrier(n_clients + 1)
+
+    def client_loop(payloads: List[np.ndarray]) -> None:
+        # The client connects lazily on the first request, so a refused
+        # connection counts per-request as failed instead of deadlocking
+        # the start barrier.
+        with ReadoutClient(host, port, timeout_s=timeout_s) as client:
+            barrier.wait()
+            for payload in payloads:
+                try:
+                    if payload.ndim == 3:
+                        response = client.predict(payload)
+                    else:
+                        response = client.predict_many(payload)
+                except ServerOverloadedError:
+                    with lock:
+                        counters["rejected"] += 1
+                    continue
+                except Exception:  # noqa: BLE001 — count, keep the run honest
+                    with lock:
+                        counters["failed"] += 1
+                    continue
+                n = 1 if payload.ndim == 3 else payload.shape[0]
+                with lock:
+                    counters["completed"] += 1
+                    counters["traces"] += n
+                    latencies.append(response.latency_s)
+
+    threads = [threading.Thread(target=client_loop, args=(plan,), daemon=True)
+               for plan in plans]
+    for thread in threads:
+        thread.start()
+    barrier.wait()
+    started = time.perf_counter()
+    for thread in threads:
+        thread.join()
+    elapsed = time.perf_counter() - started
+    return LoadReport(
+        pattern="net-closed-loop",
         requests=n_clients * requests_per_client,
         completed=counters["completed"],
         rejected=counters["rejected"],

@@ -50,7 +50,7 @@ from typing import Dict, List, Optional, Sequence, Union
 
 import numpy as np
 
-from repro.obs.alerts import AlertManager, AlertRule, AlertState, default_rules
+from repro.obs.alerts import AlertManager, AlertState, default_rules
 from repro.obs.log import log_event
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.timeseries import TelemetrySampler
@@ -60,6 +60,7 @@ from repro.readout.sharding import FeedlineShard
 
 from .batcher import (FlushedBatch, MicroBatcher, ServeRequest,
                       ServerClosedError, ServerOverloadedError)
+from .config import ServerConfig
 from .slab import SlabPool
 from .stats import ServerStats
 
@@ -555,6 +556,14 @@ class ReadoutServer:
         The :class:`ServeShard` workers. Their feedline groups must be
         disjoint and together cover qubits ``0..n-1``; every engine must
         serve the same design names.
+    config:
+        A :class:`~repro.serve.config.ServerConfig` grouping every knob
+        below — the redesigned construction path
+        (``ReadoutServer(shards, ServerConfig(max_wait_ms=...))``). The
+        knobs may instead be passed as legacy keyword arguments, which a
+        deprecation shim folds into an equivalent config; mixing the two
+        spellings raises ``TypeError``. The resolved config is kept on
+        :attr:`config`.
     max_batch_traces / max_wait_ms / max_queue_requests / overload:
         Micro-batching and backpressure knobs, passed to
         :class:`~.batcher.MicroBatcher`. ``max_batch_traces`` is also the
@@ -617,18 +626,10 @@ class ReadoutServer:
     restarted after :meth:`stop`.
     """
 
-    def __init__(self, shards: Sequence[ServeShard], *,
-                 max_batch_traces: int = 256, max_wait_ms: float = 2.0,
-                 max_queue_requests: int = 1024, overload: str = "reject",
-                 trace_dtype=None, latency_window: int = 8192,
-                 backend: Union[str, ShardBackend] = "thread",
-                 backend_options: Optional[Dict[str, object]] = None,
-                 trace_sample_rate: float = 0.0,
-                 flight_recorder: Optional[FlightRecorder] = None,
-                 metrics: Optional[MetricsRegistry] = None,
-                 telemetry_interval_s: Optional[float] = None,
-                 alert_rules: Optional[Sequence[AlertRule]] = None,
-                 bundle_dir: Optional[str] = None):
+    def __init__(self, shards: Sequence[ServeShard],
+                 config: Optional[ServerConfig] = None, **legacy_kwargs):
+        config = ServerConfig.resolve(config, legacy_kwargs)
+        self.config = config
         if not shards:
             raise ValueError("server needs at least one shard")
         covered: List[int] = []
@@ -647,9 +648,9 @@ class ReadoutServer:
         self._shards = tuple(shards)
         self.n_qubits = len(covered)
         self.design_names = list(names[0])
-        self.trace_dtype = (None if trace_dtype is None
-                            else np.dtype(trace_dtype))
-        self.stats = ServerStats(latency_window=latency_window)
+        self.trace_dtype = (None if config.trace_dtype is None
+                            else np.dtype(config.trace_dtype))
+        self.stats = ServerStats(latency_window=config.latency_window)
         # Column indexers by feedline index, computed exactly once: the
         # per-batch scatter must never rebuild list(feedline.qubit_indices).
         self._columns = {s.feedline.index: _shard_columns(s.feedline)
@@ -659,14 +660,19 @@ class ReadoutServer:
         self._response_pool = SlabPool(
             observer=lambda event: self.stats.record_slab("response", event))
         self._batcher = MicroBatcher(
-            max_batch_traces=max_batch_traces, max_wait_ms=max_wait_ms,
-            max_queue_requests=max_queue_requests, overload=overload,
-            trace_dtype=trace_dtype, slab_pool=self._trace_pool)
-        self._backend = _make_backend(backend, backend_options)
-        self._recorder = (flight_recorder if flight_recorder is not None
+            max_batch_traces=config.max_batch_traces,
+            max_wait_ms=config.max_wait_ms,
+            max_queue_requests=config.max_queue_requests,
+            overload=config.overload,
+            trace_dtype=config.trace_dtype, slab_pool=self._trace_pool)
+        self._backend = _make_backend(config.backend,
+                                      config.backend_options)
+        self._recorder = (config.flight_recorder
+                          if config.flight_recorder is not None
                           else FlightRecorder())
-        self._tracer = Tracer(trace_sample_rate, self._recorder)
-        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self._tracer = Tracer(config.trace_sample_rate, self._recorder)
+        self.metrics = (config.metrics if config.metrics is not None
+                        else MetricsRegistry())
         self.stats.register_into(self.metrics, "serve")
         self.metrics.register_collector(
             "engine",
@@ -675,21 +681,22 @@ class ReadoutServer:
         self.metrics.register_collector(
             "flight_recorder", self._recorder.stats, replace=True)
         self.last_health: Optional[HealthReport] = None
-        self.bundle_dir = bundle_dir
+        self.bundle_dir = config.bundle_dir
         self._telemetry: Optional[TelemetrySampler] = None
         self._alerts: Optional[AlertManager] = None
-        if telemetry_interval_s is None:
-            if alert_rules is not None or bundle_dir is not None:
+        if config.telemetry_interval_s is None:
+            if (config.alert_rules is not None
+                    or config.bundle_dir is not None):
                 raise ValueError(
                     "alert_rules/bundle_dir require telemetry_interval_s "
                     "(alerts are evaluated on telemetry samples)")
         else:
-            rules = (default_rules() if alert_rules is None
-                     else list(alert_rules))
+            rules = (default_rules() if config.alert_rules is None
+                     else list(config.alert_rules))
             self._alerts = AlertManager(rules, registry=self.metrics,
                                         on_fire=self._on_alert_fire)
             self._telemetry = TelemetrySampler(
-                self.metrics, interval_s=telemetry_interval_s,
+                self.metrics, interval_s=config.telemetry_interval_s,
                 alerts=self._alerts)
         self._dispatcher: Optional[threading.Thread] = None
         self._state_lock = threading.Lock()

@@ -1,0 +1,218 @@
+"""ReadoutClient policy: handshake, error mapping, timeout, reconnect.
+
+The error-mapping suite runs against a scripted fake service (a raw
+``socketpair``-style accept loop answering canned frames) so every
+error code is exercised deterministically; the reconnect/timeout suites
+run against the real service.
+"""
+
+import socket
+import threading
+
+import numpy as np
+import pytest
+
+from repro.net import (ReadoutClient, ReadoutService, RemoteError,
+                       UnsupportedVersionError, protocol)
+from repro.serve import ServerClosedError, ServerOverloadedError
+
+from conftest import GateEngine, stub_server, stub_traces
+
+
+class ScriptedService:
+    """A listener that answers the INFO handshake, then canned replies.
+
+    ``replies`` is a list of callables ``(frame) -> bytes``; each
+    accepted request frame (after the handshake) consumes the next one.
+    """
+
+    def __init__(self, replies):
+        self.replies = list(replies)
+        self.sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        self.sock.bind(("127.0.0.1", 0))
+        self.sock.listen(4)
+        self.address = self.sock.getsockname()[:2]
+        self.thread = threading.Thread(target=self._serve, daemon=True)
+        self.thread.start()
+
+    def _serve(self):
+        while True:
+            try:
+                conn, _ = self.sock.accept()
+            except OSError:
+                return
+            try:
+                while True:
+                    frame = protocol.read_frame(conn)
+                    if frame is None:
+                        break
+                    if frame.op == protocol.OP_INFO:
+                        conn.sendall(protocol.encode_json(
+                            protocol.OP_INFO_REPLY, frame.request_id, {
+                                "protocol_version":
+                                    protocol.PROTOCOL_VERSION,
+                                "design_names": ["mf"],
+                                "n_qubits": 5, "n_bins": 40,
+                            }))
+                        continue
+                    if not self.replies:
+                        break
+                    conn.sendall(self.replies.pop(0)(frame))
+            except (OSError, protocol.ProtocolError):
+                pass
+            finally:
+                conn.close()
+
+    def close(self):
+        self.sock.close()
+        self.thread.join(timeout=5.0)
+
+
+def error_reply(code, message=b"scripted"):
+    return lambda frame: protocol.encode_error(
+        frame.request_id, code, message.decode())
+
+
+@pytest.fixture
+def scripted(request):
+    services = []
+
+    def make(replies):
+        service = ScriptedService(replies)
+        services.append(service)
+        return service
+
+    yield make
+    for service in services:
+        service.close()
+
+
+class TestErrorMapping:
+    @pytest.mark.parametrize("code,exc", [
+        (protocol.E_OVERLOADED, ServerOverloadedError),
+        (protocol.E_IN_FLIGHT_LIMIT, ServerOverloadedError),
+        (protocol.E_DRAINING, ServerClosedError),
+        (protocol.E_CLOSED, ServerClosedError),
+        (protocol.E_BAD_REQUEST, ValueError),
+        (protocol.E_INTERNAL, RemoteError),
+    ])
+    def test_error_codes_raise_typed_exceptions(self, scripted, code, exc):
+        service = scripted([error_reply(code)])
+        with ReadoutClient(*service.address, reconnect=False) as client:
+            with pytest.raises(exc, match="scripted"):
+                client.predict(stub_traces(1)[0])
+
+    def test_version_mismatch_in_handshake(self):
+        # A listener whose INFO reply claims a foreign protocol version:
+        # the client must refuse the handshake, not limp along.
+        class LyingService(ScriptedService):
+            def _serve(self):
+                while True:
+                    try:
+                        conn, _ = self.sock.accept()
+                    except OSError:
+                        return
+                    try:
+                        frame = protocol.read_frame(conn)
+                        if frame is not None:
+                            conn.sendall(protocol.encode_json(
+                                protocol.OP_INFO_REPLY, frame.request_id,
+                                {"protocol_version": 99}))
+                    except (OSError, protocol.ProtocolError):
+                        pass
+                    finally:
+                        conn.close()
+
+        liar = LyingService([])
+        try:
+            with ReadoutClient(*liar.address) as client:
+                with pytest.raises(UnsupportedVersionError, match="v99"):
+                    client.info()
+        finally:
+            liar.close()
+
+
+class TestReconnect:
+    def test_broken_connection_retries_once(self):
+        server = stub_server()
+        with server, ReadoutService(server) as service:
+            host, port = service.address
+            with ReadoutClient(host, port) as client:
+                first = client.predict(stub_traces(1)[0])
+                # Sever the transport under the client; the next request
+                # must reconnect-and-resend transparently.
+                client._sock.close()
+                second = client.predict(stub_traces(1)[0])
+                np.testing.assert_array_equal(first.bits_for("mf"),
+                                              second.bits_for("mf"))
+
+    def test_reconnect_false_surfaces_the_break(self):
+        server = stub_server()
+        with server, ReadoutService(server) as service:
+            host, port = service.address
+            with ReadoutClient(host, port, reconnect=False) as client:
+                client.predict(stub_traces(1)[0])
+                client._sock.close()
+                with pytest.raises(ConnectionError):
+                    client.predict(stub_traces(1)[0])
+
+    def test_dead_endpoint_raises_connection_error(self):
+        probe = socket.socket()
+        probe.bind(("127.0.0.1", 0))
+        host, port = probe.getsockname()[:2]
+        probe.close()                      # nobody listens here now
+        client = ReadoutClient(host, port, connect_timeout_s=0.5)
+        with pytest.raises((ConnectionError, OSError)):
+            client.predict(stub_traces(1)[0])
+
+
+class TestTimeout:
+    def test_timeout_raises_and_next_request_skips_stale_reply(self):
+        engine = GateEngine()
+        server = stub_server(engine=engine)
+        try:
+            with server, ReadoutService(server) as service:
+                host, port = service.address
+                with ReadoutClient(host, port, timeout_s=0.3) as client:
+                    with pytest.raises(TimeoutError, match="no reply"):
+                        client.predict(stub_traces(1)[0])
+                    engine.gate.set()
+                    # Fresh connection, fresh request id: the stale reply
+                    # of the timed-out request cannot be mispaired.
+                    response = client.predict(stub_traces(1)[0])
+                    assert response.bits_for("mf").shape == (5,)
+        finally:
+            engine.gate.set()
+
+
+class TestSurface:
+    def test_design_names_and_info_connect_lazily(self):
+        server = stub_server()
+        with server, ReadoutService(server) as service:
+            host, port = service.address
+            client = ReadoutClient(host, port)
+            try:
+                assert client.design_names == ["mf"]
+                assert client.info()["n_qubits"] == 5
+                assert client.address == (host, port)
+            finally:
+                client.close()
+
+    def test_close_is_idempotent_and_reusable(self):
+        server = stub_server()
+        with server, ReadoutService(server) as service:
+            host, port = service.address
+            client = ReadoutClient(host, port)
+            client.predict(stub_traces(1)[0])
+            client.close()
+            client.close()
+            # A closed client transparently reconnects on next use.
+            assert client.predict(stub_traces(1)[0]) is not None
+            client.close()
+
+    def test_shape_validation_is_client_side(self):
+        client = ReadoutClient("127.0.0.1", 1)   # never connects
+        with pytest.raises(ValueError, match="predict takes one"):
+            client.predict(stub_traces(2))
+        with pytest.raises(ValueError, match="predict_many takes"):
+            client.predict_many(stub_traces(1)[0])

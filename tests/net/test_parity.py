@@ -1,0 +1,107 @@
+"""Network parity: TCP-served bits are bit-identical to in-process bits.
+
+The acceptance pin for the front end: the wire protocol must be a pure
+transport. The same fitted shards serve the same trace batch through
+``server.predict()`` and through :class:`~repro.net.ReadoutClient` over
+localhost TCP, on both execution backends, and every bit matches.
+"""
+
+import numpy as np
+import pytest
+
+from repro.net import ReadoutClient, ReadoutService
+from repro.core import FAST_CONFIG
+from repro.serve import ServerConfig, build_sharded_server
+from repro.serve.loadgen import network_closed_loop
+
+N_PARITY_TRACES = 60
+
+
+@pytest.fixture(scope="module")
+def splits(request):
+    return request.getfixturevalue("small_splits")
+
+
+@pytest.fixture(scope="module", params=["thread", "process"])
+def served_backend(request, splits):
+    """A fitted 2-shard server + service per backend, started once."""
+    train, val, _ = splits
+    server = build_sharded_server(
+        ("mf",), train, val, n_shards=2, training=FAST_CONFIG,
+        config=ServerConfig(backend=request.param, max_wait_ms=0.5))
+    with server:
+        with ReadoutService(server) as service:
+            yield request.param, server, service
+
+
+class TestNetworkParity:
+    def test_batch_bits_identical_over_tcp(self, served_backend, splits):
+        backend, server, service = served_backend
+        _, _, test = splits
+        batch = test.demod[:N_PARITY_TRACES]
+        inproc = server.predict(batch)
+        with ReadoutClient(*service.address) as client:
+            over_tcp = client.predict_many(batch)
+        for name in server.design_names:
+            np.testing.assert_array_equal(
+                over_tcp.bits_for(name), inproc.bits_for(name),
+                err_msg=f"{backend} backend: TCP bits diverge for {name}")
+
+    def test_single_trace_bits_identical_over_tcp(self, served_backend,
+                                                  splits):
+        backend, server, service = served_backend
+        _, _, test = splits
+        trace = test.demod[3]
+        inproc = server.predict(trace)
+        with ReadoutClient(*service.address) as client:
+            over_tcp = client.predict(trace)
+        np.testing.assert_array_equal(over_tcp.bits_for("mf"),
+                                      inproc.bits_for("mf"))
+
+    def test_float32_wire_dtype_round_trips_decisions(self, served_backend,
+                                                      splits):
+        # The client sends whatever dtype the caller holds; a float32
+        # copy must produce the float32 in-process decisions, bit-exact.
+        backend, server, service = served_backend
+        _, _, test = splits
+        batch = test.demod[:20].astype(np.float32)
+        inproc = server.predict(batch)
+        with ReadoutClient(*service.address) as client:
+            over_tcp = client.predict_many(batch)
+        np.testing.assert_array_equal(over_tcp.bits_for("mf"),
+                                      inproc.bits_for("mf"))
+
+
+class TestNetworkLoadgen:
+    def test_network_closed_loop_matches_workload(self, served_backend,
+                                                  splits):
+        backend, server, service = served_backend
+        _, _, test = splits
+        report = network_closed_loop(service.address, test, n_clients=2,
+                                     requests_per_client=6, seed=11)
+        assert report.pattern == "net-closed-loop"
+        assert report.requests == 12
+        assert report.completed == 12
+        assert report.failed == 0 and report.rejected == 0
+        assert report.traces_done == 12
+        assert len(report.latencies_s) == 12
+        summary = report.summary()
+        assert summary["p99_ms"] >= summary["p50_ms"] > 0.0
+
+    def test_multi_trace_requests_counted_in_traces(self, served_backend,
+                                                    splits):
+        backend, server, service = served_backend
+        _, _, test = splits
+        report = network_closed_loop(service.address, test, n_clients=2,
+                                     requests_per_client=3,
+                                     traces_per_request=4, seed=7)
+        assert report.completed == 6
+        assert report.traces_done == 24
+
+    def test_validation(self, splits):
+        _, _, test = splits
+        with pytest.raises(ValueError, match="n_clients"):
+            network_closed_loop(("127.0.0.1", 1), test, n_clients=0)
+        with pytest.raises(ValueError, match="requests_per_client"):
+            network_closed_loop(("127.0.0.1", 1), test,
+                                requests_per_client=0)

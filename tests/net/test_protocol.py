@@ -1,0 +1,161 @@
+"""Wire-protocol unit tests: round trips, framing, malformed streams."""
+
+import socket
+import struct
+
+import numpy as np
+import pytest
+
+from repro.net import protocol
+from repro.net.protocol import (HEADER, HEADER_BYTES, MAGIC,
+                                PROTOCOL_VERSION, FrameTooLargeError,
+                                ProtocolError, UnsupportedVersionError)
+
+
+def frame_from_bytes(data: bytes, **kwargs):
+    """Decode one frame by pushing bytes through a real socket pair."""
+    a, b = socket.socketpair()
+    try:
+        a.sendall(data)
+        a.close()
+        b.settimeout(5.0)
+        return protocol.read_frame(b, **kwargs)
+    finally:
+        b.close()
+
+
+class TestHeader:
+    def test_header_is_40_bytes(self):
+        assert HEADER_BYTES == 40
+
+    def test_magic_and_version_lead_every_frame(self):
+        data = protocol.encode_frame(protocol.OP_INFO, 7)
+        assert data[:4] == MAGIC
+        assert data[4] == PROTOCOL_VERSION
+
+
+class TestTraceRoundTrip:
+    @pytest.mark.parametrize("dtype", [np.float64, np.float32, np.float16])
+    def test_stack_round_trips_bit_exact(self, dtype):
+        traces = np.random.default_rng(0).normal(
+            size=(3, 5, 2, 40)).astype(dtype)
+        frame = frame_from_bytes(protocol.encode_traces(9, traces))
+        assert frame.op == protocol.OP_PREDICT_MANY
+        assert frame.request_id == 9
+        back = protocol.decode_traces(frame)
+        assert back.dtype == np.dtype(dtype).newbyteorder("<")
+        np.testing.assert_array_equal(back, traces)
+
+    def test_single_trace_uses_predict_op(self):
+        trace = np.random.default_rng(1).normal(size=(5, 2, 40))
+        frame = frame_from_bytes(protocol.encode_traces(1, trace))
+        assert frame.op == protocol.OP_PREDICT
+        np.testing.assert_array_equal(protocol.decode_traces(frame)[0],
+                                      trace)
+
+    def test_bad_geometry_rejected_at_encode(self):
+        with pytest.raises(ValueError, match="traces must be"):
+            protocol.encode_traces(1, np.zeros((5, 3, 40)))
+
+    def test_unsupported_dtype_rejected(self):
+        with pytest.raises(ProtocolError, match="no wire encoding"):
+            protocol.encode_traces(1, np.zeros((5, 2, 40), dtype=np.int32))
+
+    def test_payload_length_mismatch_rejected(self):
+        frame = frame_from_bytes(protocol.encode_traces(
+            1, np.zeros((2, 5, 2, 40))))
+        frame.payload = frame.payload[:-8]
+        with pytest.raises(ProtocolError, match="payload"):
+            protocol.decode_traces(frame)
+
+
+class TestBitsRoundTrip:
+    def test_bits_round_trip_as_int64(self):
+        bits = {"mf": np.arange(15).reshape(3, 5) % 2,
+                "nn": np.ones((3, 5), dtype=np.int64)}
+        frame = frame_from_bytes(protocol.encode_bits(
+            4, ["mf", "nn"], bits, batch_traces=17))
+        assert frame.op == protocol.OP_BITS
+        assert frame.status == 17       # micro-batch size rides status
+        out = protocol.decode_bits(frame, ["mf", "nn"])
+        assert out["mf"].dtype == np.int64
+        np.testing.assert_array_equal(out["mf"], bits["mf"])
+        np.testing.assert_array_equal(out["nn"], bits["nn"])
+
+    def test_single_trace_bits_gain_a_row_axis(self):
+        frame = frame_from_bytes(protocol.encode_bits(
+            1, ["mf"], {"mf": np.ones(5, dtype=np.int64)}))
+        assert frame.shape == (1, 1, 5)
+
+    def test_design_count_mismatch_rejected(self):
+        frame = frame_from_bytes(protocol.encode_bits(
+            1, ["mf"], {"mf": np.ones((2, 5), dtype=np.int64)}))
+        with pytest.raises(ProtocolError, match="designs"):
+            protocol.decode_bits(frame, ["mf", "nn"])
+
+
+class TestControlFrames:
+    def test_json_round_trip(self):
+        obj = {"healthy": True, "shards": [1, 2]}
+        frame = frame_from_bytes(protocol.encode_json(
+            protocol.OP_HEALTH, 3, obj))
+        assert protocol.decode_json(frame) == obj
+
+    def test_empty_payload_decodes_to_empty_dict(self):
+        frame = frame_from_bytes(protocol.encode_frame(protocol.OP_INFO, 1))
+        assert protocol.decode_json(frame) == {}
+
+    def test_error_frame_carries_code_and_message(self):
+        frame = frame_from_bytes(protocol.encode_error(
+            5, protocol.E_DRAINING, "later"))
+        assert frame.op == protocol.OP_ERROR
+        assert frame.status == protocol.E_DRAINING
+        assert frame.error_name == "draining"
+        assert frame.payload == b"later"
+
+
+class TestMalformedStreams:
+    def test_clean_eof_between_frames_is_none(self):
+        assert frame_from_bytes(b"") is None
+
+    def test_truncated_header_raises(self):
+        with pytest.raises(ProtocolError, match="mid-frame"):
+            frame_from_bytes(b"RPRO\x01\x01")
+
+    def test_truncated_payload_raises(self):
+        data = protocol.encode_traces(1, np.zeros((2, 5, 2, 40)))
+        with pytest.raises(ProtocolError, match="mid-"):
+            frame_from_bytes(data[:-100])
+
+    def test_bad_magic_raises(self):
+        data = protocol.encode_frame(protocol.OP_INFO, 1)
+        with pytest.raises(ProtocolError, match="magic"):
+            frame_from_bytes(b"JUNK" + data[4:])
+
+    def test_unknown_version_raises(self):
+        data = bytearray(protocol.encode_frame(protocol.OP_INFO, 1))
+        data[4] = PROTOCOL_VERSION + 1
+        with pytest.raises(UnsupportedVersionError, match="protocol"):
+            frame_from_bytes(bytes(data))
+
+    def test_oversized_frame_raises_before_reading_payload(self):
+        header = HEADER.pack(MAGIC, PROTOCOL_VERSION, protocol.OP_PREDICT,
+                             0, 1, protocol.DTYPE_FLOAT64, 0, 0,
+                             1, 5, 40, 1 << 40)
+        with pytest.raises(FrameTooLargeError, match="bound"):
+            frame_from_bytes(header)
+
+    def test_frame_bound_is_configurable(self):
+        data = protocol.encode_traces(1, np.zeros((2, 5, 2, 40)))
+        with pytest.raises(FrameTooLargeError):
+            frame_from_bytes(data, max_frame_bytes=64)
+
+    def test_header_unpack_matches_encode(self):
+        data = protocol.encode_frame(
+            protocol.OP_BITS, 123456789, status=42,
+            dtype_code=protocol.DTYPE_INT8, shape=(2, 3, 5),
+            payload=b"x" * 30)
+        fields = HEADER.unpack(data[:HEADER_BYTES])
+        assert fields == (MAGIC, PROTOCOL_VERSION, protocol.OP_BITS, 42,
+                          123456789, protocol.DTYPE_INT8, 0, 0, 2, 3, 5, 30)
+        assert struct.calcsize("<4sBBHQBBHIIIQ") == HEADER_BYTES

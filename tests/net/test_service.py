@@ -1,0 +1,406 @@
+"""ReadoutService behavior: ops, caps, robustness, accounting.
+
+Everything here runs over stub engines on a loopback listener. The
+robustness suite speaks raw bytes at the service on purpose — a client
+would refuse to produce these streams.
+"""
+
+import socket
+import struct
+import time
+
+import numpy as np
+import pytest
+
+from repro.net import ReadoutClient, ReadoutService, protocol
+from repro.net.protocol import (HEADER, MAGIC, PROTOCOL_VERSION,
+                                ProtocolError)
+from repro.serve import ServerClosedError, ServerOverloadedError
+
+from conftest import (EchoEngine, GateEngine, raw_connection, stub_server,
+                      stub_traces)
+
+
+def expected_bits(traces):
+    """What EchoEngine answers for a ``(m, 5, 2, 40)`` stack."""
+    return (np.asarray(traces)[:, :, 0, 0] > 0).astype(np.int64)
+
+
+class TestPredictOps:
+    def test_single_trace_predict(self, echo_service):
+        trace = stub_traces(1)[0]
+        host, port = echo_service.address
+        with ReadoutClient(host, port) as client:
+            response = client.predict(trace)
+        np.testing.assert_array_equal(response.bits_for("mf"),
+                                      expected_bits(trace[None])[0])
+        assert response.batch_traces >= 1
+        assert response.latency_s > 0.0
+
+    def test_multi_trace_predict(self, echo_service):
+        traces = stub_traces(12)
+        host, port = echo_service.address
+        with ReadoutClient(host, port) as client:
+            response = client.predict_many(traces)
+        np.testing.assert_array_equal(response.bits_for("mf"),
+                                      expected_bits(traces))
+
+    def test_many_requests_one_connection(self, echo_service):
+        traces = stub_traces(30)
+        host, port = echo_service.address
+        with ReadoutClient(host, port) as client:
+            for i in range(30):
+                response = client.predict(traces[i])
+                np.testing.assert_array_equal(
+                    response.bits_for("mf"), expected_bits(traces)[i])
+
+    def test_bad_geometry_maps_to_value_error(self, echo_service):
+        host, port = echo_service.address
+        with ReadoutClient(host, port) as client:
+            with pytest.raises(ValueError, match="qubits"):
+                # 3 qubits against a 5-qubit server: framing is fine,
+                # the server's own validation rejects it.
+                client.predict(stub_traces(1)[0][:3])
+
+
+class TestControlOps:
+    def test_info_reports_geometry_and_version(self, echo_service):
+        host, port = echo_service.address
+        with ReadoutClient(host, port) as client:
+            info = client.info()
+        assert info["protocol_version"] == PROTOCOL_VERSION
+        assert info["design_names"] == ["mf"]
+        assert info["n_qubits"] == 5
+        assert info["n_bins"] == 40
+        assert info["backend"] == "thread"
+
+    def test_healthcheck_round_trips_report(self, echo_service):
+        host, port = echo_service.address
+        with ReadoutClient(host, port) as client:
+            report = client.healthcheck(budget_s=10.0)
+        assert report["healthy"] is True
+        assert len(report["shards"]) == 1
+
+    def test_drain_op_flips_service_draining(self):
+        server = stub_server()
+        with server, ReadoutService(server) as service:
+            host, port = service.address
+            with ReadoutClient(host, port) as client:
+                client.predict(stub_traces(1)[0])
+                ack = client.drain()
+                assert ack["draining"] is True
+                assert service.draining
+                with pytest.raises(ServerClosedError):
+                    client.predict(stub_traces(1)[0])
+
+    def test_unknown_op_answers_bad_request(self, echo_service):
+        sock = raw_connection(echo_service)
+        try:
+            sock.sendall(protocol.encode_frame(0x42, 9))
+            frame = protocol.read_frame(sock)
+            assert frame.op == protocol.OP_ERROR
+            assert frame.status == protocol.E_BAD_REQUEST
+            assert frame.request_id == 9
+            # The connection survives an unknown op: framing was intact.
+            sock.sendall(protocol.encode_frame(protocol.OP_INFO, 10))
+            assert protocol.read_frame(sock).op == protocol.OP_INFO_REPLY
+        finally:
+            sock.close()
+
+
+class TestInFlightCap:
+    def test_cap_rejects_then_recovers(self, gated_service):
+        service, engine = gated_service
+        sock = raw_connection(service)
+        try:
+            traces = stub_traces(1)
+            for request_id in (1, 2):
+                sock.sendall(protocol.encode_traces(request_id, traces))
+            # Both slots parked in the engine gate; the third request on
+            # this connection must bounce without touching the server.
+            deadline = time.monotonic() + 5.0
+            while service._total_in_flight() < 2:
+                assert time.monotonic() < deadline
+                time.sleep(0.005)
+            sock.sendall(protocol.encode_traces(3, traces))
+            frame = protocol.read_frame(sock)
+            assert frame.op == protocol.OP_ERROR
+            assert frame.status == protocol.E_IN_FLIGHT_LIMIT
+            assert frame.request_id == 3
+            engine.gate.set()
+            seen = set()
+            for _ in range(2):
+                reply = protocol.read_frame(sock)
+                assert reply.op == protocol.OP_BITS
+                seen.add(reply.request_id)
+            assert seen == {1, 2}
+            # Slots released: the connection is usable again.
+            sock.sendall(protocol.encode_traces(4, traces))
+            assert protocol.read_frame(sock).op == protocol.OP_BITS
+            assert service._total_in_flight() == 0
+        finally:
+            sock.close()
+
+    def test_control_ops_bypass_the_cap(self, gated_service):
+        service, engine = gated_service
+        sock = raw_connection(service)
+        try:
+            traces = stub_traces(1)
+            sock.sendall(protocol.encode_traces(1, traces))
+            sock.sendall(protocol.encode_traces(2, traces))
+            # INFO answers while both predict slots are gated — responses
+            # stream out of order, correlated by request id only.
+            sock.sendall(protocol.encode_frame(protocol.OP_INFO, 3))
+            frame = protocol.read_frame(sock)
+            assert frame.op == protocol.OP_INFO_REPLY
+            assert frame.request_id == 3
+            engine.gate.set()
+            assert {protocol.read_frame(sock).request_id
+                    for _ in range(2)} == {1, 2}
+        finally:
+            sock.close()
+
+    def test_cap_validates(self, echo_service):
+        with pytest.raises(ValueError, match="max_inflight_per_conn"):
+            ReadoutService(echo_service.server, max_inflight_per_conn=0)
+
+
+class TestRobustness:
+    """Hostile byte streams: typed error (or clean close), listener
+    survives, no in-flight slot leaks."""
+
+    def read_fatal_error(self, sock, code):
+        frame = protocol.read_frame(sock)
+        assert frame.op == protocol.OP_ERROR
+        assert frame.status == code
+        assert frame.request_id == 0       # not request-correlated
+        # The service closes an untrusted stream after the error frame.
+        assert protocol.read_frame(sock) is None
+
+    def assert_service_alive(self, service):
+        deadline = time.monotonic() + 5.0
+        while True:
+            assert time.monotonic() < deadline
+            if service._total_in_flight() == 0:
+                break
+            time.sleep(0.005)
+        host, port = service.address
+        with ReadoutClient(host, port) as client:
+            response = client.predict(stub_traces(1)[0])
+        assert response.bits_for("mf").shape == (5,)
+
+    def test_malformed_header(self, echo_service):
+        sock = raw_connection(echo_service)
+        try:
+            sock.sendall(b"JUNKJUNKJUNK" + b"\x00" * 28)
+            self.read_fatal_error(sock, protocol.E_BAD_FRAME)
+        finally:
+            sock.close()
+        self.assert_service_alive(echo_service)
+
+    def test_unknown_protocol_version(self, echo_service):
+        data = bytearray(protocol.encode_frame(protocol.OP_INFO, 1))
+        data[4] = PROTOCOL_VERSION + 9
+        sock = raw_connection(echo_service)
+        try:
+            sock.sendall(bytes(data))
+            self.read_fatal_error(sock, protocol.E_UNSUPPORTED_VERSION)
+        finally:
+            sock.close()
+        self.assert_service_alive(echo_service)
+
+    def test_oversized_frame(self, echo_service):
+        header = HEADER.pack(MAGIC, PROTOCOL_VERSION, protocol.OP_PREDICT,
+                             0, 1, protocol.DTYPE_FLOAT64, 0, 0,
+                             1, 5, 40, 1 << 40)
+        sock = raw_connection(echo_service)
+        try:
+            sock.sendall(header)
+            self.read_fatal_error(sock, protocol.E_TOO_LARGE)
+        finally:
+            sock.close()
+        self.assert_service_alive(echo_service)
+
+    def test_truncated_body_then_disconnect(self, echo_service):
+        data = protocol.encode_traces(1, stub_traces(2))
+        sock = raw_connection(echo_service)
+        sock.sendall(data[: len(data) - 64])
+        sock.close()                       # mid-payload disconnect
+        self.assert_service_alive(echo_service)
+        snapshot = echo_service.net_stats.snapshot()
+        assert snapshot["connections_closed"] >= 1
+
+    def test_disconnect_with_requests_in_flight(self, gated_service):
+        service, engine = gated_service
+        sock = raw_connection(service)
+        sock.sendall(protocol.encode_traces(1, stub_traces(1)))
+        deadline = time.monotonic() + 5.0
+        while service._total_in_flight() < 1:
+            assert time.monotonic() < deadline
+            time.sleep(0.005)
+        sock.close()                       # vanish mid-request
+        engine.gate.set()
+        # The resolved future finds a dead socket; the slot must still
+        # release and the send failure is counted, not raised.
+        deadline = time.monotonic() + 5.0
+        while service._total_in_flight() > 0:
+            assert time.monotonic() < deadline
+            time.sleep(0.005)
+        self.assert_service_alive(service)
+
+    def test_bad_payload_geometry_keeps_connection(self, echo_service):
+        # Header declares a zero-qubit shape: decode fails, but framing
+        # was intact so only the request dies, not the connection.
+        frame = protocol.encode_frame(
+            protocol.OP_PREDICT, 7, dtype_code=protocol.DTYPE_FLOAT64,
+            shape=(1, 0, 40), payload=b"")
+        sock = raw_connection(echo_service)
+        try:
+            sock.sendall(frame)
+            reply = protocol.read_frame(sock)
+            assert reply.op == protocol.OP_ERROR
+            assert reply.status == protocol.E_BAD_FRAME
+            assert reply.request_id == 7
+            sock.sendall(protocol.encode_frame(protocol.OP_INFO, 8))
+            assert protocol.read_frame(sock).op == protocol.OP_INFO_REPLY
+        finally:
+            sock.close()
+
+
+class TestBackpressureMapping:
+    def test_overload_maps_to_typed_frame(self):
+        # Same recipe as the in-process reject test: single-trace batches
+        # sealed instantly (max_wait_ms=0) against a 2-deep queue, and a
+        # submit burst that outruns the dispatcher. Over TCP the burst is
+        # one pipelined sendall; the reader's decode+submit loop races
+        # the dispatch loop exactly like the tight in-process loop does.
+        server = stub_server(max_batch_traces=1, max_wait_ms=0.0,
+                             max_queue_requests=2)
+        burst = 200
+        with server, ReadoutService(server,
+                                    max_inflight_per_conn=burst) as service:
+            traces = stub_traces(1)
+            saw_overload = False
+            for attempt in range(5):
+                sock = raw_connection(service)
+                try:
+                    sock.sendall(b"".join(
+                        protocol.encode_traces(i + 1, traces)
+                        for i in range(burst)))
+                    sock.settimeout(10.0)
+                    overloads = completions = 0
+                    for _ in range(burst):
+                        frame = protocol.read_frame(sock)
+                        if frame.op == protocol.OP_BITS:
+                            completions += 1
+                        else:
+                            assert frame.op == protocol.OP_ERROR
+                            assert frame.status == protocol.E_OVERLOADED
+                            overloads += 1
+                finally:
+                    sock.close()
+                assert overloads + completions == burst
+                assert completions > 0
+                if overloads:
+                    saw_overload = True
+                    break
+            assert saw_overload, "dispatcher never fell behind the burst"
+            # After the burst the service still serves normally.
+            host, port = service.address
+            with ReadoutClient(host, port) as client:
+                response = client.predict(traces[0])
+            assert response.bits_for("mf").shape == (5,)
+
+    def test_closed_server_maps_to_typed_frame(self):
+        server = stub_server()
+        with ReadoutService(server) as service:
+            host, port = service.address
+            with ReadoutClient(host, port) as client:
+                client.predict(stub_traces(1)[0])
+                server.stop()              # server dies under the service
+                with pytest.raises(ServerClosedError):
+                    client.predict(stub_traces(1)[0])
+
+
+class TestAccountingAndMetrics:
+    def test_net_collector_joins_server_registry(self, echo_service):
+        host, port = echo_service.address
+        with ReadoutClient(host, port) as client:
+            client.predict(stub_traces(1)[0])
+        exported = echo_service.metrics.export_dict()
+        assert exported["net"]["requests_in"] >= 1
+        assert exported["net"]["responses_out"] >= 1
+        assert exported["net"]["frames_received"] >= 1
+        assert exported["net"]["bytes_sent"] > 0
+
+    def test_snapshot_reconciles(self):
+        server = stub_server()
+        with server, ReadoutService(server) as service:
+            host, port = service.address
+            with ReadoutClient(host, port) as client:
+                for i in range(5):
+                    client.predict(stub_traces(1)[0])
+                with pytest.raises(ValueError):
+                    client.predict(stub_traces(1)[0][:3])
+            snapshot = service.net_stats.snapshot()
+        assert snapshot["requests_in"] == 5
+        assert snapshot["responses_out"] == 5
+        assert snapshot["errors_out"] == 1
+        assert snapshot["connections_opened"] == 1
+
+    def test_struct_layout_is_stable(self):
+        # The client/service pair depends on this exact layout; catch an
+        # accidental header change before it hits the wire.
+        assert struct.calcsize("<4sBBHQBBHIIIQ") == protocol.HEADER_BYTES
+
+
+class TestLifecycle:
+    def test_context_manager_and_idempotent_stop(self):
+        server = stub_server()
+        with server:
+            service = ReadoutService(server)
+            with service:
+                host, port = service.address
+                with ReadoutClient(host, port) as client:
+                    client.predict(stub_traces(1)[0])
+            service.stop()                 # second stop is a no-op
+            with pytest.raises(RuntimeError, match="restarted"):
+                service.start()
+
+    def test_stop_server_flag_stops_the_server(self):
+        server = stub_server()
+        service = ReadoutService(server, stop_server=True)
+        service.start()
+        host, port = service.address
+        with ReadoutClient(host, port) as client:
+            client.predict(stub_traces(1)[0])
+        service.stop()
+        with pytest.raises(ServerClosedError):
+            server.submit(stub_traces(1))
+
+    def test_connections_refused_while_draining(self):
+        server = stub_server()
+        with server, ReadoutService(server) as service:
+            host, port = service.address
+            with ReadoutClient(host, port) as client:
+                client.predict(stub_traces(1)[0])
+        with pytest.raises((ConnectionError, OSError)):
+            ReadoutClient(host, port, connect_timeout_s=1.0).info()
+
+    def test_unstarted_service_has_no_address(self):
+        service = ReadoutService(stub_server())
+        with pytest.raises(RuntimeError, match="not started"):
+            service.address
+        service.stop()                     # stop before start is a no-op
+
+
+class TestProtocolErrorHelper:
+    def test_decode_traces_rejects_spoofed_shape(self):
+        # Shape that multiplies to more than the payload carries.
+        frame = protocol.Frame(
+            version=PROTOCOL_VERSION, op=protocol.OP_PREDICT_MANY,
+            status=0, request_id=1,
+            dtype_code=protocol.DTYPE_FLOAT64, shape=(1000, 5, 40),
+            payload=b"\x00" * 80)
+        with pytest.raises(ProtocolError, match="payload"):
+            protocol.decode_traces(frame)

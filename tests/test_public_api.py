@@ -1,0 +1,96 @@
+"""The pinned public API surface of the service-facing packages.
+
+Every name in ``__all__`` of :mod:`repro.serve`, :mod:`repro.net`, and
+:mod:`repro.obs` must resolve (through PEP 562 lazy exports too) and —
+unless it is a plain constant — carry a docstring. Adding a name to
+``__all__`` without documenting it fails here: the public surface grows
+deliberately or not at all.
+"""
+
+import importlib
+import inspect
+
+import pytest
+
+PUBLIC_MODULES = ("repro.serve", "repro.net", "repro.obs")
+
+#: Names that are plain data constants — documented at their definition
+#: site via ``#:`` comments, exempt from the __doc__ requirement (ints
+#: and tuples cannot carry their own docstrings).
+CONSTANTS = {
+    "repro.serve": {"BACKENDS", "LATENCY_PERCENTILES", "OVERLOAD_POLICIES"},
+    "repro.net": {"PROTOCOL_VERSION"},
+    "repro.obs": set(),
+}
+
+
+@pytest.fixture(params=PUBLIC_MODULES)
+def module(request):
+    return importlib.import_module(request.param)
+
+
+class TestPublicSurface:
+    def test_all_exists_and_is_sorted(self, module):
+        names = module.__all__
+        assert names, f"{module.__name__} exports nothing"
+        assert list(names) == sorted(names), (
+            f"{module.__name__}.__all__ is not sorted — keep it sorted "
+            f"so diffs show additions, not reshuffles")
+        assert len(set(names)) == len(names)
+
+    def test_every_documented_name_resolves(self, module):
+        for name in module.__all__:
+            obj = getattr(module, name)    # getattr drives lazy exports
+            assert obj is not None, f"{module.__name__}.{name}"
+
+    def test_every_public_name_has_a_docstring(self, module):
+        constants = CONSTANTS.get(module.__name__, set())
+        undocumented = []
+        for name in module.__all__:
+            if name in constants:
+                continue
+            obj = getattr(module, name)
+            doc = inspect.getdoc(obj)
+            if not doc or not doc.strip():
+                undocumented.append(name)
+        assert not undocumented, (
+            f"{module.__name__}.__all__ gained undocumented names "
+            f"{undocumented}: write docstrings (or register true "
+            f"constants in CONSTANTS above, deliberately)")
+
+    def test_constants_registry_matches_reality(self, module):
+        constants = CONSTANTS.get(module.__name__, set())
+        stale = constants - set(module.__all__)
+        assert not stale, (
+            f"CONSTANTS lists names absent from "
+            f"{module.__name__}.__all__: {sorted(stale)}")
+
+
+class TestRequiredReExports:
+    """The façade names the redesign promises, importable from the top."""
+
+    def test_server_config_from_serve(self):
+        from repro.serve import ServerConfig
+        assert "ServerConfig" in importlib.import_module(
+            "repro.serve").__all__
+        assert ServerConfig().max_batch_traces == 256
+
+    def test_client_and_service_from_net(self):
+        import repro.net as net
+        for name in ("ReadoutClient", "ReadoutService", "NetStats",
+                     "PROTOCOL_VERSION"):
+            assert name in net.__all__
+            assert getattr(net, name) is not None
+
+    def test_loadgen_network_mode_from_serve(self):
+        from repro.serve import network_closed_loop
+        assert "network_closed_loop" in importlib.import_module(
+            "repro.serve").__all__
+        assert callable(network_closed_loop)
+
+    def test_protocol_errors_from_net(self):
+        from repro.net import (FrameTooLargeError, ProtocolError,
+                               RemoteError, UnsupportedVersionError)
+        assert issubclass(FrameTooLargeError, ProtocolError)
+        assert issubclass(UnsupportedVersionError, ProtocolError)
+        assert issubclass(RemoteError, RuntimeError)
